@@ -1,0 +1,70 @@
+//===- ablation_selfcomp.cpp - Decomposition vs. self-composition -----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central motivation (§1, §7): proving timing-channel freedom
+/// by decomposition instead of self-composition. This ablation runs both on
+/// every Table-1 benchmark:
+///
+///  - decomposition: the full Blazer pipeline (quotient partitioning +
+///    per-trail non-relational bounds);
+///  - baseline: sequential self-composition with cost counters, verified
+///    by the same zone abstract interpreter (see src/selfcomp).
+///
+/// The expected shape: the baseline verifies only loop-free/balanced
+/// programs (where zones track the two counters exactly) and loses every
+/// input-dependent loop to widening, while decomposition verifies all 12
+/// safe benchmarks. The "abs states" column shows the product-program
+/// state growth the paper warns about.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "selfcomp/SelfComposition.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace blazer;
+
+int main() {
+  std::printf("Ablation: decomposition (Blazer) vs. sequential "
+              "self-composition\n\n");
+  std::printf("%-24s %7s | %-9s %9s | %-9s %9s %10s\n", "Benchmark",
+              "paper", "decomp", "time (s)", "selfcomp", "time (s)",
+              "abs states");
+  std::printf("%s\n", std::string(92, '-').c_str());
+
+  int DecompCorrect = 0, SelfCompCorrect = 0, SafeTotal = 0;
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    CfgFunction F = B.compile();
+    BlazerResult R = analyzeFunction(F, B.options());
+    SelfCompResult S =
+        verifyBySelfComposition(F, B.options().Observer.threshold());
+
+    bool IsSafe = B.Expected == VerdictKind::Safe;
+    SafeTotal += IsSafe ? 1 : 0;
+    if (IsSafe && R.Verdict == VerdictKind::Safe)
+      ++DecompCorrect;
+    if (IsSafe && S.Verified)
+      ++SelfCompCorrect;
+
+    std::printf("%-24s %7s | %-9s %9.3f | %-9s %9.3f %10zu\n",
+                B.Name.c_str(), verdictName(B.Expected),
+                verdictName(R.Verdict), R.TotalSeconds,
+                S.Verified ? "verified" : (S.GapBounded ? "refuted"
+                                                        : "lost"),
+                S.Seconds, S.ProductNodes);
+  }
+  std::printf("%s\n", std::string(92, '-').c_str());
+  std::printf("safe benchmarks verified: decomposition %d/%d, "
+              "self-composition %d/%d\n",
+              DecompCorrect, SafeTotal, SelfCompCorrect, SafeTotal);
+  std::printf("(\"lost\" = the zone analysis could not bound cost1 - cost2 "
+              "at all: widening on an\n input-dependent loop severed the "
+              "counter relation — the paper's §1 argument.)\n");
+  return 0;
+}

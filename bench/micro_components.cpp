@@ -1,0 +1,157 @@
+//===- micro_components.cpp - google-benchmark component timings ------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the individual substrates (not a paper figure; an
+/// engineering ablation): automaton operations, zone-domain operations,
+/// taint analysis, trail-restricted abstract interpretation, bound
+/// analysis, and the end-to-end driver on a representative benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+#include "benchmarks/Benchmarks.h"
+#include "bounds/BoundAnalysis.h"
+#include "dataflow/Taint.h"
+#include "selfcomp/SelfComposition.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace blazer;
+
+namespace {
+
+const CfgFunction &loginUnsafe() {
+  static CfgFunction F = findBenchmark("login_unsafe")->compile();
+  return F;
+}
+
+const CfgFunction &modPow2Unsafe() {
+  static CfgFunction F = findBenchmark("modPow2_unsafe")->compile();
+  return F;
+}
+
+void BM_CompileBenchmark(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("login_unsafe");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(B->compile());
+}
+BENCHMARK(BM_CompileBenchmark);
+
+void BM_TaintAnalysis(benchmark::State &State) {
+  const CfgFunction &F = loginUnsafe();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runTaintAnalysis(F));
+}
+BENCHMARK(BM_TaintAnalysis);
+
+void BM_CfgAutomatonMinimize(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  Dfa D = Dfa::fromCfg(F, A);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(D.minimize());
+}
+BENCHMARK(BM_CfgAutomatonMinimize);
+
+void BM_TrailIntersection(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  Dfa D = Dfa::fromCfg(F, A);
+  int N = static_cast<int>(A.size());
+  for (auto _ : State) {
+    Dfa T = D.intersect(Dfa::avoidsSymbol(N, 0))
+                .intersect(Dfa::containsSymbol(N, N / 2));
+    benchmark::DoNotOptimize(T.minimize());
+  }
+}
+BENCHMARK(BM_TrailIntersection);
+
+void BM_LanguageInclusion(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  Dfa D = Dfa::fromCfg(F, A);
+  Dfa Sub = D.intersect(Dfa::avoidsSymbol(static_cast<int>(A.size()), 0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sub.includedIn(D));
+}
+BENCHMARK(BM_LanguageInclusion);
+
+void BM_ZoneClosureViaConstraints(benchmark::State &State) {
+  for (auto _ : State) {
+    Dbm D = Dbm::top(16);
+    for (int I = 1; I < 16; ++I)
+      D.addConstraint(I, (I % 15) + 1, I);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_ZoneClosureViaConstraints);
+
+void BM_ZoneJoinWiden(benchmark::State &State) {
+  Dbm A = Dbm::top(16);
+  Dbm B = Dbm::top(16);
+  for (int I = 1; I < 16; ++I) {
+    A.addConstraint(I, 0, I);
+    B.addConstraint(I, 0, I + 3);
+  }
+  for (auto _ : State) {
+    Dbm J = A;
+    J.joinWith(B);
+    J.widenWith(B);
+    benchmark::DoNotOptimize(J);
+  }
+}
+BENCHMARK(BM_ZoneJoinWiden);
+
+void BM_AbstractInterpretation(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  Dfa D = Dfa::fromCfg(F, A);
+  ProductGraph G = ProductGraph::build(F, D, A);
+  VarEnv Env(F);
+  Analyzer Az(F, Env);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Az.analyze(G));
+}
+BENCHMARK(BM_AbstractInterpretation);
+
+void BM_BoundAnalysisMostGeneral(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  BoundAnalysis BA(F);
+  Dfa Mg = BA.mostGeneralTrail();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(BA.analyzeTrail(Mg));
+}
+BENCHMARK(BM_BoundAnalysisMostGeneral);
+
+void BM_EndToEndLoginSafe(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("login_safe");
+  CfgFunction F = B->compile();
+  BlazerOptions Opt = B->options();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeFunction(F, Opt));
+}
+BENCHMARK(BM_EndToEndLoginSafe);
+
+void BM_EndToEndModPow1Unsafe(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
+  CfgFunction F = B->compile();
+  BlazerOptions Opt = B->options();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeFunction(F, Opt));
+}
+BENCHMARK(BM_EndToEndModPow1Unsafe);
+
+void BM_SelfCompositionBaseline(benchmark::State &State) {
+  const CfgFunction &F = loginUnsafe();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(verifyBySelfComposition(F, 700));
+}
+BENCHMARK(BM_SelfCompositionBaseline);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+//===- table1_blazer.cpp - Regenerates Table 1 of the paper ----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs Blazer on all 24 benchmarks and prints the Table-1 rows: Size
+/// (basic blocks), median Safety time, and median Safety+Attack time over
+/// NRUNS runs (the paper uses the median of five). Safe benchmarks print
+/// "-" in the w/Attack column, as in the paper. A trailing column compares
+/// the verdict against the paper's expectation.
+///
+/// Set BLAZER_TABLE1_RUNS to override the run count (default 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+double median(std::vector<double> Xs) {
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  if (N == 0)
+    return 0;
+  return N % 2 ? Xs[N / 2] : (Xs[N / 2 - 1] + Xs[N / 2]) / 2;
+}
+
+} // namespace
+
+int main() {
+  int Runs = 5;
+  if (const char *EnvRuns = std::getenv("BLAZER_TABLE1_RUNS"))
+    Runs = std::max(1, std::atoi(EnvRuns));
+
+  std::printf("Table 1: Blazer on the benchmark suite (median of %d runs)\n",
+              Runs);
+  std::printf("%-24s %-12s %5s  %12s  %12s  %-8s %s\n", "Benchmark",
+              "Category", "Size", "Safety (s)", "w/Attack (s)", "Verdict",
+              "vs paper");
+  std::printf("%s\n", std::string(96, '-').c_str());
+
+  int Mismatches = 0;
+  std::string LastCategory;
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    if (B.Category != LastCategory) {
+      std::printf("-- %s --\n", B.Category.c_str());
+      LastCategory = B.Category;
+    }
+    CfgFunction F = B.compile();
+    std::vector<double> SafetyTimes, TotalTimes;
+    BlazerResult Last;
+    for (int R = 0; R < Runs; ++R) {
+      BlazerResult Res = analyzeFunction(F, B.options());
+      SafetyTimes.push_back(Res.SafetySeconds);
+      TotalTimes.push_back(Res.TotalSeconds);
+      Last = std::move(Res);
+    }
+    bool Match = Last.Verdict == B.Expected;
+    Mismatches += Match ? 0 : 1;
+    bool Safe = Last.Verdict == VerdictKind::Safe;
+    char Attack[32];
+    if (Safe)
+      std::snprintf(Attack, sizeof(Attack), "%12s", "-");
+    else
+      std::snprintf(Attack, sizeof(Attack), "%12.3f", median(TotalTimes));
+    std::printf("%-24s %-12s %5zu  %12.3f  %s  %-8s %s\n", B.Name.c_str(),
+                B.Category.c_str(), F.blockCount(), median(SafetyTimes),
+                Attack, verdictName(Last.Verdict),
+                Match ? "match" : "MISMATCH");
+  }
+  std::printf("%s\n", std::string(96, '-').c_str());
+  std::printf("verdict agreement with the paper: %d/24\n", 24 - Mismatches);
+  return Mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+//===- language_tour.cpp - The mini-language and its toolchain --------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tour of the substrates under the analysis: parse a program, inspect
+/// its CFG (including the Graphviz rendering), run the taint analysis and
+/// read the branch annotations, execute it concretely with instruction
+/// counting, and render the most general trail as a regular expression —
+/// each stage of the pipeline that the timing-channel verdicts stand on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/TrailExpr.h"
+#include "dataflow/Taint.h"
+#include "interp/Interpreter.h"
+#include "ir/Cfg.h"
+
+#include <cstdio>
+
+using namespace blazer;
+
+static const char *Source = R"(
+// A toy PIN check: compares a public guess against the secret PIN digits,
+// bailing out at the first mismatch (deliberately leaky).
+fn pin_check(public guess: int[], secret pin: int[]) -> bool {
+  var i: int = 0;
+  while (i < guess.length) {
+    if (i >= pin.length) { return false; }
+    if (guess[i] != pin[i]) { return false; }
+    i = i + 1;
+  }
+  return true;
+}
+)";
+
+int main() {
+  BuiltinRegistry Registry = BuiltinRegistry::standard();
+
+  std::printf("=== 1. Source ===\n%s\n", Source);
+
+  Result<CfgFunction> F = compileFunction(Source, "pin_check", Registry);
+  if (!F) {
+    std::fprintf(stderr, "compile error: %s\n", F.diag().str().c_str());
+    return 1;
+  }
+
+  std::printf("=== 2. Lowered CFG (%zu basic blocks) ===\n%s\n",
+              F->blockCount(), F->str().c_str());
+  std::printf("=== 3. Graphviz (pipe into `dot -Tpng`) ===\n%s\n",
+              F->toDot().c_str());
+
+  std::printf("=== 4. Taint analysis (the JOANA substitute) ===\n");
+  TaintInfo Taint = runTaintAnalysis(*F);
+  for (const BasicBlock &B : F->Blocks) {
+    if (B.Term != BasicBlock::TermKind::Branch)
+      continue;
+    TaintMark M = Taint.markOf(B.Id);
+    std::printf("  bb%d  branch on %-28s  -> [%s]\n", B.Id,
+                exprToString(B.Cond).c_str(),
+                M.any() ? M.str().c_str() : "untainted");
+  }
+  std::printf("  (note: the loop counter i is secret-tainted through the\n"
+              "   early returns, so even `i < guess.length` is marked l,h)\n\n");
+
+  std::printf("=== 5. Concrete runs with instruction counting ===\n");
+  InputAssignment In;
+  In.Arrays["pin"] = {1, 2, 3, 4};
+  for (std::vector<int64_t> Guess :
+       {std::vector<int64_t>{9, 9, 9, 9}, {1, 9, 9, 9}, {1, 2, 3, 9},
+        {1, 2, 3, 4}}) {
+    In.Arrays["guess"] = Guess;
+    TraceResult R = runFunction(*F, In);
+    std::printf("  guess=[%lld,%lld,%lld,%lld]  -> %s in %3lld instructions"
+                "  (%zu CFG edges)\n",
+                static_cast<long long>(Guess[0]),
+                static_cast<long long>(Guess[1]),
+                static_cast<long long>(Guess[2]),
+                static_cast<long long>(Guess[3]),
+                R.ReturnValue && *R.ReturnValue ? "accept" : "reject",
+                static_cast<long long>(R.Cost), R.Edges.size());
+  }
+  std::printf("  The running time grows with the matching prefix — the\n"
+              "  leak the timing-channel analysis exists to catch.\n\n");
+
+  std::printf("=== 6. The most general trail as a regex (§4.1) ===\n");
+  EdgeAlphabet A = EdgeAlphabet::forFunction(*F);
+  Dfa Cfg = Dfa::fromCfg(*F, A);
+  TrailExpr::Ptr Regex = dfaToTrailExpr(Cfg.minimize(), 4096);
+  if (Regex)
+    std::printf("%s\n", Regex->str(&A).c_str());
+  return 0;
+}

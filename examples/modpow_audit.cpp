@@ -1,0 +1,57 @@
+//===- modpow_audit.cpp - Auditing modular exponentiation --------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crypto scenario from the STAC benchmarks: audit square-and-multiply
+/// modular exponentiation (the RSA/Diffie-Hellman core that Kocher's 1996
+/// attack targets). Demonstrates configuring the observer model for
+/// crypto-sized inputs — 4096-bit exponents whose *length* is public
+/// knowledge (pinned) while the bits themselves are the secret.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+
+#include <cstdio>
+
+using namespace blazer;
+
+namespace {
+
+void audit(const char *Name, const char *Expectation) {
+  const BenchmarkProgram *B = findBenchmark(Name);
+  CfgFunction F = B->compile();
+
+  // The observer configuration the paper describes in §6.1: concrete
+  // instruction counts, 4096-bit inputs, 25k-instruction threshold.
+  BlazerOptions Opt = B->options();
+
+  std::printf("==== %s ====\n", Name);
+  BlazerResult R = analyzeFunction(F, Opt);
+  std::printf("%s", R.treeString(F).c_str());
+  for (const AttackSpec &Spec : R.Attacks)
+    std::printf("%s\n", Spec.str().c_str());
+  std::printf("expected: %s\n\n", Expectation);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Auditing modular exponentiation for key-dependent timing\n");
+  std::printf("(exponent bit-length pinned at 4096: key size is public;\n"
+              " a mulmod call is summarized as 97 instructions)\n\n");
+
+  audit("modPow1_unsafe",
+        "attack — one-bits pay an extra modular multiply (Kocher 1996)");
+  audit("modPow1_safe",
+        "safe — the dummy multiply balances both bit values");
+  audit("k96_unsafe",
+        "attack — the textbook leaky square-and-multiply");
+  audit("k96_safe", "safe — dummy-balanced variant");
+  audit("modPow2_safe",
+        "safe — Montgomery-ladder style, both arms do identical work");
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- password_audit.cpp - Auditing a password checker ---------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A realistic audit session on the §2/Figure-1 password checker: run the
+/// analysis on the vulnerable version, read the attack specification,
+/// validate it with concrete witness inputs (the step the paper delegates
+/// to a programmer or symbolic execution), then verify the repaired
+/// version.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "core/QuotientCheck.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+using namespace blazer;
+
+namespace {
+
+/// Searches a small input grid for two runs with equal public inputs whose
+/// costs differ — and whose traces follow the two trails of \p Spec.
+void validateAttack(const CfgFunction &F, const BlazerResult &R,
+                    const AttackSpec &Spec) {
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  InputGrid Grid;
+  Grid.IntValues = {0, 1};
+  Grid.ArrayLengths = {0, 2, 3};
+  Grid.ElementValues = {0, 1, 7};
+  std::vector<InputAssignment> Inputs = enumerateInputs(F, Grid);
+
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    TraceResult TA = runFunction(F, Inputs[I]);
+    if (!TA.Ok || !traceInTrail(R.Tree[Spec.TrailA].Auto, A, TA.Edges))
+      continue;
+    for (size_t J = 0; J < Inputs.size(); ++J) {
+      if (!InputAssignment::agreeOn(F, SecurityLevel::Public, Inputs[I],
+                                    Inputs[J]))
+        continue;
+      TraceResult TB = runFunction(F, Inputs[J]);
+      if (!TB.Ok || !traceInTrail(R.Tree[Spec.TrailB].Auto, A, TB.Edges))
+        continue;
+      if (TA.Cost == TB.Cost)
+        continue;
+      std::printf("  witness found:\n");
+      std::printf("    run A %s -> %lld instructions (trail tr%d)\n",
+                  Inputs[I].str().c_str(), static_cast<long long>(TA.Cost),
+                  Spec.TrailA);
+      std::printf("    run B %s -> %lld instructions (trail tr%d)\n",
+                  Inputs[J].str().c_str(), static_cast<long long>(TB.Cost),
+                  Spec.TrailB);
+      std::printf("    equal public inputs, different secrets, different "
+                  "running times: the channel is real.\n");
+      return;
+    }
+  }
+  std::printf("  no concrete witness on the sampled grid\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Auditing login_unsafe (the Tenex-style checker) ===\n\n");
+  const BenchmarkProgram *Bad = findBenchmark("login_unsafe");
+  CfgFunction FBad = Bad->compile();
+  BlazerResult RBad = analyzeFunction(FBad, Bad->options());
+
+  std::printf("%s\n", RBad.treeString(FBad).c_str());
+  if (RBad.Verdict != VerdictKind::Attack) {
+    std::printf("expected an attack specification!\n");
+    return 1;
+  }
+  for (const AttackSpec &Spec : RBad.Attacks) {
+    std::printf("%s\n\n", Spec.str().c_str());
+    std::printf("validating the specification with concrete inputs...\n");
+    validateAttack(FBad, RBad, Spec);
+  }
+
+  std::printf("\n=== Auditing login_safe (the repaired checker) ===\n\n");
+  const BenchmarkProgram *Good = findBenchmark("login_safe");
+  CfgFunction FGood = Good->compile();
+  BlazerResult RGood = analyzeFunction(FGood, Good->options());
+  std::printf("%s\n", RGood.treeString(FGood).c_str());
+
+  if (RGood.Verdict != VerdictKind::Safe) {
+    std::printf("expected a safety proof!\n");
+    return 1;
+  }
+  std::printf("The repaired checker always scans the whole guess: every\n"
+              "partition component's running time is a function of public\n"
+              "inputs only, so by Theorem 3.1 the program is free of\n"
+              "timing channels.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- Analyzer.cpp - Trail-restricted abstract interpreter ---------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace blazer;
+
+Dbm Analyzer::transferBlock(const Dbm &In, int Block) const {
+  Dbm Out = In;
+  for (const Instr &I : F.block(Block).Instrs)
+    Env.transferInstr(Out, I);
+  return Out;
+}
+
+Dbm Analyzer::transferEdge(const Dbm &In, const Edge &E) const {
+  Dbm Out = transferBlock(In, E.From);
+  const BasicBlock &B = F.block(E.From);
+  if (B.Term == BasicBlock::TermKind::Branch) {
+    if (B.TrueSucc == B.FalseSucc)
+      return Out; // Degenerate branch carries no information.
+    bool Positive = E.To == B.TrueSucc;
+    Env.assumeCond(Out, B.Cond, Positive);
+  }
+  return Out;
+}
+
+AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
+  AnalysisResult R;
+  int N = static_cast<int>(G.size());
+  R.EntryState.assign(N, Dbm::bottom(Env.numVars()));
+  R.Feasible.assign(N, false);
+  if (G.empty())
+    return R;
+
+  R.EntryState[G.entry()] = Env.initialState();
+
+  // Widening points: RPO back-edge targets.
+  std::vector<int> RpoIndex(N, -1);
+  for (size_t I = 0; I < G.rpo().size(); ++I)
+    RpoIndex[G.rpo()[I]] = static_cast<int>(I);
+  std::vector<bool> WidenPoint(N, false);
+  for (int Id = 0; Id < N; ++Id)
+    for (const ProductGraph::Arc &A : G.successors(Id))
+      if (RpoIndex[A.To] >= 0 && RpoIndex[Id] >= 0 &&
+          RpoIndex[A.To] <= RpoIndex[Id])
+        WidenPoint[A.To] = true;
+
+  auto JoinOfPreds = [&](int Id) {
+    if (Id == G.entry())
+      return Env.initialState();
+    Dbm Acc = Dbm::bottom(Env.numVars());
+    for (int P : G.predecessors(Id)) {
+      for (const ProductGraph::Arc &A : G.successors(P)) {
+        if (A.To != Id)
+          continue;
+        Dbm Along = transferEdge(R.EntryState[P], A.CfgEdge);
+        Acc.joinWith(Along);
+      }
+    }
+    return Acc;
+  };
+
+  // Ascending phase with widening after a warm-up.
+  constexpr int WideningDelay = 2;
+  std::vector<int> Visits(N, 0);
+  std::deque<int> Work(G.rpo().begin(), G.rpo().end());
+  std::vector<bool> InWork(N, true);
+  while (!Work.empty()) {
+    int Id = Work.front();
+    Work.pop_front();
+    InWork[Id] = false;
+    Dbm NewState = JoinOfPreds(Id);
+    if (WidenPoint[Id] && ++Visits[Id] > WideningDelay) {
+      Dbm Widened = R.EntryState[Id];
+      Widened.widenWith(NewState);
+      NewState = std::move(Widened);
+    }
+    if (NewState.leq(R.EntryState[Id]))
+      continue;
+    NewState.joinWith(R.EntryState[Id]);
+    R.EntryState[Id] = std::move(NewState);
+    for (const ProductGraph::Arc &A : G.successors(Id))
+      if (!InWork[A.To]) {
+        InWork[A.To] = true;
+        Work.push_back(A.To);
+      }
+  }
+
+  // Descending refinement: a couple of plain recomputation sweeps tighten
+  // the widened states (sound: each recomputation stays above the least
+  // fixpoint because the inputs do).
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (int Id : G.rpo()) {
+      Dbm NewState = JoinOfPreds(Id);
+      // Only accept refinements.
+      if (NewState.leq(R.EntryState[Id]))
+        R.EntryState[Id] = std::move(NewState);
+    }
+  }
+
+  for (int Id = 0; Id < N; ++Id)
+    R.Feasible[Id] = !R.EntryState[Id].isBottom();
+  return R;
+}

@@ -1,0 +1,59 @@
+//===- Analyzer.h - Trail-restricted abstract interpreter -------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract interpreter: a worklist fixpoint over the product graph
+/// (CFG x trail DFA) in the zone domain, with widening at loop heads and a
+/// descending refinement pass. This is the "standard abstract interpreter
+/// equipped with a trail oracle" of §5; its invariants feed the bound
+/// analysis and decide trail feasibility (infeasible trails — like the
+/// vulnerable-looking one in loopAndBranch — come back bottom).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_ANALYZER_H
+#define BLAZER_ABSINT_ANALYZER_H
+
+#include "absint/Dbm.h"
+#include "absint/ProductGraph.h"
+#include "absint/VarEnv.h"
+
+#include <vector>
+
+namespace blazer {
+
+/// Per-product-node invariants (at block entry).
+struct AnalysisResult {
+  std::vector<Dbm> EntryState;
+  /// True when the node's entry state is non-bottom, i.e. some concrete
+  /// execution compatible with the trail may reach it.
+  std::vector<bool> Feasible;
+};
+
+/// Runs the zone analysis over \p G.
+class Analyzer {
+public:
+  Analyzer(const CfgFunction &F, const VarEnv &Env) : F(F), Env(Env) {}
+
+  AnalysisResult analyze(const ProductGraph &G) const;
+
+  /// Abstract execution of \p Block's instructions on \p In (terminator
+  /// condition not yet applied).
+  Dbm transferBlock(const Dbm &In, int Block) const;
+
+  /// Abstract state propagated along CFG edge \p E starting from the entry
+  /// state \p In of block E.From: runs the block body, then assumes the
+  /// branch condition for the side E takes.
+  Dbm transferEdge(const Dbm &In, const Edge &E) const;
+
+private:
+  const CfgFunction &F;
+  const VarEnv &Env;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_ANALYZER_H

@@ -1,0 +1,238 @@
+//===- Dbm.cpp - Difference-bound-matrix (zone) abstract domain -----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Dbm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace blazer;
+
+Dbm::Dbm(int NumVars) : N(NumVars + 1) {
+  M.assign(static_cast<size_t>(N) * N, Inf);
+  for (int I = 0; I < N; ++I)
+    at(I, I) = 0;
+}
+
+Dbm Dbm::top(int NumVars) { return Dbm(NumVars); }
+
+Dbm Dbm::bottom(int NumVars) {
+  Dbm D(NumVars);
+  D.setBottom();
+  return D;
+}
+
+void Dbm::setBottom() {
+  Bottom = true;
+  // Canonical bottom: keep the matrix irrelevant but consistent.
+}
+
+int64_t Dbm::bound(int I, int J) const {
+  assert(I >= 0 && I < N && J >= 0 && J < N && "index out of range");
+  return at(I, J);
+}
+
+void Dbm::addConstraint(int I, int J, int64_t C) {
+  assert(I != J && "self difference is always 0");
+  if (Bottom)
+    return;
+  if (C >= at(I, J))
+    return; // Not tighter.
+  at(I, J) = C;
+  close();
+}
+
+std::optional<int64_t> Dbm::lowerOf(int V) const {
+  // 0 - v <= c  means  v >= -c.
+  int64_t C = at(0, V);
+  if (C == Inf)
+    return std::nullopt;
+  return -C;
+}
+
+std::optional<int64_t> Dbm::upperOfOpt(int V) const {
+  int64_t C = at(V, 0);
+  if (C == Inf)
+    return std::nullopt;
+  return C;
+}
+
+std::optional<int64_t> Dbm::exactDifference(int I, int J) const {
+  if (Bottom)
+    return std::nullopt;
+  int64_t Hi = at(I, J);
+  int64_t Lo = at(J, I);
+  if (Hi == Inf || Lo == Inf || Hi != -Lo)
+    return std::nullopt;
+  return Hi;
+}
+
+void Dbm::forget(int V) {
+  assert(V > 0 && V < N && "cannot forget the zero variable");
+  if (Bottom)
+    return;
+  // The matrix is closed, so dropping V's row and column loses no
+  // information about the other variables.
+  for (int I = 0; I < N; ++I) {
+    at(V, I) = Inf;
+    at(I, V) = Inf;
+  }
+  at(V, V) = 0;
+}
+
+void Dbm::assignConst(int V, int64_t C) {
+  if (Bottom)
+    return;
+  forget(V);
+  at(V, 0) = C;
+  at(0, V) = -C;
+  close();
+}
+
+void Dbm::assignVarPlus(int V, int W, int64_t C) {
+  if (Bottom)
+    return;
+  if (V == W) {
+    // v := v + c: translate all of v's constraints.
+    for (int I = 0; I < N; ++I) {
+      if (I == V)
+        continue;
+      if (at(V, I) != Inf)
+        at(V, I) = addSat(at(V, I), C);
+      if (at(I, V) != Inf)
+        at(I, V) = addSat(at(I, V), -C);
+    }
+    return; // Still closed: a translation preserves closure.
+  }
+  forget(V);
+  at(V, W) = C;
+  at(W, V) = -C;
+  close();
+}
+
+void Dbm::assignBoolUnknown(int V) {
+  if (Bottom)
+    return;
+  forget(V);
+  at(V, 0) = 1;  // v <= 1
+  at(0, V) = 0;  // v >= 0
+  close();
+}
+
+void Dbm::joinWith(const Dbm &RHS) {
+  assert(N == RHS.N && "dimension mismatch");
+  if (RHS.Bottom)
+    return;
+  if (Bottom) {
+    *this = RHS;
+    return;
+  }
+  for (size_t I = 0; I < M.size(); ++I)
+    M[I] = std::max(M[I], RHS.M[I]);
+  // Pointwise max of closed matrices is closed.
+}
+
+void Dbm::meetWith(const Dbm &RHS) {
+  assert(N == RHS.N && "dimension mismatch");
+  if (Bottom)
+    return;
+  if (RHS.Bottom) {
+    setBottom();
+    return;
+  }
+  for (size_t I = 0; I < M.size(); ++I)
+    M[I] = std::min(M[I], RHS.M[I]);
+  close();
+}
+
+void Dbm::widenWith(const Dbm &RHS) {
+  assert(N == RHS.N && "dimension mismatch");
+  if (RHS.Bottom)
+    return;
+  if (Bottom) {
+    *this = RHS;
+    return;
+  }
+  for (size_t I = 0; I < M.size(); ++I)
+    if (RHS.M[I] > M[I])
+      M[I] = Inf;
+  // Deliberately not re-closed: closing after widening can defeat
+  // convergence.
+}
+
+bool Dbm::leq(const Dbm &RHS) const {
+  assert(N == RHS.N && "dimension mismatch");
+  if (Bottom)
+    return true;
+  if (RHS.Bottom)
+    return false;
+  for (size_t I = 0; I < M.size(); ++I)
+    if (M[I] > RHS.M[I])
+      return false;
+  return true;
+}
+
+bool Dbm::equals(const Dbm &RHS) const {
+  if (Bottom || RHS.Bottom)
+    return Bottom == RHS.Bottom;
+  return M == RHS.M;
+}
+
+void Dbm::close() {
+  if (Bottom)
+    return;
+  for (int K = 0; K < N; ++K)
+    for (int I = 0; I < N; ++I) {
+      int64_t IK = at(I, K);
+      if (IK == Inf)
+        continue;
+      for (int J = 0; J < N; ++J) {
+        int64_t KJ = at(K, J);
+        if (KJ == Inf)
+          continue;
+        int64_t Via = IK + KJ;
+        if (Via < at(I, J))
+          at(I, J) = Via;
+      }
+    }
+  for (int I = 0; I < N; ++I)
+    if (at(I, I) < 0) {
+      setBottom();
+      return;
+    }
+}
+
+std::string Dbm::str(const std::vector<std::string> &Names) const {
+  if (Bottom)
+    return "<bottom>";
+  auto Name = [&](int I) -> std::string {
+    if (I == 0)
+      return "0";
+    if (I - 1 < static_cast<int>(Names.size()))
+      return Names[I - 1];
+    return "v" + std::to_string(I);
+  };
+  std::ostringstream OS;
+  bool First = true;
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J) {
+      if (I == J || at(I, J) == Inf)
+        continue;
+      if (!First)
+        OS << ", ";
+      First = false;
+      if (J == 0)
+        OS << Name(I) << " <= " << at(I, J);
+      else if (I == 0)
+        OS << Name(J) << " >= " << -at(I, J);
+      else
+        OS << Name(I) << " - " << Name(J) << " <= " << at(I, J);
+    }
+  if (First)
+    return "<top>";
+  return OS.str();
+}

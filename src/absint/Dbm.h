@@ -1,0 +1,104 @@
+//===- Dbm.h - Difference-bound-matrix (zone) abstract domain ---*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relational numeric domain that substitutes for PPL (§5): zones,
+/// represented as difference-bound matrices. A zone over variables
+/// v1..vn (plus the special zero variable Z at index 0) stores upper bounds
+/// on all differences vi - vj; that is enough to express the invariants the
+/// paper's benchmarks need (e.g. i >= 0, i - guess.len <= -1) and supports
+/// the usual lattice and transfer operations with widening.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_DBM_H
+#define BLAZER_ABSINT_DBM_H
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// A closed zone (or bottom). Index 0 is the constant-zero variable; client
+/// variables use indices 1..N. The matrix entry M[i][j] bounds vi - vj.
+class Dbm {
+public:
+  /// The +infinity sentinel for absent constraints.
+  static constexpr int64_t Inf = std::numeric_limits<int64_t>::max();
+
+  /// Top over \p NumVars client variables.
+  static Dbm top(int NumVars);
+  /// Bottom (unreachable) over \p NumVars client variables.
+  static Dbm bottom(int NumVars);
+
+  int numVars() const { return N - 1; }
+  bool isBottom() const { return Bottom; }
+
+  /// Raw bound on vi - vj (indices include 0 = zero var).
+  int64_t bound(int I, int J) const;
+
+  /// Constrains vi - vj <= C and re-closes; may become bottom.
+  void addConstraint(int I, int J, int64_t C);
+
+  /// Upper bound of variable \p V (Inf when unbounded).
+  int64_t upperOf(int V) const { return bound(V, 0); }
+  /// Lower bound of variable \p V (-Inf encoded as Inf on the (0,V) entry;
+  /// use hasLowerOf/lowerOf).
+  std::optional<int64_t> lowerOf(int V) const;
+  std::optional<int64_t> upperOfOpt(int V) const;
+
+  /// \returns c when the zone entails vi - vj == c exactly.
+  std::optional<int64_t> exactDifference(int I, int J) const;
+
+  /// Removes all knowledge about variable \p V.
+  void forget(int V);
+
+  /// v := c.
+  void assignConst(int V, int64_t C);
+  /// v := w + c (W may equal V).
+  void assignVarPlus(int V, int W, int64_t C);
+  /// v := [0,1] (result of an unmodeled boolean computation).
+  void assignBoolUnknown(int V);
+
+  /// Lattice operations; operands must have equal dimensions.
+  void joinWith(const Dbm &RHS);
+  void meetWith(const Dbm &RHS);
+  /// Standard DBM widening: drops unstable constraints to infinity.
+  void widenWith(const Dbm &RHS);
+  /// Partial-order test (this included in RHS).
+  bool leq(const Dbm &RHS) const;
+  bool equals(const Dbm &RHS) const;
+
+  /// Renders the non-trivial constraints using \p Names (index 1..N-1).
+  std::string str(const std::vector<std::string> &Names) const;
+
+private:
+  explicit Dbm(int NumVars);
+
+  /// Floyd-Warshall closure; sets Bottom on a negative cycle.
+  void close();
+  void setBottom();
+
+  int N = 1; ///< Matrix dimension (numVars + 1).
+  bool Bottom = false;
+  std::vector<int64_t> M; ///< Row-major N x N.
+
+  int64_t &at(int I, int J) { return M[static_cast<size_t>(I) * N + J]; }
+  int64_t at(int I, int J) const { return M[static_cast<size_t>(I) * N + J]; }
+
+  static int64_t addSat(int64_t A, int64_t B) {
+    if (A == Inf || B == Inf)
+      return Inf;
+    return A + B;
+  }
+};
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_DBM_H

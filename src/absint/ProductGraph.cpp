@@ -1,0 +1,140 @@
+//===- ProductGraph.cpp - CFG x trail-DFA product graph -------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/ProductGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace blazer;
+
+int ProductGraph::indexOf(int Block, int State) const {
+  auto It = Index.find({Block, State});
+  return It == Index.end() ? -1 : It->second;
+}
+
+ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
+                                 const EdgeAlphabet &A) {
+  std::vector<bool> Live = D.liveStates();
+
+  // Phase 1: forward exploration from (entry, start) over DFA-live states.
+  struct Raw {
+    Node N;
+    std::vector<std::pair<int, Edge>> Succ; ///< (raw succ id, edge).
+  };
+  std::map<std::pair<int, int>, int> RawIndex;
+  std::vector<Raw> Raws;
+  std::deque<int> Work;
+
+  auto Intern = [&](int Block, int State) -> int {
+    auto [It, New] = RawIndex.try_emplace({Block, State},
+                                          static_cast<int>(Raws.size()));
+    if (New) {
+      Raws.push_back(Raw{Node{Block, State}, {}});
+      Work.push_back(It->second);
+    }
+    return It->second;
+  };
+
+  ProductGraph G;
+  if (!Live[D.start()])
+    return G; // Trail language empty.
+  Intern(F.Entry, D.start());
+  while (!Work.empty()) {
+    int Id = Work.front();
+    Work.pop_front();
+    Node N = Raws[Id].N;
+    for (int SuccBlock : F.block(N.Block).successors()) {
+      Edge E{N.Block, SuccBlock};
+      int Sym = A.symbolOrNone(E);
+      if (Sym < 0)
+        continue;
+      int NextState = D.next(N.State, Sym);
+      if (!Live[NextState])
+        continue;
+      int SuccId = Intern(SuccBlock, NextState);
+      Raws[Id].Succ.push_back({SuccId, E});
+    }
+  }
+
+  // Phase 2: keep only nodes that can reach an accepting exit node.
+  std::vector<std::vector<int>> RawPreds(Raws.size());
+  for (size_t Id = 0; Id < Raws.size(); ++Id)
+    for (const auto &[S, E] : Raws[Id].Succ) {
+      (void)E;
+      RawPreds[S].push_back(static_cast<int>(Id));
+    }
+  std::vector<bool> Keep(Raws.size(), false);
+  std::deque<int> Back;
+  for (size_t Id = 0; Id < Raws.size(); ++Id)
+    if (Raws[Id].N.Block == F.Exit && D.accepting(Raws[Id].N.State)) {
+      Keep[Id] = true;
+      Back.push_back(static_cast<int>(Id));
+    }
+  while (!Back.empty()) {
+    int Id = Back.front();
+    Back.pop_front();
+    for (int P : RawPreds[Id])
+      if (!Keep[P]) {
+        Keep[P] = true;
+        Back.push_back(P);
+      }
+  }
+  int RawEntry = RawIndex.count({F.Entry, D.start()})
+                     ? RawIndex[{F.Entry, D.start()}]
+                     : -1;
+  if (RawEntry < 0 || !Keep[RawEntry])
+    return G; // No complete trace survives the trail restriction.
+
+  // Renumber survivors.
+  std::vector<int> Remap(Raws.size(), -1);
+  for (size_t Id = 0; Id < Raws.size(); ++Id) {
+    if (!Keep[Id])
+      continue;
+    Remap[Id] = static_cast<int>(G.Nodes.size());
+    G.Nodes.push_back(Raws[Id].N);
+    G.Index[{Raws[Id].N.Block, Raws[Id].N.State}] = Remap[Id];
+  }
+  G.Succs.resize(G.Nodes.size());
+  G.Preds.resize(G.Nodes.size());
+  for (size_t Id = 0; Id < Raws.size(); ++Id) {
+    if (!Keep[Id])
+      continue;
+    for (const auto &[S, E] : Raws[Id].Succ) {
+      if (!Keep[S])
+        continue;
+      G.Succs[Remap[Id]].push_back(Arc{Remap[S], E});
+      G.Preds[Remap[S]].push_back(Remap[Id]);
+    }
+  }
+  G.Entry = Remap[RawEntry];
+  for (size_t Id = 0; Id < Raws.size(); ++Id)
+    if (Keep[Id] && Raws[Id].N.Block == F.Exit &&
+        D.accepting(Raws[Id].N.State))
+      G.Accepts.push_back(Remap[Id]);
+
+  // Reverse postorder.
+  std::vector<bool> Seen(G.Nodes.size(), false);
+  std::vector<std::pair<int, size_t>> Stack{{G.Entry, 0}};
+  Seen[G.Entry] = true;
+  std::vector<int> Post;
+  while (!Stack.empty()) {
+    auto &[N, I] = Stack.back();
+    if (I < G.Succs[N].size()) {
+      int S = G.Succs[N][I++].To;
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    Post.push_back(N);
+    Stack.pop_back();
+  }
+  G.Rpo.assign(Post.rbegin(), Post.rend());
+  return G;
+}

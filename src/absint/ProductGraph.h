@@ -1,0 +1,70 @@
+//===- ProductGraph.h - CFG x trail-DFA product graph -----------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product of the CFG with a trail's DFA — the "oracle" of §5 that
+/// restricts the abstract interpreter (and the bound analysis) to the paths
+/// a trail describes. Nodes are (block, dfa-state) pairs reachable from the
+/// initial pair that can still complete to an accepted trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_PRODUCTGRAPH_H
+#define BLAZER_ABSINT_PRODUCTGRAPH_H
+
+#include "automata/Automaton.h"
+#include "ir/Cfg.h"
+
+#include <map>
+#include <vector>
+
+namespace blazer {
+
+/// The trimmed product graph.
+class ProductGraph {
+public:
+  struct Node {
+    int Block = -1;
+    int State = -1; ///< DFA state.
+  };
+  struct Arc {
+    int To = -1;  ///< Target node id.
+    Edge CfgEdge; ///< The underlying CFG edge.
+  };
+
+  /// Builds the product of \p F and trail automaton \p D over alphabet
+  /// \p A. The result is empty() when the trail admits no complete trace
+  /// path through the CFG.
+  static ProductGraph build(const CfgFunction &F, const Dfa &D,
+                            const EdgeAlphabet &A);
+
+  bool empty() const { return Nodes.empty(); }
+  size_t size() const { return Nodes.size(); }
+  const Node &node(int Id) const { return Nodes[Id]; }
+  const std::vector<Arc> &successors(int Id) const { return Succs[Id]; }
+  const std::vector<int> &predecessors(int Id) const { return Preds[Id]; }
+  int entry() const { return Entry; }
+  const std::vector<int> &accepts() const { return Accepts; }
+
+  /// Node id for (block, state), or -1.
+  int indexOf(int Block, int State) const;
+
+  /// Ids in a fixed reverse-postorder from the entry.
+  const std::vector<int> &rpo() const { return Rpo; }
+
+private:
+  std::vector<Node> Nodes;
+  std::vector<std::vector<Arc>> Succs;
+  std::vector<std::vector<int>> Preds;
+  std::map<std::pair<int, int>, int> Index;
+  std::vector<int> Rpo;
+  int Entry = -1;
+  std::vector<int> Accepts;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_PRODUCTGRAPH_H

@@ -1,0 +1,464 @@
+//===- VarEnv.cpp - Variable environment for the zone domain --------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/VarEnv.h"
+#include "dataflow/Taint.h" // lengthSymbol
+
+#include <cassert>
+
+using namespace blazer;
+
+VarEnv::VarEnv(const CfgFunction &Fn, std::map<std::string, int64_t> InputPins)
+    : F(Fn), Pins(std::move(InputPins)) {
+  auto Register = [&](const std::string &Name, bool IsInput) {
+    if (IndexMap.count(Name))
+      return;
+    Names.push_back(Name);
+    InputSymbol.push_back(IsInput);
+    IndexMap[Name] = static_cast<int>(Names.size()); // 1-based.
+  };
+
+  for (const auto &[Name, Type] : F.VarTypes) {
+    if (Type == TypeKind::IntArray) {
+      Register(lengthSymbol(Name), /*IsInput=*/true);
+      continue;
+    }
+    Register(Name, /*IsInput=*/false);
+  }
+  for (const Param &P : F.Params)
+    if (P.Type != TypeKind::IntArray)
+      Register(P.Name + "#in", /*IsInput=*/true);
+}
+
+int VarEnv::indexOf(const std::string &Name) const {
+  auto It = IndexMap.find(Name);
+  return It == IndexMap.end() ? -1 : It->second;
+}
+
+std::string VarEnv::displaySymbol(int I) const {
+  const std::string &Name = nameOf(I);
+  size_t Pos = Name.rfind("#in");
+  if (Pos != std::string::npos && Pos + 3 == Name.size())
+    return Name.substr(0, Pos);
+  return Name;
+}
+
+Dbm VarEnv::initialState() const {
+  Dbm D = Dbm::top(numVars());
+  for (const Param &P : F.Params) {
+    if (P.Type == TypeKind::IntArray) {
+      int Len = indexOf(lengthSymbol(P.Name));
+      assert(Len > 0 && "length var must exist");
+      D.addConstraint(0, Len, 0); // len >= 0
+      continue;
+    }
+    int V = indexOf(P.Name);
+    int In = indexOf(P.Name + "#in");
+    assert(V > 0 && In > 0 && "param vars must exist");
+    D.addConstraint(V, In, 0);
+    D.addConstraint(In, V, 0); // v == v#in at entry.
+    if (P.Type == TypeKind::Bool) {
+      D.addConstraint(In, 0, 1);  // in <= 1
+      D.addConstraint(0, In, 0);  // in >= 0
+    }
+  }
+  // Pinned input symbols (publicly known quantities like key sizes) take
+  // their fixed value; trails contradicting a pin become infeasible.
+  for (int I = 1; I <= numVars(); ++I) {
+    if (!isInputSymbol(I))
+      continue;
+    auto It = Pins.find(displaySymbol(I));
+    if (It == Pins.end())
+      continue;
+    D.addConstraint(I, 0, It->second);
+    D.addConstraint(0, I, -It->second);
+  }
+  // Array locals (rare) have length zero.
+  for (const auto &[Name, Type] : F.VarTypes) {
+    if (Type != TypeKind::IntArray)
+      continue;
+    bool IsParam = false;
+    for (const Param &P : F.Params)
+      if (P.Name == Name)
+        IsParam = true;
+    if (!IsParam) {
+      int Len = indexOf(lengthSymbol(Name));
+      D.addConstraint(Len, 0, 0);
+      D.addConstraint(0, Len, 0);
+    }
+  }
+  return D;
+}
+
+std::optional<LinForm> VarEnv::parseLinear(const Expr *E) const {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit: {
+    LinForm L;
+    L.Const = cast<IntLitExpr>(E)->Value;
+    return L;
+  }
+  case Expr::Kind::BoolLit: {
+    LinForm L;
+    L.Const = cast<BoolLitExpr>(E)->Value ? 1 : 0;
+    return L;
+  }
+  case Expr::Kind::VarRef: {
+    int V = indexOf(cast<VarRefExpr>(E)->Name);
+    if (V < 0)
+      return std::nullopt;
+    LinForm L;
+    L.add(V, 1);
+    return L;
+  }
+  case Expr::Kind::ArrayLength: {
+    int V = indexOf(lengthSymbol(cast<ArrayLengthExpr>(E)->Array));
+    if (V < 0)
+      return std::nullopt;
+    LinForm L;
+    L.add(V, 1);
+    return L;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->Op != UnaryOp::Neg)
+      return std::nullopt;
+    auto Sub = parseLinear(U->Sub.get());
+    if (!Sub)
+      return std::nullopt;
+    LinForm L;
+    L.Const = -Sub->Const;
+    for (const auto &[V, C] : Sub->Coeffs)
+      L.add(V, -C);
+    return L;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->Op == BinaryOp::Add || B->Op == BinaryOp::Sub) {
+      auto L = parseLinear(B->Lhs.get());
+      auto R = parseLinear(B->Rhs.get());
+      if (!L || !R)
+        return std::nullopt;
+      int64_t Sign = B->Op == BinaryOp::Add ? 1 : -1;
+      L->Const += Sign * R->Const;
+      for (const auto &[V, C] : R->Coeffs)
+        L->add(V, Sign * C);
+      return L;
+    }
+    if (B->Op == BinaryOp::Mul) {
+      auto L = parseLinear(B->Lhs.get());
+      auto R = parseLinear(B->Rhs.get());
+      if (!L || !R)
+        return std::nullopt;
+      // One side must be constant.
+      if (!L->Coeffs.empty() && !R->Coeffs.empty())
+        return std::nullopt;
+      const LinForm &VarSide = L->Coeffs.empty() ? *R : *L;
+      int64_t K = L->Coeffs.empty() ? L->Const : R->Const;
+      LinForm Out;
+      Out.Const = VarSide.Const * K;
+      for (const auto &[V, C] : VarSide.Coeffs)
+        Out.add(V, C * K);
+      return Out;
+    }
+    return std::nullopt;
+  }
+  case Expr::Kind::ArrayIndex:
+  case Expr::Kind::Call:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> VarEnv::evalUpper(const Dbm &D,
+                                         const LinForm &F_) const {
+  // Two-variable difference form x - y + c: the zone stores its bound
+  // directly, which is often much tighter than combining intervals.
+  if (F_.Coeffs.size() == 2) {
+    auto It = F_.Coeffs.begin();
+    auto [V1, C1] = *It++;
+    auto [V2, C2] = *It;
+    int X = -1, Y = -1;
+    if (C1 == 1 && C2 == -1) {
+      X = V1;
+      Y = V2;
+    } else if (C1 == -1 && C2 == 1) {
+      X = V2;
+      Y = V1;
+    }
+    if (X >= 0 && D.bound(X, Y) != Dbm::Inf)
+      return D.bound(X, Y) + F_.Const;
+  }
+  int64_t Sum = F_.Const;
+  for (const auto &[V, C] : F_.Coeffs) {
+    if (C > 0) {
+      auto Hi = D.upperOfOpt(V);
+      if (!Hi)
+        return std::nullopt;
+      Sum += C * *Hi;
+    } else {
+      auto Lo = D.lowerOf(V);
+      if (!Lo)
+        return std::nullopt;
+      Sum += C * *Lo;
+    }
+  }
+  return Sum;
+}
+
+std::optional<int64_t> VarEnv::evalLower(const Dbm &D,
+                                         const LinForm &F_) const {
+  // Two-variable difference form: lower(x - y) = -upper(y - x).
+  if (F_.Coeffs.size() == 2) {
+    auto It = F_.Coeffs.begin();
+    auto [V1, C1] = *It++;
+    auto [V2, C2] = *It;
+    int X = -1, Y = -1;
+    if (C1 == 1 && C2 == -1) {
+      X = V1;
+      Y = V2;
+    } else if (C1 == -1 && C2 == 1) {
+      X = V2;
+      Y = V1;
+    }
+    if (X >= 0 && D.bound(Y, X) != Dbm::Inf)
+      return -D.bound(Y, X) + F_.Const;
+  }
+  int64_t Sum = F_.Const;
+  for (const auto &[V, C] : F_.Coeffs) {
+    if (C > 0) {
+      auto Lo = D.lowerOf(V);
+      if (!Lo)
+        return std::nullopt;
+      Sum += C * *Lo;
+    } else {
+      auto Hi = D.upperOfOpt(V);
+      if (!Hi)
+        return std::nullopt;
+      Sum += C * *Hi;
+    }
+  }
+  return Sum;
+}
+
+void VarEnv::transferInstr(Dbm &D, const Instr &I) const {
+  if (D.isBottom())
+    return;
+  switch (I.K) {
+  case Instr::Kind::ArrayStore:
+  case Instr::Kind::CallStmt:
+  case Instr::Kind::Nop:
+    return; // No scalar state change.
+  case Instr::Kind::Assign:
+    break;
+  }
+  int V = indexOf(I.Dest);
+  if (V < 0)
+    return; // Array declaration placeholder.
+
+  if (!I.Value) {
+    D.assignConst(V, 0); // Default initialization.
+    return;
+  }
+  if (auto L = parseLinear(I.Value)) {
+    if (L->Coeffs.empty()) {
+      D.assignConst(V, L->Const);
+      return;
+    }
+    if (L->Coeffs.size() == 1 && L->Coeffs.begin()->second == 1) {
+      D.assignVarPlus(V, L->Coeffs.begin()->first, L->Const);
+      return;
+    }
+    // General linear form: fall back to interval bounds computed before the
+    // target is clobbered.
+    auto Hi = evalUpper(D, *L);
+    auto Lo = evalLower(D, *L);
+    D.forget(V);
+    if (Hi)
+      D.addConstraint(V, 0, *Hi);
+    if (Lo)
+      D.addConstraint(0, V, -*Lo);
+    return;
+  }
+  // Unmodeled right-hand side.
+  auto TypeIt = F.VarTypes.find(I.Dest);
+  if (TypeIt != F.VarTypes.end() && TypeIt->second == TypeKind::Bool) {
+    D.assignBoolUnknown(V);
+    return;
+  }
+  D.forget(V);
+}
+
+void VarEnv::applyLeqZero(Dbm &D, const LinForm &L) const {
+  // Express "L <= 0" as a zone constraint when L has shape
+  // x - y + c, x + c, or -x + c.
+  if (L.Coeffs.empty()) {
+    if (L.Const > 0)
+      D.meetWith(Dbm::bottom(numVars())); // Contradiction.
+    return;
+  }
+  if (L.Coeffs.size() == 1) {
+    auto [V, C] = *L.Coeffs.begin();
+    if (C == 1) {
+      D.addConstraint(V, 0, -L.Const); // v <= -const
+      return;
+    }
+    if (C == -1) {
+      D.addConstraint(0, V, -L.Const); // -v <= -const, i.e. v >= const
+      return;
+    }
+    return;
+  }
+  if (L.Coeffs.size() == 2) {
+    auto It = L.Coeffs.begin();
+    auto [V1, C1] = *It++;
+    auto [V2, C2] = *It;
+    if (C1 == 1 && C2 == -1) {
+      D.addConstraint(V1, V2, -L.Const);
+      return;
+    }
+    if (C1 == -1 && C2 == 1) {
+      D.addConstraint(V2, V1, -L.Const);
+      return;
+    }
+  }
+  // Wider forms are ignored (sound over-approximation).
+}
+
+void VarEnv::assumeCond(Dbm &D, const Expr *Cond, bool Positive) const {
+  if (!Cond || D.isBottom())
+    return;
+  switch (Cond->kind()) {
+  case Expr::Kind::BoolLit: {
+    bool Holds = cast<BoolLitExpr>(Cond)->Value == Positive;
+    if (!Holds)
+      D.meetWith(Dbm::bottom(numVars()));
+    return;
+  }
+  case Expr::Kind::VarRef: {
+    int V = indexOf(cast<VarRefExpr>(Cond)->Name);
+    if (V < 0)
+      return;
+    if (Positive)
+      D.addConstraint(0, V, -1); // v >= 1
+    else
+      D.addConstraint(V, 0, 0); // v <= 0
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(Cond);
+    if (U->Op == UnaryOp::Not)
+      assumeCond(D, U->Sub.get(), !Positive);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(Cond);
+    switch (B->Op) {
+    case BinaryOp::And:
+      if (Positive) {
+        assumeCond(D, B->Lhs.get(), true);
+        assumeCond(D, B->Rhs.get(), true);
+      } else {
+        // !(a && b) == !a || !b: join of the two refinements.
+        Dbm D1 = D;
+        assumeCond(D1, B->Lhs.get(), false);
+        Dbm D2 = D;
+        assumeCond(D2, B->Rhs.get(), false);
+        D1.joinWith(D2);
+        D = std::move(D1);
+      }
+      return;
+    case BinaryOp::Or:
+      if (Positive) {
+        Dbm D1 = D;
+        assumeCond(D1, B->Lhs.get(), true);
+        Dbm D2 = D;
+        assumeCond(D2, B->Rhs.get(), true);
+        D1.joinWith(D2);
+        D = std::move(D1);
+      } else {
+        assumeCond(D, B->Lhs.get(), false);
+        assumeCond(D, B->Rhs.get(), false);
+      }
+      return;
+    default:
+      break;
+    }
+    // Comparison atom: build L - R and apply.
+    auto L = parseLinear(B->Lhs.get());
+    auto R = parseLinear(B->Rhs.get());
+    if (!L || !R)
+      return;
+    LinForm Diff = *L;
+    Diff.Const -= R->Const;
+    for (const auto &[V, C] : R->Coeffs)
+      Diff.add(V, -C);
+
+    BinaryOp Op = B->Op;
+    if (!Positive) {
+      // Negate the comparison.
+      switch (Op) {
+      case BinaryOp::Lt:
+        Op = BinaryOp::Ge;
+        break;
+      case BinaryOp::Le:
+        Op = BinaryOp::Gt;
+        break;
+      case BinaryOp::Gt:
+        Op = BinaryOp::Le;
+        break;
+      case BinaryOp::Ge:
+        Op = BinaryOp::Lt;
+        break;
+      case BinaryOp::Eq:
+        Op = BinaryOp::Ne;
+        break;
+      case BinaryOp::Ne:
+        Op = BinaryOp::Eq;
+        break;
+      default:
+        return;
+      }
+    }
+    auto Negated = [&]() {
+      LinForm N;
+      N.Const = -Diff.Const;
+      for (const auto &[V, C] : Diff.Coeffs)
+        N.add(V, -C);
+      return N;
+    };
+    switch (Op) {
+    case BinaryOp::Lt: { // L - R < 0  ==  L - R + 1 <= 0
+      LinForm G = Diff;
+      G.Const += 1;
+      applyLeqZero(D, G);
+      return;
+    }
+    case BinaryOp::Le:
+      applyLeqZero(D, Diff);
+      return;
+    case BinaryOp::Gt: { // R - L + 1 <= 0
+      LinForm G = Negated();
+      G.Const += 1;
+      applyLeqZero(D, G);
+      return;
+    }
+    case BinaryOp::Ge:
+      applyLeqZero(D, Negated());
+      return;
+    case BinaryOp::Eq:
+      applyLeqZero(D, Diff);
+      applyLeqZero(D, Negated());
+      return;
+    case BinaryOp::Ne:
+      return; // Disequality is not a zone constraint; ignore.
+    default:
+      return;
+    }
+  }
+  default:
+    return;
+  }
+}

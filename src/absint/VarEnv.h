@@ -1,0 +1,117 @@
+//===- VarEnv.h - Variable environment for the zone domain ------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps a function's scalars onto DBM indices and implements the abstract
+/// transfer functions (assignments and branch assumptions) of the abstract
+/// interpreter.
+///
+/// Besides the program variables, the environment carries two kinds of
+/// pseudo-variables:
+///  - "<param>#in": an immutable copy of each scalar parameter's input
+///    value (the *seeding* of Berdine et al. [10] that the paper leverages
+///    to compute transition invariants — bounds are expressed against these
+///    pinned seeds even when the program overwrites the parameter);
+///  - "<array>.len": the (immutable) length of each array, the symbolic
+///    quantity bounds like 23*g.len + 10 are stated over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_VARENV_H
+#define BLAZER_ABSINT_VARENV_H
+
+#include "absint/Dbm.h"
+#include "ir/Cfg.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// A linear combination of DBM variables plus a constant, used to translate
+/// expressions into zone constraints.
+struct LinForm {
+  std::map<int, int64_t> Coeffs; ///< DBM index -> coefficient (no zeros).
+  int64_t Const = 0;
+
+  void add(int Var, int64_t C) {
+    if (Var < 0) {
+      Const += C;
+      return;
+    }
+    auto It = Coeffs.find(Var);
+    if (It == Coeffs.end()) {
+      if (C != 0)
+        Coeffs[Var] = C;
+      return;
+    }
+    It->second += C;
+    if (It->second == 0)
+      Coeffs.erase(It);
+  }
+};
+
+/// The per-function variable numbering plus transfer functions.
+class VarEnv {
+public:
+  /// \p InputPins fixes the value of input symbols (by display name, e.g.
+  /// "exponent.len") in the initial abstract state — used for publicly
+  /// known quantities such as crypto key sizes.
+  explicit VarEnv(const CfgFunction &F,
+                  std::map<std::string, int64_t> InputPins = {});
+
+  int numVars() const { return static_cast<int>(Names.size()); }
+  /// DBM index (1-based; 0 is the zero variable) or -1.
+  int indexOf(const std::string &Name) const;
+  /// Name of DBM index \p I (I >= 1).
+  const std::string &nameOf(int I) const { return Names[I - 1]; }
+  const std::vector<std::string> &names() const { return Names; }
+
+  /// \returns true when \p I denotes an immutable input symbol (a "#in"
+  /// parameter seed or an array length).
+  bool isInputSymbol(int I) const { return InputSymbol[I - 1]; }
+
+  /// Display name used in cost polynomials: "p#in" renders as "p",
+  /// "a.len" stays "a.len".
+  std::string displaySymbol(int I) const;
+
+  /// The abstract state at function entry: parameters pinned to their
+  /// seeds, lengths non-negative, booleans in [0,1].
+  Dbm initialState() const;
+
+  /// Parses \p E into a linear form over DBM indices, if it is linear with
+  /// integer coefficients.
+  std::optional<LinForm> parseLinear(const Expr *E) const;
+
+  /// Applies one instruction to \p D in place.
+  void transferInstr(Dbm &D, const Instr &I) const;
+
+  /// Refines \p D with the assumption that \p Cond evaluates to
+  /// \p Positive. Unhandled shapes leave \p D unchanged (sound).
+  void assumeCond(Dbm &D, const Expr *Cond, bool Positive) const;
+
+  /// Best-effort numeric bounds of a linear form under \p D. Uses the
+  /// zone's difference constraints directly for two-variable +/-1 forms,
+  /// falling back to per-variable intervals otherwise.
+  std::optional<int64_t> evalUpper(const Dbm &D, const LinForm &F) const;
+  std::optional<int64_t> evalLower(const Dbm &D, const LinForm &F) const;
+
+private:
+  /// Adds "F <= 0" to \p D when expressible as a zone constraint.
+  void applyLeqZero(Dbm &D, const LinForm &F) const;
+
+  const CfgFunction &F;
+  std::map<std::string, int64_t> Pins;  ///< Display name -> pinned value.
+  std::vector<std::string> Names;       ///< Index i -> name of var i+1.
+  std::vector<bool> InputSymbol;        ///< Parallel to Names.
+  std::map<std::string, int> IndexMap;  ///< Name -> DBM index.
+};
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_VARENV_H

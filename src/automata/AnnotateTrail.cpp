@@ -1,0 +1,117 @@
+//===- AnnotateTrail.cpp - The ANNOTATETRAIL procedure --------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/AnnotateTrail.h"
+
+#include <set>
+
+using namespace blazer;
+
+namespace {
+
+/// Collects the symbols occurring anywhere in \p E.
+void collectSymbols(const TrailExpr *E, std::set<int> &Out) {
+  switch (E->kind()) {
+  case TrailExpr::Kind::Empty:
+  case TrailExpr::Kind::Epsilon:
+    return;
+  case TrailExpr::Kind::Symbol:
+    Out.insert(E->symbolId());
+    return;
+  case TrailExpr::Kind::Concat:
+  case TrailExpr::Kind::Union:
+    collectSymbols(E->lhs().get(), Out);
+    collectSymbols(E->rhs().get(), Out);
+    return;
+  case TrailExpr::Kind::Star:
+    collectSymbols(E->lhs().get(), Out);
+    return;
+  }
+}
+
+class Annotator {
+public:
+  explicit Annotator(const std::map<int, AnnotatedBranch> &Branches)
+      : Branches(Branches) {}
+
+  /// Rebuilds \p E bottom-up in structure but decides marks top-down: the
+  /// set \p Consumed carries branch ids already claimed by an enclosing
+  /// constructor (the "outermost" rule of §4.2).
+  TrailExpr::Ptr walk(const TrailExpr::Ptr &E, std::set<int> Consumed) {
+    switch (E->kind()) {
+    case TrailExpr::Kind::Empty:
+    case TrailExpr::Kind::Epsilon:
+    case TrailExpr::Kind::Symbol:
+      return E;
+    case TrailExpr::Kind::Concat: {
+      TrailExpr::Ptr L = walk(E->lhs(), Consumed);
+      TrailExpr::Ptr R = walk(E->rhs(), Consumed);
+      if (L == E->lhs() && R == E->rhs())
+        return E;
+      return TrailExpr::concat(std::move(L), std::move(R));
+    }
+    case TrailExpr::Kind::Union: {
+      std::set<int> SymsL, SymsR;
+      collectSymbols(E->lhs().get(), SymsL);
+      collectSymbols(E->rhs().get(), SymsR);
+      TaintMark Mark = E->mark();
+      for (const auto &[Block, Info] : Branches) {
+        if (Consumed.count(Block) || !Info.Mark.any())
+          continue;
+        // §4.2: the union decides b when "for at least one of the two
+        // tr_i's, one of the edges from b appears in the set of traces
+        // defined by it, whereas the other edge does not".
+        bool SepL = (SymsL.count(Info.TrueSymbol) > 0) !=
+                    (SymsL.count(Info.FalseSymbol) > 0);
+        bool SepR = (SymsR.count(Info.TrueSymbol) > 0) !=
+                    (SymsR.count(Info.FalseSymbol) > 0);
+        if (SepL || SepR) {
+          Mark.Low |= Info.Mark.Low;
+          Mark.High |= Info.Mark.High;
+          Consumed.insert(Block);
+        }
+      }
+      TrailExpr::Ptr L = walk(E->lhs(), Consumed);
+      TrailExpr::Ptr R = walk(E->rhs(), Consumed);
+      return TrailExpr::unite(std::move(L), std::move(R), Mark);
+    }
+    case TrailExpr::Kind::Star: {
+      std::set<int> Syms;
+      collectSymbols(E->lhs().get(), Syms);
+      TaintMark Mark = E->mark();
+      for (const auto &[Block, Info] : Branches) {
+        if (Consumed.count(Block) || !Info.Mark.any())
+          continue;
+        // The star decides b when exactly one of b's edges occurs under
+        // it (taking the other edge leaves the loop).
+        bool HasTrue = Syms.count(Info.TrueSymbol);
+        bool HasFalse = Syms.count(Info.FalseSymbol);
+        if (HasTrue != HasFalse) {
+          Mark.Low |= Info.Mark.Low;
+          Mark.High |= Info.Mark.High;
+          Consumed.insert(Block);
+        }
+      }
+      return TrailExpr::star(walk(E->lhs(), Consumed), Mark);
+    }
+    }
+    return E;
+  }
+
+private:
+  const std::map<int, AnnotatedBranch> &Branches;
+};
+
+} // namespace
+
+TrailExpr::Ptr
+blazer::annotateTrail(const TrailExpr::Ptr &Trail,
+                      const std::map<int, AnnotatedBranch> &Branches) {
+  if (!Trail)
+    return Trail;
+  Annotator A(Branches);
+  return A.walk(Trail, {});
+}

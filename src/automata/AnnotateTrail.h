@@ -1,0 +1,44 @@
+//===- AnnotateTrail.h - The ANNOTATETRAIL procedure ------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ANNOTATETRAIL (§4.2): marks the union and Kleene-star constructors of a
+/// trail expression as low- and/or high-dependent. A constructor is
+/// dependent with respect to a tainted branch block b when it is the
+/// *outermost* constructor of its kind that separates b's two out-edges —
+/// for a union, one of the edges occurs in one operand's language and not
+/// in the other; for a star, one edge occurs under the star and the other
+/// does not. The driver's RefinePartition consults the resulting marks to
+/// decide where quotient-preserving splits are allowed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_AUTOMATA_ANNOTATETRAIL_H
+#define BLAZER_AUTOMATA_ANNOTATETRAIL_H
+
+#include "automata/TrailExpr.h"
+
+#include <map>
+
+namespace blazer {
+
+/// The per-branch information ANNOTATETRAIL consumes: the two out-edge
+/// symbols of a branching block and its taint mark.
+struct AnnotatedBranch {
+  int TrueSymbol = -1;
+  int FalseSymbol = -1;
+  TaintMark Mark;
+};
+
+/// \returns a copy of \p Trail with union/star constructors marked per
+/// §4.2. \p Branches maps branch block ids to their edge symbols and taint
+/// marks; only marked (tainted) branches produce annotations.
+TrailExpr::Ptr annotateTrail(const TrailExpr::Ptr &Trail,
+                             const std::map<int, AnnotatedBranch> &Branches);
+
+} // namespace blazer
+
+#endif // BLAZER_AUTOMATA_ANNOTATETRAIL_H

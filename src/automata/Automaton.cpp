@@ -1,0 +1,444 @@
+//===- Automaton.cpp - Finite automata over CFG edges ---------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Automaton.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <set>
+#include <sstream>
+
+using namespace blazer;
+
+//===----------------------------------------------------------------------===//
+// EdgeAlphabet
+//===----------------------------------------------------------------------===//
+
+EdgeAlphabet::EdgeAlphabet(std::vector<Edge> Es) : Edges(std::move(Es)) {
+  std::sort(Edges.begin(), Edges.end());
+  Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+  for (size_t I = 0; I < Edges.size(); ++I)
+    SymbolIndex[Edges[I]] = static_cast<int>(I);
+}
+
+EdgeAlphabet EdgeAlphabet::forFunction(const CfgFunction &F) {
+  return EdgeAlphabet(F.edges());
+}
+
+int EdgeAlphabet::symbol(const Edge &E) const {
+  int S = symbolOrNone(E);
+  assert(S >= 0 && "edge not in alphabet");
+  return S;
+}
+
+int EdgeAlphabet::symbolOrNone(const Edge &E) const {
+  auto It = SymbolIndex.find(E);
+  return It == SymbolIndex.end() ? -1 : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Dfa constructors
+//===----------------------------------------------------------------------===//
+
+Dfa Dfa::emptyLanguage(int NumSymbols) {
+  Dfa D;
+  D.NumSymbols = NumSymbols;
+  D.Start = 0;
+  D.Delta.assign(1, std::vector<int>(NumSymbols, 0));
+  D.Accept.assign(1, false);
+  return D;
+}
+
+Dfa Dfa::allWords(int NumSymbols) {
+  Dfa D;
+  D.NumSymbols = NumSymbols;
+  D.Start = 0;
+  D.Delta.assign(1, std::vector<int>(NumSymbols, 0));
+  D.Accept.assign(1, true);
+  return D;
+}
+
+Dfa Dfa::containsSymbol(int NumSymbols, int S) {
+  assert(S >= 0 && S < NumSymbols && "symbol out of range");
+  Dfa D;
+  D.NumSymbols = NumSymbols;
+  D.Start = 0;
+  // State 0: not seen yet; state 1: seen (accepting sink for S-tracking).
+  D.Delta.assign(2, std::vector<int>(NumSymbols, 0));
+  D.Delta[0][S] = 1;
+  for (int Sym = 0; Sym < NumSymbols; ++Sym)
+    D.Delta[1][Sym] = 1;
+  D.Accept = {false, true};
+  return D;
+}
+
+Dfa Dfa::avoidsSymbol(int NumSymbols, int S) {
+  assert(S >= 0 && S < NumSymbols && "symbol out of range");
+  Dfa D;
+  D.NumSymbols = NumSymbols;
+  D.Start = 0;
+  // State 0: clean (accepting); state 1: dead.
+  D.Delta.assign(2, std::vector<int>(NumSymbols, 0));
+  D.Delta[0][S] = 1;
+  for (int Sym = 0; Sym < NumSymbols; ++Sym)
+    D.Delta[1][Sym] = 1;
+  D.Accept = {true, false};
+  return D;
+}
+
+Dfa Dfa::fromCfg(const CfgFunction &F, const EdgeAlphabet &A) {
+  Dfa D;
+  D.NumSymbols = static_cast<int>(A.size());
+  int N = static_cast<int>(F.blockCount());
+  int Dead = N; // Extra absorbing state to keep the DFA complete.
+  D.Delta.assign(N + 1, std::vector<int>(D.NumSymbols, Dead));
+  D.Accept.assign(N + 1, false);
+  D.Start = F.Entry;
+  D.Accept[F.Exit] = true;
+  for (const Edge &E : F.edges())
+    D.Delta[E.From][A.symbol(E)] = E.To;
+  return D;
+}
+
+Dfa Dfa::fromParts(int NumSymbols, int Start,
+                   std::vector<std::vector<int>> Delta,
+                   std::vector<bool> Accept) {
+  Dfa D;
+  D.NumSymbols = NumSymbols;
+  D.Start = Start;
+  D.Delta = std::move(Delta);
+  D.Accept = std::move(Accept);
+  assert(D.Delta.size() == D.Accept.size() && "table size mismatch");
+#ifndef NDEBUG
+  for (const auto &Row : D.Delta) {
+    assert(static_cast<int>(Row.size()) == NumSymbols && "row size mismatch");
+    for (int T : Row)
+      assert(T >= 0 && T < D.numStates() && "transition out of range");
+  }
+#endif
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Language operations
+//===----------------------------------------------------------------------===//
+
+/// Builds the reachable product of \p A and \p B; acceptance combines the
+/// operands' accepting flags with \p Op.
+template <typename AcceptOp>
+static Dfa productDfa(const Dfa &A, const Dfa &B, AcceptOp Op) {
+  assert(A.numSymbols() == B.numSymbols() && "alphabet mismatch");
+  int M = A.numSymbols();
+  std::map<std::pair<int, int>, int> Index;
+  std::vector<std::pair<int, int>> States;
+  std::deque<int> Work;
+
+  auto Intern = [&](int SA, int SB) {
+    auto [It, New] = Index.try_emplace({SA, SB},
+                                       static_cast<int>(States.size()));
+    if (New) {
+      States.push_back({SA, SB});
+      Work.push_back(It->second);
+    }
+    return It->second;
+  };
+
+  Intern(A.start(), B.start());
+  std::vector<std::vector<int>> Delta;
+  std::vector<bool> Accept;
+  while (!Work.empty()) {
+    int Id = Work.front();
+    Work.pop_front();
+    auto [SA, SB] = States[Id];
+    if (static_cast<int>(Delta.size()) <= Id) {
+      Delta.resize(Id + 1);
+      Accept.resize(Id + 1);
+    }
+    Delta[Id].assign(M, -1);
+    Accept[Id] = Op(A.accepting(SA), B.accepting(SB));
+    for (int Sym = 0; Sym < M; ++Sym)
+      Delta[Id][Sym] = Intern(A.next(SA, Sym), B.next(SB, Sym));
+  }
+  assert(Delta.size() == States.size() &&
+         "worklist drained with unfilled rows");
+  return Dfa::fromParts(M, /*Start=*/0, std::move(Delta), std::move(Accept));
+}
+
+Dfa Dfa::intersect(const Dfa &RHS) const {
+  return productDfa(*this, RHS, [](bool A, bool B) { return A && B; });
+}
+
+Dfa Dfa::unite(const Dfa &RHS) const {
+  return productDfa(*this, RHS, [](bool A, bool B) { return A || B; });
+}
+
+Dfa Dfa::complement() const {
+  Dfa D = *this;
+  for (size_t I = 0; I < D.Accept.size(); ++I)
+    D.Accept[I] = !D.Accept[I];
+  return D;
+}
+
+bool Dfa::isEmpty() const {
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<int> Work = {Start};
+  Seen[Start] = true;
+  while (!Work.empty()) {
+    int S = Work.front();
+    Work.pop_front();
+    if (Accept[S])
+      return false;
+    for (int Sym = 0; Sym < NumSymbols; ++Sym) {
+      int T = Delta[S][Sym];
+      if (!Seen[T]) {
+        Seen[T] = true;
+        Work.push_back(T);
+      }
+    }
+  }
+  return true;
+}
+
+bool Dfa::accepts(const std::vector<int> &Word) const {
+  int S = Start;
+  for (int Sym : Word) {
+    assert(Sym >= 0 && Sym < NumSymbols && "symbol out of range");
+    S = Delta[S][Sym];
+  }
+  return Accept[S];
+}
+
+bool Dfa::includedIn(const Dfa &RHS) const {
+  return intersect(RHS.complement()).isEmpty();
+}
+
+bool Dfa::equivalent(const Dfa &RHS) const {
+  return includedIn(RHS) && RHS.includedIn(*this);
+}
+
+std::vector<bool> Dfa::liveStates() const {
+  // Backward reachability from accepting states.
+  std::vector<std::vector<int>> Preds(numStates());
+  for (int S = 0; S < numStates(); ++S)
+    for (int Sym = 0; Sym < NumSymbols; ++Sym)
+      Preds[Delta[S][Sym]].push_back(S);
+  std::vector<bool> Live(numStates(), false);
+  std::deque<int> Work;
+  for (int S = 0; S < numStates(); ++S)
+    if (Accept[S]) {
+      Live[S] = true;
+      Work.push_back(S);
+    }
+  while (!Work.empty()) {
+    int S = Work.front();
+    Work.pop_front();
+    for (int P : Preds[S])
+      if (!Live[P]) {
+        Live[P] = true;
+        Work.push_back(P);
+      }
+  }
+  return Live;
+}
+
+std::optional<std::vector<int>> Dfa::shortestWord() const {
+  std::vector<int> PrevState(numStates(), -1);
+  std::vector<int> PrevSym(numStates(), -1);
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<int> Work = {Start};
+  Seen[Start] = true;
+  int Found = Accept[Start] ? Start : -1;
+  while (Found < 0 && !Work.empty()) {
+    int S = Work.front();
+    Work.pop_front();
+    for (int Sym = 0; Sym < NumSymbols && Found < 0; ++Sym) {
+      int T = Delta[S][Sym];
+      if (Seen[T])
+        continue;
+      Seen[T] = true;
+      PrevState[T] = S;
+      PrevSym[T] = Sym;
+      if (Accept[T])
+        Found = T;
+      Work.push_back(T);
+    }
+  }
+  if (Found < 0)
+    return std::nullopt;
+  std::vector<int> Word;
+  for (int S = Found; PrevState[S] >= 0; S = PrevState[S])
+    Word.push_back(PrevSym[S]);
+  std::reverse(Word.begin(), Word.end());
+  return Word;
+}
+
+Dfa Dfa::trim() const {
+  std::vector<int> Remap(numStates(), -1);
+  std::vector<int> Order;
+  std::deque<int> Work = {Start};
+  Remap[Start] = 0;
+  Order.push_back(Start);
+  while (!Work.empty()) {
+    int S = Work.front();
+    Work.pop_front();
+    for (int Sym = 0; Sym < NumSymbols; ++Sym) {
+      int T = Delta[S][Sym];
+      if (Remap[T] >= 0)
+        continue;
+      Remap[T] = static_cast<int>(Order.size());
+      Order.push_back(T);
+      Work.push_back(T);
+    }
+  }
+  Dfa D;
+  D.NumSymbols = NumSymbols;
+  D.Start = 0;
+  D.Delta.assign(Order.size(), std::vector<int>(NumSymbols, -1));
+  D.Accept.assign(Order.size(), false);
+  for (size_t I = 0; I < Order.size(); ++I) {
+    int S = Order[I];
+    D.Accept[I] = Accept[S];
+    for (int Sym = 0; Sym < NumSymbols; ++Sym)
+      D.Delta[I][Sym] = Remap[Delta[S][Sym]];
+  }
+  return D;
+}
+
+Dfa Dfa::minimize() const {
+  Dfa T = trim();
+  int N = T.numStates();
+  // Moore's algorithm: start from the accept/reject partition and refine.
+  std::vector<int> Class(N);
+  for (int S = 0; S < N; ++S)
+    Class[S] = T.Accept[S] ? 1 : 0;
+  int NumClasses = 2;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Signature: (class, classes of successors).
+    std::map<std::vector<int>, int> SigIndex;
+    std::vector<int> NewClass(N);
+    for (int S = 0; S < N; ++S) {
+      std::vector<int> Sig;
+      Sig.reserve(T.NumSymbols + 1);
+      Sig.push_back(Class[S]);
+      for (int Sym = 0; Sym < T.NumSymbols; ++Sym)
+        Sig.push_back(Class[T.Delta[S][Sym]]);
+      auto [It, New] =
+          SigIndex.try_emplace(Sig, static_cast<int>(SigIndex.size()));
+      (void)New;
+      NewClass[S] = It->second;
+    }
+    int NewCount = static_cast<int>(SigIndex.size());
+    if (NewCount != NumClasses) {
+      Changed = true;
+      NumClasses = NewCount;
+    }
+    Class = std::move(NewClass);
+  }
+  Dfa D;
+  D.NumSymbols = T.NumSymbols;
+  D.Start = Class[T.Start];
+  D.Delta.assign(NumClasses, std::vector<int>(T.NumSymbols, -1));
+  D.Accept.assign(NumClasses, false);
+  for (int S = 0; S < N; ++S) {
+    D.Accept[Class[S]] = T.Accept[S];
+    for (int Sym = 0; Sym < T.NumSymbols; ++Sym)
+      D.Delta[Class[S]][Sym] = Class[T.Delta[S][Sym]];
+  }
+  return D;
+}
+
+std::string Dfa::str() const {
+  std::ostringstream OS;
+  OS << "dfa states=" << numStates() << " start=" << Start << " accept={";
+  bool First = true;
+  for (int S = 0; S < numStates(); ++S)
+    if (Accept[S]) {
+      if (!First)
+        OS << ",";
+      First = false;
+      OS << S;
+    }
+  OS << "}\n";
+  for (int S = 0; S < numStates(); ++S)
+    for (int Sym = 0; Sym < NumSymbols; ++Sym)
+      if (Delta[S][Sym] != S || Accept[S]) // Compress pure self-loop spam.
+        OS << "  " << S << " --" << Sym << "--> " << Delta[S][Sym] << "\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Nfa
+//===----------------------------------------------------------------------===//
+
+int Nfa::addState() {
+  Trans.emplace_back();
+  return static_cast<int>(Trans.size()) - 1;
+}
+
+void Nfa::addTransition(int From, int Symbol, int To) {
+  assert(Symbol >= 0 && Symbol < NumSymbols && "symbol out of range");
+  Trans[From].push_back(Transition{Symbol, To});
+}
+
+void Nfa::addEpsilon(int From, int To) {
+  Trans[From].push_back(Transition{-1, To});
+}
+
+Dfa Nfa::determinize() const {
+  auto Closure = [&](std::set<int> States) {
+    std::deque<int> Work(States.begin(), States.end());
+    while (!Work.empty()) {
+      int S = Work.front();
+      Work.pop_front();
+      for (const Transition &T : Trans[S])
+        if (T.Symbol < 0 && States.insert(T.To).second)
+          Work.push_back(T.To);
+    }
+    return States;
+  };
+
+  std::map<std::set<int>, int> Index;
+  std::vector<std::set<int>> Sets;
+  std::deque<int> Work;
+  auto Intern = [&](std::set<int> S) {
+    auto [It, New] = Index.try_emplace(S, static_cast<int>(Sets.size()));
+    if (New) {
+      Sets.push_back(std::move(S));
+      Work.push_back(It->second);
+    }
+    return It->second;
+  };
+
+  Intern(Closure({Start}));
+  std::vector<std::vector<int>> Delta;
+  std::vector<bool> Accept;
+  while (!Work.empty()) {
+    int Id = Work.front();
+    Work.pop_front();
+    if (static_cast<int>(Delta.size()) <= Id) {
+      Delta.resize(Id + 1);
+      Accept.resize(Id + 1);
+    }
+    Delta[Id].assign(NumSymbols, -1);
+    Accept[Id] = Sets[Id].count(AcceptState) > 0;
+    for (int Sym = 0; Sym < NumSymbols; ++Sym) {
+      std::set<int> Next;
+      for (int S : Sets[Id])
+        for (const Transition &T : Trans[S])
+          if (T.Symbol == Sym)
+            Next.insert(T.To);
+      Delta[Id][Sym] = Intern(Closure(std::move(Next)));
+    }
+  }
+  assert(Delta.size() == Sets.size() &&
+         "worklist drained with unfilled rows");
+  return Dfa::fromParts(NumSymbols, /*Start=*/0, std::move(Delta),
+                        std::move(Accept));
+}

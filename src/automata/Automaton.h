@@ -1,0 +1,149 @@
+//===- Automaton.h - Finite automata over CFG edges -------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Finite automata over the alphabet of CFG edges — the substitute for the
+/// brics automaton library the paper uses "to check language inclusion and
+/// construct intersection, union, and complementation automata" (§5).
+///
+/// DFAs here are always *complete*: every state has a transition on every
+/// symbol (a dead state absorbs the rest). That makes complementation a
+/// flip of the accepting set and products straightforward.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_AUTOMATA_AUTOMATON_H
+#define BLAZER_AUTOMATA_AUTOMATON_H
+
+#include "ir/Cfg.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// Bijection between CFG edges and dense symbol ids (the trail alphabet).
+class EdgeAlphabet {
+public:
+  EdgeAlphabet() = default;
+  explicit EdgeAlphabet(std::vector<Edge> Edges);
+
+  /// Builds the alphabet of all edges of \p F.
+  static EdgeAlphabet forFunction(const CfgFunction &F);
+
+  size_t size() const { return Edges.size(); }
+  /// \returns the symbol id of \p E; asserts that the edge is known.
+  int symbol(const Edge &E) const;
+  /// \returns the symbol id of \p E, or -1 when unknown.
+  int symbolOrNone(const Edge &E) const;
+  const Edge &edge(int Symbol) const { return Edges[Symbol]; }
+
+private:
+  std::vector<Edge> Edges;         ///< Sorted.
+  std::map<Edge, int> SymbolIndex;
+};
+
+/// A complete deterministic finite automaton.
+class Dfa {
+public:
+  /// The automaton accepting the empty language over \p NumSymbols symbols.
+  static Dfa emptyLanguage(int NumSymbols);
+  /// The automaton accepting every word.
+  static Dfa allWords(int NumSymbols);
+  /// Words that contain the symbol \p S at least once.
+  static Dfa containsSymbol(int NumSymbols, int S);
+  /// Words that never contain the symbol \p S.
+  static Dfa avoidsSymbol(int NumSymbols, int S);
+  /// The control-flow-graph automaton A_C of §4.1: states are blocks, the
+  /// initial state is the entry block, the only accepting state is the exit
+  /// block, and (q, (q,p), p) transitions mirror the CFG edges.
+  static Dfa fromCfg(const CfgFunction &F, const EdgeAlphabet &A);
+  /// Builds a DFA directly from its transition table. \p Delta must be total
+  /// (every entry a valid state id).
+  static Dfa fromParts(int NumSymbols, int Start,
+                       std::vector<std::vector<int>> Delta,
+                       std::vector<bool> Accept);
+
+  int numStates() const { return static_cast<int>(Delta.size()); }
+  int numSymbols() const { return NumSymbols; }
+  int start() const { return Start; }
+  bool accepting(int State) const { return Accept[State]; }
+  /// The (total) transition function.
+  int next(int State, int Symbol) const { return Delta[State][Symbol]; }
+
+  /// Language operations (all return complete DFAs over the same alphabet).
+  Dfa intersect(const Dfa &RHS) const;
+  Dfa unite(const Dfa &RHS) const;
+  Dfa complement() const;
+  /// Moore partition-refinement minimization.
+  Dfa minimize() const;
+
+  bool isEmpty() const;
+  bool accepts(const std::vector<int> &Word) const;
+  /// L(this) ⊆ L(RHS)?
+  bool includedIn(const Dfa &RHS) const;
+  /// L(this) == L(RHS)?
+  bool equivalent(const Dfa &RHS) const;
+
+  /// \returns for each state whether some accepting state is reachable from
+  /// it. States where this is false are "dead" — products over the CFG use
+  /// this to prune paths that can never complete to an accepted trace.
+  std::vector<bool> liveStates() const;
+
+  /// \returns a shortest accepted word, or std::nullopt when empty.
+  std::optional<std::vector<int>> shortestWord() const;
+
+  /// Debug rendering.
+  std::string str() const;
+
+private:
+  Dfa() = default;
+
+  /// Drops unreachable states (renumbering) while keeping completeness.
+  Dfa trim() const;
+
+  int NumSymbols = 0;
+  int Start = 0;
+  std::vector<std::vector<int>> Delta; ///< [state][symbol] -> state.
+  std::vector<bool> Accept;
+
+  friend class Nfa;
+};
+
+/// A nondeterministic finite automaton with epsilon transitions; the
+/// Thompson-construction target for trail expressions.
+class Nfa {
+public:
+  explicit Nfa(int NumSymbols) : NumSymbols(NumSymbols) {}
+
+  int addState();
+  void addTransition(int From, int Symbol, int To);
+  void addEpsilon(int From, int To);
+  void setStart(int S) { Start = S; }
+  void setAccept(int S) { AcceptState = S; }
+
+  /// Subset construction to a complete DFA.
+  Dfa determinize() const;
+
+  int numStates() const { return static_cast<int>(Trans.size()); }
+
+private:
+  struct Transition {
+    int Symbol; ///< -1 for epsilon.
+    int To;
+  };
+
+  int NumSymbols;
+  int Start = 0;
+  int AcceptState = 0;
+  std::vector<std::vector<Transition>> Trans;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_AUTOMATA_AUTOMATON_H

@@ -1,0 +1,289 @@
+//===- TrailExpr.cpp - Regular trail expressions ---------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/TrailExpr.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace blazer;
+
+std::string TaintMark::str() const {
+  if (Low && High)
+    return "l,h";
+  if (Low)
+    return "l";
+  if (High)
+    return "h";
+  return "";
+}
+
+TrailExpr::Ptr TrailExpr::empty() {
+  static const Ptr Instance(new TrailExpr(Kind::Empty));
+  return Instance;
+}
+
+TrailExpr::Ptr TrailExpr::epsilon() {
+  static const Ptr Instance(new TrailExpr(Kind::Epsilon));
+  return Instance;
+}
+
+TrailExpr::Ptr TrailExpr::symbol(int S) {
+  assert(S >= 0 && "invalid symbol");
+  auto *N = new TrailExpr(Kind::Symbol);
+  N->Sym = S;
+  return Ptr(N);
+}
+
+TrailExpr::Ptr TrailExpr::concat(Ptr L, Ptr R) {
+  assert(L && R && "null trail operand");
+  if (L->TheKind == Kind::Empty || R->TheKind == Kind::Empty)
+    return empty();
+  if (L->TheKind == Kind::Epsilon)
+    return R;
+  if (R->TheKind == Kind::Epsilon)
+    return L;
+  auto *N = new TrailExpr(Kind::Concat);
+  N->L = std::move(L);
+  N->R = std::move(R);
+  return Ptr(N);
+}
+
+TrailExpr::Ptr TrailExpr::unite(Ptr L, Ptr R, TaintMark Mark) {
+  assert(L && R && "null trail operand");
+  if (L->TheKind == Kind::Empty)
+    return R;
+  if (R->TheKind == Kind::Empty)
+    return L;
+  if (L == R)
+    return L;
+  auto *N = new TrailExpr(Kind::Union);
+  N->L = std::move(L);
+  N->R = std::move(R);
+  N->Mark = Mark;
+  return Ptr(N);
+}
+
+TrailExpr::Ptr TrailExpr::star(Ptr Sub, TaintMark Mark) {
+  assert(Sub && "null trail operand");
+  if (Sub->TheKind == Kind::Empty || Sub->TheKind == Kind::Epsilon)
+    return epsilon();
+  if (Sub->TheKind == Kind::Star)
+    return Sub;
+  auto *N = new TrailExpr(Kind::Star);
+  N->L = std::move(Sub);
+  N->Mark = Mark;
+  return Ptr(N);
+}
+
+size_t TrailExpr::size() const {
+  size_t N = 1;
+  if (L)
+    N += L->size();
+  if (R)
+    N += R->size();
+  return N;
+}
+
+Nfa TrailExpr::toNfa(int NumSymbols) const {
+  Nfa N(NumSymbols);
+  // Recursive Thompson construction returning (start, accept).
+  struct Builder {
+    Nfa &N;
+    std::pair<int, int> build(const TrailExpr *E) {
+      int S = N.addState();
+      int A = N.addState();
+      switch (E->kind()) {
+      case Kind::Empty:
+        break; // No connection: accepts nothing.
+      case Kind::Epsilon:
+        N.addEpsilon(S, A);
+        break;
+      case Kind::Symbol:
+        N.addTransition(S, E->symbolId(), A);
+        break;
+      case Kind::Concat: {
+        auto [LS, LA] = build(E->lhs().get());
+        auto [RS, RA] = build(E->rhs().get());
+        N.addEpsilon(S, LS);
+        N.addEpsilon(LA, RS);
+        N.addEpsilon(RA, A);
+        break;
+      }
+      case Kind::Union: {
+        auto [LS, LA] = build(E->lhs().get());
+        auto [RS, RA] = build(E->rhs().get());
+        N.addEpsilon(S, LS);
+        N.addEpsilon(S, RS);
+        N.addEpsilon(LA, A);
+        N.addEpsilon(RA, A);
+        break;
+      }
+      case Kind::Star: {
+        auto [LS, LA] = build(E->lhs().get());
+        N.addEpsilon(S, LS);
+        N.addEpsilon(LA, S);
+        N.addEpsilon(S, A);
+        break;
+      }
+      }
+      return {S, A};
+    }
+  } B{N};
+  auto [S, A] = B.build(this);
+  N.setStart(S);
+  N.setAccept(A);
+  return N;
+}
+
+Dfa TrailExpr::toDfa(int NumSymbols) const {
+  return toNfa(NumSymbols).determinize().minimize();
+}
+
+std::string TrailExpr::str(const EdgeAlphabet *A) const {
+  // Precedence: star > concat > union.
+  auto NeedsParens = [](Kind Outer, Kind Inner) {
+    auto Level = [](Kind K) {
+      switch (K) {
+      case Kind::Union:
+        return 0;
+      case Kind::Concat:
+        return 1;
+      default:
+        return 2;
+      }
+    };
+    return Level(Inner) < Level(Outer);
+  };
+  std::ostringstream OS;
+  // Iterative-free simple recursion via lambda.
+  std::function<void(const TrailExpr *)> Print = [&](const TrailExpr *E) {
+    auto Child = [&](const TrailExpr *C) {
+      if (NeedsParens(E->kind(), C->kind())) {
+        OS << "(";
+        Print(C);
+        OS << ")";
+      } else {
+        Print(C);
+      }
+    };
+    switch (E->kind()) {
+    case Kind::Empty:
+      OS << "<empty>";
+      return;
+    case Kind::Epsilon:
+      OS << "eps";
+      return;
+    case Kind::Symbol:
+      if (A)
+        OS << A->edge(E->symbolId()).str();
+      else
+        OS << "e" << E->symbolId();
+      return;
+    case Kind::Concat:
+      Child(E->lhs().get());
+      OS << " . ";
+      Child(E->rhs().get());
+      return;
+    case Kind::Union:
+      Child(E->lhs().get());
+      OS << " |";
+      if (E->mark().any())
+        OS << "_" << E->mark().str();
+      OS << " ";
+      Child(E->rhs().get());
+      return;
+    case Kind::Star: {
+      const TrailExpr *Sub = E->lhs().get();
+      if (Sub->kind() == Kind::Symbol) {
+        Print(Sub);
+      } else {
+        OS << "(";
+        Print(Sub);
+        OS << ")";
+      }
+      OS << "*";
+      if (E->mark().any())
+        OS << "_" << E->mark().str();
+      return;
+    }
+    }
+  };
+  Print(this);
+  return OS.str();
+}
+
+TrailExpr::Ptr blazer::dfaToTrailExpr(const Dfa &D, size_t SizeLimit) {
+  // GNFA state elimination over the live part of D. R[i][j] is the regex for
+  // direct moves from i to j.
+  int N = D.numStates();
+  std::vector<bool> Live = D.liveStates();
+  if (!Live[D.start()])
+    return TrailExpr::empty();
+
+  // States: 0..N-1 original (only live kept), N = super-start, N+1 = super-
+  // accept.
+  int Super = N;
+  int SuperAcc = N + 1;
+  std::map<std::pair<int, int>, TrailExpr::Ptr> R;
+  auto Get = [&](int I, int J) -> TrailExpr::Ptr {
+    auto It = R.find({I, J});
+    return It == R.end() ? TrailExpr::empty() : It->second;
+  };
+  auto Add = [&](int I, int J, TrailExpr::Ptr E) {
+    R[{I, J}] = TrailExpr::unite(Get(I, J), std::move(E));
+  };
+
+  for (int S = 0; S < N; ++S) {
+    if (!Live[S])
+      continue;
+    for (int Sym = 0; Sym < D.numSymbols(); ++Sym) {
+      int T = D.next(S, Sym);
+      if (Live[T])
+        Add(S, T, TrailExpr::symbol(Sym));
+    }
+    if (D.accepting(S))
+      Add(S, SuperAcc, TrailExpr::epsilon());
+  }
+  Add(Super, D.start(), TrailExpr::epsilon());
+
+  // Eliminate original states one by one.
+  for (int K = 0; K < N; ++K) {
+    if (!Live[K])
+      continue;
+    TrailExpr::Ptr Loop = TrailExpr::star(Get(K, K));
+    // Collect in/out neighbours.
+    std::vector<int> Ins, Outs;
+    for (int I = 0; I <= SuperAcc; ++I) {
+      if (I == K)
+        continue;
+      if (Get(I, K)->kind() != TrailExpr::Kind::Empty)
+        Ins.push_back(I);
+      if (Get(K, I)->kind() != TrailExpr::Kind::Empty)
+        Outs.push_back(I);
+    }
+    for (int I : Ins)
+      for (int J : Outs) {
+        TrailExpr::Ptr Through = TrailExpr::concat(
+            TrailExpr::concat(Get(I, K), Loop), Get(K, J));
+        if (Through->size() > SizeLimit)
+          return nullptr;
+        Add(I, J, std::move(Through));
+      }
+    // Remove K's rows/columns.
+    for (auto It = R.begin(); It != R.end();) {
+      if (It->first.first == K || It->first.second == K)
+        It = R.erase(It);
+      else
+        ++It;
+    }
+  }
+  TrailExpr::Ptr Out = Get(Super, SuperAcc);
+  if (Out->size() > SizeLimit)
+    return nullptr;
+  return Out;
+}

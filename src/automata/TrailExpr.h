@@ -1,0 +1,87 @@
+//===- TrailExpr.h - Regular trail expressions ------------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trail expressions (§4.1): regular expressions over CFG edges, with the
+/// low/high annotations of §4.2 on union and Kleene-star constructors. The
+/// analysis itself manipulates trails as automata; TrailExpr is the regex
+/// form used for construction and for rendering trails the way the paper
+/// writes them, e.g. "23 · (34·45·5*_l ...) |_l (38 ...)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_AUTOMATA_TRAILEXPR_H
+#define BLAZER_AUTOMATA_TRAILEXPR_H
+
+#include "automata/Automaton.h"
+
+#include <memory>
+
+namespace blazer {
+
+/// Low/high dependence marks on branching constructors (§4.2).
+struct TaintMark {
+  bool Low = false;
+  bool High = false;
+
+  bool any() const { return Low || High; }
+  /// Renders "l", "h", "l,h" or "".
+  std::string str() const;
+};
+
+/// An immutable regex tree node. Build via the smart constructors, which
+/// apply the usual simplifications (identity and annihilator laws).
+class TrailExpr {
+public:
+  enum class Kind { Empty, Epsilon, Symbol, Concat, Union, Star };
+
+  using Ptr = std::shared_ptr<const TrailExpr>;
+
+  static Ptr empty();
+  static Ptr epsilon();
+  static Ptr symbol(int S);
+  static Ptr concat(Ptr L, Ptr R);
+  static Ptr unite(Ptr L, Ptr R, TaintMark Mark = TaintMark());
+  static Ptr star(Ptr Sub, TaintMark Mark = TaintMark());
+
+  Kind kind() const { return TheKind; }
+  int symbolId() const { return Sym; }
+  const Ptr &lhs() const { return L; }
+  const Ptr &rhs() const { return R; }
+  const TaintMark &mark() const { return Mark; }
+
+  /// Thompson construction over an alphabet of \p NumSymbols symbols.
+  Nfa toNfa(int NumSymbols) const;
+  /// Convenience: toNfa + determinize + minimize.
+  Dfa toDfa(int NumSymbols) const;
+
+  /// Renders the expression; symbols print as "From->To" via \p A (or as
+  /// bare ids when \p A is null). Annotated constructors print as "|_l",
+  /// "*_h" etc.
+  std::string str(const EdgeAlphabet *A = nullptr) const;
+
+  /// Number of nodes in the tree.
+  size_t size() const;
+
+private:
+  explicit TrailExpr(Kind K) : TheKind(K) {}
+
+  Kind TheKind;
+  int Sym = -1;
+  Ptr L;
+  Ptr R;
+  TaintMark Mark;
+};
+
+/// Converts \p D to a trail expression by GNFA state elimination. Returns
+/// null when the intermediate expressions exceed \p SizeLimit nodes (regex
+/// extraction can blow up exponentially; callers fall back to automaton
+/// display).
+TrailExpr::Ptr dfaToTrailExpr(const Dfa &D, size_t SizeLimit = 4096);
+
+} // namespace blazer
+
+#endif // BLAZER_AUTOMATA_TRAILEXPR_H

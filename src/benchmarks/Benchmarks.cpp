@@ -1,0 +1,575 @@
+//===- Benchmarks.cpp - The 24 Table-1 benchmark programs -----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace blazer;
+
+//===----------------------------------------------------------------------===//
+// MicroBench sources
+//===----------------------------------------------------------------------===//
+
+/// array_safe: both sides of the secret comparison walk the public array —
+/// every execution is linear in low.length.
+static const char *ArraySafe = R"(
+fn array_safe(secret high: int[], public low: int[]) {
+  var i: int = 0;
+  var t: int = 0;
+  if (high.length == low.length) {
+    while (i < low.length) { t = t + low[i]; i = i + 1; }
+  } else {
+    while (i < low.length) { t = t + 1; i = i + 1; }
+  }
+}
+)";
+
+/// array_unsafe: a secret test selects between a loop over the secret array
+/// and a constant step — the running time's asymptotic class leaks.
+static const char *ArrayUnsafe = R"(
+fn array_unsafe(secret high: int[], public low: int[]) {
+  var i: int = 0;
+  var t: int = 0;
+  if (high.length > 1) {
+    while (i < high.length) { t = t + high[i]; i = i + 1; }
+  } else {
+    t = 0;
+  }
+}
+)";
+
+/// loopAndbranch_safe (Fig. 3): looks vulnerable, but the potentially
+/// vulnerable inner trail (the high-guarded loop) is infeasible — low
+/// becomes >= 10 on that path — which the abstract interpreter catches.
+static const char *LoopBranchSafe = R"(
+fn loopAndbranch_safe(secret high: int, public low: int) {
+  var i: int = high;
+  if (low < 0) {
+    while (i > 0) { i = i - 1; }
+  } else {
+    low = low + 10;
+    if (low >= 10) {
+      var j: int = high;
+      while (j > 0) { j = j - 1; }
+    } else {
+      if (high < 0) {
+        var k: int = high;
+        while (k > 0) { k = k - 1; }
+      }
+    }
+  }
+}
+)";
+
+/// loopAndbranch_unsafe: the inner secret branch is now reachable and picks
+/// between constant work and a secret-length loop.
+static const char *LoopBranchUnsafe = R"(
+fn loopAndbranch_unsafe(secret high: int, public low: int) {
+  var i: int = high;
+  if (low < 0) {
+    while (i > 0) { i = i - 1; }
+  } else {
+    low = low - 10;
+    if (low >= 10) {
+      var j: int = high;
+      while (j > 0) { j = j - 1; }
+    } else {
+      if (high < 0) {
+        skip;
+      } else {
+        var k: int = high;
+        while (k > 0) { k = k - 1; }
+      }
+    }
+  }
+}
+)";
+
+/// nosecret_safe: no secret input at all — side channels need a secret.
+static const char *NoSecretSafe = R"(
+fn nosecret_safe(public low: int) {
+  var i: int = 0;
+  while (i < low) { i = i + 1; }
+}
+)";
+
+/// notaint_unsafe: no attacker-controlled input, but the secret alone
+/// decides between constant and linear work.
+static const char *NoTaintUnsafe = R"(
+fn notaint_unsafe(secret high: int) {
+  var i: int = 0;
+  if (high > 0) {
+    while (i < high) { i = i + 1; }
+  } else {
+    skip;
+  }
+}
+)";
+
+/// sanity_safe: a secret branch whose two sides cost the same.
+static const char *SanitySafe = R"(
+fn sanity_safe(secret high: int, public low: int) {
+  var x: int = 0;
+  if (high == 0) {
+    x = low + 1;
+    x = x * 2;
+  } else {
+    x = low + 2;
+    x = x * 3;
+  }
+}
+)";
+
+/// sanity_unsafe: one side of the secret branch hashes (md5 summary cost),
+/// the other does one assignment.
+static const char *SanityUnsafe = R"(
+fn sanity_unsafe(secret high: int, public low: int) {
+  var x: int = 0;
+  if (high == 0) {
+    x = 1;
+  } else {
+    x = md5(low);
+  }
+}
+)";
+
+/// straightline_safe: no branching whatsoever.
+static const char *StraightlineSafe = R"(
+fn straightline_safe(secret high: int, public low: int) {
+  var x: int = high + low;
+  var y: int = x * 2;
+  var z: int = y - high;
+  skip;
+  skip;
+}
+)";
+
+/// straightline_unsafe generator: one arm of a secret branch is a single
+/// large straight-line block (the paper notes a 90-instruction block drives
+/// this benchmark's running time).
+static std::string makeStraightlineUnsafe() {
+  std::ostringstream OS;
+  OS << "fn straightline_unsafe(secret high: int, public low: int) {\n"
+     << "  var x: int = 0;\n"
+     << "  if (high == 0) {\n";
+  for (int I = 0; I < 90; ++I)
+    OS << "    x = x + " << (I % 7) << ";\n";
+  OS << "  } else {\n"
+     << "    x = 1;\n"
+     << "  }\n"
+     << "}\n";
+  return OS.str();
+}
+
+/// unixlogin_safe: whether the user exists is secret (the classic Unix bug
+/// leaked exactly that), but both sides hash the guess, so timing is flat.
+static const char *UnixloginSafe = R"(
+fn unixlogin_safe(secret user_exists: bool, public pw_guess: int,
+                  secret stored_hash: int) -> bool {
+  var outcome: bool = false;
+  var h: int = 0;
+  if (user_exists) {
+    h = md5(pw_guess);
+    if (h == stored_hash) { outcome = true; } else { outcome = false; }
+  } else {
+    h = md5(pw_guess);
+    outcome = false;
+  }
+  return outcome;
+}
+)";
+
+/// unixlogin_unsafe: the hash only happens for existing users — timing
+/// reveals valid usernames (the vulnerability Fig. 3 alludes to).
+static const char *UnixloginUnsafe = R"(
+fn unixlogin_unsafe(secret user_exists: bool, public pw_guess: int,
+                    secret stored_hash: int) -> bool {
+  var outcome: bool = false;
+  var h: int = 0;
+  if (user_exists) {
+    h = md5(pw_guess);
+    if (h == stored_hash) { outcome = true; } else { outcome = false; }
+  } else {
+    outcome = false;
+  }
+  return outcome;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// STAC sources
+//===----------------------------------------------------------------------===//
+
+/// modPow1_safe (Fig. 3): square-and-multiply with a balancing dummy
+/// multiply on zero bits. The exponent is a secret bit array; its length
+/// (the key size) is pinned as public knowledge.
+static const char *ModPow1Safe = R"(
+fn modPow1_safe(public base: int, secret exponent: int[],
+                public modulus: int) -> int {
+  var s: int = 1;
+  var dummy: int = 0;
+  var width: int = exponent.length;
+  var i: int = 0;
+  while (i < width) {
+    s = mulmod(s, s, modulus);
+    if (exponent[width - i - 1] == 1) {
+      s = mulmod(s, base, modulus);
+    } else {
+      dummy = mulmod(s, base, modulus);
+    }
+    i = i + 1;
+  }
+  return s;
+}
+)";
+
+/// modPow1_unsafe: the dummy multiply is removed — one-bits cost a whole
+/// modular multiplication more than zero-bits.
+static const char *ModPow1Unsafe = R"(
+fn modPow1_unsafe(public base: int, secret exponent: int[],
+                  public modulus: int) -> int {
+  var s: int = 1;
+  var width: int = exponent.length;
+  var i: int = 0;
+  while (i < width) {
+    s = mulmod(s, s, modulus);
+    if (exponent[width - i - 1] == 1) {
+      s = mulmod(s, base, modulus);
+    }
+    i = i + 1;
+  }
+  return s;
+}
+)";
+
+/// modPow2_safe: Montgomery-ladder style — both bit values perform the same
+/// two multiplications.
+static const char *ModPow2Safe = R"(
+fn modPow2_safe(public base: int, secret exponent: int[],
+                public modulus: int) -> int {
+  var r0: int = 1;
+  var r1: int = base;
+  var n: int = exponent.length;
+  var i: int = 0;
+  while (i < n) {
+    if (exponent[i] == 0) {
+      r1 = mulmod(r0, r1, modulus);
+      r0 = mulmod(r0, r0, modulus);
+    } else {
+      r0 = mulmod(r0, r1, modulus);
+      r1 = mulmod(r1, r1, modulus);
+    }
+    i = i + 1;
+  }
+  return r0;
+}
+)";
+
+/// modPow2_unsafe: one-bits additionally run an extra normalization loop,
+/// and a second secret test guards a conditional reduction — a larger CFG
+/// whose subtrail tree explodes (the paper's slowest benchmark).
+static const char *ModPow2Unsafe = R"(
+fn modPow2_unsafe(public base: int, secret exponent: int[],
+                  public modulus: int) -> int {
+  var r0: int = 1;
+  var r1: int = base;
+  var n: int = exponent.length;
+  var i: int = 0;
+  var j: int = 0;
+  while (i < n) {
+    if (exponent[i] == 0) {
+      r1 = mulmod(r0, r1, modulus);
+      r0 = mulmod(r0, r0, modulus);
+    } else {
+      r0 = mulmod(r0, r1, modulus);
+      r1 = mulmod(r1, r1, modulus);
+      j = 0;
+      while (j < 16) {
+        r1 = r1 + 1;
+        j = j + 1;
+      }
+      if (r1 > modulus) {
+        r1 = mulmod(r1, 1, modulus);
+      }
+    }
+    i = i + 1;
+  }
+  return r0;
+}
+)";
+
+/// pwdEqual_safe: constant-time password comparison — the loop always runs
+/// over the whole guess, accumulating the verdict in a flag.
+static const char *PwdEqualSafe = R"(
+fn pwdEqual_safe(public guess: int[], secret pwd: int[]) -> bool {
+  var equal: bool = true;
+  var dummy: bool = false;
+  var i: int = 0;
+  if (guess.length == pwd.length) {
+    dummy = true;
+  } else {
+    equal = false;
+  }
+  while (i < guess.length) {
+    if (i < pwd.length) {
+      if (guess[i] != pwd[i]) { equal = false; } else { dummy = true; }
+    } else {
+      dummy = true;
+      equal = false;
+    }
+    i = i + 1;
+  }
+  return equal;
+}
+)";
+
+/// pwdEqual_unsafe: early return on the first mismatch — running time
+/// reveals the length of the matching prefix (Tenex-style).
+static const char *PwdEqualUnsafe = R"(
+fn pwdEqual_unsafe(public guess: int[], secret pwd: int[]) -> bool {
+  var i: int = 0;
+  while (i < guess.length) {
+    if (i >= pwd.length) { return false; }
+    if (guess[i] != pwd[i]) { return false; }
+    i = i + 1;
+  }
+  return true;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Literature sources
+//===----------------------------------------------------------------------===//
+
+/// gpt14_safe (Genkin, Pipman, Tromer — CHES'14): fixed-window modular
+/// exponentiation with balanced arms.
+static const char *Gpt14Safe = R"(
+fn gpt14_safe(secret key: int[], public msg: int) -> int {
+  var acc: int = msg;
+  var dummy: int = 0;
+  var n: int = key.length;
+  var i: int = 0;
+  while (i < n) {
+    acc = mulmod(acc, acc, 2147483647);
+    if (key[i] == 1) {
+      acc = mulmod(acc, msg, 2147483647);
+    } else {
+      dummy = mulmod(acc, msg, 2147483647);
+    }
+    i = i + 1;
+  }
+  return acc;
+}
+)";
+
+/// gpt14_unsafe: the square-and-multiply leak plus a final data-dependent
+/// halving loop whose trip count is non-linear in the inputs — the bound
+/// lemmas cannot bound it, so (like the paper) the attack search comes back
+/// empty-handed and the tool gives up.
+static const char *Gpt14Unsafe = R"(
+fn gpt14_unsafe(secret key: int[], public msg: int) -> int {
+  var acc: int = msg;
+  var n: int = key.length;
+  var i: int = 0;
+  while (i < n) {
+    acc = mulmod(acc, acc, 2147483647);
+    if (key[i] == 1) {
+      acc = mulmod(acc, msg, 2147483647);
+    }
+    i = i + 1;
+  }
+  var t: int = acc;
+  while (t > 1000) {
+    t = t / 2;
+  }
+  return acc;
+}
+)";
+
+/// k96_safe (Kocher CRYPTO'96 fix): modular exponentiation with a dummy
+/// multiply balancing the per-bit work.
+static const char *K96Safe = R"(
+fn k96_safe(secret exponent: int[], public base: int,
+            public modulus: int) -> int {
+  var y: int = base;
+  var result: int = 1;
+  var dummy: int = 0;
+  var w: int = exponent.length;
+  var i: int = 0;
+  while (i < w) {
+    if (exponent[i] == 1) {
+      result = mulmod(result, y, modulus);
+    } else {
+      dummy = mulmod(result, y, modulus);
+    }
+    y = mulmod(y, y, modulus);
+    i = i + 1;
+  }
+  return result;
+}
+)";
+
+/// k96_unsafe: the textbook leaky square-and-multiply of Kocher's paper.
+static const char *K96Unsafe = R"(
+fn k96_unsafe(secret exponent: int[], public base: int,
+              public modulus: int) -> int {
+  var y: int = base;
+  var result: int = 1;
+  var w: int = exponent.length;
+  var i: int = 0;
+  while (i < w) {
+    if (exponent[i] == 1) {
+      result = mulmod(result, y, modulus);
+    }
+    y = mulmod(y, y, modulus);
+    i = i + 1;
+  }
+  return result;
+}
+)";
+
+/// login_safe (Pasareanu, Phan, Malacaria — CSF'16; §2/Fig. 1 loginSafe):
+/// checks the whole guess regardless of mismatches. Whether the username
+/// is known is public (footnote 4 of the paper).
+static const char *LoginSafe = R"(
+fn login_safe(public user_known: bool, public guess: int[],
+              secret user_pw: int[]) -> bool {
+  var dummy: bool = false;
+  var matches: bool = true;
+  var i: int = 0;
+  if (!user_known) {
+    return false;
+  }
+  while (i < guess.length) {
+    if (i < user_pw.length) {
+      if (guess[i] != user_pw[i]) { matches = false; } else { dummy = true; }
+    } else {
+      dummy = true;
+      matches = false;
+    }
+    i = i + 1;
+  }
+  return matches;
+}
+)";
+
+/// login_unsafe (Fig. 1 loginBad): early returns reveal the matching-prefix
+/// length, the Tenex password bug.
+static const char *LoginUnsafe = R"(
+fn login_unsafe(public user_known: bool, public guess: int[],
+                secret user_pw: int[]) -> bool {
+  var i: int = 0;
+  if (!user_known) {
+    return false;
+  }
+  while (i < guess.length) {
+    if (i < user_pw.length) {
+      if (guess[i] != user_pw[i]) { return false; }
+    } else {
+      return false;
+    }
+    i = i + 1;
+  }
+  return true;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+BlazerOptions BenchmarkProgram::options() const {
+  BlazerOptions Opt;
+  if (Category == "MicroBench") {
+    // §6.1: complexity-class observer, unbounded variables; constant-time
+    // code may differ by a small epsilon.
+    Opt.Observer = ObserverModel::polynomialDegree(/*Epsilon=*/32);
+    return Opt;
+  }
+  // §6.1: concrete bytecode-instruction counts. Crypto benchmarks use
+  // 4096-bit inputs and the 25k-instruction observability threshold; the
+  // password checkers (guess length capped at 100, as in §2.2's n = 100
+  // discussion) use a proportionally smaller threshold.
+  bool PasswordBench = Name.rfind("login", 0) == 0 ||
+                       Name.rfind("pwdEqual", 0) == 0;
+  if (PasswordBench) {
+    Opt.Observer = ObserverModel::concreteInstructions(
+        /*Threshold=*/700, /*DefaultMaxInput=*/100);
+    return Opt;
+  }
+  Opt.Observer = ObserverModel::concreteInstructions(/*Threshold=*/25000,
+                                                     /*DefaultMaxInput=*/4096);
+  // Key sizes are public knowledge even though key material is secret.
+  Opt.Observer.pinSymbol("exponent.len", 4096);
+  Opt.Observer.pinSymbol("key.len", 4096);
+  return Opt;
+}
+
+CfgFunction BenchmarkProgram::compile() const {
+  BuiltinRegistry Registry = BuiltinRegistry::standard();
+  Result<CfgFunction> F = compileFunction(Source, Name, Registry);
+  if (!F) {
+    std::fprintf(stderr, "benchmark %s failed to compile: %s\n", Name.c_str(),
+                 F.diag().str().c_str());
+    std::abort();
+  }
+  return F.take();
+}
+
+const std::vector<BenchmarkProgram> &blazer::allBenchmarks() {
+  static const std::vector<BenchmarkProgram> Suite = [] {
+    std::vector<BenchmarkProgram> S;
+    auto Add = [&S](const std::string &Name, const char *Cat,
+                    std::string Src, VerdictKind Expected) {
+      S.push_back(BenchmarkProgram{Name, Cat, std::move(Src), Expected});
+    };
+    // MicroBench.
+    Add("array_safe", "MicroBench", ArraySafe, VerdictKind::Safe);
+    Add("array_unsafe", "MicroBench", ArrayUnsafe, VerdictKind::Attack);
+    Add("loopAndbranch_safe", "MicroBench", LoopBranchSafe,
+        VerdictKind::Safe);
+    Add("loopAndbranch_unsafe", "MicroBench", LoopBranchUnsafe,
+        VerdictKind::Attack);
+    Add("nosecret_safe", "MicroBench", NoSecretSafe, VerdictKind::Safe);
+    Add("notaint_unsafe", "MicroBench", NoTaintUnsafe, VerdictKind::Attack);
+    Add("sanity_safe", "MicroBench", SanitySafe, VerdictKind::Safe);
+    Add("sanity_unsafe", "MicroBench", SanityUnsafe, VerdictKind::Attack);
+    Add("straightline_safe", "MicroBench", StraightlineSafe,
+        VerdictKind::Safe);
+    Add("straightline_unsafe", "MicroBench", makeStraightlineUnsafe(),
+        VerdictKind::Attack);
+    Add("unixlogin_safe", "MicroBench", UnixloginSafe, VerdictKind::Safe);
+    Add("unixlogin_unsafe", "MicroBench", UnixloginUnsafe,
+        VerdictKind::Attack);
+    // STAC.
+    Add("modPow1_safe", "STAC", ModPow1Safe, VerdictKind::Safe);
+    Add("modPow1_unsafe", "STAC", ModPow1Unsafe, VerdictKind::Attack);
+    Add("modPow2_safe", "STAC", ModPow2Safe, VerdictKind::Safe);
+    Add("modPow2_unsafe", "STAC", ModPow2Unsafe, VerdictKind::Attack);
+    Add("pwdEqual_safe", "STAC", PwdEqualSafe, VerdictKind::Safe);
+    Add("pwdEqual_unsafe", "STAC", PwdEqualUnsafe, VerdictKind::Attack);
+    // Literature.
+    Add("gpt14_safe", "Literature", Gpt14Safe, VerdictKind::Safe);
+    Add("gpt14_unsafe", "Literature", Gpt14Unsafe, VerdictKind::Unknown);
+    Add("k96_safe", "Literature", K96Safe, VerdictKind::Safe);
+    Add("k96_unsafe", "Literature", K96Unsafe, VerdictKind::Attack);
+    Add("login_safe", "Literature", LoginSafe, VerdictKind::Safe);
+    Add("login_unsafe", "Literature", LoginUnsafe, VerdictKind::Attack);
+    return S;
+  }();
+  return Suite;
+}
+
+const BenchmarkProgram *blazer::findBenchmark(const std::string &Name) {
+  for (const BenchmarkProgram &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,56 @@
+//===- Benchmarks.h - The 24 Table-1 benchmark programs ---------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation suite of §6: 12 hand-crafted MicroBench programs, 6
+/// DARPA STAC extracts, and 6 programs from the cryptography literature
+/// (Genkin et al. CHES'14, Kocher CRYPTO'96, Pasareanu et al. CSF'16),
+/// paired as safe/unsafe variants and re-expressed in the mini-language
+/// (the substitution for the paper's Java bytecode — see DESIGN.md).
+///
+/// Observer models follow §6.1: MicroBench uses the polynomial-degree
+/// model with unbounded inputs; STAC and Literature use the concrete
+/// instruction-count model with 4096-bit crypto inputs and a 25k-instruction
+/// observability threshold. Key bit-lengths are pinned (publicly known).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_BENCHMARKS_BENCHMARKS_H
+#define BLAZER_BENCHMARKS_BENCHMARKS_H
+
+#include "core/Blazer.h"
+#include "ir/Cfg.h"
+
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// One benchmark program plus its expected outcome and analysis options.
+struct BenchmarkProgram {
+  std::string Name;     ///< e.g. "modPow1_unsafe".
+  std::string Category; ///< "MicroBench", "STAC", or "Literature".
+  std::string Source;   ///< Mini-language text (one function).
+  /// The verdict the paper reports: Safe for *_safe, Attack for *_unsafe —
+  /// except gpt14_unsafe, where the tool gives up (Unknown).
+  VerdictKind Expected = VerdictKind::Safe;
+
+  /// Observer model + budgets for this benchmark (per §6.1).
+  BlazerOptions options() const;
+
+  /// Compiles the source (aborts on error — the suite is fixed).
+  CfgFunction compile() const;
+};
+
+/// All 24 benchmarks, in Table-1 order.
+const std::vector<BenchmarkProgram> &allBenchmarks();
+
+/// Lookup by name; null when absent.
+const BenchmarkProgram *findBenchmark(const std::string &Name);
+
+} // namespace blazer
+
+#endif // BLAZER_BENCHMARKS_BENCHMARKS_H

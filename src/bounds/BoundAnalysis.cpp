@@ -1,0 +1,1012 @@
+//===- BoundAnalysis.cpp - Symbolic running-time bounds per trail ---------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BoundAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace blazer;
+
+BoundRange TrailBoundResult::range() const {
+  assert(Hi && "range() without an upper bound");
+  return BoundRange(Lo, *Hi);
+}
+
+std::string TrailBoundResult::str() const {
+  if (!Feasible)
+    return "<infeasible>";
+  return "[" + Lo.str() + ", " + (Hi ? Hi->str() : "?") + "]";
+}
+
+BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
+                             std::map<std::string, int64_t> InputPins)
+    : F(Fn), A(EdgeAlphabet::forFunction(Fn)), Env(Fn, std::move(InputPins)),
+      Az(Fn, Env) {}
+
+Dfa BoundAnalysis::mostGeneralTrail() const { return Dfa::fromCfg(F, A); }
+
+namespace {
+
+int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "divisor must be positive");
+  int64_t Q = A / B;
+  if (A % B != 0 && A < 0)
+    --Q;
+  return Q;
+}
+
+/// A lower bound plus an optional upper bound — the DP value flowing
+/// through the region computation.
+struct RB {
+  Bound Lo = Bound::lower(CostPoly());
+  std::optional<Bound> Hi = Bound::upper(CostPoly());
+  std::string Note;
+
+  static RB exact(const CostPoly &P) {
+    RB R;
+    R.Lo = Bound::lower(P);
+    R.Hi = Bound::upper(P);
+    return R;
+  }
+  static RB unknownUpper(Bound Lo, std::string Note) {
+    RB R;
+    R.Lo = std::move(Lo);
+    R.Hi.reset();
+    R.Note = std::move(Note);
+    return R;
+  }
+
+  RB plus(const RB &O) const {
+    RB R;
+    R.Lo = Lo + O.Lo;
+    if (Hi && O.Hi)
+      R.Hi = *Hi + *O.Hi;
+    else
+      R.Hi.reset();
+    R.Note = Note.empty() ? O.Note : Note;
+    return R;
+  }
+  void mergeWith(const RB &O) {
+    Lo.merge(O.Lo);
+    if (Hi && O.Hi)
+      Hi->merge(*O.Hi);
+    else {
+      if (Note.empty())
+        Note = O.Note;
+      Hi.reset();
+    }
+  }
+};
+
+/// Per-iteration delta of one DBM variable relative to its value at the
+/// loop header: unreached, a known constant, or unknown.
+struct Delta {
+  enum class Kind { Unreached, Known, Unknown };
+  Kind K = Kind::Unreached;
+  int64_t C = 0;
+
+  static Delta known(int64_t C) { return Delta{Kind::Known, C}; }
+  static Delta unknown() { return Delta{Kind::Unknown, 0}; }
+
+  Delta joined(const Delta &O) const {
+    if (K == Kind::Unreached)
+      return O;
+    if (O.K == Kind::Unreached)
+      return *this;
+    if (K == Kind::Known && O.K == Kind::Known && C == O.C)
+      return *this;
+    return unknown();
+  }
+  bool same(const Delta &O) const { return K == O.K && C == O.C; }
+};
+
+using DeltaState = std::vector<Delta>; ///< Indexed by DBM var (1-based -1).
+
+/// The whole per-trail computation: pruned product graph + recursive region
+/// folding.
+class RegionEngine {
+public:
+  RegionEngine(const CfgFunction &F, const VarEnv &Env, const Analyzer &Az,
+               const ProductGraph &G, const AnalysisResult &AR)
+      : F(F), Env(Env), Az(Az), G(G), AR(AR) {
+    buildPrunedGraph();
+  }
+
+  bool entryAlive() const {
+    return !G.empty() && Alive[G.entry()];
+  }
+
+  /// Bounds over complete paths entry -> accepting nodes.
+  RB run() {
+    std::vector<char> All(G.size(), 0);
+    for (size_t I = 0; I < G.size(); ++I)
+      All[I] = Alive[I];
+    std::set<int> Entries = {G.entry()};
+    std::set<int> Accepts;
+    for (int Acc : G.accepts())
+      if (Alive[Acc])
+        Accepts.insert(Acc);
+    return regionBounds(All, Entries, Accepts, 0);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Pruning
+  //===------------------------------------------------------------------===//
+
+  void buildPrunedGraph() {
+    size_t N = G.size();
+    Alive.assign(N, 0);
+    Succs.assign(N, {});
+    Preds.assign(N, {});
+    if (G.empty())
+      return;
+
+    // An arc is feasible when the abstract state propagated along it is not
+    // bottom.
+    std::vector<std::vector<std::pair<int, Edge>>> Feasible(N);
+    for (size_t Id = 0; Id < N; ++Id) {
+      if (!AR.Feasible[Id])
+        continue;
+      for (const ProductGraph::Arc &Arc : G.successors(Id)) {
+        if (!AR.Feasible[Arc.To])
+          continue;
+        Dbm Along = Az.transferEdge(AR.EntryState[Id], Arc.CfgEdge);
+        if (Along.isBottom())
+          continue;
+        Feasible[Id].push_back({Arc.To, Arc.CfgEdge});
+      }
+    }
+    // Forward reachability from the entry over feasible arcs...
+    std::vector<char> Fwd(N, 0);
+    if (AR.Feasible[G.entry()]) {
+      std::deque<int> Work = {G.entry()};
+      Fwd[G.entry()] = 1;
+      while (!Work.empty()) {
+        int Id = Work.front();
+        Work.pop_front();
+        for (const auto &[To, E] : Feasible[Id]) {
+          (void)E;
+          if (!Fwd[To]) {
+            Fwd[To] = 1;
+            Work.push_back(To);
+          }
+        }
+      }
+    }
+    // ...then backward from accepting nodes.
+    std::vector<std::vector<int>> RevAdj(N);
+    for (size_t Id = 0; Id < N; ++Id)
+      for (const auto &[To, E] : Feasible[Id]) {
+        (void)E;
+        RevAdj[To].push_back(static_cast<int>(Id));
+      }
+    std::vector<char> Bwd(N, 0);
+    std::deque<int> Work;
+    for (int Acc : G.accepts())
+      if (Fwd[Acc]) {
+        Bwd[Acc] = 1;
+        Work.push_back(Acc);
+      }
+    while (!Work.empty()) {
+      int Id = Work.front();
+      Work.pop_front();
+      for (int P : RevAdj[Id])
+        if (Fwd[P] && !Bwd[P]) {
+          Bwd[P] = 1;
+          Work.push_back(P);
+        }
+    }
+    for (size_t Id = 0; Id < N; ++Id)
+      Alive[Id] = Fwd[Id] && Bwd[Id];
+    for (size_t Id = 0; Id < N; ++Id) {
+      if (!Alive[Id])
+        continue;
+      for (const auto &[To, E] : Feasible[Id]) {
+        if (!Alive[To])
+          continue;
+        Succs[Id].push_back({To, E});
+        Preds[To].push_back(static_cast<int>(Id));
+      }
+    }
+  }
+
+  int64_t nodeCost(int Id) const {
+    return F.blockCost(F.block(G.node(Id).Block));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Region folding
+  //===------------------------------------------------------------------===//
+
+  /// Tarjan SCCs of the subgraph induced by \p InRegion, emitted in reverse
+  /// topological order (successor components first).
+  std::vector<std::vector<int>>
+  sccsOf(const std::vector<char> &InRegion) const {
+    std::vector<std::vector<int>> Out;
+    size_t N = G.size();
+    std::vector<int> Index(N, -1), Low(N, 0);
+    std::vector<char> OnStack(N, 0);
+    std::vector<int> Stack;
+    int Next = 0;
+    struct Frame {
+      int Node;
+      size_t SuccIdx;
+    };
+    for (size_t Start = 0; Start < N; ++Start) {
+      if (!InRegion[Start] || Index[Start] >= 0)
+        continue;
+      std::vector<Frame> Frames{{static_cast<int>(Start), 0}};
+      Index[Start] = Low[Start] = Next++;
+      Stack.push_back(static_cast<int>(Start));
+      OnStack[Start] = 1;
+      while (!Frames.empty()) {
+        Frame &Fr = Frames.back();
+        const auto &Ss = Succs[Fr.Node];
+        bool Descended = false;
+        while (Fr.SuccIdx < Ss.size()) {
+          int S = Ss[Fr.SuccIdx++].first;
+          if (!InRegion[S])
+            continue;
+          if (Index[S] < 0) {
+            Index[S] = Low[S] = Next++;
+            Stack.push_back(S);
+            OnStack[S] = 1;
+            Frames.push_back({S, 0});
+            Descended = true;
+            break;
+          }
+          if (OnStack[S])
+            Low[Fr.Node] = std::min(Low[Fr.Node], Index[S]);
+        }
+        if (Descended)
+          continue;
+        int B = Fr.Node;
+        Frames.pop_back();
+        if (!Frames.empty())
+          Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[B]);
+        if (Low[B] == Index[B]) {
+          std::vector<int> Component;
+          while (true) {
+            int X = Stack.back();
+            Stack.pop_back();
+            OnStack[X] = 0;
+            Component.push_back(X);
+            if (X == B)
+              break;
+          }
+          Out.push_back(std::move(Component));
+        }
+      }
+    }
+    return Out;
+  }
+
+  bool hasSelfArc(int Id) const {
+    for (const auto &[To, E] : Succs[Id]) {
+      (void)E;
+      if (To == Id)
+        return true;
+    }
+    return false;
+  }
+
+  RB regionBounds(const std::vector<char> &InRegion,
+                  const std::set<int> &Entries, const std::set<int> &Accepts,
+                  int Depth) {
+    if (Depth > 32)
+      return RB::unknownUpper(Bound::lower(CostPoly()),
+                              "loop nest too deep");
+    if (Accepts.empty())
+      return RB::exact(CostPoly()); // No complete path: contributes nothing.
+
+    std::vector<std::vector<int>> Sccs = sccsOf(InRegion);
+    // Tarjan emits successors first; process in reverse for topo order.
+    std::reverse(Sccs.begin(), Sccs.end());
+
+    // Map node -> scc id.
+    std::map<int, int> SccOf;
+    for (size_t C = 0; C < Sccs.size(); ++C)
+      for (int N : Sccs[C])
+        SccOf[N] = static_cast<int>(C);
+
+    std::vector<std::optional<RB>> In(Sccs.size());
+    std::vector<std::optional<RB>> Out(Sccs.size());
+    std::optional<RB> Result;
+    RB Zero = RB::exact(CostPoly());
+
+    for (size_t C = 0; C < Sccs.size(); ++C) {
+      const std::vector<int> &Comp = Sccs[C];
+      bool Loop = Comp.size() > 1 || hasSelfArc(Comp[0]);
+
+      // Gather In[C]: empty path if C holds an entry; otherwise merged
+      // predecessor Out values.
+      std::optional<RB> InC;
+      for (int N : Comp)
+        if (Entries.count(N)) {
+          if (!InC)
+            InC = Zero;
+          else
+            InC->mergeWith(Zero);
+        }
+      for (int N : Comp) {
+        for (int P : Preds[N]) {
+          if (!InRegion[P] || SccOf.at(P) == static_cast<int>(C))
+            continue;
+          const std::optional<RB> &PredOut = Out[SccOf.at(P)];
+          if (!PredOut)
+            continue; // Predecessor unreachable within region.
+          if (!InC)
+            InC = *PredOut;
+          else
+            InC->mergeWith(*PredOut);
+        }
+      }
+      In[C] = InC;
+      if (!InC) {
+        Out[C] = std::nullopt;
+        continue;
+      }
+
+      RB Weight = Loop ? loopBounds(Comp, InRegion, Entries, Depth)
+                       : RB::exact(CostPoly::constant(nodeCost(Comp[0])));
+      Out[C] = InC->plus(Weight);
+
+      // Accepting nodes inside C terminate paths here.
+      for (int N : Comp) {
+        if (!Accepts.count(N))
+          continue;
+        RB Contribution;
+        if (!Loop) {
+          Contribution = *Out[C];
+        } else {
+          // A path may stop mid-loop: sound lower bound is one header
+          // visit; the upper bound of the full loop still covers it.
+          RB Partial;
+          Partial.Lo = Bound::lower(CostPoly::constant(nodeCost(Comp[0])));
+          Partial.Hi = Weight.Hi;
+          Partial.Note = Weight.Note;
+          Contribution = InC->plus(Partial);
+        }
+        if (!Result)
+          Result = Contribution;
+        else
+          Result->mergeWith(Contribution);
+      }
+    }
+    if (!Result)
+      return RB::unknownUpper(Bound::lower(CostPoly()),
+                              "no accepting path in region");
+    return *Result;
+  }
+
+  /// Bounds one non-trivial SCC \p Comp.
+  ///
+  /// Iterations are counted at a *counting node* X: a branch in the SCC
+  /// with exactly one in-SCC successor and at least one exit, whose guard
+  /// matches a trip-count lemma. X is normally the SCC's entry header, but
+  /// trail restrictions can unroll the first iteration and rotate the loop
+  /// so that the entry lands mid-body — then the guard node elsewhere in
+  /// the SCC serves as X and the bound composes prefix / rotation segments.
+  RB loopBounds(const std::vector<int> &Comp,
+                const std::vector<char> &InRegion,
+                const std::set<int> &RegionEntries, int Depth) {
+    std::set<int> CSet(Comp.begin(), Comp.end());
+
+    // Identify the unique entry header: target of arcs from outside the
+    // SCC (within the region) or a designated region entry.
+    std::set<int> Headers;
+    for (int N : Comp) {
+      if (RegionEntries.count(N))
+        Headers.insert(N);
+      for (int P : Preds[N])
+        if (InRegion[P] && !CSet.count(P))
+          Headers.insert(N);
+    }
+    Bound MinLo = Bound::lower(CostPoly::constant(minNodeCost(Comp)));
+    if (Headers.size() != 1)
+      return RB::unknownUpper(MinLo, "irreducible loop (multiple headers)");
+    int H = *Headers.begin();
+
+    auto InSccSuccs = [&](int N) {
+      std::vector<std::pair<int, Edge>> Out;
+      for (const auto &[To, E] : Succs[N])
+        if (CSet.count(To))
+          Out.push_back({To, E});
+      return Out;
+    };
+    auto HasExit = [&](int N) {
+      for (const auto &[To, E] : Succs[N]) {
+        (void)E;
+        if (!CSet.count(To))
+          return true;
+      }
+      return false;
+    };
+
+    // Choose the counting node: prefer the entry header, then scan the
+    // other SCC nodes in id order.
+    std::vector<int> Candidates = {H};
+    {
+      std::vector<int> Rest(Comp.begin(), Comp.end());
+      std::sort(Rest.begin(), Rest.end());
+      for (int N : Rest)
+        if (N != H)
+          Candidates.push_back(N);
+    }
+    int X = -1;
+    std::optional<CostPoly> TripHi, TripLo;
+    bool MayBeSkipped = true;
+    std::string Why = "no counting node with a matching lemma";
+    for (int Cand : Candidates) {
+      if (F.block(G.node(Cand).Block).Term != BasicBlock::TermKind::Branch)
+        continue;
+      std::vector<std::pair<int, Edge>> InSucc = InSccSuccs(Cand);
+      if (InSucc.size() != 1 || !HasExit(Cand))
+        continue;
+      bool EarlyExitAtCand = false;
+      for (int N : Comp)
+        if (N != Cand && HasExit(N))
+          EarlyExitAtCand = true;
+      std::optional<CostPoly> Hi2, Lo2;
+      bool Skip2 = true;
+      std::string Why2;
+      deriveTrips(Comp, CSet, Cand, InSucc[0].second,
+                  /*AllowTripLo=*/Cand == H && !EarlyExitAtCand, Hi2, Lo2,
+                  Skip2, Why2);
+      if (Hi2) {
+        X = Cand;
+        TripHi = Hi2;
+        TripLo = Lo2;
+        MayBeSkipped = Skip2;
+        break;
+      }
+      if (!Why2.empty())
+        Why = Why2;
+    }
+    if (X < 0)
+      return RB::unknownUpper(MinLo, Why);
+
+    CostPoly XCost = CostPoly::constant(nodeCost(X));
+    bool EarlyExit = false;
+    for (int N : Comp)
+      if (N != X && HasExit(N))
+        EarlyExit = true;
+
+    // Sub-region: the SCC without the counting node.
+    std::vector<char> BodyRegion(G.size(), 0);
+    for (int N : Comp)
+      if (N != X)
+        BodyRegion[N] = 1;
+    std::set<int> BodyEntries, BodyAccepts;
+    for (const auto &[To, E] : Succs[X]) {
+      (void)E;
+      if (CSet.count(To) && To != X)
+        BodyEntries.insert(To);
+    }
+    for (int P : Preds[X])
+      if (CSet.count(P) && P != X)
+        BodyAccepts.insert(P);
+
+    if (X == H) {
+      // Classic while-shaped loop: body runs between consecutive header
+      // visits.
+      RB BodyRB = RB::exact(CostPoly());
+      if (!BodyEntries.empty())
+        BodyRB = regionBounds(BodyRegion, BodyEntries, BodyAccepts,
+                              Depth + 1);
+      RB W;
+      if (TripLo) {
+        const CostPoly &T = *TripLo;
+        W.Lo = (BodyRB.Lo * T) + (XCost * (T + CostPoly::constant(1)));
+      } else {
+        W.Lo = Bound::lower(XCost);
+      }
+      if (EarlyExit)
+        W.Lo.merge(Bound::lower(XCost));
+
+      if (BodyRB.Hi) {
+        // The zero-trip fallback covers inputs where the trip polynomial
+        // would go negative; it is omitted when the preheader state proves
+        // the loop always runs at least once.
+        std::vector<CostPoly> TripCandidates = {*TripHi};
+        if (MayBeSkipped)
+          TripCandidates.push_back(CostPoly());
+        Bound Hi = Bound::upper(CostPoly());
+        bool First = true;
+        for (const CostPoly &T : TripCandidates) {
+          Bound Candidate =
+              (*BodyRB.Hi * T) + (XCost * (T + CostPoly::constant(1)));
+          if (First) {
+            Hi = Candidate;
+            First = false;
+          } else {
+            Hi.merge(Candidate);
+          }
+        }
+        if (EarlyExit)
+          Hi = Hi + *BodyRB.Hi; // One partial pass before the exit.
+        W.Hi = Hi;
+      } else {
+        W.Hi.reset();
+        W.Note = BodyRB.Note;
+      }
+      return W;
+    }
+
+    // Rotated loop: paths run a prefix segment H -> X, then at most TripHi
+    // full rotations at X. Every segment (prefix, rotation, final partial)
+    // is a path through the SCC-minus-X region, so:
+    //   cost <= Seg.Hi * (TripHi + 2) + XCost * (TripHi + 1).
+    std::set<int> SegEntries = BodyEntries;
+    SegEntries.insert(H);
+    std::set<int> SegAccepts = BodyAccepts;
+    for (int N : Comp)
+      if (N != X && HasExit(N))
+        SegAccepts.insert(N);
+    RB SegRB = RB::exact(CostPoly());
+    if (!SegEntries.empty() && !SegAccepts.empty())
+      SegRB = regionBounds(BodyRegion, SegEntries, SegAccepts, Depth + 1);
+
+    RB W;
+    W.Lo = MinLo; // Weak but sound: the SCC is entered at all.
+    if (SegRB.Hi) {
+      const CostPoly &T = *TripHi;
+      Bound Hi = (*SegRB.Hi * (T + CostPoly::constant(2))) +
+                 (XCost * (T + CostPoly::constant(1)));
+      // Trips may be zero-clamped: cover the T=0 instantiation too.
+      if (MayBeSkipped)
+        Hi.merge((*SegRB.Hi * CostPoly::constant(2)) + XCost);
+      W.Hi = Hi;
+    } else {
+      W.Hi.reset();
+      W.Note = SegRB.Note;
+    }
+    return W;
+  }
+
+  int64_t minNodeCost(const std::vector<int> &Comp) const {
+    int64_t Min = nodeCost(Comp[0]);
+    for (int N : Comp)
+      Min = std::min(Min, nodeCost(N));
+    return Min;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Trip-count lemmas
+  //===------------------------------------------------------------------===//
+
+  void deriveTrips(const std::vector<int> &Comp, const std::set<int> &CSet,
+                   int H, const Edge &ContinueEdge, bool AllowTripLo,
+                   std::optional<CostPoly> &TripHi,
+                   std::optional<CostPoly> &TripLo, bool &MayBeSkipped,
+                   std::string &Why) {
+    const BasicBlock &HB = F.block(G.node(H).Block);
+    assert(HB.Term == BasicBlock::TermKind::Branch &&
+           "counting node must be a branch");
+    if (HB.TrueSucc == HB.FalseSucc) {
+      Why = "degenerate branch";
+      return;
+    }
+    bool ContinuePositive = ContinueEdge.To == HB.TrueSucc;
+
+    // Guard value at loop entry, from the preheader states.
+    Dbm Pre = preheaderState(CSet, H);
+    if (Pre.isBottom()) {
+      Why = "no feasible loop entry state";
+      return;
+    }
+
+    // Canonical continue guard: G <= 0.
+    std::optional<LinForm> Guard =
+        canonicalGuard(HB.Cond, ContinuePositive);
+    if (!Guard)
+      Guard = canonicalGuardNe(HB.Cond, ContinuePositive, Pre, Comp, CSet,
+                               H);
+    if (!Guard) {
+      Why = "loop guard is not a linear comparison";
+      return;
+    }
+
+    // Per-iteration delta of the guard.
+    std::optional<int64_t> GDelta = guardDelta(*Guard, Comp, CSet, H);
+    if (!GDelta) {
+      Why = "guard progress is not a constant per iteration";
+      return;
+    }
+    if (*GDelta <= 0) {
+      Why = "guard does not progress toward exit";
+      return;
+    }
+    int64_t Gd = *GDelta;
+    std::optional<CostPoly> G0Lo = polyLower(Pre, *Guard);
+    std::optional<CostPoly> G0Hi = polyUpper(Pre, *Guard);
+
+    // Can the loop be skipped (zero body executions)? Only if the guard can
+    // start positive; the zone's numeric evaluation often refutes that.
+    MayBeSkipped = true;
+    if (auto NumericHi = Env.evalUpper(Pre, *Guard))
+      if (*NumericHi <= 0)
+        MayBeSkipped = false;
+
+    // T = max(0, floor(-G0 / g) + 1).
+    if (G0Lo) {
+      if (Gd == 1) {
+        TripHi = (CostPoly() - *G0Lo) + CostPoly::constant(1);
+      } else if (G0Lo->isConstant()) {
+        TripHi = CostPoly::constant(
+            std::max<int64_t>(0, floorDiv(-G0Lo->constantTerm(), Gd) + 1));
+      } else {
+        // g >= 2 with a symbolic start: -G0 + 1 still dominates the trips.
+        TripHi = (CostPoly() - *G0Lo) + CostPoly::constant(1);
+      }
+    } else {
+      Why = "loop entry value of the guard is unbounded";
+    }
+
+    // Lower trip bound only when the header guard is the sole way out.
+    if (AllowTripLo && G0Hi) {
+      if (Gd == 1)
+        TripLo = (CostPoly() - *G0Hi) + CostPoly::constant(1);
+      else if (G0Hi->isConstant())
+        TripLo = CostPoly::constant(
+            std::max<int64_t>(0, floorDiv(-G0Hi->constantTerm(), Gd) + 1));
+      // Symbolic start with g >= 2: leave TripLo unset (trips >= 0 anyway).
+    }
+  }
+
+  /// Builds the linear form G with "continue iff G <= 0" from the header
+  /// branch condition.
+  std::optional<LinForm> canonicalGuard(const Expr *Cond,
+                                        bool Positive) const {
+    const auto *B = dyn_cast<BinaryExpr>(Cond);
+    if (!B)
+      return std::nullopt;
+    BinaryOp Op = B->Op;
+    if (!Positive) {
+      switch (Op) {
+      case BinaryOp::Lt:
+        Op = BinaryOp::Ge;
+        break;
+      case BinaryOp::Le:
+        Op = BinaryOp::Gt;
+        break;
+      case BinaryOp::Gt:
+        Op = BinaryOp::Le;
+        break;
+      case BinaryOp::Ge:
+        Op = BinaryOp::Lt;
+        break;
+      default:
+        return std::nullopt;
+      }
+    }
+    auto L = Env.parseLinear(B->Lhs.get());
+    auto R = Env.parseLinear(B->Rhs.get());
+    if (!L || !R)
+      return std::nullopt;
+    LinForm Diff = *L;
+    Diff.Const -= R->Const;
+    for (const auto &[V, C] : R->Coeffs)
+      Diff.add(V, -C);
+    LinForm Neg;
+    Neg.Const = -Diff.Const;
+    for (const auto &[V, C] : Diff.Coeffs)
+      Neg.add(V, -C);
+    switch (Op) {
+    case BinaryOp::Lt: // L - R < 0  ==  (L - R + 1) <= 0
+      Diff.Const += 1;
+      return Diff;
+    case BinaryOp::Le:
+      return Diff;
+    case BinaryOp::Gt: // R - L + 1 <= 0
+      Neg.Const += 1;
+      return Neg;
+    case BinaryOp::Ge:
+      return Neg;
+    default:
+      return std::nullopt;
+    }
+  }
+
+  /// The disequality lemma: "continue while L != R" behaves like a strict
+  /// comparison when the difference moves by exactly one unit per
+  /// iteration (it cannot step over zero) and the preheader state fixes
+  /// its starting side. \returns the canonical G (continue iff G <= 0).
+  std::optional<LinForm> canonicalGuardNe(const Expr *Cond, bool Positive,
+                                          const Dbm &Pre,
+                                          const std::vector<int> &Comp,
+                                          const std::set<int> &CSet, int H) {
+    const auto *B = dyn_cast<BinaryExpr>(Cond);
+    if (!B)
+      return std::nullopt;
+    BinaryOp Op = B->Op;
+    if (!Positive) {
+      if (Op == BinaryOp::Eq)
+        Op = BinaryOp::Ne;
+      else
+        return std::nullopt;
+    }
+    if (Op != BinaryOp::Ne)
+      return std::nullopt;
+    auto L = Env.parseLinear(B->Lhs.get());
+    auto R = Env.parseLinear(B->Rhs.get());
+    if (!L || !R)
+      return std::nullopt;
+    LinForm Diff = *L;
+    Diff.Const -= R->Const;
+    for (const auto &[V, C] : R->Coeffs)
+      Diff.add(V, -C);
+
+    std::optional<int64_t> D = guardDelta(Diff, Comp, CSet, H);
+    if (!D)
+      return std::nullopt;
+    if (*D == 1) {
+      // Approaching zero from below: need Diff <= 0 at entry.
+      auto Hi = Env.evalUpper(Pre, Diff);
+      if (!Hi || *Hi > 0)
+        return std::nullopt;
+      LinForm G = Diff;
+      G.Const += 1; // Continue while Diff <= -1, exit exactly at 0.
+      return G;
+    }
+    if (*D == -1) {
+      // Approaching zero from above: need Diff >= 0 at entry.
+      auto Lo = Env.evalLower(Pre, Diff);
+      if (!Lo || *Lo < 0)
+        return std::nullopt;
+      LinForm G;
+      G.Const = -Diff.Const + 1;
+      for (const auto &[V, C] : Diff.Coeffs)
+        G.add(V, -C);
+      return G;
+    }
+    return std::nullopt;
+  }
+
+  /// Per-iteration constant delta of \p Guard around the loop, via the
+  /// seeding-style delta dataflow within the SCC.
+  std::optional<int64_t> guardDelta(const LinForm &Guard,
+                                    const std::vector<int> &Comp,
+                                    const std::set<int> &CSet, int H) {
+    int NV = Env.numVars();
+    auto MakeZero = [&] {
+      return DeltaState(NV + 1, Delta::known(0));
+    };
+    std::map<int, DeltaState> Entry;
+    Entry[H] = MakeZero();
+
+    auto TransferBlock = [&](DeltaState D, int Block) {
+      for (const Instr &I : F.block(Block).Instrs) {
+        if (I.K != Instr::Kind::Assign)
+          continue;
+        int V = Env.indexOf(I.Dest);
+        if (V < 0)
+          continue;
+        Delta New = Delta::unknown();
+        if (I.Value) {
+          if (auto L = Env.parseLinear(I.Value)) {
+            if (L->Coeffs.size() == 1 && L->Coeffs.begin()->first == V &&
+                L->Coeffs.begin()->second == 1 &&
+                D[V].K == Delta::Kind::Known)
+              New = Delta::known(D[V].C + L->Const);
+          }
+        }
+        D[V] = New;
+      }
+      return D;
+    };
+
+    // Fixpoint over in-SCC arcs that do not re-enter the header.
+    bool Changed = true;
+    int Guard2 = 0;
+    while (Changed && ++Guard2 < 1000) {
+      Changed = false;
+      for (int N : Comp) {
+        auto It = Entry.find(N);
+        if (It == Entry.end())
+          continue;
+        DeltaState Out = TransferBlock(It->second, G.node(N).Block);
+        for (const auto &[To, E] : Succs[N]) {
+          (void)E;
+          if (!CSet.count(To) || To == H)
+            continue;
+          auto ToIt = Entry.find(To);
+          if (ToIt == Entry.end()) {
+            Entry[To] = Out;
+            Changed = true;
+            continue;
+          }
+          DeltaState Joined = ToIt->second;
+          bool Moved = false;
+          for (int V = 0; V <= NV; ++V) {
+            Delta J = Joined[V].joined(Out[V]);
+            if (!J.same(Joined[V])) {
+              Joined[V] = J;
+              Moved = true;
+            }
+          }
+          if (Moved) {
+            ToIt->second = std::move(Joined);
+            Changed = true;
+          }
+        }
+      }
+    }
+
+    // Join the deltas carried by the back edges into the header.
+    std::optional<DeltaState> Back;
+    for (int N : Comp) {
+      bool EdgesToH = false;
+      for (const auto &[To, E] : Succs[N]) {
+        (void)E;
+        if (To == H && CSet.count(N))
+          EdgesToH = true;
+      }
+      if (!EdgesToH)
+        continue;
+      auto It = Entry.find(N);
+      if (It == Entry.end())
+        continue; // Unreached back-edge source.
+      DeltaState Out = TransferBlock(It->second, G.node(N).Block);
+      if (!Back) {
+        Back = std::move(Out);
+        continue;
+      }
+      for (int V = 0; V <= NV; ++V)
+        (*Back)[V] = (*Back)[V].joined(Out[V]);
+    }
+    if (!Back)
+      return std::nullopt;
+
+    int64_t Sum = 0;
+    for (const auto &[V, C] : Guard.Coeffs) {
+      const Delta &D = (*Back)[V];
+      if (D.K != Delta::Kind::Known)
+        return std::nullopt;
+      Sum += C * D.C;
+    }
+    return Sum;
+  }
+
+  /// Join of the abstract states entering the loop from outside.
+  Dbm preheaderState(const std::set<int> &CSet, int H) {
+    Dbm Acc = Dbm::bottom(Env.numVars());
+    bool Any = false;
+    for (int P : Preds[H]) {
+      if (CSet.count(P))
+        continue;
+      for (const auto &[To, E] : Succs[P]) {
+        if (To != H)
+          continue;
+        Acc.joinWith(Az.transferEdge(AR.EntryState[P], E));
+        Any = true;
+      }
+    }
+    if (!Any)
+      return AR.EntryState[H]; // Header is the region entry; use its own
+                               // (weaker) invariant.
+    return Acc;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Symbolic projections of zone states
+  //===------------------------------------------------------------------===//
+
+  std::optional<CostPoly> varLowerPoly(const Dbm &D, int V) const {
+    if (Env.isInputSymbol(V))
+      return CostPoly::variable(Env.displaySymbol(V));
+    // Exact constant first (keeps polynomials free of incidental symbols).
+    if (auto Lo = D.lowerOf(V))
+      if (auto Hi = D.upperOfOpt(V))
+        if (*Lo == *Hi)
+          return CostPoly::constant(*Lo);
+    for (int S = 1; S <= Env.numVars(); ++S) {
+      if (S == V || !Env.isInputSymbol(S))
+        continue;
+      if (auto C = D.exactDifference(V, S))
+        return CostPoly::variable(Env.displaySymbol(S)) +
+               CostPoly::constant(*C);
+    }
+    if (auto Lo = D.lowerOf(V))
+      return CostPoly::constant(*Lo);
+    // One-sided relation to an input symbol: s - v <= c means v >= s - c.
+    for (int S = 1; S <= Env.numVars(); ++S) {
+      if (S == V || !Env.isInputSymbol(S))
+        continue;
+      int64_t C = D.bound(S, V);
+      if (C != Dbm::Inf)
+        return CostPoly::variable(Env.displaySymbol(S)) -
+               CostPoly::constant(C);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<CostPoly> varUpperPoly(const Dbm &D, int V) const {
+    if (Env.isInputSymbol(V))
+      return CostPoly::variable(Env.displaySymbol(V));
+    // Exact constant first (keeps polynomials free of incidental symbols).
+    if (auto Lo = D.lowerOf(V))
+      if (auto Hi = D.upperOfOpt(V))
+        if (*Lo == *Hi)
+          return CostPoly::constant(*Hi);
+    for (int S = 1; S <= Env.numVars(); ++S) {
+      if (S == V || !Env.isInputSymbol(S))
+        continue;
+      if (auto C = D.exactDifference(V, S))
+        return CostPoly::variable(Env.displaySymbol(S)) +
+               CostPoly::constant(*C);
+    }
+    if (auto Hi = D.upperOfOpt(V))
+      return CostPoly::constant(*Hi);
+    // One-sided relation to an input symbol: v - s <= c means v <= s + c.
+    for (int S = 1; S <= Env.numVars(); ++S) {
+      if (S == V || !Env.isInputSymbol(S))
+        continue;
+      int64_t C = D.bound(V, S);
+      if (C != Dbm::Inf)
+        return CostPoly::variable(Env.displaySymbol(S)) +
+               CostPoly::constant(C);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<CostPoly> polyLower(const Dbm &D, const LinForm &L) const {
+    CostPoly Sum = CostPoly::constant(L.Const);
+    for (const auto &[V, C] : L.Coeffs) {
+      std::optional<CostPoly> P =
+          C > 0 ? varLowerPoly(D, V) : varUpperPoly(D, V);
+      if (!P)
+        return std::nullopt;
+      Sum += *P * C;
+    }
+    return Sum;
+  }
+
+  std::optional<CostPoly> polyUpper(const Dbm &D, const LinForm &L) const {
+    CostPoly Sum = CostPoly::constant(L.Const);
+    for (const auto &[V, C] : L.Coeffs) {
+      std::optional<CostPoly> P =
+          C > 0 ? varUpperPoly(D, V) : varLowerPoly(D, V);
+      if (!P)
+        return std::nullopt;
+      Sum += *P * C;
+    }
+    return Sum;
+  }
+
+  const CfgFunction &F;
+  const VarEnv &Env;
+  const Analyzer &Az;
+  const ProductGraph &G;
+  const AnalysisResult &AR;
+
+  std::vector<char> Alive;
+  std::vector<std::vector<std::pair<int, Edge>>> Succs;
+  std::vector<std::vector<int>> Preds;
+};
+
+} // namespace
+
+TrailBoundResult BoundAnalysis::analyzeTrail(const Dfa &TrailDfa) const {
+  TrailBoundResult Res;
+  ProductGraph G = ProductGraph::build(F, TrailDfa, A);
+  if (G.empty())
+    return Res;
+  AnalysisResult AR = Az.analyze(G);
+  RegionEngine Engine(F, Env, Az, G, AR);
+  if (!Engine.entryAlive())
+    return Res;
+  RB R = Engine.run();
+  Res.Feasible = true;
+  Res.Lo = R.Lo;
+  Res.Hi = R.Hi;
+  Res.Note = R.Note;
+  return Res;
+}

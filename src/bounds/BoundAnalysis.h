@@ -1,0 +1,90 @@
+//===- BoundAnalysis.h - Symbolic running-time bounds per trail -*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BOUNDANALYSIS (§2.2/§5): computes symbolic lower and upper bounds on the
+/// running time of the executions described by a trail.
+///
+/// Pipeline: build the CFG x trail-DFA product, run the zone abstract
+/// interpreter over it (pruning infeasible nodes and arcs), then fold the
+/// product's SCC condensation bottom-up. Each loop SCC is bounded by
+/// matching its header condition and the per-iteration transition
+/// invariants (variable deltas, obtained via seeding) against a small
+/// database of complexity-bound lemmas in the style of Gulwani et al.
+/// [16,17]:
+///   - inc-to-upper:  continue while v < U, v += d (d > 0)
+///   - dec-to-lower:  continue while v > L, v -= d (d > 0)
+///   - and their <=/>= variants, all reduced to the canonical form
+///     "continue while G <= 0, G += g per iteration, g > 0", with trip
+///     count floor(-G0/g) + 1.
+///
+/// Bounds are polynomials over the function's *input symbols* (parameter
+/// seeds and array lengths), e.g. [19*guess.len + 10, 23*guess.len + 10].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_BOUNDS_BOUNDANALYSIS_H
+#define BLAZER_BOUNDS_BOUNDANALYSIS_H
+
+#include "absint/Analyzer.h"
+#include "absint/ProductGraph.h"
+#include "absint/VarEnv.h"
+#include "automata/Automaton.h"
+#include "ir/Cfg.h"
+#include "support/Bound.h"
+
+#include <optional>
+#include <string>
+
+namespace blazer {
+
+/// Outcome of bounding one trail.
+struct TrailBoundResult {
+  /// False when the trail admits no feasible complete execution (either no
+  /// path through the CFG or ruled out by the abstract interpreter).
+  bool Feasible = false;
+  /// Always valid when feasible.
+  Bound Lo = Bound::lower(CostPoly());
+  /// Unset when no upper bound could be established (unknown trip count,
+  /// irreducible loop shape, ...).
+  std::optional<Bound> Hi;
+  /// Human-readable reason when Hi is unset.
+  std::string Note;
+
+  bool hasUpper() const { return Hi.has_value(); }
+  /// The [Lo, Hi] range; only call when hasUpper().
+  BoundRange range() const;
+  /// Renders "[lo, hi]" or "[lo, ?]".
+  std::string str() const;
+};
+
+/// Bound analysis engine for one function. Construct once, query per trail.
+class BoundAnalysis {
+public:
+  /// \p InputPins fixes publicly known input symbols (e.g. key bit-lengths)
+  /// in the abstract initial state; see VarEnv.
+  explicit BoundAnalysis(const CfgFunction &F,
+                         std::map<std::string, int64_t> InputPins = {});
+
+  const EdgeAlphabet &alphabet() const { return A; }
+  const VarEnv &env() const { return Env; }
+
+  /// Bounds the executions in L(trail) ∩ JCK.
+  TrailBoundResult analyzeTrail(const Dfa &TrailDfa) const;
+
+  /// The most general trail's automaton (the whole CFG).
+  Dfa mostGeneralTrail() const;
+
+private:
+  const CfgFunction &F;
+  EdgeAlphabet A;
+  VarEnv Env;
+  Analyzer Az;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_BOUNDS_BOUNDANALYSIS_H

@@ -1,0 +1,526 @@
+//===- Blazer.cpp - The timing-channel verifier driver --------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Blazer.h"
+
+#include "absint/ProductGraph.h"
+#include "automata/AnnotateTrail.h"
+#include "dataflow/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <sstream>
+
+using namespace blazer;
+
+const char *blazer::verdictName(VerdictKind V) {
+  switch (V) {
+  case VerdictKind::Safe:
+    return "safe";
+  case VerdictKind::Attack:
+    return "attack";
+  case VerdictKind::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+const char *blazer::splitKindName(SplitKind K) {
+  switch (K) {
+  case SplitKind::None:
+    return "most general";
+  case SplitKind::AvoidTrue:
+    return "never takes the true edge";
+  case SplitKind::AvoidFalse:
+    return "never takes the false edge";
+  case SplitKind::TakesBoth:
+    return "takes both edges";
+  }
+  return "?";
+}
+
+std::string AttackSpec::str() const {
+  std::ostringstream OS;
+  if (TrailB < 0) {
+    OS << "attack specification: trail tr" << TrailA
+       << " has running time correlated with secret data; bounds "
+       << BoundsA;
+    return OS.str();
+  }
+  OS << "attack specification: trails tr" << TrailA << " and tr" << TrailB
+     << " are chosen by the secret-dependent branch at bb" << SecretBranch
+     << " yet have observably different running times:\n"
+     << "  tr" << TrailA << ": " << BoundsA << "\n"
+     << "  tr" << TrailB << ": " << BoundsB << "\n"
+     << "  witness path skeletons:\n"
+     << "    A: " << PathA << "\n"
+     << "    B: " << PathB;
+  return OS.str();
+}
+
+namespace {
+
+class Driver {
+public:
+  Driver(const CfgFunction &F, const BlazerOptions &Options)
+      : F(F), Opt(Options), BA(F, Options.Observer.pinnedSymbols()) {
+    // Boolean parameters range over {0,1} regardless of the configured
+    // default input maximum.
+    for (const Param &P : F.Params)
+      if (P.Type == TypeKind::Bool)
+        Opt.Observer.setMaxInput(P.Name, 1);
+  }
+
+  BlazerResult run() {
+    auto T0 = std::chrono::steady_clock::now();
+    BlazerResult R;
+    bool Safe = runSafetyPhase(R.Taint);
+    auto T1 = std::chrono::steady_clock::now();
+    R.SafetySeconds = std::chrono::duration<double>(T1 - T0).count();
+
+    if (Safe) {
+      R.Verdict = VerdictKind::Safe;
+    } else if (Opt.SearchAttack) {
+      attackLoop(R.Attacks);
+      R.Verdict =
+          R.Attacks.empty() ? VerdictKind::Unknown : VerdictKind::Attack;
+    } else {
+      R.Verdict = VerdictKind::Unknown;
+    }
+    auto T2 = std::chrono::steady_clock::now();
+    R.TotalSeconds = std::chrono::duration<double>(T2 - T0).count();
+    R.Tree = std::move(Tree);
+    return R;
+  }
+
+  /// §3.4: the channel-capacity analysis (see analyzeChannelCapacity).
+  ChannelCapacityResult runCapacity(int Q) {
+    ChannelCapacityResult R;
+    R.Q = Q;
+    bool Safe = runSafetyPhase(R.Taint);
+
+    // The ψ_tcf components are the safety-phase leaves; remember them
+    // before the secret refinement grows the tree.
+    std::vector<int> Components;
+    for (const Trail &T : Tree)
+      if (T.isLeaf() && T.feasible())
+        Components.push_back(T.Id);
+
+    if (!Safe) {
+      // Exhaustive secret refinement: split every non-narrow feasible leaf
+      // at every remaining secret branch (no early exit).
+      std::deque<int> Queue;
+      for (int Id : Components)
+        if (!Tree[Id].Narrow)
+          Queue.push_back(Id);
+      while (!Queue.empty()) {
+        int LeafId = Queue.front();
+        Queue.pop_front();
+        if (static_cast<int>(Tree[LeafId].UsedSplits.size()) >=
+                Opt.MaxDepth ||
+            !budgetLeft())
+          continue;
+        std::optional<int> B = pickBranch(Tree[LeafId], /*SecretMode=*/true);
+        if (!B)
+          continue;
+        for (int C : splitAt(LeafId, *B, /*SecretSplit=*/true))
+          if (Tree[C].feasible() && !Tree[C].Narrow)
+            Queue.push_back(C);
+      }
+    }
+
+    // Classify each component's final trails into observational classes.
+    R.Known = true;
+    R.MaxClasses = 0;
+    for (int Comp : Components) {
+      std::vector<const Trail *> Finals;
+      std::function<void(int)> Collect = [&](int Id) {
+        if (Tree[Id].isLeaf()) {
+          if (Tree[Id].feasible())
+            Finals.push_back(&Tree[Id]);
+          return;
+        }
+        for (int C : Tree[Id].Children)
+          Collect(C);
+      };
+      Collect(Comp);
+
+      std::vector<BoundRange> Classes;
+      for (const Trail *T : Finals) {
+        if (!T->Narrow) {
+          // A wide trail may contain arbitrarily many observable times.
+          R.Known = false;
+          break;
+        }
+        BoundRange Range = T->Bounds.range();
+        bool Matched = false;
+        for (const BoundRange &Rep : Classes)
+          if (!Opt.Observer.observablyDifferent(Range, Rep)) {
+            Matched = true;
+            break;
+          }
+        if (!Matched)
+          Classes.push_back(Range);
+      }
+      if (!R.Known)
+        break;
+      R.MaxClasses =
+          std::max(R.MaxClasses, static_cast<int>(Classes.size()));
+    }
+    R.Bounded = R.Known && R.MaxClasses <= Q;
+    R.Tree = std::move(Tree);
+    return R;
+  }
+
+private:
+  /// Shared front half of run()/runCapacity(): taint, the most general
+  /// trail, and the Figure-2 safety loop. \returns CheckSafe's verdict.
+  bool runSafetyPhase(TaintInfo &TaintOut) {
+    TaintOut = runTaintAnalysis(F);
+    Taint = &TaintOut;
+    OnCycle = blocksOnCycles(F);
+
+    Trail Mg;
+    Mg.Id = 0;
+    Mg.Auto = BA.mostGeneralTrail().minimize();
+    Mg.Label = "most general trail";
+    evaluate(Mg);
+    Tree.push_back(std::move(Mg));
+
+    return safetyLoop();
+  }
+  bool isHighSymbol(const std::string &Sym) const {
+    std::string Base = Sym;
+    size_t Pos = Sym.rfind(".len");
+    if (Pos != std::string::npos && Pos + 4 == Sym.size())
+      Base = Sym.substr(0, Pos);
+    return F.paramLevel(Base) == SecurityLevel::Secret;
+  }
+
+  void evaluate(Trail &T) {
+    T.Bounds = BA.analyzeTrail(T.Auto);
+    if (!T.Bounds.Feasible) {
+      T.Narrow = true; // Vacuously: no real executions.
+      return;
+    }
+    if (!T.Bounds.hasUpper()) {
+      T.Narrow = false;
+      return;
+    }
+    T.Narrow = Opt.Observer.isNarrow(
+        T.Bounds.range(), [this](const std::string &S) {
+          return isHighSymbol(S);
+        });
+  }
+
+  /// CheckSafe: every feasible leaf narrow?
+  bool checkSafe() const {
+    for (const Trail &T : Tree)
+      if (T.isLeaf() && T.feasible() && !T.Narrow)
+        return false;
+    return true;
+  }
+
+  /// The branch blocks of \p T whose two out-edges are both present in the
+  /// trail's product with the CFG (i.e. the trail really branches there).
+  std::vector<int> liveBranches(const Trail &T) const {
+    ProductGraph G = ProductGraph::build(F, T.Auto, BA.alphabet());
+    std::vector<std::set<int>> SeenSuccs(F.blockCount());
+    for (size_t Id = 0; Id < G.size(); ++Id)
+      for (const ProductGraph::Arc &Arc : G.successors(Id))
+        SeenSuccs[Arc.CfgEdge.From].insert(Arc.CfgEdge.To);
+    std::vector<int> Out;
+    for (const BasicBlock &B : F.Blocks) {
+      if (B.Term != BasicBlock::TermKind::Branch ||
+          B.TrueSucc == B.FalseSucc)
+        continue;
+      if (SeenSuccs[B.Id].count(B.TrueSucc) &&
+          SeenSuccs[B.Id].count(B.FalseSucc))
+        Out.push_back(B.Id);
+    }
+    return Out;
+  }
+
+  /// Splits leaf \p LeafId at branch \p Block. \returns the new child ids.
+  std::vector<int> splitAt(int LeafId, int Block, bool SecretSplit) {
+    const EdgeAlphabet &A = BA.alphabet();
+    const BasicBlock &B = F.block(Block);
+    int SymT = A.symbol(Edge{Block, B.TrueSucc});
+    int SymF = A.symbol(Edge{Block, B.FalseSucc});
+    int N = static_cast<int>(A.size());
+
+    TaintMark Mark;
+    if (SecretSplit)
+      Mark.High = true;
+    else
+      Mark.Low = true;
+
+    struct ChildSpec {
+      Dfa Auto;
+      SplitKind Kind;
+      std::string Label;
+    };
+    std::vector<ChildSpec> Specs;
+    const Dfa &Parent = Tree[LeafId].Auto;
+    Specs.push_back({Parent.intersect(Dfa::avoidsSymbol(N, SymF)).minimize(),
+                     SplitKind::AvoidFalse,
+                     "bb" + std::to_string(Block) + ": always takes " +
+                         Edge{Block, B.TrueSucc}.str()});
+    Specs.push_back({Parent.intersect(Dfa::avoidsSymbol(N, SymT)).minimize(),
+                     SplitKind::AvoidTrue,
+                     "bb" + std::to_string(Block) + ": always takes " +
+                         Edge{Block, B.FalseSucc}.str()});
+    if (OnCycle[Block])
+      Specs.push_back(
+          {Parent.intersect(Dfa::containsSymbol(N, SymT))
+               .intersect(Dfa::containsSymbol(N, SymF))
+               .minimize(),
+           SplitKind::TakesBoth,
+           "bb" + std::to_string(Block) + ": takes both edges"});
+
+    std::vector<int> ChildIds;
+    for (ChildSpec &S : Specs) {
+      Trail Child;
+      Child.Id = static_cast<int>(Tree.size());
+      Child.Parent = LeafId;
+      Child.Auto = std::move(S.Auto);
+      Child.SplitBlock = Block;
+      Child.Split = S.Kind;
+      Child.SplitOn = Mark;
+      Child.UsedSplits = Tree[LeafId].UsedSplits;
+      Child.UsedSplits.insert(Block);
+      Child.Label = S.Label;
+      evaluate(Child);
+      ChildIds.push_back(Child.Id);
+      Tree.push_back(std::move(Child));
+      Tree[LeafId].Children.push_back(ChildIds.back());
+    }
+    return ChildIds;
+  }
+
+  /// Finds the first eligible branch of leaf \p T for the given mode.
+  /// Acyclic (if-style) branches are preferred over loop guards: splitting
+  /// an if resolves a whole path case, while splitting a loop guard only
+  /// unrolls.
+  std::optional<int> pickBranch(const Trail &T, bool SecretMode) const {
+    std::vector<int> Ordered = liveBranches(T);
+    std::stable_sort(Ordered.begin(), Ordered.end(), [this](int A, int B) {
+      return OnCycle[A] < OnCycle[B];
+    });
+    for (int B : Ordered) {
+      if (T.UsedSplits.count(B))
+        continue;
+      TaintMark M = Taint->markOf(B);
+      if (SecretMode) {
+        if (M.High)
+          return B;
+      } else {
+        if (M.Low && !M.High)
+          return B;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool budgetLeft() const {
+    return static_cast<int>(Tree.size()) + 3 <= Opt.MaxTrails;
+  }
+
+  /// RefinePartition(safe) + CheckSafe until fixed point.
+  bool safetyLoop() {
+    while (true) {
+      if (checkSafe())
+        return true;
+      bool Progress = false;
+      for (size_t Id = 0; Id < Tree.size(); ++Id) {
+        if (!Tree[Id].isLeaf() || !Tree[Id].feasible() || Tree[Id].Narrow)
+          continue;
+        if (static_cast<int>(Tree[Id].UsedSplits.size()) >= Opt.MaxDepth)
+          continue;
+        if (!budgetLeft())
+          return false;
+        std::optional<int> B = pickBranch(Tree[Id], /*SecretMode=*/false);
+        if (!B)
+          continue;
+        splitAt(static_cast<int>(Id), *B, /*SecretSplit=*/false);
+        Progress = true;
+        break; // Re-evaluate CheckSafe with the new partition.
+      }
+      if (!Progress)
+        return false; // No more safe refinements possible.
+    }
+  }
+
+  /// RefinePartition(vulnerable) + CheckAttack (right half of Figure 2).
+  void attackLoop(std::vector<AttackSpec> &Attacks) {
+    std::deque<int> Queue;
+    for (size_t Id = 0; Id < Tree.size(); ++Id)
+      if (Tree[Id].isLeaf() && Tree[Id].feasible() && !Tree[Id].Narrow)
+        Queue.push_back(static_cast<int>(Id));
+
+    while (!Queue.empty() && Attacks.empty()) {
+      int LeafId = Queue.front();
+      Queue.pop_front();
+      if (static_cast<int>(Tree[LeafId].UsedSplits.size()) >= Opt.MaxDepth)
+        continue;
+      if (!budgetLeft())
+        break;
+      std::optional<int> B = pickBranch(Tree[LeafId], /*SecretMode=*/true);
+      if (!B) {
+        // No secret branch left to split on: fall back to the
+        // bounds-correlated-with-secret check.
+        if (boundsMentionHigh(Tree[LeafId])) {
+          AttackSpec Spec;
+          Spec.TrailA = LeafId;
+          Spec.BoundsA = Tree[LeafId].Bounds.str();
+          Attacks.push_back(std::move(Spec));
+        }
+        continue;
+      }
+      std::vector<int> Children = splitAt(LeafId, *B, /*SecretSplit=*/true);
+      // CheckAttack: compare the avoid-true/avoid-false pair.
+      checkAttackPair(Children, *B, Attacks);
+      for (int C : Children)
+        if (Tree[C].feasible() && !Tree[C].Narrow)
+          Queue.push_back(C);
+    }
+  }
+
+  bool boundsMentionHigh(const Trail &T) const {
+    if (!T.feasible())
+      return false;
+    auto Mentions = [this](const Bound &B) {
+      for (const std::string &V : B.variables())
+        if (isHighSymbol(V) && !Opt.Observer.isPinned(V))
+          return true;
+      return false;
+    };
+    if (Mentions(T.Bounds.Lo))
+      return true;
+    return T.Bounds.Hi && Mentions(*T.Bounds.Hi);
+  }
+
+  void checkAttackPair(const std::vector<int> &Children, int Branch,
+                       std::vector<AttackSpec> &Attacks) {
+    // Every pair of sibling components split at the secret branch is a
+    // candidate: the choice between them depends on high data, so
+    // observably different bounds are an attack suspicion (§4.4). All
+    // differing pairs are emitted — "the algorithm outputs a set of
+    // possible attack specifications".
+    for (size_t I = 0; I < Children.size(); ++I) {
+      for (size_t J = I + 1; J < Children.size(); ++J) {
+        const Trail &TA = Tree[Children[I]];
+        const Trail &TB = Tree[Children[J]];
+        if (!TA.feasible() || !TB.feasible())
+          continue;
+        // CheckAttack compares the *symbolic bounds* of the two components;
+        // when either side has no upper bound there is nothing to compare
+        // and no specification is emitted — this conservatism is how
+        // gpt14_unsafe escapes detection (§6.2).
+        if (!TA.Bounds.hasUpper() || !TB.Bounds.hasUpper())
+          continue;
+        if (!Opt.Observer.observablyDifferent(TA.Bounds.range(),
+                                              TB.Bounds.range()))
+          continue;
+        AttackSpec Spec;
+        Spec.TrailA = TA.Id;
+        Spec.TrailB = TB.Id;
+        Spec.SecretBranch = Branch;
+        Spec.BoundsA = TA.Bounds.str();
+        Spec.BoundsB = TB.Bounds.str();
+        Spec.PathA = pathSkeleton(TA);
+        Spec.PathB = pathSkeleton(TB);
+        Attacks.push_back(std::move(Spec));
+      }
+    }
+  }
+
+  std::string pathSkeleton(const Trail &T) const {
+    auto Word = T.Auto.shortestWord();
+    if (!Word)
+      return "<none>";
+    std::ostringstream OS;
+    for (size_t I = 0; I < Word->size(); ++I) {
+      if (I)
+        OS << " ";
+      OS << BA.alphabet().edge((*Word)[I]).str();
+    }
+    return OS.str();
+  }
+
+  const CfgFunction &F;
+  BlazerOptions Opt;
+  BoundAnalysis BA;
+  const TaintInfo *Taint = nullptr;
+  std::vector<bool> OnCycle;
+  std::vector<Trail> Tree;
+};
+
+} // namespace
+
+BlazerResult blazer::analyzeFunction(const CfgFunction &F,
+                                     const BlazerOptions &Options) {
+  Driver D(F, Options);
+  return D.run();
+}
+
+ChannelCapacityResult
+blazer::analyzeChannelCapacity(const CfgFunction &F, int Q,
+                               const BlazerOptions &Options) {
+  assert(Q >= 1 && "capacity must be positive");
+  Driver D(F, Options);
+  return D.runCapacity(Q);
+}
+
+TrailExpr::Ptr blazer::renderAnnotatedTrail(const CfgFunction &F,
+                                            const Dfa &Trail,
+                                            const TaintInfo &Taint,
+                                            size_t SizeLimit) {
+  TrailExpr::Ptr Raw = dfaToTrailExpr(Trail, SizeLimit);
+  if (!Raw)
+    return nullptr;
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  std::map<int, AnnotatedBranch> Branches;
+  for (const BasicBlock &B : F.Blocks) {
+    if (B.Term != BasicBlock::TermKind::Branch || B.TrueSucc == B.FalseSucc)
+      continue;
+    AnnotatedBranch Info;
+    Info.TrueSymbol = A.symbol(Edge{B.Id, B.TrueSucc});
+    Info.FalseSymbol = A.symbol(Edge{B.Id, B.FalseSucc});
+    Info.Mark = Taint.markOf(B.Id);
+    Branches[B.Id] = Info;
+  }
+  return annotateTrail(Raw, Branches);
+}
+
+std::string BlazerResult::treeString(const CfgFunction &F) const {
+  std::ostringstream OS;
+  // Depth-first walk from the root.
+  std::function<void(int, int)> Walk = [&](int Id, int Depth) {
+    const Trail &T = Tree[Id];
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+    OS << "tr" << T.Id;
+    if (T.SplitOn.any())
+      OS << " --" << (T.SplitOn.High ? "sec" : "taint") << "--";
+    OS << " [" << T.Label << "] ";
+    if (!T.feasible()) {
+      OS << "infeasible";
+    } else {
+      OS << T.Bounds.str() << (T.Narrow ? " narrow" : " NOT-narrow");
+    }
+    OS << "\n";
+    for (int C : T.Children)
+      Walk(C, Depth + 1);
+  };
+  if (!Tree.empty())
+    Walk(0, 0);
+  OS << "verdict: " << verdictName(Verdict) << " (" << F.Name << ")\n";
+  return OS.str();
+}

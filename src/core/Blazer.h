@@ -1,0 +1,125 @@
+//===- Blazer.h - The timing-channel verifier driver ------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: the Figure-2 algorithm. Starting from the most
+/// general trail, the driver alternates
+///   RefinePartition(safe)   — split non-narrow trails at low-only branches
+///   CheckSafe               — all feasible leaves narrow?
+/// and, when safe refinement is exhausted,
+///   RefinePartition(vuln)   — split at secret branches
+///   CheckAttack             — sibling trails with observably different
+///                             bounds, or bounds correlated with a secret
+/// producing either a safety proof, an attack specification, or unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_CORE_BLAZER_H
+#define BLAZER_CORE_BLAZER_H
+
+#include "core/Trail.h"
+#include "dataflow/Taint.h"
+#include "support/Observer.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// The three possible outcomes (§6.2: "it either determines the program is
+/// safe, finds an attack specification, or gives up").
+enum class VerdictKind { Safe, Attack, Unknown };
+
+const char *verdictName(VerdictKind V);
+
+/// A synthesized attack specification (§2.3): two sibling trails whose
+/// choice depends on secret data yet whose running-time bounds differ
+/// observably — plus, when available, skeleton paths witnessing each trail.
+struct AttackSpec {
+  int TrailA = -1;
+  int TrailB = -1;
+  /// The secret-dependent branch block the trails disagree on. -1 for the
+  /// single-trail "bounds correlated with a secret variable" form.
+  int SecretBranch = -1;
+  std::string BoundsA;
+  std::string BoundsB;
+  /// Example path skeletons (shortest accepted edge words).
+  std::string PathA;
+  std::string PathB;
+
+  std::string str() const;
+};
+
+/// Tuning knobs.
+struct BlazerOptions {
+  ObserverModel Observer = ObserverModel::polynomialDegree();
+  /// Refinement budgets ("parameters around the size and form of the
+  /// partitions produced", §4.4).
+  int MaxTrails = 512;
+  int MaxDepth = 12;
+  /// Skip the attack search (safety verification only).
+  bool SearchAttack = true;
+};
+
+/// Everything the analysis produced.
+struct BlazerResult {
+  VerdictKind Verdict = VerdictKind::Unknown;
+  std::vector<Trail> Tree; ///< Index = trail id; 0 is the most general.
+  std::vector<AttackSpec> Attacks;
+  TaintInfo Taint;
+
+  /// Wall-clock seconds: safety phase alone, and including attack search.
+  double SafetySeconds = 0;
+  double TotalSeconds = 0;
+
+  /// Pretty-prints the trail tree with bound balloons, Figure-1 style.
+  std::string treeString(const CfgFunction &F) const;
+};
+
+/// Runs the full analysis on \p F.
+BlazerResult analyzeFunction(const CfgFunction &F,
+                             const BlazerOptions &Options = BlazerOptions());
+
+/// Result of the §3.4 channel-capacity analysis — the (q+1)-safety
+/// generalization of timing-channel freedom: at most q distinct observable
+/// running times per public input (tcf is the q = 1 case).
+struct ChannelCapacityResult {
+  /// False when some fully-refined trail had no tight bounds, so the class
+  /// count could not be established (analogous to the tcf "unknown").
+  bool Known = false;
+  /// Known and every component exhibits at most Q observational classes.
+  bool Bounded = false;
+  int Q = 1;
+  /// The largest number of distinct running-time classes found within any
+  /// single ψ_tcf component.
+  int MaxClasses = 0;
+  std::vector<Trail> Tree;
+  TaintInfo Taint;
+};
+
+/// Verifies the §3.4 channel-capacity property ccf with capacity \p Q:
+/// runs the quotient-partitioning safety phase, then *exhaustively* splits
+/// the non-narrow components at secret branches and clusters the resulting
+/// trails' bound ranges into observational classes. Each narrow trail
+/// realizes one high-independent running-time function f_i of the
+/// RBPS(P_{f1..fq}, ccf) instance, so <= Q classes per component verifies
+/// ccf.
+ChannelCapacityResult
+analyzeChannelCapacity(const CfgFunction &F, int Q,
+                       const BlazerOptions &Options = BlazerOptions());
+
+/// Renders \p Trail as the paper's annotated regular expression (§4.2):
+/// union and Kleene-star constructors that decide a tainted branch are
+/// marked |_l, |_h, *_l, ... per \p Taint's branch marks. \returns null
+/// when regex extraction exceeds \p SizeLimit nodes.
+TrailExpr::Ptr renderAnnotatedTrail(const CfgFunction &F, const Dfa &Trail,
+                                    const TaintInfo &Taint,
+                                    size_t SizeLimit = 4096);
+
+} // namespace blazer
+
+#endif // BLAZER_CORE_BLAZER_H

@@ -1,0 +1,108 @@
+//===- QuotientCheck.cpp - Semantic quotient-partition checks -------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/QuotientCheck.h"
+
+#include "bounds/BoundAnalysis.h"
+
+#include <functional>
+
+using namespace blazer;
+
+bool blazer::traceInTrail(const Dfa &D, const EdgeAlphabet &A,
+                          const std::vector<Edge> &Edges) {
+  std::vector<int> Word;
+  Word.reserve(Edges.size());
+  for (const Edge &E : Edges) {
+    int S = A.symbolOrNone(E);
+    if (S < 0)
+      return false;
+    Word.push_back(S);
+  }
+  return D.accepts(Word);
+}
+
+QuotientCheckResult
+blazer::checkQuotientPartition(const CfgFunction &F, const BlazerResult &R,
+                               const std::vector<InputAssignment> &Inputs) {
+  QuotientCheckResult Out;
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+
+  // Collect the feasible leaves of the *safety-phase* partition: descend
+  // only through taint (low) splits — attack-phase (sec) children split on
+  // secrets and are deliberately not ψ_tcf-quotient.
+  std::vector<const Trail *> Leaves;
+  std::function<void(int)> Collect = [&](int Id) {
+    const Trail &T = R.Tree[Id];
+    bool HasTaintChildren = false;
+    for (int C : T.Children)
+      if (R.Tree[C].SplitOn.Low)
+        HasTaintChildren = true;
+    if (HasTaintChildren) {
+      for (int C : T.Children)
+        if (R.Tree[C].SplitOn.Low)
+          Collect(C);
+      return;
+    }
+    if (T.feasible())
+      Leaves.push_back(&T);
+  };
+  if (!R.Tree.empty())
+    Collect(0);
+
+  // Run every input and record trail membership bitsets.
+  struct Run {
+    const InputAssignment *In;
+    std::vector<bool> InLeaf;
+  };
+  std::vector<Run> Runs;
+  for (const InputAssignment &In : Inputs) {
+    TraceResult TR = runFunction(F, In);
+    if (!TR.Ok)
+      continue;
+    ++Out.TracesTotal;
+    Run Rn;
+    Rn.In = &In;
+    Rn.InLeaf.resize(Leaves.size());
+    bool Covered = false;
+    for (size_t L = 0; L < Leaves.size(); ++L) {
+      Rn.InLeaf[L] = traceInTrail(Leaves[L]->Auto, A, TR.Edges);
+      Covered |= Rn.InLeaf[L];
+    }
+    if (Covered)
+      ++Out.TracesCovered;
+    else if (Out.Holds) {
+      Out.Holds = false;
+      Out.CounterExample =
+          "trace of " + In.str() + " is covered by no feasible leaf trail";
+    }
+    Runs.push_back(std::move(Rn));
+  }
+
+  // Pairwise quotient condition.
+  for (size_t I = 0; I < Runs.size() && Out.Holds; ++I) {
+    for (size_t J = I + 1; J < Runs.size(); ++J) {
+      if (!InputAssignment::agreeOn(F, SecurityLevel::Public, *Runs[I].In,
+                                    *Runs[J].In))
+        continue;
+      ++Out.PairsChecked;
+      bool Together = false;
+      for (size_t L = 0; L < Leaves.size(); ++L)
+        if (Runs[I].InLeaf[L] && Runs[J].InLeaf[L]) {
+          Together = true;
+          break;
+        }
+      if (!Together) {
+        Out.Holds = false;
+        Out.CounterExample = "equal-low inputs " + Runs[I].In->str() +
+                             " and " + Runs[J].In->str() +
+                             " share no leaf trail";
+        break;
+      }
+    }
+  }
+  return Out;
+}

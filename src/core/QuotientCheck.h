@@ -1,0 +1,54 @@
+//===- QuotientCheck.h - Semantic quotient-partition checks -----*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct (enumerative) evaluations of the §3 definitions on concrete
+/// traces: whether a family of trails forms a ψ_tcf-quotient partition,
+/// and whether a verdict agrees with the empirical 2-safety ground truth.
+/// These power the property-based tests of Theorem 3.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_CORE_QUOTIENTCHECK_H
+#define BLAZER_CORE_QUOTIENTCHECK_H
+
+#include "core/Blazer.h"
+#include "interp/Interpreter.h"
+
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// Result of checking the quotient property on enumerated inputs.
+struct QuotientCheckResult {
+  bool Holds = true;
+  /// Populated with the offending input pair when !Holds.
+  std::string CounterExample;
+  size_t PairsChecked = 0;
+  size_t TracesCovered = 0;
+  size_t TracesTotal = 0;
+};
+
+/// Checks, over all pairs of terminating runs on \p Inputs, that
+///   (1) every trace is covered by some feasible leaf trail, and
+///   (2) any two traces with equal low inputs share a leaf trail
+/// — i.e. the leaf trails of \p R form a ψ_tcf-quotient partition of the
+/// sampled traces (Definition in §3.2, with ψ_tcf(π1,π2) =
+/// in(π1)[low] = in(π2)[low]).
+QuotientCheckResult
+checkQuotientPartition(const CfgFunction &F, const BlazerResult &R,
+                       const std::vector<InputAssignment> &Inputs);
+
+/// Converts a concrete trace's edges to the symbol word of \p A, checking
+/// membership in \p D. \returns false if some edge is missing from the
+/// alphabet.
+bool traceInTrail(const Dfa &D, const EdgeAlphabet &A,
+                  const std::vector<Edge> &Edges);
+
+} // namespace blazer
+
+#endif // BLAZER_CORE_QUOTIENTCHECK_H

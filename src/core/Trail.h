@@ -1,0 +1,71 @@
+//===- Trail.h - Annotated trails and the trail tree ------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Trail pairs a regular language of CFG-edge strings (held as a DFA)
+/// with bookkeeping: how it was carved out of its parent, which branch
+/// blocks were already split on, and the bound-analysis verdict. The trail
+/// tree of Figure 1 is a vector of these, linked by parent/child ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_CORE_TRAIL_H
+#define BLAZER_CORE_TRAIL_H
+
+#include "automata/Automaton.h"
+#include "automata/TrailExpr.h"
+#include "bounds/BoundAnalysis.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// How a child trail restricts its parent at the split branch.
+enum class SplitKind {
+  None,      ///< The most general trail.
+  AvoidTrue, ///< Never takes the branch's true edge.
+  AvoidFalse,///< Never takes the branch's false edge.
+  TakesBoth, ///< Takes both edges at some point (loop-carried split).
+};
+
+/// \returns a short description, e.g. "never takes the true edge".
+const char *splitKindName(SplitKind K);
+
+/// One node of the trail tree.
+struct Trail {
+  int Id = 0;
+  int Parent = -1;
+  std::vector<int> Children;
+
+  Dfa Auto = Dfa::emptyLanguage(1);
+
+  /// The branch block this trail was split from (in the parent), and how.
+  int SplitBlock = -1;
+  SplitKind Split = SplitKind::None;
+  /// Whether the split was on tainted (low) or secret (high) data — the
+  /// edge annotations of Figure 1.
+  TaintMark SplitOn;
+
+  /// Branch blocks already consumed along this lineage (no re-splitting).
+  std::set<int> UsedSplits;
+
+  /// Filled by the analysis.
+  TrailBoundResult Bounds;
+  bool Narrow = false;
+
+  /// Human-readable description ("most general trail", "bb4: never takes
+  /// 4->5", ...).
+  std::string Label;
+
+  bool feasible() const { return Bounds.Feasible; }
+  bool isLeaf() const { return Children.empty(); }
+};
+
+} // namespace blazer
+
+#endif // BLAZER_CORE_TRAIL_H

@@ -1,0 +1,234 @@
+//===- Dominators.cpp - Dominance, post-dominance, control deps -----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace blazer;
+
+/// Iterative dataflow dominator computation (Cooper/Harvey/Kennedy style but
+/// on plain sets is fine at benchmark scale: CFGs are ~100 blocks).
+DominatorTree
+DominatorTree::compute(int NumBlocks, int Root,
+                       const std::vector<std::vector<int>> &Preds,
+                       const std::vector<std::vector<int>> &Succs) {
+  // Reverse postorder from the root for fast convergence.
+  std::vector<int> Order;
+  std::vector<bool> Seen(NumBlocks, false);
+  std::vector<std::pair<int, size_t>> Stack;
+  Stack.push_back({Root, 0});
+  Seen[Root] = true;
+  while (!Stack.empty()) {
+    auto &[B, I] = Stack.back();
+    if (I < Succs[B].size()) {
+      int S = Succs[B][I++];
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    Order.push_back(B);
+    Stack.pop_back();
+  }
+  std::reverse(Order.begin(), Order.end()); // Now reverse postorder.
+
+  std::vector<int> Rpo(NumBlocks, -1);
+  for (size_t I = 0; I < Order.size(); ++I)
+    Rpo[Order[I]] = static_cast<int>(I);
+
+  std::vector<int> Idom(NumBlocks, -1);
+  Idom[Root] = Root;
+
+  auto IntersectDoms = [&](int A, int B) {
+    while (A != B) {
+      while (Rpo[A] > Rpo[B])
+        A = Idom[A];
+      while (Rpo[B] > Rpo[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B : Order) {
+      if (B == Root)
+        continue;
+      int NewIdom = -1;
+      for (int P : Preds[B]) {
+        if (Idom[P] < 0)
+          continue; // Not yet processed / unreachable.
+        NewIdom = NewIdom < 0 ? P : IntersectDoms(NewIdom, P);
+      }
+      if (NewIdom >= 0 && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  DominatorTree T;
+  T.Root = Root;
+  T.Idom = std::move(Idom);
+  // Normalize: the root reports -1 (it has no strict dominator).
+  T.Idom[Root] = -1;
+  return T;
+}
+
+DominatorTree DominatorTree::dominators(const CfgFunction &F) {
+  int N = static_cast<int>(F.blockCount());
+  std::vector<std::vector<int>> Succs(N);
+  for (const BasicBlock &B : F.Blocks)
+    Succs[B.Id] = B.successors();
+  return compute(N, F.Entry, F.predecessors(), Succs);
+}
+
+DominatorTree DominatorTree::postDominators(const CfgFunction &F) {
+  int N = static_cast<int>(F.blockCount());
+  std::vector<std::vector<int>> Succs(N);
+  for (const BasicBlock &B : F.Blocks)
+    Succs[B.Id] = B.successors();
+  // Reverse the graph: post-dominators are dominators of the reversal.
+  return compute(N, F.Exit, Succs, F.predecessors());
+}
+
+bool DominatorTree::dominates(int A, int B) const {
+  if (Idom[B] < 0 && B != Root)
+    return false; // B unreachable: nothing dominates it.
+  int Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    if (Cur == Root)
+      return false;
+    Cur = Idom[Cur];
+    if (Cur < 0)
+      return false;
+  }
+}
+
+std::vector<std::set<int>> blazer::controlDependence(const CfgFunction &F) {
+  int N = static_cast<int>(F.blockCount());
+  DominatorTree PostDom = DominatorTree::postDominators(F);
+  std::vector<std::set<int>> Deps(N);
+
+  // Blocks that cannot reach the exit are unreachable in the reversed CFG;
+  // treat them conservatively as dependent on every branch.
+  std::vector<bool> ReachesExit(N, false);
+  {
+    std::deque<int> Work = {F.Exit};
+    ReachesExit[F.Exit] = true;
+    auto Preds = F.predecessors();
+    while (!Work.empty()) {
+      int B = Work.front();
+      Work.pop_front();
+      for (int P : Preds[B])
+        if (!ReachesExit[P]) {
+          ReachesExit[P] = true;
+          Work.push_back(P);
+        }
+    }
+  }
+  std::vector<int> AllBranches;
+  for (const BasicBlock &B : F.Blocks)
+    if (B.Term == BasicBlock::TermKind::Branch && B.TrueSucc != B.FalseSucc)
+      AllBranches.push_back(B.Id);
+
+  for (const BasicBlock &B : F.Blocks) {
+    if (!ReachesExit[B.Id]) {
+      Deps[B.Id].insert(AllBranches.begin(), AllBranches.end());
+      continue;
+    }
+    for (int C : AllBranches) {
+      if (!ReachesExit[C])
+        continue;
+      const BasicBlock &Branch = F.block(C);
+      bool SomeSuccDominated = false;
+      for (int S : Branch.successors())
+        if (ReachesExit[S] && PostDom.dominates(B.Id, S))
+          SomeSuccDominated = true;
+      if (!SomeSuccDominated)
+        continue;
+      // B control-depends on C unless B post-dominates C itself (then B runs
+      // no matter which way C goes). The standard definition uses *strict*
+      // post-dominance; a branch can be control dependent on itself (loop
+      // headers), which the reflexive check below preserves.
+      if (B.Id == C || !PostDom.dominates(B.Id, C))
+        Deps[B.Id].insert(C);
+    }
+  }
+  return Deps;
+}
+
+std::vector<bool> blazer::blocksOnCycles(const CfgFunction &F) {
+  // Tarjan SCC; a block is on a cycle iff its SCC has size > 1 or it has a
+  // self edge.
+  int N = static_cast<int>(F.blockCount());
+  std::vector<int> Index(N, -1), Low(N, 0);
+  std::vector<bool> OnStack(N, false), OnCycle(N, false);
+  std::vector<int> Stack;
+  int NextIndex = 0;
+
+  struct Frame {
+    int Block;
+    size_t SuccIdx;
+  };
+  for (int Start = 0; Start < N; ++Start) {
+    if (Index[Start] >= 0)
+      continue;
+    std::vector<Frame> Frames{{Start, 0}};
+    Index[Start] = Low[Start] = NextIndex++;
+    Stack.push_back(Start);
+    OnStack[Start] = true;
+    while (!Frames.empty()) {
+      Frame &Fr = Frames.back();
+      std::vector<int> Succs = F.block(Fr.Block).successors();
+      if (Fr.SuccIdx < Succs.size()) {
+        int S = Succs[Fr.SuccIdx++];
+        if (Index[S] < 0) {
+          Index[S] = Low[S] = NextIndex++;
+          Stack.push_back(S);
+          OnStack[S] = true;
+          Frames.push_back({S, 0});
+        } else if (OnStack[S]) {
+          Low[Fr.Block] = std::min(Low[Fr.Block], Index[S]);
+        }
+        continue;
+      }
+      // Pop.
+      int B = Fr.Block;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().Block] = std::min(Low[Frames.back().Block], Low[B]);
+      if (Low[B] == Index[B]) {
+        std::vector<int> Component;
+        while (true) {
+          int X = Stack.back();
+          Stack.pop_back();
+          OnStack[X] = false;
+          Component.push_back(X);
+          if (X == B)
+            break;
+        }
+        bool Cyclic = Component.size() > 1;
+        if (!Cyclic) {
+          for (int S : F.block(B).successors())
+            if (S == B)
+              Cyclic = true;
+        }
+        if (Cyclic)
+          for (int X : Component)
+            OnCycle[X] = true;
+      }
+    }
+  }
+  return OnCycle;
+}

@@ -1,0 +1,66 @@
+//===- Dominators.h - Dominance, post-dominance, control deps ---*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees over the CFG, control-dependence
+/// computation (used for implicit-flow taint propagation), and
+/// strongly-connected-component / cycle queries used by partition
+/// refinement and the bound analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_DATAFLOW_DOMINATORS_H
+#define BLAZER_DATAFLOW_DOMINATORS_H
+
+#include "ir/Cfg.h"
+
+#include <set>
+#include <vector>
+
+namespace blazer {
+
+/// A dominator (or post-dominator) tree. Nodes unreachable from the root
+/// report -1 as their immediate dominator and are dominated by nothing.
+class DominatorTree {
+public:
+  /// Dominators rooted at \p F's entry.
+  static DominatorTree dominators(const CfgFunction &F);
+  /// Post-dominators: dominators of the reversed CFG rooted at exit.
+  static DominatorTree postDominators(const CfgFunction &F);
+
+  /// \returns the immediate dominator of \p Block (-1 for the root or
+  /// unreachable nodes).
+  int idom(int Block) const { return Idom[Block]; }
+
+  /// \returns true if \p A dominates \p B (reflexive).
+  bool dominates(int A, int B) const;
+
+  int root() const { return Root; }
+
+private:
+  static DominatorTree compute(int NumBlocks, int Root,
+                               const std::vector<std::vector<int>> &Preds,
+                               const std::vector<std::vector<int>> &Succs);
+
+  int Root = 0;
+  std::vector<int> Idom;
+};
+
+/// Control dependence per Ferrante/Ottenstein/Warren: block B is control
+/// dependent on branch C when C has a successor from which B is always
+/// reached (B post-dominates it) but B does not post-dominate C itself.
+///
+/// \returns for every block the set of branch blocks it is control dependent
+/// on. Blocks that cannot reach the exit are conservatively reported as
+/// control dependent on every branch block.
+std::vector<std::set<int>> controlDependence(const CfgFunction &F);
+
+/// \returns for each block whether it lies on a CFG cycle.
+std::vector<bool> blocksOnCycles(const CfgFunction &F);
+
+} // namespace blazer
+
+#endif // BLAZER_DATAFLOW_DOMINATORS_H

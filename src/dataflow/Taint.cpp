@@ -1,0 +1,153 @@
+//===- Taint.cpp - Information-flow (taint) analysis ----------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Taint.h"
+#include "dataflow/Dominators.h"
+
+#include <cassert>
+
+using namespace blazer;
+
+std::string blazer::lengthSymbol(const std::string &Name) {
+  return Name + ".len";
+}
+
+bool TaintInfo::isHighSymbol(const std::string &Symbol) const {
+  if (HighVars.count(Symbol))
+    return true;
+  // "<array>.len" derives its level from the array.
+  size_t Pos = Symbol.rfind(".len");
+  if (Pos != std::string::npos && Pos + 4 == Symbol.size())
+    return HighVars.count(Symbol.substr(0, Pos)) > 0;
+  return false;
+}
+
+TaintMark TaintInfo::markOf(int Id) const {
+  auto It = BranchMarks.find(Id);
+  return It == BranchMarks.end() ? TaintMark() : It->second;
+}
+
+namespace {
+
+/// Collects every variable (and array) name an expression reads.
+void collectReads(const Expr *E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+    return;
+  case Expr::Kind::VarRef:
+    Out.insert(cast<VarRefExpr>(E)->Name);
+    return;
+  case Expr::Kind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(E);
+    Out.insert(A->Array);
+    collectReads(A->Index.get(), Out);
+    return;
+  }
+  case Expr::Kind::ArrayLength:
+    Out.insert(cast<ArrayLengthExpr>(E)->Array);
+    return;
+  case Expr::Kind::Unary:
+    collectReads(cast<UnaryExpr>(E)->Sub.get(), Out);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    collectReads(B->Lhs.get(), Out);
+    collectReads(B->Rhs.get(), Out);
+    return;
+  }
+  case Expr::Kind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(E)->Args)
+      collectReads(A.get(), Out);
+    return;
+  }
+}
+
+/// One taint lattice run seeded with the parameters at \p SeedLevel.
+std::set<std::string> propagate(const CfgFunction &F, SecurityLevel SeedLevel,
+                                const std::vector<std::set<int>> &CtrlDeps) {
+  std::set<std::string> Tainted;
+  for (const Param &P : F.Params)
+    if (P.Level == SeedLevel)
+      Tainted.insert(P.Name);
+
+  auto ExprTainted = [&](const Expr *E) {
+    std::set<std::string> Reads;
+    collectReads(E, Reads);
+    for (const std::string &R : Reads)
+      if (Tainted.count(R))
+        return true;
+    return false;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Branch blocks whose condition currently reads tainted data.
+    std::set<int> TaintedBranches;
+    for (const BasicBlock &B : F.Blocks)
+      if (B.Term == BasicBlock::TermKind::Branch && ExprTainted(B.Cond))
+        TaintedBranches.insert(B.Id);
+
+    auto UnderTaintedControl = [&](int Block) {
+      for (int C : CtrlDeps[Block])
+        if (TaintedBranches.count(C))
+          return true;
+      return false;
+    };
+
+    for (const BasicBlock &B : F.Blocks) {
+      bool Implicit = UnderTaintedControl(B.Id);
+      for (const Instr &I : B.Instrs) {
+        switch (I.K) {
+        case Instr::Kind::Assign:
+          if ((Implicit || ExprTainted(I.Value)) &&
+              Tainted.insert(I.Dest).second)
+            Changed = true;
+          break;
+        case Instr::Kind::ArrayStore:
+          // A store taints the whole array (content-level granularity).
+          if ((Implicit || ExprTainted(I.Value) || ExprTainted(I.Index)) &&
+              Tainted.insert(I.Array).second)
+            Changed = true;
+          break;
+        case Instr::Kind::CallStmt:
+        case Instr::Kind::Nop:
+          break;
+        }
+      }
+    }
+  }
+  return Tainted;
+}
+
+} // namespace
+
+TaintInfo blazer::runTaintAnalysis(const CfgFunction &F) {
+  std::vector<std::set<int>> CtrlDeps = controlDependence(F);
+
+  TaintInfo Info;
+  Info.LowVars = propagate(F, SecurityLevel::Public, CtrlDeps);
+  Info.HighVars = propagate(F, SecurityLevel::Secret, CtrlDeps);
+
+  for (const BasicBlock &B : F.Blocks) {
+    if (B.Term != BasicBlock::TermKind::Branch)
+      continue;
+    std::set<std::string> Reads;
+    collectReads(B.Cond, Reads);
+    TaintMark Mark;
+    for (const std::string &R : Reads) {
+      if (Info.LowVars.count(R))
+        Mark.Low = true;
+      if (Info.HighVars.count(R))
+        Mark.High = true;
+    }
+    Info.BranchMarks[B.Id] = Mark;
+  }
+  return Info;
+}

@@ -1,0 +1,66 @@
+//===- Taint.h - Information-flow (taint) analysis --------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The information-flow analysis that substitutes for JOANA (§5): it
+/// classifies variables and branch blocks as low-dependent (influenced by
+/// attacker-controlled `public` parameters) and/or high-dependent
+/// (influenced by `secret` parameters).
+///
+/// Both explicit flows (assignments) and implicit flows (assignments under
+/// control dependence on a tainted branch) are tracked; implicit flows are
+/// what makes splitting trails at "low-only" branches ψ-quotient-sound: a
+/// branch whose condition is not high-tainted makes the same decision
+/// sequence in any two executions that agree on the low inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_DATAFLOW_TAINT_H
+#define BLAZER_DATAFLOW_TAINT_H
+
+#include "automata/TrailExpr.h" // TaintMark
+#include "ir/Cfg.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace blazer {
+
+/// The symbolic-variable name the bound analysis uses for the length of
+/// array \p Name ("guess" -> "guess.len", matching the paper's g.len).
+std::string lengthSymbol(const std::string &Name);
+
+/// Results of the two taint runs (low seeds and high seeds).
+struct TaintInfo {
+  /// Variables influenced by public inputs (array names stand for both
+  /// their contents and their length).
+  std::set<std::string> LowVars;
+  /// Variables influenced by secret inputs.
+  std::set<std::string> HighVars;
+  /// For every two-way branch block: whether its decision depends on low
+  /// and/or high data (the §4.2 annotations).
+  std::map<int, TaintMark> BranchMarks;
+
+  bool isLowVar(const std::string &Name) const { return LowVars.count(Name); }
+  bool isHighVar(const std::string &Name) const {
+    return HighVars.count(Name);
+  }
+
+  /// Classifies a *symbolic bound variable* (a parameter name or a
+  /// "<array>.len" pseudo-variable) as secret-derived.
+  bool isHighSymbol(const std::string &Symbol) const;
+
+  /// Mark for branch block \p Id (empty mark for non-branch blocks).
+  TaintMark markOf(int Id) const;
+};
+
+/// Runs the analysis on \p F to a fixpoint.
+TaintInfo runTaintAnalysis(const CfgFunction &F);
+
+} // namespace blazer
+
+#endif // BLAZER_DATAFLOW_TAINT_H

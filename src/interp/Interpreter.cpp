@@ -1,0 +1,408 @@
+//===- Interpreter.cpp - Concrete trace semantics --------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+using namespace blazer;
+
+bool InputAssignment::agreeOn(const CfgFunction &F, SecurityLevel Level,
+                              const InputAssignment &A,
+                              const InputAssignment &B) {
+  for (const Param &P : F.Params) {
+    if (F.paramLevel(P.Name) != Level)
+      continue;
+    if (P.Type == TypeKind::IntArray) {
+      auto IA = A.Arrays.find(P.Name);
+      auto IB = B.Arrays.find(P.Name);
+      std::vector<int64_t> Empty;
+      const auto &VA = IA == A.Arrays.end() ? Empty : IA->second;
+      const auto &VB = IB == B.Arrays.end() ? Empty : IB->second;
+      if (VA != VB)
+        return false;
+      continue;
+    }
+    auto IA = A.Ints.find(P.Name);
+    auto IB = B.Ints.find(P.Name);
+    int64_t VA = IA == A.Ints.end() ? 0 : IA->second;
+    int64_t VB = IB == B.Ints.end() ? 0 : IB->second;
+    if (VA != VB)
+      return false;
+  }
+  return true;
+}
+
+std::string InputAssignment::str() const {
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (const auto &[K, V] : Ints) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << K << "=" << V;
+  }
+  for (const auto &[K, V] : Arrays) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << K << "=[";
+    for (size_t I = 0; I < V.size(); ++I) {
+      if (I)
+        OS << ",";
+      OS << V[I];
+    }
+    OS << "]";
+  }
+  OS << "}";
+  return OS.str();
+}
+
+namespace {
+
+/// Mutable machine state for one run.
+struct Machine {
+  const CfgFunction &F;
+  std::map<std::string, int64_t> Scalars;
+  std::map<std::string, std::vector<int64_t>> Arrays;
+  std::string Error;
+
+  explicit Machine(const CfgFunction &F) : F(F) {}
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  bool eval(const Expr *E, int64_t &Out) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      Out = cast<IntLitExpr>(E)->Value;
+      return true;
+    case Expr::Kind::BoolLit:
+      Out = cast<BoolLitExpr>(E)->Value ? 1 : 0;
+      return true;
+    case Expr::Kind::VarRef: {
+      const auto *V = cast<VarRefExpr>(E);
+      auto It = Scalars.find(V->Name);
+      Out = It == Scalars.end() ? 0 : It->second;
+      return true;
+    }
+    case Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ArrayIndexExpr>(E);
+      int64_t Idx;
+      if (!eval(A->Index.get(), Idx))
+        return false;
+      const std::vector<int64_t> &Arr = Arrays[A->Array];
+      if (Idx < 0 || static_cast<size_t>(Idx) >= Arr.size())
+        return fail("array index out of bounds on '" + A->Array + "'");
+      Out = Arr[static_cast<size_t>(Idx)];
+      return true;
+    }
+    case Expr::Kind::ArrayLength: {
+      const auto *A = cast<ArrayLengthExpr>(E);
+      Out = static_cast<int64_t>(Arrays[A->Array].size());
+      return true;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      int64_t S;
+      if (!eval(U->Sub.get(), S))
+        return false;
+      Out = U->Op == UnaryOp::Not ? (S == 0 ? 1 : 0) : -S;
+      return true;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int64_t L, R;
+      if (!eval(B->Lhs.get(), L) || !eval(B->Rhs.get(), R))
+        return false;
+      switch (B->Op) {
+      case BinaryOp::Add:
+        Out = L + R;
+        return true;
+      case BinaryOp::Sub:
+        Out = L - R;
+        return true;
+      case BinaryOp::Mul:
+        Out = L * R;
+        return true;
+      case BinaryOp::Div:
+        if (R == 0)
+          return fail("division by zero");
+        Out = L / R;
+        return true;
+      case BinaryOp::Rem:
+        if (R == 0)
+          return fail("remainder by zero");
+        Out = L % R;
+        return true;
+      case BinaryOp::Eq:
+        Out = L == R;
+        return true;
+      case BinaryOp::Ne:
+        Out = L != R;
+        return true;
+      case BinaryOp::Lt:
+        Out = L < R;
+        return true;
+      case BinaryOp::Le:
+        Out = L <= R;
+        return true;
+      case BinaryOp::Gt:
+        Out = L > R;
+        return true;
+      case BinaryOp::Ge:
+        Out = L >= R;
+        return true;
+      case BinaryOp::And:
+        Out = (L != 0) && (R != 0);
+        return true;
+      case BinaryOp::Or:
+        Out = (L != 0) || (R != 0);
+        return true;
+      }
+      return fail("unknown binary op");
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      const BuiltinInfo *Info = F.Builtins.find(C->Callee);
+      assert(Info && "Sema admitted an unknown builtin");
+      std::vector<int64_t> Args;
+      Args.reserve(C->Args.size());
+      for (const ExprPtr &A : C->Args) {
+        int64_t V;
+        if (!eval(A.get(), V))
+          return false;
+        Args.push_back(V);
+      }
+      Out = Info->Eval ? Info->Eval(Args) : 0;
+      return true;
+    }
+    }
+    return fail("unknown expression kind");
+  }
+};
+
+} // namespace
+
+TraceResult blazer::runFunction(const CfgFunction &F,
+                                const InputAssignment &In, int64_t MaxSteps) {
+  Machine M(F);
+  TraceResult Res;
+
+  for (const Param &P : F.Params) {
+    if (P.Type == TypeKind::IntArray) {
+      auto It = In.Arrays.find(P.Name);
+      M.Arrays[P.Name] =
+          It == In.Arrays.end() ? std::vector<int64_t>{} : It->second;
+      continue;
+    }
+    auto It = In.Ints.find(P.Name);
+    M.Scalars[P.Name] = It == In.Ints.end() ? 0 : It->second;
+  }
+
+  int Cur = F.Entry;
+  int64_t Steps = 0;
+  while (true) {
+    if (++Steps > MaxSteps) {
+      Res.Ok = false;
+      Res.Error = "step limit exceeded (likely non-termination)";
+      return Res;
+    }
+    const BasicBlock &B = F.block(Cur);
+    for (const Instr &I : B.Instrs) {
+      Res.Cost += F.instrCost(I);
+      switch (I.K) {
+      case Instr::Kind::Assign: {
+        int64_t V = 0;
+        if (I.Value && !M.eval(I.Value, V)) {
+          Res.Ok = false;
+          Res.Error = M.Error;
+          return Res;
+        }
+        M.Scalars[I.Dest] = V;
+        break;
+      }
+      case Instr::Kind::ArrayStore: {
+        int64_t Idx, V;
+        if (!M.eval(I.Index, Idx) || !M.eval(I.Value, V)) {
+          Res.Ok = false;
+          Res.Error = M.Error;
+          return Res;
+        }
+        std::vector<int64_t> &Arr = M.Arrays[I.Array];
+        if (Idx < 0 || static_cast<size_t>(Idx) >= Arr.size()) {
+          Res.Ok = false;
+          Res.Error = "array store out of bounds on '" + I.Array + "'";
+          return Res;
+        }
+        Arr[static_cast<size_t>(Idx)] = V;
+        break;
+      }
+      case Instr::Kind::CallStmt: {
+        int64_t Ignored;
+        if (!M.eval(I.Value, Ignored)) {
+          Res.Ok = false;
+          Res.Error = M.Error;
+          return Res;
+        }
+        break;
+      }
+      case Instr::Kind::Nop:
+        break;
+      }
+    }
+
+    int Next = -1;
+    switch (B.Term) {
+    case BasicBlock::TermKind::Branch: {
+      Res.Cost += F.termCost(B);
+      int64_t C;
+      if (!M.eval(B.Cond, C)) {
+        Res.Ok = false;
+        Res.Error = M.Error;
+        return Res;
+      }
+      Next = C != 0 ? B.TrueSucc : B.FalseSucc;
+      break;
+    }
+    case BasicBlock::TermKind::Jump:
+      Next = B.TrueSucc;
+      break;
+    case BasicBlock::TermKind::Return: {
+      Res.Cost += F.termCost(B);
+      if (B.RetVal) {
+        int64_t V;
+        if (!M.eval(B.RetVal, V)) {
+          Res.Ok = false;
+          Res.Error = M.Error;
+          return Res;
+        }
+        Res.ReturnValue = V;
+      }
+      Next = B.TrueSucc;
+      break;
+    }
+    case BasicBlock::TermKind::Exit:
+      return Res;
+    }
+    Res.Edges.push_back(Edge{Cur, Next});
+    Cur = Next;
+  }
+}
+
+std::vector<InputAssignment> blazer::enumerateInputs(const CfgFunction &F,
+                                                     const InputGrid &Grid) {
+  // Per-parameter candidate lists, then a cartesian product with a cap.
+  struct Candidate {
+    bool IsArray;
+    std::string Name;
+    std::vector<int64_t> IntChoices;
+    std::vector<std::vector<int64_t>> ArrayChoices;
+  };
+  std::vector<Candidate> Cands;
+  for (const Param &P : F.Params) {
+    Candidate C;
+    C.Name = P.Name;
+    if (P.Type == TypeKind::IntArray) {
+      C.IsArray = true;
+      for (size_t Len : Grid.ArrayLengths) {
+        // Constant fills...
+        for (int64_t V : Grid.ElementValues)
+          C.ArrayChoices.push_back(std::vector<int64_t>(Len, V));
+        // ...plus one prefix variation per non-trivial length, so that
+        // early-exit comparisons (password checks) see both match and
+        // mismatch positions.
+        if (Len >= 2 && Grid.ElementValues.size() >= 2) {
+          std::vector<int64_t> Mixed(Len, Grid.ElementValues[0]);
+          Mixed[Len - 1] = Grid.ElementValues[1];
+          C.ArrayChoices.push_back(std::move(Mixed));
+          std::vector<int64_t> Mixed2(Len, Grid.ElementValues[1]);
+          Mixed2[0] = Grid.ElementValues[0];
+          C.ArrayChoices.push_back(std::move(Mixed2));
+        }
+      }
+      // De-duplicate (constant fills of length 0 collide).
+      std::sort(C.ArrayChoices.begin(), C.ArrayChoices.end());
+      C.ArrayChoices.erase(
+          std::unique(C.ArrayChoices.begin(), C.ArrayChoices.end()),
+          C.ArrayChoices.end());
+    } else if (P.Type == TypeKind::Bool) {
+      C.IsArray = false;
+      C.IntChoices = {0, 1};
+    } else {
+      C.IsArray = false;
+      C.IntChoices = Grid.IntValues;
+    }
+    Cands.push_back(std::move(C));
+  }
+
+  std::vector<InputAssignment> Out;
+  InputAssignment Current;
+  // Recursive cartesian product with early cutoff.
+  std::function<void(size_t)> Rec = [&](size_t I) {
+    if (Out.size() >= Grid.MaxAssignments)
+      return;
+    if (I == Cands.size()) {
+      Out.push_back(Current);
+      return;
+    }
+    const Candidate &C = Cands[I];
+    if (C.IsArray) {
+      for (const auto &A : C.ArrayChoices) {
+        Current.Arrays[C.Name] = A;
+        Rec(I + 1);
+      }
+      Current.Arrays.erase(C.Name);
+    } else {
+      for (int64_t V : C.IntChoices) {
+        Current.Ints[C.Name] = V;
+        Rec(I + 1);
+      }
+      Current.Ints.erase(C.Name);
+    }
+  };
+  Rec(0);
+  return Out;
+}
+
+EmpiricalTcf
+blazer::empiricalTimingCheck(const CfgFunction &F,
+                             const std::vector<InputAssignment> &Inputs) {
+  EmpiricalTcf Out;
+  std::vector<TraceResult> Results;
+  Results.reserve(Inputs.size());
+  for (const InputAssignment &In : Inputs) {
+    Results.push_back(runFunction(F, In));
+    if (Results.back().Ok)
+      ++Out.RunsOk;
+    else
+      ++Out.RunsFailed;
+  }
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    if (!Results[I].Ok)
+      continue;
+    for (size_t J = I + 1; J < Inputs.size(); ++J) {
+      if (!Results[J].Ok)
+        continue;
+      if (!InputAssignment::agreeOn(F, SecurityLevel::Public, Inputs[I],
+                                    Inputs[J]))
+        continue;
+      int64_t Gap = std::abs(Results[I].Cost - Results[J].Cost);
+      if (Gap > Out.MaxGapEqualLow) {
+        Out.MaxGapEqualLow = Gap;
+        Out.Witness = std::make_pair(Inputs[I], Inputs[J]);
+      }
+    }
+  }
+  return Out;
+}

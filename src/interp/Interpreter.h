@@ -1,0 +1,98 @@
+//===- Interpreter.h - Concrete trace semantics -----------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete execution of a CfgFunction. A run yields the trace (as the
+/// sequence of CFG edges taken), the executed-instruction cost under the
+/// paper's machine model, and the return value. The interpreter is the
+/// ground truth the property tests compare the static verdicts against, and
+/// the witness finder CheckAttack's specifications are validated with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_INTERP_INTERPRETER_H
+#define BLAZER_INTERP_INTERPRETER_H
+
+#include "ir/Cfg.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// Concrete inputs for one run: int/bool parameters (bools as 0/1) and
+/// arrays.
+struct InputAssignment {
+  std::map<std::string, int64_t> Ints;
+  std::map<std::string, std::vector<int64_t>> Arrays;
+
+  /// \returns true if the two assignments agree on every parameter of \p F
+  /// marked with \p Level.
+  static bool agreeOn(const CfgFunction &F, SecurityLevel Level,
+                      const InputAssignment &A, const InputAssignment &B);
+
+  /// Renders e.g. "{low=3, a=[1,2]}".
+  std::string str() const;
+};
+
+/// The outcome of one concrete run.
+struct TraceResult {
+  bool Ok = true;           ///< False on runtime error or step-limit hit.
+  std::string Error;        ///< Populated when !Ok.
+  std::vector<Edge> Edges;  ///< The path taken, as CFG edges.
+  int64_t Cost = 0;         ///< Instructions executed (machine model, §5).
+  std::optional<int64_t> ReturnValue;
+};
+
+/// Executes \p F on \p In. \p MaxSteps bounds the number of executed basic
+/// blocks to keep non-terminating programs testable.
+TraceResult runFunction(const CfgFunction &F, const InputAssignment &In,
+                        int64_t MaxSteps = 1 << 20);
+
+//===----------------------------------------------------------------------===//
+// Input enumeration and the empirical 2-safety check
+//===----------------------------------------------------------------------===//
+
+/// A small grid of candidate inputs per parameter kind, used to enumerate
+/// InputAssignments for property tests and witness search.
+struct InputGrid {
+  /// Candidate values for int parameters.
+  std::vector<int64_t> IntValues = {-2, -1, 0, 1, 3};
+  /// Candidate lengths for array parameters.
+  std::vector<size_t> ArrayLengths = {0, 1, 3};
+  /// Candidate element values (arrays are filled with combinations drawn
+  /// from this pool; to keep the grid tractable, each array is constant or
+  /// a prefix-variation, see implementation).
+  std::vector<int64_t> ElementValues = {0, 1, 7};
+  /// Caps the total number of generated assignments.
+  size_t MaxAssignments = 4096;
+};
+
+/// Enumerates concrete inputs for \p F's signature over \p Grid.
+std::vector<InputAssignment> enumerateInputs(const CfgFunction &F,
+                                             const InputGrid &Grid);
+
+/// The result of empirically checking the timing-channel-freedom property
+/// on an input set: the maximal cost gap among pairs of runs that agree on
+/// all public (low) inputs, and a witnessing pair.
+struct EmpiricalTcf {
+  int64_t MaxGapEqualLow = 0;
+  std::optional<std::pair<InputAssignment, InputAssignment>> Witness;
+  size_t RunsOk = 0;
+  size_t RunsFailed = 0;
+};
+
+/// Runs \p F on every input and compares all equal-low pairs. This is a
+/// direct (exponential) evaluation of the tcf property of §3 — usable only
+/// on small grids, which is exactly what ground-truth testing needs.
+EmpiricalTcf empiricalTimingCheck(const CfgFunction &F,
+                                  const std::vector<InputAssignment> &Inputs);
+
+} // namespace blazer
+
+#endif // BLAZER_INTERP_INTERPRETER_H

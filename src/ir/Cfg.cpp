@@ -1,0 +1,173 @@
+//===- Cfg.cpp - Control-flow-graph intermediate representation -----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace blazer;
+
+std::vector<int> BasicBlock::successors() const {
+  switch (Term) {
+  case TermKind::Branch:
+    if (TrueSucc == FalseSucc)
+      return {TrueSucc};
+    return {TrueSucc, FalseSucc};
+  case TermKind::Jump:
+  case TermKind::Return:
+    return {TrueSucc};
+  case TermKind::Exit:
+    return {};
+  }
+  return {};
+}
+
+std::vector<Edge> CfgFunction::edges() const {
+  std::vector<Edge> Out;
+  for (const BasicBlock &B : Blocks)
+    for (int S : B.successors())
+      Out.push_back(Edge{B.Id, S});
+  // Successors() already avoids duplicating a two-way branch to the same
+  // target, so edges are unique; keep them sorted for determinism.
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::vector<std::vector<int>> CfgFunction::predecessors() const {
+  std::vector<std::vector<int>> Preds(Blocks.size());
+  for (const BasicBlock &B : Blocks)
+    for (int S : B.successors())
+      Preds[S].push_back(B.Id);
+  return Preds;
+}
+
+int64_t CfgFunction::exprCost(const Expr *E) const {
+  if (!E)
+    return 0;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::ArrayLength:
+    return 1; // One load/push.
+  case Expr::Kind::ArrayIndex:
+    return 2 + exprCost(cast<ArrayIndexExpr>(E)->Index.get());
+  case Expr::Kind::Unary:
+    return 1 + exprCost(cast<UnaryExpr>(E)->Sub.get());
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return 1 + exprCost(B->Lhs.get()) + exprCost(B->Rhs.get());
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    const BuiltinInfo *Info = Builtins.find(C->Callee);
+    assert(Info && "Sema admitted an unknown builtin");
+    int64_t Cost = 1 + Info->Cost;
+    for (const ExprPtr &A : C->Args)
+      Cost += exprCost(A.get());
+    return Cost;
+  }
+  }
+  return 1;
+}
+
+int64_t CfgFunction::instrCost(const Instr &I) const {
+  int64_t Cost = 1; // The store / effect itself.
+  Cost += exprCost(I.Value);
+  Cost += exprCost(I.Index);
+  return Cost;
+}
+
+int64_t CfgFunction::termCost(const BasicBlock &B) const {
+  switch (B.Term) {
+  case BasicBlock::TermKind::Branch:
+    return 1 + exprCost(B.Cond);
+  case BasicBlock::TermKind::Return:
+    return 1 + exprCost(B.RetVal);
+  case BasicBlock::TermKind::Jump:
+  case BasicBlock::TermKind::Exit:
+    return 0; // Fall-through and the sink are free.
+  }
+  return 0;
+}
+
+int64_t CfgFunction::blockCost(const BasicBlock &B) const {
+  int64_t Cost = 0;
+  for (const Instr &I : B.Instrs)
+    Cost += instrCost(I);
+  return Cost + termCost(B);
+}
+
+SecurityLevel CfgFunction::paramLevel(const std::string &Name) const {
+  auto It = ParamLevels.find(Name);
+  return It == ParamLevels.end() ? SecurityLevel::Public : It->second;
+}
+
+static std::string instrToString(const Instr &I) {
+  switch (I.K) {
+  case Instr::Kind::Assign:
+    return I.Dest + " = " + exprToString(I.Value);
+  case Instr::Kind::ArrayStore:
+    return I.Array + "[" + exprToString(I.Index) + "] = " +
+           exprToString(I.Value);
+  case Instr::Kind::CallStmt:
+    return exprToString(I.Value);
+  case Instr::Kind::Nop:
+    return "skip";
+  }
+  return "<instr>";
+}
+
+std::string CfgFunction::str() const {
+  std::ostringstream OS;
+  OS << "fn " << Name << " (entry=" << Entry << ", exit=" << Exit << ")\n";
+  for (const BasicBlock &B : Blocks) {
+    OS << "  bb" << B.Id << ":\n";
+    for (const Instr &I : B.Instrs)
+      OS << "    " << instrToString(I) << "\n";
+    switch (B.Term) {
+    case BasicBlock::TermKind::Branch:
+      OS << "    br " << exprToString(B.Cond) << " ? bb" << B.TrueSucc
+         << " : bb" << B.FalseSucc << "\n";
+      break;
+    case BasicBlock::TermKind::Jump:
+      OS << "    jmp bb" << B.TrueSucc << "\n";
+      break;
+    case BasicBlock::TermKind::Return:
+      OS << "    ret" << (B.RetVal ? " " + exprToString(B.RetVal) : "")
+         << " -> bb" << B.TrueSucc << "\n";
+      break;
+    case BasicBlock::TermKind::Exit:
+      OS << "    exit\n";
+      break;
+    }
+  }
+  return OS.str();
+}
+
+std::string CfgFunction::toDot() const {
+  std::ostringstream OS;
+  OS << "digraph \"" << Name << "\" {\n  node [shape=box];\n";
+  for (const BasicBlock &B : Blocks) {
+    OS << "  bb" << B.Id << " [label=\"bb" << B.Id;
+    for (const Instr &I : B.Instrs)
+      OS << "\\n" << instrToString(I);
+    if (B.Term == BasicBlock::TermKind::Branch)
+      OS << "\\nbr " << exprToString(B.Cond);
+    OS << "\"];\n";
+    std::vector<int> Succs = B.successors();
+    for (size_t I = 0; I < Succs.size(); ++I) {
+      OS << "  bb" << B.Id << " -> bb" << Succs[I];
+      if (B.Term == BasicBlock::TermKind::Branch && Succs.size() == 2)
+        OS << " [label=\"" << (I == 0 ? "T" : "F") << "\"]";
+      OS << ";\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}

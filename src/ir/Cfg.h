@@ -1,0 +1,170 @@
+//===- Cfg.h - Control-flow-graph intermediate representation ---*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CFG IR that everything downstream (taint, trails, abstract
+/// interpretation, bound analysis, the interpreter) operates on. It plays
+/// the role WALA's SSA CFG plays for the original Blazer: basic blocks of
+/// unit-cost instructions, branch terminators with explicit condition
+/// expressions, and one distinguished entry and exit block.
+///
+/// The machine model follows §5 of the paper: every executed instruction
+/// counts one unit; builtin calls additionally charge their
+/// manually-specified cost summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_IR_CFG_H
+#define BLAZER_IR_CFG_H
+
+#include "lang/Ast.h"
+#include "lang/Builtins.h"
+#include "lang/Sema.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// A directed CFG edge between block ids.
+struct Edge {
+  int From = -1;
+  int To = -1;
+
+  bool operator==(const Edge &E) const {
+    return From == E.From && To == E.To;
+  }
+  bool operator<(const Edge &E) const {
+    return From != E.From ? From < E.From : To < E.To;
+  }
+
+  /// Renders e.g. "3->7".
+  std::string str() const {
+    return std::to_string(From) + "->" + std::to_string(To);
+  }
+};
+
+/// One straight-line instruction.
+struct Instr {
+  enum class Kind {
+    Assign,     ///< Dest = Value
+    ArrayStore, ///< Array[Index] = Value
+    CallStmt,   ///< Value (a CallExpr) evaluated for effect/cost
+    Nop,        ///< skip
+  };
+
+  Kind K = Kind::Nop;
+  std::string Dest;  ///< Assign target.
+  std::string Array; ///< ArrayStore target.
+  const Expr *Index = nullptr;
+  const Expr *Value = nullptr;
+  int Line = 0;
+};
+
+/// A basic block: instructions plus one terminator.
+struct BasicBlock {
+  enum class TermKind {
+    Branch, ///< conditional: Cond ? TrueSucc : FalseSucc
+    Jump,   ///< unconditional to TrueSucc
+    Return, ///< sets the return value, then edges to the exit block
+    Exit,   ///< the distinguished sink; no successors
+  };
+
+  int Id = -1;
+  std::vector<Instr> Instrs;
+  TermKind Term = TermKind::Jump;
+  const Expr *Cond = nullptr;   ///< For Branch.
+  const Expr *RetVal = nullptr; ///< For Return (may be null).
+  int TrueSucc = -1;
+  int FalseSucc = -1;
+  int Line = 0; ///< Source line of the terminator.
+
+  /// \returns the successor ids (0, 1, or 2 of them).
+  std::vector<int> successors() const;
+};
+
+/// A lowered function: the unit of analysis.
+///
+/// Keeps the originating AST alive because instructions reference Expr nodes
+/// owned by it.
+class CfgFunction {
+public:
+  std::string Name;
+  std::vector<Param> Params;
+  std::map<std::string, TypeKind> VarTypes;
+  std::map<std::string, SecurityLevel> ParamLevels;
+  std::vector<BasicBlock> Blocks;
+  int Entry = 0;
+  int Exit = 0;
+  bool HasReturnType = false;
+  TypeKind ReturnType = TypeKind::Int;
+
+  /// Shared ownership of the AST whose Expr nodes the blocks reference.
+  std::shared_ptr<Program> OwnedAst;
+  /// Builtin registry used for call cost summaries.
+  BuiltinRegistry Builtins;
+
+  const BasicBlock &block(int Id) const { return Blocks[Id]; }
+  size_t blockCount() const { return Blocks.size(); }
+
+  /// All edges, sorted; this is the trail alphabet.
+  std::vector<Edge> edges() const;
+
+  /// Predecessor block ids of every block.
+  std::vector<std::vector<int>> predecessors() const;
+
+  /// Cost of executing every instruction of \p B plus its terminator, per
+  /// the machine model.
+  int64_t blockCost(const BasicBlock &B) const;
+
+  /// Cost of one instruction: one unit for the store/effect plus the cost
+  /// of evaluating its expressions.
+  int64_t instrCost(const Instr &I) const;
+
+  /// Cost of evaluating \p E, bytecode-style: one unit per operation
+  /// (load, arithmetic, comparison, array access); builtin calls charge
+  /// their manually-specified summary.
+  int64_t exprCost(const Expr *E) const;
+
+  /// Cost of \p B's terminator (branch/return evaluation).
+  int64_t termCost(const BasicBlock &B) const;
+
+  /// \returns the security level of variable \p Name: parameters report
+  /// their annotation; locals report Public (their taint is computed by the
+  /// dataflow, not declared).
+  SecurityLevel paramLevel(const std::string &Name) const;
+
+  /// Human-readable listing of the whole CFG.
+  std::string str() const;
+
+  /// Graphviz dot rendering.
+  std::string toDot() const;
+};
+
+/// Lowers function \p Name of the checked program \p P. The returned
+/// CfgFunction shares ownership of \p P.
+///
+/// Short-circuit '&&'/'||' are lowered as strict boolean operators (both
+/// sides evaluate); the benchmark programs do not rely on short-circuiting.
+CfgFunction lowerFunction(std::shared_ptr<Program> P, const std::string &Name,
+                          const SemaResult &Sema,
+                          const BuiltinRegistry &Registry);
+
+/// Convenience front door: parse + typecheck \p Source, then lower \p Name.
+Result<CfgFunction> compileFunction(const std::string &Source,
+                                    const std::string &Name,
+                                    const BuiltinRegistry &Registry);
+
+/// Compiles the sole function of \p Source (error if it has several).
+Result<CfgFunction> compileSingleFunction(const std::string &Source,
+                                          const BuiltinRegistry &Registry);
+
+} // namespace blazer
+
+#endif // BLAZER_IR_CFG_H

@@ -1,0 +1,289 @@
+//===- Lower.cpp - AST to CFG lowering ------------------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cfg.h"
+#include "lang/Parser.h"
+
+#include <cassert>
+
+using namespace blazer;
+
+namespace {
+
+/// Stateful lowering of one function body to basic blocks.
+class Lowerer {
+public:
+  Lowerer(CfgFunction &F) : F(F) {}
+
+  void run(const FunctionDecl &Decl) {
+    int EntryId = newBlock();
+    F.Entry = EntryId;
+    ExitId = newBlock();
+    F.Blocks[ExitId].Term = BasicBlock::TermKind::Exit;
+    Cur = EntryId;
+    lowerBlock(Decl.Body);
+    // Fall off the end: implicit `return;`.
+    if (!terminated()) {
+      BasicBlock &B = block(Cur);
+      B.Term = BasicBlock::TermKind::Return;
+      B.RetVal = nullptr;
+      B.TrueSucc = ExitId;
+    }
+    F.Exit = ExitId;
+    pruneUnreachable();
+  }
+
+private:
+  BasicBlock &block(int Id) { return F.Blocks[Id]; }
+
+  int newBlock() {
+    BasicBlock B;
+    B.Id = static_cast<int>(F.Blocks.size());
+    // A fresh block defaults to an unterminated state; use Jump with an
+    // invalid successor as the sentinel.
+    B.Term = BasicBlock::TermKind::Jump;
+    B.TrueSucc = -1;
+    F.Blocks.push_back(B);
+    return B.Id;
+  }
+
+  bool terminated() {
+    const BasicBlock &B = block(Cur);
+    return !(B.Term == BasicBlock::TermKind::Jump && B.TrueSucc == -1);
+  }
+
+  void lowerBlock(const StmtList &Stmts) {
+    for (const StmtPtr &S : Stmts) {
+      if (terminated()) {
+        // Unreachable trailing code; lower it into a fresh dead block so the
+        // AST stays fully visited, then let pruning discard it.
+        Cur = newBlock();
+      }
+      lowerStmt(S.get());
+    }
+  }
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::VarDecl: {
+      const auto *D = cast<VarDeclStmt>(S);
+      if (D->Type == TypeKind::IntArray)
+        return; // Declarations of array locals carry no runtime effect here.
+      Instr I;
+      I.K = Instr::Kind::Assign;
+      I.Dest = D->Name;
+      I.Value = D->Init.get(); // Null init means default zero; see interp.
+      I.Line = S->line();
+      block(Cur).Instrs.push_back(I);
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      Instr I;
+      I.K = Instr::Kind::Assign;
+      I.Dest = A->Name;
+      I.Value = A->Value.get();
+      I.Line = S->line();
+      block(Cur).Instrs.push_back(I);
+      return;
+    }
+    case Stmt::Kind::ArrayStore: {
+      const auto *A = cast<ArrayStoreStmt>(S);
+      Instr I;
+      I.K = Instr::Kind::ArrayStore;
+      I.Array = A->Array;
+      I.Index = A->Index.get();
+      I.Value = A->Value.get();
+      I.Line = S->line();
+      block(Cur).Instrs.push_back(I);
+      return;
+    }
+    case Stmt::Kind::Skip: {
+      Instr I;
+      I.K = Instr::Kind::Nop;
+      I.Line = S->line();
+      block(Cur).Instrs.push_back(I);
+      return;
+    }
+    case Stmt::Kind::ExprStmt: {
+      const auto *E = cast<ExprStmt>(S);
+      Instr I;
+      I.K = Instr::Kind::CallStmt;
+      I.Value = E->E.get();
+      I.Line = S->line();
+      block(Cur).Instrs.push_back(I);
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      BasicBlock &B = block(Cur);
+      B.Term = BasicBlock::TermKind::Return;
+      B.RetVal = R->Value.get();
+      B.TrueSucc = ExitId;
+      B.Line = S->line();
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      int CondBlock = Cur;
+      int ThenEntry = newBlock();
+      int ElseEntry = newBlock();
+      int Join = newBlock();
+      BasicBlock &B = block(CondBlock);
+      B.Term = BasicBlock::TermKind::Branch;
+      B.Cond = I->Cond.get();
+      B.TrueSucc = ThenEntry;
+      B.FalseSucc = ElseEntry;
+      B.Line = S->line();
+
+      Cur = ThenEntry;
+      lowerBlock(I->Then);
+      if (!terminated()) {
+        block(Cur).Term = BasicBlock::TermKind::Jump;
+        block(Cur).TrueSucc = Join;
+      }
+      Cur = ElseEntry;
+      lowerBlock(I->Else);
+      if (!terminated()) {
+        block(Cur).Term = BasicBlock::TermKind::Jump;
+        block(Cur).TrueSucc = Join;
+      }
+      Cur = Join;
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      int Header = newBlock();
+      int BodyEntry = newBlock();
+      int After = newBlock();
+      // Close the current block into the header.
+      BasicBlock &Pre = block(Cur);
+      assert(!terminated() && "lowerBlock guarantees an open block");
+      Pre.Term = BasicBlock::TermKind::Jump;
+      Pre.TrueSucc = Header;
+
+      BasicBlock &H = block(Header);
+      H.Term = BasicBlock::TermKind::Branch;
+      H.Cond = W->Cond.get();
+      H.TrueSucc = BodyEntry;
+      H.FalseSucc = After;
+      H.Line = S->line();
+
+      Cur = BodyEntry;
+      lowerBlock(W->Body);
+      if (!terminated()) {
+        block(Cur).Term = BasicBlock::TermKind::Jump;
+        block(Cur).TrueSucc = Header;
+      }
+      Cur = After;
+      return;
+    }
+    }
+  }
+
+  /// Removes blocks unreachable from the entry and renumbers the survivors,
+  /// so the "Size" metric (Table 1) counts only live blocks.
+  void pruneUnreachable() {
+    std::vector<bool> Live(F.Blocks.size(), false);
+    std::vector<int> Work = {F.Entry};
+    Live[F.Entry] = true;
+    // The exit block always survives, even for functions that loop forever.
+    if (!Live[ExitId])
+      Live[ExitId] = true;
+    while (!Work.empty()) {
+      int Id = Work.back();
+      Work.pop_back();
+      for (int S : F.Blocks[Id].successors()) {
+        if (Live[S])
+          continue;
+        Live[S] = true;
+        Work.push_back(S);
+      }
+    }
+    std::vector<int> Remap(F.Blocks.size(), -1);
+    std::vector<BasicBlock> Kept;
+    for (const BasicBlock &B : F.Blocks) {
+      if (!Live[B.Id])
+        continue;
+      Remap[B.Id] = static_cast<int>(Kept.size());
+      Kept.push_back(B);
+    }
+    for (BasicBlock &B : Kept) {
+      B.Id = Remap[B.Id];
+      if (B.TrueSucc >= 0)
+        B.TrueSucc = Remap[B.TrueSucc];
+      if (B.FalseSucc >= 0)
+        B.FalseSucc = Remap[B.FalseSucc];
+      assert((B.Term == BasicBlock::TermKind::Exit ||
+              B.TrueSucc >= 0) &&
+             "live block must have live successors");
+    }
+    F.Blocks = std::move(Kept);
+    F.Entry = Remap[F.Entry];
+    F.Exit = Remap[ExitId];
+  }
+
+  CfgFunction &F;
+  int Cur = 0;
+  int ExitId = 0;
+};
+
+} // namespace
+
+CfgFunction blazer::lowerFunction(std::shared_ptr<Program> P,
+                                  const std::string &Name,
+                                  const SemaResult &Sema,
+                                  const BuiltinRegistry &Registry) {
+  const FunctionDecl *Decl = P->find(Name);
+  assert(Decl && "lowering an unknown function");
+  auto InfoIt = Sema.Functions.find(Name);
+  assert(InfoIt != Sema.Functions.end() && "function was not checked");
+
+  CfgFunction F;
+  F.Name = Name;
+  F.Params = Decl->Params;
+  F.VarTypes = InfoIt->second.VarTypes;
+  F.ParamLevels = InfoIt->second.ParamLevels;
+  F.HasReturnType = Decl->HasReturnType;
+  F.ReturnType = Decl->ReturnType;
+  F.OwnedAst = std::move(P);
+  F.Builtins = Registry;
+
+  Lowerer L(F);
+  L.run(*Decl);
+  return F;
+}
+
+Result<CfgFunction> blazer::compileFunction(const std::string &Source,
+                                            const std::string &Name,
+                                            const BuiltinRegistry &Registry) {
+  auto Parsed = parseProgram(Source);
+  if (!Parsed)
+    return Parsed.diag();
+  auto P = std::make_shared<Program>(Parsed.take());
+  auto Sema = analyzeProgram(*P, Registry);
+  if (!Sema)
+    return Sema.diag();
+  if (!P->find(Name))
+    return Result<CfgFunction>::error("no function named '" + Name + "'");
+  return lowerFunction(P, Name, *Sema, Registry);
+}
+
+Result<CfgFunction>
+blazer::compileSingleFunction(const std::string &Source,
+                              const BuiltinRegistry &Registry) {
+  auto Parsed = parseProgram(Source);
+  if (!Parsed)
+    return Parsed.diag();
+  if (Parsed->Functions.size() != 1)
+    return Result<CfgFunction>::error("expected exactly one function");
+  std::string Name = Parsed->Functions[0]->Name;
+  auto P = std::make_shared<Program>(Parsed.take());
+  auto Sema = analyzeProgram(*P, Registry);
+  if (!Sema)
+    return Sema.diag();
+  return lowerFunction(P, Name, *Sema, Registry);
+}

@@ -1,0 +1,336 @@
+//===- Ast.h - Mini-language abstract syntax tree ---------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the mini-language. A Program is a set of functions; each function
+/// declares `public` (low / attacker-controlled) and `secret` (high)
+/// parameters — the security lattice the timing-channel property is stated
+/// over. LLVM-style tag-based RTTI (no dynamic_cast).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_LANG_AST_H
+#define BLAZER_LANG_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// The mini-language's three types.
+enum class TypeKind { Int, Bool, IntArray };
+
+/// \returns "int", "bool" or "int[]".
+const char *typeName(TypeKind T);
+
+/// Security classification of a parameter (paper: low = tainted /
+/// attacker-controlled, high = secret).
+enum class SecurityLevel { Public, Secret };
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    BoolLit,
+    VarRef,
+    ArrayIndex,
+    ArrayLength,
+    Unary,
+    Binary,
+    Call,
+  };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return TheKind; }
+  int line() const { return Line; }
+  int col() const { return Col; }
+  void setLoc(int L, int C) {
+    Line = L;
+    Col = C;
+  }
+
+  /// Set by Sema.
+  TypeKind type() const { return Type; }
+  void setType(TypeKind T) { Type = T; }
+
+protected:
+  explicit Expr(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+  TypeKind Type = TypeKind::Int;
+  int Line = 0;
+  int Col = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  explicit IntLitExpr(int64_t V) : Expr(Kind::IntLit), Value(V) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+  int64_t Value;
+};
+
+class BoolLitExpr : public Expr {
+public:
+  explicit BoolLitExpr(bool V) : Expr(Kind::BoolLit), Value(V) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+  bool Value;
+};
+
+class VarRefExpr : public Expr {
+public:
+  explicit VarRefExpr(std::string Name)
+      : Expr(Kind::VarRef), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+  std::string Name;
+};
+
+class ArrayIndexExpr : public Expr {
+public:
+  ArrayIndexExpr(std::string Array, ExprPtr Index)
+      : Expr(Kind::ArrayIndex), Array(std::move(Array)),
+        Index(std::move(Index)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayIndex; }
+
+  std::string Array;
+  ExprPtr Index;
+};
+
+class ArrayLengthExpr : public Expr {
+public:
+  explicit ArrayLengthExpr(std::string Array)
+      : Expr(Kind::ArrayLength), Array(std::move(Array)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayLength; }
+
+  std::string Array;
+};
+
+enum class UnaryOp { Not, Neg };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Sub)
+      : Expr(Kind::Unary), Op(Op), Sub(std::move(Sub)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+  UnaryOp Op;
+  ExprPtr Sub;
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+/// \returns the source spelling, e.g. "<=".
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr L, ExprPtr R)
+      : Expr(Kind::Binary), Op(Op), Lhs(std::move(L)), Rhs(std::move(R)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+  BinaryOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(Kind::Call), Callee(std::move(Callee)), Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// Minimal LLVM-style cast helpers over the Expr hierarchy.
+template <typename T> bool isa(const Expr *E) { return T::classof(E); }
+template <typename T> const T *cast(const Expr *E) {
+  assert(isa<T>(E) && "bad Expr cast");
+  return static_cast<const T *>(E);
+}
+template <typename T> const T *dyn_cast(const Expr *E) {
+  return isa<T>(E) ? static_cast<const T *>(E) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind { VarDecl, Assign, ArrayStore, If, While, Return, Skip,
+                    ExprStmt };
+
+  virtual ~Stmt() = default;
+
+  Kind kind() const { return TheKind; }
+  int line() const { return Line; }
+  void setLine(int L) { Line = L; }
+
+protected:
+  explicit Stmt(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+  int Line = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(std::string Name, TypeKind Type, ExprPtr Init)
+      : Stmt(Kind::VarDecl), Name(std::move(Name)), Type(Type),
+        Init(std::move(Init)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarDecl; }
+
+  std::string Name;
+  TypeKind Type;
+  ExprPtr Init; ///< May be null (default-initialized to 0 / false).
+};
+
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::string Name, ExprPtr Value)
+      : Stmt(Kind::Assign), Name(std::move(Name)), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+  std::string Name;
+  ExprPtr Value;
+};
+
+class ArrayStoreStmt : public Stmt {
+public:
+  ArrayStoreStmt(std::string Array, ExprPtr Index, ExprPtr Value)
+      : Stmt(Kind::ArrayStore), Array(std::move(Array)),
+        Index(std::move(Index)), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ArrayStore; }
+
+  std::string Array;
+  ExprPtr Index;
+  ExprPtr Value;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtList Then, StmtList Else)
+      : Stmt(Kind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+  ExprPtr Cond;
+  StmtList Then;
+  StmtList Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtList Body)
+      : Stmt(Kind::While), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+  ExprPtr Cond;
+  StmtList Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(ExprPtr Value)
+      : Stmt(Kind::Return), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+  ExprPtr Value; ///< May be null for a bare `return;`.
+};
+
+class SkipStmt : public Stmt {
+public:
+  SkipStmt() : Stmt(Kind::Skip) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Skip; }
+};
+
+class ExprStmt : public Stmt {
+public:
+  explicit ExprStmt(ExprPtr E) : Stmt(Kind::ExprStmt), E(std::move(E)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ExprStmt; }
+
+  ExprPtr E;
+};
+
+/// Stmt cast helpers.
+template <typename T> bool isa(const Stmt *S) { return T::classof(S); }
+template <typename T> const T *cast(const Stmt *S) {
+  assert(isa<T>(S) && "bad Stmt cast");
+  return static_cast<const T *>(S);
+}
+template <typename T> const T *dyn_cast(const Stmt *S) {
+  return isa<T>(S) ? static_cast<const T *>(S) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+struct Param {
+  std::string Name;
+  TypeKind Type;
+  SecurityLevel Level;
+};
+
+struct FunctionDecl {
+  std::string Name;
+  std::vector<Param> Params;
+  bool HasReturnType = false;
+  TypeKind ReturnType = TypeKind::Int;
+  StmtList Body;
+};
+
+/// Renders \p E as source text (fully parenthesized where needed).
+std::string exprToString(const Expr *E);
+
+struct Program {
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+
+  /// \returns the function named \p Name, or null.
+  const FunctionDecl *find(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace blazer
+
+#endif // BLAZER_LANG_AST_H

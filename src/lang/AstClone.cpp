@@ -1,0 +1,65 @@
+//===- AstClone.cpp - Expression cloning with renaming --------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstClone.h"
+
+using namespace blazer;
+
+static std::string renamed(const std::string &Name, const RenameMap &M) {
+  auto It = M.find(Name);
+  return It == M.end() ? Name : It->second;
+}
+
+ExprPtr blazer::cloneExpr(const Expr *E, const RenameMap &Renames) {
+  ExprPtr Out;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    Out = std::make_unique<IntLitExpr>(cast<IntLitExpr>(E)->Value);
+    break;
+  case Expr::Kind::BoolLit:
+    Out = std::make_unique<BoolLitExpr>(cast<BoolLitExpr>(E)->Value);
+    break;
+  case Expr::Kind::VarRef:
+    Out = std::make_unique<VarRefExpr>(
+        renamed(cast<VarRefExpr>(E)->Name, Renames));
+    break;
+  case Expr::Kind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(E);
+    Out = std::make_unique<ArrayIndexExpr>(
+        renamed(A->Array, Renames), cloneExpr(A->Index.get(), Renames));
+    break;
+  }
+  case Expr::Kind::ArrayLength:
+    Out = std::make_unique<ArrayLengthExpr>(
+        renamed(cast<ArrayLengthExpr>(E)->Array, Renames));
+    break;
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Out = std::make_unique<UnaryExpr>(U->Op,
+                                      cloneExpr(U->Sub.get(), Renames));
+    break;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Out = std::make_unique<BinaryExpr>(B->Op,
+                                       cloneExpr(B->Lhs.get(), Renames),
+                                       cloneExpr(B->Rhs.get(), Renames));
+    break;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<ExprPtr> Args;
+    Args.reserve(C->Args.size());
+    for (const ExprPtr &A : C->Args)
+      Args.push_back(cloneExpr(A.get(), Renames));
+    Out = std::make_unique<CallExpr>(C->Callee, std::move(Args));
+    break;
+  }
+  }
+  Out->setType(E->type());
+  Out->setLoc(E->line(), E->col());
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- AstClone.h - Expression cloning with renaming ------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-clones expressions while renaming variable references — the
+/// building block of the self-composition baseline, which needs two
+/// alpha-renamed copies of every condition and right-hand side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_LANG_ASTCLONE_H
+#define BLAZER_LANG_ASTCLONE_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <string>
+
+namespace blazer {
+
+/// Maps old variable/array names to new ones; names absent from the map are
+/// kept.
+using RenameMap = std::map<std::string, std::string>;
+
+/// \returns a deep copy of \p E with every variable and array reference
+/// renamed through \p Renames. Types are preserved.
+ExprPtr cloneExpr(const Expr *E, const RenameMap &Renames);
+
+} // namespace blazer
+
+#endif // BLAZER_LANG_ASTCLONE_H

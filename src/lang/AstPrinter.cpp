@@ -1,0 +1,51 @@
+//===- AstPrinter.cpp - Expression rendering ------------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+#include <sstream>
+
+using namespace blazer;
+
+std::string blazer::exprToString(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    return std::to_string(cast<IntLitExpr>(E)->Value);
+  case Expr::Kind::BoolLit:
+    return cast<BoolLitExpr>(E)->Value ? "true" : "false";
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(E)->Name;
+  case Expr::Kind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(E);
+    return A->Array + "[" + exprToString(A->Index.get()) + "]";
+  }
+  case Expr::Kind::ArrayLength:
+    return cast<ArrayLengthExpr>(E)->Array + ".length";
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return std::string(U->Op == UnaryOp::Not ? "!" : "-") + "(" +
+           exprToString(U->Sub.get()) + ")";
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return "(" + exprToString(B->Lhs.get()) + " " + binaryOpSpelling(B->Op) +
+           " " + exprToString(B->Rhs.get()) + ")";
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::ostringstream OS;
+    OS << C->Callee << "(";
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << exprToString(C->Args[I].get());
+    }
+    OS << ")";
+    return OS.str();
+  }
+  }
+  return "<expr>";
+}

@@ -1,0 +1,76 @@
+//===- Builtins.cpp - Builtin functions with manual cost summaries --------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Builtins.h"
+
+#include <cassert>
+
+using namespace blazer;
+
+void BuiltinRegistry::add(BuiltinInfo Info) {
+  assert(!Info.Name.empty() && "builtin needs a name");
+  Builtins[Info.Name] = std::move(Info);
+}
+
+const BuiltinInfo *BuiltinRegistry::find(const std::string &Name) const {
+  auto It = Builtins.find(Name);
+  return It == Builtins.end() ? nullptr : &It->second;
+}
+
+BuiltinRegistry BuiltinRegistry::standard() {
+  BuiltinRegistry R;
+
+  // A cheap deterministic stand-in for a cryptographic hash; only the cost
+  // summary matters to the analysis, only determinism matters to the
+  // interpreter.
+  BuiltinInfo Md5;
+  Md5.Name = "md5";
+  Md5.ParamTypes = {TypeKind::Int};
+  Md5.ReturnType = TypeKind::Int;
+  Md5.Cost = 860;
+  Md5.Eval = [](const std::vector<int64_t> &Args) {
+    uint64_t X = static_cast<uint64_t>(Args[0]) * 0x9E3779B97F4A7C15ULL;
+    X ^= X >> 29;
+    X *= 0xBF58476D1CE4E5B9ULL;
+    X ^= X >> 32;
+    return static_cast<int64_t>(X & 0x7FFFFFFFFFFFFFFFULL);
+  };
+  R.add(std::move(Md5));
+
+  // Modular multiply at a fixed (4096-bit) width, as in the Java BigInteger
+  // calls of the modPow STAC benchmarks.
+  BuiltinInfo MulMod;
+  MulMod.Name = "mulmod";
+  MulMod.ParamTypes = {TypeKind::Int, TypeKind::Int, TypeKind::Int};
+  MulMod.ReturnType = TypeKind::Int;
+  MulMod.Cost = 97;
+  MulMod.Eval = [](const std::vector<int64_t> &Args) {
+    int64_t M = Args[2] == 0 ? 1 : Args[2];
+    // Use unsigned 128-bit arithmetic to avoid overflow UB.
+    unsigned __int128 P = static_cast<unsigned __int128>(
+                              static_cast<uint64_t>(Args[0])) *
+                          static_cast<uint64_t>(Args[1]);
+    uint64_t Mod = static_cast<uint64_t>(M < 0 ? -M : M);
+    if (Mod == 0)
+      Mod = 1;
+    return static_cast<int64_t>(P % Mod);
+  };
+  R.add(std::move(MulMod));
+
+  // Plain big-integer multiply.
+  BuiltinInfo BigMul;
+  BigMul.Name = "bigmul";
+  BigMul.ParamTypes = {TypeKind::Int, TypeKind::Int};
+  BigMul.ReturnType = TypeKind::Int;
+  BigMul.Cost = 61;
+  BigMul.Eval = [](const std::vector<int64_t> &Args) {
+    return static_cast<int64_t>(static_cast<uint64_t>(Args[0]) *
+                                static_cast<uint64_t>(Args[1]));
+  };
+  R.add(std::move(BigMul));
+
+  return R;
+}

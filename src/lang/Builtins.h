@@ -1,0 +1,62 @@
+//===- Builtins.h - Builtin functions with manual cost summaries -*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builtin (library) functions. Blazer's bound analysis "relies on
+/// manually-specified bound summaries for interprocedural function calls"
+/// (§5) — e.g. Java BigInteger arithmetic in the modPow benchmarks and md5
+/// in unixlogin. Each builtin here carries such a summary: a fixed
+/// instruction cost charged when the call executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_LANG_BUILTINS_H
+#define BLAZER_LANG_BUILTINS_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace blazer {
+
+/// Signature, cost summary, and concrete semantics of one builtin.
+struct BuiltinInfo {
+  std::string Name;
+  std::vector<TypeKind> ParamTypes;
+  TypeKind ReturnType = TypeKind::Int;
+  /// Manually-specified running-time summary, in machine-model instructions.
+  int64_t Cost = 1;
+  /// Concrete semantics for the interpreter (deterministic, total).
+  std::function<int64_t(const std::vector<int64_t> &)> Eval;
+};
+
+/// Registry of builtins visible to Sema, the interpreter, and the bound
+/// analysis.
+class BuiltinRegistry {
+public:
+  /// The standard library used by the benchmark suite:
+  ///  - md5(x) -> int             cost 860  (hash of one password)
+  ///  - mulmod(a, b, m) -> int    cost 97   (4096-bit multiply + mod)
+  ///  - bigmul(a, b) -> int       cost 61   (4096-bit multiply)
+  static BuiltinRegistry standard();
+
+  /// Registers or replaces a builtin.
+  void add(BuiltinInfo Info);
+
+  /// \returns the builtin named \p Name, or null.
+  const BuiltinInfo *find(const std::string &Name) const;
+
+private:
+  std::map<std::string, BuiltinInfo> Builtins;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_LANG_BUILTINS_H

@@ -1,0 +1,275 @@
+//===- Lexer.cpp - Mini-language lexer ------------------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace blazer;
+
+const char *blazer::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwPublic:
+    return "'public'";
+  case TokenKind::KwSecret:
+    return "'secret'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Dot:
+    return "'.'";
+  }
+  return "<unknown>";
+}
+
+static const std::map<std::string, TokenKind> &keywordMap() {
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"fn", TokenKind::KwFn},         {"var", TokenKind::KwVar},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},   {"return", TokenKind::KwReturn},
+      {"skip", TokenKind::KwSkip},     {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"public", TokenKind::KwPublic},
+      {"secret", TokenKind::KwSecret}, {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},
+  };
+  return Keywords;
+}
+
+Result<std::vector<Token>> blazer::lex(const std::string &Source) {
+  std::vector<Token> Tokens;
+  int Line = 1;
+  int Col = 1;
+  size_t I = 0;
+  const size_t N = Source.size();
+
+  auto Advance = [&]() {
+    if (I < N && Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto Peek = [&](size_t Off = 0) -> char {
+    return I + Off < N ? Source[I + Off] : '\0';
+  };
+  auto Emit = [&](TokenKind K, int L, int C) {
+    Token T;
+    T.Kind = K;
+    T.Line = L;
+    T.Col = C;
+    Tokens.push_back(T);
+  };
+
+  while (I < N) {
+    char C = Peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      Advance();
+      continue;
+    }
+    if (C == '/' && Peek(1) == '/') {
+      while (I < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    int TLine = Line;
+    int TCol = Col;
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        V = V * 10 + (Peek() - '0');
+        Advance();
+      }
+      Token T;
+      T.Kind = TokenKind::IntLiteral;
+      T.IntValue = V;
+      T.Line = TLine;
+      T.Col = TCol;
+      Tokens.push_back(T);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                       Peek() == '_')) {
+        Text += Peek();
+        Advance();
+      }
+      auto It = keywordMap().find(Text);
+      Token T;
+      T.Line = TLine;
+      T.Col = TCol;
+      if (It != keywordMap().end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = TokenKind::Identifier;
+        T.Text = std::move(Text);
+      }
+      Tokens.push_back(T);
+      continue;
+    }
+    // Two-character operators first.
+    auto Two = [&](char A, char B, TokenKind K) -> bool {
+      if (C != A || Peek(1) != B)
+        return false;
+      Advance();
+      Advance();
+      Emit(K, TLine, TCol);
+      return true;
+    };
+    if (Two('-', '>', TokenKind::Arrow) || Two('=', '=', TokenKind::EqEq) ||
+        Two('!', '=', TokenKind::BangEq) ||
+        Two('<', '=', TokenKind::LessEq) ||
+        Two('>', '=', TokenKind::GreaterEq) ||
+        Two('&', '&', TokenKind::AmpAmp) ||
+        Two('|', '|', TokenKind::PipePipe))
+      continue;
+    TokenKind K;
+    switch (C) {
+    case '(':
+      K = TokenKind::LParen;
+      break;
+    case ')':
+      K = TokenKind::RParen;
+      break;
+    case '{':
+      K = TokenKind::LBrace;
+      break;
+    case '}':
+      K = TokenKind::RBrace;
+      break;
+    case '[':
+      K = TokenKind::LBracket;
+      break;
+    case ']':
+      K = TokenKind::RBracket;
+      break;
+    case ',':
+      K = TokenKind::Comma;
+      break;
+    case ';':
+      K = TokenKind::Semicolon;
+      break;
+    case ':':
+      K = TokenKind::Colon;
+      break;
+    case '=':
+      K = TokenKind::Assign;
+      break;
+    case '+':
+      K = TokenKind::Plus;
+      break;
+    case '-':
+      K = TokenKind::Minus;
+      break;
+    case '*':
+      K = TokenKind::Star;
+      break;
+    case '/':
+      K = TokenKind::Slash;
+      break;
+    case '%':
+      K = TokenKind::Percent;
+      break;
+    case '!':
+      K = TokenKind::Bang;
+      break;
+    case '<':
+      K = TokenKind::Less;
+      break;
+    case '>':
+      K = TokenKind::Greater;
+      break;
+    case '.':
+      K = TokenKind::Dot;
+      break;
+    default:
+      return Result<std::vector<Token>>::error(
+          std::string("unexpected character '") + C + "'", TLine, TCol);
+    }
+    Advance();
+    Emit(K, TLine, TCol);
+  }
+  Emit(TokenKind::Eof, Line, Col);
+  return Tokens;
+}

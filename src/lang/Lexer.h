@@ -1,0 +1,28 @@
+//===- Lexer.h - Mini-language lexer ----------------------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the mini-language. Supports `//` line comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_LANG_LEXER_H
+#define BLAZER_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Result.h"
+
+#include <vector>
+
+namespace blazer {
+
+/// Tokenizes \p Source. On success the returned vector always ends with an
+/// Eof token; on failure a located diagnostic describes the bad character.
+Result<std::vector<Token>> lex(const std::string &Source);
+
+} // namespace blazer
+
+#endif // BLAZER_LANG_LEXER_H

@@ -1,0 +1,533 @@
+//===- Parser.cpp - Mini-language recursive-descent parser ----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Lexer.h"
+
+using namespace blazer;
+
+const char *blazer::typeName(TypeKind T) {
+  switch (T) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::IntArray:
+    return "int[]";
+  }
+  return "<type>";
+}
+
+const char *blazer::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Methods return null on
+/// error and record the first diagnostic in Err.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Result<Program> run() {
+    Program P;
+    while (!peek().is(TokenKind::Eof)) {
+      auto F = parseFunction();
+      if (!F)
+        return *Err;
+      P.Functions.push_back(std::move(F));
+    }
+    if (P.Functions.empty())
+      return fail<Program>("expected at least one function");
+    return P;
+  }
+
+private:
+  const Token &peek(size_t Off = 0) const {
+    size_t I = Pos + Off;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token advance() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool match(TokenKind K) {
+    if (!peek().is(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string &Msg) {
+    if (!Err)
+      Err = Diag{Msg, peek().Line, peek().Col};
+  }
+  template <typename T> Result<T> fail(const std::string &Msg) {
+    error(Msg);
+    return *Err;
+  }
+  bool expect(TokenKind K, const char *What) {
+    if (match(K))
+      return true;
+    error(std::string("expected ") + tokenKindName(K) + " " + What +
+          ", found " + tokenKindName(peek().Kind));
+    return false;
+  }
+
+  std::unique_ptr<FunctionDecl> parseFunction() {
+    if (!expect(TokenKind::KwFn, "to begin a function"))
+      return nullptr;
+    auto F = std::make_unique<FunctionDecl>();
+    if (!peek().is(TokenKind::Identifier)) {
+      error("expected function name");
+      return nullptr;
+    }
+    F->Name = advance().Text;
+    if (!expect(TokenKind::LParen, "after function name"))
+      return nullptr;
+    if (!peek().is(TokenKind::RParen)) {
+      do {
+        SecurityLevel Level;
+        if (match(TokenKind::KwPublic)) {
+          Level = SecurityLevel::Public;
+        } else if (match(TokenKind::KwSecret)) {
+          Level = SecurityLevel::Secret;
+        } else {
+          error("parameter must be marked 'public' or 'secret'");
+          return nullptr;
+        }
+        if (!peek().is(TokenKind::Identifier)) {
+          error("expected parameter name");
+          return nullptr;
+        }
+        std::string Name = advance().Text;
+        if (!expect(TokenKind::Colon, "after parameter name"))
+          return nullptr;
+        auto Ty = parseType();
+        if (!Ty)
+          return nullptr;
+        F->Params.push_back(Param{std::move(Name), *Ty, Level});
+      } while (match(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "to close the parameter list"))
+      return nullptr;
+    if (match(TokenKind::Arrow)) {
+      auto Ty = parseType();
+      if (!Ty)
+        return nullptr;
+      F->HasReturnType = true;
+      F->ReturnType = *Ty;
+    }
+    if (!parseBlock(F->Body))
+      return nullptr;
+    return F;
+  }
+
+  std::optional<TypeKind> parseType() {
+    if (match(TokenKind::KwBool))
+      return TypeKind::Bool;
+    if (match(TokenKind::KwInt)) {
+      if (match(TokenKind::LBracket)) {
+        if (!expect(TokenKind::RBracket, "to close 'int['"))
+          return std::nullopt;
+        return TypeKind::IntArray;
+      }
+      return TypeKind::Int;
+    }
+    error("expected a type ('int', 'bool' or 'int[]')");
+    return std::nullopt;
+  }
+
+  bool parseBlock(StmtList &Out) {
+    if (!expect(TokenKind::LBrace, "to open a block"))
+      return false;
+    while (!peek().is(TokenKind::RBrace)) {
+      if (peek().is(TokenKind::Eof)) {
+        error("unterminated block");
+        return false;
+      }
+      StmtPtr S = parseStmt();
+      if (!S)
+        return false;
+      Out.push_back(std::move(S));
+    }
+    advance(); // consume '}'
+    return true;
+  }
+
+  StmtPtr parseStmt() {
+    int Line = peek().Line;
+    StmtPtr S = parseStmtInner();
+    if (S)
+      S->setLine(Line);
+    return S;
+  }
+
+  StmtPtr parseStmtInner() {
+    switch (peek().Kind) {
+    case TokenKind::KwVar:
+      return parseVarDecl();
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::KwWhile:
+      return parseWhile();
+    case TokenKind::KwReturn: {
+      advance();
+      ExprPtr Value;
+      if (!peek().is(TokenKind::Semicolon)) {
+        Value = parseExpr();
+        if (!Value)
+          return nullptr;
+      }
+      if (!expect(TokenKind::Semicolon, "after return"))
+        return nullptr;
+      return std::make_unique<ReturnStmt>(std::move(Value));
+    }
+    case TokenKind::KwSkip: {
+      advance();
+      if (!expect(TokenKind::Semicolon, "after skip"))
+        return nullptr;
+      return std::make_unique<SkipStmt>();
+    }
+    case TokenKind::Identifier: {
+      // Assignment, array store, or a call statement.
+      if (peek(1).is(TokenKind::Assign)) {
+        std::string Name = advance().Text;
+        advance(); // '='
+        ExprPtr Value = parseExpr();
+        if (!Value || !expect(TokenKind::Semicolon, "after assignment"))
+          return nullptr;
+        return std::make_unique<AssignStmt>(std::move(Name),
+                                            std::move(Value));
+      }
+      if (peek(1).is(TokenKind::LBracket)) {
+        // Could be `a[i] = v;` — parse the index and require '='.
+        std::string Name = advance().Text;
+        advance(); // '['
+        ExprPtr Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket, "after array index"))
+          return nullptr;
+        if (!expect(TokenKind::Assign, "in array store"))
+          return nullptr;
+        ExprPtr Value = parseExpr();
+        if (!Value || !expect(TokenKind::Semicolon, "after array store"))
+          return nullptr;
+        return std::make_unique<ArrayStoreStmt>(
+            std::move(Name), std::move(Index), std::move(Value));
+      }
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokenKind::Semicolon, "after expression statement"))
+        return nullptr;
+      return std::make_unique<ExprStmt>(std::move(E));
+    }
+    default:
+      error(std::string("expected a statement, found ") +
+            tokenKindName(peek().Kind));
+      return nullptr;
+    }
+  }
+
+  StmtPtr parseVarDecl() {
+    advance(); // 'var'
+    if (!peek().is(TokenKind::Identifier)) {
+      error("expected variable name");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    if (!expect(TokenKind::Colon, "after variable name"))
+      return nullptr;
+    auto Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    ExprPtr Init;
+    if (match(TokenKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after variable declaration"))
+      return nullptr;
+    return std::make_unique<VarDeclStmt>(std::move(Name), *Ty,
+                                         std::move(Init));
+  }
+
+  StmtPtr parseIf() {
+    advance(); // 'if'
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen, "after if condition"))
+      return nullptr;
+    StmtList Then;
+    if (!parseBlock(Then))
+      return nullptr;
+    StmtList Else;
+    if (match(TokenKind::KwElse)) {
+      if (peek().is(TokenKind::KwIf)) {
+        StmtPtr Nested = parseStmt();
+        if (!Nested)
+          return nullptr;
+        Else.push_back(std::move(Nested));
+      } else if (!parseBlock(Else)) {
+        return nullptr;
+      }
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+
+  StmtPtr parseWhile() {
+    advance(); // 'while'
+    if (!expect(TokenKind::LParen, "after 'while'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen, "after while condition"))
+      return nullptr;
+    StmtList Body;
+    if (!parseBlock(Body))
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr located(ExprPtr E, int Line, int Col) {
+    if (E)
+      E->setLoc(Line, Col);
+    return E;
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (L && peek().is(TokenKind::PipePipe)) {
+      int Line = peek().Line, Col = peek().Col;
+      advance();
+      ExprPtr R = parseAnd();
+      if (!R)
+        return nullptr;
+      L = located(std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(L),
+                                               std::move(R)),
+                  Line, Col);
+    }
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseCmp();
+    while (L && peek().is(TokenKind::AmpAmp)) {
+      int Line = peek().Line, Col = peek().Col;
+      advance();
+      ExprPtr R = parseCmp();
+      if (!R)
+        return nullptr;
+      L = located(std::make_unique<BinaryExpr>(BinaryOp::And, std::move(L),
+                                               std::move(R)),
+                  Line, Col);
+    }
+    return L;
+  }
+
+  std::optional<BinaryOp> cmpOp() {
+    switch (peek().Kind) {
+    case TokenKind::EqEq:
+      return BinaryOp::Eq;
+    case TokenKind::BangEq:
+      return BinaryOp::Ne;
+    case TokenKind::Less:
+      return BinaryOp::Lt;
+    case TokenKind::LessEq:
+      return BinaryOp::Le;
+    case TokenKind::Greater:
+      return BinaryOp::Gt;
+    case TokenKind::GreaterEq:
+      return BinaryOp::Ge;
+    default:
+      return std::nullopt;
+    }
+  }
+
+  ExprPtr parseCmp() {
+    ExprPtr L = parseAdd();
+    if (!L)
+      return nullptr;
+    if (auto Op = cmpOp()) {
+      int Line = peek().Line, Col = peek().Col;
+      advance();
+      ExprPtr R = parseAdd();
+      if (!R)
+        return nullptr;
+      return located(
+          std::make_unique<BinaryExpr>(*Op, std::move(L), std::move(R)), Line,
+          Col);
+    }
+    return L;
+  }
+
+  ExprPtr parseAdd() {
+    ExprPtr L = parseMul();
+    while (L &&
+           (peek().is(TokenKind::Plus) || peek().is(TokenKind::Minus))) {
+      BinaryOp Op =
+          peek().is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+      int Line = peek().Line, Col = peek().Col;
+      advance();
+      ExprPtr R = parseMul();
+      if (!R)
+        return nullptr;
+      L = located(
+          std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R)), Line,
+          Col);
+    }
+    return L;
+  }
+
+  ExprPtr parseMul() {
+    ExprPtr L = parseUnary();
+    while (L && (peek().is(TokenKind::Star) || peek().is(TokenKind::Slash) ||
+                 peek().is(TokenKind::Percent))) {
+      BinaryOp Op = peek().is(TokenKind::Star)    ? BinaryOp::Mul
+                    : peek().is(TokenKind::Slash) ? BinaryOp::Div
+                                                  : BinaryOp::Rem;
+      int Line = peek().Line, Col = peek().Col;
+      advance();
+      ExprPtr R = parseUnary();
+      if (!R)
+        return nullptr;
+      L = located(
+          std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R)), Line,
+          Col);
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    int Line = peek().Line, Col = peek().Col;
+    if (match(TokenKind::Bang)) {
+      ExprPtr Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return located(std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(Sub)),
+                     Line, Col);
+    }
+    if (match(TokenKind::Minus)) {
+      ExprPtr Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return located(std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Sub)),
+                     Line, Col);
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    int Line = peek().Line, Col = peek().Col;
+    switch (peek().Kind) {
+    case TokenKind::IntLiteral: {
+      int64_t V = advance().IntValue;
+      return located(std::make_unique<IntLitExpr>(V), Line, Col);
+    }
+    case TokenKind::KwTrue:
+      advance();
+      return located(std::make_unique<BoolLitExpr>(true), Line, Col);
+    case TokenKind::KwFalse:
+      advance();
+      return located(std::make_unique<BoolLitExpr>(false), Line, Col);
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr E = parseExpr();
+      if (!E || !expect(TokenKind::RParen, "to close parenthesis"))
+        return nullptr;
+      return E;
+    }
+    case TokenKind::Identifier: {
+      std::string Name = advance().Text;
+      if (match(TokenKind::LParen)) {
+        std::vector<ExprPtr> Args;
+        if (!peek().is(TokenKind::RParen)) {
+          do {
+            ExprPtr A = parseExpr();
+            if (!A)
+              return nullptr;
+            Args.push_back(std::move(A));
+          } while (match(TokenKind::Comma));
+        }
+        if (!expect(TokenKind::RParen, "to close call arguments"))
+          return nullptr;
+        return located(
+            std::make_unique<CallExpr>(std::move(Name), std::move(Args)),
+            Line, Col);
+      }
+      if (match(TokenKind::LBracket)) {
+        ExprPtr Index = parseExpr();
+        if (!Index || !expect(TokenKind::RBracket, "after array index"))
+          return nullptr;
+        return located(std::make_unique<ArrayIndexExpr>(std::move(Name),
+                                                        std::move(Index)),
+                       Line, Col);
+      }
+      if (match(TokenKind::Dot)) {
+        if (!peek().is(TokenKind::Identifier) || peek().Text != "length") {
+          error("only '.length' is supported after '.'");
+          return nullptr;
+        }
+        advance();
+        return located(std::make_unique<ArrayLengthExpr>(std::move(Name)),
+                       Line, Col);
+      }
+      return located(std::make_unique<VarRefExpr>(std::move(Name)), Line,
+                     Col);
+    }
+    default:
+      error(std::string("expected an expression, found ") +
+            tokenKindName(peek().Kind));
+      return nullptr;
+    }
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::optional<Diag> Err;
+};
+
+} // namespace
+
+Result<Program> blazer::parseProgram(const std::string &Source) {
+  auto Tokens = lex(Source);
+  if (!Tokens)
+    return Tokens.diag();
+  Parser P(Tokens.take());
+  return P.run();
+}

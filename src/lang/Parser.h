@@ -1,0 +1,37 @@
+//===- Parser.h - Mini-language recursive-descent parser --------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses mini-language source text into an AST. Grammar sketch:
+///
+/// \code
+///   program := fn*
+///   fn      := "fn" ID "(" (param ("," param)*)? ")" ("->" type)? block
+///   param   := ("public" | "secret") ID ":" type
+///   type    := "int" | "bool" | "int" "[" "]"
+///   stmt    := "var" ID ":" type ("=" expr)? ";"
+///            | ID "=" expr ";" | ID "[" expr "]" "=" expr ";"
+///            | "if" "(" expr ")" block ("else" (block | if-stmt))?
+///            | "while" "(" expr ")" block
+///            | "return" expr? ";" | "skip" ";" | expr ";"
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_LANG_PARSER_H
+#define BLAZER_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "support/Result.h"
+
+namespace blazer {
+
+/// Lexes and parses \p Source into a Program (unchecked; run Sema next).
+Result<Program> parseProgram(const std::string &Source);
+
+} // namespace blazer
+
+#endif // BLAZER_LANG_PARSER_H

@@ -1,0 +1,279 @@
+//===- Sema.cpp - Mini-language semantic analysis -------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+using namespace blazer;
+
+namespace {
+
+class SemaChecker {
+public:
+  SemaChecker(const BuiltinRegistry &Registry) : Registry(Registry) {}
+
+  Result<SemaResult> run(Program &P) {
+    SemaResult Out;
+    for (auto &F : P.Functions) {
+      if (Out.Functions.count(F->Name))
+        return fail("duplicate function '" + F->Name + "'", 0, 0);
+      Info = FunctionInfo();
+      Fn = F.get();
+      for (const Param &Pa : F->Params) {
+        if (Info.VarTypes.count(Pa.Name))
+          return fail("duplicate parameter '" + Pa.Name + "'", 0, 0);
+        Info.VarTypes[Pa.Name] = Pa.Type;
+        Info.ParamLevels[Pa.Name] = Pa.Level;
+      }
+      if (!checkBlock(F->Body))
+        return *Err;
+      Out.Functions[F->Name] = Info;
+    }
+    return Out;
+  }
+
+private:
+  Result<SemaResult> fail(const std::string &Msg, int Line, int Col) {
+    if (!Err)
+      Err = Diag{Msg, Line, Col};
+    return *Err;
+  }
+  bool error(const std::string &Msg, int Line = 0, int Col = 0) {
+    if (!Err)
+      Err = Diag{Msg, Line, Col};
+    return false;
+  }
+
+  bool checkBlock(const StmtList &Stmts) {
+    for (const StmtPtr &S : Stmts)
+      if (!checkStmt(S.get()))
+        return false;
+    return true;
+  }
+
+  bool checkStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case Stmt::Kind::VarDecl: {
+      const auto *D = cast<VarDeclStmt>(S);
+      if (Info.VarTypes.count(D->Name))
+        return error("redeclaration of '" + D->Name + "'", S->line());
+      if (D->Type == TypeKind::IntArray && D->Init)
+        return error("array locals cannot be initialized", S->line());
+      if (D->Init) {
+        if (!checkExpr(D->Init.get()))
+          return false;
+        if (D->Init->type() != D->Type)
+          return error("initializer type " + std::string(typeName(
+                           D->Init->type())) + " does not match '" + D->Name +
+                           ": " + typeName(D->Type) + "'",
+                       S->line());
+      }
+      Info.VarTypes[D->Name] = D->Type;
+      return true;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      auto It = Info.VarTypes.find(A->Name);
+      if (It == Info.VarTypes.end())
+        return error("assignment to undeclared '" + A->Name + "'", S->line());
+      if (It->second == TypeKind::IntArray)
+        return error("cannot reassign array '" + A->Name + "'", S->line());
+      if (!checkExpr(A->Value.get()))
+        return false;
+      if (A->Value->type() != It->second)
+        return error("type mismatch assigning to '" + A->Name + "'",
+                     S->line());
+      return true;
+    }
+    case Stmt::Kind::ArrayStore: {
+      const auto *A = cast<ArrayStoreStmt>(S);
+      if (!requireArray(A->Array, S->line()))
+        return false;
+      if (!checkExpr(A->Index.get()) || !checkExpr(A->Value.get()))
+        return false;
+      if (A->Index->type() != TypeKind::Int)
+        return error("array index must be int", S->line());
+      if (A->Value->type() != TypeKind::Int)
+        return error("array element must be int", S->line());
+      return true;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(S);
+      if (!checkExpr(I->Cond.get()))
+        return false;
+      if (I->Cond->type() != TypeKind::Bool)
+        return error("if condition must be bool", S->line());
+      return checkBlock(I->Then) && checkBlock(I->Else);
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      if (!checkExpr(W->Cond.get()))
+        return false;
+      if (W->Cond->type() != TypeKind::Bool)
+        return error("while condition must be bool", S->line());
+      return checkBlock(W->Body);
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(S);
+      if (!R->Value)
+        return true;
+      if (!checkExpr(R->Value.get()))
+        return false;
+      if (Fn->HasReturnType && R->Value->type() != Fn->ReturnType)
+        return error("return type mismatch", S->line());
+      return true;
+    }
+    case Stmt::Kind::Skip:
+      return true;
+    case Stmt::Kind::ExprStmt:
+      return checkExpr(cast<ExprStmt>(S)->E.get());
+    }
+    return error("unknown statement kind");
+  }
+
+  bool requireArray(const std::string &Name, int Line) {
+    auto It = Info.VarTypes.find(Name);
+    if (It == Info.VarTypes.end())
+      return error("use of undeclared '" + Name + "'", Line);
+    if (It->second != TypeKind::IntArray)
+      return error("'" + Name + "' is not an array", Line);
+    return true;
+  }
+
+  bool checkExpr(Expr *E) {
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+      E->setType(TypeKind::Int);
+      return true;
+    case Expr::Kind::BoolLit:
+      E->setType(TypeKind::Bool);
+      return true;
+    case Expr::Kind::VarRef: {
+      const auto *V = cast<VarRefExpr>(E);
+      auto It = Info.VarTypes.find(V->Name);
+      if (It == Info.VarTypes.end())
+        return error("use of undeclared '" + V->Name + "'", E->line(),
+                     E->col());
+      if (It->second == TypeKind::IntArray)
+        return error("array '" + V->Name +
+                         "' can only be indexed or measured",
+                     E->line(), E->col());
+      E->setType(It->second);
+      return true;
+    }
+    case Expr::Kind::ArrayIndex: {
+      auto *A = static_cast<ArrayIndexExpr *>(E);
+      if (!requireArray(A->Array, E->line()))
+        return false;
+      if (!checkExpr(A->Index.get()))
+        return false;
+      if (A->Index->type() != TypeKind::Int)
+        return error("array index must be int", E->line(), E->col());
+      E->setType(TypeKind::Int);
+      return true;
+    }
+    case Expr::Kind::ArrayLength: {
+      const auto *A = cast<ArrayLengthExpr>(E);
+      if (!requireArray(A->Array, E->line()))
+        return false;
+      E->setType(TypeKind::Int);
+      return true;
+    }
+    case Expr::Kind::Unary: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      if (!checkExpr(U->Sub.get()))
+        return false;
+      if (U->Op == UnaryOp::Not) {
+        if (U->Sub->type() != TypeKind::Bool)
+          return error("'!' needs a bool operand", E->line(), E->col());
+        E->setType(TypeKind::Bool);
+      } else {
+        if (U->Sub->type() != TypeKind::Int)
+          return error("unary '-' needs an int operand", E->line(), E->col());
+        E->setType(TypeKind::Int);
+      }
+      return true;
+    }
+    case Expr::Kind::Binary: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      if (!checkExpr(B->Lhs.get()) || !checkExpr(B->Rhs.get()))
+        return false;
+      TypeKind L = B->Lhs->type();
+      TypeKind R = B->Rhs->type();
+      switch (B->Op) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+      case BinaryOp::Rem:
+        if (L != TypeKind::Int || R != TypeKind::Int)
+          return error(std::string("'") + binaryOpSpelling(B->Op) +
+                           "' needs int operands",
+                       E->line(), E->col());
+        E->setType(TypeKind::Int);
+        return true;
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        if (L != R || L == TypeKind::IntArray)
+          return error("'==' needs matching int or bool operands", E->line(),
+                       E->col());
+        E->setType(TypeKind::Bool);
+        return true;
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        if (L != TypeKind::Int || R != TypeKind::Int)
+          return error("comparison needs int operands", E->line(), E->col());
+        E->setType(TypeKind::Bool);
+        return true;
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        if (L != TypeKind::Bool || R != TypeKind::Bool)
+          return error("logical operator needs bool operands", E->line(),
+                       E->col());
+        E->setType(TypeKind::Bool);
+        return true;
+      }
+      return error("unknown binary operator");
+    }
+    case Expr::Kind::Call: {
+      auto *C = static_cast<CallExpr *>(E);
+      const BuiltinInfo *B = Registry.find(C->Callee);
+      if (!B)
+        return error("unknown builtin '" + C->Callee + "'", E->line(),
+                     E->col());
+      if (C->Args.size() != B->ParamTypes.size())
+        return error("'" + C->Callee + "' expects " +
+                         std::to_string(B->ParamTypes.size()) + " arguments",
+                     E->line(), E->col());
+      for (size_t I = 0; I < C->Args.size(); ++I) {
+        if (!checkExpr(C->Args[I].get()))
+          return false;
+        if (C->Args[I]->type() != B->ParamTypes[I])
+          return error("argument " + std::to_string(I + 1) + " of '" +
+                           C->Callee + "' has the wrong type",
+                       E->line(), E->col());
+      }
+      E->setType(B->ReturnType);
+      return true;
+    }
+    }
+    return error("unknown expression kind");
+  }
+
+  const BuiltinRegistry &Registry;
+  FunctionInfo Info;
+  const FunctionDecl *Fn = nullptr;
+  std::optional<Diag> Err;
+};
+
+} // namespace
+
+Result<SemaResult> blazer::analyzeProgram(Program &P,
+                                          const BuiltinRegistry &Registry) {
+  SemaChecker Checker(Registry);
+  return Checker.run(P);
+}

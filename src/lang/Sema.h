@@ -1,0 +1,45 @@
+//===- Sema.h - Mini-language semantic analysis -----------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis: name resolution, type checking, and collection of the
+/// per-function symbol table (variable types and parameter security levels)
+/// later consumed by IR lowering and the taint analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_LANG_SEMA_H
+#define BLAZER_LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "lang/Builtins.h"
+#include "support/Result.h"
+
+#include <map>
+
+namespace blazer {
+
+/// Per-function facts Sema establishes.
+struct FunctionInfo {
+  /// Types of all parameters and locals (flat function scope; the language
+  /// forbids shadowing).
+  std::map<std::string, TypeKind> VarTypes;
+  /// Security levels of the parameters only.
+  std::map<std::string, SecurityLevel> ParamLevels;
+};
+
+/// Semantic results for a whole program.
+struct SemaResult {
+  std::map<std::string, FunctionInfo> Functions;
+};
+
+/// Type-checks \p P (annotating expression types in place) against the
+/// builtins in \p Registry.
+Result<SemaResult> analyzeProgram(Program &P, const BuiltinRegistry &Registry);
+
+} // namespace blazer
+
+#endif // BLAZER_LANG_SEMA_H

@@ -1,0 +1,83 @@
+//===- Token.h - Mini-language tokens ---------------------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for the Blazer mini-language, the input language that
+/// substitutes for Java bytecode (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_LANG_TOKEN_H
+#define BLAZER_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace blazer {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwSkip,
+  KwTrue,
+  KwFalse,
+  KwPublic,
+  KwSecret,
+  KwInt,
+  KwBool,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Arrow,   // ->
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  EqEq,
+  BangEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Dot,
+};
+
+/// \returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;     ///< Identifier spelling (when Kind==Identifier).
+  int64_t IntValue = 0; ///< Literal value (when Kind==IntLiteral).
+  int Line = 1;
+  int Col = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace blazer
+
+#endif // BLAZER_LANG_TOKEN_H

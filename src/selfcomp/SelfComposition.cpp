@@ -1,0 +1,245 @@
+//===- SelfComposition.cpp - The self-composition baseline ----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "selfcomp/SelfComposition.h"
+
+#include "absint/Analyzer.h"
+#include "absint/ProductGraph.h"
+#include "lang/AstClone.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace blazer;
+
+namespace {
+
+/// Owns the expressions synthesized for the composed function by parking
+/// them in a dummy FunctionDecl of a fresh Program.
+class ExprOwner {
+public:
+  ExprOwner() : Holder(std::make_shared<Program>()) {
+    auto Decl = std::make_unique<FunctionDecl>();
+    Decl->Name = "$selfcomp$holder";
+    Parking = Decl.get();
+    Holder->Functions.push_back(std::move(Decl));
+  }
+
+  const Expr *own(ExprPtr E) {
+    const Expr *Raw = E.get();
+    Parking->Body.push_back(std::make_unique<ExprStmt>(std::move(E)));
+    return Raw;
+  }
+
+  std::shared_ptr<Program> holder() const { return Holder; }
+
+private:
+  std::shared_ptr<Program> Holder;
+  FunctionDecl *Parking;
+};
+
+} // namespace
+
+CfgFunction blazer::buildSelfComposition(const CfgFunction &F) {
+  CfgFunction C;
+  C.Name = F.Name + "$selfcomp";
+  C.Builtins = F.Builtins;
+
+  ExprOwner Owner;
+  int N = static_cast<int>(F.blockCount());
+  const std::string Cost1 = "cost$1";
+  const std::string Cost2 = "cost$2";
+
+  auto IsLowParam = [&](const std::string &Name) {
+    for (const Param &P : F.Params)
+      if (P.Name == Name)
+        return P.Level == SecurityLevel::Public;
+    return false;
+  };
+
+  // Variable environment of the composition: shared low parameters, two
+  // renamed copies of everything else, plus the two cost counters.
+  for (int Copy = 1; Copy <= 2; ++Copy) {
+    std::string Suffix = "$" + std::to_string(Copy);
+    for (const auto &[Name, Type] : F.VarTypes) {
+      std::string NewName = IsLowParam(Name) ? Name : Name + Suffix;
+      C.VarTypes[NewName] = Type;
+    }
+  }
+  C.VarTypes[Cost1] = TypeKind::Int;
+  C.VarTypes[Cost2] = TypeKind::Int;
+  for (const Param &P : F.Params) {
+    if (P.Level == SecurityLevel::Public) {
+      if (C.ParamLevels.count(P.Name))
+        continue;
+      C.Params.push_back(P);
+      C.ParamLevels[P.Name] = P.Level;
+      continue;
+    }
+    for (int Copy = 1; Copy <= 2; ++Copy) {
+      Param Dup = P;
+      Dup.Name = P.Name + "$" + std::to_string(Copy);
+      C.Params.push_back(Dup);
+      C.ParamLevels[Dup.Name] = Dup.Level;
+    }
+  }
+
+  // Blocks: [0, N) copy 1, [N, 2N) copy 2, 2N = prologue entry.
+  int Copy2Entry = N + F.Entry;
+  for (int Copy = 1; Copy <= 2; ++Copy) {
+    std::string Suffix = "$" + std::to_string(Copy);
+    const std::string &CostVar = Copy == 1 ? Cost1 : Cost2;
+    RenameMap R;
+    for (const auto &[Name, Type] : F.VarTypes) {
+      (void)Type;
+      if (!IsLowParam(Name))
+        R[Name] = Name + Suffix;
+    }
+    int Offset = (Copy - 1) * N;
+
+    for (const BasicBlock &B : F.Blocks) {
+      BasicBlock NB;
+      NB.Id = B.Id + Offset;
+      NB.Line = B.Line;
+      for (const Instr &I : B.Instrs) {
+        Instr NI;
+        NI.K = I.K;
+        NI.Line = I.Line;
+        switch (I.K) {
+        case Instr::Kind::Assign:
+          NI.Dest = R.count(I.Dest) ? R[I.Dest] : I.Dest;
+          if (I.Value)
+            NI.Value = Owner.own(cloneExpr(I.Value, R));
+          break;
+        case Instr::Kind::ArrayStore:
+          NI.Array = R.count(I.Array) ? R[I.Array] : I.Array;
+          NI.Index = Owner.own(cloneExpr(I.Index, R));
+          NI.Value = Owner.own(cloneExpr(I.Value, R));
+          break;
+        case Instr::Kind::CallStmt:
+          NI.Value = Owner.own(cloneExpr(I.Value, R));
+          break;
+        case Instr::Kind::Nop:
+          break;
+        }
+        NB.Instrs.push_back(NI);
+      }
+      // Charge this block's machine-model cost to the copy's counter.
+      int64_t BlockCost = F.blockCost(B);
+      if (BlockCost > 0) {
+        Instr CostInstr;
+        CostInstr.K = Instr::Kind::Assign;
+        CostInstr.Dest = CostVar;
+        auto Sum = std::make_unique<BinaryExpr>(
+            BinaryOp::Add, std::make_unique<VarRefExpr>(CostVar),
+            std::make_unique<IntLitExpr>(BlockCost));
+        Sum->setType(TypeKind::Int);
+        CostInstr.Value = Owner.own(std::move(Sum));
+        NB.Instrs.push_back(CostInstr);
+      }
+
+      switch (B.Term) {
+      case BasicBlock::TermKind::Branch:
+        NB.Term = BasicBlock::TermKind::Branch;
+        NB.Cond = Owner.own(cloneExpr(B.Cond, R));
+        NB.TrueSucc = B.TrueSucc + Offset;
+        NB.FalseSucc = B.FalseSucc + Offset;
+        break;
+      case BasicBlock::TermKind::Jump:
+        NB.Term = BasicBlock::TermKind::Jump;
+        NB.TrueSucc = B.TrueSucc + Offset;
+        break;
+      case BasicBlock::TermKind::Return:
+        // Copy 1 falls through into copy 2 instead of leaving; its return
+        // value is irrelevant to the timing property. (The return's
+        // evaluation cost is already part of blockCost.)
+        NB.Term = BasicBlock::TermKind::Jump;
+        NB.TrueSucc =
+            Copy == 1 ? Copy2Entry : B.TrueSucc + Offset /* copy-2 exit */;
+        break;
+      case BasicBlock::TermKind::Exit:
+        if (Copy == 1) {
+          // Copy 1's exit is bypassed; make it a jump for completeness.
+          NB.Term = BasicBlock::TermKind::Jump;
+          NB.TrueSucc = Copy2Entry;
+        } else {
+          NB.Term = BasicBlock::TermKind::Exit;
+        }
+        break;
+      }
+      C.Blocks.push_back(std::move(NB));
+    }
+  }
+
+  // Prologue: zero both counters, then run copy 1.
+  BasicBlock Prologue;
+  Prologue.Id = 2 * N;
+  for (const std::string &CostVar : {Cost1, Cost2}) {
+    Instr Init;
+    Init.K = Instr::Kind::Assign;
+    Init.Dest = CostVar;
+    auto Zero = std::make_unique<IntLitExpr>(0);
+    Zero->setType(TypeKind::Int);
+    Init.Value = Owner.own(std::move(Zero));
+    Prologue.Instrs.push_back(Init);
+  }
+  Prologue.Term = BasicBlock::TermKind::Jump;
+  Prologue.TrueSucc = F.Entry;
+  C.Blocks.push_back(std::move(Prologue));
+
+  C.Entry = 2 * N;
+  C.Exit = N + F.Exit;
+  C.OwnedAst = Owner.holder();
+  return C;
+}
+
+SelfCompResult blazer::verifyBySelfComposition(const CfgFunction &F,
+                                               int64_t Epsilon) {
+  auto T0 = std::chrono::steady_clock::now();
+  SelfCompResult Res;
+
+  CfgFunction C = buildSelfComposition(F);
+  Res.ComposedBlocks = C.blockCount();
+
+  EdgeAlphabet A = EdgeAlphabet::forFunction(C);
+  Dfa Full = Dfa::fromCfg(C, A);
+  ProductGraph G = ProductGraph::build(C, Full, A);
+  VarEnv Env(C);
+  Analyzer Az(C, Env);
+  AnalysisResult AR = Az.analyze(G);
+  Res.ProductNodes = G.size();
+
+  int I1 = Env.indexOf("cost$1");
+  int I2 = Env.indexOf("cost$2");
+  assert(I1 > 0 && I2 > 0 && "cost counters must exist");
+
+  // Join the exit invariants and read off the counter difference.
+  Dbm ExitState = Dbm::bottom(Env.numVars());
+  for (int Acc : G.accepts())
+    ExitState.joinWith(AR.EntryState[Acc]);
+
+  auto T1 = std::chrono::steady_clock::now();
+  Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
+
+  if (ExitState.isBottom()) {
+    // No feasible terminating execution: vacuously timing-channel free.
+    Res.Verified = true;
+    Res.GapBounded = true;
+    return Res;
+  }
+  int64_t Hi = ExitState.bound(I1, I2);
+  int64_t Lo = ExitState.bound(I2, I1);
+  if (Hi == Dbm::Inf || Lo == Dbm::Inf) {
+    Res.GapBounded = false;
+    Res.Verified = false;
+    return Res;
+  }
+  Res.GapBounded = true;
+  Res.GapUpper = Hi;
+  Res.GapLower = -Lo;
+  Res.Verified = Hi <= Epsilon && -Lo >= -Epsilon;
+  return Res;
+}

@@ -1,0 +1,252 @@
+//===- Bound.cpp - Symbolic lower/upper running-time bounds ---------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace blazer;
+
+Bound Bound::lower(CostPoly P) {
+  Bound B(CombineKind::Min);
+  B.Polys.insert(std::move(P));
+  return B;
+}
+
+Bound Bound::upper(CostPoly P) {
+  Bound B(CombineKind::Max);
+  B.Polys.insert(std::move(P));
+  return B;
+}
+
+/// \returns true when variable \p Name is non-negative by construction.
+/// Array lengths (the ".len" pseudo-variables) are; integer parameters can
+/// be negative, so nothing else qualifies.
+static bool isNonNegativeVar(const std::string &Name) {
+  size_t Pos = Name.rfind(".len");
+  return Pos != std::string::npos && Pos + 4 == Name.size();
+}
+
+/// \returns true if \p A >= \p B pointwise over ALL admissible inputs,
+/// decided structurally: every coefficient of A - B (including the constant
+/// term) is non-negative, and every non-constant monomial of the difference
+/// ranges only over variables known to be non-negative. (Without the second
+/// condition, a negative-valued integer input could flip the sign of a
+/// monomial and break the comparison — pruning max(8*low+7, 7) down to
+/// 8*low+7 would be unsound at low = -1.)
+static bool dominates(const CostPoly &A, const CostPoly &B) {
+  CostPoly Diff = A - B;
+  for (const auto &[M, C] : Diff.terms()) {
+    if (C < 0)
+      return false;
+    for (const std::string &V : M)
+      if (!isNonNegativeVar(V))
+        return false;
+  }
+  return true;
+}
+
+void Bound::insertPruned(const CostPoly &P) {
+  // For a Max bound a member dominated by another is redundant; dually for
+  // Min. Check both directions against existing members.
+  for (auto It = Polys.begin(); It != Polys.end();) {
+    const CostPoly &Q = *It;
+    bool NewRedundant =
+        Kind == CombineKind::Max ? dominates(Q, P) : dominates(P, Q);
+    if (NewRedundant)
+      return;
+    bool OldRedundant =
+        Kind == CombineKind::Max ? dominates(P, Q) : dominates(Q, P);
+    if (OldRedundant)
+      It = Polys.erase(It);
+    else
+      ++It;
+  }
+  Polys.insert(P);
+}
+
+void Bound::merge(const Bound &RHS) {
+  assert(Kind == RHS.Kind && "cannot merge min with max bounds");
+  for (const CostPoly &P : RHS.Polys)
+    insertPruned(P);
+}
+
+Bound Bound::operator+(const Bound &RHS) const {
+  assert(Kind == RHS.Kind && "cannot add min to max bounds");
+  Bound Out(Kind);
+  for (const CostPoly &P : Polys)
+    for (const CostPoly &Q : RHS.Polys)
+      Out.insertPruned(P + Q);
+  return Out;
+}
+
+Bound Bound::operator+(const CostPoly &P) const {
+  Bound Out(Kind);
+  for (const CostPoly &Q : Polys)
+    Out.insertPruned(Q + P);
+  return Out;
+}
+
+Bound Bound::operator*(const CostPoly &P) const {
+  Bound Out(Kind);
+  for (const CostPoly &Q : Polys)
+    Out.insertPruned(Q * P);
+  return Out;
+}
+
+int64_t Bound::evaluate(const std::map<std::string, int64_t> &Assignment,
+                        int64_t Default) const {
+  assert(!Polys.empty() && "evaluating an empty bound");
+  bool First = true;
+  int64_t Best = 0;
+  for (const CostPoly &P : Polys) {
+    int64_t V = P.evaluate(Assignment, Default);
+    if (First) {
+      Best = V;
+      First = false;
+      continue;
+    }
+    Best = Kind == CombineKind::Max ? std::max(Best, V) : std::min(Best, V);
+  }
+  return Best;
+}
+
+unsigned Bound::degree() const {
+  unsigned Deg = 0;
+  for (const CostPoly &P : Polys)
+    Deg = std::max(Deg, P.degree());
+  return Deg;
+}
+
+unsigned Bound::minDegree() const {
+  assert(!Polys.empty() && "degree of an empty bound");
+  unsigned Deg = Polys.begin()->degree();
+  for (const CostPoly &P : Polys)
+    Deg = std::min(Deg, P.degree());
+  return Deg;
+}
+
+bool Bound::isConstant() const {
+  for (const CostPoly &P : Polys)
+    if (!P.isConstant())
+      return false;
+  return true;
+}
+
+std::vector<std::string> Bound::variables() const {
+  std::vector<std::string> Vars;
+  for (const CostPoly &P : Polys) {
+    std::vector<std::string> V = P.variables();
+    Vars.insert(Vars.end(), V.begin(), V.end());
+  }
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars;
+}
+
+bool Bound::equalsUpToConstant(const Bound &RHS, int64_t Epsilon) const {
+  // Every member of one set must have a partner in the other that differs by
+  // an acceptably small constant, in both directions.
+  auto Covered = [Epsilon](const std::set<CostPoly> &From,
+                           const std::set<CostPoly> &To) {
+    for (const CostPoly &P : From) {
+      bool Found = false;
+      for (const CostPoly &Q : To) {
+        std::optional<int64_t> D = P.constantDifference(Q);
+        if (D && std::abs(*D) <= Epsilon) {
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        return false;
+    }
+    return true;
+  };
+  return Covered(Polys, RHS.Polys) && Covered(RHS.Polys, Polys);
+}
+
+std::string Bound::str() const {
+  assert(!Polys.empty() && "printing an empty bound");
+  if (Polys.size() == 1)
+    return Polys.begin()->str();
+  std::ostringstream OS;
+  OS << (Kind == CombineKind::Max ? "max(" : "min(");
+  bool First = true;
+  for (const CostPoly &P : Polys) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << P.str();
+  }
+  OS << ")";
+  return OS.str();
+}
+
+BoundRange BoundRange::exact(int64_t C) {
+  return exactPoly(CostPoly::constant(C));
+}
+
+BoundRange BoundRange::exactPoly(const CostPoly &P) {
+  return BoundRange(Bound::lower(P), Bound::upper(P));
+}
+
+BoundRange BoundRange::operator+(const BoundRange &RHS) const {
+  return BoundRange(Lo + RHS.Lo, Hi + RHS.Hi);
+}
+
+BoundRange BoundRange::operator*(const CostPoly &P) const {
+  return BoundRange(Lo * P, Hi * P);
+}
+
+BoundRange BoundRange::scaleByTrips(const BoundRange &Trips) const {
+  // Lower end: minimum trips times minimum per-iteration cost; upper end:
+  // maximum trips times maximum per-iteration cost. Cross products over the
+  // member sets keep the min/max semantics.
+  Bound NewLo = Bound::lower(CostPoly());
+  bool FirstLo = true;
+  for (const CostPoly &T : Trips.Lo.polys()) {
+    Bound Scaled = Lo * T;
+    if (FirstLo) {
+      NewLo = Scaled;
+      FirstLo = false;
+    } else {
+      NewLo.merge(Scaled);
+    }
+  }
+  Bound NewHi = Bound::upper(CostPoly());
+  bool FirstHi = true;
+  for (const CostPoly &T : Trips.Hi.polys()) {
+    Bound Scaled = Hi * T;
+    if (FirstHi) {
+      NewHi = Scaled;
+      FirstHi = false;
+    } else {
+      NewHi.merge(Scaled);
+    }
+  }
+  return BoundRange(NewLo, NewHi);
+}
+
+void BoundRange::mergeUnion(const BoundRange &RHS) {
+  Lo.merge(RHS.Lo);
+  Hi.merge(RHS.Hi);
+}
+
+std::vector<std::string> BoundRange::variables() const {
+  std::vector<std::string> Vars = Lo.variables();
+  std::vector<std::string> HV = Hi.variables();
+  Vars.insert(Vars.end(), HV.begin(), HV.end());
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars;
+}
+
+std::string BoundRange::str() const {
+  return "[" + Lo.str() + ", " + Hi.str() + "]";
+}

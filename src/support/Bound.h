@@ -1,0 +1,130 @@
+//===- Bound.h - Symbolic lower/upper running-time bounds -------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic running-time bounds. A Bound is the pointwise min or max of a
+/// finite set of cost polynomials; a BoundRange pairs a lower and an upper
+/// bound, e.g. the "[19*g.len+10, 23*g.len+10]" balloons of Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_BOUND_H
+#define BLAZER_SUPPORT_BOUND_H
+
+#include "support/CostPoly.h"
+
+#include <set>
+#include <string>
+
+namespace blazer {
+
+/// The pointwise min (for lower bounds) or max (for upper bounds) of a
+/// non-empty set of polynomials.
+///
+/// Keeping a *set* rather than a single polynomial is what lets the analysis
+/// express bounds such as 20*max(g.len, p.len) + 8 without a dedicated max
+/// operator in the polynomial language. Structural dominance pruning keeps
+/// the sets small.
+class Bound {
+public:
+  enum class CombineKind { Min, Max };
+
+  /// A min-combined bound of the single polynomial \p P.
+  static Bound lower(CostPoly P);
+  /// A max-combined bound of the single polynomial \p P.
+  static Bound upper(CostPoly P);
+
+  CombineKind kind() const { return Kind; }
+  const std::set<CostPoly> &polys() const { return Polys; }
+
+  /// Set-union with \p RHS (which must have the same combine kind), i.e. the
+  /// pointwise min/max of the two bounds. Applies dominance pruning.
+  void merge(const Bound &RHS);
+
+  /// Pointwise sum: { p + q | p in this, q in RHS }.
+  Bound operator+(const Bound &RHS) const;
+  /// Adds the polynomial \p P to every member.
+  Bound operator+(const CostPoly &P) const;
+  /// Multiplies every member by \p P. Only valid when \p P is non-negative
+  /// over the intended inputs (trip counts and costs always are).
+  Bound operator*(const CostPoly &P) const;
+
+  bool operator==(const Bound &RHS) const {
+    return Kind == RHS.Kind && Polys == RHS.Polys;
+  }
+
+  /// Evaluates the min/max over members under \p Assignment.
+  int64_t evaluate(const std::map<std::string, int64_t> &Assignment,
+                   int64_t Default = 0) const;
+
+  /// \returns the maximal total degree among members.
+  unsigned degree() const;
+
+  /// \returns the minimal total degree among members. For a min-combined
+  /// (lower) bound this is the degree of the asymptotic lower envelope: a
+  /// constant member makes the whole envelope constant.
+  unsigned minDegree() const;
+
+  /// \returns true if every member is a constant polynomial.
+  bool isConstant() const;
+
+  /// \returns the variables mentioned across all members.
+  std::vector<std::string> variables() const;
+
+  /// \returns true iff this bound equals \p RHS up to a constant shift of at
+  /// most \p Epsilon: the two sets pair up so that matched members differ by
+  /// a constant with absolute value <= Epsilon.
+  bool equalsUpToConstant(const Bound &RHS, int64_t Epsilon) const;
+
+  /// Renders e.g. "23*g.len + 10" or "max(20*g.len + 8, 20*p.len + 8)".
+  std::string str() const;
+
+private:
+  explicit Bound(CombineKind K) : Kind(K) {}
+
+  void insertPruned(const CostPoly &P);
+
+  CombineKind Kind = CombineKind::Max;
+  std::set<CostPoly> Polys;
+};
+
+/// A pair of symbolic bounds [Lo, Hi] on the running time of the traces in
+/// one trail.
+struct BoundRange {
+  Bound Lo;
+  Bound Hi;
+
+  BoundRange() : Lo(Bound::lower(CostPoly())), Hi(Bound::upper(CostPoly())) {}
+  BoundRange(Bound L, Bound H) : Lo(std::move(L)), Hi(std::move(H)) {}
+
+  /// The range containing exactly the constant \p C.
+  static BoundRange exact(int64_t C);
+  /// The range containing exactly the polynomial \p P.
+  static BoundRange exactPoly(const CostPoly &P);
+
+  /// Pointwise sum of ranges (sequential composition of costs).
+  BoundRange operator+(const BoundRange &RHS) const;
+  /// Multiplies both ends by a non-negative polynomial (loop trip count).
+  BoundRange operator*(const CostPoly &P) const;
+  /// Multiplies lower end by \p TripLo and upper end by \p TripHi.
+  BoundRange scaleByTrips(const BoundRange &Trips) const;
+  /// Range union: min of lowers, max of uppers (control-flow join).
+  void mergeUnion(const BoundRange &RHS);
+
+  bool operator==(const BoundRange &RHS) const {
+    return Lo == RHS.Lo && Hi == RHS.Hi;
+  }
+
+  /// \returns all variables mentioned by either end.
+  std::vector<std::string> variables() const;
+
+  /// Renders "[lo, hi]".
+  std::string str() const;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_BOUND_H

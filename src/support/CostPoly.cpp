@@ -1,0 +1,181 @@
+//===- CostPoly.cpp - Multivariate integer cost polynomials ---------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CostPoly.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace blazer;
+
+CostPoly CostPoly::constant(int64_t C) {
+  CostPoly P;
+  P.addTerm({}, C);
+  return P;
+}
+
+CostPoly CostPoly::variable(const std::string &Name) {
+  assert(!Name.empty() && "variable needs a name");
+  CostPoly P;
+  P.addTerm({Name}, 1);
+  return P;
+}
+
+void CostPoly::addTerm(const Monomial &M, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  assert(std::is_sorted(M.begin(), M.end()) && "monomial must be sorted");
+  auto It = Terms.find(M);
+  if (It == Terms.end()) {
+    Terms.emplace(M, Coeff);
+    return;
+  }
+  It->second += Coeff;
+  if (It->second == 0)
+    Terms.erase(It);
+}
+
+CostPoly CostPoly::operator+(const CostPoly &RHS) const {
+  CostPoly Out = *this;
+  Out += RHS;
+  return Out;
+}
+
+CostPoly &CostPoly::operator+=(const CostPoly &RHS) {
+  for (const auto &[M, C] : RHS.Terms)
+    addTerm(M, C);
+  return *this;
+}
+
+CostPoly CostPoly::operator-(const CostPoly &RHS) const {
+  CostPoly Out = *this;
+  for (const auto &[M, C] : RHS.Terms)
+    Out.addTerm(M, -C);
+  return Out;
+}
+
+CostPoly CostPoly::operator*(const CostPoly &RHS) const {
+  CostPoly Out;
+  for (const auto &[LM, LC] : Terms) {
+    for (const auto &[RM, RC] : RHS.Terms) {
+      Monomial M = LM;
+      M.insert(M.end(), RM.begin(), RM.end());
+      std::sort(M.begin(), M.end());
+      Out.addTerm(M, LC * RC);
+    }
+  }
+  return Out;
+}
+
+CostPoly CostPoly::operator*(int64_t Scale) const {
+  CostPoly Out;
+  for (const auto &[M, C] : Terms)
+    Out.addTerm(M, C * Scale);
+  return Out;
+}
+
+bool CostPoly::isConstant() const {
+  if (Terms.empty())
+    return true;
+  return Terms.size() == 1 && Terms.begin()->first.empty();
+}
+
+int64_t CostPoly::constantTerm() const {
+  auto It = Terms.find(Monomial{});
+  return It == Terms.end() ? 0 : It->second;
+}
+
+unsigned CostPoly::degree() const {
+  unsigned Deg = 0;
+  for (const auto &[M, C] : Terms) {
+    (void)C;
+    Deg = std::max<unsigned>(Deg, M.size());
+  }
+  return Deg;
+}
+
+std::vector<std::string> CostPoly::variables() const {
+  std::vector<std::string> Vars;
+  for (const auto &[M, C] : Terms) {
+    (void)C;
+    Vars.insert(Vars.end(), M.begin(), M.end());
+  }
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  return Vars;
+}
+
+int64_t CostPoly::coefficient(const Monomial &M) const {
+  auto It = Terms.find(M);
+  return It == Terms.end() ? 0 : It->second;
+}
+
+int64_t CostPoly::evaluate(const std::map<std::string, int64_t> &Assignment,
+                           int64_t Default) const {
+  int64_t Sum = 0;
+  for (const auto &[M, C] : Terms) {
+    int64_t Prod = C;
+    for (const std::string &V : M) {
+      auto It = Assignment.find(V);
+      Prod *= It == Assignment.end() ? Default : It->second;
+    }
+    Sum += Prod;
+  }
+  return Sum;
+}
+
+std::optional<int64_t> CostPoly::constantDifference(const CostPoly &RHS) const {
+  CostPoly Diff = *this - RHS;
+  if (!Diff.isConstant())
+    return std::nullopt;
+  return Diff.constantTerm();
+}
+
+bool CostPoly::hasNonNegativeVarCoefficients() const {
+  for (const auto &[M, C] : Terms)
+    if (!M.empty() && C < 0)
+      return false;
+  return true;
+}
+
+std::string CostPoly::str() const {
+  if (Terms.empty())
+    return "0";
+  // Render higher-degree terms first for readability.
+  std::vector<std::pair<Monomial, int64_t>> Sorted(Terms.begin(), Terms.end());
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first.size() > B.first.size();
+                   });
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[M, C] : Sorted) {
+    int64_t Coeff = C;
+    if (First) {
+      if (Coeff < 0) {
+        OS << "-";
+        Coeff = -Coeff;
+      }
+    } else {
+      OS << (Coeff < 0 ? " - " : " + ");
+      Coeff = Coeff < 0 ? -Coeff : Coeff;
+    }
+    First = false;
+    if (M.empty()) {
+      OS << Coeff;
+      continue;
+    }
+    if (Coeff != 1)
+      OS << Coeff << "*";
+    for (size_t I = 0; I < M.size(); ++I) {
+      if (I)
+        OS << "*";
+      OS << M[I];
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,104 @@
+//===- CostPoly.h - Multivariate integer cost polynomials -------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multivariate polynomials with 64-bit integer coefficients over named
+/// symbolic variables. These are the symbolic running-time expressions the
+/// bound analysis produces, e.g. 23*g.len + 10 in Figure 1 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_COSTPOLY_H
+#define BLAZER_SUPPORT_COSTPOLY_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// A monomial is a sorted multiset of variable names; x*x*y is {"x","x","y"}.
+using Monomial = std::vector<std::string>;
+
+/// A multivariate polynomial with int64 coefficients.
+///
+/// CostPoly is a value type with the usual ring operations. Variables are
+/// identified by name; the bound analysis uses parameter names and
+/// pseudo-variables such as "guess.len" for array lengths.
+class CostPoly {
+public:
+  /// The zero polynomial.
+  CostPoly() = default;
+
+  /// The constant polynomial \p C.
+  static CostPoly constant(int64_t C);
+
+  /// The polynomial consisting of the single variable \p Name.
+  static CostPoly variable(const std::string &Name);
+
+  CostPoly operator+(const CostPoly &RHS) const;
+  CostPoly operator-(const CostPoly &RHS) const;
+  CostPoly operator*(const CostPoly &RHS) const;
+  CostPoly operator*(int64_t Scale) const;
+  CostPoly &operator+=(const CostPoly &RHS);
+
+  bool operator==(const CostPoly &RHS) const { return Terms == RHS.Terms; }
+  bool operator!=(const CostPoly &RHS) const { return !(*this == RHS); }
+  /// Arbitrary-but-total order so polynomials can key ordered containers.
+  bool operator<(const CostPoly &RHS) const { return Terms < RHS.Terms; }
+
+  /// \returns true if this is the zero polynomial.
+  bool isZero() const { return Terms.empty(); }
+
+  /// \returns true if the polynomial has no variable terms.
+  bool isConstant() const;
+
+  /// \returns the constant term (zero if absent).
+  int64_t constantTerm() const;
+
+  /// \returns the total degree; the zero polynomial has degree 0.
+  unsigned degree() const;
+
+  /// \returns the names of every variable that occurs with a non-zero
+  /// coefficient, sorted and de-duplicated.
+  std::vector<std::string> variables() const;
+
+  /// \returns the coefficient of the given monomial (zero if absent).
+  int64_t coefficient(const Monomial &M) const;
+
+  /// Evaluates under \p Assignment; variables missing from the map evaluate
+  /// to \p Default.
+  int64_t evaluate(const std::map<std::string, int64_t> &Assignment,
+                   int64_t Default = 0) const;
+
+  /// Structural subtraction check: \returns this - RHS if that difference is
+  /// a constant, otherwise std::nullopt. Used by the polynomial-degree
+  /// observer to decide that two bounds differ only by a constant.
+  std::optional<int64_t> constantDifference(const CostPoly &RHS) const;
+
+  /// \returns true if every coefficient (ignoring the constant term) is
+  /// non-negative. Such polynomials are monotone in each variable over
+  /// non-negative inputs, which the observer model relies on when plugging
+  /// in assumed maxima.
+  bool hasNonNegativeVarCoefficients() const;
+
+  /// Renders e.g. "23*g.len + 10". The zero polynomial renders as "0".
+  std::string str() const;
+
+  const std::map<Monomial, int64_t> &terms() const { return Terms; }
+
+private:
+  void addTerm(const Monomial &M, int64_t Coeff);
+
+  /// Monomial -> coefficient; invariant: no zero coefficients stored.
+  std::map<Monomial, int64_t> Terms;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_COSTPOLY_H

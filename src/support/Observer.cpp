@@ -1,0 +1,108 @@
+//===- Observer.cpp - Attacker observability models -----------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Observer.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace blazer;
+
+ObserverModel ObserverModel::polynomialDegree(int64_t Epsilon) {
+  return ObserverModel(Kind::PolynomialDegree, Epsilon, /*DefMax=*/0);
+}
+
+ObserverModel ObserverModel::concreteInstructions(int64_t Threshold,
+                                                  int64_t DefaultMaxInput) {
+  return ObserverModel(Kind::ConcreteInstructions, Threshold, DefaultMaxInput);
+}
+
+void ObserverModel::setMaxInput(const std::string &Var, int64_t Max) {
+  MaxInputs[Var] = Max;
+}
+
+void ObserverModel::pinSymbol(const std::string &Var, int64_t Value) {
+  Pinned.insert(Var);
+  MaxInputs[Var] = Value;
+}
+
+bool ObserverModel::isPinned(const std::string &Var) const {
+  return Pinned.count(Var) > 0;
+}
+
+std::map<std::string, int64_t> ObserverModel::pinnedSymbols() const {
+  std::map<std::string, int64_t> Out;
+  for (const std::string &Var : Pinned)
+    Out[Var] = maxInput(Var);
+  return Out;
+}
+
+int64_t ObserverModel::maxInput(const std::string &Var) const {
+  auto It = MaxInputs.find(Var);
+  return It == MaxInputs.end() ? DefaultMaxInput : It->second;
+}
+
+int64_t ObserverModel::evalMaxOverBox(const CostPoly &P) const {
+  // Monomials with positive coefficients are maximized at the per-variable
+  // maxima; negative ones at zero (inputs are assumed non-negative). This
+  // overestimates P over the whole box, which is the sound direction for
+  // gap checks.
+  int64_t Sum = 0;
+  for (const auto &[M, C] : P.terms()) {
+    if (C < 0 && !M.empty())
+      continue; // Contributes at most 0 over the box.
+    int64_t Prod = C;
+    for (const std::string &V : M)
+      Prod *= maxInput(V);
+    Sum += Prod;
+  }
+  return Sum;
+}
+
+bool ObserverModel::isNarrow(
+    const BoundRange &R,
+    const std::function<bool(const std::string &)> &IsHighVar) const {
+  if (ModelKind == Kind::PolynomialDegree) {
+    // The MicroBench heuristic (§6.1): the attacker observes asymptotic
+    // complexity, so a trail is safe when its lower and upper bound have the
+    // same polynomial degree; constant-time trails must additionally agree
+    // up to the epsilon constant. The lower envelope's class is its
+    // *smallest*-degree member (a constant member means some executions
+    // finish in constant time).
+    unsigned DegLo = R.Lo.minDegree();
+    unsigned DegHi = R.Hi.degree();
+    if (DegLo != DegHi)
+      return false;
+    if (DegHi == 0)
+      return gapWithinThreshold(R);
+    return true;
+  }
+
+  // Concrete-instruction model: a bound that mentions a secret-derived
+  // symbolic variable means the running time is a function of the secret,
+  // which the per-component check must reject outright — except for pinned
+  // symbols, whose value is publicly known and fixed (key sizes).
+  for (const std::string &V : R.variables())
+    if (IsHighVar && IsHighVar(V) && !isPinned(V))
+      return false;
+  return gapWithinThreshold(R);
+}
+
+bool ObserverModel::gapWithinThreshold(const BoundRange &R) const {
+  for (const CostPoly &H : R.Hi.polys())
+    for (const CostPoly &L : R.Lo.polys())
+      if (evalMaxOverBox(H - L) > Threshold)
+        return false;
+  return true;
+}
+
+bool ObserverModel::observablyDifferent(const BoundRange &A,
+                                        const BoundRange &B) const {
+  // Two sibling trails are suspicious when their symbolic bounds do not
+  // coincide up to an unobservable constant shift (§4.4 CheckAttack).
+  return !(A.Hi.equalsUpToConstant(B.Hi, Threshold) &&
+           A.Lo.equalsUpToConstant(B.Lo, Threshold));
+}

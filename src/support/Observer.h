@@ -1,0 +1,107 @@
+//===- Observer.h - Attacker observability models ---------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models of what running-time difference an attacker can observe (paper
+/// §5/§6.1). Blazer ships two: a generic polynomial-degree heuristic used
+/// for the hand-crafted MicroBench programs, and a platform model that plugs
+/// assumed maximum input sizes into the symbolic bounds and compares
+/// concrete instruction counts against a threshold (25k instructions for
+/// the STAC and Literature benchmarks, with 4096-bit crypto inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_OBSERVER_H
+#define BLAZER_SUPPORT_OBSERVER_H
+
+#include "support/Bound.h"
+
+#include <functional>
+#include <set>
+
+namespace blazer {
+
+/// Decides whether a symbolic bound range is "narrow" (gap unobservable) and
+/// whether two ranges are observably different.
+class ObserverModel {
+public:
+  enum class Kind {
+    /// Narrow iff lower and upper bound agree up to an additive constant
+    /// (equivalently: their non-constant terms coincide). Distinguishes
+    /// linear from quadratic from constant running times.
+    PolynomialDegree,
+    /// Narrow iff, after substituting assumed maximum input values, the
+    /// worst-case gap in executed instructions is below a threshold.
+    ConcreteInstructions,
+  };
+
+  /// The MicroBench model: unbounded inputs, degree comparison; additive
+  /// slack of \p Epsilon instructions is unobservable.
+  static ObserverModel polynomialDegree(int64_t Epsilon = 64);
+
+  /// The STAC/Literature model: inputs capped at \p DefaultMaxInput, gaps
+  /// under \p Threshold instructions unobservable.
+  static ObserverModel concreteInstructions(int64_t Threshold = 25000,
+                                            int64_t DefaultMaxInput = 4096);
+
+  Kind kind() const { return ModelKind; }
+  int64_t threshold() const { return Threshold; }
+
+  /// Overrides the assumed maximum for one symbolic input variable.
+  void setMaxInput(const std::string &Var, int64_t Max);
+
+  /// Declares a symbolic variable as *pinned*: its value is secret-derived
+  /// but publicly known and fixed across executions (e.g. the bit-length of
+  /// a 4096-bit RSA exponent — timing attacks leak key bits, not the key
+  /// size). Pinned symbols do not count as secret correlation in the
+  /// narrowness check; their assumed maximum is used when evaluating gaps.
+  void pinSymbol(const std::string &Var, int64_t Value);
+
+  /// \returns true when \p Var was pinned via pinSymbol.
+  bool isPinned(const std::string &Var) const;
+
+  /// \returns every pinned symbol with its pinned value.
+  std::map<std::string, int64_t> pinnedSymbols() const;
+
+  /// \returns the assumed maximum value of symbolic variable \p Var.
+  int64_t maxInput(const std::string &Var) const;
+
+  /// \returns a sound overestimate of \p P over the box [0, max]^n: positive
+  /// monomial coefficients are evaluated at the per-variable maxima,
+  /// negative ones at zero.
+  int64_t evalMaxOverBox(const CostPoly &P) const;
+
+  /// \returns true if the gap between \p R's lower and upper bound is below
+  /// the attacker's observational power. \p IsHighVar classifies symbolic
+  /// variables; a range whose width depends on a high variable is never
+  /// narrow (the gap itself would leak the secret).
+  bool
+  isNarrow(const BoundRange &R,
+           const std::function<bool(const std::string &)> &IsHighVar) const;
+
+  /// \returns true if the two ranges describe observably different running
+  /// times, i.e. they do NOT agree up to an unobservable constant shift.
+  /// Used by CheckAttack on sibling trails split at a secret branch.
+  bool observablyDifferent(const BoundRange &A, const BoundRange &B) const;
+
+private:
+  ObserverModel(Kind K, int64_t Thresh, int64_t DefMax)
+      : ModelKind(K), Threshold(Thresh), DefaultMaxInput(DefMax) {}
+
+  /// \returns true if every pairwise gap Hi - Lo, overestimated over the
+  /// input box, is at most the threshold.
+  bool gapWithinThreshold(const BoundRange &R) const;
+
+  Kind ModelKind;
+  int64_t Threshold;
+  int64_t DefaultMaxInput;
+  std::map<std::string, int64_t> MaxInputs;
+  std::set<std::string> Pinned;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_OBSERVER_H

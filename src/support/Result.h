@@ -1,0 +1,81 @@
+//===- Result.h - Lightweight error-or-value return type --------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny Expected<T>-style result type. Library code does not throw; parse
+/// and analysis failures are returned as Result<T> carrying a diagnostic
+/// message (with a source location where one is known).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_RESULT_H
+#define BLAZER_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace blazer {
+
+/// A diagnostic with an optional 1-based line/column source position.
+struct Diag {
+  std::string Message;
+  int Line = 0;
+  int Col = 0;
+
+  /// Renders "line L:C: message" (or just the message when unlocated).
+  std::string str() const {
+    if (Line <= 0)
+      return Message;
+    return "line " + std::to_string(Line) + ":" + std::to_string(Col) + ": " +
+           Message;
+  }
+};
+
+/// Either a T or a Diag explaining why no T could be produced.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Storage(std::move(Value)) {}
+  /*implicit*/ Result(Diag D) : Storage(std::move(D)) {}
+
+  /// Convenience failure constructor.
+  static Result error(std::string Message, int Line = 0, int Col = 0) {
+    return Result(Diag{std::move(Message), Line, Col});
+  }
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  const T &operator*() const {
+    assert(*this && "dereferencing an error Result");
+    return std::get<T>(Storage);
+  }
+  T &operator*() {
+    assert(*this && "dereferencing an error Result");
+    return std::get<T>(Storage);
+  }
+  const T *operator->() const { return &**this; }
+  T *operator->() { return &**this; }
+
+  /// Moves the value out. Only valid on success.
+  T take() {
+    assert(*this && "taking from an error Result");
+    return std::move(std::get<T>(Storage));
+  }
+
+  const Diag &diag() const {
+    assert(!*this && "no diagnostic on a success Result");
+    return std::get<Diag>(Storage);
+  }
+
+private:
+  std::variant<T, Diag> Storage;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_RESULT_H

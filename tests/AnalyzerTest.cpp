@@ -1,0 +1,228 @@
+//===- AnalyzerTest.cpp - Tests for the trail-restricted interpreter --------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+struct Pipeline {
+  CfgFunction F;
+  EdgeAlphabet A;
+  VarEnv Env;
+
+  explicit Pipeline(const std::string &Src)
+      : F(compile(Src)), A(EdgeAlphabet::forFunction(F)), Env(F) {}
+
+  ProductGraph product(const Dfa &D) const {
+    return ProductGraph::build(F, D, A);
+  }
+  ProductGraph fullProduct() const { return product(Dfa::fromCfg(F, A)); }
+};
+
+//===----------------------------------------------------------------------===//
+// ProductGraph
+//===----------------------------------------------------------------------===//
+
+TEST(ProductGraph, FullTrailMirrorsCfg) {
+  Pipeline P("fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  ProductGraph G = P.fullProduct();
+  // One DFA state per block in the CFG automaton: product size == #blocks
+  // reachable and co-reachable, which here is all of them.
+  EXPECT_EQ(G.size(), P.F.blockCount());
+  EXPECT_FALSE(G.empty());
+  EXPECT_EQ(G.node(G.entry()).Block, P.F.Entry);
+  ASSERT_EQ(G.accepts().size(), 1u);
+  EXPECT_EQ(G.node(G.accepts()[0]).Block, P.F.Exit);
+}
+
+TEST(ProductGraph, EmptyTrailGivesEmptyProduct) {
+  Pipeline P("fn f(public x: int) { x = 1; }");
+  ProductGraph G = P.product(Dfa::emptyLanguage(
+      static_cast<int>(P.A.size())));
+  EXPECT_TRUE(G.empty());
+}
+
+TEST(ProductGraph, AvoidTrailPrunesBranchSide) {
+  Pipeline P("fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  const BasicBlock &Entry = P.F.block(P.F.Entry);
+  int SymTrue = P.A.symbol(Edge{P.F.Entry, Entry.TrueSucc});
+  Dfa Trail = Dfa::fromCfg(P.F, P.A)
+                  .intersect(Dfa::avoidsSymbol(
+                      static_cast<int>(P.A.size()), SymTrue));
+  ProductGraph G = P.product(Trail);
+  ASSERT_FALSE(G.empty());
+  // The true arm's block must not appear.
+  for (size_t I = 0; I < G.size(); ++I)
+    EXPECT_NE(G.node(I).Block, Entry.TrueSucc);
+}
+
+TEST(ProductGraph, ContainsTrailUnrollsFirstIteration) {
+  Pipeline P(
+      "fn f(public n: int) { var i: int = 0; while (i < n) { i = i + 1; } }");
+  // Require at least one loop entry: the loop header appears in two DFA
+  // states (before/after the first body entry).
+  int HeaderBlock = -1;
+  for (const BasicBlock &B : P.F.Blocks)
+    if (B.Term == BasicBlock::TermKind::Branch)
+      HeaderBlock = B.Id;
+  ASSERT_GE(HeaderBlock, 0);
+  int BodySym = P.A.symbol(
+      Edge{HeaderBlock, P.F.block(HeaderBlock).TrueSucc});
+  Dfa Trail = Dfa::fromCfg(P.F, P.A)
+                  .intersect(Dfa::containsSymbol(
+                      static_cast<int>(P.A.size()), BodySym));
+  ProductGraph G = P.product(Trail);
+  int HeaderNodes = 0;
+  for (size_t I = 0; I < G.size(); ++I)
+    if (G.node(I).Block == HeaderBlock)
+      ++HeaderNodes;
+  EXPECT_EQ(HeaderNodes, 2);
+}
+
+TEST(ProductGraph, RpoStartsAtEntryAndCoversAll) {
+  Pipeline P("fn f(public x: int) { if (x > 0) { x = 1; } }");
+  ProductGraph G = P.fullProduct();
+  ASSERT_FALSE(G.rpo().empty());
+  EXPECT_EQ(G.rpo().front(), G.entry());
+  EXPECT_EQ(G.rpo().size(), G.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Fixpoint analysis
+//===----------------------------------------------------------------------===//
+
+TEST(Analyzer, StraightLineInvariants) {
+  Pipeline P("fn f(public a: int) { var x: int = a + 1; }");
+  ProductGraph G = P.fullProduct();
+  Analyzer Az(P.F, P.Env);
+  AnalysisResult R = Az.analyze(G);
+  int ExitNode = G.accepts()[0];
+  ASSERT_TRUE(R.Feasible[ExitNode]);
+  const Dbm &D = R.EntryState[ExitNode];
+  EXPECT_EQ(*D.exactDifference(P.Env.indexOf("x"), P.Env.indexOf("a#in")),
+            1);
+}
+
+TEST(Analyzer, BranchRefinementReachesArms) {
+  Pipeline P(
+      "fn f(public x: int) { if (x > 5) { skip; } else { skip; } }");
+  ProductGraph G = P.fullProduct();
+  Analyzer Az(P.F, P.Env);
+  AnalysisResult R = Az.analyze(G);
+  const BasicBlock &Entry = P.F.block(P.F.Entry);
+  int ThenNode = G.indexOf(Entry.TrueSucc, Entry.TrueSucc);
+  int ElseNode = G.indexOf(Entry.FalseSucc, Entry.FalseSucc);
+  ASSERT_GE(ThenNode, 0);
+  ASSERT_GE(ElseNode, 0);
+  EXPECT_EQ(*R.EntryState[ThenNode].lowerOf(P.Env.indexOf("x")), 6);
+  EXPECT_EQ(*R.EntryState[ElseNode].upperOfOpt(P.Env.indexOf("x")), 5);
+}
+
+TEST(Analyzer, LoopInvariantWithWideningAndNarrowing) {
+  Pipeline P(
+      "fn f(public n: int) { var i: int = 0; while (i < n) { i = i + 1; } }");
+  ProductGraph G = P.fullProduct();
+  Analyzer Az(P.F, P.Env);
+  AnalysisResult R = Az.analyze(G);
+  // At the exit, i >= 0 and i >= n (loop ran to completion).
+  int ExitNode = G.accepts()[0];
+  const Dbm &D = R.EntryState[ExitNode];
+  int I = P.Env.indexOf("i");
+  int N = P.Env.indexOf("n");
+  ASSERT_TRUE(R.Feasible[ExitNode]);
+  EXPECT_GE(*D.lowerOf(I), 0);
+  // i - n >= 0 at exit.
+  EXPECT_LE(D.bound(N, I), 0);
+}
+
+TEST(Analyzer, InfeasibleBranchDetected) {
+  // After low >= 0 and low = low + 10, the path low < 10 is impossible.
+  Pipeline P(R"(
+    fn f(public low: int) {
+      if (low >= 0) {
+        low = low + 10;
+        if (low < 10) { skip; } else { skip; }
+      }
+    }
+  )");
+  ProductGraph G = P.fullProduct();
+  Analyzer Az(P.F, P.Env);
+  AnalysisResult R = Az.analyze(G);
+  // Find the inner branch and check its true side is infeasible.
+  int InnerBranch = -1;
+  for (const BasicBlock &B : P.F.Blocks)
+    if (B.Term == BasicBlock::TermKind::Branch &&
+        exprToString(B.Cond) == "(low < 10)")
+      InnerBranch = B.Id;
+  ASSERT_GE(InnerBranch, 0);
+  int ThenBlock = P.F.block(InnerBranch).TrueSucc;
+  int Node = G.indexOf(ThenBlock, ThenBlock);
+  ASSERT_GE(Node, 0);
+  EXPECT_FALSE(R.Feasible[Node]);
+}
+
+TEST(Analyzer, TransferEdgeAppliesBlockThenAssume) {
+  Pipeline P(
+      "fn f(public x: int) { x = x + 1; if (x > 3) { skip; } }");
+  Analyzer Az(P.F, P.Env);
+  Dbm In = P.Env.initialState();
+  const BasicBlock &Entry = P.F.block(P.F.Entry);
+  Dbm Out = Az.transferEdge(In, Edge{P.F.Entry, Entry.TrueSucc});
+  int X = P.Env.indexOf("x");
+  // x was incremented, then x > 3 assumed.
+  EXPECT_EQ(*Out.lowerOf(X), 4);
+  // And x still relates to its seed: x = x#in + 1.
+  EXPECT_EQ(*Out.exactDifference(X, P.Env.indexOf("x#in")), 1);
+}
+
+TEST(Analyzer, EntryStateIsInitialState) {
+  Pipeline P("fn f(public a: int) { skip; }");
+  ProductGraph G = P.fullProduct();
+  Analyzer Az(P.F, P.Env);
+  AnalysisResult R = Az.analyze(G);
+  EXPECT_TRUE(
+      R.EntryState[G.entry()].equals(P.Env.initialState()));
+}
+
+TEST(Analyzer, TerminatesOnNestedLoops) {
+  Pipeline P(R"(
+    fn f(public n: int) {
+      var i: int = 0;
+      while (i < n) {
+        var j: int = 0;
+        while (j < i) { j = j + 1; }
+        i = i + 1;
+      }
+    }
+  )");
+  ProductGraph G = P.fullProduct();
+  Analyzer Az(P.F, P.Env);
+  AnalysisResult R = Az.analyze(G);
+  EXPECT_TRUE(R.Feasible[G.accepts()[0]]);
+}
+
+TEST(Analyzer, BottomStatesStayInfeasibleUnderTrailRestriction) {
+  // A trail that forbids the only edge out of the entry leaves nothing.
+  Pipeline P("fn f(public x: int) { x = 1; }");
+  const BasicBlock &Entry = P.F.block(P.F.Entry);
+  int OnlySym = P.A.symbol(Edge{P.F.Entry, Entry.TrueSucc});
+  Dfa Trail = Dfa::fromCfg(P.F, P.A)
+                  .intersect(Dfa::avoidsSymbol(
+                      static_cast<int>(P.A.size()), OnlySym));
+  EXPECT_TRUE(P.product(Trail).empty());
+}
+
+} // namespace

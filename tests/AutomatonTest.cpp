@@ -1,0 +1,273 @@
+//===- AutomatonTest.cpp - Tests for the automaton library -----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Automaton.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+TEST(EdgeAlphabet, BijectionOverFunctionEdges) {
+  CfgFunction F = compile(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  EXPECT_EQ(A.size(), F.edges().size());
+  for (const Edge &E : F.edges()) {
+    int S = A.symbol(E);
+    EXPECT_EQ(A.edge(S), E);
+  }
+  EXPECT_EQ(A.symbolOrNone(Edge{99, 98}), -1);
+}
+
+TEST(Dfa, EmptyAndAllWords) {
+  Dfa Empty = Dfa::emptyLanguage(3);
+  Dfa All = Dfa::allWords(3);
+  EXPECT_TRUE(Empty.isEmpty());
+  EXPECT_FALSE(All.isEmpty());
+  EXPECT_TRUE(All.accepts({}));
+  EXPECT_TRUE(All.accepts({0, 1, 2}));
+  EXPECT_FALSE(Empty.accepts({}));
+  EXPECT_FALSE(Empty.accepts({0}));
+}
+
+TEST(Dfa, ContainsSymbol) {
+  Dfa D = Dfa::containsSymbol(3, 1);
+  EXPECT_FALSE(D.accepts({}));
+  EXPECT_FALSE(D.accepts({0, 2, 0}));
+  EXPECT_TRUE(D.accepts({1}));
+  EXPECT_TRUE(D.accepts({0, 1, 2}));
+}
+
+TEST(Dfa, AvoidsSymbol) {
+  Dfa D = Dfa::avoidsSymbol(3, 1);
+  EXPECT_TRUE(D.accepts({}));
+  EXPECT_TRUE(D.accepts({0, 2, 0}));
+  EXPECT_FALSE(D.accepts({1}));
+  EXPECT_FALSE(D.accepts({0, 1, 2}));
+}
+
+TEST(Dfa, ComplementFlipsMembership) {
+  Dfa D = Dfa::containsSymbol(2, 0);
+  Dfa C = D.complement();
+  for (const std::vector<int> &W :
+       {std::vector<int>{}, {0}, {1}, {1, 1}, {1, 0, 1}})
+    EXPECT_NE(D.accepts(W), C.accepts(W));
+}
+
+TEST(Dfa, IntersectIsConjunction) {
+  Dfa D = Dfa::containsSymbol(2, 0).intersect(Dfa::containsSymbol(2, 1));
+  EXPECT_FALSE(D.accepts({0}));
+  EXPECT_FALSE(D.accepts({1}));
+  EXPECT_TRUE(D.accepts({0, 1}));
+  EXPECT_TRUE(D.accepts({1, 0}));
+}
+
+TEST(Dfa, UniteIsDisjunction) {
+  Dfa D = Dfa::containsSymbol(2, 0).unite(Dfa::containsSymbol(2, 1));
+  EXPECT_TRUE(D.accepts({0}));
+  EXPECT_TRUE(D.accepts({1}));
+  EXPECT_FALSE(D.accepts({}));
+}
+
+TEST(Dfa, InclusionAndEquivalence) {
+  Dfa Both = Dfa::containsSymbol(2, 0).intersect(Dfa::containsSymbol(2, 1));
+  Dfa Zero = Dfa::containsSymbol(2, 0);
+  EXPECT_TRUE(Both.includedIn(Zero));
+  EXPECT_FALSE(Zero.includedIn(Both));
+  EXPECT_TRUE(Zero.equivalent(Dfa::containsSymbol(2, 0)));
+  EXPECT_FALSE(Zero.equivalent(Both));
+}
+
+TEST(Dfa, MinimizePreservesLanguage) {
+  Dfa D = Dfa::containsSymbol(3, 1)
+              .unite(Dfa::containsSymbol(3, 2))
+              .intersect(Dfa::avoidsSymbol(3, 0));
+  Dfa M = D.minimize();
+  EXPECT_LE(M.numStates(), D.numStates());
+  EXPECT_TRUE(M.equivalent(D));
+}
+
+TEST(Dfa, MinimizeReachesCanonicalSize) {
+  // avoids(0) needs exactly 2 states (live + dead).
+  Dfa M = Dfa::avoidsSymbol(4, 0).minimize();
+  EXPECT_EQ(M.numStates(), 2);
+}
+
+TEST(Dfa, ShortestWordFindsBfsPath) {
+  Dfa D = Dfa::containsSymbol(2, 1);
+  auto W = D.shortestWord();
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(*W, std::vector<int>{1});
+  EXPECT_FALSE(Dfa::emptyLanguage(2).shortestWord().has_value());
+}
+
+TEST(Dfa, LiveStatesReachAccept) {
+  Dfa D = Dfa::avoidsSymbol(2, 0);
+  std::vector<bool> Live = D.liveStates();
+  EXPECT_TRUE(Live[D.start()]);
+  // The dead state (reached on symbol 0) is not live.
+  EXPECT_FALSE(Live[D.next(D.start(), 0)]);
+}
+
+TEST(Dfa, FromCfgAcceptsExactlyTracePaths) {
+  CfgFunction F = compile(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  Dfa D = Dfa::fromCfg(F, A);
+  // A real path: follow TrueSucc pointers entry -> exit.
+  std::vector<int> Word;
+  int Cur = F.Entry;
+  while (Cur != F.Exit) {
+    int Next = F.block(Cur).successors()[0];
+    Word.push_back(A.symbol(Edge{Cur, Next}));
+    Cur = Next;
+  }
+  EXPECT_TRUE(D.accepts(Word));
+  // Prefixes of real paths are not complete traces.
+  Word.pop_back();
+  EXPECT_FALSE(D.accepts(Word));
+  // A non-path word is rejected.
+  EXPECT_FALSE(D.accepts({static_cast<int>(A.size()) - 1,
+                          static_cast<int>(A.size()) - 1}));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweeps: boolean-algebra laws over generated automata.
+//===----------------------------------------------------------------------===//
+
+class DfaAlgebra : public ::testing::TestWithParam<int> {
+protected:
+  static constexpr int NumSymbols = 3;
+
+  static Dfa make(int Seed) {
+    // Compose a small automaton from the primitive constructors.
+    Dfa D = Dfa::allWords(NumSymbols);
+    uint32_t S = static_cast<uint32_t>(Seed) * 2654435761u + 7u;
+    auto Next = [&S] {
+      S ^= S << 13;
+      S ^= S >> 17;
+      S ^= S << 5;
+      return S;
+    };
+    int Ops = 1 + Next() % 3;
+    for (int I = 0; I < Ops; ++I) {
+      int Sym = Next() % NumSymbols;
+      Dfa Atom = Next() % 2 ? Dfa::containsSymbol(NumSymbols, Sym)
+                            : Dfa::avoidsSymbol(NumSymbols, Sym);
+      D = Next() % 2 ? D.intersect(Atom) : D.unite(Atom);
+    }
+    return D;
+  }
+
+  static std::vector<std::vector<int>> sampleWords() {
+    std::vector<std::vector<int>> Words = {{}};
+    for (int A = 0; A < NumSymbols; ++A) {
+      Words.push_back({A});
+      for (int B = 0; B < NumSymbols; ++B) {
+        Words.push_back({A, B});
+        Words.push_back({A, B, A});
+      }
+    }
+    return Words;
+  }
+};
+
+TEST_P(DfaAlgebra, DeMorgan) {
+  Dfa A = make(GetParam());
+  Dfa B = make(GetParam() + 31);
+  Dfa Lhs = A.intersect(B).complement();
+  Dfa Rhs = A.complement().unite(B.complement());
+  EXPECT_TRUE(Lhs.equivalent(Rhs));
+}
+
+TEST_P(DfaAlgebra, DoubleComplementIsIdentity) {
+  Dfa A = make(GetParam());
+  EXPECT_TRUE(A.complement().complement().equivalent(A));
+}
+
+TEST_P(DfaAlgebra, IntersectionIsLowerBound) {
+  Dfa A = make(GetParam());
+  Dfa B = make(GetParam() + 31);
+  Dfa I = A.intersect(B);
+  EXPECT_TRUE(I.includedIn(A));
+  EXPECT_TRUE(I.includedIn(B));
+}
+
+TEST_P(DfaAlgebra, UnionIsUpperBound) {
+  Dfa A = make(GetParam());
+  Dfa B = make(GetParam() + 31);
+  Dfa U = A.unite(B);
+  EXPECT_TRUE(A.includedIn(U));
+  EXPECT_TRUE(B.includedIn(U));
+}
+
+TEST_P(DfaAlgebra, MembershipMatchesSetSemantics) {
+  Dfa A = make(GetParam());
+  Dfa B = make(GetParam() + 31);
+  Dfa I = A.intersect(B);
+  Dfa U = A.unite(B);
+  Dfa C = A.complement();
+  for (const auto &W : sampleWords()) {
+    EXPECT_EQ(I.accepts(W), A.accepts(W) && B.accepts(W));
+    EXPECT_EQ(U.accepts(W), A.accepts(W) || B.accepts(W));
+    EXPECT_EQ(C.accepts(W), !A.accepts(W));
+  }
+}
+
+TEST_P(DfaAlgebra, MinimizationIsIdempotent) {
+  Dfa M = make(GetParam()).minimize();
+  Dfa MM = M.minimize();
+  EXPECT_EQ(M.numStates(), MM.numStates());
+  EXPECT_TRUE(M.equivalent(MM));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfaAlgebra, ::testing::Range(0, 20));
+
+//===----------------------------------------------------------------------===//
+// Nfa determinization
+//===----------------------------------------------------------------------===//
+
+TEST(Nfa, DeterminizeSimpleUnion) {
+  // (0|1) over a 2-symbol alphabet.
+  Nfa N(2);
+  int S = N.addState();
+  int A1 = N.addState();
+  N.addTransition(S, 0, A1);
+  N.addTransition(S, 1, A1);
+  N.setStart(S);
+  N.setAccept(A1);
+  Dfa D = N.determinize();
+  EXPECT_TRUE(D.accepts({0}));
+  EXPECT_TRUE(D.accepts({1}));
+  EXPECT_FALSE(D.accepts({}));
+  EXPECT_FALSE(D.accepts({0, 0}));
+}
+
+TEST(Nfa, EpsilonClosureChains) {
+  // eps-chain s -> a -> b with b accepting on symbol 0 loop.
+  Nfa N(1);
+  int S = N.addState();
+  int A = N.addState();
+  int B = N.addState();
+  N.addEpsilon(S, A);
+  N.addEpsilon(A, B);
+  N.addTransition(B, 0, B);
+  N.setStart(S);
+  N.setAccept(B);
+  Dfa D = N.determinize();
+  EXPECT_TRUE(D.accepts({}));
+  EXPECT_TRUE(D.accepts({0, 0, 0}));
+}
+
+} // namespace

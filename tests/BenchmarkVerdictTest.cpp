@@ -1,0 +1,179 @@
+//===- BenchmarkVerdictTest.cpp - Table-1 verdicts as tests -----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every row of Table 1 as a parameterized test: the analysis verdict on
+/// each of the 24 benchmarks must match what the paper reports (safe for
+/// *_safe, attack specification for *_unsafe, and "gives up" for
+/// gpt14_unsafe).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+class BenchmarkVerdict
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(BenchmarkVerdict, MatchesPaper) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  BlazerResult R = analyzeFunction(F, B.options());
+  EXPECT_EQ(R.Verdict, B.Expected)
+      << B.Name << " tree:\n"
+      << R.treeString(F);
+  if (B.Expected == VerdictKind::Attack) {
+    EXPECT_FALSE(R.Attacks.empty());
+  }
+  if (B.Expected == VerdictKind::Safe) {
+    EXPECT_TRUE(R.Attacks.empty());
+    // Every feasible leaf of a safe tree is narrow.
+    for (const Trail &T : R.Tree) {
+      if (T.isLeaf() && T.feasible()) {
+        EXPECT_TRUE(T.Narrow) << B.Name << " leaf tr" << T.Id;
+      }
+    }
+  }
+}
+
+TEST_P(BenchmarkVerdict, CompilesWithNonTrivialCfg) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  EXPECT_GE(F.blockCount(), 2u);
+  EXPECT_EQ(F.Name, B.Name);
+}
+
+std::vector<const BenchmarkProgram *> allPtrs() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, BenchmarkVerdict, ::testing::ValuesIn(allPtrs()),
+    [](const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+      return Info.param->Name;
+    });
+
+TEST(BenchmarkSuite, HasAll24InPaperOrder) {
+  const auto &All = allBenchmarks();
+  ASSERT_EQ(All.size(), 24u);
+  int Micro = 0, Stac = 0, Lit = 0;
+  for (const BenchmarkProgram &B : All) {
+    if (B.Category == "MicroBench")
+      ++Micro;
+    else if (B.Category == "STAC")
+      ++Stac;
+    else if (B.Category == "Literature")
+      ++Lit;
+  }
+  EXPECT_EQ(Micro, 12);
+  EXPECT_EQ(Stac, 6);
+  EXPECT_EQ(Lit, 6);
+}
+
+TEST(BenchmarkSuite, SafeUnsafePairing) {
+  // 12 safe, 11 attack, 1 unknown (gpt14_unsafe).
+  int Safe = 0, Attack = 0, Unknown = 0;
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    switch (B.Expected) {
+    case VerdictKind::Safe:
+      ++Safe;
+      break;
+    case VerdictKind::Attack:
+      ++Attack;
+      break;
+    case VerdictKind::Unknown:
+      ++Unknown;
+      break;
+    }
+  }
+  EXPECT_EQ(Safe, 12);
+  EXPECT_EQ(Attack, 11);
+  EXPECT_EQ(Unknown, 1);
+}
+
+TEST(BenchmarkSuite, FindByName) {
+  EXPECT_NE(findBenchmark("login_safe"), nullptr);
+  EXPECT_EQ(findBenchmark("not_a_benchmark"), nullptr);
+}
+
+TEST(BenchmarkSuite, Figure1ShapeForLoginSafe) {
+  // The §2.2 story: trmg is not narrow; the taint split yields an early-
+  // exit trail with exact constant bounds and a loop trail with matching
+  // linear bounds.
+  const BenchmarkProgram *B = findBenchmark("login_safe");
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  ASSERT_EQ(R.Verdict, VerdictKind::Safe);
+  ASSERT_GE(R.Tree.size(), 3u);
+  const Trail &Mg = R.Tree[0];
+  EXPECT_FALSE(Mg.Narrow);
+  ASSERT_EQ(Mg.Children.size(), 2u);
+  const Trail &Tr1 = R.Tree[Mg.Children[0]];
+  const Trail &Tr2 = R.Tree[Mg.Children[1]];
+  // One child exits early with an exact constant range...
+  EXPECT_TRUE(Tr1.Bounds.range().Lo.isConstant());
+  EXPECT_TRUE(Tr1.Bounds.range().Hi.isConstant());
+  // ...the other runs the loop with bounds linear in guess.len only.
+  EXPECT_EQ(Tr2.Bounds.range().Hi.degree(), 1u);
+  EXPECT_EQ(Tr2.Bounds.range().variables(),
+            std::vector<std::string>{"guess.len"});
+}
+
+TEST(BenchmarkSuite, Figure1ShapeForLoginUnsafe) {
+  // loginBad: the secret-split trails must exhibit the p.len-dependent
+  // bound (the paper's 20*max(g.len-1, p.len)+8 balloon).
+  const BenchmarkProgram *B = findBenchmark("login_unsafe");
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  ASSERT_EQ(R.Verdict, VerdictKind::Attack);
+  bool SomeTrailMentionsPwLen = false;
+  for (const Trail &T : R.Tree) {
+    if (!T.feasible() || !T.Bounds.hasUpper())
+      continue;
+    for (const std::string &V : T.Bounds.range().variables())
+      if (V == "user_pw.len")
+        SomeTrailMentionsPwLen = true;
+  }
+  EXPECT_TRUE(SomeTrailMentionsPwLen);
+}
+
+TEST(BenchmarkSuite, ModPowAttackImplicatesBitTest) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  ASSERT_EQ(R.Verdict, VerdictKind::Attack);
+  ASSERT_FALSE(R.Attacks.empty());
+  // Some emitted specification must implicate the bit-test branch (the
+  // one whose condition reads the exponent directly); other specs may
+  // implicate the loop guard, which is exponent-tainted via width.
+  bool BitTestImplicated = false;
+  for (const AttackSpec &A : R.Attacks) {
+    ASSERT_GE(A.SecretBranch, 0);
+    const BasicBlock &Branch = F.block(A.SecretBranch);
+    if (exprToString(Branch.Cond).find("exponent") != std::string::npos)
+      BitTestImplicated = true;
+    EXPECT_TRUE(R.Taint.markOf(A.SecretBranch).High);
+  }
+  EXPECT_TRUE(BitTestImplicated);
+}
+
+TEST(BenchmarkSuite, Gpt14UnsafeGivesUpWithoutFalseAttack) {
+  const BenchmarkProgram *B = findBenchmark("gpt14_unsafe");
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  EXPECT_TRUE(R.Attacks.empty());
+}
+
+} // namespace

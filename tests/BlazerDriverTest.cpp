@@ -1,0 +1,232 @@
+//===- BlazerDriverTest.cpp - Tests for the Figure-2 driver -----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Blazer.h"
+#include "benchmarks/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+TEST(Driver, Example1SingleComponentSafe) {
+  // Example 1 of the paper: both secret-branch arms are linear in low.
+  CfgFunction F = compile(R"(
+    fn foo(secret high: int, public low: int) {
+      var i: int = 0;
+      if (high == 0) {
+        i = 0;
+        while (i < low) { i = i + 1; }
+      } else {
+        i = low;
+        while (i > 0) { i = i - 1; }
+      }
+    }
+  )");
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  BlazerResult R = analyzeFunction(F, Opt);
+  EXPECT_EQ(R.Verdict, VerdictKind::Safe);
+}
+
+TEST(Driver, Example2SplitsOnLowBranch) {
+  CfgFunction F = compile(R"(
+    fn bar(secret high: int, public low: int) {
+      var i: int = 0;
+      if (low > 0) {
+        i = 0;
+        while (i < low) { i = i + 1; }
+        while (i > 0) { i = i - 1; }
+      } else {
+        if (high == 0) { i = 5; } else { i = 0; i = i + 1; }
+      }
+    }
+  )");
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  BlazerResult R = analyzeFunction(F, Opt);
+  EXPECT_EQ(R.Verdict, VerdictKind::Safe);
+  // The most general trail was split once, at the taint branch on low.
+  ASSERT_GE(R.Tree.size(), 3u);
+  EXPECT_EQ(R.Tree[0].Children.size(), 2u);
+  for (int C : R.Tree[0].Children) {
+    EXPECT_TRUE(R.Tree[C].SplitOn.Low);
+    EXPECT_FALSE(R.Tree[C].SplitOn.High);
+    EXPECT_TRUE(R.Tree[C].Narrow);
+  }
+}
+
+TEST(Driver, TriviallySafeStaysOneTrail) {
+  CfgFunction F = compile("fn f(secret h: int, public l: int) { skip; }");
+  BlazerResult R = analyzeFunction(F);
+  EXPECT_EQ(R.Verdict, VerdictKind::Safe);
+  EXPECT_EQ(R.Tree.size(), 1u);
+  EXPECT_TRUE(R.Tree[0].Narrow);
+  EXPECT_EQ(R.Tree[0].Split, SplitKind::None);
+}
+
+TEST(Driver, AttackCarriesSpecification) {
+  CfgFunction F = compile(R"(
+    fn leak(secret h: int, public l: int) {
+      var i: int = 0;
+      if (h > 0) {
+        while (i < h) { i = i + 1; }
+      } else {
+        skip;
+      }
+    }
+  )");
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  BlazerResult R = analyzeFunction(F, Opt);
+  ASSERT_EQ(R.Verdict, VerdictKind::Attack);
+  ASSERT_FALSE(R.Attacks.empty());
+  const AttackSpec &A = R.Attacks[0];
+  EXPECT_GE(A.TrailA, 0);
+  EXPECT_GE(A.TrailB, 0);
+  EXPECT_GE(A.SecretBranch, 0);
+  // The implicated branch really is secret-dependent.
+  EXPECT_TRUE(R.Taint.markOf(A.SecretBranch).High);
+  // The two trails are siblings split on the secret.
+  EXPECT_EQ(R.Tree[A.TrailA].Parent, R.Tree[A.TrailB].Parent);
+  EXPECT_TRUE(R.Tree[A.TrailA].SplitOn.High);
+  // The rendered specification mentions both trails.
+  std::string S = A.str();
+  EXPECT_NE(S.find("tr" + std::to_string(A.TrailA)), std::string::npos);
+  EXPECT_NE(S.find("tr" + std::to_string(A.TrailB)), std::string::npos);
+}
+
+TEST(Driver, SafetyOnlyModeSkipsAttackSearch) {
+  CfgFunction F = compile(R"(
+    fn leak(secret h: int, public l: int) {
+      var i: int = 0;
+      if (h > 0) { while (i < h) { i = i + 1; } }
+    }
+  )");
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  Opt.SearchAttack = false;
+  BlazerResult R = analyzeFunction(F, Opt);
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  EXPECT_TRUE(R.Attacks.empty());
+}
+
+TEST(Driver, BudgetLimitsTrailCount) {
+  const BenchmarkProgram *B = findBenchmark("modPow2_unsafe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerOptions Opt = B->options();
+  Opt.MaxTrails = 4;
+  BlazerResult R = analyzeFunction(F, Opt);
+  EXPECT_LE(R.Tree.size(), 4u);
+}
+
+TEST(Driver, TreeParentChildLinksAreConsistent) {
+  const BenchmarkProgram *B = findBenchmark("login_unsafe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  for (const Trail &T : R.Tree) {
+    if (T.Parent >= 0) {
+      const auto &Sibs = R.Tree[T.Parent].Children;
+      EXPECT_NE(std::find(Sibs.begin(), Sibs.end(), T.Id), Sibs.end());
+    }
+    for (int C : T.Children)
+      EXPECT_EQ(R.Tree[C].Parent, T.Id);
+  }
+}
+
+TEST(Driver, ChildTrailLanguagesAreSubsets) {
+  const BenchmarkProgram *B = findBenchmark("login_unsafe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  for (const Trail &T : R.Tree) {
+    if (T.Parent >= 0) {
+      EXPECT_TRUE(T.Auto.includedIn(R.Tree[T.Parent].Auto))
+          << "tr" << T.Id << " not within tr" << T.Parent;
+    }
+  }
+}
+
+TEST(Driver, SiblingTrailsCoverTheParent) {
+  const BenchmarkProgram *B = findBenchmark("login_unsafe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  for (const Trail &T : R.Tree) {
+    if (T.Children.empty())
+      continue;
+    // Union the children split from the same branch.
+    Dfa Union = Dfa::emptyLanguage(T.Auto.numSymbols());
+    for (int C : T.Children)
+      Union = Union.unite(R.Tree[C].Auto);
+    EXPECT_TRUE(T.Auto.includedIn(Union))
+        << "children of tr" << T.Id << " do not cover it";
+  }
+}
+
+TEST(Driver, TimingFieldsPopulated) {
+  const BenchmarkProgram *B = findBenchmark("sanity_unsafe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  EXPECT_GE(R.SafetySeconds, 0.0);
+  EXPECT_GE(R.TotalSeconds, R.SafetySeconds);
+}
+
+TEST(Driver, TreeStringMentionsVerdictAndTrails) {
+  const BenchmarkProgram *B = findBenchmark("login_safe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  std::string S = R.treeString(F);
+  EXPECT_NE(S.find("tr0"), std::string::npos);
+  EXPECT_NE(S.find("most general trail"), std::string::npos);
+  EXPECT_NE(S.find("verdict: safe"), std::string::npos);
+  EXPECT_NE(S.find("taint"), std::string::npos);
+}
+
+TEST(Driver, RelatedWorkEx1TypeSystemFalseAlarmAvoided) {
+  // §7 ex1: `if false { while (h < x) h++ }` — untypeable by security type
+  // systems, but the trail abstraction + abstract interpreter prove it.
+  CfgFunction F = compile(R"(
+    fn ex1(public x: int, secret h: int) {
+      if (false) {
+        while (h < x) { h = h + 1; }
+      }
+    }
+  )");
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  BlazerResult R = analyzeFunction(F, Opt);
+  EXPECT_EQ(R.Verdict, VerdictKind::Safe);
+}
+
+TEST(Driver, RelatedWorkEx2CompensatingBranches) {
+  // §7 ex2: two secret branches whose costs compensate. Each trail is
+  // constant-time within epsilon, so the decomposition proves it.
+  CfgFunction F = compile(R"(
+    fn ex2(public x: int, secret h: int) {
+      var t: int = 0;
+      if (h > x) { t = t + 1; } else { t = t + 1; t = t + 1; }
+      if (h <= x) { t = t + 1; } else { t = t + 1; t = t + 1; }
+    }
+  )");
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  BlazerResult R = analyzeFunction(F, Opt);
+  EXPECT_EQ(R.Verdict, VerdictKind::Safe);
+}
+
+} // namespace

@@ -1,0 +1,376 @@
+//===- BoundAnalysisTest.cpp - Tests for BOUNDANALYSIS ----------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bounds/BoundAnalysis.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+TrailBoundResult boundsOf(const CfgFunction &F) {
+  BoundAnalysis BA(F);
+  return BA.analyzeTrail(BA.mostGeneralTrail());
+}
+
+/// Evaluates a bound under the given symbol values.
+int64_t evalAt(const Bound &B, std::map<std::string, int64_t> Env) {
+  return B.evaluate(Env);
+}
+
+TEST(BoundAnalysis, StraightLineIsExact) {
+  CfgFunction F = compile("fn f(public x: int) { x = 1; x = x + 2; }");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible);
+  ASSERT_TRUE(R.hasUpper());
+  // Exact: Lo == Hi == the concrete cost of the only trace.
+  InputAssignment In;
+  int64_t Actual = runFunction(F, In).Cost;
+  EXPECT_EQ(evalAt(R.Lo, {}), Actual);
+  EXPECT_EQ(evalAt(*R.Hi, {}), Actual);
+}
+
+TEST(BoundAnalysis, BranchGivesRange) {
+  CfgFunction F = compile(R"(
+    fn f(public x: int) {
+      if (x > 0) { x = 1; x = 2; x = 3; } else { skip; }
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible && R.hasUpper());
+  int64_t Lo = evalAt(R.Lo, {});
+  int64_t Hi = evalAt(*R.Hi, {});
+  EXPECT_LT(Lo, Hi);
+  // The concrete costs of both paths lie within.
+  InputAssignment Pos, Neg;
+  Pos.Ints["x"] = 5;
+  Neg.Ints["x"] = -5;
+  EXPECT_LE(Lo, runFunction(F, Neg).Cost);
+  EXPECT_GE(Hi, runFunction(F, Pos).Cost);
+}
+
+//===----------------------------------------------------------------------===//
+// Trip-count lemmas
+//===----------------------------------------------------------------------===//
+
+/// The canonical loop shapes the lemma database must handle. Each case
+/// checks the symbolic bounds against the interpreter over a grid.
+struct LoopCase {
+  const char *Name;
+  const char *Src;
+  /// Whether the analysis should find matching (exact) lower/upper bounds.
+  bool ExactExpected;
+};
+
+class LoopLemmas : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(LoopLemmas, SymbolicBoundsContainConcreteCosts) {
+  CfgFunction F = compile(GetParam().Src);
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible);
+  ASSERT_TRUE(R.hasUpper()) << R.Note;
+
+  for (int64_t N : {0, 1, 2, 5, 17}) {
+    InputAssignment In;
+    In.Ints["n"] = N;
+    TraceResult TR = runFunction(F, In);
+    ASSERT_TRUE(TR.Ok) << TR.Error;
+    std::map<std::string, int64_t> Env{{"n", N}};
+    EXPECT_LE(evalAt(R.Lo, Env), TR.Cost)
+        << GetParam().Name << " n=" << N << " bounds " << R.str();
+    EXPECT_GE(evalAt(*R.Hi, Env), TR.Cost)
+        << GetParam().Name << " n=" << N << " bounds " << R.str();
+    if (GetParam().ExactExpected && N >= 0) {
+      EXPECT_EQ(evalAt(R.Lo, Env), TR.Cost) << GetParam().Name;
+      EXPECT_EQ(evalAt(*R.Hi, Env), TR.Cost) << GetParam().Name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LoopLemmas,
+    ::testing::Values(
+        LoopCase{"IncLt",
+                 "fn f(public n: int) { var i: int = 0;"
+                 " while (i < n) { i = i + 1; } }",
+                 true},
+        LoopCase{"IncLe",
+                 "fn f(public n: int) { var i: int = 1;"
+                 " while (i <= n) { i = i + 1; } }",
+                 true},
+        LoopCase{"DecGt",
+                 "fn f(public n: int) { var i: int = n;"
+                 " while (i > 0) { i = i - 1; } }",
+                 true},
+        LoopCase{"DecGe",
+                 "fn f(public n: int) { var i: int = n;"
+                 " while (i >= 1) { i = i - 1; } }",
+                 true},
+        LoopCase{"IncByTwo",
+                 "fn f(public n: int) { var i: int = 0;"
+                 " while (i < n) { i = i + 2; } }",
+                 false},
+        LoopCase{"ReversedOperands",
+                 "fn f(public n: int) { var i: int = 0;"
+                 " while (n > i) { i = i + 1; } }",
+                 true},
+        LoopCase{"OffsetBound",
+                 // Not exact: the trip polynomial n - 1 dips below zero at
+                 // n = 0, where the max(0, .)-clamped bound takes over.
+                 "fn f(public n: int) { var i: int = 0;"
+                 " while (i < n - 1) { i = i + 1; } }",
+                 false},
+        LoopCase{"ConstantTrip",
+                 "fn f(public n: int) { var i: int = 0;"
+                 " while (i < 16) { i = i + 1; } }",
+                 true},
+        LoopCase{"DisequalityUp",
+                 // The Ne lemma: unit progress toward zero from below.
+                 "fn f(public n: int) { var i: int = 0;"
+                 " if (n >= 0) { while (i != n) { i = i + 1; } } }",
+                 false},
+        LoopCase{"DisequalityDown",
+                 "fn f(public n: int) {"
+                 " if (n >= 0) { var i: int = n;"
+                 "   while (i != 0) { i = i - 1; } } }",
+                 false}),
+    [](const ::testing::TestParamInfo<LoopCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(BoundAnalysis, ArrayLengthBound) {
+  CfgFunction F = compile(R"(
+    fn f(public a: int[]) {
+      var i: int = 0;
+      while (i < a.length) { i = i + 1; }
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible && R.hasUpper()) << R.Note;
+  // The bound must be symbolic in a.len.
+  std::vector<std::string> Vars = R.Hi->variables();
+  EXPECT_EQ(Vars, std::vector<std::string>{"a.len"});
+  for (size_t Len : {0u, 1u, 4u}) {
+    InputAssignment In;
+    In.Arrays["a"] = std::vector<int64_t>(Len, 1);
+    int64_t Cost = runFunction(F, In).Cost;
+    std::map<std::string, int64_t> Env{
+        {"a.len", static_cast<int64_t>(Len)}};
+    EXPECT_EQ(evalAt(R.Lo, Env), Cost);
+    EXPECT_EQ(evalAt(*R.Hi, Env), Cost);
+  }
+}
+
+TEST(BoundAnalysis, NestedLoopsMultiply) {
+  CfgFunction F = compile(R"(
+    fn f(public n: int) {
+      var i: int = 0;
+      while (i < n) {
+        var j: int = 0;
+        while (j < n) { j = j + 1; }
+        i = i + 1;
+      }
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible && R.hasUpper()) << R.Note;
+  EXPECT_EQ(R.Hi->degree(), 2u);
+  for (int64_t N : {0, 1, 3, 6}) {
+    InputAssignment In;
+    In.Ints["n"] = N;
+    int64_t Cost = runFunction(F, In).Cost;
+    std::map<std::string, int64_t> Env{{"n", N}};
+    EXPECT_LE(evalAt(R.Lo, Env), Cost);
+    EXPECT_GE(evalAt(*R.Hi, Env), Cost);
+  }
+}
+
+TEST(BoundAnalysis, EarlyExitLoopKeepsLowerConstant) {
+  CfgFunction F = compile(R"(
+    fn f(public a: int[]) -> bool {
+      var i: int = 0;
+      while (i < a.length) {
+        if (a[i] == 0) { return true; }
+        i = i + 1;
+      }
+      return false;
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible && R.hasUpper()) << R.Note;
+  // The lower bound cannot scale with a.len (early exit possible).
+  EXPECT_EQ(R.Lo.minDegree(), 0u);
+  EXPECT_EQ(R.Hi->degree(), 1u);
+  // Soundness: both the instant-exit and full-scan costs are contained.
+  InputAssignment Instant;
+  Instant.Arrays["a"] = {0, 1, 1, 1};
+  InputAssignment Full;
+  Full.Arrays["a"] = {1, 1, 1, 1};
+  std::map<std::string, int64_t> Env{{"a.len", 4}};
+  EXPECT_LE(evalAt(R.Lo, Env), runFunction(F, Instant).Cost);
+  EXPECT_GE(evalAt(*R.Hi, Env), runFunction(F, Full).Cost);
+}
+
+TEST(BoundAnalysis, UnknownTripCountReportsNoUpper) {
+  // t = t / 2 is not a constant-delta update: no lemma applies.
+  CfgFunction F = compile(R"(
+    fn f(public n: int) {
+      var t: int = n;
+      while (t > 1) { t = t / 2; }
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_FALSE(R.hasUpper());
+  EXPECT_FALSE(R.Note.empty());
+}
+
+TEST(BoundAnalysis, NonMonotoneGuardReportsNoUpper) {
+  CfgFunction F = compile(R"(
+    fn f(public n: int) {
+      var i: int = 0;
+      while (i < n) { i = i - 1; }
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_FALSE(R.hasUpper());
+}
+
+TEST(BoundAnalysis, BuiltinSummariesEnterBounds) {
+  CfgFunction F = compile(R"(
+    fn f(public n: int, public m: int) {
+      var i: int = 0;
+      var s: int = 1;
+      while (i < n) { s = mulmod(s, s, m); i = i + 1; }
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible && R.hasUpper()) << R.Note;
+  // Per-iteration cost must include the 97-unit mulmod summary.
+  std::map<std::string, int64_t> E0{{"n", 0}};
+  std::map<std::string, int64_t> E1{{"n", 1}};
+  EXPECT_GE(evalAt(*R.Hi, E1) - evalAt(*R.Hi, E0), 97);
+}
+
+TEST(BoundAnalysis, InfeasibleTrailReported) {
+  CfgFunction F = compile("fn f(public x: int) { x = 1; }");
+  BoundAnalysis BA(F);
+  TrailBoundResult R = BA.analyzeTrail(
+      Dfa::emptyLanguage(static_cast<int>(BA.alphabet().size())));
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_EQ(R.str(), "<infeasible>");
+}
+
+TEST(BoundAnalysis, AbstractlyInfeasiblePathsArePruned) {
+  // The `if false` example from §7: a secret loop behind a false guard.
+  CfgFunction F = compile(R"(
+    fn f(public x: int, secret h: int) {
+      if (false) {
+        while (h < x) { h = h + 1; }
+      }
+    }
+  )");
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible);
+  ASSERT_TRUE(R.hasUpper()) << R.Note;
+  EXPECT_TRUE(R.Hi->isConstant());
+}
+
+TEST(BoundAnalysis, TrailRestrictionTightensBounds) {
+  CfgFunction F = compile(R"(
+    fn f(public x: int) {
+      if (x > 0) { x = 1; x = 2; x = 3; x = 4; } else { skip; }
+    }
+  )");
+  BoundAnalysis BA(F);
+  TrailBoundResult Full = BA.analyzeTrail(BA.mostGeneralTrail());
+  // Restrict to the then-side only.
+  const BasicBlock &Entry = F.block(F.Entry);
+  int FalseSym = BA.alphabet().symbol(Edge{F.Entry, Entry.FalseSucc});
+  Dfa ThenOnly = BA.mostGeneralTrail().intersect(Dfa::avoidsSymbol(
+      static_cast<int>(BA.alphabet().size()), FalseSym));
+  TrailBoundResult Then = BA.analyzeTrail(ThenOnly);
+  ASSERT_TRUE(Then.Feasible && Then.hasUpper());
+  // The restricted trail has an exact cost; the full trail straddles it.
+  EXPECT_EQ(evalAt(Then.Lo, {}), evalAt(*Then.Hi, {}));
+  EXPECT_LT(evalAt(Full.Lo, {}), evalAt(Then.Lo, {}));
+  EXPECT_EQ(evalAt(*Full.Hi, {}), evalAt(*Then.Hi, {}));
+}
+
+TEST(BoundAnalysis, RotatedLoopFromContainsTrail) {
+  // Restricting to "loop entered at least once" unrolls the first
+  // iteration in the product; the counting node is found mid-SCC.
+  CfgFunction F = compile(R"(
+    fn f(public n: int) {
+      var i: int = 0;
+      while (i < n) { i = i + 1; }
+    }
+  )");
+  BoundAnalysis BA(F);
+  int Header = -1;
+  for (const BasicBlock &B : F.Blocks)
+    if (B.Term == BasicBlock::TermKind::Branch)
+      Header = B.Id;
+  int BodySym =
+      BA.alphabet().symbol(Edge{Header, F.block(Header).TrueSucc});
+  Dfa Trail = BA.mostGeneralTrail().intersect(Dfa::containsSymbol(
+      static_cast<int>(BA.alphabet().size()), BodySym));
+  TrailBoundResult R = BA.analyzeTrail(Trail);
+  ASSERT_TRUE(R.Feasible);
+  ASSERT_TRUE(R.hasUpper()) << R.Note;
+  // Soundness on a concrete run that enters the loop.
+  InputAssignment In;
+  In.Ints["n"] = 7;
+  int64_t Cost = runFunction(F, In).Cost;
+  std::map<std::string, int64_t> Env{{"n", 7}};
+  EXPECT_LE(R.Lo.evaluate(Env), Cost);
+  EXPECT_GE(R.Hi->evaluate(Env), Cost);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized soundness sweep: bounds always contain the interpreter's cost.
+//===----------------------------------------------------------------------===//
+
+class BoundSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundSoundness, MostGeneralBoundsContainAllRuns) {
+  // A family of programs with branch+loop mixtures, indexed by seed.
+  int Seed = GetParam();
+  std::string Guard = (Seed % 2) ? "i < n" : "n > i";
+  std::string Step = (Seed % 3 == 0) ? "i + 1" : "i + 1";
+  std::string Extra = (Seed % 2) ? "if (x > 2) { x = x + 1; } else { skip; }"
+                                 : "skip;";
+  std::string Src = "fn f(public n: int, public x: int) {\n"
+                    "  var i: int = 0;\n" +
+                    Extra + "\n  while (" + Guard + ") { i = " + Step +
+                    "; }\n}";
+  CfgFunction F = compile(Src);
+  TrailBoundResult R = boundsOf(F);
+  ASSERT_TRUE(R.Feasible && R.hasUpper()) << R.Note;
+  for (int64_t N : {0, 1, 5})
+    for (int64_t X : {0, 5}) {
+      InputAssignment In;
+      In.Ints["n"] = N;
+      In.Ints["x"] = X;
+      int64_t Cost = runFunction(F, In).Cost;
+      std::map<std::string, int64_t> Env{{"n", N}, {"x", X}};
+      EXPECT_LE(R.Lo.evaluate(Env), Cost) << Src;
+      EXPECT_GE(R.Hi->evaluate(Env), Cost) << Src;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundSoundness, ::testing::Range(0, 6));
+
+} // namespace

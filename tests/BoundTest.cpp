@@ -1,0 +1,199 @@
+//===- BoundTest.cpp - Unit/property tests for Bound/BoundRange ------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bound.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CostPoly var(const std::string &N) { return CostPoly::variable(N); }
+CostPoly c(int64_t V) { return CostPoly::constant(V); }
+
+TEST(Bound, SingletonStr) {
+  EXPECT_EQ(Bound::upper(var("n") * 23 + c(10)).str(), "23*n + 10");
+  EXPECT_EQ(Bound::lower(c(8)).str(), "8");
+}
+
+TEST(Bound, MaxMergeKeepsIncomparableMembers) {
+  Bound B = Bound::upper(var("g"));
+  B.merge(Bound::upper(var("p")));
+  EXPECT_EQ(B.polys().size(), 2u);
+  std::string S = B.str();
+  EXPECT_NE(S.find("max("), std::string::npos);
+}
+
+TEST(Bound, MaxMergePrunesDominated) {
+  // 2*a.len + 5 dominates a.len + 1: lengths are non-negative.
+  Bound B = Bound::upper(var("a.len") + c(1));
+  B.merge(Bound::upper(var("a.len") * 2 + c(5)));
+  EXPECT_EQ(B.polys().size(), 1u);
+  EXPECT_EQ(B.str(), "2*a.len + 5");
+}
+
+TEST(Bound, MinMergePrunesDominated) {
+  Bound B = Bound::lower(var("a.len") + c(1));
+  B.merge(Bound::lower(var("a.len") * 2 + c(5)));
+  EXPECT_EQ(B.polys().size(), 1u);
+  EXPECT_EQ(B.str(), "a.len + 1");
+}
+
+TEST(Bound, NoPruningOverPossiblyNegativeVariables) {
+  // "n" is an integer parameter: 2n + 5 does NOT dominate n + 1 at n = -10,
+  // so both members must survive.
+  Bound B = Bound::upper(var("n") + c(1));
+  B.merge(Bound::upper(var("n") * 2 + c(5)));
+  EXPECT_EQ(B.polys().size(), 2u);
+  std::map<std::string, int64_t> E{{"n", -10}};
+  EXPECT_EQ(B.evaluate(E), -9);
+}
+
+TEST(Bound, ConstantDominancePrunesRegardlessOfVariables) {
+  // n + 5 >= n + 1 holds for every n: constant-difference pruning is safe.
+  Bound B = Bound::upper(var("n") + c(1));
+  B.merge(Bound::upper(var("n") + c(5)));
+  EXPECT_EQ(B.polys().size(), 1u);
+  EXPECT_EQ(B.str(), "n + 5");
+}
+
+TEST(Bound, EvaluateTakesExtremes) {
+  Bound Hi = Bound::upper(var("g"));
+  Hi.merge(Bound::upper(var("p")));
+  std::map<std::string, int64_t> A{{"g", 3}, {"p", 9}};
+  EXPECT_EQ(Hi.evaluate(A), 9);
+
+  Bound Lo = Bound::lower(var("g"));
+  Lo.merge(Bound::lower(var("p")));
+  EXPECT_EQ(Lo.evaluate(A), 3);
+}
+
+TEST(Bound, AdditionIsCrossProduct) {
+  Bound A = Bound::upper(var("x"));
+  A.merge(Bound::upper(var("y")));
+  Bound B = Bound::upper(c(1));
+  Bound Sum = A + B;
+  std::map<std::string, int64_t> E{{"x", 10}, {"y", 2}};
+  EXPECT_EQ(Sum.evaluate(E), 11);
+}
+
+TEST(Bound, MultiplyByPoly) {
+  Bound B = Bound::upper(var("n") + c(1)) * var("m");
+  std::map<std::string, int64_t> E{{"n", 3}, {"m", 5}};
+  EXPECT_EQ(B.evaluate(E), 20);
+}
+
+TEST(Bound, DegreeMinAndMax) {
+  Bound B = Bound::lower(c(20));
+  B.merge(Bound::lower(var("h") * 8 + c(11)));
+  EXPECT_EQ(B.degree(), 1u);
+  EXPECT_EQ(B.minDegree(), 0u);
+}
+
+TEST(Bound, EqualsUpToConstantAccepts) {
+  Bound A = Bound::upper(var("n") * 20 + c(8));
+  Bound B = Bound::upper(var("n") * 20 + c(12));
+  EXPECT_TRUE(A.equalsUpToConstant(B, 4));
+  EXPECT_FALSE(A.equalsUpToConstant(B, 3));
+}
+
+TEST(Bound, EqualsUpToConstantRejectsDifferentShape) {
+  Bound A = Bound::upper(var("n") * 20 + c(8));
+  Bound B = Bound::upper(var("p") * 20 + c(8));
+  EXPECT_FALSE(A.equalsUpToConstant(B, 1000000));
+}
+
+TEST(Bound, EqualsUpToConstantNeedsBothDirections) {
+  Bound A = Bound::upper(var("n"));
+  Bound B = Bound::upper(var("n"));
+  B.merge(Bound::upper(var("p")));
+  // Every member of A is matched in B, but B's "p" member has no partner.
+  EXPECT_FALSE(A.equalsUpToConstant(B, 10));
+}
+
+TEST(BoundRange, ExactAndStr) {
+  BoundRange R = BoundRange::exact(8);
+  EXPECT_EQ(R.str(), "[8, 8]");
+  BoundRange P = BoundRange::exactPoly(var("g") * 21);
+  EXPECT_EQ(P.str(), "[21*g, 21*g]");
+}
+
+TEST(BoundRange, SumAddsBothEnds) {
+  BoundRange R = BoundRange::exact(3) + BoundRange::exact(4);
+  EXPECT_EQ(R.str(), "[7, 7]");
+}
+
+TEST(BoundRange, MergeUnionWidens) {
+  BoundRange R = BoundRange::exact(8);
+  R.mergeUnion(BoundRange::exactPoly(var("g") * 23 + c(10)));
+  std::map<std::string, int64_t> E{{"g", 100}};
+  EXPECT_EQ(R.Lo.evaluate(E), 8);
+  EXPECT_EQ(R.Hi.evaluate(E), 2310);
+}
+
+TEST(BoundRange, ScaleByTripsUsesMinAndMaxTrips) {
+  // Body cost in [2, 5], trips in [n, n+1].
+  BoundRange Body(Bound::lower(c(2)), Bound::upper(c(5)));
+  BoundRange Trips(Bound::lower(var("n")), Bound::upper(var("n") + c(1)));
+  BoundRange Total = Body.scaleByTrips(Trips);
+  std::map<std::string, int64_t> E{{"n", 10}};
+  EXPECT_EQ(Total.Lo.evaluate(E), 20);
+  EXPECT_EQ(Total.Hi.evaluate(E), 55);
+}
+
+TEST(BoundRange, VariablesCollectsBothEnds) {
+  BoundRange R(Bound::lower(var("a")), Bound::upper(var("b") + var("a")));
+  EXPECT_EQ(R.variables(), (std::vector<std::string>{"a", "b"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: Bound evaluation always bounds its members' evaluations.
+//===----------------------------------------------------------------------===//
+
+class BoundEnvelope : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundEnvelope, MaxEnvelopeDominatesEveryMember) {
+  int Seed = GetParam();
+  Bound B = Bound::upper(var("x") * (Seed % 5) + c(Seed % 17));
+  B.merge(Bound::upper(var("y") * ((Seed + 3) % 4) + c(Seed % 7)));
+  B.merge(Bound::upper(c(Seed % 29)));
+  std::map<std::string, int64_t> E{{"x", (Seed * 7) % 13},
+                                   {"y", (Seed * 11) % 9}};
+  int64_t Env = B.evaluate(E);
+  for (const CostPoly &P : B.polys())
+    EXPECT_GE(Env, P.evaluate(E));
+}
+
+TEST_P(BoundEnvelope, MinEnvelopeIsBelowEveryMember) {
+  int Seed = GetParam();
+  Bound B = Bound::lower(var("x") * (Seed % 5) + c(Seed % 17));
+  B.merge(Bound::lower(var("y") * ((Seed + 3) % 4) + c(Seed % 7)));
+  std::map<std::string, int64_t> E{{"x", (Seed * 7) % 13},
+                                   {"y", (Seed * 11) % 9}};
+  int64_t Env = B.evaluate(E);
+  for (const CostPoly &P : B.polys())
+    EXPECT_LE(Env, P.evaluate(E));
+}
+
+TEST_P(BoundEnvelope, MergePreservesEnvelopeSemantics) {
+  // Pruning members must not change the pointwise max over the
+  // non-negative box (checked at a few sample points).
+  int Seed = GetParam();
+  CostPoly P1 = var("x") * (Seed % 4) + c(Seed % 23);
+  CostPoly P2 = var("x") * ((Seed + 1) % 4) + c((Seed * 3) % 23);
+  Bound Pruned = Bound::upper(P1);
+  Pruned.merge(Bound::upper(P2));
+  for (int64_t X : {0, 1, 5, 100}) {
+    std::map<std::string, int64_t> E{{"x", X}};
+    int64_t Expected = std::max(P1.evaluate(E), P2.evaluate(E));
+    EXPECT_EQ(Pruned.evaluate(E), Expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundEnvelope, ::testing::Range(0, 20));
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- CfgTest.cpp - Tests for CFG lowering and the cost model -------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Cfg.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+TEST(Cfg, StraightLineLowersToEntryPlusExit) {
+  CfgFunction F = compile("fn f(public x: int) { x = 1; x = 2; }");
+  // Entry block with both assignments + implicit return, plus the exit.
+  EXPECT_EQ(F.blockCount(), 2u);
+  EXPECT_EQ(F.block(F.Entry).Instrs.size(), 2u);
+  EXPECT_EQ(F.block(F.Entry).Term, BasicBlock::TermKind::Return);
+  EXPECT_EQ(F.block(F.Exit).Term, BasicBlock::TermKind::Exit);
+}
+
+TEST(Cfg, IfLowersToDiamond) {
+  CfgFunction F = compile(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } x = 3; }");
+  const BasicBlock &Entry = F.block(F.Entry);
+  ASSERT_EQ(Entry.Term, BasicBlock::TermKind::Branch);
+  EXPECT_NE(Entry.TrueSucc, Entry.FalseSucc);
+  // Both arms must reach a common join.
+  const BasicBlock &T = F.block(Entry.TrueSucc);
+  const BasicBlock &E = F.block(Entry.FalseSucc);
+  ASSERT_EQ(T.Term, BasicBlock::TermKind::Jump);
+  ASSERT_EQ(E.Term, BasicBlock::TermKind::Jump);
+  EXPECT_EQ(T.TrueSucc, E.TrueSucc);
+}
+
+TEST(Cfg, WhileLowersToHeaderBodyBackedge) {
+  CfgFunction F = compile(
+      "fn f(public n: int) { var i: int = 0; while (i < n) { i = i + 1; } }");
+  // Find the branch block (loop header).
+  const BasicBlock *Header = nullptr;
+  for (const BasicBlock &B : F.Blocks)
+    if (B.Term == BasicBlock::TermKind::Branch)
+      Header = &B;
+  ASSERT_NE(Header, nullptr);
+  // The body jumps back to the header.
+  const BasicBlock &Body = F.block(Header->TrueSucc);
+  EXPECT_EQ(Body.Term, BasicBlock::TermKind::Jump);
+  EXPECT_EQ(Body.TrueSucc, Header->Id);
+}
+
+TEST(Cfg, ReturnEdgesTargetExit) {
+  CfgFunction F = compile(
+      "fn f(public x: int) -> int { if (x > 0) { return 1; } return 2; }");
+  int Returns = 0;
+  for (const BasicBlock &B : F.Blocks)
+    if (B.Term == BasicBlock::TermKind::Return) {
+      ++Returns;
+      EXPECT_EQ(B.TrueSucc, F.Exit);
+    }
+  EXPECT_EQ(Returns, 2);
+}
+
+TEST(Cfg, UnreachableCodeIsPruned) {
+  CfgFunction F = compile(
+      "fn f() -> int { return 1; skip; skip; skip; }");
+  // Just entry (with return) and exit survive.
+  EXPECT_EQ(F.blockCount(), 2u);
+}
+
+TEST(Cfg, EdgesAreSortedUnique) {
+  CfgFunction F = compile(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  std::vector<Edge> Es = F.edges();
+  for (size_t I = 1; I < Es.size(); ++I)
+    EXPECT_TRUE(Es[I - 1] < Es[I]);
+}
+
+TEST(Cfg, PredecessorsMatchSuccessors) {
+  CfgFunction F = compile(
+      "fn f(public n: int) { var i: int = 0; while (i < n) { i = i + 1; } }");
+  auto Preds = F.predecessors();
+  size_t EdgeCount = 0;
+  for (const BasicBlock &B : F.Blocks)
+    EdgeCount += B.successors().size();
+  size_t PredCount = 0;
+  for (const auto &P : Preds)
+    PredCount += P.size();
+  EXPECT_EQ(EdgeCount, PredCount);
+  for (const BasicBlock &B : F.Blocks)
+    for (int S : B.successors()) {
+      const auto &Ps = Preds[S];
+      EXPECT_NE(std::find(Ps.begin(), Ps.end(), B.Id), Ps.end());
+    }
+}
+
+TEST(Cfg, ParamLevelLookup) {
+  CfgFunction F = compile("fn f(public a: int, secret b: int) { }");
+  EXPECT_EQ(F.paramLevel("a"), SecurityLevel::Public);
+  EXPECT_EQ(F.paramLevel("b"), SecurityLevel::Secret);
+  EXPECT_EQ(F.paramLevel("nonparam"), SecurityLevel::Public);
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-model costs (§5: "each bytecode instruction ... a single unit")
+//===----------------------------------------------------------------------===//
+
+TEST(CfgCost, SimpleAssignCost) {
+  CfgFunction F = compile("fn f(public x: int) { x = 1; }");
+  const Instr &I = F.block(F.Entry).Instrs[0];
+  // Store (1) + literal push (1).
+  EXPECT_EQ(F.instrCost(I), 2);
+}
+
+TEST(CfgCost, ExpressionCostCountsOperations) {
+  CfgFunction F = compile("fn f(public x: int, public a: int[]) "
+                          "{ x = a[x + 1] * 2; }");
+  const Instr &I = F.block(F.Entry).Instrs[0];
+  // store1 + mul1 + lit1 + arrayload2 + add1 + var1 + lit1 = 8.
+  EXPECT_EQ(F.instrCost(I), 8);
+}
+
+TEST(CfgCost, BuiltinChargesSummary) {
+  CfgFunction F = compile("fn f(public x: int) { x = md5(x); }");
+  const Instr &I = F.block(F.Entry).Instrs[0];
+  // store1 + call(1 + 860) + arg1.
+  EXPECT_EQ(F.instrCost(I), 863);
+}
+
+TEST(CfgCost, BranchTerminatorCost) {
+  CfgFunction F = compile("fn f(public x: int) { if (x > 0) { skip; } }");
+  const BasicBlock &Entry = F.block(F.Entry);
+  // branch1 + cmp1 + var1 + lit1.
+  EXPECT_EQ(F.termCost(Entry), 4);
+}
+
+TEST(CfgCost, JumpAndExitAreFree) {
+  CfgFunction F = compile(
+      "fn f(public n: int) { var i: int = 0; while (i < n) { i = i + 1; } }");
+  for (const BasicBlock &B : F.Blocks) {
+    if (B.Term == BasicBlock::TermKind::Jump ||
+        B.Term == BasicBlock::TermKind::Exit) {
+      EXPECT_EQ(F.termCost(B), 0);
+    }
+  }
+}
+
+TEST(CfgCost, BlockCostSumsInstrsAndTerminator) {
+  CfgFunction F = compile("fn f(public x: int) { x = 1; x = x + 2; }");
+  const BasicBlock &Entry = F.block(F.Entry);
+  int64_t Sum = F.termCost(Entry);
+  for (const Instr &I : Entry.Instrs)
+    Sum += F.instrCost(I);
+  EXPECT_EQ(F.blockCost(Entry), Sum);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+TEST(CfgPrint, StrMentionsEveryBlock) {
+  CfgFunction F = compile(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  std::string S = F.str();
+  for (const BasicBlock &B : F.Blocks)
+    EXPECT_NE(S.find("bb" + std::to_string(B.Id)), std::string::npos);
+}
+
+TEST(CfgPrint, DotIsWellFormed) {
+  CfgFunction F = compile("fn f(public x: int) { if (x > 0) { x = 1; } }");
+  std::string Dot = F.toDot();
+  EXPECT_EQ(Dot.rfind("digraph", 0), 0u);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  EXPECT_EQ(Dot.back(), '\n');
+}
+
+TEST(Cfg, CompileFunctionByName) {
+  auto F = compileFunction("fn a() { } fn b(public x: int) { x = 1; }", "b",
+                           BuiltinRegistry::standard());
+  ASSERT_TRUE(static_cast<bool>(F));
+  EXPECT_EQ(F->Name, "b");
+  auto Missing = compileFunction("fn a() { }", "zz",
+                                 BuiltinRegistry::standard());
+  EXPECT_FALSE(static_cast<bool>(Missing));
+}
+
+TEST(Cfg, CompileSingleRejectsMultiple) {
+  auto F = compileSingleFunction("fn a() { } fn b() { }",
+                                 BuiltinRegistry::standard());
+  EXPECT_FALSE(static_cast<bool>(F));
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- CostPolyTest.cpp - Unit/property tests for CostPoly -----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CostPoly.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CostPoly var(const std::string &N) { return CostPoly::variable(N); }
+CostPoly c(int64_t V) { return CostPoly::constant(V); }
+
+TEST(CostPoly, ZeroIsConstantAndZero) {
+  CostPoly P;
+  EXPECT_TRUE(P.isZero());
+  EXPECT_TRUE(P.isConstant());
+  EXPECT_EQ(P.constantTerm(), 0);
+  EXPECT_EQ(P.degree(), 0u);
+  EXPECT_EQ(P.str(), "0");
+}
+
+TEST(CostPoly, ConstantRoundTrip) {
+  EXPECT_EQ(c(42).constantTerm(), 42);
+  EXPECT_TRUE(c(42).isConstant());
+  EXPECT_FALSE(c(42).isZero());
+  EXPECT_TRUE(c(0).isZero());
+}
+
+TEST(CostPoly, VariableBasics) {
+  CostPoly X = var("x");
+  EXPECT_FALSE(X.isConstant());
+  EXPECT_EQ(X.degree(), 1u);
+  EXPECT_EQ(X.variables(), std::vector<std::string>{"x"});
+  EXPECT_EQ(X.str(), "x");
+}
+
+TEST(CostPoly, AdditionMergesTerms) {
+  CostPoly P = var("x") + var("x") + c(3);
+  EXPECT_EQ(P.coefficient({"x"}), 2);
+  EXPECT_EQ(P.constantTerm(), 3);
+  EXPECT_EQ(P.str(), "2*x + 3");
+}
+
+TEST(CostPoly, SubtractionCancelsToZero) {
+  CostPoly P = var("x") * 3 + c(1);
+  CostPoly D = P - P;
+  EXPECT_TRUE(D.isZero());
+}
+
+TEST(CostPoly, MultiplicationDegrees) {
+  CostPoly P = (var("x") + c(1)) * (var("y") + c(2));
+  EXPECT_EQ(P.degree(), 2u);
+  EXPECT_EQ(P.coefficient({"x", "y"}), 1);
+  EXPECT_EQ(P.coefficient({"x"}), 2);
+  EXPECT_EQ(P.coefficient({"y"}), 1);
+  EXPECT_EQ(P.constantTerm(), 2);
+}
+
+TEST(CostPoly, MonomialOrderIsCanonical) {
+  // x*y and y*x are the same monomial.
+  CostPoly A = var("x") * var("y");
+  CostPoly B = var("y") * var("x");
+  EXPECT_EQ(A, B);
+}
+
+TEST(CostPoly, ScalarMultiplication) {
+  CostPoly P = (var("x") + c(2)) * 5;
+  EXPECT_EQ(P.coefficient({"x"}), 5);
+  EXPECT_EQ(P.constantTerm(), 10);
+  EXPECT_TRUE((P * 0).isZero());
+}
+
+TEST(CostPoly, SquareHasDegreeTwo) {
+  CostPoly P = var("x") * var("x");
+  EXPECT_EQ(P.degree(), 2u);
+  EXPECT_EQ(P.coefficient({"x", "x"}), 1);
+}
+
+TEST(CostPoly, EvaluateSubstitutes) {
+  CostPoly P = var("x") * 3 + var("y") * var("y") + c(7);
+  std::map<std::string, int64_t> A{{"x", 2}, {"y", 4}};
+  EXPECT_EQ(P.evaluate(A), 3 * 2 + 16 + 7);
+}
+
+TEST(CostPoly, EvaluateUsesDefaultForMissing) {
+  CostPoly P = var("x") + var("missing");
+  std::map<std::string, int64_t> A{{"x", 5}};
+  EXPECT_EQ(P.evaluate(A, /*Default=*/10), 15);
+  EXPECT_EQ(P.evaluate(A, /*Default=*/0), 5);
+}
+
+TEST(CostPoly, ConstantDifferenceDetected) {
+  CostPoly A = var("n") * 23 + c(10);
+  CostPoly B = var("n") * 23 + c(4);
+  auto D = A.constantDifference(B);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 6);
+}
+
+TEST(CostPoly, ConstantDifferenceRejectsDifferentSlopes) {
+  CostPoly A = var("n") * 23;
+  CostPoly B = var("n") * 19;
+  EXPECT_FALSE(A.constantDifference(B).has_value());
+}
+
+TEST(CostPoly, NonNegativeCoefficientCheck) {
+  EXPECT_TRUE((var("x") * 3 + c(-5)).hasNonNegativeVarCoefficients());
+  EXPECT_FALSE((var("x") * -1 + c(100)).hasNonNegativeVarCoefficients());
+}
+
+TEST(CostPoly, VariablesAreSortedUnique) {
+  CostPoly P = var("b") + var("a") * var("b") + var("a");
+  std::vector<std::string> V = P.variables();
+  EXPECT_EQ(V, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CostPoly, StrRendersNegativeLeading) {
+  CostPoly P = CostPoly() - var("x");
+  EXPECT_EQ(P.str(), "-x");
+}
+
+TEST(CostPoly, StrHigherDegreeFirst) {
+  CostPoly P = c(1) + var("x") * var("x") + var("x");
+  std::string S = P.str();
+  EXPECT_LT(S.find("x*x"), S.find("+ x"));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweeps: ring laws checked on a family of generated polynomials.
+//===----------------------------------------------------------------------===//
+
+class CostPolyRingLaws : public ::testing::TestWithParam<int> {
+protected:
+  /// Deterministic pseudo-random polynomial generator.
+  static CostPoly make(int Seed) {
+    CostPoly P;
+    uint32_t S = static_cast<uint32_t>(Seed) * 2654435761u + 12345u;
+    auto Next = [&S] {
+      S ^= S << 13;
+      S ^= S >> 17;
+      S ^= S << 5;
+      return S;
+    };
+    const char *Vars[] = {"x", "y", "z"};
+    int Terms = 1 + Next() % 4;
+    for (int T = 0; T < Terms; ++T) {
+      CostPoly Mono = CostPoly::constant(
+          static_cast<int64_t>(Next() % 11) - 5);
+      int Deg = Next() % 3;
+      for (int D = 0; D < Deg; ++D)
+        Mono = Mono * CostPoly::variable(Vars[Next() % 3]);
+      P += Mono;
+    }
+    return P;
+  }
+
+  static std::map<std::string, int64_t> assignment(int Seed) {
+    return {{"x", Seed % 5}, {"y", (Seed * 3) % 7}, {"z", (Seed * 5) % 4}};
+  }
+};
+
+TEST_P(CostPolyRingLaws, AdditionCommutes) {
+  CostPoly A = make(GetParam());
+  CostPoly B = make(GetParam() + 100);
+  EXPECT_EQ(A + B, B + A);
+}
+
+TEST_P(CostPolyRingLaws, MultiplicationCommutes) {
+  CostPoly A = make(GetParam());
+  CostPoly B = make(GetParam() + 100);
+  EXPECT_EQ(A * B, B * A);
+}
+
+TEST_P(CostPolyRingLaws, DistributesOverAddition) {
+  CostPoly A = make(GetParam());
+  CostPoly B = make(GetParam() + 100);
+  CostPoly C = make(GetParam() + 200);
+  EXPECT_EQ(A * (B + C), A * B + A * C);
+}
+
+TEST_P(CostPolyRingLaws, EvaluationIsHomomorphic) {
+  CostPoly A = make(GetParam());
+  CostPoly B = make(GetParam() + 100);
+  auto Env = assignment(GetParam());
+  EXPECT_EQ((A + B).evaluate(Env), A.evaluate(Env) + B.evaluate(Env));
+  EXPECT_EQ((A * B).evaluate(Env), A.evaluate(Env) * B.evaluate(Env));
+  EXPECT_EQ((A - B).evaluate(Env), A.evaluate(Env) - B.evaluate(Env));
+}
+
+TEST_P(CostPolyRingLaws, SubtractThenAddRoundTrips) {
+  CostPoly A = make(GetParam());
+  CostPoly B = make(GetParam() + 100);
+  EXPECT_EQ((A - B) + B, A);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostPolyRingLaws, ::testing::Range(0, 25));
+
+} // namespace

@@ -1,0 +1,256 @@
+//===- DbmTest.cpp - Tests for the zone (DBM) domain ------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Dbm.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+// Variable indices for a 3-variable zone.
+constexpr int X = 1, Y = 2, Z3 = 3;
+
+TEST(Dbm, TopHasNoConstraints) {
+  Dbm D = Dbm::top(3);
+  EXPECT_FALSE(D.isBottom());
+  EXPECT_EQ(D.bound(X, Y), Dbm::Inf);
+  EXPECT_FALSE(D.lowerOf(X).has_value());
+  EXPECT_FALSE(D.upperOfOpt(X).has_value());
+  EXPECT_EQ(D.str({"x", "y", "z"}), "<top>");
+}
+
+TEST(Dbm, BottomAbsorbsEverything) {
+  Dbm B = Dbm::bottom(3);
+  EXPECT_TRUE(B.isBottom());
+  B.addConstraint(X, 0, 5);
+  EXPECT_TRUE(B.isBottom());
+  Dbm T = Dbm::top(3);
+  T.meetWith(B);
+  EXPECT_TRUE(T.isBottom());
+}
+
+TEST(Dbm, AddConstraintAndReadBack) {
+  Dbm D = Dbm::top(3);
+  D.addConstraint(X, 0, 10);  // x <= 10
+  D.addConstraint(0, X, -2);  // x >= 2
+  EXPECT_EQ(*D.upperOfOpt(X), 10);
+  EXPECT_EQ(*D.lowerOf(X), 2);
+}
+
+TEST(Dbm, ClosurePropagatesTransitively) {
+  Dbm D = Dbm::top(3);
+  D.addConstraint(X, Y, 3);  // x - y <= 3
+  D.addConstraint(Y, Z3, 4); // y - z <= 4
+  EXPECT_EQ(D.bound(X, Z3), 7);
+}
+
+TEST(Dbm, ContradictionBecomesBottom) {
+  Dbm D = Dbm::top(2);
+  D.addConstraint(X, 0, 1);  // x <= 1
+  D.addConstraint(0, X, -5); // x >= 5
+  EXPECT_TRUE(D.isBottom());
+}
+
+TEST(Dbm, ExactDifferenceRequiresBothSides) {
+  Dbm D = Dbm::top(3);
+  D.addConstraint(X, Y, 4);
+  EXPECT_FALSE(D.exactDifference(X, Y).has_value());
+  D.addConstraint(Y, X, -4);
+  ASSERT_TRUE(D.exactDifference(X, Y).has_value());
+  EXPECT_EQ(*D.exactDifference(X, Y), 4);
+}
+
+TEST(Dbm, ForgetDropsOnlyThatVariable) {
+  Dbm D = Dbm::top(3);
+  D.addConstraint(X, Y, 1);
+  D.addConstraint(Y, X, -1); // x - y == 1
+  D.addConstraint(Y, 0, 5);  // y <= 5  =>  x <= 6 (via closure)
+  EXPECT_EQ(*D.upperOfOpt(X), 6);
+  D.forget(Y);
+  // Knowledge about x derived through y must survive (closure ran first).
+  EXPECT_EQ(*D.upperOfOpt(X), 6);
+  EXPECT_EQ(D.bound(X, Y), Dbm::Inf);
+}
+
+TEST(Dbm, AssignConstPins) {
+  Dbm D = Dbm::top(2);
+  D.assignConst(X, 7);
+  EXPECT_EQ(*D.lowerOf(X), 7);
+  EXPECT_EQ(*D.upperOfOpt(X), 7);
+}
+
+TEST(Dbm, AssignVarPlusRelates) {
+  Dbm D = Dbm::top(3);
+  D.assignConst(Y, 10);
+  D.assignVarPlus(X, Y, 5); // x := y + 5
+  EXPECT_EQ(*D.exactDifference(X, Y), 5);
+  EXPECT_EQ(*D.upperOfOpt(X), 15);
+}
+
+TEST(Dbm, SelfIncrementTranslates) {
+  Dbm D = Dbm::top(3);
+  D.assignConst(X, 3);
+  D.addConstraint(X, Y, 0); // x <= y
+  D.assignVarPlus(X, X, 2); // x := x + 2
+  EXPECT_EQ(*D.lowerOf(X), 5);
+  EXPECT_EQ(*D.upperOfOpt(X), 5);
+  EXPECT_EQ(D.bound(X, Y), 2); // x - y <= 2 now.
+}
+
+TEST(Dbm, SelfDecrement) {
+  Dbm D = Dbm::top(2);
+  D.assignConst(X, 3);
+  D.assignVarPlus(X, X, -1);
+  EXPECT_EQ(*D.upperOfOpt(X), 2);
+  EXPECT_EQ(*D.lowerOf(X), 2);
+}
+
+TEST(Dbm, AssignBoolUnknownGivesUnitRange) {
+  Dbm D = Dbm::top(2);
+  D.assignBoolUnknown(X);
+  EXPECT_EQ(*D.lowerOf(X), 0);
+  EXPECT_EQ(*D.upperOfOpt(X), 1);
+}
+
+TEST(Dbm, JoinIsPointwiseMax) {
+  Dbm A = Dbm::top(2);
+  A.assignConst(X, 1);
+  Dbm B = Dbm::top(2);
+  B.assignConst(X, 5);
+  A.joinWith(B);
+  EXPECT_EQ(*A.lowerOf(X), 1);
+  EXPECT_EQ(*A.upperOfOpt(X), 5);
+}
+
+TEST(Dbm, JoinWithBottomIsIdentity) {
+  Dbm A = Dbm::top(2);
+  A.assignConst(X, 1);
+  Dbm Saved = A;
+  A.joinWith(Dbm::bottom(2));
+  EXPECT_TRUE(A.equals(Saved));
+  Dbm B = Dbm::bottom(2);
+  B.joinWith(Saved);
+  EXPECT_TRUE(B.equals(Saved));
+}
+
+TEST(Dbm, MeetRefines) {
+  Dbm A = Dbm::top(2);
+  A.addConstraint(X, 0, 10);
+  Dbm B = Dbm::top(2);
+  B.addConstraint(0, X, -3);
+  A.meetWith(B);
+  EXPECT_EQ(*A.lowerOf(X), 3);
+  EXPECT_EQ(*A.upperOfOpt(X), 10);
+}
+
+TEST(Dbm, WideningDropsUnstableBounds) {
+  Dbm A = Dbm::top(2);
+  A.assignConst(X, 0);
+  Dbm B = Dbm::top(2);
+  B.addConstraint(X, 0, 1);  // x <= 1 (grew from 0)
+  B.addConstraint(0, X, 0);  // x >= 0 (stable)
+  A.widenWith(B);
+  EXPECT_EQ(A.bound(X, 0), Dbm::Inf); // Upper widened away.
+  EXPECT_EQ(*A.lowerOf(X), 0);        // Lower kept.
+}
+
+TEST(Dbm, LeqIsPartialOrder) {
+  Dbm Tight = Dbm::top(2);
+  Tight.assignConst(X, 5);
+  Dbm Loose = Dbm::top(2);
+  Loose.addConstraint(X, 0, 10);
+  EXPECT_TRUE(Tight.leq(Loose));
+  EXPECT_FALSE(Loose.leq(Tight));
+  EXPECT_TRUE(Dbm::bottom(2).leq(Tight));
+  EXPECT_FALSE(Tight.leq(Dbm::bottom(2)));
+  EXPECT_TRUE(Tight.leq(Tight));
+}
+
+TEST(Dbm, StrRendersConstraints) {
+  Dbm D = Dbm::top(2);
+  D.addConstraint(X, Y, 3);
+  std::string S = D.str({"x", "y"});
+  EXPECT_NE(S.find("x - y <= 3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice-law property sweeps
+//===----------------------------------------------------------------------===//
+
+class DbmLattice : public ::testing::TestWithParam<int> {
+protected:
+  static Dbm make(int Seed) {
+    Dbm D = Dbm::top(3);
+    uint32_t S = static_cast<uint32_t>(Seed) * 2654435761u + 17u;
+    auto Next = [&S] {
+      S ^= S << 13;
+      S ^= S >> 17;
+      S ^= S << 5;
+      return S;
+    };
+    int Ops = Next() % 5;
+    for (int I = 0; I < Ops; ++I) {
+      int A = Next() % 4;
+      int B = Next() % 4;
+      if (A == B)
+        continue;
+      D.addConstraint(A, B, static_cast<int64_t>(Next() % 21) - 5);
+      if (D.isBottom())
+        return Dbm::top(3); // Keep the samples non-trivial.
+    }
+    return D;
+  }
+};
+
+TEST_P(DbmLattice, JoinIsUpperBound) {
+  Dbm A = make(GetParam());
+  Dbm B = make(GetParam() + 57);
+  Dbm J = A;
+  J.joinWith(B);
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+}
+
+TEST_P(DbmLattice, MeetIsLowerBound) {
+  Dbm A = make(GetParam());
+  Dbm B = make(GetParam() + 57);
+  Dbm M = A;
+  M.meetWith(B);
+  EXPECT_TRUE(M.leq(A));
+  EXPECT_TRUE(M.leq(B));
+}
+
+TEST_P(DbmLattice, JoinCommutes) {
+  Dbm A = make(GetParam());
+  Dbm B = make(GetParam() + 57);
+  Dbm AB = A;
+  AB.joinWith(B);
+  Dbm BA = B;
+  BA.joinWith(A);
+  EXPECT_TRUE(AB.equals(BA));
+}
+
+TEST_P(DbmLattice, JoinIdempotent) {
+  Dbm A = make(GetParam());
+  Dbm AA = A;
+  AA.joinWith(A);
+  EXPECT_TRUE(AA.equals(A));
+}
+
+TEST_P(DbmLattice, WideningIsAboveBothArguments) {
+  Dbm A = make(GetParam());
+  Dbm B = make(GetParam() + 57);
+  Dbm W = A;
+  W.widenWith(B);
+  EXPECT_TRUE(A.leq(W));
+  EXPECT_TRUE(B.leq(W));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbmLattice, ::testing::Range(0, 25));
+
+} // namespace

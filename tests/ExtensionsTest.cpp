@@ -1,0 +1,267 @@
+//===- ExtensionsTest.cpp - §3.4 / §4.2 extension features ------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the paper features beyond the headline tcf analysis:
+///  - the §3.4 channel-capacity property (at most q observable running
+///    times per public input — a (q+1)-safety instance of quotient
+///    partitioning);
+///  - the §4.2 ANNOTATETRAIL procedure marking trail-expression
+///    constructors with l/h dependence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/AnnotateTrail.h"
+#include "benchmarks/Benchmarks.h"
+#include "core/Blazer.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+BlazerOptions degreeOptions() {
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  return Opt;
+}
+
+//===----------------------------------------------------------------------===//
+// Channel capacity (§3.4)
+//===----------------------------------------------------------------------===//
+
+TEST(ChannelCapacity, TcfSafeProgramHasOneClass) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var i: int = 0;
+      while (i < l) { i = i + 1; }
+    }
+  )");
+  ChannelCapacityResult R = analyzeChannelCapacity(F, 1, degreeOptions());
+  EXPECT_TRUE(R.Known);
+  EXPECT_TRUE(R.Bounded);
+  EXPECT_LE(R.MaxClasses, 1);
+}
+
+TEST(ChannelCapacity, TwoConstantArmsAreTwoClasses) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var x: int = 0;
+      if (h > 0) { x = md5(l); } else { x = 1; }
+    }
+  )");
+  ChannelCapacityResult Q1 = analyzeChannelCapacity(F, 1, degreeOptions());
+  EXPECT_TRUE(Q1.Known);
+  EXPECT_FALSE(Q1.Bounded);
+  EXPECT_EQ(Q1.MaxClasses, 2);
+  ChannelCapacityResult Q2 = analyzeChannelCapacity(F, 2, degreeOptions());
+  EXPECT_TRUE(Q2.Bounded);
+}
+
+TEST(ChannelCapacity, NestedSecretBranchesGiveFourClasses) {
+  CfgFunction F = compile(R"(
+    fn f(secret h1: int, secret h2: int, public l: int) {
+      var x: int = 0;
+      if (h1 > 0) {
+        if (h2 > 0) { x = md5(l); } else { x = 1; }
+      } else {
+        if (h2 > 0) { x = md5(l); x = md5(x); }
+        else { x = md5(l); x = md5(x); x = md5(x); }
+      }
+    }
+  )");
+  ChannelCapacityResult R = analyzeChannelCapacity(F, 4, degreeOptions());
+  ASSERT_TRUE(R.Known);
+  EXPECT_EQ(R.MaxClasses, 4);
+  EXPECT_TRUE(R.Bounded);
+  EXPECT_FALSE(analyzeChannelCapacity(F, 3, degreeOptions()).Bounded);
+}
+
+TEST(ChannelCapacity, EqualCostArmsCollapseToOneClass) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var x: int = 0;
+      if (h > 0) { x = 1; } else { x = 2; }
+    }
+  )");
+  // The two arms cost the same: the program is already tcf-safe, so the
+  // capacity phase sees a single narrow component.
+  ChannelCapacityResult R = analyzeChannelCapacity(F, 1, degreeOptions());
+  EXPECT_TRUE(R.Bounded);
+  EXPECT_LE(R.MaxClasses, 1);
+}
+
+TEST(ChannelCapacity, ClassCountIsPerPublicComponent) {
+  // Two public cases, each with a two-way secret choice: per component
+  // only 2 classes even though 4 distinct running times exist globally.
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var x: int = 0;
+      if (l > 0) {
+        if (h > 0) { x = md5(l); } else { x = 1; }
+      } else {
+        if (h > 0) { x = md5(l); x = md5(x); } else { x = 2; }
+      }
+    }
+  )");
+  ChannelCapacityResult R = analyzeChannelCapacity(F, 2, degreeOptions());
+  ASSERT_TRUE(R.Known);
+  EXPECT_EQ(R.MaxClasses, 2);
+  EXPECT_TRUE(R.Bounded);
+}
+
+TEST(ChannelCapacity, UnboundableSecretLoopIsUnknown) {
+  // The per-bit leak: the number of classes grows with the key length, so
+  // no finite q can be established (the takes-both trail stays wide).
+  const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
+  CfgFunction F = B->compile();
+  ChannelCapacityResult R = analyzeChannelCapacity(F, 8, B->options());
+  EXPECT_FALSE(R.Known);
+  EXPECT_FALSE(R.Bounded);
+}
+
+TEST(ChannelCapacity, AgreesWithTcfOnSafeBenchmarks) {
+  for (const char *Name : {"sanity_safe", "login_safe", "modPow1_safe"}) {
+    const BenchmarkProgram *B = findBenchmark(Name);
+    ASSERT_NE(B, nullptr);
+    CfgFunction F = B->compile();
+    ChannelCapacityResult R = analyzeChannelCapacity(F, 1, B->options());
+    EXPECT_TRUE(R.Bounded) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// AnnotateTrail (§4.2)
+//===----------------------------------------------------------------------===//
+
+using TE = TrailExpr;
+
+TEST(AnnotateTrail, MarksSeparatingUnion) {
+  // (e0 | e1) where e0/e1 are the two edges of a low branch.
+  std::map<int, AnnotatedBranch> Branches;
+  AnnotatedBranch B;
+  B.TrueSymbol = 0;
+  B.FalseSymbol = 1;
+  B.Mark.Low = true;
+  Branches[7] = B;
+  TE::Ptr E = TE::unite(TE::symbol(0), TE::symbol(1));
+  TE::Ptr A = annotateTrail(E, Branches);
+  ASSERT_EQ(A->kind(), TE::Kind::Union);
+  EXPECT_TRUE(A->mark().Low);
+  EXPECT_FALSE(A->mark().High);
+  EXPECT_EQ(A->str(), "e0 |_l e1");
+}
+
+TEST(AnnotateTrail, OutermostRuleConsumesBranch) {
+  // ((e0 | e2) | e1): the OUTER union separates the branch {0,1}; the
+  // inner one must stay unmarked for that branch.
+  std::map<int, AnnotatedBranch> Branches;
+  AnnotatedBranch B;
+  B.TrueSymbol = 0;
+  B.FalseSymbol = 1;
+  B.Mark.High = true;
+  Branches[3] = B;
+  TE::Ptr Inner = TE::unite(TE::symbol(0), TE::symbol(2));
+  TE::Ptr E = TE::unite(Inner, TE::symbol(1));
+  TE::Ptr A = annotateTrail(E, Branches);
+  ASSERT_EQ(A->kind(), TE::Kind::Union);
+  EXPECT_TRUE(A->mark().High);
+  // Find the inner union and check it is unmarked.
+  const TE *InnerOut = A->lhs()->kind() == TE::Kind::Union
+                           ? A->lhs().get()
+                           : A->rhs().get();
+  ASSERT_EQ(InnerOut->kind(), TE::Kind::Union);
+  EXPECT_FALSE(InnerOut->mark().any());
+}
+
+TEST(AnnotateTrail, MarksLoopStar) {
+  // (e0)* . e1 where e0 stays in the loop and e1 leaves it: the star
+  // decides the branch.
+  std::map<int, AnnotatedBranch> Branches;
+  AnnotatedBranch B;
+  B.TrueSymbol = 0;
+  B.FalseSymbol = 1;
+  B.Mark.Low = true;
+  Branches[2] = B;
+  TE::Ptr E = TE::concat(TE::star(TE::symbol(0)), TE::symbol(1));
+  TE::Ptr A = annotateTrail(E, Branches);
+  EXPECT_EQ(A->str(), "e0*_l . e1");
+}
+
+TEST(AnnotateTrail, UntaintedBranchesProduceNoMarks) {
+  std::map<int, AnnotatedBranch> Branches;
+  AnnotatedBranch B;
+  B.TrueSymbol = 0;
+  B.FalseSymbol = 1;
+  Branches[2] = B; // No taint mark.
+  TE::Ptr E = TE::unite(TE::symbol(0), TE::symbol(1));
+  TE::Ptr A = annotateTrail(E, Branches);
+  EXPECT_FALSE(A->mark().any());
+}
+
+TEST(AnnotateTrail, NonSeparatingUnionUnmarked) {
+  // Both edges occur on both sides: the union does not decide the branch.
+  std::map<int, AnnotatedBranch> Branches;
+  AnnotatedBranch B;
+  B.TrueSymbol = 0;
+  B.FalseSymbol = 1;
+  B.Mark.Low = true;
+  Branches[2] = B;
+  TE::Ptr Side1 = TE::concat(TE::symbol(0), TE::symbol(1));
+  TE::Ptr Side2 = TE::concat(TE::symbol(1), TE::symbol(0));
+  TE::Ptr A = annotateTrail(TE::unite(Side1, Side2), Branches);
+  EXPECT_FALSE(A->mark().any());
+}
+
+TEST(AnnotateTrail, RenderAnnotatedTrailOnExample2) {
+  // Example 2 of the paper: the outer branch is low, the inner secret —
+  // the rendered trmg must carry both kinds of marks.
+  CfgFunction F = compile(R"(
+    fn bar(secret high: int, public low: int) {
+      var i: int = 0;
+      if (low > 0) {
+        while (i < low) { i = i + 1; }
+      } else {
+        if (high == 0) { i = 5; } else { i = 6; }
+      }
+    }
+  )");
+  TaintInfo Taint = runTaintAnalysis(F);
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  TE::Ptr Regex =
+      renderAnnotatedTrail(F, Dfa::fromCfg(F, A), Taint, 1 << 16);
+  ASSERT_NE(Regex, nullptr);
+  std::string S = Regex->str(&A);
+  EXPECT_NE(S.find("_l"), std::string::npos) << S;
+  EXPECT_NE(S.find("_h"), std::string::npos) << S;
+  // The annotated expression still denotes the same language.
+  EXPECT_TRUE(Regex->toDfa(static_cast<int>(A.size()))
+                  .equivalent(Dfa::fromCfg(F, A)));
+}
+
+TEST(AnnotateTrail, AnnotationPreservesLanguageOnBenchmarks) {
+  for (const char *Name : {"login_safe", "sanity_unsafe", "nosecret_safe"}) {
+    const BenchmarkProgram *B = findBenchmark(Name);
+    ASSERT_NE(B, nullptr);
+    CfgFunction F = B->compile();
+    TaintInfo Taint = runTaintAnalysis(F);
+    EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+    Dfa Cfg = Dfa::fromCfg(F, A);
+    TE::Ptr Regex = renderAnnotatedTrail(F, Cfg, Taint, 1 << 16);
+    ASSERT_NE(Regex, nullptr) << Name;
+    EXPECT_TRUE(Regex->toDfa(static_cast<int>(A.size())).equivalent(Cfg))
+        << Name;
+  }
+}
+
+} // namespace

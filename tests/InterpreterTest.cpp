@@ -1,0 +1,267 @@
+//===- InterpreterTest.cpp - Tests for concrete trace semantics ------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+InputAssignment ints(std::map<std::string, int64_t> M) {
+  InputAssignment In;
+  In.Ints = std::move(M);
+  return In;
+}
+
+TEST(Interpreter, ReturnsValue) {
+  CfgFunction F = compile("fn f(public x: int) -> int { return x + 1; }");
+  TraceResult R = runFunction(F, ints({{"x", 41}}));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ReturnValue.has_value());
+  EXPECT_EQ(*R.ReturnValue, 42);
+}
+
+TEST(Interpreter, ArithmeticAndLogic) {
+  CfgFunction F = compile(R"(
+    fn f(public a: int, public b: int) -> int {
+      var r: int = 0;
+      if (a > b && !(a == 0) || false) { r = a * b + a / b - a % b; }
+      return r;
+    }
+  )");
+  TraceResult R = runFunction(F, ints({{"a", 7}, {"b", 2}}));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(*R.ReturnValue, 14 + 3 - 1);
+  R = runFunction(F, ints({{"a", 1}, {"b", 2}}));
+  EXPECT_EQ(*R.ReturnValue, 0);
+}
+
+TEST(Interpreter, LoopComputesSum) {
+  CfgFunction F = compile(R"(
+    fn f(public n: int) -> int {
+      var s: int = 0;
+      var i: int = 0;
+      while (i < n) { i = i + 1; s = s + i; }
+      return s;
+    }
+  )");
+  TraceResult R = runFunction(F, ints({{"n", 5}}));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(*R.ReturnValue, 15);
+}
+
+TEST(Interpreter, ArraysLoadStoreLength) {
+  CfgFunction F = compile(R"(
+    fn f(public a: int[]) -> int {
+      a[0] = a[0] + 10;
+      return a[0] + a.length;
+    }
+  )");
+  InputAssignment In;
+  In.Arrays["a"] = {1, 2, 3};
+  TraceResult R = runFunction(F, In);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(*R.ReturnValue, 11 + 3);
+}
+
+TEST(Interpreter, MissingInputsDefaultToZeroAndEmpty) {
+  CfgFunction F = compile(
+      "fn f(public x: int, public a: int[]) -> int { return x + a.length; }");
+  TraceResult R = runFunction(F, InputAssignment());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(*R.ReturnValue, 0);
+}
+
+TEST(Interpreter, DefaultInitializedLocals) {
+  CfgFunction F = compile("fn f() -> int { var x: int; return x; }");
+  TraceResult R = runFunction(F, InputAssignment());
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(*R.ReturnValue, 0);
+}
+
+TEST(Interpreter, BuiltinsAreDeterministic) {
+  CfgFunction F = compile("fn f(public x: int) -> int { return md5(x); }");
+  TraceResult A = runFunction(F, ints({{"x", 5}}));
+  TraceResult B = runFunction(F, ints({{"x", 5}}));
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_EQ(*A.ReturnValue, *B.ReturnValue);
+  TraceResult C = runFunction(F, ints({{"x", 6}}));
+  EXPECT_NE(*A.ReturnValue, *C.ReturnValue);
+}
+
+TEST(Interpreter, MulmodMatchesModularArithmetic) {
+  CfgFunction F = compile(
+      "fn f(public a: int, public b: int, public m: int) -> int "
+      "{ return mulmod(a, b, m); }");
+  TraceResult R = runFunction(F, ints({{"a", 123}, {"b", 77}, {"m", 1000}}));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(*R.ReturnValue, (123 * 77) % 1000);
+}
+
+//===----------------------------------------------------------------------===//
+// Error behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, DivisionByZeroFails) {
+  CfgFunction F = compile("fn f(public x: int) -> int { return 1 / x; }");
+  TraceResult R = runFunction(F, ints({{"x", 0}}));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST(Interpreter, OutOfBoundsLoadFails) {
+  CfgFunction F = compile("fn f(public a: int[]) -> int { return a[5]; }");
+  InputAssignment In;
+  In.Arrays["a"] = {1};
+  TraceResult R = runFunction(F, In);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interpreter, OutOfBoundsStoreFails) {
+  CfgFunction F = compile("fn f(public a: int[]) { a[0] = 1; }");
+  TraceResult R = runFunction(F, InputAssignment()); // Empty array.
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Interpreter, NonTerminationHitsStepLimit) {
+  CfgFunction F = compile(
+      "fn f() { var x: int = 1; while (x > 0) { x = 1; } }");
+  TraceResult R = runFunction(F, InputAssignment(), /*MaxSteps=*/1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Costs and traces
+//===----------------------------------------------------------------------===//
+
+TEST(Interpreter, CostGrowsLinearlyWithLoopTrips) {
+  CfgFunction F = compile(R"(
+    fn f(public n: int) {
+      var i: int = 0;
+      while (i < n) { i = i + 1; }
+    }
+  )");
+  int64_t C0 = runFunction(F, ints({{"n", 0}})).Cost;
+  int64_t C1 = runFunction(F, ints({{"n", 1}})).Cost;
+  int64_t C10 = runFunction(F, ints({{"n", 10}})).Cost;
+  int64_t PerIter = C1 - C0;
+  EXPECT_GT(PerIter, 0);
+  EXPECT_EQ(C10, C0 + 10 * PerIter);
+}
+
+TEST(Interpreter, TraceEdgesFormAPathFromEntryToExit) {
+  CfgFunction F = compile(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  TraceResult R = runFunction(F, ints({{"x", 5}}));
+  ASSERT_TRUE(R.Ok);
+  ASSERT_FALSE(R.Edges.empty());
+  EXPECT_EQ(R.Edges.front().From, F.Entry);
+  EXPECT_EQ(R.Edges.back().To, F.Exit);
+  for (size_t I = 1; I < R.Edges.size(); ++I)
+    EXPECT_EQ(R.Edges[I - 1].To, R.Edges[I].From);
+}
+
+TEST(Interpreter, BranchSelectsDifferentTraces) {
+  CfgFunction F = compile(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }");
+  TraceResult A = runFunction(F, ints({{"x", 5}}));
+  TraceResult B = runFunction(F, ints({{"x", -5}}));
+  EXPECT_NE(A.Edges, B.Edges);
+}
+
+//===----------------------------------------------------------------------===//
+// Input enumeration + empirical tcf check
+//===----------------------------------------------------------------------===//
+
+TEST(InputEnum, CoversIntAndBoolGrids) {
+  CfgFunction F = compile("fn f(public x: int, secret b: bool) { }");
+  InputGrid Grid;
+  Grid.IntValues = {0, 1, 2};
+  std::vector<InputAssignment> Ins = enumerateInputs(F, Grid);
+  EXPECT_EQ(Ins.size(), 3u * 2u);
+}
+
+TEST(InputEnum, ArrayGridsIncludePrefixVariations) {
+  CfgFunction F = compile("fn f(public a: int[]) { }");
+  InputGrid Grid;
+  Grid.ArrayLengths = {0, 2};
+  Grid.ElementValues = {0, 1};
+  std::vector<InputAssignment> Ins = enumerateInputs(F, Grid);
+  // Length 0: one empty array. Length 2: two constant fills plus one
+  // distinct prefix variation (the two generated mixes coincide at len 2).
+  EXPECT_EQ(Ins.size(), 1u + 3u);
+}
+
+TEST(InputEnum, RespectsCap) {
+  CfgFunction F = compile(
+      "fn f(public a: int, public b: int, public c: int) { }");
+  InputGrid Grid;
+  Grid.IntValues = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Grid.MaxAssignments = 50;
+  EXPECT_EQ(enumerateInputs(F, Grid).size(), 50u);
+}
+
+TEST(EmpiricalTcf, FlatProgramHasZeroGap) {
+  CfgFunction F = compile(
+      "fn f(secret h: int, public l: int) { var x: int = h + l; }");
+  InputGrid Grid;
+  std::vector<InputAssignment> Ins = enumerateInputs(F, Grid);
+  EmpiricalTcf R = empiricalTimingCheck(F, Ins);
+  EXPECT_EQ(R.MaxGapEqualLow, 0);
+  EXPECT_GT(R.RunsOk, 0u);
+}
+
+TEST(EmpiricalTcf, SecretLoopShowsGapWithWitness) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var i: int = 0;
+      while (i < h) { i = i + 1; }
+    }
+  )");
+  InputGrid Grid;
+  Grid.IntValues = {0, 1, 4};
+  std::vector<InputAssignment> Ins = enumerateInputs(F, Grid);
+  EmpiricalTcf R = empiricalTimingCheck(F, Ins);
+  EXPECT_GT(R.MaxGapEqualLow, 0);
+  ASSERT_TRUE(R.Witness.has_value());
+  // The witnessing pair agrees on low inputs but not on the secret.
+  EXPECT_TRUE(InputAssignment::agreeOn(F, SecurityLevel::Public,
+                                       R.Witness->first, R.Witness->second));
+  EXPECT_FALSE(InputAssignment::agreeOn(F, SecurityLevel::Secret,
+                                        R.Witness->first, R.Witness->second));
+}
+
+TEST(EmpiricalTcf, PublicLoopHasNoEqualLowGap) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var i: int = 0;
+      while (i < l) { i = i + 1; }
+    }
+  )");
+  InputGrid Grid;
+  Grid.IntValues = {0, 2, 5};
+  EmpiricalTcf R = empiricalTimingCheck(F, enumerateInputs(F, Grid));
+  EXPECT_EQ(R.MaxGapEqualLow, 0);
+}
+
+TEST(InputAssignmentStr, RendersIntsAndArrays) {
+  InputAssignment In;
+  In.Ints["x"] = 3;
+  In.Arrays["a"] = {1, 2};
+  EXPECT_EQ(In.str(), "{x=3, a=[1,2]}");
+}
+
+} // namespace

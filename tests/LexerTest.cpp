@@ -1,0 +1,121 @@
+//===- LexerTest.cpp - Tests for the mini-language lexer -------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+std::vector<TokenKind> kinds(const std::string &Src) {
+  auto R = lex(Src);
+  EXPECT_TRUE(static_cast<bool>(R)) << (R ? "" : R.diag().str());
+  std::vector<TokenKind> Out;
+  if (R)
+    for (const Token &T : *R)
+      Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  EXPECT_EQ(kinds(""), std::vector<TokenKind>{TokenKind::Eof});
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("fn var if else while return skip true false public "
+                  "secret int bool"),
+            (std::vector<TokenKind>{
+                TokenKind::KwFn, TokenKind::KwVar, TokenKind::KwIf,
+                TokenKind::KwElse, TokenKind::KwWhile, TokenKind::KwReturn,
+                TokenKind::KwSkip, TokenKind::KwTrue, TokenKind::KwFalse,
+                TokenKind::KwPublic, TokenKind::KwSecret, TokenKind::KwInt,
+                TokenKind::KwBool, TokenKind::Eof}));
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  auto R = lex("iffy whileLoop _x x_1");
+  ASSERT_TRUE(static_cast<bool>(R));
+  ASSERT_EQ(R->size(), 5u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ((*R)[I].Kind, TokenKind::Identifier);
+  EXPECT_EQ((*R)[0].Text, "iffy");
+  EXPECT_EQ((*R)[3].Text, "x_1");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto R = lex("0 7 123456789");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ((*R)[0].IntValue, 0);
+  EXPECT_EQ((*R)[1].IntValue, 7);
+  EXPECT_EQ((*R)[2].IntValue, 123456789);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  EXPECT_EQ(kinds("-> == != <= >= && ||"),
+            (std::vector<TokenKind>{
+                TokenKind::Arrow, TokenKind::EqEq, TokenKind::BangEq,
+                TokenKind::LessEq, TokenKind::GreaterEq, TokenKind::AmpAmp,
+                TokenKind::PipePipe, TokenKind::Eof}));
+}
+
+TEST(Lexer, SingleCharOperators) {
+  EXPECT_EQ(kinds("( ) { } [ ] , ; : = + - * / % ! < > ."),
+            (std::vector<TokenKind>{
+                TokenKind::LParen, TokenKind::RParen, TokenKind::LBrace,
+                TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+                TokenKind::Comma, TokenKind::Semicolon, TokenKind::Colon,
+                TokenKind::Assign, TokenKind::Plus, TokenKind::Minus,
+                TokenKind::Star, TokenKind::Slash, TokenKind::Percent,
+                TokenKind::Bang, TokenKind::Less, TokenKind::Greater,
+                TokenKind::Dot, TokenKind::Eof}));
+}
+
+TEST(Lexer, LineCommentsAreSkipped) {
+  EXPECT_EQ(kinds("x // this is a comment\ny"),
+            (std::vector<TokenKind>{TokenKind::Identifier,
+                                    TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto R = lex("a\n  b");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ((*R)[0].Line, 1);
+  EXPECT_EQ((*R)[0].Col, 1);
+  EXPECT_EQ((*R)[1].Line, 2);
+  EXPECT_EQ((*R)[1].Col, 3);
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  auto R = lex("a @ b");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.diag().Message.find("unexpected character"), std::string::npos);
+  EXPECT_EQ(R.diag().Line, 1);
+  EXPECT_EQ(R.diag().Col, 3);
+}
+
+TEST(Lexer, RejectsLoneAmpersand) {
+  auto R = lex("a & b");
+  EXPECT_FALSE(static_cast<bool>(R));
+}
+
+TEST(Lexer, GreedyOperatorMatching) {
+  // "<=" must not lex as "<" "=".
+  auto R = lex("a<=b");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ((*R)[1].Kind, TokenKind::LessEq);
+}
+
+TEST(Lexer, MinusGreaterIsArrow) {
+  auto R = lex("x->y - >z");
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ((*R)[1].Kind, TokenKind::Arrow);
+  EXPECT_EQ((*R)[3].Kind, TokenKind::Minus);
+  EXPECT_EQ((*R)[4].Kind, TokenKind::Greater);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+//===- ObserverTest.cpp - Tests for the observability models ---------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Observer.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CostPoly var(const std::string &N) { return CostPoly::variable(N); }
+CostPoly c(int64_t V) { return CostPoly::constant(V); }
+
+std::function<bool(const std::string &)> highSet(
+    std::initializer_list<std::string> Names) {
+  std::set<std::string> S(Names);
+  return [S](const std::string &V) { return S.count(V) > 0; };
+}
+
+//===----------------------------------------------------------------------===//
+// Polynomial-degree model (MicroBench, §6.1)
+//===----------------------------------------------------------------------===//
+
+TEST(DegreeObserver, SameDegreeLinearIsNarrow) {
+  ObserverModel M = ObserverModel::polynomialDegree(16);
+  // Figure 1 shape: [19g+10, 23g+10].
+  BoundRange R(Bound::lower(var("g") * 19 + c(10)),
+               Bound::upper(var("g") * 23 + c(10)));
+  EXPECT_TRUE(M.isNarrow(R, highSet({})));
+}
+
+TEST(DegreeObserver, ConstantVsLinearIsNotNarrow) {
+  ObserverModel M = ObserverModel::polynomialDegree(16);
+  BoundRange R(Bound::lower(c(6)), Bound::upper(var("g") * 20 + c(8)));
+  EXPECT_FALSE(M.isNarrow(R, highSet({})));
+}
+
+TEST(DegreeObserver, ConstantGapWithinEpsilonIsNarrow) {
+  ObserverModel M = ObserverModel::polynomialDegree(16);
+  EXPECT_TRUE(M.isNarrow(BoundRange(Bound::lower(c(10)),
+                                    Bound::upper(c(20))),
+                         highSet({})));
+  EXPECT_FALSE(M.isNarrow(BoundRange(Bound::lower(c(10)),
+                                     Bound::upper(c(100))),
+                          highSet({})));
+}
+
+TEST(DegreeObserver, HighVariableAllowedWhenDegreesMatch) {
+  // The crude asymptotic observer cannot distinguish two linear-in-secret
+  // running times (this is what lets loopAndbranch_safe verify).
+  ObserverModel M = ObserverModel::polynomialDegree(16);
+  BoundRange R(Bound::lower(var("high") * 8 + c(11)),
+               Bound::upper(var("high") * 8 + c(25)));
+  EXPECT_TRUE(M.isNarrow(R, highSet({"high"})));
+}
+
+TEST(DegreeObserver, LowerEnvelopeUsesMinDegree) {
+  // A constant member in the min-set means some executions finish in O(1):
+  // against a linear upper bound that is a leak.
+  ObserverModel M = ObserverModel::polynomialDegree(16);
+  Bound Lo = Bound::lower(var("h") * 8 + c(11));
+  Lo.merge(Bound::lower(c(20)));
+  BoundRange R(Lo, Bound::upper(var("h") * 8 + c(25)));
+  EXPECT_FALSE(M.isNarrow(R, highSet({"h"})));
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete-instruction model (STAC/Literature, §6.1)
+//===----------------------------------------------------------------------===//
+
+TEST(ConcreteObserver, GapUnderThresholdIsNarrow) {
+  ObserverModel M = ObserverModel::concreteInstructions(25000, 4096);
+  BoundRange R(Bound::lower(var("g") * 19 + c(10)),
+               Bound::upper(var("g") * 23 + c(10)));
+  // Gap = 4 * 4096 = 16384 <= 25000.
+  EXPECT_TRUE(M.isNarrow(R, highSet({})));
+}
+
+TEST(ConcreteObserver, GapOverThresholdIsNotNarrow) {
+  ObserverModel M = ObserverModel::concreteInstructions(25000, 4096);
+  BoundRange R(Bound::lower(c(10)), Bound::upper(var("g") * 98 + c(10)));
+  EXPECT_FALSE(M.isNarrow(R, highSet({})));
+}
+
+TEST(ConcreteObserver, MaxInputOverrideShrinksGap) {
+  ObserverModel M = ObserverModel::concreteInstructions(500, 4096);
+  M.setMaxInput("g", 10);
+  BoundRange R(Bound::lower(c(0)), Bound::upper(var("g") * 20));
+  EXPECT_TRUE(M.isNarrow(R, highSet({}))); // 200 <= 500.
+}
+
+TEST(ConcreteObserver, SecretVariableInBoundsIsNeverNarrow) {
+  ObserverModel M = ObserverModel::concreteInstructions(25000, 4096);
+  // Even a tiny gap leaks if the bound itself tracks the secret.
+  BoundRange R(Bound::lower(var("p.len") * 20),
+               Bound::upper(var("p.len") * 20 + c(2)));
+  EXPECT_FALSE(M.isNarrow(R, highSet({"p.len"})));
+}
+
+TEST(ConcreteObserver, PinnedSecretSymbolIsAllowed) {
+  // Key sizes are public knowledge: pinning exempts them.
+  ObserverModel M = ObserverModel::concreteInstructions(25000, 4096);
+  M.pinSymbol("exponent.len", 4096);
+  EXPECT_TRUE(M.isPinned("exponent.len"));
+  BoundRange R(Bound::lower(var("exponent.len") * 100),
+               Bound::upper(var("exponent.len") * 100 + c(40)));
+  EXPECT_TRUE(M.isNarrow(R, highSet({"exponent.len"})));
+}
+
+TEST(ConcreteObserver, EvalMaxOverBoxDropsNegativeMonomials) {
+  ObserverModel M = ObserverModel::concreteInstructions(100, 50);
+  CostPoly P = var("a") * 2 - var("b") * 3 + c(7);
+  // a at max (50), the -3b monomial contributes at most 0.
+  EXPECT_EQ(M.evalMaxOverBox(P), 107);
+}
+
+TEST(ConcreteObserver, EvalMaxNegativeConstantKept) {
+  ObserverModel M = ObserverModel::concreteInstructions(100, 50);
+  EXPECT_EQ(M.evalMaxOverBox(c(-5)), -5);
+}
+
+//===----------------------------------------------------------------------===//
+// observablyDifferent (CheckAttack's comparison)
+//===----------------------------------------------------------------------===//
+
+TEST(Observer, IdenticalRangesAreNotDifferent) {
+  ObserverModel M = ObserverModel::concreteInstructions(700, 100);
+  BoundRange A(Bound::lower(c(6)), Bound::upper(var("g") * 20 + c(8)));
+  EXPECT_FALSE(M.observablyDifferent(A, A));
+}
+
+TEST(Observer, ConstantShiftWithinThresholdNotDifferent) {
+  ObserverModel M = ObserverModel::concreteInstructions(700, 100);
+  BoundRange A(Bound::lower(c(6)), Bound::upper(var("g") * 20 + c(8)));
+  BoundRange B(Bound::lower(c(10)), Bound::upper(var("g") * 20 + c(100)));
+  EXPECT_FALSE(M.observablyDifferent(A, B));
+}
+
+TEST(Observer, StructurallyDifferentUppersAreDifferent) {
+  // The loginBad tr3/tr4 situation: max(g-1, p) vs g slopes.
+  ObserverModel M = ObserverModel::concreteInstructions(700, 100);
+  Bound HiA = Bound::upper(var("g") * 20 - c(12));
+  HiA.merge(Bound::upper(var("p") * 20 + c(8)));
+  BoundRange A(Bound::lower(c(6)), HiA);
+  BoundRange B(Bound::lower(c(6)), Bound::upper(var("g") * 20 + c(8)));
+  EXPECT_TRUE(M.observablyDifferent(A, B));
+}
+
+TEST(Observer, ConstantVsLinearIsDifferent) {
+  ObserverModel M = ObserverModel::polynomialDegree(16);
+  BoundRange A = BoundRange::exact(11);
+  BoundRange B(Bound::lower(c(7)), Bound::upper(var("p") * 20 + c(43)));
+  EXPECT_TRUE(M.observablyDifferent(A, B));
+}
+
+TEST(Observer, BigConstantGapIsDifferent) {
+  ObserverModel M = ObserverModel::polynomialDegree(16);
+  EXPECT_TRUE(M.observablyDifferent(BoundRange::exact(3),
+                                    BoundRange::exact(863)));
+  EXPECT_FALSE(M.observablyDifferent(BoundRange::exact(3),
+                                     BoundRange::exact(13)));
+}
+
+//===----------------------------------------------------------------------===//
+// Parameterized threshold sweep
+//===----------------------------------------------------------------------===//
+
+class ThresholdSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ThresholdSweep, NarrownessIsMonotoneInThreshold) {
+  int64_t Gap = GetParam();
+  BoundRange R(Bound::lower(c(0)), Bound::upper(c(Gap)));
+  ObserverModel Tight = ObserverModel::concreteInstructions(Gap - 1, 10);
+  ObserverModel Loose = ObserverModel::concreteInstructions(Gap, 10);
+  EXPECT_FALSE(Tight.isNarrow(R, highSet({})));
+  EXPECT_TRUE(Loose.isNarrow(R, highSet({})));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, ThresholdSweep,
+                         ::testing::Values(1, 2, 10, 100, 25000, 1000000));
+
+} // namespace

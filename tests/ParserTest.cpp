@@ -1,0 +1,214 @@
+//===- ParserTest.cpp - Tests for the mini-language parser -----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+Program parseOk(const std::string &Src) {
+  auto R = parseProgram(Src);
+  EXPECT_TRUE(static_cast<bool>(R)) << (R ? "" : R.diag().str());
+  return R ? R.take() : Program();
+}
+
+std::string parseErr(const std::string &Src) {
+  auto R = parseProgram(Src);
+  EXPECT_FALSE(static_cast<bool>(R)) << "expected a parse error";
+  return R ? "" : R.diag().Message;
+}
+
+TEST(Parser, MinimalFunction) {
+  Program P = parseOk("fn f() { }");
+  ASSERT_EQ(P.Functions.size(), 1u);
+  EXPECT_EQ(P.Functions[0]->Name, "f");
+  EXPECT_TRUE(P.Functions[0]->Params.empty());
+  EXPECT_FALSE(P.Functions[0]->HasReturnType);
+}
+
+TEST(Parser, ParametersWithLevelsAndTypes) {
+  Program P = parseOk(
+      "fn f(public a: int, secret b: bool, public c: int[]) { }");
+  const FunctionDecl &F = *P.Functions[0];
+  ASSERT_EQ(F.Params.size(), 3u);
+  EXPECT_EQ(F.Params[0].Level, SecurityLevel::Public);
+  EXPECT_EQ(F.Params[0].Type, TypeKind::Int);
+  EXPECT_EQ(F.Params[1].Level, SecurityLevel::Secret);
+  EXPECT_EQ(F.Params[1].Type, TypeKind::Bool);
+  EXPECT_EQ(F.Params[2].Type, TypeKind::IntArray);
+}
+
+TEST(Parser, ReturnType) {
+  Program P = parseOk("fn f() -> bool { return true; }");
+  EXPECT_TRUE(P.Functions[0]->HasReturnType);
+  EXPECT_EQ(P.Functions[0]->ReturnType, TypeKind::Bool);
+}
+
+TEST(Parser, MultipleFunctions) {
+  Program P = parseOk("fn f() { } fn g() { }");
+  EXPECT_EQ(P.Functions.size(), 2u);
+  EXPECT_NE(P.find("f"), nullptr);
+  EXPECT_NE(P.find("g"), nullptr);
+  EXPECT_EQ(P.find("h"), nullptr);
+}
+
+TEST(Parser, StatementKinds) {
+  Program P = parseOk(R"(
+    fn f(public a: int[]) {
+      var x: int = 1;
+      var b: bool;
+      x = x + 1;
+      a[0] = x;
+      if (x > 0) { skip; } else { x = 0; }
+      while (x < 10) { x = x + 1; }
+      return;
+    }
+  )");
+  const StmtList &Body = P.Functions[0]->Body;
+  ASSERT_EQ(Body.size(), 7u);
+  EXPECT_TRUE(isa<VarDeclStmt>(Body[0].get()));
+  EXPECT_TRUE(isa<VarDeclStmt>(Body[1].get()));
+  EXPECT_TRUE(isa<AssignStmt>(Body[2].get()));
+  EXPECT_TRUE(isa<ArrayStoreStmt>(Body[3].get()));
+  EXPECT_TRUE(isa<IfStmt>(Body[4].get()));
+  EXPECT_TRUE(isa<WhileStmt>(Body[5].get()));
+  EXPECT_TRUE(isa<ReturnStmt>(Body[6].get()));
+  EXPECT_TRUE(isa<SkipStmt>(
+      cast<IfStmt>(Body[4].get())->Then[0].get()));
+}
+
+TEST(Parser, ElseIfChains) {
+  Program P = parseOk(R"(
+    fn f(public x: int) {
+      if (x == 0) { skip; }
+      else if (x == 1) { skip; }
+      else { skip; }
+    }
+  )");
+  const auto *If = cast<IfStmt>(P.Functions[0]->Body[0].get());
+  ASSERT_EQ(If->Else.size(), 1u);
+  EXPECT_TRUE(isa<IfStmt>(If->Else[0].get()));
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  Program P = parseOk("fn f(public x: int) { x = 1 + 2 * 3; }");
+  const auto *A = cast<AssignStmt>(P.Functions[0]->Body[0].get());
+  const auto *Add = cast<BinaryExpr>(A->Value.get());
+  EXPECT_EQ(Add->Op, BinaryOp::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->Rhs.get())->Op, BinaryOp::Mul);
+}
+
+TEST(Parser, PrecedenceCmpOverAnd) {
+  Program P = parseOk(
+      "fn f(public x: int) { if (x < 1 && x > 0) { skip; } }");
+  const auto *If = cast<IfStmt>(P.Functions[0]->Body[0].get());
+  const auto *And = cast<BinaryExpr>(If->Cond.get());
+  EXPECT_EQ(And->Op, BinaryOp::And);
+  EXPECT_EQ(cast<BinaryExpr>(And->Lhs.get())->Op, BinaryOp::Lt);
+}
+
+TEST(Parser, PrecedenceAndOverOr) {
+  Program P = parseOk(
+      "fn f(public a: bool, public b: bool, public c: bool) "
+      "{ if (a || b && c) { skip; } }");
+  const auto *If = cast<IfStmt>(P.Functions[0]->Body[0].get());
+  EXPECT_EQ(cast<BinaryExpr>(If->Cond.get())->Op, BinaryOp::Or);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  Program P = parseOk("fn f(public x: int) { x = (1 + 2) * 3; }");
+  const auto *A = cast<AssignStmt>(P.Functions[0]->Body[0].get());
+  EXPECT_EQ(cast<BinaryExpr>(A->Value.get())->Op, BinaryOp::Mul);
+}
+
+TEST(Parser, UnaryOperators) {
+  Program P = parseOk(
+      "fn f(public b: bool, public x: int) { b = !b; x = -x; }");
+  const auto *A0 = cast<AssignStmt>(P.Functions[0]->Body[0].get());
+  EXPECT_EQ(cast<UnaryExpr>(A0->Value.get())->Op, UnaryOp::Not);
+  const auto *A1 = cast<AssignStmt>(P.Functions[0]->Body[1].get());
+  EXPECT_EQ(cast<UnaryExpr>(A1->Value.get())->Op, UnaryOp::Neg);
+}
+
+TEST(Parser, ArrayLengthAndIndex) {
+  Program P = parseOk(
+      "fn f(public a: int[]) { var n: int = a.length; n = a[n - 1]; }");
+  const auto *D = cast<VarDeclStmt>(P.Functions[0]->Body[0].get());
+  EXPECT_TRUE(isa<ArrayLengthExpr>(D->Init.get()));
+  const auto *A = cast<AssignStmt>(P.Functions[0]->Body[1].get());
+  EXPECT_TRUE(isa<ArrayIndexExpr>(A->Value.get()));
+}
+
+TEST(Parser, CallsWithArguments) {
+  Program P = parseOk("fn f(public x: int) { x = md5(x + 1); }");
+  const auto *A = cast<AssignStmt>(P.Functions[0]->Body[0].get());
+  const auto *C = cast<CallExpr>(A->Value.get());
+  EXPECT_EQ(C->Callee, "md5");
+  EXPECT_EQ(C->Args.size(), 1u);
+}
+
+TEST(Parser, CallStatement) {
+  Program P = parseOk("fn f(public x: int) { md5(x); }");
+  EXPECT_TRUE(isa<ExprStmt>(P.Functions[0]->Body[0].get()));
+}
+
+TEST(Parser, ReturnWithValue) {
+  Program P = parseOk("fn f() -> int { return 1 + 2; }");
+  const auto *R = cast<ReturnStmt>(P.Functions[0]->Body[0].get());
+  EXPECT_NE(R->Value, nullptr);
+}
+
+TEST(Parser, ExprToStringRoundTripShape) {
+  Program P = parseOk(
+      "fn f(public a: int[], public x: int) { x = (x + 1) * a[x]; }");
+  const auto *A = cast<AssignStmt>(P.Functions[0]->Body[0].get());
+  EXPECT_EQ(exprToString(A->Value.get()), "((x + 1) * a[x])");
+}
+
+//===----------------------------------------------------------------------===//
+// Error cases
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ErrorMissingLevel) {
+  EXPECT_NE(parseErr("fn f(a: int) { }").find("'public' or 'secret'"),
+            std::string::npos);
+}
+
+TEST(Parser, ErrorEmptyProgram) {
+  EXPECT_NE(parseErr("").find("at least one function"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnterminatedBlock) {
+  EXPECT_NE(parseErr("fn f() { skip;").find("unterminated"),
+            std::string::npos);
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  auto R = parseProgram("fn f(public x: int) { x = 1 }");
+  EXPECT_FALSE(static_cast<bool>(R));
+}
+
+TEST(Parser, ErrorBadType) {
+  auto R = parseProgram("fn f(public x: string) { }");
+  EXPECT_FALSE(static_cast<bool>(R));
+}
+
+TEST(Parser, ErrorDotWithoutLength) {
+  auto R = parseProgram("fn f(public a: int[]) { var n: int = a.size; }");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.diag().Message.find(".length"), std::string::npos);
+}
+
+TEST(Parser, ErrorHasLocation) {
+  auto R = parseProgram("fn f() {\n  var x: int = ;\n}");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.diag().Line, 2);
+}
+
+} // namespace

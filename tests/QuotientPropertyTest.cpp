@@ -1,0 +1,168 @@
+//===- QuotientPropertyTest.cpp - Theorem 3.1 on enumerated traces ----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests of the §3 semantics on concrete traces: the safety-phase
+/// leaf trails of every benchmark must form a ψ_tcf-quotient partition —
+/// (1) every terminating trace is covered by a feasible leaf, and
+/// (2) any two equal-low traces land in a common leaf.
+/// This is the premise of Theorem 3.1 that makes the per-trail
+/// (non-relational) bound checks sufficient for the 2-safety property.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/QuotientCheck.h"
+#include "benchmarks/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+InputGrid gridFor(const BenchmarkProgram &B) {
+  InputGrid Grid;
+  Grid.IntValues = {-1, 0, 1, 3};
+  Grid.ArrayLengths = {0, 1, 2};
+  Grid.ElementValues = {0, 1};
+  Grid.MaxAssignments = 600;
+  if (B.Name.rfind("modPow2", 0) == 0 || B.Name.rfind("straightline", 0) == 0)
+    Grid.MaxAssignments = 200; // Keep the slowest programs tractable.
+  return Grid;
+}
+
+class QuotientPartition
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(QuotientPartition, LeavesFormPsiTcfQuotient) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  BlazerResult R = analyzeFunction(F, B.options());
+  std::vector<InputAssignment> Inputs = enumerateInputs(F, gridFor(B));
+  QuotientCheckResult Q = checkQuotientPartition(F, R, Inputs);
+  EXPECT_TRUE(Q.Holds) << B.Name << ": " << Q.CounterExample;
+  EXPECT_EQ(Q.TracesCovered, Q.TracesTotal) << B.Name;
+  EXPECT_GT(Q.TracesTotal, 0u) << B.Name;
+}
+
+std::vector<const BenchmarkProgram *> allPtrs() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, QuotientPartition, ::testing::ValuesIn(allPtrs()),
+    [](const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+      return Info.param->Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Direct checks of the trail-membership machinery
+//===----------------------------------------------------------------------===//
+
+TEST(TraceInTrail, AcceptsOwnTraceRejectsOthers) {
+  auto FRes = compileSingleFunction(
+      "fn f(public x: int) { if (x > 0) { x = 1; } else { x = 2; } }",
+      BuiltinRegistry::standard());
+  ASSERT_TRUE(static_cast<bool>(FRes));
+  const CfgFunction &F = *FRes;
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  Dfa Cfg = Dfa::fromCfg(F, A);
+
+  InputAssignment Pos;
+  Pos.Ints["x"] = 1;
+  TraceResult TR = runFunction(F, Pos);
+  ASSERT_TRUE(TR.Ok);
+  EXPECT_TRUE(traceInTrail(Cfg, A, TR.Edges));
+
+  // A trail avoiding the true edge rejects this trace.
+  const BasicBlock &Entry = F.block(F.Entry);
+  Dfa Avoid = Cfg.intersect(Dfa::avoidsSymbol(
+      static_cast<int>(A.size()),
+      A.symbol(Edge{F.Entry, Entry.TrueSucc})));
+  EXPECT_FALSE(traceInTrail(Avoid, A, TR.Edges));
+
+  // Edges outside the alphabet are rejected outright.
+  EXPECT_FALSE(traceInTrail(Cfg, A, {Edge{97, 98}}));
+}
+
+TEST(QuotientCheck, DetectsDeliberatelyBrokenPartition) {
+  // A hand-made "partition" that separates equal-low traces: split on the
+  // secret branch only. The checker must flag it.
+  auto FRes = compileSingleFunction(R"(
+    fn f(secret h: int, public l: int) {
+      var x: int = 0;
+      if (h > 0) { x = 1; } else { x = 2; }
+    }
+  )",
+                                    BuiltinRegistry::standard());
+  ASSERT_TRUE(static_cast<bool>(FRes));
+  const CfgFunction &F = *FRes;
+
+  // Build a fake BlazerResult whose "leaves" are the two secret-split
+  // halves, marked as taint splits so the checker treats them as the
+  // safety partition.
+  BoundAnalysis BA(F);
+  const BasicBlock &Entry = F.block(F.Entry);
+  int SymT = BA.alphabet().symbol(Edge{F.Entry, Entry.TrueSucc});
+  int SymF = BA.alphabet().symbol(Edge{F.Entry, Entry.FalseSucc});
+  int N = static_cast<int>(BA.alphabet().size());
+
+  BlazerResult Fake;
+  Trail Root;
+  Root.Id = 0;
+  Root.Auto = BA.mostGeneralTrail();
+  Root.Bounds = BA.analyzeTrail(Root.Auto);
+  Root.Children = {1, 2};
+  Fake.Tree.push_back(Root);
+  for (int I = 0; I < 2; ++I) {
+    Trail T;
+    T.Id = 1 + I;
+    T.Parent = 0;
+    T.Auto = Root.Auto.intersect(
+        Dfa::avoidsSymbol(N, I == 0 ? SymF : SymT));
+    T.SplitOn.Low = true; // Lie: pretend this was a taint split.
+    T.Bounds = BA.analyzeTrail(T.Auto);
+    Fake.Tree.push_back(T);
+  }
+
+  InputGrid Grid;
+  Grid.IntValues = {-1, 1};
+  QuotientCheckResult Q =
+      checkQuotientPartition(F, Fake, enumerateInputs(F, Grid));
+  EXPECT_FALSE(Q.Holds);
+  EXPECT_NE(Q.CounterExample.find("share no leaf trail"),
+            std::string::npos);
+}
+
+TEST(QuotientCheck, MostGeneralTrailAloneIsAlwaysQuotient) {
+  // Example 3 of the paper: the trivial partition {JCK} is ψ-quotient for
+  // any ψ.
+  auto FRes = compileSingleFunction(R"(
+    fn f(secret h: int, public l: int) {
+      var i: int = 0;
+      while (i < l) { i = i + 1; }
+    }
+  )",
+                                    BuiltinRegistry::standard());
+  ASSERT_TRUE(static_cast<bool>(FRes));
+  const CfgFunction &F = *FRes;
+  BoundAnalysis BA(F);
+  BlazerResult Fake;
+  Trail Root;
+  Root.Id = 0;
+  Root.Auto = BA.mostGeneralTrail();
+  Root.Bounds = BA.analyzeTrail(Root.Auto);
+  Fake.Tree.push_back(Root);
+  InputGrid Grid;
+  QuotientCheckResult Q =
+      checkQuotientPartition(F, Fake, enumerateInputs(F, Grid));
+  EXPECT_TRUE(Q.Holds) << Q.CounterExample;
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+//===- SelfCompTest.cpp - Tests for the self-composition baseline -----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "selfcomp/SelfComposition.h"
+#include "benchmarks/Benchmarks.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+TEST(SelfComp, ComposedCfgHasTwoCopiesPlusPrologue) {
+  CfgFunction F = compile("fn f(secret h: int, public l: int) { skip; }");
+  CfgFunction C = buildSelfComposition(F);
+  EXPECT_EQ(C.blockCount(), 2 * F.blockCount() + 1);
+  EXPECT_EQ(C.Name, "f$selfcomp");
+}
+
+TEST(SelfComp, LowParamsSharedHighParamsDuplicated) {
+  CfgFunction F = compile(
+      "fn f(secret h: int, public l: int, secret arr: int[]) { }");
+  CfgFunction C = buildSelfComposition(F);
+  std::set<std::string> Names;
+  for (const Param &P : C.Params)
+    Names.insert(P.Name);
+  EXPECT_TRUE(Names.count("l"));
+  EXPECT_TRUE(Names.count("h$1"));
+  EXPECT_TRUE(Names.count("h$2"));
+  EXPECT_TRUE(Names.count("arr$1"));
+  EXPECT_TRUE(Names.count("arr$2"));
+  EXPECT_FALSE(Names.count("h"));
+  EXPECT_EQ(C.paramLevel("l"), SecurityLevel::Public);
+  EXPECT_EQ(C.paramLevel("h$1"), SecurityLevel::Secret);
+}
+
+TEST(SelfComp, CostCountersDeclared) {
+  CfgFunction F = compile("fn f(public l: int) { }");
+  CfgFunction C = buildSelfComposition(F);
+  EXPECT_EQ(C.VarTypes.at("cost$1"), TypeKind::Int);
+  EXPECT_EQ(C.VarTypes.at("cost$2"), TypeKind::Int);
+}
+
+TEST(SelfComp, ComposedProgramIsRunnable) {
+  // The composition is an ordinary CfgFunction: the interpreter can run it
+  // and both copies execute (visible through the shared low parameter).
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) -> int {
+      var x: int = l + h;
+      return x;
+    }
+  )");
+  CfgFunction C = buildSelfComposition(F);
+  InputAssignment In;
+  In.Ints["l"] = 3;
+  In.Ints["h$1"] = 10;
+  In.Ints["h$2"] = 20;
+  TraceResult TR = runFunction(C, In);
+  EXPECT_TRUE(TR.Ok) << TR.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Verification outcomes
+//===----------------------------------------------------------------------===//
+
+TEST(SelfComp, VerifiesStraightLineCode) {
+  CfgFunction F = compile(
+      "fn f(secret h: int, public l: int) { var x: int = h + l; x = x * 2; }");
+  SelfCompResult R = verifyBySelfComposition(F, /*Epsilon=*/0);
+  EXPECT_TRUE(R.GapBounded);
+  EXPECT_TRUE(R.Verified);
+  EXPECT_EQ(R.GapUpper, 0);
+  EXPECT_EQ(R.GapLower, 0);
+}
+
+TEST(SelfComp, VerifiesBalancedSecretBranch) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var x: int = 0;
+      if (h == 0) { x = 1; } else { x = 2; }
+    }
+  )");
+  SelfCompResult R = verifyBySelfComposition(F, /*Epsilon=*/4);
+  EXPECT_TRUE(R.GapBounded);
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST(SelfComp, RefutesUnbalancedSecretBranchWithTightEpsilon) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var x: int = 0;
+      if (h == 0) { x = 1; } else { x = md5(l); }
+    }
+  )");
+  SelfCompResult R = verifyBySelfComposition(F, /*Epsilon=*/16);
+  EXPECT_TRUE(R.GapBounded);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_GE(R.GapUpper, 800); // The md5 imbalance shows in the gap.
+}
+
+TEST(SelfComp, LosesLoopsThatDecompositionHandles) {
+  // Example 1 of the paper: decomposition proves it (see BlazerDriverTest);
+  // the sequential self-composition cannot relate the two loop counters
+  // through widening and fails — exactly the paper's motivation.
+  CfgFunction F = compile(R"(
+    fn foo(secret high: int, public low: int) {
+      var i: int = 0;
+      if (high == 0) {
+        i = 0;
+        while (i < low) { i = i + 1; }
+      } else {
+        i = low;
+        while (i > 0) { i = i - 1; }
+      }
+    }
+  )");
+  SelfCompResult R = verifyBySelfComposition(F, /*Epsilon=*/64);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_FALSE(R.GapBounded);
+}
+
+TEST(SelfComp, StateSpaceGrowsQuadratically) {
+  CfgFunction F = compile(R"(
+    fn f(secret h: int, public l: int) {
+      var x: int = 0;
+      if (l > 0) { x = 1; } else { x = 2; }
+      if (l > 1) { x = 3; } else { x = 4; }
+    }
+  )");
+  SelfCompResult R = verifyBySelfComposition(F, 4);
+  EXPECT_EQ(R.ComposedBlocks, 2 * F.blockCount() + 1);
+  EXPECT_GE(R.ProductNodes, R.ComposedBlocks - 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep over the benchmark suite: the baseline must never out-verify the
+// ground truth (no unsafe benchmark may be "verified").
+//===----------------------------------------------------------------------===//
+
+class SelfCompOnBenchmarks
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(SelfCompOnBenchmarks, NeverVerifiesUnsafePrograms) {
+  const BenchmarkProgram &B = *GetParam();
+  if (B.Expected == VerdictKind::Safe)
+    GTEST_SKIP() << "only checking unsafe programs here";
+  CfgFunction F = B.compile();
+  SelfCompResult R =
+      verifyBySelfComposition(F, B.options().Observer.threshold());
+  EXPECT_FALSE(R.Verified) << B.Name;
+}
+
+std::vector<const BenchmarkProgram *> allPtrs() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, SelfCompOnBenchmarks, ::testing::ValuesIn(allPtrs()),
+    [](const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+      return Info.param->Name;
+    });
+
+} // namespace

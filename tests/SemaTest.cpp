@@ -1,0 +1,152 @@
+//===- SemaTest.cpp - Tests for semantic analysis ---------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+struct SemaOutcome {
+  bool Ok;
+  std::string Message;
+  SemaResult Result;
+};
+
+SemaOutcome runSema(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(static_cast<bool>(P)) << (P ? "" : P.diag().str());
+  if (!P)
+    return {false, "parse error", {}};
+  Program Prog = P.take();
+  auto S = analyzeProgram(Prog, BuiltinRegistry::standard());
+  if (!S)
+    return {false, S.diag().Message, {}};
+  return {true, "", S.take()};
+}
+
+TEST(Sema, CollectsVarTypesAndLevels) {
+  SemaOutcome O = runSema(
+      "fn f(public a: int, secret b: int[]) { var x: bool = true; }");
+  ASSERT_TRUE(O.Ok) << O.Message;
+  const FunctionInfo &Info = O.Result.Functions.at("f");
+  EXPECT_EQ(Info.VarTypes.at("a"), TypeKind::Int);
+  EXPECT_EQ(Info.VarTypes.at("b"), TypeKind::IntArray);
+  EXPECT_EQ(Info.VarTypes.at("x"), TypeKind::Bool);
+  EXPECT_EQ(Info.ParamLevels.at("a"), SecurityLevel::Public);
+  EXPECT_EQ(Info.ParamLevels.at("b"), SecurityLevel::Secret);
+  EXPECT_EQ(Info.ParamLevels.count("x"), 0u);
+}
+
+TEST(Sema, AnnotatesExpressionTypes) {
+  auto P = parseProgram("fn f(public a: int) { var b: bool = a < 1; }");
+  ASSERT_TRUE(static_cast<bool>(P));
+  Program Prog = P.take();
+  ASSERT_TRUE(
+      static_cast<bool>(analyzeProgram(Prog, BuiltinRegistry::standard())));
+  const auto *D = cast<VarDeclStmt>(Prog.Functions[0]->Body[0].get());
+  EXPECT_EQ(D->Init->type(), TypeKind::Bool);
+  EXPECT_EQ(cast<BinaryExpr>(D->Init.get())->Lhs->type(), TypeKind::Int);
+}
+
+TEST(Sema, BuiltinCallTypes) {
+  SemaOutcome O = runSema(
+      "fn f(public x: int) { var y: int = mulmod(x, x, 7); }");
+  EXPECT_TRUE(O.Ok) << O.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Rejections
+//===----------------------------------------------------------------------===//
+
+struct BadCase {
+  const char *Name;
+  const char *Src;
+  const char *ExpectSubstring;
+};
+
+class SemaRejects : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(SemaRejects, ReportsError) {
+  SemaOutcome O = runSema(GetParam().Src);
+  ASSERT_FALSE(O.Ok) << "expected a sema error";
+  EXPECT_NE(O.Message.find(GetParam().ExpectSubstring), std::string::npos)
+      << "got: " << O.Message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SemaRejects,
+    ::testing::Values(
+        BadCase{"UndeclaredRead", "fn f() { var x: int = y; }",
+                "undeclared"},
+        BadCase{"UndeclaredAssign", "fn f() { x = 1; }", "undeclared"},
+        BadCase{"Redeclaration",
+                "fn f(public x: int) { var x: int = 0; }",
+                "redeclaration"},
+        BadCase{"DuplicateParam", "fn f(public x: int, secret x: int) { }",
+                "duplicate parameter"},
+        BadCase{"DuplicateFunction", "fn f() { } fn f() { }",
+                "duplicate function"},
+        BadCase{"IntCondition", "fn f(public x: int) { if (x) { } }",
+                "must be bool"},
+        BadCase{"BoolArithmetic",
+                "fn f(public b: bool) { var x: int = b + 1; }",
+                "needs int operands"},
+        BadCase{"MixedEquality",
+                "fn f(public b: bool, public x: int) "
+                "{ var c: bool = b == x; }",
+                "matching"},
+        BadCase{"AssignTypeMismatch",
+                "fn f(public x: int) { x = true; }", "type mismatch"},
+        BadCase{"ArrayNotReassignable",
+                "fn f(public a: int[], public b: int[]) { a = 0; }",
+                "cannot reassign array"},
+        BadCase{"IndexingNonArray",
+                "fn f(public x: int) { var y: int = x[0]; }",
+                "is not an array"},
+        BadCase{"BoolArrayIndex",
+                "fn f(public a: int[], public b: bool) "
+                "{ var y: int = a[b]; }",
+                "index must be int"},
+        BadCase{"ArrayUsedAsScalar",
+                "fn f(public a: int[]) { var y: int = a; }",
+                "indexed or measured"},
+        BadCase{"UnknownBuiltin", "fn f(public x: int) { frobnicate(x); }",
+                "unknown builtin"},
+        BadCase{"BuiltinArity", "fn f(public x: int) { var y: int = md5(); }",
+                "expects 1 arguments"},
+        BadCase{"BuiltinArgType",
+                "fn f(public b: bool) { var y: int = md5(b); }",
+                "wrong type"},
+        BadCase{"ReturnTypeMismatch",
+                "fn f() -> int { return true; }", "return type mismatch"},
+        BadCase{"WhileCondInt",
+                "fn f(public x: int) { while (x + 1) { } }",
+                "must be bool"},
+        BadCase{"NotOnInt", "fn f(public x: int) { var b: bool = !x; }",
+                "needs a bool"},
+        BadCase{"NegOnBool", "fn f(public b: bool) { var x: int = -b; }",
+                "needs an int"}),
+    [](const ::testing::TestParamInfo<BadCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(Sema, ArrayLocalsAllowedButNotInitialized) {
+  SemaOutcome Ok = runSema("fn f() { var a: int[]; }");
+  EXPECT_TRUE(Ok.Ok) << Ok.Message;
+  SemaOutcome Bad = runSema("fn f(public b: int[]) { var a: int[] = b; }");
+  EXPECT_FALSE(Bad.Ok);
+}
+
+TEST(Sema, DeclareBeforeUseEnforcedInOrder) {
+  SemaOutcome O = runSema("fn f() { x = 1; var x: int = 0; }");
+  EXPECT_FALSE(O.Ok);
+}
+
+} // namespace

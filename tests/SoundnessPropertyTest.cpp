@@ -1,0 +1,213 @@
+//===- SoundnessPropertyTest.cpp - Verdicts vs. ground truth ----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end soundness properties against the concrete interpreter:
+///  - per-trail bound soundness: every concrete trace's cost lies within
+///    its covering trails' symbolic bounds;
+///  - attack validation: for benchmarks with an attack specification, an
+///    equal-low input pair with observably different costs actually exists
+///    (the "feasibility of the specification" step the paper delegates to
+///    symbolic execution or a programmer);
+///  - safe-verdict consistency: empirical equal-low cost gaps of verified
+///    benchmarks stay within the observer's threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "core/QuotientCheck.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+InputGrid smallGrid() {
+  InputGrid Grid;
+  Grid.IntValues = {-1, 0, 1, 3};
+  Grid.ArrayLengths = {0, 1, 2};
+  Grid.ElementValues = {0, 1};
+  Grid.MaxAssignments = 400;
+  return Grid;
+}
+
+std::map<std::string, int64_t> symbolEnv(const CfgFunction &F,
+                                         const InputAssignment &In) {
+  std::map<std::string, int64_t> Env;
+  for (const auto &[Name, Val] : In.Ints)
+    Env[Name] = Val;
+  for (const auto &[Name, Arr] : In.Arrays)
+    Env[Name + ".len"] = static_cast<int64_t>(Arr.size());
+  (void)F;
+  return Env;
+}
+
+/// Rewrites \p In so that arrays with pinned lengths (key sizes) have
+/// exactly the pinned length, repeating the original small pattern
+/// cyclically — the bounds are only claimed for pin-satisfying inputs.
+InputAssignment respectPins(const CfgFunction &F, const ObserverModel &Obs,
+                            InputAssignment In) {
+  for (const Param &P : F.Params) {
+    if (P.Type != TypeKind::IntArray)
+      continue;
+    std::string Sym = P.Name + ".len";
+    if (!Obs.isPinned(Sym))
+      continue;
+    int64_t Len = Obs.maxInput(Sym);
+    std::vector<int64_t> Pattern = In.Arrays[P.Name];
+    std::vector<int64_t> Expanded(static_cast<size_t>(Len), 0);
+    for (size_t I = 0; I < Expanded.size(); ++I)
+      Expanded[I] = Pattern.empty() ? 0 : Pattern[I % Pattern.size()];
+    In.Arrays[P.Name] = std::move(Expanded);
+  }
+  return In;
+}
+
+class TrailBoundSoundness
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(TrailBoundSoundness, EveryTraceWithinCoveringTrailBounds) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  BlazerResult R = analyzeFunction(F, B.options());
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+
+  std::vector<InputAssignment> Inputs;
+  for (InputAssignment &In : enumerateInputs(F, smallGrid()))
+    Inputs.push_back(respectPins(F, B.options().Observer, std::move(In)));
+  std::sort(Inputs.begin(), Inputs.end(),
+            [](const InputAssignment &X, const InputAssignment &Y) {
+              return X.str() < Y.str();
+            });
+  Inputs.erase(std::unique(Inputs.begin(), Inputs.end(),
+                           [](const InputAssignment &X,
+                              const InputAssignment &Y) {
+                             return X.str() == Y.str();
+                           }),
+               Inputs.end());
+
+  size_t Checked = 0;
+  for (const InputAssignment &In : Inputs) {
+    TraceResult TR = runFunction(F, In);
+    if (!TR.Ok)
+      continue;
+    std::map<std::string, int64_t> Env = symbolEnv(F, In);
+    for (const Trail &T : R.Tree) {
+      if (!T.feasible())
+        continue;
+      if (!traceInTrail(T.Auto, A, TR.Edges))
+        continue;
+      ++Checked;
+      EXPECT_LE(T.Bounds.Lo.evaluate(Env), TR.Cost)
+          << B.Name << " tr" << T.Id << " input " << In.str();
+      if (T.Bounds.hasUpper()) {
+        EXPECT_GE(T.Bounds.Hi->evaluate(Env), TR.Cost)
+            << B.Name << " tr" << T.Id << " input " << In.str();
+      }
+    }
+  }
+  EXPECT_GT(Checked, 0u) << B.Name;
+}
+
+std::vector<const BenchmarkProgram *> allPtrs() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, TrailBoundSoundness, ::testing::ValuesIn(allPtrs()),
+    [](const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+      return Info.param->Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Attack-specification feasibility
+//===----------------------------------------------------------------------===//
+
+/// The unsafe benchmarks with concrete equal-low witnesses reachable on a
+/// small grid.
+class AttackWitness : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AttackWitness, EqualLowPairWithDifferentCostExists) {
+  const BenchmarkProgram *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  ASSERT_EQ(R.Verdict, VerdictKind::Attack) << R.treeString(F);
+
+  InputGrid Grid = smallGrid();
+  Grid.IntValues = {-2, 0, 1, 4};
+  Grid.ArrayLengths = {0, 2, 3};
+  EmpiricalTcf E = empiricalTimingCheck(F, enumerateInputs(F, Grid));
+  EXPECT_GT(E.MaxGapEqualLow, 0) << GetParam();
+  ASSERT_TRUE(E.Witness.has_value());
+  EXPECT_TRUE(InputAssignment::agreeOn(F, SecurityLevel::Public,
+                                       E.Witness->first,
+                                       E.Witness->second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Unsafe, AttackWitness,
+    ::testing::Values("array_unsafe", "loopAndbranch_unsafe",
+                      "notaint_unsafe", "sanity_unsafe",
+                      "straightline_unsafe", "unixlogin_unsafe",
+                      "modPow1_unsafe", "modPow2_unsafe", "pwdEqual_unsafe",
+                      "k96_unsafe", "login_unsafe"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+//===----------------------------------------------------------------------===//
+// Safe verdicts vs. empirical gaps
+//===----------------------------------------------------------------------===//
+
+/// For safe MicroBench programs verified under the degree model with small
+/// inputs, the empirical equal-low gap must stay modest; for the
+/// constant-time ones it must stay within epsilon.
+class SafeEmpirical : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SafeEmpirical, ConstantTimeBenchmarksHaveTinyGap) {
+  const BenchmarkProgram *B = findBenchmark(GetParam());
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BlazerResult R = analyzeFunction(F, B->options());
+  ASSERT_EQ(R.Verdict, VerdictKind::Safe);
+  EmpiricalTcf E = empiricalTimingCheck(F, enumerateInputs(F, smallGrid()));
+  // These benchmarks are constant-time up to the observer epsilon.
+  EXPECT_LE(E.MaxGapEqualLow, B->options().Observer.threshold())
+      << (E.Witness ? E.Witness->first.str() + " vs " +
+                          E.Witness->second.str()
+                    : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstantTimeSafe, SafeEmpirical,
+    ::testing::Values("sanity_safe", "straightline_safe", "unixlogin_safe",
+                      "nosecret_safe", "pwdEqual_safe", "login_safe",
+                      "gpt14_safe", "k96_safe", "modPow1_safe",
+                      "modPow2_safe"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+TEST(SafeEmpiricalSpecial, ArraySafeGapBoundedByLowLength) {
+  // array_safe is safe under the degree model: both secret arms are linear
+  // in low.length, so equal-low runs differ by at most a constant factor
+  // of the iteration-cost difference.
+  const BenchmarkProgram *B = findBenchmark("array_safe");
+  CfgFunction F = B->compile();
+  InputGrid Grid = smallGrid();
+  EmpiricalTcf E = empiricalTimingCheck(F, enumerateInputs(F, Grid));
+  // Low length <= 2 in the grid: tiny per-iteration delta only.
+  EXPECT_LE(E.MaxGapEqualLow, 16);
+}
+
+} // namespace

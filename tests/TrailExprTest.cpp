@@ -1,0 +1,162 @@
+//===- TrailExprTest.cpp - Tests for regular trail expressions -------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/TrailExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+using TE = TrailExpr;
+
+TEST(TrailExpr, SmartConstructorsSimplify) {
+  TE::Ptr E = TE::empty();
+  TE::Ptr Eps = TE::epsilon();
+  TE::Ptr S = TE::symbol(0);
+  // Annihilator and identity laws.
+  EXPECT_EQ(TE::concat(E, S)->kind(), TE::Kind::Empty);
+  EXPECT_EQ(TE::concat(S, E)->kind(), TE::Kind::Empty);
+  EXPECT_EQ(TE::concat(Eps, S), S);
+  EXPECT_EQ(TE::concat(S, Eps), S);
+  EXPECT_EQ(TE::unite(E, S), S);
+  EXPECT_EQ(TE::unite(S, E), S);
+  EXPECT_EQ(TE::unite(S, S), S);
+  EXPECT_EQ(TE::star(E)->kind(), TE::Kind::Epsilon);
+  EXPECT_EQ(TE::star(Eps)->kind(), TE::Kind::Epsilon);
+  // (r*)* == r*.
+  TE::Ptr Star = TE::star(S);
+  EXPECT_EQ(TE::star(Star), Star);
+}
+
+TEST(TrailExpr, TaintMarkRendering) {
+  TaintMark L;
+  L.Low = true;
+  TaintMark H;
+  H.High = true;
+  TaintMark Both;
+  Both.Low = Both.High = true;
+  EXPECT_EQ(L.str(), "l");
+  EXPECT_EQ(H.str(), "h");
+  EXPECT_EQ(Both.str(), "l,h");
+  EXPECT_EQ(TaintMark().str(), "");
+  EXPECT_TRUE(L.any());
+  EXPECT_FALSE(TaintMark().any());
+}
+
+TEST(TrailExpr, StrShowsAnnotations) {
+  TaintMark L;
+  L.Low = true;
+  TE::Ptr E = TE::unite(TE::symbol(0), TE::symbol(1), L);
+  EXPECT_EQ(E->str(), "e0 |_l e1");
+  TaintMark H;
+  H.High = true;
+  TE::Ptr St = TE::star(TE::symbol(2), H);
+  EXPECT_EQ(St->str(), "e2*_h");
+}
+
+TEST(TrailExpr, StrPrecedence) {
+  // (a|b) . c* needs parens around the union, none around the star.
+  TE::Ptr E = TE::concat(TE::unite(TE::symbol(0), TE::symbol(1)),
+                         TE::star(TE::symbol(2)));
+  EXPECT_EQ(E->str(), "(e0 | e1) . e2*");
+}
+
+TEST(TrailExpr, ToDfaMatchesSemantics) {
+  // (0 . 1*) | 2
+  TE::Ptr E = TE::unite(
+      TE::concat(TE::symbol(0), TE::star(TE::symbol(1))), TE::symbol(2));
+  Dfa D = E->toDfa(3);
+  EXPECT_TRUE(D.accepts({0}));
+  EXPECT_TRUE(D.accepts({0, 1, 1}));
+  EXPECT_TRUE(D.accepts({2}));
+  EXPECT_FALSE(D.accepts({}));
+  EXPECT_FALSE(D.accepts({1}));
+  EXPECT_FALSE(D.accepts({2, 2}));
+  EXPECT_FALSE(D.accepts({0, 2}));
+}
+
+TEST(TrailExpr, EmptyAndEpsilonAutomata) {
+  EXPECT_TRUE(TE::empty()->toDfa(2).isEmpty());
+  Dfa Eps = TE::epsilon()->toDfa(2);
+  EXPECT_TRUE(Eps.accepts({}));
+  EXPECT_FALSE(Eps.accepts({0}));
+}
+
+TEST(TrailExpr, SizeCountsNodes) {
+  TE::Ptr E = TE::concat(TE::symbol(0), TE::unite(TE::symbol(1),
+                                                  TE::symbol(2)));
+  EXPECT_EQ(E->size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// DFA -> regex extraction (state elimination) round trips
+//===----------------------------------------------------------------------===//
+
+class RegexRoundTrip : public ::testing::TestWithParam<int> {
+protected:
+  static constexpr int NumSymbols = 3;
+
+  static Dfa make(int Seed) {
+    Dfa D = Dfa::allWords(NumSymbols);
+    uint32_t S = static_cast<uint32_t>(Seed) * 2654435761u + 99u;
+    auto Next = [&S] {
+      S ^= S << 13;
+      S ^= S >> 17;
+      S ^= S << 5;
+      return S;
+    };
+    int Ops = 1 + Next() % 2;
+    for (int I = 0; I < Ops; ++I) {
+      int Sym = Next() % NumSymbols;
+      Dfa Atom = Next() % 2 ? Dfa::containsSymbol(NumSymbols, Sym)
+                            : Dfa::avoidsSymbol(NumSymbols, Sym);
+      D = Next() % 2 ? D.intersect(Atom) : D.unite(Atom);
+    }
+    return D.minimize();
+  }
+};
+
+TEST_P(RegexRoundTrip, DfaToRegexToDfaPreservesLanguage) {
+  Dfa D = make(GetParam());
+  TE::Ptr E = dfaToTrailExpr(D, /*SizeLimit=*/100000);
+  ASSERT_NE(E, nullptr);
+  Dfa Back = E->toDfa(NumSymbols);
+  EXPECT_TRUE(Back.equivalent(D)) << "regex: " << E->str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexRoundTrip, ::testing::Range(0, 15));
+
+TEST(RegexExtraction, EmptyLanguageYieldsEmptyExpr) {
+  TE::Ptr E = dfaToTrailExpr(Dfa::emptyLanguage(2));
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->kind(), TE::Kind::Empty);
+}
+
+TEST(RegexExtraction, SizeLimitReturnsNull) {
+  // A product of several constraints blows past a tiny limit.
+  Dfa D = Dfa::containsSymbol(3, 0)
+              .intersect(Dfa::containsSymbol(3, 1))
+              .intersect(Dfa::containsSymbol(3, 2));
+  EXPECT_EQ(dfaToTrailExpr(D, /*SizeLimit=*/3), nullptr);
+}
+
+TEST(RegexExtraction, CfgAutomatonOfLoopRoundTrips) {
+  auto F = compileSingleFunction(
+      "fn f(public n: int) { var i: int = 0; while (i < n) { i = i + 1; } }",
+      BuiltinRegistry::standard());
+  ASSERT_TRUE(static_cast<bool>(F));
+  EdgeAlphabet A = EdgeAlphabet::forFunction(*F);
+  Dfa D = Dfa::fromCfg(*F, A);
+  TE::Ptr E = dfaToTrailExpr(D, 100000);
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->toDfa(static_cast<int>(A.size())).equivalent(D));
+  // The rendered trail mentions CFG edges in From->To form.
+  EXPECT_NE(E->str(&A).find("->"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,308 @@
+//===- VarEnvTest.cpp - Tests for transfer functions and assumptions --------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/VarEnv.h"
+#include "dataflow/Taint.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+/// Parses \p Text as the condition of a one-line function so tests can
+/// build arbitrary typed expressions.
+struct CondHarness {
+  CfgFunction F;
+  const Expr *Cond = nullptr;
+
+  explicit CondHarness(const std::string &CondText)
+      : F(compile("fn f(public a: int, public b: int, public flag: bool, "
+                  "public arr: int[]) { if (" +
+                  CondText + ") { skip; } }")) {
+    for (const BasicBlock &B : F.Blocks)
+      if (B.Term == BasicBlock::TermKind::Branch)
+        Cond = B.Cond;
+    EXPECT_NE(Cond, nullptr);
+  }
+};
+
+TEST(VarEnv, RegistersLocalsParamsSeedsAndLengths) {
+  CfgFunction F = compile(
+      "fn f(public a: int, secret arr: int[]) { var x: int = 0; }");
+  VarEnv Env(F);
+  EXPECT_GT(Env.indexOf("a"), 0);
+  EXPECT_GT(Env.indexOf("a#in"), 0);
+  EXPECT_GT(Env.indexOf("x"), 0);
+  EXPECT_GT(Env.indexOf(lengthSymbol("arr")), 0);
+  EXPECT_EQ(Env.indexOf("nope"), -1);
+  EXPECT_TRUE(Env.isInputSymbol(Env.indexOf("a#in")));
+  EXPECT_TRUE(Env.isInputSymbol(Env.indexOf("arr.len")));
+  EXPECT_FALSE(Env.isInputSymbol(Env.indexOf("x")));
+  EXPECT_EQ(Env.displaySymbol(Env.indexOf("a#in")), "a");
+  EXPECT_EQ(Env.displaySymbol(Env.indexOf("arr.len")), "arr.len");
+}
+
+TEST(VarEnv, InitialStatePinsParamsToSeeds) {
+  CfgFunction F = compile("fn f(public a: int, public arr: int[]) { }");
+  VarEnv Env(F);
+  Dbm D = Env.initialState();
+  int A = Env.indexOf("a");
+  int In = Env.indexOf("a#in");
+  EXPECT_EQ(*D.exactDifference(A, In), 0);
+  // Lengths are non-negative.
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("arr.len")), 0);
+}
+
+TEST(VarEnv, InitialStateBoundsBooleans) {
+  CfgFunction F = compile("fn f(secret flag: bool) { }");
+  VarEnv Env(F);
+  Dbm D = Env.initialState();
+  int Fl = Env.indexOf("flag");
+  EXPECT_EQ(*D.lowerOf(Fl), 0);
+  EXPECT_EQ(*D.upperOfOpt(Fl), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Linear-form parsing
+//===----------------------------------------------------------------------===//
+
+TEST(VarEnv, ParsesLinearShapes) {
+  CondHarness H("a + 2 * b - 3 < arr.length");
+  VarEnv Env(H.F);
+  const auto *Cmp = cast<BinaryExpr>(H.Cond);
+  auto L = Env.parseLinear(Cmp->Lhs.get());
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->Coeffs.at(Env.indexOf("a")), 1);
+  EXPECT_EQ(L->Coeffs.at(Env.indexOf("b")), 2);
+  EXPECT_EQ(L->Const, -3);
+  auto R = Env.parseLinear(Cmp->Rhs.get());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Coeffs.at(Env.indexOf("arr.len")), 1);
+}
+
+TEST(VarEnv, ParseLinearRejectsNonlinear) {
+  CondHarness H("a * b > 0");
+  VarEnv Env(H.F);
+  EXPECT_FALSE(
+      Env.parseLinear(cast<BinaryExpr>(H.Cond)->Lhs.get()).has_value());
+}
+
+TEST(VarEnv, ParseLinearHandlesNegation) {
+  CondHarness H("-(a - b) > 0");
+  VarEnv Env(H.F);
+  auto L = Env.parseLinear(cast<BinaryExpr>(H.Cond)->Lhs.get());
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->Coeffs.at(Env.indexOf("a")), -1);
+  EXPECT_EQ(L->Coeffs.at(Env.indexOf("b")), 1);
+}
+
+TEST(VarEnv, ParseLinearCancelsTerms) {
+  CondHarness H("a - a + 1 > 0");
+  VarEnv Env(H.F);
+  auto L = Env.parseLinear(cast<BinaryExpr>(H.Cond)->Lhs.get());
+  ASSERT_TRUE(L.has_value());
+  EXPECT_TRUE(L->Coeffs.empty());
+  EXPECT_EQ(L->Const, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Assignment transfer
+//===----------------------------------------------------------------------===//
+
+/// Runs the entry block's instructions on the initial state.
+Dbm runEntry(const CfgFunction &F, const VarEnv &Env) {
+  Dbm D = Env.initialState();
+  for (const Instr &I : F.block(F.Entry).Instrs)
+    Env.transferInstr(D, I);
+  return D;
+}
+
+TEST(Transfer, ConstantAssignment) {
+  CfgFunction F = compile("fn f() { var x: int = 42; }");
+  VarEnv Env(F);
+  Dbm D = runEntry(F, Env);
+  EXPECT_EQ(*D.upperOfOpt(Env.indexOf("x")), 42);
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("x")), 42);
+}
+
+TEST(Transfer, CopyPlusConstantKeepsRelation) {
+  CfgFunction F = compile(
+      "fn f(public a: int) { var x: int = a + 3; }");
+  VarEnv Env(F);
+  Dbm D = runEntry(F, Env);
+  EXPECT_EQ(*D.exactDifference(Env.indexOf("x"), Env.indexOf("a")), 3);
+  // Transitively x relates to the input seed.
+  EXPECT_EQ(*D.exactDifference(Env.indexOf("x"), Env.indexOf("a#in")), 3);
+}
+
+TEST(Transfer, GeneralLinearFallsBackToIntervals) {
+  CfgFunction F = compile(R"(
+    fn f() {
+      var a: int = 2;
+      var b: int = 5;
+      var x: int = a + b;
+    }
+  )");
+  VarEnv Env(F);
+  Dbm D = runEntry(F, Env);
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("x")), 7);
+  EXPECT_EQ(*D.upperOfOpt(Env.indexOf("x")), 7);
+}
+
+TEST(Transfer, UnmodeledRhsForgets) {
+  CfgFunction F = compile(R"(
+    fn f(public arr: int[]) {
+      var x: int = 1;
+      x = arr[0];
+    }
+  )");
+  VarEnv Env(F);
+  Dbm D = runEntry(F, Env);
+  EXPECT_FALSE(D.upperOfOpt(Env.indexOf("x")).has_value());
+  EXPECT_FALSE(D.lowerOf(Env.indexOf("x")).has_value());
+}
+
+TEST(Transfer, BooleanComparisonAssignGivesUnitRange) {
+  CfgFunction F = compile(
+      "fn f(public a: int) { var b: bool = a < 10; }");
+  VarEnv Env(F);
+  Dbm D = runEntry(F, Env);
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("b")), 0);
+  EXPECT_EQ(*D.upperOfOpt(Env.indexOf("b")), 1);
+}
+
+TEST(Transfer, ArrayLengthAssignRelatesToLengthVar) {
+  CfgFunction F = compile(
+      "fn f(public arr: int[]) { var n: int = arr.length; }");
+  VarEnv Env(F);
+  Dbm D = runEntry(F, Env);
+  EXPECT_EQ(*D.exactDifference(Env.indexOf("n"), Env.indexOf("arr.len")), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Branch assumptions
+//===----------------------------------------------------------------------===//
+
+TEST(Assume, ComparisonRefinesBothSides) {
+  CondHarness H("a < b");
+  VarEnv Env(H.F);
+  Dbm True = Env.initialState();
+  Env.assumeCond(True, H.Cond, true);
+  EXPECT_LE(True.bound(Env.indexOf("a"), Env.indexOf("b")), -1);
+  Dbm False = Env.initialState();
+  Env.assumeCond(False, H.Cond, false);
+  EXPECT_LE(False.bound(Env.indexOf("b"), Env.indexOf("a")), 0);
+}
+
+TEST(Assume, EqualityPinsDifference) {
+  CondHarness H("a == b + 2");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_EQ(*D.exactDifference(Env.indexOf("a"), Env.indexOf("b")), 2);
+}
+
+TEST(Assume, ConstantComparisonBecomesInterval) {
+  CondHarness H("a >= 10");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("a")), 10);
+}
+
+TEST(Assume, BoolVarPositiveAndNegative) {
+  CondHarness H("flag");
+  VarEnv Env(H.F);
+  Dbm T = Env.initialState();
+  Env.assumeCond(T, H.Cond, true);
+  EXPECT_EQ(*T.lowerOf(Env.indexOf("flag")), 1);
+  Dbm Fa = Env.initialState();
+  Env.assumeCond(Fa, H.Cond, false);
+  EXPECT_EQ(*Fa.upperOfOpt(Env.indexOf("flag")), 0);
+}
+
+TEST(Assume, NotFlipsPolarity) {
+  CondHarness H("!(a < 5)");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("a")), 5);
+}
+
+TEST(Assume, ConjunctionAppliesBoth) {
+  CondHarness H("a >= 1 && a <= 3");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("a")), 1);
+  EXPECT_EQ(*D.upperOfOpt(Env.indexOf("a")), 3);
+}
+
+TEST(Assume, DisjunctionJoins) {
+  CondHarness H("a <= 1 || a <= 3");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Env.assumeCond(D, H.Cond, true);
+  // Join of the two refinements: only a <= 3 survives.
+  EXPECT_EQ(*D.upperOfOpt(Env.indexOf("a")), 3);
+}
+
+TEST(Assume, NegatedConjunctionIsDeMorganJoin) {
+  CondHarness H("a >= 1 && a <= 3");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  D.addConstraint(0, Env.indexOf("a"), 0); // a >= 0 to make the join finite.
+  Env.assumeCond(D, H.Cond, false);
+  // !(1<=a<=3) joined under a>=0: lower bound stays 0.
+  EXPECT_EQ(*D.lowerOf(Env.indexOf("a")), 0);
+}
+
+TEST(Assume, LiteralFalseIsBottom) {
+  CondHarness H("false");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_TRUE(D.isBottom());
+  Dbm D2 = Env.initialState();
+  Env.assumeCond(D2, H.Cond, false);
+  EXPECT_FALSE(D2.isBottom());
+}
+
+TEST(Assume, ContradictingConstantComparison) {
+  CondHarness H("1 > 2");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_TRUE(D.isBottom());
+}
+
+TEST(Assume, DisequalityIsIgnoredSoundly) {
+  CondHarness H("a != b");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Dbm Before = D;
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_TRUE(Before.leq(D) && D.leq(Before)); // Unchanged.
+}
+
+TEST(Assume, NonlinearConditionIsIgnoredSoundly) {
+  CondHarness H("a * b > 0");
+  VarEnv Env(H.F);
+  Dbm D = Env.initialState();
+  Dbm Before = D;
+  Env.assumeCond(D, H.Cond, true);
+  EXPECT_TRUE(Before.leq(D) && D.leq(Before));
+}
+
+} // namespace

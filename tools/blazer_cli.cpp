@@ -1,0 +1,269 @@
+//===- blazer_cli.cpp - The blazer command-line tool -------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end: analyze mini-language source files for timing
+/// channels.
+///
+/// \code
+///   blazer [options] <file> [function...]
+///
+///   --observer=degree|concrete   observability model (default degree)
+///   --epsilon=N                  degree-model constant slack (default 32)
+///   --threshold=N                concrete-model gap threshold (default 25000)
+///   --max-input=N                concrete-model default input max (default 4096)
+///   --pin=SYM=VAL                pin a public-knowledge symbol, e.g.
+///                                --pin=key.len=4096 (repeatable)
+///   --capacity=Q                 verify channel capacity Q instead of tcf
+///   --no-attack                  safety verification only
+///   --selfcomp                   also run the self-composition baseline
+///   --dot                        print the CFG in Graphviz format
+///   --regex                      print the annotated most-general trail
+///   --max-trails=N --max-depth=N refinement budgets
+/// \endcode
+///
+/// Exit code: 0 when every analyzed function is safe (or capacity-bounded),
+/// 2 when some function has an attack specification, 3 on unknown, 1 on
+/// usage/compile errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Blazer.h"
+#include "ir/Cfg.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "selfcomp/SelfComposition.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+struct CliOptions {
+  std::string ObserverKind = "degree";
+  int64_t Epsilon = 32;
+  int64_t Threshold = 25000;
+  int64_t MaxInput = 4096;
+  std::vector<std::pair<std::string, int64_t>> Pins;
+  int Capacity = 0; // 0 = tcf mode.
+  bool NoAttack = false;
+  bool SelfComp = false;
+  bool Dot = false;
+  bool Regex = false;
+  int MaxTrails = 512;
+  int MaxDepth = 12;
+  std::string File;
+  std::vector<std::string> Functions;
+};
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <file> [function...]\n"
+      "  --observer=degree|concrete  observability model (default degree)\n"
+      "  --epsilon=N                 degree-model slack (default 32)\n"
+      "  --threshold=N               concrete-model threshold (default "
+      "25000)\n"
+      "  --max-input=N               concrete-model input max (default "
+      "4096)\n"
+      "  --pin=SYM=VAL               pin a public symbol (repeatable)\n"
+      "  --capacity=Q                verify channel capacity Q\n"
+      "  --no-attack                 safety verification only\n"
+      "  --selfcomp                  also run the self-composition "
+      "baseline\n"
+      "  --dot                       print the CFG (Graphviz)\n"
+      "  --regex                     print the annotated trail expression\n"
+      "  --max-trails=N --max-depth=N refinement budgets\n",
+      Prog);
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&Arg](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      if (Arg.compare(0, Len, Prefix) == 0)
+        return Arg.c_str() + Len;
+      return nullptr;
+    };
+    if (const char *V = Value("--observer=")) {
+      Opt.ObserverKind = V;
+      if (Opt.ObserverKind != "degree" && Opt.ObserverKind != "concrete") {
+        std::fprintf(stderr, "unknown observer '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--epsilon=")) {
+      Opt.Epsilon = std::atoll(V);
+    } else if (const char *V = Value("--threshold=")) {
+      Opt.Threshold = std::atoll(V);
+    } else if (const char *V = Value("--max-input=")) {
+      Opt.MaxInput = std::atoll(V);
+    } else if (const char *V = Value("--pin=")) {
+      std::string Pin = V;
+      size_t Eq = Pin.rfind('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "--pin needs SYM=VAL, got '%s'\n", V);
+        return false;
+      }
+      Opt.Pins.push_back(
+          {Pin.substr(0, Eq), std::atoll(Pin.c_str() + Eq + 1)});
+    } else if (const char *V = Value("--capacity=")) {
+      Opt.Capacity = std::atoi(V);
+      if (Opt.Capacity < 1) {
+        std::fprintf(stderr, "--capacity needs a positive Q\n");
+        return false;
+      }
+    } else if (Arg == "--no-attack") {
+      Opt.NoAttack = true;
+    } else if (Arg == "--selfcomp") {
+      Opt.SelfComp = true;
+    } else if (Arg == "--dot") {
+      Opt.Dot = true;
+    } else if (Arg == "--regex") {
+      Opt.Regex = true;
+    } else if (const char *V = Value("--max-trails=")) {
+      Opt.MaxTrails = std::atoi(V);
+    } else if (const char *V = Value("--max-depth=")) {
+      Opt.MaxDepth = std::atoi(V);
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Opt.File.empty()) {
+      Opt.File = Arg;
+    } else {
+      Opt.Functions.push_back(Arg);
+    }
+  }
+  if (Opt.File.empty()) {
+    usage(Argv[0]);
+    return false;
+  }
+  return true;
+}
+
+BlazerOptions toBlazerOptions(const CliOptions &Cli) {
+  BlazerOptions Opt;
+  if (Cli.ObserverKind == "degree")
+    Opt.Observer = ObserverModel::polynomialDegree(Cli.Epsilon);
+  else
+    Opt.Observer = ObserverModel::concreteInstructions(Cli.Threshold,
+                                                       Cli.MaxInput);
+  for (const auto &[Sym, Val] : Cli.Pins)
+    Opt.Observer.pinSymbol(Sym, Val);
+  Opt.MaxTrails = Cli.MaxTrails;
+  Opt.MaxDepth = Cli.MaxDepth;
+  Opt.SearchAttack = !Cli.NoAttack;
+  return Opt;
+}
+
+/// 0 safe, 2 attack, 3 unknown.
+int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
+  BlazerOptions Opt = toBlazerOptions(Cli);
+  std::printf("==== %s (%zu basic blocks) ====\n", F.Name.c_str(),
+              F.blockCount());
+  if (Cli.Dot)
+    std::printf("%s\n", F.toDot().c_str());
+
+  if (Cli.Capacity > 0) {
+    ChannelCapacityResult R = analyzeChannelCapacity(F, Cli.Capacity, Opt);
+    std::printf("channel capacity %d: %s (max observed classes per public "
+                "input: %d)\n",
+                Cli.Capacity,
+                R.Bounded ? "BOUNDED"
+                          : (R.Known ? "EXCEEDED" : "unknown"),
+                R.MaxClasses);
+    return R.Bounded ? 0 : (R.Known ? 2 : 3);
+  }
+
+  BlazerResult R = analyzeFunction(F, Opt);
+  std::printf("%s", R.treeString(F).c_str());
+  for (const AttackSpec &Spec : R.Attacks)
+    std::printf("%s\n", Spec.str().c_str());
+
+  if (Cli.Regex) {
+    TrailExpr::Ptr Regex =
+        renderAnnotatedTrail(F, R.Tree[0].Auto, R.Taint, 1 << 14);
+    EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+    if (Regex)
+      std::printf("trmg = %s\n", Regex->str(&A).c_str());
+    else
+      std::printf("trmg regex exceeds the display budget\n");
+  }
+
+  if (Cli.SelfComp) {
+    SelfCompResult S =
+        verifyBySelfComposition(F, Opt.Observer.threshold());
+    std::printf("self-composition baseline: %s\n",
+                S.Verified ? "verified"
+                           : (S.GapBounded ? "refuted"
+                                           : "lost the counter relation"));
+  }
+
+  switch (R.Verdict) {
+  case VerdictKind::Safe:
+    return 0;
+  case VerdictKind::Attack:
+    return 2;
+  case VerdictKind::Unknown:
+    return 3;
+  }
+  return 3;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli))
+    return 1;
+
+  std::ifstream In(Cli.File);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", Cli.File.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  BuiltinRegistry Registry = BuiltinRegistry::standard();
+  auto Parsed = parseProgram(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Cli.File.c_str(),
+                 Parsed.diag().str().c_str());
+    return 1;
+  }
+  auto P = std::make_shared<Program>(Parsed.take());
+  auto Checked = analyzeProgram(*P, Registry);
+  if (!Checked) {
+    std::fprintf(stderr, "%s: %s\n", Cli.File.c_str(),
+                 Checked.diag().str().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> Targets = Cli.Functions;
+  if (Targets.empty())
+    for (const auto &F : P->Functions)
+      Targets.push_back(F->Name);
+
+  int Worst = 0;
+  for (const std::string &Name : Targets) {
+    if (!P->find(Name)) {
+      std::fprintf(stderr, "no function named '%s'\n", Name.c_str());
+      return 1;
+    }
+    CfgFunction F = lowerFunction(P, Name, *Checked, Registry);
+    Worst = std::max(Worst, analyzeOne(F, Cli));
+  }
+  return Worst;
+}
