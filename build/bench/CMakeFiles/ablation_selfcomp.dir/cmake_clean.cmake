@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selfcomp.dir/ablation_selfcomp.cpp.o"
+  "CMakeFiles/ablation_selfcomp.dir/ablation_selfcomp.cpp.o.d"
+  "ablation_selfcomp"
+  "ablation_selfcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selfcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_trail_trees.dir/fig1_trail_trees.cpp.o"
+  "CMakeFiles/fig1_trail_trees.dir/fig1_trail_trees.cpp.o.d"
+  "fig1_trail_trees"
+  "fig1_trail_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trail_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

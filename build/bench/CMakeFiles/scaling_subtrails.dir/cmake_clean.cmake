@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_subtrails.dir/scaling_subtrails.cpp.o"
+  "CMakeFiles/scaling_subtrails.dir/scaling_subtrails.cpp.o.d"
+  "scaling_subtrails"
+  "scaling_subtrails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_subtrails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_blazer.dir/table1_blazer.cpp.o"
+  "CMakeFiles/table1_blazer.dir/table1_blazer.cpp.o.d"
+  "table1_blazer"
+  "table1_blazer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_blazer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

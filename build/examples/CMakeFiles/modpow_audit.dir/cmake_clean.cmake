@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modpow_audit.dir/modpow_audit.cpp.o"
+  "CMakeFiles/modpow_audit.dir/modpow_audit.cpp.o.d"
+  "modpow_audit"
+  "modpow_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modpow_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/absint/Analyzer.cpp" "src/absint/CMakeFiles/blazer_absint.dir/Analyzer.cpp.o" "gcc" "src/absint/CMakeFiles/blazer_absint.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/absint/Dbm.cpp" "src/absint/CMakeFiles/blazer_absint.dir/Dbm.cpp.o" "gcc" "src/absint/CMakeFiles/blazer_absint.dir/Dbm.cpp.o.d"
+  "/root/repo/src/absint/ProductGraph.cpp" "src/absint/CMakeFiles/blazer_absint.dir/ProductGraph.cpp.o" "gcc" "src/absint/CMakeFiles/blazer_absint.dir/ProductGraph.cpp.o.d"
+  "/root/repo/src/absint/VarEnv.cpp" "src/absint/CMakeFiles/blazer_absint.dir/VarEnv.cpp.o" "gcc" "src/absint/CMakeFiles/blazer_absint.dir/VarEnv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/blazer_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/blazer_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/blazer_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/blazer_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/blazer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

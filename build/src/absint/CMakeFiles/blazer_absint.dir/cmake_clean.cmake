@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_absint.dir/Analyzer.cpp.o"
+  "CMakeFiles/blazer_absint.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/blazer_absint.dir/Dbm.cpp.o"
+  "CMakeFiles/blazer_absint.dir/Dbm.cpp.o.d"
+  "CMakeFiles/blazer_absint.dir/ProductGraph.cpp.o"
+  "CMakeFiles/blazer_absint.dir/ProductGraph.cpp.o.d"
+  "CMakeFiles/blazer_absint.dir/VarEnv.cpp.o"
+  "CMakeFiles/blazer_absint.dir/VarEnv.cpp.o.d"
+  "libblazer_absint.a"
+  "libblazer_absint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_absint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

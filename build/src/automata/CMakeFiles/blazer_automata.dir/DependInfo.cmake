@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/AnnotateTrail.cpp" "src/automata/CMakeFiles/blazer_automata.dir/AnnotateTrail.cpp.o" "gcc" "src/automata/CMakeFiles/blazer_automata.dir/AnnotateTrail.cpp.o.d"
+  "/root/repo/src/automata/Automaton.cpp" "src/automata/CMakeFiles/blazer_automata.dir/Automaton.cpp.o" "gcc" "src/automata/CMakeFiles/blazer_automata.dir/Automaton.cpp.o.d"
+  "/root/repo/src/automata/TrailExpr.cpp" "src/automata/CMakeFiles/blazer_automata.dir/TrailExpr.cpp.o" "gcc" "src/automata/CMakeFiles/blazer_automata.dir/TrailExpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/blazer_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/blazer_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/blazer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_automata.dir/AnnotateTrail.cpp.o"
+  "CMakeFiles/blazer_automata.dir/AnnotateTrail.cpp.o.d"
+  "CMakeFiles/blazer_automata.dir/Automaton.cpp.o"
+  "CMakeFiles/blazer_automata.dir/Automaton.cpp.o.d"
+  "CMakeFiles/blazer_automata.dir/TrailExpr.cpp.o"
+  "CMakeFiles/blazer_automata.dir/TrailExpr.cpp.o.d"
+  "libblazer_automata.a"
+  "libblazer_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

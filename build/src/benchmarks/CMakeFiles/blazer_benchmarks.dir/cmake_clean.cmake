@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_benchmarks.dir/Benchmarks.cpp.o"
+  "CMakeFiles/blazer_benchmarks.dir/Benchmarks.cpp.o.d"
+  "libblazer_benchmarks.a"
+  "libblazer_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

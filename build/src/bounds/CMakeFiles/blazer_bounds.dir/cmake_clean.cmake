@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_bounds.dir/BoundAnalysis.cpp.o"
+  "CMakeFiles/blazer_bounds.dir/BoundAnalysis.cpp.o.d"
+  "libblazer_bounds.a"
+  "libblazer_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

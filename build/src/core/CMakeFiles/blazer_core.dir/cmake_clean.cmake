@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_core.dir/Blazer.cpp.o"
+  "CMakeFiles/blazer_core.dir/Blazer.cpp.o.d"
+  "CMakeFiles/blazer_core.dir/QuotientCheck.cpp.o"
+  "CMakeFiles/blazer_core.dir/QuotientCheck.cpp.o.d"
+  "libblazer_core.a"
+  "libblazer_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_dataflow.dir/Dominators.cpp.o"
+  "CMakeFiles/blazer_dataflow.dir/Dominators.cpp.o.d"
+  "CMakeFiles/blazer_dataflow.dir/Taint.cpp.o"
+  "CMakeFiles/blazer_dataflow.dir/Taint.cpp.o.d"
+  "libblazer_dataflow.a"
+  "libblazer_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

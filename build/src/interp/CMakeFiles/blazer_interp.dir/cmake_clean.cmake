@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/blazer_interp.dir/Interpreter.cpp.o.d"
+  "libblazer_interp.a"
+  "libblazer_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_ir.dir/Cfg.cpp.o"
+  "CMakeFiles/blazer_ir.dir/Cfg.cpp.o.d"
+  "CMakeFiles/blazer_ir.dir/Lower.cpp.o"
+  "CMakeFiles/blazer_ir.dir/Lower.cpp.o.d"
+  "libblazer_ir.a"
+  "libblazer_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

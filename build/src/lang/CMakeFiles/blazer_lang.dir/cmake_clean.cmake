@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_lang.dir/AstClone.cpp.o"
+  "CMakeFiles/blazer_lang.dir/AstClone.cpp.o.d"
+  "CMakeFiles/blazer_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/blazer_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/blazer_lang.dir/Builtins.cpp.o"
+  "CMakeFiles/blazer_lang.dir/Builtins.cpp.o.d"
+  "CMakeFiles/blazer_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/blazer_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/blazer_lang.dir/Parser.cpp.o"
+  "CMakeFiles/blazer_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/blazer_lang.dir/Sema.cpp.o"
+  "CMakeFiles/blazer_lang.dir/Sema.cpp.o.d"
+  "libblazer_lang.a"
+  "libblazer_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_selfcomp.dir/SelfComposition.cpp.o"
+  "CMakeFiles/blazer_selfcomp.dir/SelfComposition.cpp.o.d"
+  "libblazer_selfcomp.a"
+  "libblazer_selfcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_selfcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

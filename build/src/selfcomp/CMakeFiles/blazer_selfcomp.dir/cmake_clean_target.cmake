@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblazer_selfcomp.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Bound.cpp" "src/support/CMakeFiles/blazer_support.dir/Bound.cpp.o" "gcc" "src/support/CMakeFiles/blazer_support.dir/Bound.cpp.o.d"
+  "/root/repo/src/support/CostPoly.cpp" "src/support/CMakeFiles/blazer_support.dir/CostPoly.cpp.o" "gcc" "src/support/CMakeFiles/blazer_support.dir/CostPoly.cpp.o.d"
+  "/root/repo/src/support/Observer.cpp" "src/support/CMakeFiles/blazer_support.dir/Observer.cpp.o" "gcc" "src/support/CMakeFiles/blazer_support.dir/Observer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

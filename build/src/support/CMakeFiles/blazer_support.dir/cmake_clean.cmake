@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_support.dir/Bound.cpp.o"
+  "CMakeFiles/blazer_support.dir/Bound.cpp.o.d"
+  "CMakeFiles/blazer_support.dir/CostPoly.cpp.o"
+  "CMakeFiles/blazer_support.dir/CostPoly.cpp.o.d"
+  "CMakeFiles/blazer_support.dir/Observer.cpp.o"
+  "CMakeFiles/blazer_support.dir/Observer.cpp.o.d"
+  "libblazer_support.a"
+  "libblazer_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

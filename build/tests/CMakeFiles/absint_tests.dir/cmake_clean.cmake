@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absint_tests.dir/AnalyzerTest.cpp.o"
+  "CMakeFiles/absint_tests.dir/AnalyzerTest.cpp.o.d"
+  "CMakeFiles/absint_tests.dir/DbmTest.cpp.o"
+  "CMakeFiles/absint_tests.dir/DbmTest.cpp.o.d"
+  "CMakeFiles/absint_tests.dir/VarEnvTest.cpp.o"
+  "CMakeFiles/absint_tests.dir/VarEnvTest.cpp.o.d"
+  "absint_tests"
+  "absint_tests.pdb"
+  "absint_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absint_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_tests.dir/AutomatonTest.cpp.o"
+  "CMakeFiles/automata_tests.dir/AutomatonTest.cpp.o.d"
+  "CMakeFiles/automata_tests.dir/TrailExprTest.cpp.o"
+  "CMakeFiles/automata_tests.dir/TrailExprTest.cpp.o.d"
+  "automata_tests"
+  "automata_tests.pdb"
+  "automata_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_tests.dir/BoundAnalysisTest.cpp.o"
+  "CMakeFiles/bounds_tests.dir/BoundAnalysisTest.cpp.o.d"
+  "bounds_tests"
+  "bounds_tests.pdb"
+  "bounds_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

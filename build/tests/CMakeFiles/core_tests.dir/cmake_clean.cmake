@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/BenchmarkVerdictTest.cpp.o"
+  "CMakeFiles/core_tests.dir/BenchmarkVerdictTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/BlazerDriverTest.cpp.o"
+  "CMakeFiles/core_tests.dir/BlazerDriverTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/ExtensionsTest.cpp.o"
+  "CMakeFiles/core_tests.dir/ExtensionsTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/QuotientPropertyTest.cpp.o"
+  "CMakeFiles/core_tests.dir/QuotientPropertyTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/SoundnessPropertyTest.cpp.o"
+  "CMakeFiles/core_tests.dir/SoundnessPropertyTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CfgTest.cpp" "tests/CMakeFiles/ir_tests.dir/CfgTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/CfgTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/ir_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/InterpreterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchmarks/CMakeFiles/blazer_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfcomp/CMakeFiles/blazer_selfcomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/blazer_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/blazer_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/blazer_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/absint/CMakeFiles/blazer_absint.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/blazer_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/blazer_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/blazer_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/blazer_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/blazer_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

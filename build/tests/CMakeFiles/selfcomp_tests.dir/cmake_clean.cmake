@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfcomp_tests.dir/SelfCompTest.cpp.o"
+  "CMakeFiles/selfcomp_tests.dir/SelfCompTest.cpp.o.d"
+  "selfcomp_tests"
+  "selfcomp_tests.pdb"
+  "selfcomp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfcomp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/lang_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/automata_tests[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_tests[1]_include.cmake")
+include("/root/repo/build/tests/absint_tests[1]_include.cmake")
+include("/root/repo/build/tests/bounds_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_tests[1]_include.cmake")
+include("/root/repo/build/tests/selfcomp_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blazer_cli.dir/blazer_cli.cpp.o"
+  "CMakeFiles/blazer_cli.dir/blazer_cli.cpp.o.d"
+  "blazer"
+  "blazer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blazer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

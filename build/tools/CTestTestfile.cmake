@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_safe_function "/root/repo/build/tools/blazer" "--observer=concrete" "--threshold=700" "--max-input=100" "/root/repo/samples/pin_check.blz" "pin_check_fixed")
+set_tests_properties(cli_safe_function PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_attack_function "/root/repo/build/tools/blazer" "--observer=concrete" "--threshold=700" "--max-input=100" "/root/repo/samples/pin_check.blz" "pin_check")
+set_tests_properties(cli_attack_function PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pinned_modexp "/root/repo/build/tools/blazer" "--observer=concrete" "--pin=exponent.len=4096" "--regex" "/root/repo/samples/modexp.blz")
+set_tests_properties(cli_pinned_modexp PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_capacity_mode "/root/repo/build/tools/blazer" "--capacity=2" "/root/repo/samples/pin_check.blz" "pin_check_fixed")
+set_tests_properties(cli_capacity_mode PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/blazer" "--no-such-flag")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_file "/root/repo/build/tools/blazer" "/no/such/file.blz")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
