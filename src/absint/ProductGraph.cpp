@@ -6,6 +6,8 @@
 
 #include "absint/ProductGraph.h"
 
+#include "support/Budget.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -19,6 +21,8 @@ int ProductGraph::indexOf(int Block, int State) const {
 
 ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
                                  const EdgeAlphabet &A) {
+  AnalysisBudget *Budget = BudgetScope::current();
+  PhaseScope Phase("cfg-trail-product");
   std::vector<bool> Live = D.liveStates();
 
   // Phase 1: forward exploration from (entry, start) over DFA-live states.
@@ -36,6 +40,8 @@ ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
     if (New) {
       Raws.push_back(Raw{Node{Block, State}, {}});
       Work.push_back(It->second);
+      if (Budget)
+        Budget->countStates();
     }
     return It->second;
   };
@@ -45,6 +51,10 @@ ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
     return G; // Trail language empty.
   Intern(F.Entry, D.start());
   while (!Work.empty()) {
+    // Fail soft: an empty product is the conservative "no information"
+    // answer; the tripped budget tells callers not to trust it.
+    if (Budget && !Budget->checkpoint())
+      return ProductGraph();
     int Id = Work.front();
     Work.pop_front();
     Node N = Raws[Id].N;

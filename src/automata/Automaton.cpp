@@ -6,6 +6,8 @@
 
 #include "automata/Automaton.h"
 
+#include "support/Budget.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -64,7 +66,8 @@ Dfa Dfa::allWords(int NumSymbols) {
 }
 
 Dfa Dfa::containsSymbol(int NumSymbols, int S) {
-  assert(S >= 0 && S < NumSymbols && "symbol out of range");
+  if (S < 0 || S >= NumSymbols)
+    return emptyLanguage(NumSymbols); // No word contains an unknown symbol.
   Dfa D;
   D.NumSymbols = NumSymbols;
   D.Start = 0;
@@ -78,7 +81,8 @@ Dfa Dfa::containsSymbol(int NumSymbols, int S) {
 }
 
 Dfa Dfa::avoidsSymbol(int NumSymbols, int S) {
-  assert(S >= 0 && S < NumSymbols && "symbol out of range");
+  if (S < 0 || S >= NumSymbols)
+    return allWords(NumSymbols); // Every word avoids an unknown symbol.
   Dfa D;
   D.NumSymbols = NumSymbols;
   D.Start = 0;
@@ -100,27 +104,55 @@ Dfa Dfa::fromCfg(const CfgFunction &F, const EdgeAlphabet &A) {
   D.Accept.assign(N + 1, false);
   D.Start = F.Entry;
   D.Accept[F.Exit] = true;
-  for (const Edge &E : F.edges())
-    D.Delta[E.From][A.symbol(E)] = E.To;
+  for (const Edge &E : F.edges()) {
+    int Sym = A.symbolOrNone(E);
+    if (Sym >= 0)
+      D.Delta[E.From][Sym] = E.To;
+  }
   return D;
 }
 
-Dfa Dfa::fromParts(int NumSymbols, int Start,
-                   std::vector<std::vector<int>> Delta,
-                   std::vector<bool> Accept) {
+Result<Dfa> Dfa::fromParts(int NumSymbols, int Start,
+                           std::vector<std::vector<int>> Delta,
+                           std::vector<bool> Accept) {
+  if (NumSymbols < 0)
+    return Result<Dfa>::error("negative symbol count");
+  if (Delta.size() != Accept.size())
+    return Result<Dfa>::error(
+        "transition table and accepting set sizes differ (" +
+        std::to_string(Delta.size()) + " vs " +
+        std::to_string(Accept.size()) + ")");
+  if (Delta.empty())
+    return Result<Dfa>::error("a DFA needs at least one state");
+  int NumStates = static_cast<int>(Delta.size());
+  if (Start < 0 || Start >= NumStates)
+    return Result<Dfa>::error("start state " + std::to_string(Start) +
+                              " out of range");
+  for (size_t S = 0; S < Delta.size(); ++S) {
+    if (static_cast<int>(Delta[S].size()) != NumSymbols)
+      return Result<Dfa>::error("row " + std::to_string(S) + " has " +
+                                std::to_string(Delta[S].size()) +
+                                " entries, expected " +
+                                std::to_string(NumSymbols));
+    for (int T : Delta[S])
+      if (T < 0 || T >= NumStates)
+        return Result<Dfa>::error("transition target " + std::to_string(T) +
+                                  " out of range in row " +
+                                  std::to_string(S));
+  }
+  return fromPartsTrusted(NumSymbols, Start, std::move(Delta),
+                          std::move(Accept));
+}
+
+Dfa Dfa::fromPartsTrusted(int NumSymbols, int Start,
+                          std::vector<std::vector<int>> Delta,
+                          std::vector<bool> Accept) {
   Dfa D;
   D.NumSymbols = NumSymbols;
   D.Start = Start;
   D.Delta = std::move(Delta);
   D.Accept = std::move(Accept);
   assert(D.Delta.size() == D.Accept.size() && "table size mismatch");
-#ifndef NDEBUG
-  for (const auto &Row : D.Delta) {
-    assert(static_cast<int>(Row.size()) == NumSymbols && "row size mismatch");
-    for (int T : Row)
-      assert(T >= 0 && T < D.numStates() && "transition out of range");
-  }
-#endif
   return D;
 }
 
@@ -128,11 +160,30 @@ Dfa Dfa::fromParts(int NumSymbols, int Start,
 // Language operations
 //===----------------------------------------------------------------------===//
 
+/// Completes a partially-built transition table after a budget trip: every
+/// state whose row was never filled becomes a dead (non-accepting,
+/// self-looping) state. The result under-approximates the intended
+/// language; the tripped budget tells callers to discard it.
+static void sealTruncatedTable(int NumStates, int NumSymbols,
+                               std::vector<std::vector<int>> &Delta,
+                               std::vector<bool> &Accept) {
+  Delta.resize(NumStates);
+  Accept.resize(NumStates, false);
+  for (int S = 0; S < NumStates; ++S)
+    if (static_cast<int>(Delta[S].size()) != NumSymbols) {
+      Delta[S].assign(NumSymbols, S);
+      Accept[S] = false;
+    }
+}
+
 /// Builds the reachable product of \p A and \p B; acceptance combines the
-/// operands' accepting flags with \p Op.
+/// operands' accepting flags with \p Op. Counts created states against the
+/// thread's current AnalysisBudget and stops expanding once it trips.
 template <typename AcceptOp>
 static Dfa productDfa(const Dfa &A, const Dfa &B, AcceptOp Op) {
   assert(A.numSymbols() == B.numSymbols() && "alphabet mismatch");
+  AnalysisBudget *Budget = BudgetScope::current();
+  PhaseScope Phase("dfa-product");
   int M = A.numSymbols();
   std::map<std::pair<int, int>, int> Index;
   std::vector<std::pair<int, int>> States;
@@ -144,6 +195,8 @@ static Dfa productDfa(const Dfa &A, const Dfa &B, AcceptOp Op) {
     if (New) {
       States.push_back({SA, SB});
       Work.push_back(It->second);
+      if (Budget)
+        Budget->countStates();
     }
     return It->second;
   };
@@ -152,6 +205,8 @@ static Dfa productDfa(const Dfa &A, const Dfa &B, AcceptOp Op) {
   std::vector<std::vector<int>> Delta;
   std::vector<bool> Accept;
   while (!Work.empty()) {
+    if (Budget && !Budget->checkpoint())
+      break;
     int Id = Work.front();
     Work.pop_front();
     auto [SA, SB] = States[Id];
@@ -164,9 +219,11 @@ static Dfa productDfa(const Dfa &A, const Dfa &B, AcceptOp Op) {
     for (int Sym = 0; Sym < M; ++Sym)
       Delta[Id][Sym] = Intern(A.next(SA, Sym), B.next(SB, Sym));
   }
-  assert(Delta.size() == States.size() &&
-         "worklist drained with unfilled rows");
-  return Dfa::fromParts(M, /*Start=*/0, std::move(Delta), std::move(Accept));
+  sealTruncatedTable(static_cast<int>(States.size()), M, Delta, Accept);
+  Result<Dfa> D =
+      Dfa::fromParts(M, /*Start=*/0, std::move(Delta), std::move(Accept));
+  assert(D && "product table is total by construction");
+  return D.take();
 }
 
 Dfa Dfa::intersect(const Dfa &RHS) const {
@@ -207,7 +264,8 @@ bool Dfa::isEmpty() const {
 bool Dfa::accepts(const std::vector<int> &Word) const {
   int S = Start;
   for (int Sym : Word) {
-    assert(Sym >= 0 && Sym < NumSymbols && "symbol out of range");
+    if (Sym < 0 || Sym >= NumSymbols)
+      return false; // Not a word over this alphabet.
     S = Delta[S][Sym];
   }
   return Accept[S];
@@ -310,6 +368,8 @@ Dfa Dfa::trim() const {
 }
 
 Dfa Dfa::minimize() const {
+  AnalysisBudget *Budget = BudgetScope::current();
+  PhaseScope Phase("dfa-minimize");
   Dfa T = trim();
   int N = T.numStates();
   // Moore's algorithm: start from the accept/reject partition and refine.
@@ -319,6 +379,10 @@ Dfa Dfa::minimize() const {
   int NumClasses = 2;
   bool Changed = true;
   while (Changed) {
+    // Fail soft on a tripped budget: the trimmed automaton accepts the same
+    // language, it is merely larger than necessary.
+    if (Budget && !Budget->checkpoint())
+      return T;
     Changed = false;
     // Signature: (class, classes of successors).
     std::map<std::vector<int>, int> SigIndex;
@@ -392,6 +456,8 @@ void Nfa::addEpsilon(int From, int To) {
 }
 
 Dfa Nfa::determinize() const {
+  AnalysisBudget *Budget = BudgetScope::current();
+  PhaseScope Phase("nfa-determinize");
   auto Closure = [&](std::set<int> States) {
     std::deque<int> Work(States.begin(), States.end());
     while (!Work.empty()) {
@@ -412,6 +478,8 @@ Dfa Nfa::determinize() const {
     if (New) {
       Sets.push_back(std::move(S));
       Work.push_back(It->second);
+      if (Budget)
+        Budget->countStates();
     }
     return It->second;
   };
@@ -420,6 +488,8 @@ Dfa Nfa::determinize() const {
   std::vector<std::vector<int>> Delta;
   std::vector<bool> Accept;
   while (!Work.empty()) {
+    if (Budget && !Budget->checkpoint())
+      break; // Subset construction blew the budget; seal and bail.
     int Id = Work.front();
     Work.pop_front();
     if (static_cast<int>(Delta.size()) <= Id) {
@@ -437,8 +507,10 @@ Dfa Nfa::determinize() const {
       Delta[Id][Sym] = Intern(Closure(std::move(Next)));
     }
   }
-  assert(Delta.size() == Sets.size() &&
-         "worklist drained with unfilled rows");
-  return Dfa::fromParts(NumSymbols, /*Start=*/0, std::move(Delta),
-                        std::move(Accept));
+  sealTruncatedTable(static_cast<int>(Sets.size()), NumSymbols, Delta,
+                     Accept);
+  Result<Dfa> D = Dfa::fromParts(NumSymbols, /*Start=*/0, std::move(Delta),
+                                 std::move(Accept));
+  assert(D && "subset-construction table is total by construction");
+  return D.take();
 }

@@ -13,12 +13,21 @@
 /// symbol (a dead state absorbs the rest). That makes complementation a
 /// flip of the accepting set and products straightforward.
 ///
+/// Resource governance: the state-producing operations (products, subset
+/// construction, minimization) count created states against the thread's
+/// current AnalysisBudget (see support/Budget.h). When the budget trips,
+/// products and determinization stop expanding and complete the automaton
+/// with dead states — an *under-approximation* of the true language that
+/// callers must discard by checking AnalysisBudget::exhausted();
+/// minimization instead falls back to the (language-equal) trimmed input.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BLAZER_AUTOMATA_AUTOMATON_H
 #define BLAZER_AUTOMATA_AUTOMATON_H
 
 #include "ir/Cfg.h"
+#include "support/Result.h"
 
 #include <cstdint>
 #include <map>
@@ -55,19 +64,24 @@ public:
   static Dfa emptyLanguage(int NumSymbols);
   /// The automaton accepting every word.
   static Dfa allWords(int NumSymbols);
-  /// Words that contain the symbol \p S at least once.
+  /// Words that contain the symbol \p S at least once. A symbol outside
+  /// [0, NumSymbols) occurs in no word, so the result is the empty language.
   static Dfa containsSymbol(int NumSymbols, int S);
-  /// Words that never contain the symbol \p S.
+  /// Words that never contain the symbol \p S. Every word avoids a symbol
+  /// outside [0, NumSymbols), so the result accepts all words.
   static Dfa avoidsSymbol(int NumSymbols, int S);
   /// The control-flow-graph automaton A_C of §4.1: states are blocks, the
   /// initial state is the entry block, the only accepting state is the exit
-  /// block, and (q, (q,p), p) transitions mirror the CFG edges.
+  /// block, and (q, (q,p), p) transitions mirror the CFG edges. Edges of
+  /// \p F missing from \p A (a mismatched alphabet) are skipped.
   static Dfa fromCfg(const CfgFunction &F, const EdgeAlphabet &A);
-  /// Builds a DFA directly from its transition table. \p Delta must be total
-  /// (every entry a valid state id).
-  static Dfa fromParts(int NumSymbols, int Start,
-                       std::vector<std::vector<int>> Delta,
-                       std::vector<bool> Accept);
+  /// Builds a DFA from a caller-provided transition table, validating it
+  /// fully: \p Delta must be total (every row NumSymbols wide, every entry a
+  /// valid state id), sized like \p Accept, and \p Start in range. Malformed
+  /// input yields a Diag instead of undefined behavior.
+  static Result<Dfa> fromParts(int NumSymbols, int Start,
+                               std::vector<std::vector<int>> Delta,
+                               std::vector<bool> Accept);
 
   int numStates() const { return static_cast<int>(Delta.size()); }
   int numSymbols() const { return NumSymbols; }
@@ -84,6 +98,9 @@ public:
   Dfa minimize() const;
 
   bool isEmpty() const;
+  /// \returns whether the DFA accepts \p Word. A word containing a symbol
+  /// outside [0, numSymbols()) is not a word over this alphabet and is
+  /// never accepted.
   bool accepts(const std::vector<int> &Word) const;
   /// L(this) ⊆ L(RHS)?
   bool includedIn(const Dfa &RHS) const;
@@ -103,6 +120,12 @@ public:
 
 private:
   Dfa() = default;
+
+  /// fromParts without validation, for internal construction sites whose
+  /// tables are total by construction.
+  static Dfa fromPartsTrusted(int NumSymbols, int Start,
+                              std::vector<std::vector<int>> Delta,
+                              std::vector<bool> Accept);
 
   /// Drops unreachable states (renumbering) while keeping completeness.
   Dfa trim() const;

@@ -573,3 +573,11 @@ const BenchmarkProgram *blazer::findBenchmark(const std::string &Name) {
       return &B;
   return nullptr;
 }
+
+BlazerResult blazer::runBenchmark(const BenchmarkProgram &B,
+                                  const BudgetLimits &Limits) {
+  CfgFunction F = B.compile();
+  BlazerOptions Opt = B.options();
+  Opt.Budget = Limits;
+  return analyzeFunction(F, Opt);
+}

@@ -48,6 +48,13 @@ struct BenchmarkProgram {
 /// All 24 benchmarks, in Table-1 order.
 const std::vector<BenchmarkProgram> &allBenchmarks();
 
+/// Compiles and analyzes \p B under \p Limits (merged into the benchmark's
+/// own options). A tripped budget shows up as Degradation.tripped() on the
+/// result with an Unknown verdict — the Table-1 "T/O" row — instead of an
+/// unbounded run.
+BlazerResult runBenchmark(const BenchmarkProgram &B,
+                          const BudgetLimits &Limits = {});
+
 /// Lookup by name; null when absent.
 const BenchmarkProgram *findBenchmark(const std::string &Name);
 

@@ -6,6 +6,8 @@
 
 #include "bounds/BoundAnalysis.h"
 
+#include "support/Budget.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -300,6 +302,9 @@ private:
   RB regionBounds(const std::vector<char> &InRegion,
                   const std::set<int> &Entries, const std::set<int> &Accepts,
                   int Depth) {
+    if (AnalysisBudget *B = BudgetScope::current(); B && !B->checkpoint())
+      return RB::unknownUpper(Bound::lower(CostPoly()),
+                              B->reason().str());
     if (Depth > 32)
       return RB::unknownUpper(Bound::lower(CostPoly()),
                               "loop nest too deep");
@@ -995,15 +1000,36 @@ private:
 } // namespace
 
 TrailBoundResult BoundAnalysis::analyzeTrail(const Dfa &TrailDfa) const {
+  AnalysisBudget *Budget = BudgetScope::current();
+  // A tripped budget must yield "feasible with unknown upper bound", never
+  // "infeasible": infeasible trails are treated as vacuously narrow by the
+  // driver, which would turn resource exhaustion into an unsound Safe.
+  auto Degraded = [&] {
+    TrailBoundResult Res;
+    Res.Feasible = true;
+    Res.Lo = Bound::lower(CostPoly());
+    Res.Hi.reset();
+    Res.Note = Budget->reason().str();
+    return Res;
+  };
+  if (Budget && Budget->exhausted())
+    return Degraded();
+
   TrailBoundResult Res;
   ProductGraph G = ProductGraph::build(F, TrailDfa, A);
+  if (Budget && Budget->exhausted())
+    return Degraded(); // Truncated product: its emptiness means nothing.
   if (G.empty())
     return Res;
   AnalysisResult AR = Az.analyze(G);
+  if (Budget && Budget->exhausted())
+    return Degraded(); // Interrupted ascent: states are untrustworthy.
   RegionEngine Engine(F, Env, Az, G, AR);
   if (!Engine.entryAlive())
     return Res;
   RB R = Engine.run();
+  if (Budget && Budget->exhausted())
+    return Degraded();
   Res.Feasible = true;
   Res.Lo = R.Lo;
   Res.Hi = R.Hi;

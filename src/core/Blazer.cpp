@@ -69,7 +69,8 @@ namespace {
 class Driver {
 public:
   Driver(const CfgFunction &F, const BlazerOptions &Options)
-      : F(F), Opt(Options), BA(F, Options.Observer.pinnedSymbols()) {
+      : F(F), Opt(Options), BA(F, Options.Observer.pinnedSymbols()),
+        Budget(Options.Budget) {
     // Boolean parameters range over {0,1} regardless of the configured
     // default input maximum.
     for (const Param &P : F.Params)
@@ -78,15 +79,25 @@ public:
   }
 
   BlazerResult run() {
+    BudgetScope Scope(&Budget);
     auto T0 = std::chrono::steady_clock::now();
     BlazerResult R;
     bool Safe = runSafetyPhase(R.Taint);
     auto T1 = std::chrono::steady_clock::now();
     R.SafetySeconds = std::chrono::duration<double>(T1 - T0).count();
 
+    // A tripped budget can never prove safety: degraded trails carry no
+    // upper bounds, and partial refinements may have been abandoned.
+    if (Budget.exhausted())
+      Safe = false;
+
     if (Safe) {
       R.Verdict = VerdictKind::Safe;
     } else if (Opt.SearchAttack) {
+      // Attack specifications found before (or despite) a budget trip are
+      // genuine — they require real upper bounds on both trails — so the
+      // search still runs; its own checkpoints make it wind down quickly
+      // once the budget is gone.
       attackLoop(R.Attacks);
       R.Verdict =
           R.Attacks.empty() ? VerdictKind::Unknown : VerdictKind::Attack;
@@ -96,11 +107,14 @@ public:
     auto T2 = std::chrono::steady_clock::now();
     R.TotalSeconds = std::chrono::duration<double>(T2 - T0).count();
     R.Tree = std::move(Tree);
+    R.Degradation = Budget.reason();
+    R.Usage = Budget.usage();
     return R;
   }
 
   /// §3.4: the channel-capacity analysis (see analyzeChannelCapacity).
   ChannelCapacityResult runCapacity(int Q) {
+    BudgetScope Scope(&Budget);
     ChannelCapacityResult R;
     R.Q = Q;
     bool Safe = runSafetyPhase(R.Taint);
@@ -115,11 +129,14 @@ public:
     if (!Safe) {
       // Exhaustive secret refinement: split every non-narrow feasible leaf
       // at every remaining secret branch (no early exit).
+      PhaseScope Phase("capacity-refinement");
       std::deque<int> Queue;
       for (int Id : Components)
         if (!Tree[Id].Narrow)
           Queue.push_back(Id);
       while (!Queue.empty()) {
+        if (!Budget.checkpoint())
+          break;
         int LeafId = Queue.front();
         Queue.pop_front();
         if (static_cast<int>(Tree[LeafId].UsedSplits.size()) >=
@@ -173,8 +190,13 @@ public:
       R.MaxClasses =
           std::max(R.MaxClasses, static_cast<int>(Classes.size()));
     }
+    // Exhausted budgets invalidate the class count: splits may have been
+    // abandoned, and degraded trails look wide for the wrong reason.
+    if (Budget.exhausted())
+      R.Known = false;
     R.Bounded = R.Known && R.MaxClasses <= Q;
     R.Tree = std::move(Tree);
+    R.Degradation = Budget.reason();
     return R;
   }
 
@@ -190,6 +212,7 @@ private:
     Mg.Id = 0;
     Mg.Auto = BA.mostGeneralTrail().minimize();
     Mg.Label = "most general trail";
+    Budget.countTrailNodes();
     evaluate(Mg);
     Tree.push_back(std::move(Mg));
 
@@ -247,8 +270,13 @@ private:
     return Out;
   }
 
-  /// Splits leaf \p LeafId at branch \p Block. \returns the new child ids.
+  /// Splits leaf \p LeafId at branch \p Block. \returns the new child ids
+  /// — empty (leaving \p LeafId an unsplit leaf) when the budget trips
+  /// before or during the split, so truncated child automata are never
+  /// adopted into the tree.
   std::vector<int> splitAt(int LeafId, int Block, bool SecretSplit) {
+    if (!Budget.checkpoint())
+      return {};
     const EdgeAlphabet &A = BA.alphabet();
     const BasicBlock &B = F.block(Block);
     int SymT = A.symbol(Edge{Block, B.TrueSucc});
@@ -283,6 +311,12 @@ private:
                .minimize(),
            SplitKind::TakesBoth,
            "bb" + std::to_string(Block) + ": takes both edges"});
+
+    // The intersections above may have been truncated mid-product; their
+    // languages would under-approximate the split and must be discarded.
+    if (Budget.exhausted() ||
+        !Budget.countTrailNodes(static_cast<uint64_t>(Specs.size())))
+      return {};
 
     std::vector<int> ChildIds;
     for (ChildSpec &S : Specs) {
@@ -334,7 +368,10 @@ private:
 
   /// RefinePartition(safe) + CheckSafe until fixed point.
   bool safetyLoop() {
+    PhaseScope Phase("safety-refinement");
     while (true) {
+      if (!Budget.checkpoint())
+        return false;
       if (checkSafe())
         return true;
       bool Progress = false;
@@ -359,12 +396,15 @@ private:
 
   /// RefinePartition(vulnerable) + CheckAttack (right half of Figure 2).
   void attackLoop(std::vector<AttackSpec> &Attacks) {
+    PhaseScope Phase("attack-search");
     std::deque<int> Queue;
     for (size_t Id = 0; Id < Tree.size(); ++Id)
       if (Tree[Id].isLeaf() && Tree[Id].feasible() && !Tree[Id].Narrow)
         Queue.push_back(static_cast<int>(Id));
 
     while (!Queue.empty() && Attacks.empty()) {
+      if (!Budget.checkpoint())
+        break;
       int LeafId = Queue.front();
       Queue.pop_front();
       if (static_cast<int>(Tree[LeafId].UsedSplits.size()) >= Opt.MaxDepth)
@@ -457,6 +497,7 @@ private:
   const CfgFunction &F;
   BlazerOptions Opt;
   BoundAnalysis BA;
+  AnalysisBudget Budget;
   const TaintInfo *Taint = nullptr;
   std::vector<bool> OnCycle;
   std::vector<Trail> Tree;
@@ -473,7 +514,13 @@ BlazerResult blazer::analyzeFunction(const CfgFunction &F,
 ChannelCapacityResult
 blazer::analyzeChannelCapacity(const CfgFunction &F, int Q,
                                const BlazerOptions &Options) {
-  assert(Q >= 1 && "capacity must be positive");
+  if (Q < 1) {
+    // Recoverable misuse: a non-positive capacity has no meaningful ccf
+    // instance; report "could not establish" rather than aborting.
+    ChannelCapacityResult R;
+    R.Q = Q;
+    return R;
+  }
   Driver D(F, Options);
   return D.runCapacity(Q);
 }
@@ -521,6 +568,8 @@ std::string BlazerResult::treeString(const CfgFunction &F) const {
   };
   if (!Tree.empty())
     Walk(0, 0);
+  if (Degradation.tripped())
+    OS << "degraded: " << Degradation.str() << "\n";
   OS << "verdict: " << verdictName(Verdict) << " (" << F.Name << ")\n";
   return OS.str();
 }

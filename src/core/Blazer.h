@@ -22,6 +22,7 @@
 
 #include "core/Trail.h"
 #include "dataflow/Taint.h"
+#include "support/Budget.h"
 #include "support/Observer.h"
 
 #include <optional>
@@ -63,6 +64,12 @@ struct BlazerOptions {
   int MaxDepth = 12;
   /// Skip the attack search (safety verification only).
   bool SearchAttack = true;
+  /// Resource limits (wall-clock deadline, step budgets, cancellation).
+  /// Default-constructed limits never trip. When a limit trips mid-run the
+  /// analysis fails soft: the verdict degrades to Unknown (never Safe), the
+  /// partial trail tree is kept, and BlazerResult::Degradation records
+  /// which budget tripped, in which phase, and after how long.
+  BudgetLimits Budget;
 };
 
 /// Everything the analysis produced.
@@ -75,6 +82,13 @@ struct BlazerResult {
   /// Wall-clock seconds: safety phase alone, and including attack search.
   double SafetySeconds = 0;
   double TotalSeconds = 0;
+
+  /// Why (and whether) the analysis degraded: Kind == None when it ran to
+  /// completion within its budget; otherwise the first budget trip. A
+  /// tripped budget never yields a Safe verdict.
+  DegradationReason Degradation;
+  /// Step counters accumulated over the run (states, joins, trail nodes).
+  ResourceUsage Usage;
 
   /// Pretty-prints the trail tree with bound balloons, Figure-1 style.
   std::string treeString(const CfgFunction &F) const;
@@ -99,9 +113,12 @@ struct ChannelCapacityResult {
   int MaxClasses = 0;
   std::vector<Trail> Tree;
   TaintInfo Taint;
+  /// First budget trip, if any; a tripped budget forces Known = false.
+  DegradationReason Degradation;
 };
 
-/// Verifies the §3.4 channel-capacity property ccf with capacity \p Q:
+/// Verifies the §3.4 channel-capacity property ccf with capacity \p Q
+/// (\p Q < 1 is rejected with a default Known = false result):
 /// runs the quotient-partitioning safety phase, then *exhaustively* splits
 /// the non-narrow components at secret branches and clusters the resulting
 /// trails' bound ranges into observational classes. Each narrow trail

@@ -197,9 +197,14 @@ CfgFunction blazer::buildSelfComposition(const CfgFunction &F) {
 }
 
 SelfCompResult blazer::verifyBySelfComposition(const CfgFunction &F,
-                                               int64_t Epsilon) {
+                                               int64_t Epsilon,
+                                               const BudgetLimits &Limits) {
   auto T0 = std::chrono::steady_clock::now();
   SelfCompResult Res;
+
+  AnalysisBudget Budget(Limits);
+  BudgetScope Scope(&Budget);
+  PhaseScope Phase("self-composition");
 
   CfgFunction C = buildSelfComposition(F);
   Res.ComposedBlocks = C.blockCount();
@@ -212,6 +217,21 @@ SelfCompResult blazer::verifyBySelfComposition(const CfgFunction &F,
   AnalysisResult AR = Az.analyze(G);
   Res.ProductNodes = G.size();
 
+  auto Elapsed = [&] {
+    auto T1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(T1 - T0).count();
+  };
+
+  // A tripped budget leaves the product truncated or the fixpoint below
+  // its limit — neither supports a verification claim.
+  if (Budget.exhausted()) {
+    Res.Seconds = Elapsed();
+    Res.Degradation = Budget.reason();
+    Res.Verified = false;
+    Res.GapBounded = false;
+    return Res;
+  }
+
   int I1 = Env.indexOf("cost$1");
   int I2 = Env.indexOf("cost$2");
   assert(I1 > 0 && I2 > 0 && "cost counters must exist");
@@ -221,8 +241,7 @@ SelfCompResult blazer::verifyBySelfComposition(const CfgFunction &F,
   for (int Acc : G.accepts())
     ExitState.joinWith(AR.EntryState[Acc]);
 
-  auto T1 = std::chrono::steady_clock::now();
-  Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  Res.Seconds = Elapsed();
 
   if (ExitState.isBottom()) {
     // No feasible terminating execution: vacuously timing-channel free.

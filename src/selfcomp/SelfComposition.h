@@ -27,6 +27,7 @@
 #define BLAZER_SELFCOMP_SELFCOMPOSITION_H
 
 #include "ir/Cfg.h"
+#include "support/Budget.h"
 
 #include <cstdint>
 #include <string>
@@ -44,6 +45,9 @@ struct SelfCompResult {
   size_t ComposedBlocks = 0;
   size_t ProductNodes = 0; ///< Abstract states explored.
   double Seconds = 0;
+  /// First budget trip, if any. A tripped budget forces Verified = false
+  /// and GapBounded = false (the baseline analogue of a Table-1 T/O row).
+  DegradationReason Degradation;
 };
 
 /// Builds the sequential self-composition of \p F: blocks duplicated with
@@ -53,9 +57,11 @@ struct SelfCompResult {
 CfgFunction buildSelfComposition(const CfgFunction &F);
 
 /// Runs the baseline end to end: compose, analyze, inspect the exit
-/// invariant on cost$1 - cost$2.
-SelfCompResult verifyBySelfComposition(const CfgFunction &F,
-                                       int64_t Epsilon);
+/// invariant on cost$1 - cost$2. \p Limits governs the run's resources
+/// (the default never trips); on a trip the result degrades to
+/// unverified/unbounded with Degradation filled in.
+SelfCompResult verifyBySelfComposition(const CfgFunction &F, int64_t Epsilon,
+                                       const BudgetLimits &Limits = {});
 
 } // namespace blazer
 

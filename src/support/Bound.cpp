@@ -102,6 +102,8 @@ Bound Bound::operator*(const CostPoly &P) const {
 int64_t Bound::evaluate(const std::map<std::string, int64_t> &Assignment,
                         int64_t Default) const {
   assert(!Polys.empty() && "evaluating an empty bound");
+  if (Polys.empty())
+    return Default; // Release builds: degrade rather than read past the end.
   bool First = true;
   int64_t Best = 0;
   for (const CostPoly &P : Polys) {
@@ -125,6 +127,8 @@ unsigned Bound::degree() const {
 
 unsigned Bound::minDegree() const {
   assert(!Polys.empty() && "degree of an empty bound");
+  if (Polys.empty())
+    return 0; // Release builds: the degree of the zero polynomial.
   unsigned Deg = Polys.begin()->degree();
   for (const CostPoly &P : Polys)
     Deg = std::min(Deg, P.degree());
@@ -173,6 +177,8 @@ bool Bound::equalsUpToConstant(const Bound &RHS, int64_t Epsilon) const {
 
 std::string Bound::str() const {
   assert(!Polys.empty() && "printing an empty bound");
+  if (Polys.empty())
+    return "0"; // Release builds: print the neutral bound.
   if (Polys.size() == 1)
     return Polys.begin()->str();
   std::ostringstream OS;

@@ -1,0 +1,170 @@
+//===- Budget.cpp - Analysis resource budgets and cancellation ------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include <sstream>
+
+using namespace blazer;
+
+const char *blazer::budgetKindName(BudgetKind K) {
+  switch (K) {
+  case BudgetKind::None:
+    return "none";
+  case BudgetKind::Deadline:
+    return "deadline";
+  case BudgetKind::States:
+    return "automaton-states";
+  case BudgetKind::Joins:
+    return "dbm-joins";
+  case BudgetKind::TrailNodes:
+    return "trail-nodes";
+  case BudgetKind::Cancelled:
+    return "cancelled";
+  }
+  return "?";
+}
+
+std::string DegradationReason::str() const {
+  if (!tripped())
+    return "within budget";
+  std::ostringstream OS;
+  OS.precision(2);
+  OS << std::fixed;
+  switch (Kind) {
+  case BudgetKind::Deadline:
+    OS << "wall-clock deadline exceeded";
+    break;
+  case BudgetKind::States:
+    OS << "automaton state budget exhausted (" << Used << "/" << Limit << ")";
+    break;
+  case BudgetKind::Joins:
+    OS << "DBM join budget exhausted (" << Used << "/" << Limit << ")";
+    break;
+  case BudgetKind::TrailNodes:
+    OS << "trail-tree node budget exhausted (" << Used << "/" << Limit
+       << ")";
+    break;
+  case BudgetKind::Cancelled:
+    OS << "analysis cancelled";
+    break;
+  case BudgetKind::None:
+    break;
+  }
+  if (!Phase.empty())
+    OS << " in phase '" << Phase << "'";
+  OS << " after " << ElapsedSeconds << "s";
+  return OS.str();
+}
+
+AnalysisBudget::AnalysisBudget(BudgetLimits L)
+    : Limits(L), Start(std::chrono::steady_clock::now()) {}
+
+double AnalysisBudget::elapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+ResourceUsage AnalysisBudget::usage() const {
+  return ResourceUsage{States, Joins, TrailNodes, elapsedSeconds()};
+}
+
+void AnalysisBudget::trip(BudgetKind K, uint64_t Used, uint64_t Limit) {
+  if (Tripped.tripped())
+    return; // First trip wins.
+  Tripped.Kind = K;
+  Tripped.Phase = Phase;
+  Tripped.ElapsedSeconds = elapsedSeconds();
+  Tripped.Used = Used;
+  Tripped.Limit = Limit;
+}
+
+bool AnalysisBudget::pollDeadline() {
+  if (InternalCancel.load(std::memory_order_relaxed) ||
+      (Limits.CancelFlag &&
+       Limits.CancelFlag->load(std::memory_order_relaxed))) {
+    trip(BudgetKind::Cancelled, 0, 0);
+    return false;
+  }
+  if (Limits.TimeoutSeconds > 0 &&
+      elapsedSeconds() > Limits.TimeoutSeconds) {
+    trip(BudgetKind::Deadline, 0, 0);
+    return false;
+  }
+  return true;
+}
+
+bool AnalysisBudget::checkpoint() {
+  if (exhausted())
+    return false;
+  // Amortize the clock read; the first call always polls so an
+  // already-expired deadline (the "zero-deadline" fast path) trips before
+  // any real work happens.
+  if (PollTick++ % 32 != 0)
+    return true;
+  return pollDeadline();
+}
+
+bool AnalysisBudget::countStates(uint64_t N) {
+  if (exhausted())
+    return false;
+  States += N;
+  if (Limits.MaxStates && States > Limits.MaxStates) {
+    trip(BudgetKind::States, States, Limits.MaxStates);
+    return false;
+  }
+  return checkpoint();
+}
+
+bool AnalysisBudget::countJoins(uint64_t N) {
+  if (exhausted())
+    return false;
+  Joins += N;
+  if (Limits.MaxJoins && Joins > Limits.MaxJoins) {
+    trip(BudgetKind::Joins, Joins, Limits.MaxJoins);
+    return false;
+  }
+  return checkpoint();
+}
+
+bool AnalysisBudget::countTrailNodes(uint64_t N) {
+  if (exhausted())
+    return false;
+  TrailNodes += N;
+  if (Limits.MaxTrailNodes && TrailNodes > Limits.MaxTrailNodes) {
+    trip(BudgetKind::TrailNodes, TrailNodes, Limits.MaxTrailNodes);
+    return false;
+  }
+  return checkpoint();
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-local installation
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local AnalysisBudget *CurrentBudget = nullptr;
+} // namespace
+
+BudgetScope::BudgetScope(AnalysisBudget *B) : Prev(CurrentBudget) {
+  CurrentBudget = B;
+}
+
+BudgetScope::~BudgetScope() { CurrentBudget = Prev; }
+
+AnalysisBudget *BudgetScope::current() { return CurrentBudget; }
+
+PhaseScope::PhaseScope(const char *Name)
+    : Budget(BudgetScope::current()), Prev(Budget ? Budget->phase() : "") {
+  if (Budget)
+    Budget->setPhase(Name);
+}
+
+PhaseScope::~PhaseScope() {
+  if (Budget)
+    Budget->setPhase(Prev);
+}

@@ -1,0 +1,190 @@
+//===- Budget.h - Analysis resource budgets and cancellation ----*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for the analysis engine. Timing-channel analysis is
+/// inherently prone to blow-up (trail-tree growth, DFA products and
+/// determinization, DBM fixpoints) — the paper's own Table 1 reports T/O
+/// entries — so every long-running phase runs against an AnalysisBudget: a
+/// wall-clock deadline, step budgets (automaton states created, DBM
+/// joins/widenings, trail-tree nodes), and a cooperative cancellation flag.
+///
+/// When a budget trips, the engine *fails soft*: the current refinement is
+/// abandoned, partial results are kept, and the verdict degrades to Unknown
+/// with a structured DegradationReason — mirroring Table 1's T/O rows
+/// rather than hanging or dying on an assert.
+///
+/// Deep library layers (automaton products, zone joins) count against the
+/// budget through a thread-local installation (BudgetScope) so the hot
+/// const operations need no extra parameters; the driver phases carry the
+/// budget explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_BUDGET_H
+#define BLAZER_SUPPORT_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace blazer {
+
+/// Which resource limit tripped first (None = the analysis ran to
+/// completion within its budget).
+enum class BudgetKind {
+  None,       ///< Nothing tripped.
+  Deadline,   ///< Wall-clock deadline exceeded.
+  States,     ///< Automaton/product state-creation budget exhausted.
+  Joins,      ///< DBM join/widening budget exhausted.
+  TrailNodes, ///< Trail-tree node budget exhausted.
+  Cancelled,  ///< External cooperative cancellation was requested.
+};
+
+const char *budgetKindName(BudgetKind K);
+
+/// Structured report of a tripped budget: which limit, in which phase, and
+/// after how long. Surfaced in BlazerResult, treeString, and the CLI exit
+/// path — the reproduction of a Table-1 "T/O" row.
+struct DegradationReason {
+  BudgetKind Kind = BudgetKind::None;
+  /// The phase that was running when the budget tripped, e.g.
+  /// "safety-refinement", "dfa-product", "zone-fixpoint".
+  std::string Phase;
+  /// Wall-clock seconds from budget start to the trip.
+  double ElapsedSeconds = 0;
+  /// Counter value and limit for step budgets (0/0 for deadline/cancel).
+  uint64_t Used = 0;
+  uint64_t Limit = 0;
+
+  bool tripped() const { return Kind != BudgetKind::None; }
+  /// Renders e.g. "wall-clock deadline (1.00s) exceeded in phase
+  /// 'safety-refinement' after 1.02s".
+  std::string str() const;
+};
+
+/// Resource limits. Zero means "unlimited" for every field, so a
+/// default-constructed BudgetLimits never trips.
+struct BudgetLimits {
+  /// Wall-clock deadline in seconds from AnalysisBudget construction.
+  double TimeoutSeconds = 0;
+  /// Automaton states created (DFA products, subset construction,
+  /// CFG x trail product nodes).
+  uint64_t MaxStates = 0;
+  /// DBM joins + widenings performed by the abstract interpreter.
+  uint64_t MaxJoins = 0;
+  /// Trail-tree nodes created by the refinement driver.
+  uint64_t MaxTrailNodes = 0;
+  /// Optional external cancellation flag, polled at checkpoints. The engine
+  /// never blocks on it; setting it from another thread makes the analysis
+  /// wind down at the next checkpoint. Not owned.
+  const std::atomic<bool> *CancelFlag = nullptr;
+
+  bool unlimited() const {
+    return TimeoutSeconds <= 0 && MaxStates == 0 && MaxJoins == 0 &&
+           MaxTrailNodes == 0 && CancelFlag == nullptr;
+  }
+};
+
+/// Step counters accumulated during one analysis, for reporting and tests.
+struct ResourceUsage {
+  uint64_t States = 0;
+  uint64_t Joins = 0;
+  uint64_t TrailNodes = 0;
+  double Seconds = 0;
+};
+
+/// One analysis run's budget: counters plus the first-trip record. All
+/// count*/checkpoint members return false once any budget has tripped, so
+/// loops can use them directly as continue conditions. The object is
+/// single-consumer (the analysis thread); only the external CancelFlag and
+/// requestCancel() may be driven from other threads.
+class AnalysisBudget {
+public:
+  explicit AnalysisBudget(BudgetLimits L = {});
+
+  /// Cooperative cancellation (thread-safe); takes effect at the next
+  /// checkpoint.
+  void requestCancel() { InternalCancel.store(true, std::memory_order_relaxed); }
+
+  /// Counts \p N created automaton/product states. \returns false when the
+  /// budget (this one or any other) is exhausted.
+  bool countStates(uint64_t N = 1);
+  /// Counts \p N DBM joins/widenings.
+  bool countJoins(uint64_t N = 1);
+  /// Counts \p N trail-tree nodes.
+  bool countTrailNodes(uint64_t N = 1);
+
+  /// Polls the deadline and the cancellation flags. Cheap: reads the clock
+  /// only every few calls. \returns false when exhausted.
+  bool checkpoint();
+
+  bool exhausted() const { return Tripped.Kind != BudgetKind::None; }
+  /// The first trip, with elapsed time filled in; Kind == None when the
+  /// budget never tripped.
+  const DegradationReason &reason() const { return Tripped; }
+
+  /// Labels subsequent trips with a phase name (see PhaseScope).
+  const char *phase() const { return Phase; }
+  void setPhase(const char *P) { Phase = P ? P : ""; }
+
+  double elapsedSeconds() const;
+  ResourceUsage usage() const;
+
+private:
+  friend class BudgetScope;
+
+  void trip(BudgetKind K, uint64_t Used, uint64_t Limit);
+  bool pollDeadline();
+
+  BudgetLimits Limits;
+  std::chrono::steady_clock::time_point Start;
+  std::atomic<bool> InternalCancel{false};
+  uint64_t States = 0;
+  uint64_t Joins = 0;
+  uint64_t TrailNodes = 0;
+  unsigned PollTick = 0;
+  const char *Phase = "";
+  DegradationReason Tripped;
+};
+
+/// RAII installation of \p B as the calling thread's current budget, so
+/// deep layers (Automaton products, Dbm joins, ProductGraph construction)
+/// can count against it without threading a pointer through every const
+/// operation. Scopes nest; null is allowed (and clears the current budget).
+class BudgetScope {
+public:
+  explicit BudgetScope(AnalysisBudget *B);
+  ~BudgetScope();
+
+  BudgetScope(const BudgetScope &) = delete;
+  BudgetScope &operator=(const BudgetScope &) = delete;
+
+  /// The innermost installed budget of this thread, or null.
+  static AnalysisBudget *current();
+
+private:
+  AnalysisBudget *Prev;
+};
+
+/// RAII phase label on the thread's current budget (no-op without one).
+class PhaseScope {
+public:
+  explicit PhaseScope(const char *Name);
+  ~PhaseScope();
+
+  PhaseScope(const PhaseScope &) = delete;
+  PhaseScope &operator=(const PhaseScope &) = delete;
+
+private:
+  AnalysisBudget *Budget;
+  const char *Prev;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_BUDGET_H

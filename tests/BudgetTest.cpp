@@ -1,0 +1,326 @@
+//===- BudgetTest.cpp - Resource governance / fail-soft tests ---------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial budget tests: programs designed to blow the trail-tree,
+/// automaton-state, join, and wall-clock budgets must degrade to Unknown
+/// with a structured DegradationReason — never hang, abort, or (worst of
+/// all) claim Safe on a truncated analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "core/Blazer.h"
+#include "selfcomp/SelfComposition.h"
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+using namespace blazer;
+
+namespace {
+
+CfgFunction compile(const std::string &Src) {
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F)) << (F ? "" : F.diag().str());
+  return F.take();
+}
+
+/// A refinement-hungry program: a secret branch choosing between loops of
+/// different degree, behind a pile of low branches — the driver wants many
+/// splits and many zone fixpoints before it can decide anything.
+const char *AdversarialSource = R"(
+  fn adversary(secret high: int, public low: int, public a: int,
+               public b: int, public c: int) {
+    var i: int = 0;
+    var j: int = 0;
+    var acc: int = 0;
+    if (a > 0) { acc = acc + 1; } else { acc = acc + 2; }
+    if (b > 0) { acc = acc + 3; } else { acc = acc + 4; }
+    if (c > 0) { acc = acc + 5; } else { acc = acc + 6; }
+    if (high == 0) {
+      i = 0;
+      while (i < low) {
+        j = 0;
+        while (j < low) { j = j + 1; }
+        i = i + 1;
+      }
+    } else {
+      i = low;
+      while (i > 0) { i = i - 1; }
+    }
+  }
+)";
+
+/// The known-safe Example-1 program for verdict-preservation checks.
+const char *SafeSource = R"(
+  fn foo(secret high: int, public low: int) {
+    var i: int = 0;
+    if (high == 0) {
+      i = 0;
+      while (i < low) { i = i + 1; }
+    } else {
+      i = low;
+      while (i > 0) { i = i - 1; }
+    }
+  }
+)";
+
+BlazerOptions optionsWith(BudgetLimits Limits) {
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(16);
+  Opt.Budget = Limits;
+  return Opt;
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisBudget unit behavior
+//===----------------------------------------------------------------------===//
+
+TEST(Budget, UnlimitedNeverTrips) {
+  AnalysisBudget B;
+  for (int I = 0; I < 10000; ++I) {
+    EXPECT_TRUE(B.countStates());
+    EXPECT_TRUE(B.countJoins());
+    EXPECT_TRUE(B.countTrailNodes());
+    EXPECT_TRUE(B.checkpoint());
+  }
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_EQ(B.reason().Kind, BudgetKind::None);
+  EXPECT_EQ(B.usage().States, 10000u);
+}
+
+TEST(Budget, StateLimitTripsAtThreshold) {
+  BudgetLimits L;
+  L.MaxStates = 5;
+  AnalysisBudget B(L);
+  EXPECT_TRUE(B.countStates(5)); // Exactly at the limit: still fine.
+  EXPECT_FALSE(B.countStates()); // One past: trips.
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.reason().Kind, BudgetKind::States);
+  EXPECT_EQ(B.reason().Used, 6u);
+  EXPECT_EQ(B.reason().Limit, 5u);
+  // Every subsequent operation keeps reporting exhaustion.
+  EXPECT_FALSE(B.countJoins());
+  EXPECT_FALSE(B.checkpoint());
+}
+
+TEST(Budget, FirstTripWins) {
+  BudgetLimits L;
+  L.MaxStates = 1;
+  L.MaxJoins = 1;
+  AnalysisBudget B(L);
+  EXPECT_FALSE(B.countStates(2));
+  EXPECT_FALSE(B.countJoins(2)); // Ignored: already exhausted.
+  EXPECT_EQ(B.reason().Kind, BudgetKind::States);
+}
+
+TEST(Budget, ZeroDeadlineFastPath) {
+  // An already-expired deadline must trip on the very first checkpoint,
+  // before any real work happens — no 32-call amortization window.
+  BudgetLimits L;
+  L.TimeoutSeconds = 1e-9;
+  AnalysisBudget B(L);
+  EXPECT_FALSE(B.checkpoint());
+  EXPECT_EQ(B.reason().Kind, BudgetKind::Deadline);
+}
+
+TEST(Budget, ExternalCancelFlag) {
+  std::atomic<bool> Cancel{false};
+  BudgetLimits L;
+  L.CancelFlag = &Cancel;
+  AnalysisBudget B(L);
+  EXPECT_TRUE(B.checkpoint());
+  Cancel.store(true);
+  // The amortized poll may skip a few calls; within 32 it must land.
+  bool SawTrip = false;
+  for (int I = 0; I < 64 && !SawTrip; ++I)
+    SawTrip = !B.checkpoint();
+  EXPECT_TRUE(SawTrip);
+  EXPECT_EQ(B.reason().Kind, BudgetKind::Cancelled);
+}
+
+TEST(Budget, PhaseScopeLabelsTrips) {
+  BudgetLimits L;
+  L.MaxStates = 1;
+  AnalysisBudget B(L);
+  BudgetScope Scope(&B);
+  {
+    PhaseScope Phase("unit-test-phase");
+    BudgetScope::current()->countStates(2);
+  }
+  EXPECT_EQ(B.reason().Phase, "unit-test-phase");
+  EXPECT_NE(B.reason().str().find("unit-test-phase"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver fail-soft behavior
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetDriver, TinyDeadlineDegradesToUnknownPromptly) {
+  CfgFunction F = compile(AdversarialSource);
+  BudgetLimits L;
+  L.TimeoutSeconds = 1e-9; // Expired before the analysis even starts.
+  auto T0 = std::chrono::steady_clock::now();
+  BlazerResult R = analyzeFunction(F, optionsWith(L));
+  double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  EXPECT_TRUE(R.Degradation.tripped());
+  EXPECT_EQ(R.Degradation.Kind, BudgetKind::Deadline);
+  EXPECT_LT(Elapsed, 2.0); // The fast path: no real work happens.
+  // The partial tree (at least the root) is kept.
+  ASSERT_FALSE(R.Tree.empty());
+  // And the degradation is surfaced in the rendered tree.
+  EXPECT_NE(R.treeString(F).find("degraded:"), std::string::npos);
+  EXPECT_NE(R.treeString(F).find("verdict: unknown"), std::string::npos);
+}
+
+TEST(BudgetDriver, StateBudgetDegradesToUnknown) {
+  CfgFunction F = compile(AdversarialSource);
+  BudgetLimits L;
+  L.MaxStates = 10; // The most general trail alone needs more.
+  BlazerResult R = analyzeFunction(F, optionsWith(L));
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  ASSERT_TRUE(R.Degradation.tripped());
+  EXPECT_EQ(R.Degradation.Kind, BudgetKind::States);
+  EXPECT_GT(R.Usage.States, 10u);
+}
+
+TEST(BudgetDriver, JoinBudgetDegradesToUnknown) {
+  CfgFunction F = compile(AdversarialSource);
+  BudgetLimits L;
+  L.MaxJoins = 5; // The first zone fixpoint needs more.
+  BlazerResult R = analyzeFunction(F, optionsWith(L));
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  ASSERT_TRUE(R.Degradation.tripped());
+  EXPECT_EQ(R.Degradation.Kind, BudgetKind::Joins);
+}
+
+TEST(BudgetDriver, TrailNodeBudgetDegradesToUnknown) {
+  CfgFunction F = compile(AdversarialSource);
+  BudgetLimits L;
+  L.MaxTrailNodes = 1; // Room for the root, none for any split.
+  BlazerResult R = analyzeFunction(F, optionsWith(L));
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  ASSERT_TRUE(R.Degradation.tripped());
+  EXPECT_EQ(R.Degradation.Kind, BudgetKind::TrailNodes);
+  // No truncated children were adopted: the root is the whole tree.
+  EXPECT_EQ(R.Tree.size(), 1u);
+}
+
+TEST(BudgetDriver, PreCancelledFlagDegradesToUnknown) {
+  CfgFunction F = compile(SafeSource);
+  std::atomic<bool> Cancel{true};
+  BudgetLimits L;
+  L.CancelFlag = &Cancel;
+  BlazerResult R = analyzeFunction(F, optionsWith(L));
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  ASSERT_TRUE(R.Degradation.tripped());
+  EXPECT_EQ(R.Degradation.Kind, BudgetKind::Cancelled);
+}
+
+TEST(BudgetDriver, GenerousBudgetPreservesVerdict) {
+  CfgFunction F = compile(SafeSource);
+  BlazerResult Unlimited = analyzeFunction(F, optionsWith(BudgetLimits{}));
+  EXPECT_EQ(Unlimited.Verdict, VerdictKind::Safe);
+  EXPECT_FALSE(Unlimited.Degradation.tripped());
+
+  BudgetLimits L;
+  L.TimeoutSeconds = 300;
+  L.MaxStates = 10'000'000;
+  L.MaxJoins = 10'000'000;
+  L.MaxTrailNodes = 100'000;
+  BlazerResult Governed = analyzeFunction(F, optionsWith(L));
+  EXPECT_EQ(Governed.Verdict, VerdictKind::Safe);
+  EXPECT_FALSE(Governed.Degradation.tripped());
+  EXPECT_GT(Governed.Usage.States, 0u);
+  EXPECT_GT(Governed.Usage.Joins, 0u);
+}
+
+TEST(BudgetDriver, TrippedBudgetNeverClaimsSafe) {
+  // Sweep tight budgets over a program whose true verdict is Safe: every
+  // degraded outcome must be Unknown, never a spurious Safe (an interrupted
+  // analysis proves nothing) — and with these all-degraded bounds no
+  // Attack can be fabricated either.
+  CfgFunction F = compile(SafeSource);
+  for (uint64_t Max : {1u, 2u, 5u, 10u, 50u, 200u}) {
+    BudgetLimits L;
+    L.MaxJoins = Max;
+    BlazerResult R = analyzeFunction(F, optionsWith(L));
+    if (R.Degradation.tripped())
+      EXPECT_EQ(R.Verdict, VerdictKind::Unknown) << "MaxJoins=" << Max;
+    else
+      EXPECT_EQ(R.Verdict, VerdictKind::Safe) << "MaxJoins=" << Max;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Capacity, self-composition, and benchmark entry points
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetCapacity, TrippedBudgetForcesUnknownCapacity) {
+  CfgFunction F = compile(AdversarialSource);
+  BudgetLimits L;
+  L.TimeoutSeconds = 1e-9;
+  ChannelCapacityResult R =
+      analyzeChannelCapacity(F, 2, optionsWith(L));
+  EXPECT_FALSE(R.Known);
+  EXPECT_FALSE(R.Bounded);
+  ASSERT_TRUE(R.Degradation.tripped());
+  EXPECT_EQ(R.Degradation.Kind, BudgetKind::Deadline);
+}
+
+TEST(BudgetCapacity, NonPositiveQIsRecoverable) {
+  CfgFunction F = compile(SafeSource);
+  ChannelCapacityResult R = analyzeChannelCapacity(F, 0);
+  EXPECT_FALSE(R.Known);
+  EXPECT_FALSE(R.Bounded);
+  R = analyzeChannelCapacity(F, -3);
+  EXPECT_FALSE(R.Known);
+}
+
+TEST(BudgetSelfComp, TrippedBudgetDegradesBaseline) {
+  CfgFunction F = compile(AdversarialSource);
+  BudgetLimits L;
+  L.TimeoutSeconds = 1e-9;
+  SelfCompResult R = verifyBySelfComposition(F, 32, L);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_FALSE(R.GapBounded);
+  ASSERT_TRUE(R.Degradation.tripped());
+  EXPECT_EQ(R.Degradation.Kind, BudgetKind::Deadline);
+}
+
+TEST(BudgetSelfComp, UnlimitedBaselineUnchanged) {
+  CfgFunction F = compile(SafeSource);
+  SelfCompResult Plain = verifyBySelfComposition(F, 32);
+  EXPECT_FALSE(Plain.Degradation.tripped());
+}
+
+TEST(BudgetBenchmarks, RunBenchmarkSurvivesTimeout) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_safe");
+  ASSERT_NE(B, nullptr);
+  BudgetLimits L;
+  L.TimeoutSeconds = 1e-9;
+  BlazerResult R = runBenchmark(*B, L);
+  EXPECT_EQ(R.Verdict, VerdictKind::Unknown);
+  EXPECT_TRUE(R.Degradation.tripped());
+}
+
+TEST(BudgetBenchmarks, RunBenchmarkUnlimitedMatchesExpectation) {
+  const BenchmarkProgram *B = findBenchmark("loopAndbranch_safe");
+  if (!B)
+    B = &allBenchmarks().front();
+  BlazerResult R = runBenchmark(*B);
+  EXPECT_FALSE(R.Degradation.tripped());
+  EXPECT_EQ(R.Verdict, B->Expected);
+}
+
+} // namespace

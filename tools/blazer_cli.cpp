@@ -23,11 +23,16 @@
 ///   --dot                        print the CFG in Graphviz format
 ///   --regex                      print the annotated most-general trail
 ///   --max-trails=N --max-depth=N refinement budgets
+///   --timeout=SEC                wall-clock deadline per function (0 = off)
+///   --max-states=N               automaton state-creation budget (0 = off)
+///   --max-joins=N                DBM join/widening budget (0 = off)
+///   --max-trail-nodes=N          trail-tree node budget (0 = off)
 /// \endcode
 ///
 /// Exit code: 0 when every analyzed function is safe (or capacity-bounded),
 /// 2 when some function has an attack specification, 3 on unknown, 1 on
-/// usage/compile errors.
+/// usage/compile errors. A tripped resource budget degrades the verdict to
+/// unknown (exit 3) and prints which budget tripped.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +42,10 @@
 #include "lang/Sema.h"
 #include "selfcomp/SelfComposition.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -62,6 +70,10 @@ struct CliOptions {
   bool Regex = false;
   int MaxTrails = 512;
   int MaxDepth = 12;
+  double TimeoutSeconds = 0;
+  int64_t MaxStates = 0;
+  int64_t MaxJoins = 0;
+  int64_t MaxTrailNodes = 0;
   std::string File;
   std::vector<std::string> Functions;
 };
@@ -83,8 +95,54 @@ void usage(const char *Prog) {
       "baseline\n"
       "  --dot                       print the CFG (Graphviz)\n"
       "  --regex                     print the annotated trail expression\n"
-      "  --max-trails=N --max-depth=N refinement budgets\n",
+      "  --max-trails=N --max-depth=N refinement budgets\n"
+      "  --timeout=SEC               wall-clock deadline per function\n"
+      "  --max-states=N              automaton state-creation budget\n"
+      "  --max-joins=N               DBM join/widening budget\n"
+      "  --max-trail-nodes=N         trail-tree node budget\n",
       Prog);
+}
+
+/// Strictly parses \p Text as a decimal integer in [\p Min, \p Max]:
+/// rejects empty strings, trailing garbage, and out-of-range values
+/// (std::atoll would silently yield 0 for all three).
+bool parseIntArg(const char *Flag, const char *Text, int64_t Min, int64_t Max,
+                 int64_t &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Text, &End, 10);
+  if (End == Text || *End != '\0') {
+    std::fprintf(stderr, "%s needs an integer, got '%s'\n", Flag, Text);
+    return false;
+  }
+  if (errno == ERANGE || V < Min || V > Max) {
+    std::fprintf(stderr, "%s value '%s' out of range [%lld, %lld]\n", Flag,
+                 Text, static_cast<long long>(Min),
+                 static_cast<long long>(Max));
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+/// Strictly parses \p Text as a non-negative decimal number of seconds.
+bool parseSecondsArg(const char *Flag, const char *Text, double &Out) {
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0') {
+    std::fprintf(stderr, "%s needs a number of seconds, got '%s'\n", Flag,
+                 Text);
+    return false;
+  }
+  if (errno == ERANGE || !(V >= 0)) {
+    std::fprintf(stderr, "%s needs a non-negative number of seconds, got "
+                 "'%s'\n",
+                 Flag, Text);
+    return false;
+  }
+  Out = V;
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
@@ -103,26 +161,31 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
         return false;
       }
     } else if (const char *V = Value("--epsilon=")) {
-      Opt.Epsilon = std::atoll(V);
+      if (!parseIntArg("--epsilon", V, 0, INT64_MAX, Opt.Epsilon))
+        return false;
     } else if (const char *V = Value("--threshold=")) {
-      Opt.Threshold = std::atoll(V);
+      if (!parseIntArg("--threshold", V, 0, INT64_MAX, Opt.Threshold))
+        return false;
     } else if (const char *V = Value("--max-input=")) {
-      Opt.MaxInput = std::atoll(V);
+      if (!parseIntArg("--max-input", V, 0, INT64_MAX, Opt.MaxInput))
+        return false;
     } else if (const char *V = Value("--pin=")) {
       std::string Pin = V;
       size_t Eq = Pin.rfind('=');
-      if (Eq == std::string::npos) {
+      if (Eq == std::string::npos || Eq == 0) {
         std::fprintf(stderr, "--pin needs SYM=VAL, got '%s'\n", V);
         return false;
       }
-      Opt.Pins.push_back(
-          {Pin.substr(0, Eq), std::atoll(Pin.c_str() + Eq + 1)});
-    } else if (const char *V = Value("--capacity=")) {
-      Opt.Capacity = std::atoi(V);
-      if (Opt.Capacity < 1) {
-        std::fprintf(stderr, "--capacity needs a positive Q\n");
+      int64_t Val = 0;
+      if (!parseIntArg("--pin", Pin.c_str() + Eq + 1, INT64_MIN, INT64_MAX,
+                       Val))
         return false;
-      }
+      Opt.Pins.push_back({Pin.substr(0, Eq), Val});
+    } else if (const char *V = Value("--capacity=")) {
+      int64_t Q = 0;
+      if (!parseIntArg("--capacity", V, 1, INT32_MAX, Q))
+        return false;
+      Opt.Capacity = static_cast<int>(Q);
     } else if (Arg == "--no-attack") {
       Opt.NoAttack = true;
     } else if (Arg == "--selfcomp") {
@@ -132,9 +195,28 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
     } else if (Arg == "--regex") {
       Opt.Regex = true;
     } else if (const char *V = Value("--max-trails=")) {
-      Opt.MaxTrails = std::atoi(V);
+      int64_t N = 0;
+      if (!parseIntArg("--max-trails", V, 1, INT32_MAX, N))
+        return false;
+      Opt.MaxTrails = static_cast<int>(N);
     } else if (const char *V = Value("--max-depth=")) {
-      Opt.MaxDepth = std::atoi(V);
+      int64_t N = 0;
+      if (!parseIntArg("--max-depth", V, 0, INT32_MAX, N))
+        return false;
+      Opt.MaxDepth = static_cast<int>(N);
+    } else if (const char *V = Value("--timeout=")) {
+      if (!parseSecondsArg("--timeout", V, Opt.TimeoutSeconds))
+        return false;
+    } else if (const char *V = Value("--max-states=")) {
+      if (!parseIntArg("--max-states", V, 0, INT64_MAX, Opt.MaxStates))
+        return false;
+    } else if (const char *V = Value("--max-joins=")) {
+      if (!parseIntArg("--max-joins", V, 0, INT64_MAX, Opt.MaxJoins))
+        return false;
+    } else if (const char *V = Value("--max-trail-nodes=")) {
+      if (!parseIntArg("--max-trail-nodes", V, 0, INT64_MAX,
+                       Opt.MaxTrailNodes))
+        return false;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -163,6 +245,10 @@ BlazerOptions toBlazerOptions(const CliOptions &Cli) {
   Opt.MaxTrails = Cli.MaxTrails;
   Opt.MaxDepth = Cli.MaxDepth;
   Opt.SearchAttack = !Cli.NoAttack;
+  Opt.Budget.TimeoutSeconds = Cli.TimeoutSeconds;
+  Opt.Budget.MaxStates = static_cast<uint64_t>(Cli.MaxStates);
+  Opt.Budget.MaxJoins = static_cast<uint64_t>(Cli.MaxJoins);
+  Opt.Budget.MaxTrailNodes = static_cast<uint64_t>(Cli.MaxTrailNodes);
   return Opt;
 }
 
@@ -182,6 +268,8 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
                 R.Bounded ? "BOUNDED"
                           : (R.Known ? "EXCEEDED" : "unknown"),
                 R.MaxClasses);
+    if (R.Degradation.tripped())
+      std::printf("degraded: %s\n", R.Degradation.str().c_str());
     return R.Bounded ? 0 : (R.Known ? 2 : 3);
   }
 
@@ -202,11 +290,14 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
 
   if (Cli.SelfComp) {
     SelfCompResult S =
-        verifyBySelfComposition(F, Opt.Observer.threshold());
+        verifyBySelfComposition(F, Opt.Observer.threshold(), Opt.Budget);
     std::printf("self-composition baseline: %s\n",
                 S.Verified ? "verified"
                            : (S.GapBounded ? "refuted"
                                            : "lost the counter relation"));
+    if (S.Degradation.tripped())
+      std::printf("self-composition degraded: %s\n",
+                  S.Degradation.str().c_str());
   }
 
   switch (R.Verdict) {
