@@ -15,7 +15,10 @@
 /// BLAZER_TABLE1_TIMEOUT to cap each per-function analysis in wall-clock
 /// seconds (default 300; 0 disables). A tripped deadline prints a T/O row
 /// — like the paper's own Table 1 — and the driver moves on to the next
-/// benchmark instead of hanging.
+/// benchmark instead of hanging. BLAZER_TABLE1_JOBS sets the analysis
+/// worker-thread count (default 1 = sequential; 0 = hardware concurrency)
+/// so the sweep exercises the parallel trail-tree path; verdicts and
+/// bounds are identical at any job count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,11 +60,22 @@ int main() {
                    "ignoring malformed BLAZER_TABLE1_TIMEOUT '%s'\n",
                    EnvTimeout);
   }
+  int Jobs = 1;
+  if (const char *EnvJobs = std::getenv("BLAZER_TABLE1_JOBS")) {
+    char *End = nullptr;
+    long V = std::strtol(EnvJobs, &End, 10);
+    if (End != EnvJobs && *End == '\0' && V >= 0 && V <= 1024)
+      Jobs = static_cast<int>(V);
+    else
+      std::fprintf(stderr, "ignoring malformed BLAZER_TABLE1_JOBS '%s'\n",
+                   EnvJobs);
+  }
   BudgetLimits Limits;
   Limits.TimeoutSeconds = Timeout;
 
-  std::printf("Table 1: Blazer on the benchmark suite (median of %d runs)\n",
-              Runs);
+  std::printf("Table 1: Blazer on the benchmark suite (median of %d runs, "
+              "jobs=%d)\n",
+              Runs, Jobs);
   std::printf("%-24s %-12s %5s  %12s  %12s  %-8s %s\n", "Benchmark",
               "Category", "Size", "Safety (s)", "w/Attack (s)", "Verdict",
               "vs paper");
@@ -78,7 +92,7 @@ int main() {
     std::vector<double> SafetyTimes, TotalTimes;
     BlazerResult Last;
     for (int R = 0; R < Runs; ++R) {
-      BlazerResult Res = runBenchmark(B, Limits);
+      BlazerResult Res = runBenchmark(B, Limits, Jobs);
       SafetyTimes.push_back(Res.SafetySeconds);
       TotalTimes.push_back(Res.TotalSeconds);
       Last = std::move(Res);

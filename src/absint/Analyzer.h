@@ -12,6 +12,18 @@
 /// analysis and decide trail feasibility (infeasible trails — like the
 /// vulnerable-looking one in loopAndBranch — come back bottom).
 ///
+/// Thread-safety audit (for the parallel trail-tree analysis): Analyzer
+/// holds only const references to per-function state and has no mutable
+/// members; Dbm and AnalysisResult are plain value types; VarEnv is
+/// immutable after construction. transferBlock/transferEdge are therefore
+/// safe to call concurrently from worker threads — they allocate their
+/// result Dbm locally and report DBM joins to the (atomic) thread-local
+/// AnalysisBudget. analyze() itself stays sequential *within one product
+/// graph* on purpose: the worklist order and widening points are
+/// order-sensitive, and reordering them could change (weaken) invariants
+/// — parallelism comes from analyzing distinct trails concurrently, not
+/// from splitting one fixpoint.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BLAZER_ABSINT_ANALYZER_H

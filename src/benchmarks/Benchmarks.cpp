@@ -575,9 +575,10 @@ const BenchmarkProgram *blazer::findBenchmark(const std::string &Name) {
 }
 
 BlazerResult blazer::runBenchmark(const BenchmarkProgram &B,
-                                  const BudgetLimits &Limits) {
+                                  const BudgetLimits &Limits, int Jobs) {
   CfgFunction F = B.compile();
   BlazerOptions Opt = B.options();
   Opt.Budget = Limits;
+  Opt.Jobs = Jobs;
   return analyzeFunction(F, Opt);
 }

@@ -51,9 +51,10 @@ const std::vector<BenchmarkProgram> &allBenchmarks();
 /// Compiles and analyzes \p B under \p Limits (merged into the benchmark's
 /// own options). A tripped budget shows up as Degradation.tripped() on the
 /// result with an Unknown verdict — the Table-1 "T/O" row — instead of an
-/// unbounded run.
+/// unbounded run. \p Jobs is the analysis worker-thread count (1 =
+/// sequential, 0 = hardware concurrency); see BlazerOptions::Jobs.
 BlazerResult runBenchmark(const BenchmarkProgram &B,
-                          const BudgetLimits &Limits = {});
+                          const BudgetLimits &Limits = {}, int Jobs = 1);
 
 /// Lookup by name; null when absent.
 const BenchmarkProgram *findBenchmark(const std::string &Name);

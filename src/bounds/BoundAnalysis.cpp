@@ -7,6 +7,7 @@
 #include "bounds/BoundAnalysis.h"
 
 #include "support/Budget.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -27,9 +28,10 @@ std::string TrailBoundResult::str() const {
 }
 
 BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
-                             std::map<std::string, int64_t> InputPins)
+                             std::map<std::string, int64_t> InputPins,
+                             ThreadPool *PoolIn)
     : F(Fn), A(EdgeAlphabet::forFunction(Fn)), Env(Fn, std::move(InputPins)),
-      Az(Fn, Env) {}
+      Az(Fn, Env), Pool(PoolIn) {}
 
 Dfa BoundAnalysis::mostGeneralTrail() const { return Dfa::fromCfg(F, A); }
 
@@ -115,8 +117,9 @@ using DeltaState = std::vector<Delta>; ///< Indexed by DBM var (1-based -1).
 class RegionEngine {
 public:
   RegionEngine(const CfgFunction &F, const VarEnv &Env, const Analyzer &Az,
-               const ProductGraph &G, const AnalysisResult &AR)
-      : F(F), Env(Env), Az(Az), G(G), AR(AR) {
+               const ProductGraph &G, const AnalysisResult &AR,
+               ThreadPool *Pool)
+      : F(F), Env(Env), Az(Az), G(G), AR(AR), Pool(Pool) {
     buildPrunedGraph();
   }
 
@@ -151,11 +154,13 @@ private:
       return;
 
     // An arc is feasible when the abstract state propagated along it is not
-    // bottom.
+    // bottom. Each per-node transfer is independent (the analyzer is
+    // stateless and every iteration writes only its own slot), so the
+    // sweep — the hot loop of one trail query — fans out over the pool.
     std::vector<std::vector<std::pair<int, Edge>>> Feasible(N);
-    for (size_t Id = 0; Id < N; ++Id) {
+    parallelForWithBudget(Pool, N, [&](size_t Id) {
       if (!AR.Feasible[Id])
-        continue;
+        return;
       for (const ProductGraph::Arc &Arc : G.successors(Id)) {
         if (!AR.Feasible[Arc.To])
           continue;
@@ -164,7 +169,7 @@ private:
           continue;
         Feasible[Id].push_back({Arc.To, Arc.CfgEdge});
       }
-    }
+    });
     // Forward reachability from the entry over feasible arcs...
     std::vector<char> Fwd(N, 0);
     if (AR.Feasible[G.entry()]) {
@@ -991,6 +996,7 @@ private:
   const Analyzer &Az;
   const ProductGraph &G;
   const AnalysisResult &AR;
+  ThreadPool *Pool;
 
   std::vector<char> Alive;
   std::vector<std::vector<std::pair<int, Edge>>> Succs;
@@ -1024,7 +1030,7 @@ TrailBoundResult BoundAnalysis::analyzeTrail(const Dfa &TrailDfa) const {
   AnalysisResult AR = Az.analyze(G);
   if (Budget && Budget->exhausted())
     return Degraded(); // Interrupted ascent: states are untrustworthy.
-  RegionEngine Engine(F, Env, Az, G, AR);
+  RegionEngine Engine(F, Env, Az, G, AR, Pool);
   if (!Engine.entryAlive())
     return Res;
   RB R = Engine.run();

@@ -41,6 +41,8 @@
 
 namespace blazer {
 
+class ThreadPool;
+
 /// Outcome of bounding one trail.
 struct TrailBoundResult {
   /// False when the trail admits no feasible complete execution (either no
@@ -62,12 +64,21 @@ struct TrailBoundResult {
 };
 
 /// Bound analysis engine for one function. Construct once, query per trail.
+///
+/// Thread-safe for concurrent analyzeTrail calls: the engine holds only
+/// immutable per-function state (alphabet, variable environment, analyzer),
+/// and every query builds its own product graph, invariants, and region
+/// state. The optional worker pool additionally parallelizes the arc
+/// feasibility sweep *inside* one query; results are written to
+/// per-iteration slots, so bounds are identical with and without the pool.
 class BoundAnalysis {
 public:
   /// \p InputPins fixes publicly known input symbols (e.g. key bit-lengths)
-  /// in the abstract initial state; see VarEnv.
+  /// in the abstract initial state; see VarEnv. \p Pool (not owned, may be
+  /// null) parallelizes per-query inner loops; null means fully sequential.
   explicit BoundAnalysis(const CfgFunction &F,
-                         std::map<std::string, int64_t> InputPins = {});
+                         std::map<std::string, int64_t> InputPins = {},
+                         ThreadPool *Pool = nullptr);
 
   const EdgeAlphabet &alphabet() const { return A; }
   const VarEnv &env() const { return Env; }
@@ -83,6 +94,7 @@ private:
   EdgeAlphabet A;
   VarEnv Env;
   Analyzer Az;
+  ThreadPool *Pool;
 };
 
 } // namespace blazer

@@ -9,6 +9,7 @@
 #include "absint/ProductGraph.h"
 #include "automata/AnnotateTrail.h"
 #include "dataflow/Dominators.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -69,7 +70,9 @@ namespace {
 class Driver {
 public:
   Driver(const CfgFunction &F, const BlazerOptions &Options)
-      : F(F), Opt(Options), BA(F, Options.Observer.pinnedSymbols()),
+      : F(F), Opt(Options),
+        Pool(Options.Jobs <= 0 ? 0u : static_cast<unsigned>(Options.Jobs)),
+        BA(F, Options.Observer.pinnedSymbols(), &Pool),
         Budget(Options.Budget) {
     // Boolean parameters range over {0,1} regardless of the configured
     // default input maximum.
@@ -128,27 +131,48 @@ public:
 
     if (!Safe) {
       // Exhaustive secret refinement: split every non-narrow feasible leaf
-      // at every remaining secret branch (no early exit).
+      // at every remaining secret branch (no early exit). Processed in
+      // generations — plan a whole generation's splits on the pool, adopt
+      // sequentially in order, collect the children as the next
+      // generation. Generation order equals the sequential queue's FIFO
+      // order, so the tree is identical for any job count.
       PhaseScope Phase("capacity-refinement");
-      std::deque<int> Queue;
+      std::vector<int> Round;
       for (int Id : Components)
         if (!Tree[Id].Narrow)
-          Queue.push_back(Id);
-      while (!Queue.empty()) {
+          Round.push_back(Id);
+      bool Stopped = false;
+      while (!Round.empty() && !Stopped) {
         if (!Budget.checkpoint())
           break;
-        int LeafId = Queue.front();
-        Queue.pop_front();
-        if (static_cast<int>(Tree[LeafId].UsedSplits.size()) >=
-                Opt.MaxDepth ||
-            !budgetLeft())
-          continue;
-        std::optional<int> B = pickBranch(Tree[LeafId], /*SecretMode=*/true);
-        if (!B)
-          continue;
-        for (int C : splitAt(LeafId, *B, /*SecretSplit=*/true))
-          if (Tree[C].feasible() && !Tree[C].Narrow)
-            Queue.push_back(C);
+        std::vector<int> Eligible;
+        for (int Id : Round)
+          if (static_cast<int>(Tree[Id].UsedSplits.size()) < Opt.MaxDepth)
+            Eligible.push_back(Id);
+        std::vector<std::optional<PlannedSplit>> Plans(Eligible.size());
+        parallelForWithBudget(&Pool, Eligible.size(), [&](size_t I) {
+          Plans[I] = planSplit(Eligible[I], /*SecretMode=*/true);
+        });
+        std::vector<int> Next;
+        for (std::optional<PlannedSplit> &P : Plans) {
+          if (!P)
+            continue;
+          if (!Budget.checkpoint()) {
+            Stopped = true;
+            break;
+          }
+          if (!budgetLeft())
+            continue; // Out of trail room: skip this leaf, keep scanning.
+          if (!Budget.countTrailNodes(
+                  static_cast<uint64_t>(P->Children.size()))) {
+            Stopped = true;
+            break;
+          }
+          for (int C : adoptChildren(P->LeafId, std::move(P->Children)))
+            if (Tree[C].feasible() && !Tree[C].Narrow)
+              Next.push_back(C);
+        }
+        Round = std::move(Next);
       }
     }
 
@@ -270,13 +294,13 @@ private:
     return Out;
   }
 
-  /// Splits leaf \p LeafId at branch \p Block. \returns the new child ids
-  /// — empty (leaving \p LeafId an unsplit leaf) when the budget trips
-  /// before or during the split, so truncated child automata are never
-  /// adopted into the tree.
-  std::vector<int> splitAt(int LeafId, int Block, bool SecretSplit) {
-    if (!Budget.checkpoint())
-      return {};
+  /// Builds the unevaluated child trails of splitting leaf \p LeafId at
+  /// branch \p Block: the avoid-true / avoid-false pair, plus takes-both
+  /// when the branch sits on a cycle. Ids are left unassigned; the tree is
+  /// read but never written, so any number of leaves may build their
+  /// children concurrently.
+  std::vector<Trail> buildChildSpecs(int LeafId, int Block,
+                                     bool SecretSplit) {
     const EdgeAlphabet &A = BA.alphabet();
     const BasicBlock &B = F.block(Block);
     int SymT = A.symbol(Edge{Block, B.TrueSucc});
@@ -312,16 +336,9 @@ private:
            SplitKind::TakesBoth,
            "bb" + std::to_string(Block) + ": takes both edges"});
 
-    // The intersections above may have been truncated mid-product; their
-    // languages would under-approximate the split and must be discarded.
-    if (Budget.exhausted() ||
-        !Budget.countTrailNodes(static_cast<uint64_t>(Specs.size())))
-      return {};
-
-    std::vector<int> ChildIds;
+    std::vector<Trail> Children;
     for (ChildSpec &S : Specs) {
       Trail Child;
-      Child.Id = static_cast<int>(Tree.size());
       Child.Parent = LeafId;
       Child.Auto = std::move(S.Auto);
       Child.SplitBlock = Block;
@@ -330,12 +347,73 @@ private:
       Child.UsedSplits = Tree[LeafId].UsedSplits;
       Child.UsedSplits.insert(Block);
       Child.Label = S.Label;
-      evaluate(Child);
+      Children.push_back(std::move(Child));
+    }
+    return Children;
+  }
+
+  /// Appends evaluated children to the tree in order, assigning ids. The
+  /// only place refinement mutates the tree — always called sequentially.
+  std::vector<int> adoptChildren(int LeafId, std::vector<Trail> &&Children) {
+    std::vector<int> ChildIds;
+    for (Trail &Child : Children) {
+      Child.Id = static_cast<int>(Tree.size());
       ChildIds.push_back(Child.Id);
       Tree.push_back(std::move(Child));
       Tree[LeafId].Children.push_back(ChildIds.back());
     }
     return ChildIds;
+  }
+
+  /// Splits leaf \p LeafId at branch \p Block. \returns the new child ids
+  /// — empty (leaving \p LeafId an unsplit leaf) when the budget trips
+  /// before or during the split, so truncated child automata are never
+  /// adopted into the tree.
+  std::vector<int> splitAt(int LeafId, int Block, bool SecretSplit) {
+    if (!Budget.checkpoint())
+      return {};
+    std::vector<Trail> Children = buildChildSpecs(LeafId, Block, SecretSplit);
+
+    // The intersections above may have been truncated mid-product; their
+    // languages would under-approximate the split and must be discarded.
+    if (Budget.exhausted() ||
+        !Budget.countTrailNodes(static_cast<uint64_t>(Children.size())))
+      return {};
+
+    parallelForWithBudget(&Pool, Children.size(),
+                          [&](size_t I) { evaluate(Children[I]); });
+    return adoptChildren(LeafId, std::move(Children));
+  }
+
+  /// An unadopted refinement of one leaf: the chosen branch plus fully
+  /// built and bounded child trails, ids not yet assigned.
+  struct PlannedSplit {
+    int LeafId = -1;
+    int Block = -1;
+    std::vector<Trail> Children;
+  };
+
+  /// Plans one refinement of leaf \p LeafId: picks the branch, builds the
+  /// child automata, and bounds them. This is the per-component worker
+  /// task — it reads the tree but never writes it, and defers trail-node
+  /// accounting to adoption so only splits actually adopted are charged.
+  /// \returns nullopt when no branch is eligible or the budget trips while
+  /// building (truncated intersections would under-approximate the split).
+  std::optional<PlannedSplit> planSplit(int LeafId, bool SecretMode) {
+    if (!Budget.checkpoint())
+      return std::nullopt;
+    std::optional<int> B = pickBranch(Tree[LeafId], SecretMode);
+    if (!B)
+      return std::nullopt;
+    PlannedSplit P;
+    P.LeafId = LeafId;
+    P.Block = *B;
+    P.Children = buildChildSpecs(LeafId, *B, SecretMode);
+    if (Budget.exhausted())
+      return std::nullopt;
+    for (Trail &C : P.Children)
+      evaluate(C);
+    return P;
   }
 
   /// Finds the first eligible branch of leaf \p T for the given mode.
@@ -366,7 +444,14 @@ private:
     return static_cast<int>(Tree.size()) + 3 <= Opt.MaxTrails;
   }
 
-  /// RefinePartition(safe) + CheckSafe until fixed point.
+  /// RefinePartition(safe) + CheckSafe until fixed point, parallelized in
+  /// rounds: snapshot the refinable leaves in id order, plan every split
+  /// on the pool, then adopt the plans sequentially in the same order.
+  /// This builds the exact tree the one-leaf-at-a-time loop would have
+  /// built — leaf eligibility is fixed while a round is planned, children
+  /// always receive ids above every existing leaf, and the sequential loop
+  /// processed eligible leaves in increasing id order anyway — so verdicts
+  /// and treeString output are byte-identical for any job count.
   bool safetyLoop() {
     PhaseScope Phase("safety-refinement");
     while (true) {
@@ -374,20 +459,35 @@ private:
         return false;
       if (checkSafe())
         return true;
-      bool Progress = false;
+
+      std::vector<int> Leaves;
       for (size_t Id = 0; Id < Tree.size(); ++Id) {
-        if (!Tree[Id].isLeaf() || !Tree[Id].feasible() || Tree[Id].Narrow)
+        const Trail &T = Tree[Id];
+        if (T.isLeaf() && T.feasible() && !T.Narrow &&
+            static_cast<int>(T.UsedSplits.size()) < Opt.MaxDepth)
+          Leaves.push_back(static_cast<int>(Id));
+      }
+      if (Leaves.empty())
+        return false; // No more safe refinements possible.
+      if (!budgetLeft())
+        return false;
+
+      std::vector<std::optional<PlannedSplit>> Plans(Leaves.size());
+      parallelForWithBudget(&Pool, Leaves.size(), [&](size_t I) {
+        Plans[I] = planSplit(Leaves[I], /*SecretMode=*/false);
+      });
+
+      bool Progress = false;
+      for (std::optional<PlannedSplit> &P : Plans) {
+        if (!P)
           continue;
-        if (static_cast<int>(Tree[Id].UsedSplits.size()) >= Opt.MaxDepth)
-          continue;
-        if (!budgetLeft())
+        if (Budget.exhausted() || !budgetLeft())
           return false;
-        std::optional<int> B = pickBranch(Tree[Id], /*SecretMode=*/false);
-        if (!B)
-          continue;
-        splitAt(static_cast<int>(Id), *B, /*SecretSplit=*/false);
+        if (!Budget.countTrailNodes(
+                static_cast<uint64_t>(P->Children.size())))
+          return false;
+        adoptChildren(P->LeafId, std::move(P->Children));
         Progress = true;
-        break; // Re-evaluate CheckSafe with the new partition.
       }
       if (!Progress)
         return false; // No more safe refinements possible.
@@ -496,6 +596,10 @@ private:
 
   const CfgFunction &F;
   BlazerOptions Opt;
+  /// Declared before BA so the pool outlives (and can be handed to) the
+  /// bound analysis. Jobs == 1 starts no threads: every parallelFor runs
+  /// inline and the driver is exactly the sequential engine.
+  ThreadPool Pool;
   BoundAnalysis BA;
   AnalysisBudget Budget;
   const TaintInfo *Taint = nullptr;

@@ -64,6 +64,15 @@ struct BlazerOptions {
   int MaxDepth = 12;
   /// Skip the attack search (safety verification only).
   bool SearchAttack = true;
+  /// Worker threads for the parallel trail-tree analysis: the §4
+  /// decomposition makes per-component bound proofs independent, so
+  /// refinement rounds plan every component's split concurrently and adopt
+  /// the results sequentially in tree order. 1 = fully sequential (no
+  /// threads started); 0 = hardware concurrency. Verdicts, bounds, and
+  /// treeString output are byte-identical for any Jobs value on runs that
+  /// stay within budget; budget-tripped runs may truncate refinement at
+  /// different points but still never report Safe.
+  int Jobs = 1;
   /// Resource limits (wall-clock deadline, step budgets, cancellation).
   /// Default-constructed limits never trip. When a limit trips mid-run the
   /// analysis fails soft: the verdict degrades to Unknown (never Safe), the

@@ -70,17 +70,25 @@ double AnalysisBudget::elapsedSeconds() const {
 }
 
 ResourceUsage AnalysisBudget::usage() const {
-  return ResourceUsage{States, Joins, TrailNodes, elapsedSeconds()};
+  return ResourceUsage{States.load(std::memory_order_relaxed),
+                       Joins.load(std::memory_order_relaxed),
+                       TrailNodes.load(std::memory_order_relaxed),
+                       elapsedSeconds()};
 }
 
 void AnalysisBudget::trip(BudgetKind K, uint64_t Used, uint64_t Limit) {
-  if (Tripped.tripped())
-    return; // First trip wins.
+  // First trip wins: racing threads serialize on TripMu and only the first
+  // writes the record; the release store publishes it to exhausted()'s
+  // acquire load on every other thread.
+  std::lock_guard<std::mutex> Lock(TripMu);
+  if (TrippedFlag.load(std::memory_order_relaxed))
+    return;
   Tripped.Kind = K;
-  Tripped.Phase = Phase;
+  Tripped.Phase = PhaseScope::current();
   Tripped.ElapsedSeconds = elapsedSeconds();
   Tripped.Used = Used;
   Tripped.Limit = Limit;
+  TrippedFlag.store(true, std::memory_order_release);
 }
 
 bool AnalysisBudget::pollDeadline() {
@@ -103,8 +111,9 @@ bool AnalysisBudget::checkpoint() {
     return false;
   // Amortize the clock read; the first call always polls so an
   // already-expired deadline (the "zero-deadline" fast path) trips before
-  // any real work happens.
-  if (PollTick++ % 32 != 0)
+  // any real work happens. The tick is shared by all threads: with K
+  // threads counting, some thread still polls at least every 32 ticks.
+  if (PollTick.fetch_add(1, std::memory_order_relaxed) % 32 != 0)
     return true;
   return pollDeadline();
 }
@@ -112,9 +121,9 @@ bool AnalysisBudget::checkpoint() {
 bool AnalysisBudget::countStates(uint64_t N) {
   if (exhausted())
     return false;
-  States += N;
-  if (Limits.MaxStates && States > Limits.MaxStates) {
-    trip(BudgetKind::States, States, Limits.MaxStates);
+  uint64_t Total = States.fetch_add(N, std::memory_order_relaxed) + N;
+  if (Limits.MaxStates && Total > Limits.MaxStates) {
+    trip(BudgetKind::States, Total, Limits.MaxStates);
     return false;
   }
   return checkpoint();
@@ -123,9 +132,9 @@ bool AnalysisBudget::countStates(uint64_t N) {
 bool AnalysisBudget::countJoins(uint64_t N) {
   if (exhausted())
     return false;
-  Joins += N;
-  if (Limits.MaxJoins && Joins > Limits.MaxJoins) {
-    trip(BudgetKind::Joins, Joins, Limits.MaxJoins);
+  uint64_t Total = Joins.fetch_add(N, std::memory_order_relaxed) + N;
+  if (Limits.MaxJoins && Total > Limits.MaxJoins) {
+    trip(BudgetKind::Joins, Total, Limits.MaxJoins);
     return false;
   }
   return checkpoint();
@@ -134,9 +143,9 @@ bool AnalysisBudget::countJoins(uint64_t N) {
 bool AnalysisBudget::countTrailNodes(uint64_t N) {
   if (exhausted())
     return false;
-  TrailNodes += N;
-  if (Limits.MaxTrailNodes && TrailNodes > Limits.MaxTrailNodes) {
-    trip(BudgetKind::TrailNodes, TrailNodes, Limits.MaxTrailNodes);
+  uint64_t Total = TrailNodes.fetch_add(N, std::memory_order_relaxed) + N;
+  if (Limits.MaxTrailNodes && Total > Limits.MaxTrailNodes) {
+    trip(BudgetKind::TrailNodes, Total, Limits.MaxTrailNodes);
     return false;
   }
   return checkpoint();
@@ -148,6 +157,7 @@ bool AnalysisBudget::countTrailNodes(uint64_t N) {
 
 namespace {
 thread_local AnalysisBudget *CurrentBudget = nullptr;
+thread_local const char *CurrentPhase = "";
 } // namespace
 
 BudgetScope::BudgetScope(AnalysisBudget *B) : Prev(CurrentBudget) {
@@ -158,13 +168,10 @@ BudgetScope::~BudgetScope() { CurrentBudget = Prev; }
 
 AnalysisBudget *BudgetScope::current() { return CurrentBudget; }
 
-PhaseScope::PhaseScope(const char *Name)
-    : Budget(BudgetScope::current()), Prev(Budget ? Budget->phase() : "") {
-  if (Budget)
-    Budget->setPhase(Name);
+PhaseScope::PhaseScope(const char *Name) : Prev(CurrentPhase) {
+  CurrentPhase = Name;
 }
 
-PhaseScope::~PhaseScope() {
-  if (Budget)
-    Budget->setPhase(Prev);
-}
+PhaseScope::~PhaseScope() { CurrentPhase = Prev; }
+
+const char *PhaseScope::current() { return CurrentPhase; }

@@ -22,6 +22,14 @@
 /// const operations need no extra parameters; the driver phases carry the
 /// budget explicitly.
 ///
+/// Concurrency: one AnalysisBudget may be shared by many worker threads —
+/// the parallel trail-tree analysis installs the same budget in a
+/// BudgetScope on every worker. Step counters are atomic (totals aggregate
+/// race-free regardless of interleaving), the first trip wins under a
+/// mutex, and cancellation/exhaustion is observed by all threads at their
+/// next checkpoint. Phase labels are tracked per *thread* (see PhaseScope),
+/// so a trip is labeled with the phase the tripping thread was actually in.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BLAZER_SUPPORT_BUDGET_H
@@ -30,6 +38,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace blazer {
@@ -100,9 +109,13 @@ struct ResourceUsage {
 
 /// One analysis run's budget: counters plus the first-trip record. All
 /// count*/checkpoint members return false once any budget has tripped, so
-/// loops can use them directly as continue conditions. The object is
-/// single-consumer (the analysis thread); only the external CancelFlag and
-/// requestCancel() may be driven from other threads.
+/// loops can use them directly as continue conditions.
+///
+/// Thread-safe: any number of threads may count, checkpoint, and cancel
+/// concurrently (the parallel driver shares one budget across its worker
+/// pool). reason() may be read once exhausted() has returned true, or after
+/// every counting thread has quiesced — the first trip immutably freezes
+/// the record.
 class AnalysisBudget {
 public:
   explicit AnalysisBudget(BudgetLimits L = {});
@@ -123,32 +136,32 @@ public:
   /// only every few calls. \returns false when exhausted.
   bool checkpoint();
 
-  bool exhausted() const { return Tripped.Kind != BudgetKind::None; }
+  bool exhausted() const {
+    return TrippedFlag.load(std::memory_order_acquire);
+  }
   /// The first trip, with elapsed time filled in; Kind == None when the
-  /// budget never tripped.
+  /// budget never tripped. See the class comment for when this is safe to
+  /// read concurrently.
   const DegradationReason &reason() const { return Tripped; }
-
-  /// Labels subsequent trips with a phase name (see PhaseScope).
-  const char *phase() const { return Phase; }
-  void setPhase(const char *P) { Phase = P ? P : ""; }
 
   double elapsedSeconds() const;
   ResourceUsage usage() const;
 
 private:
-  friend class BudgetScope;
-
   void trip(BudgetKind K, uint64_t Used, uint64_t Limit);
   bool pollDeadline();
 
   BudgetLimits Limits;
   std::chrono::steady_clock::time_point Start;
   std::atomic<bool> InternalCancel{false};
-  uint64_t States = 0;
-  uint64_t Joins = 0;
-  uint64_t TrailNodes = 0;
-  unsigned PollTick = 0;
-  const char *Phase = "";
+  std::atomic<uint64_t> States{0};
+  std::atomic<uint64_t> Joins{0};
+  std::atomic<uint64_t> TrailNodes{0};
+  std::atomic<unsigned> PollTick{0};
+  /// First-trip record: TripMu serializes writers, TrippedFlag's release
+  /// store publishes the frozen record to exhausted()'s acquire load.
+  std::mutex TripMu;
+  std::atomic<bool> TrippedFlag{false};
   DegradationReason Tripped;
 };
 
@@ -156,6 +169,8 @@ private:
 /// deep layers (Automaton products, Dbm joins, ProductGraph construction)
 /// can count against it without threading a pointer through every const
 /// operation. Scopes nest; null is allowed (and clears the current budget).
+/// The installation is per thread: a worker task sharing the driver's
+/// budget must install its own scope.
 class BudgetScope {
 public:
   explicit BudgetScope(AnalysisBudget *B);
@@ -171,7 +186,10 @@ private:
   AnalysisBudget *Prev;
 };
 
-/// RAII phase label on the thread's current budget (no-op without one).
+/// RAII phase label for budget-trip reports. The label is thread-local —
+/// each worker carries its own phase stack — so concurrent phases on a
+/// shared budget do not race, and a trip is attributed to the tripping
+/// thread's phase.
 class PhaseScope {
 public:
   explicit PhaseScope(const char *Name);
@@ -180,8 +198,10 @@ public:
   PhaseScope(const PhaseScope &) = delete;
   PhaseScope &operator=(const PhaseScope &) = delete;
 
+  /// The calling thread's innermost phase label ("" outside any scope).
+  static const char *current();
+
 private:
-  AnalysisBudget *Budget;
   const char *Prev;
 };
 

@@ -1,0 +1,130 @@
+//===- ThreadPool.cpp - Work-stealing worker pool -------------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Budget.h"
+
+#include <algorithm>
+
+using namespace blazer;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned H = std::thread::hardware_concurrency();
+  return H ? H : 1;
+}
+
+ThreadPool::ThreadPool(unsigned ThreadsIn)
+    : Threads(ThreadsIn ? ThreadsIn : defaultConcurrency()) {
+  Workers.reserve(Threads - 1);
+  for (unsigned I = 1; I < Threads; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::drain(Loop &L) {
+  for (;;) {
+    size_t I = L.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= L.N)
+      return;
+    try {
+      (*L.Body)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(L.M);
+      if (!L.Failure)
+        L.Failure = std::current_exception();
+    }
+    if (L.Done.fetch_add(1, std::memory_order_acq_rel) + 1 == L.N) {
+      // Last iteration: wake the loop's owner. The empty critical section
+      // orders the notify after the owner's wait-predicate check.
+      { std::lock_guard<std::mutex> Lock(L.M); }
+      L.DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerMain() {
+  for (;;) {
+    std::shared_ptr<Loop> L;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCV.wait(Lock, [this] { return Stop || !Pending.empty(); });
+      if (Pending.empty()) {
+        if (Stop)
+          return;
+        continue;
+      }
+      L = Pending.back();
+      if (L->Next.load(std::memory_order_relaxed) >= L->N) {
+        // Exhausted but not yet retired; drop it and look again.
+        Pending.erase(std::remove(Pending.begin(), Pending.end(), L),
+                      Pending.end());
+        continue;
+      }
+    }
+    drain(*L);
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Threads == 1 || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  auto L = std::make_shared<Loop>();
+  L->Body = &Fn;
+  L->N = N;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Pending.push_back(L);
+  }
+  WorkCV.notify_all();
+
+  drain(*L);
+
+  {
+    std::unique_lock<std::mutex> Lock(L->M);
+    L->DoneCV.wait(Lock, [&] {
+      return L->Done.load(std::memory_order_acquire) == N;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Pending.erase(std::remove(Pending.begin(), Pending.end(), L),
+                  Pending.end());
+  }
+  if (L->Failure)
+    std::rethrow_exception(L->Failure);
+}
+
+void blazer::parallelForWithBudget(ThreadPool *Pool, size_t N,
+                                   const std::function<void(size_t)> &Fn) {
+  if (!Pool || Pool->concurrency() == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  AnalysisBudget *Budget = BudgetScope::current();
+  const char *Phase = PhaseScope::current();
+  Pool->parallelFor(N, [&, Budget, Phase](size_t I) {
+    BudgetScope Scope(Budget);
+    PhaseScope PScope(Phase);
+    Fn(I);
+  });
+}

@@ -1,0 +1,115 @@
+//===- ThreadPool.h - Work-stealing worker pool -----------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing worker pool for the parallel trail-tree analysis.
+/// The decomposition argument of the paper (§4) makes the per-component
+/// bound proofs independent, so the engine fans each partition component
+/// out as a task and merges results deterministically in tree order.
+///
+/// The unit of scheduling is a *loop*: parallelFor(N, Fn) publishes the
+/// iteration space [0, N) and every participant — the calling thread plus
+/// any idle worker — steals the next unclaimed index from a shared atomic
+/// cursor. This gives the properties the analysis needs:
+///
+///  - the caller always participates, so a loop makes progress even when
+///    every worker is busy; in particular, *nested* parallelFor calls from
+///    inside a task cannot deadlock (the nested caller drains its own
+///    iteration space itself if nobody helps);
+///  - iterations write to caller-provided slots indexed by the iteration
+///    number, so results are position-stable and independent of which
+///    thread ran which iteration — the basis of the jobs=1 vs jobs=N
+///    byte-identical-output guarantee;
+///  - a pool of concurrency 1 starts no threads at all and runs every loop
+///    inline, making the sequential path exactly the pre-pool code path.
+///
+/// Tasks must not install thread-local state they expect to survive the
+/// call: worker threads are shared. In particular, a task that counts
+/// against an AnalysisBudget must install its own BudgetScope (budgets are
+/// announced per thread, see support/Budget.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_THREADPOOL_H
+#define BLAZER_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blazer {
+
+/// A fixed-size worker pool executing stealable iteration spaces.
+class ThreadPool {
+public:
+  /// \p Threads is the total concurrency including the calling thread;
+  /// 0 selects defaultConcurrency(). A pool of concurrency C starts C - 1
+  /// background workers.
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total parallelism (background workers + the calling thread).
+  unsigned concurrency() const { return Threads; }
+
+  /// Runs Fn(0) .. Fn(N-1), returning when all iterations completed. The
+  /// calling thread participates; idle workers steal iterations. Safe to
+  /// call from inside a task (nested loops make progress through their
+  /// caller). The first exception thrown by an iteration is rethrown here
+  /// after the loop drains; further exceptions are dropped.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits a 0 return when the hardware cannot be queried).
+  static unsigned defaultConcurrency();
+
+private:
+  /// One published iteration space.
+  struct Loop {
+    const std::function<void(size_t)> *Body = nullptr;
+    size_t N = 0;
+    std::atomic<size_t> Next{0}; ///< Next unclaimed iteration.
+    std::atomic<size_t> Done{0}; ///< Completed iterations.
+    std::mutex M;                ///< Guards Failure + completion wakeup.
+    std::condition_variable DoneCV;
+    std::exception_ptr Failure;
+  };
+
+  /// Claims and runs iterations of \p L until the space is exhausted.
+  void drain(Loop &L);
+  void workerMain();
+
+  unsigned Threads;
+  std::vector<std::thread> Workers;
+
+  std::mutex M; ///< Guards Pending + Stop.
+  std::condition_variable WorkCV;
+  /// Active loops, newest last. Workers help the newest first: inner
+  /// (nested) loops drain fastest, unblocking the tasks that spawned them.
+  std::vector<std::shared_ptr<Loop>> Pending;
+  bool Stop = false;
+};
+
+/// parallelFor with analysis-context propagation: captures the calling
+/// thread's current AnalysisBudget and phase label and re-installs both
+/// (BudgetScope + PhaseScope) around every iteration, so work stolen by a
+/// pool worker counts against the same shared budget and budget trips are
+/// attributed to the right phase. A null \p Pool runs the loop inline on
+/// the calling thread (whose scopes are already installed).
+void parallelForWithBudget(ThreadPool *Pool, size_t N,
+                           const std::function<void(size_t)> &Fn);
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_THREADPOOL_H

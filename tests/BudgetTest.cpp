@@ -21,6 +21,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <thread>
+#include <vector>
 
 using namespace blazer;
 
@@ -157,6 +159,85 @@ TEST(Budget, PhaseScopeLabelsTrips) {
   }
   EXPECT_EQ(B.reason().Phase, "unit-test-phase");
   EXPECT_NE(B.reason().str().find("unit-test-phase"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent sharing (the parallel driver's contract)
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetConcurrent, SharedScopesAggregateExactlyAndObserveCancel) {
+  // The parallel trail-tree analysis shares one AnalysisBudget across its
+  // worker pool: every worker installs its own BudgetScope on the same
+  // budget. Counters must aggregate without losing updates, and a single
+  // requestCancel() must stop every worker at its next checkpoint.
+  AnalysisBudget B;
+  const unsigned Workers = 8;
+  const uint64_t PerWorker = 10'000;
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> DoneCounting{0};
+  std::atomic<unsigned> Stopped{0};
+  for (unsigned W = 0; W < Workers; ++W) {
+    Threads.emplace_back([&, W] {
+      BudgetScope Scope(&B);
+      PhaseScope Phase(W % 2 ? "worker-odd" : "worker-even");
+      AnalysisBudget *Cur = BudgetScope::current();
+      ASSERT_EQ(Cur, &B);
+      for (uint64_t I = 0; I < PerWorker; ++I) {
+        Cur->countStates();
+        Cur->countJoins(2);
+        Cur->countTrailNodes();
+      }
+      DoneCounting.fetch_add(1);
+      // One worker cancels once every thread has finished counting (a
+      // tripped budget stops accumulating, by contract); the rest spin on
+      // checkpoints until the cancellation reaches them.
+      if (W == 0) {
+        while (DoneCounting.load() != Workers) {
+        }
+        Cur->requestCancel();
+      }
+      while (Cur->checkpoint()) {
+      }
+      Stopped.fetch_add(1);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Stopped.load(), Workers); // Every worker saw the cancellation.
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.reason().Kind, BudgetKind::Cancelled);
+  // Exact aggregation: no increments were lost to races.
+  EXPECT_EQ(B.usage().States, Workers * PerWorker);
+  EXPECT_EQ(B.usage().Joins, Workers * PerWorker * 2);
+  EXPECT_EQ(B.usage().TrailNodes, Workers * PerWorker);
+}
+
+TEST(BudgetConcurrent, FirstTripWinsAcrossThreads) {
+  // Many threads racing past a step limit: exactly one trip record is
+  // frozen, and it names a phase some thread was actually in.
+  BudgetLimits L;
+  L.MaxStates = 1000;
+  AnalysisBudget B(L);
+  const unsigned Workers = 8;
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W < Workers; ++W) {
+    Threads.emplace_back([&] {
+      BudgetScope Scope(&B);
+      PhaseScope Phase("race-phase");
+      for (int I = 0; I < 1000; ++I)
+        if (!BudgetScope::current()->countStates())
+          break;
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.reason().Kind, BudgetKind::States);
+  EXPECT_EQ(B.reason().Phase, "race-phase");
+  EXPECT_GT(B.reason().Used, 1000u);
+  EXPECT_EQ(B.reason().Limit, 1000u);
 }
 
 //===----------------------------------------------------------------------===//

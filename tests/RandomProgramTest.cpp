@@ -13,7 +13,11 @@
 ///  - verdict soundness: if the driver says Safe, no equal-low input pair
 ///    on the grid differs beyond the observer's power,
 ///  - quotient soundness: the safety-phase leaves form a ψ_tcf-quotient
-///    partition of the sampled traces (Theorem 3.1's premise).
+///    partition of the sampled traces (Theorem 3.1's premise),
+///  - parallel determinism + soundness: jobs=4 reproduces the jobs=1 tree
+///    byte-for-byte and per-component bounds stay sound in both modes,
+///  - fail-soft under budgets: a tripped run never reports Safe, at any
+///    job count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -263,6 +267,71 @@ TEST_P(RandomPrograms, SelfCompositionNeverContradictsGroundTruth) {
     return; // Only a "verified" claim is falsifiable on the grid.
   EmpiricalTcf E = empiricalTimingCheck(F, fuzzInputs(F));
   EXPECT_LE(E.MaxGapEqualLow, 32) << Src;
+}
+
+TEST_P(RandomPrograms, ParallelAnalysisMatchesSequentialAndStaysSound) {
+  std::string Src;
+  CfgFunction F = compileFuzz(static_cast<uint32_t>(GetParam() + 4000),
+                              &Src);
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(32);
+  Opt.Jobs = 1;
+  BlazerResult Seq = analyzeFunction(F, Opt);
+  Opt.Jobs = 4;
+  BlazerResult Par = analyzeFunction(F, Opt);
+
+  // Determinism: the parallel driver plans splits concurrently but adopts
+  // them in tree order, so the whole result must match the sequential run.
+  EXPECT_EQ(Seq.Verdict, Par.Verdict) << Src;
+  EXPECT_EQ(Seq.treeString(F), Par.treeString(F)) << Src;
+  EXPECT_EQ(Seq.Usage.States, Par.Usage.States) << Src;
+  EXPECT_EQ(Seq.Usage.TrailNodes, Par.Usage.TrailNodes) << Src;
+
+  // Soundness under both modes: every interpreter-observed running time
+  // lies within the bounds of each component covering its trace.
+  EdgeAlphabet A = EdgeAlphabet::forFunction(F);
+  for (const InputAssignment &In : fuzzInputs(F)) {
+    TraceResult TR = runFunction(F, In);
+    if (!TR.Ok)
+      continue;
+    std::map<std::string, int64_t> Env(In.Ints.begin(), In.Ints.end());
+    for (const BlazerResult *R : {&Seq, &Par}) {
+      const char *Mode = R == &Seq ? "jobs=1" : "jobs=4";
+      for (const Trail &T : R->Tree) {
+        if (!T.feasible() || !traceInTrail(T.Auto, A, TR.Edges))
+          continue;
+        EXPECT_LE(T.Bounds.Lo.evaluate(Env), TR.Cost)
+            << Src << Mode << " tr" << T.Id << " input " << In.str();
+        if (T.Bounds.hasUpper()) {
+          EXPECT_GE(T.Bounds.Hi->evaluate(Env), TR.Cost)
+              << Src << Mode << " tr" << T.Id << " input " << In.str();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RandomPrograms, BudgetTrippedRunsNeverReportSafe) {
+  std::string Src;
+  CfgFunction F = compileFuzz(static_cast<uint32_t>(GetParam() + 5000),
+                              &Src);
+  // Sweep tight step budgets under sequential and parallel execution: a
+  // tripped run may truncate refinement anywhere, but fail-soft means it
+  // must never claim Safe.
+  for (int Jobs : {1, 4}) {
+    for (uint64_t MaxStates : {1u, 16u, 256u}) {
+      BlazerOptions Opt;
+      Opt.Observer = ObserverModel::polynomialDegree(32);
+      Opt.Jobs = Jobs;
+      Opt.Budget.MaxStates = MaxStates;
+      Opt.Budget.MaxTrailNodes = MaxStates;
+      BlazerResult R = analyzeFunction(F, Opt);
+      if (R.Degradation.tripped()) {
+        EXPECT_NE(R.Verdict, VerdictKind::Safe)
+            << Src << "jobs=" << Jobs << " maxStates=" << MaxStates;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(0, 40));

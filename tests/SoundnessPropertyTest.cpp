@@ -72,10 +72,14 @@ InputAssignment respectPins(const CfgFunction &F, const ObserverModel &Obs,
 class TrailBoundSoundness
     : public ::testing::TestWithParam<const BenchmarkProgram *> {};
 
-TEST_P(TrailBoundSoundness, EveryTraceWithinCoveringTrailBounds) {
-  const BenchmarkProgram &B = *GetParam();
+/// Shared body for the sequential and parallel variants: analyzes \p B
+/// with \p Jobs workers and checks every concrete trace's cost against the
+/// bounds of each covering trail.
+void checkTrailBoundSoundness(const BenchmarkProgram &B, int Jobs) {
   CfgFunction F = B.compile();
-  BlazerResult R = analyzeFunction(F, B.options());
+  BlazerOptions Opt = B.options();
+  Opt.Jobs = Jobs;
+  BlazerResult R = analyzeFunction(F, Opt);
   EdgeAlphabet A = EdgeAlphabet::forFunction(F);
 
   std::vector<InputAssignment> Inputs;
@@ -105,14 +109,26 @@ TEST_P(TrailBoundSoundness, EveryTraceWithinCoveringTrailBounds) {
         continue;
       ++Checked;
       EXPECT_LE(T.Bounds.Lo.evaluate(Env), TR.Cost)
-          << B.Name << " tr" << T.Id << " input " << In.str();
+          << B.Name << " jobs=" << Jobs << " tr" << T.Id << " input "
+          << In.str();
       if (T.Bounds.hasUpper()) {
         EXPECT_GE(T.Bounds.Hi->evaluate(Env), TR.Cost)
-            << B.Name << " tr" << T.Id << " input " << In.str();
+            << B.Name << " jobs=" << Jobs << " tr" << T.Id << " input "
+            << In.str();
       }
     }
   }
   EXPECT_GT(Checked, 0u) << B.Name;
+}
+
+TEST_P(TrailBoundSoundness, EveryTraceWithinCoveringTrailBounds) {
+  checkTrailBoundSoundness(*GetParam(), /*Jobs=*/1);
+}
+
+TEST_P(TrailBoundSoundness, EveryTraceWithinCoveringTrailBoundsParallel) {
+  // The same soundness claim must hold when the trail tree is built by the
+  // parallel driver — worker scheduling must not change any bound.
+  checkTrailBoundSoundness(*GetParam(), /*Jobs=*/4);
 }
 
 std::vector<const BenchmarkProgram *> allPtrs() {

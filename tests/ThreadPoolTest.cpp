@@ -1,0 +1,147 @@
+//===- ThreadPoolTest.cpp - Work-stealing pool unit tests -------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the worker pool under the parallel trail-tree analysis:
+/// every iteration runs exactly once into its own slot, nested loops make
+/// progress (the caller drains its own iteration space), exceptions
+/// propagate to the launching thread, and a concurrency-1 pool runs
+/// everything inline without starting threads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+TEST(ThreadPool, EveryIterationRunsExactlyOnce) {
+  ThreadPool Pool(4);
+  const size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "iteration " << I;
+}
+
+TEST(ThreadPool, ResultsArePositionStable) {
+  ThreadPool Pool(8);
+  const size_t N = 512;
+  std::vector<size_t> Slots(N, ~size_t{0});
+  Pool.parallelFor(N, [&](size_t I) { Slots[I] = I * I; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Slots[I], I * I);
+}
+
+TEST(ThreadPool, ConcurrencyOneStartsNoThreadsAndRunsInOrder) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.concurrency(), 1u);
+  std::vector<size_t> Order;
+  std::thread::id Caller = std::this_thread::get_id();
+  Pool.parallelFor(100, [&](size_t I) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    Order.push_back(I);
+  });
+  for (size_t I = 0; I < Order.size(); ++I)
+    EXPECT_EQ(Order[I], I); // Inline execution preserves iteration order.
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.concurrency(), ThreadPool::defaultConcurrency());
+  EXPECT_GE(Pool.concurrency(), 1u);
+}
+
+TEST(ThreadPool, EmptyLoopReturnsImmediately) {
+  ThreadPool Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPool, NestedLoopsMakeProgress) {
+  // Outer tasks each spawn an inner loop; the callers drain their own
+  // iteration spaces, so this terminates even when every worker is busy
+  // with an outer task.
+  ThreadPool Pool(4);
+  const size_t Outer = 16, Inner = 64;
+  std::vector<std::atomic<int>> Sums(Outer);
+  Pool.parallelFor(Outer, [&](size_t O) {
+    Pool.parallelFor(Inner, [&, O](size_t) { Sums[O].fetch_add(1); });
+  });
+  for (size_t O = 0; O < Outer; ++O)
+    EXPECT_EQ(Sums[O].load(), static_cast<int>(Inner));
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterDraining) {
+  ThreadPool Pool(4);
+  const size_t N = 200;
+  std::vector<std::atomic<int>> Hits(N);
+  EXPECT_THROW(Pool.parallelFor(N,
+                                [&](size_t I) {
+                                  Hits[I].fetch_add(1);
+                                  if (I == 17)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The loop drains fully before rethrowing: no iteration is lost.
+  int Total = 0;
+  for (size_t I = 0; I < N; ++I)
+    Total += Hits[I].load();
+  EXPECT_EQ(Total, static_cast<int>(N));
+}
+
+TEST(ThreadPool, ManySmallLoopsStress) {
+  ThreadPool Pool(8);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::atomic<int> Count{0};
+    Pool.parallelFor(Round % 7 + 1, [&](size_t) { Count.fetch_add(1); });
+    ASSERT_EQ(Count.load(), Round % 7 + 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForWithBudgetPropagatesScopes) {
+  // Work stolen by a pool worker must observe the launching thread's
+  // budget and phase label (both are thread-local installations).
+  ThreadPool Pool(4);
+  AnalysisBudget Budget;
+  BudgetScope Scope(&Budget);
+  PhaseScope Phase("pool-test-phase");
+  const size_t N = 256;
+  std::atomic<int> Misses{0};
+  parallelForWithBudget(&Pool, N, [&](size_t) {
+    if (BudgetScope::current() != &Budget)
+      Misses.fetch_add(1);
+    if (std::string(PhaseScope::current()) != "pool-test-phase")
+      Misses.fetch_add(1);
+    BudgetScope::current()->countStates();
+  });
+  EXPECT_EQ(Misses.load(), 0);
+  EXPECT_EQ(Budget.usage().States, N);
+}
+
+TEST(ThreadPool, ParallelForWithBudgetNullPoolRunsInline) {
+  AnalysisBudget Budget;
+  BudgetScope Scope(&Budget);
+  std::vector<size_t> Order;
+  parallelForWithBudget(nullptr, 10, [&](size_t I) { Order.push_back(I); });
+  ASSERT_EQ(Order.size(), 10u);
+  for (size_t I = 0; I < 10; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+} // namespace

@@ -23,6 +23,7 @@
 ///   --dot                        print the CFG in Graphviz format
 ///   --regex                      print the annotated most-general trail
 ///   --max-trails=N --max-depth=N refinement budgets
+///   --jobs=N                     analysis worker threads (0 = hardware)
 ///   --timeout=SEC                wall-clock deadline per function (0 = off)
 ///   --max-states=N               automaton state-creation budget (0 = off)
 ///   --max-joins=N                DBM join/widening budget (0 = off)
@@ -70,6 +71,7 @@ struct CliOptions {
   bool Regex = false;
   int MaxTrails = 512;
   int MaxDepth = 12;
+  int Jobs = 1;
   double TimeoutSeconds = 0;
   int64_t MaxStates = 0;
   int64_t MaxJoins = 0;
@@ -96,6 +98,8 @@ void usage(const char *Prog) {
       "  --dot                       print the CFG (Graphviz)\n"
       "  --regex                     print the annotated trail expression\n"
       "  --max-trails=N --max-depth=N refinement budgets\n"
+      "  --jobs=N                    analysis worker threads (0 = "
+      "hardware)\n"
       "  --timeout=SEC               wall-clock deadline per function\n"
       "  --max-states=N              automaton state-creation budget\n"
       "  --max-joins=N               DBM join/widening budget\n"
@@ -204,6 +208,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
       if (!parseIntArg("--max-depth", V, 0, INT32_MAX, N))
         return false;
       Opt.MaxDepth = static_cast<int>(N);
+    } else if (const char *V = Value("--jobs=")) {
+      int64_t N = 0;
+      if (!parseIntArg("--jobs", V, 0, 1024, N))
+        return false;
+      Opt.Jobs = static_cast<int>(N);
     } else if (const char *V = Value("--timeout=")) {
       if (!parseSecondsArg("--timeout", V, Opt.TimeoutSeconds))
         return false;
@@ -244,6 +253,7 @@ BlazerOptions toBlazerOptions(const CliOptions &Cli) {
     Opt.Observer.pinSymbol(Sym, Val);
   Opt.MaxTrails = Cli.MaxTrails;
   Opt.MaxDepth = Cli.MaxDepth;
+  Opt.Jobs = Cli.Jobs;
   Opt.SearchAttack = !Cli.NoAttack;
   Opt.Budget.TimeoutSeconds = Cli.TimeoutSeconds;
   Opt.Budget.MaxStates = static_cast<uint64_t>(Cli.MaxStates);
