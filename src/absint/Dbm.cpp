@@ -9,10 +9,21 @@
 #include "support/Budget.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <sstream>
 
 using namespace blazer;
+
+namespace {
+/// Bench-only A/B switch (see Dbm::forceFullClose). Written once before
+/// analysis threads exist; relaxed loads keep the hot path free of fences.
+std::atomic<bool> ForceFullClose{false};
+} // namespace
+
+void Dbm::forceFullClose(bool Enable) {
+  ForceFullClose.store(Enable, std::memory_order_relaxed);
+}
 
 Dbm::Dbm(int NumVars) : N(NumVars + 1) {
   M.assign(static_cast<size_t>(N) * N, Inf);
@@ -61,6 +72,53 @@ void Dbm::addConstraint(int I, int J, int64_t C) {
   }
   if (C >= at(I, J))
     return; // Not tighter.
+  if (!Closed || ForceFullClose.load(std::memory_order_relaxed)) {
+    at(I, J) = C;
+    close();
+    return;
+  }
+  // Closed input: the only candidate negative cycle uses the new I -> J
+  // edge, and closure makes at(J, I) the exact shortest path J -> I, so
+  // the zone is empty iff C + at(J, I) < 0.
+  int64_t JI = at(J, I);
+  if (JI != Inf && C + JI < 0) {
+    setBottom();
+    return;
+  }
+  // Single-constraint re-closure: any path improved by the new edge
+  // decomposes as p -> I, the edge, J -> q, with both legs already
+  // shortest paths. O(n^2) instead of the full Floyd-Warshall. In-place is
+  // safe: rows I's column and J's row only relax by C + at(J, I) >= 0, so
+  // the values read below never change under our own writes.
+  at(I, J) = C;
+  for (int P = 0; P < N; ++P) {
+    int64_t PI = at(P, I);
+    if (PI == Inf)
+      continue;
+    int64_t PIC = PI + C;
+    for (int Q = 0; Q < N; ++Q) {
+      int64_t JQ = at(J, Q);
+      if (JQ == Inf)
+        continue;
+      int64_t Via = PIC + JQ;
+      if (Via < at(P, Q))
+        at(P, Q) = Via;
+    }
+  }
+}
+
+void Dbm::addConstraintFullClose(int I, int J, int64_t C) {
+  if (I < 0 || I >= N || J < 0 || J >= N)
+    return;
+  if (Bottom)
+    return;
+  if (I == J) {
+    if (C < 0)
+      setBottom();
+    return;
+  }
+  if (C >= at(I, J))
+    return;
   at(I, J) = C;
   close();
 }
@@ -108,10 +166,12 @@ void Dbm::forget(int V) {
 void Dbm::assignConst(int V, int64_t C) {
   if (Bottom)
     return;
+  // forget keeps a closed matrix closed, so each constraint lands on the
+  // O(n^2) incremental path; closure is canonical, so the result is the
+  // same matrix the old forget-then-full-close sequence produced.
   forget(V);
-  at(V, 0) = C;
-  at(0, V) = -C;
-  close();
+  addConstraint(V, 0, C);
+  addConstraint(0, V, -C);
 }
 
 void Dbm::assignVarPlus(int V, int W, int64_t C) {
@@ -130,18 +190,16 @@ void Dbm::assignVarPlus(int V, int W, int64_t C) {
     return; // Still closed: a translation preserves closure.
   }
   forget(V);
-  at(V, W) = C;
-  at(W, V) = -C;
-  close();
+  addConstraint(V, W, C);
+  addConstraint(W, V, -C);
 }
 
 void Dbm::assignBoolUnknown(int V) {
   if (Bottom)
     return;
   forget(V);
-  at(V, 0) = 1;  // v <= 1
-  at(0, V) = 0;  // v >= 0
-  close();
+  addConstraint(V, 0, 1); // v <= 1
+  addConstraint(0, V, 0); // v >= 0
 }
 
 void Dbm::joinWith(const Dbm &RHS) {
@@ -163,7 +221,9 @@ void Dbm::joinWith(const Dbm &RHS) {
   }
   for (size_t I = 0; I < M.size(); ++I)
     M[I] = std::max(M[I], RHS.M[I]);
-  // Pointwise max of closed matrices is closed.
+  // Pointwise max of closed matrices is closed; anything else (a widened
+  // operand) taints the result.
+  Closed = Closed && RHS.Closed;
 }
 
 void Dbm::meetWith(const Dbm &RHS) {
@@ -199,7 +259,9 @@ void Dbm::widenWith(const Dbm &RHS) {
     if (RHS.M[I] > M[I])
       M[I] = Inf;
   // Deliberately not re-closed: closing after widening can defeat
-  // convergence.
+  // convergence. The next addConstraint must therefore take the full
+  // closure, not the incremental one.
+  Closed = false;
 }
 
 bool Dbm::leq(const Dbm &RHS) const {
@@ -225,7 +287,17 @@ bool Dbm::equals(const Dbm &RHS) const {
 void Dbm::close() {
   if (Bottom)
     return;
-  for (int K = 0; K < N; ++K)
+  AnalysisBudget *Budget = BudgetScope::current();
+  Closed = false;
+  for (int K = 0; K < N; ++K) {
+    // Cancellation point between pivots: on a trip, every relaxation
+    // applied so far is entailed by the constraints, so the matrix still
+    // represents the same zone — merely non-canonically (Closed stays
+    // false, and subsequent close() calls return here immediately).
+    if (Budget && !Budget->checkpoint()) {
+      checkDiagonal();
+      return;
+    }
     for (int I = 0; I < N; ++I) {
       int64_t IK = at(I, K);
       if (IK == Inf)
@@ -239,6 +311,13 @@ void Dbm::close() {
           at(I, J) = Via;
       }
     }
+  }
+  checkDiagonal();
+  if (!Bottom)
+    Closed = true;
+}
+
+void Dbm::checkDiagonal() {
   for (int I = 0; I < N; ++I)
     if (at(I, I) < 0) {
       setBottom();

@@ -52,7 +52,23 @@ public:
   /// Constrains vi - vj <= C and re-closes; may become bottom. I == J is
   /// recoverable: vi - vi <= C is a tautology for C >= 0 (no-op) and a
   /// contradiction for C < 0 (bottom). Out-of-range indices are ignored.
+  ///
+  /// On a closed matrix this runs the single-constraint O(n^2) re-closure
+  /// (propagating paths through the tightened (I, J) entry only); the full
+  /// O(n^3) Floyd-Warshall runs only when closure is not known to hold
+  /// (after widening). Both paths produce the same canonical matrix.
   void addConstraint(int I, int J, int64_t C);
+
+  /// Debug hook: addConstraint via the full Floyd-Warshall closure,
+  /// bypassing the incremental path. The differential closure test checks
+  /// the two implementations entry-for-entry against each other.
+  void addConstraintFullClose(int I, int J, int64_t C);
+
+  /// Process-wide switch forcing every addConstraint through the full
+  /// closure — the A/B lever the bench drivers use to measure the
+  /// incremental algorithm against this PR's baseline. Set it before
+  /// analysis threads start; readers use relaxed loads.
+  static void forceFullClose(bool Enable);
 
   /// Upper bound of variable \p V (Inf when unbounded).
   int64_t upperOf(int V) const { return bound(V, 0); }
@@ -89,12 +105,24 @@ public:
 private:
   explicit Dbm(int NumVars);
 
-  /// Floyd-Warshall closure; sets Bottom on a negative cycle.
+  /// Floyd-Warshall closure; sets Bottom on a negative cycle. Checkpoints
+  /// the thread's AnalysisBudget between pivots: on a tripped budget it
+  /// returns early with Closed still false — the matrix then represents the
+  /// same zone in non-canonical form (every tightening applied so far is
+  /// entailed), which is sound, and callers discard degraded results anyway.
   void close();
+  /// Sets Bottom when any diagonal entry went negative (a negative cycle).
+  void checkDiagonal();
   void setBottom();
 
   int N = 1; ///< Matrix dimension (numVars + 1).
   bool Bottom = false;
+  /// Whether M is known to be in closed (canonical shortest-path) form.
+  /// True for every matrix this class hands out except after widenWith,
+  /// which deliberately leaves constraints un-tightened for convergence —
+  /// the next addConstraint on such a matrix falls back to the full
+  /// closure, exactly as the pre-incremental implementation behaved.
+  bool Closed = true;
   std::vector<int64_t> M; ///< Row-major N x N.
 
   int64_t &at(int I, int J) { return M[static_cast<size_t>(I) * N + J]; }

@@ -76,6 +76,11 @@ public:
   /// parameter seed or an array length).
   bool isInputSymbol(int I) const { return InputSymbol[I - 1]; }
 
+  /// The pinned input symbols, as passed at construction. Part of the
+  /// trail-bound cache key: pins change the initial abstract state, so
+  /// results computed under different pins must not collide.
+  const std::map<std::string, int64_t> &inputPins() const { return Pins; }
+
   /// Display name used in cost polynomials: "p#in" renders as "p",
   /// "a.len" stays "a.len".
   std::string displaySymbol(int I) const;

@@ -335,6 +335,40 @@ std::optional<std::vector<int>> Dfa::shortestWord() const {
   return Word;
 }
 
+std::string Dfa::canonicalKey() const {
+  // BFS renumbering exactly like trim(), serialized without materializing
+  // the renumbered automaton.
+  std::vector<int> Remap(numStates(), -1);
+  std::vector<int> Order;
+  std::deque<int> Work = {Start};
+  Remap[Start] = 0;
+  Order.push_back(Start);
+  while (!Work.empty()) {
+    int S = Work.front();
+    Work.pop_front();
+    for (int Sym = 0; Sym < NumSymbols; ++Sym) {
+      int T = Delta[S][Sym];
+      if (Remap[T] >= 0)
+        continue;
+      Remap[T] = static_cast<int>(Order.size());
+      Order.push_back(T);
+      Work.push_back(T);
+    }
+  }
+  std::string Key;
+  Key.reserve(16 + Order.size() * (NumSymbols + 1) * 4);
+  Key += "k";
+  Key += std::to_string(NumSymbols);
+  for (int S : Order) {
+    Key += Accept[S] ? "|a" : "|r";
+    for (int Sym = 0; Sym < NumSymbols; ++Sym) {
+      Key += ',';
+      Key += std::to_string(Remap[Delta[S][Sym]]);
+    }
+  }
+  return Key;
+}
+
 Dfa Dfa::trim() const {
   std::vector<int> Remap(numStates(), -1);
   std::vector<int> Order;

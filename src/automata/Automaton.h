@@ -115,6 +115,15 @@ public:
   /// \returns a shortest accepted word, or std::nullopt when empty.
   std::optional<std::vector<int>> shortestWord() const;
 
+  /// Serializes the reachable part of the automaton with states renumbered
+  /// in BFS discovery order (symbol-ascending), which is invariant under
+  /// any renumbering of this automaton's states. For a *minimal* DFA the
+  /// result is therefore a canonical fingerprint of the language: two
+  /// minimized automata get the same key iff they accept the same words.
+  /// Used as the trail-bound cache key; unreachable states are dropped
+  /// because no analysis result can depend on them.
+  std::string canonicalKey() const;
+
   /// Debug rendering.
   std::string str() const;
 

@@ -575,10 +575,14 @@ const BenchmarkProgram *blazer::findBenchmark(const std::string &Name) {
 }
 
 BlazerResult blazer::runBenchmark(const BenchmarkProgram &B,
-                                  const BudgetLimits &Limits, int Jobs) {
+                                  const BudgetLimits &Limits, int Jobs,
+                                  bool UseCache,
+                                  std::shared_ptr<TrailBoundCache> SharedCache) {
   CfgFunction F = B.compile();
   BlazerOptions Opt = B.options();
   Opt.Budget = Limits;
   Opt.Jobs = Jobs;
+  Opt.UseTrailCache = UseCache;
+  Opt.SharedTrailCache = std::move(SharedCache);
   return analyzeFunction(F, Opt);
 }

@@ -13,6 +13,7 @@
 #include <cassert>
 #include <deque>
 #include <set>
+#include <sstream>
 
 using namespace blazer;
 
@@ -29,9 +30,30 @@ std::string TrailBoundResult::str() const {
 
 BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
                              std::map<std::string, int64_t> InputPins,
-                             ThreadPool *PoolIn)
+                             ThreadPool *PoolIn, TrailBoundCache *CacheIn)
     : F(Fn), A(EdgeAlphabet::forFunction(Fn)), Env(Fn, std::move(InputPins)),
-      Az(Fn, Env), Pool(PoolIn) {}
+      Az(Fn, Env), Pool(PoolIn), Cache(CacheIn) {
+  if (!Cache)
+    return;
+  // Everything a TrailBoundResult depends on besides the trail language:
+  // the function's identity and shape, the cost of every block (the
+  // machine model applied to its instructions), and the pinned inputs. Two
+  // functions agreeing on all of this and on a trail's canonical DFA
+  // necessarily get the same bounds, so sharing a cache across drivers is
+  // sound.
+  std::ostringstream Salt;
+  Salt << F.Name << '/' << F.blockCount() << '/' << F.Entry << '/' << F.Exit;
+  for (const BasicBlock &B : F.Blocks)
+    Salt << ',' << F.blockCost(B);
+  Salt << ';';
+  for (const Edge &E : F.edges())
+    Salt << E.From << '>' << E.To << ' ';
+  Salt << ';';
+  for (const auto &[Sym, Val] : Env.inputPins())
+    Salt << Sym << '=' << Val << ' ';
+  Salt << '@';
+  CacheSalt = Salt.str();
+}
 
 Dfa BoundAnalysis::mostGeneralTrail() const { return Dfa::fromCfg(F, A); }
 
@@ -1006,6 +1028,27 @@ private:
 } // namespace
 
 TrailBoundResult BoundAnalysis::analyzeTrail(const Dfa &TrailDfa) const {
+  if (!Cache)
+    return analyzeTrailUncached(TrailDfa);
+  AnalysisBudget *Budget = BudgetScope::current();
+  if (Budget && Budget->exhausted())
+    return analyzeTrailUncached(TrailDfa); // Degrades immediately; no entry.
+  // The product construction and everything after it are invariant under
+  // renumbering of the trail DFA's states (product nodes are interned in
+  // discovery order and never consult raw state ids), so any two trails
+  // with the same canonical key get byte-identical results — a cache hit
+  // returns exactly what recomputation would have.
+  return Cache->getOrCompute(
+      CacheSalt + TrailDfa.canonicalKey(),
+      [&]() -> std::pair<TrailBoundResult, bool> {
+        TrailBoundResult R = analyzeTrailUncached(TrailDfa);
+        // Fail-soft results reflect the tripped budget, not the trail;
+        // caching one would leak Unknown into budget-free reruns.
+        return {R, !(Budget && Budget->exhausted())};
+      });
+}
+
+TrailBoundResult BoundAnalysis::analyzeTrailUncached(const Dfa &TrailDfa) const {
   AnalysisBudget *Budget = BudgetScope::current();
   // A tripped budget must yield "feasible with unknown upper bound", never
   // "infeasible": infeasible trails are treated as vacuously narrow by the

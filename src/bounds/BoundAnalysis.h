@@ -35,6 +35,7 @@
 #include "automata/Automaton.h"
 #include "ir/Cfg.h"
 #include "support/Bound.h"
+#include "support/TrailBoundCache.h"
 
 #include <optional>
 #include <string>
@@ -63,6 +64,12 @@ struct TrailBoundResult {
   std::string str() const;
 };
 
+/// Memoization cache for analyzeTrail results, shared across refinement
+/// rounds and across the safety/capacity/attack phases (and, when the
+/// caller salts keys per function — BoundAnalysis does — across drivers).
+/// Budget-degraded results are never stored.
+using TrailBoundCache = ShardedTrailCache<TrailBoundResult>;
+
 /// Bound analysis engine for one function. Construct once, query per trail.
 ///
 /// Thread-safe for concurrent analyzeTrail calls: the engine holds only
@@ -76,9 +83,15 @@ public:
   /// \p InputPins fixes publicly known input symbols (e.g. key bit-lengths)
   /// in the abstract initial state; see VarEnv. \p Pool (not owned, may be
   /// null) parallelizes per-query inner loops; null means fully sequential.
+  /// \p Cache (not owned, may be null) memoizes analyzeTrail by canonical
+  /// trail fingerprint; null disables memoization. The cache may be shared
+  /// across functions: keys carry a salt of everything the result depends
+  /// on besides the trail language (function name/shape, per-block costs,
+  /// input pins).
   explicit BoundAnalysis(const CfgFunction &F,
                          std::map<std::string, int64_t> InputPins = {},
-                         ThreadPool *Pool = nullptr);
+                         ThreadPool *Pool = nullptr,
+                         TrailBoundCache *Cache = nullptr);
 
   const EdgeAlphabet &alphabet() const { return A; }
   const VarEnv &env() const { return Env; }
@@ -90,11 +103,18 @@ public:
   Dfa mostGeneralTrail() const;
 
 private:
+  /// The product/fixpoint/region pipeline behind analyzeTrail, without the
+  /// memoization wrapper.
+  TrailBoundResult analyzeTrailUncached(const Dfa &TrailDfa) const;
+
   const CfgFunction &F;
   EdgeAlphabet A;
   VarEnv Env;
   Analyzer Az;
   ThreadPool *Pool;
+  TrailBoundCache *Cache;
+  /// Key prefix distinguishing this function's results in a shared cache.
+  std::string CacheSalt;
 };
 
 } // namespace blazer

@@ -72,7 +72,10 @@ public:
   Driver(const CfgFunction &F, const BlazerOptions &Options)
       : F(F), Opt(Options),
         Pool(Options.Jobs <= 0 ? 0u : static_cast<unsigned>(Options.Jobs)),
-        BA(F, Options.Observer.pinnedSymbols(), &Pool),
+        TrailCache(!Options.UseTrailCache        ? nullptr
+                   : Options.SharedTrailCache    ? Options.SharedTrailCache
+                                                 : std::make_shared<TrailBoundCache>()),
+        BA(F, Options.Observer.pinnedSymbols(), &Pool, TrailCache.get()),
         Budget(Options.Budget) {
     // Boolean parameters range over {0,1} regardless of the configured
     // default input maximum.
@@ -112,6 +115,8 @@ public:
     R.Tree = std::move(Tree);
     R.Degradation = Budget.reason();
     R.Usage = Budget.usage();
+    if (TrailCache)
+      R.CacheStats = TrailCache->stats();
     return R;
   }
 
@@ -221,6 +226,8 @@ public:
     R.Bounded = R.Known && R.MaxClasses <= Q;
     R.Tree = std::move(Tree);
     R.Degradation = Budget.reason();
+    if (TrailCache)
+      R.CacheStats = TrailCache->stats();
     return R;
   }
 
@@ -600,6 +607,9 @@ private:
   /// bound analysis. Jobs == 1 starts no threads: every parallelFor runs
   /// inline and the driver is exactly the sequential engine.
   ThreadPool Pool;
+  /// Declared before BA, which captures the raw pointer. Shared ownership
+  /// so bench drivers can keep one cache warm across repeated runs.
+  std::shared_ptr<TrailBoundCache> TrailCache;
   BoundAnalysis BA;
   AnalysisBudget Budget;
   const TaintInfo *Taint = nullptr;

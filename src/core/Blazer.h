@@ -25,6 +25,7 @@
 #include "support/Budget.h"
 #include "support/Observer.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -79,6 +80,19 @@ struct BlazerOptions {
   /// partial trail tree is kept, and BlazerResult::Degradation records
   /// which budget tripped, in which phase, and after how long.
   BudgetLimits Budget;
+  /// Memoize per-trail bound analyses across refinement rounds and across
+  /// the safety/capacity/attack phases, keyed by a canonical fingerprint
+  /// of the trail DFA. Results are byte-identical with the cache on or off
+  /// (hits return exactly what recomputation would produce); only the work
+  /// — and hence ResourceUsage step counters — shrinks. --no-cache maps
+  /// here for A/B measurement.
+  bool UseTrailCache = true;
+  /// Optional externally-owned cache reused across analyzeFunction calls
+  /// (the bench drivers share one per benchmark so repeated runs hit warm
+  /// entries). Keys are salted per function/pins, so sharing is sound.
+  /// Null: the driver creates a private cache for the run (when
+  /// UseTrailCache). Ignored when UseTrailCache is false.
+  std::shared_ptr<TrailBoundCache> SharedTrailCache;
 };
 
 /// Everything the analysis produced.
@@ -98,6 +112,10 @@ struct BlazerResult {
   DegradationReason Degradation;
   /// Step counters accumulated over the run (states, joins, trail nodes).
   ResourceUsage Usage;
+  /// Trail-bound cache counters. All zero when the cache was disabled;
+  /// cumulative across runs when BlazerOptions::SharedTrailCache reuses
+  /// one cache.
+  TrailCacheStats CacheStats;
 
   /// Pretty-prints the trail tree with bound balloons, Figure-1 style.
   std::string treeString(const CfgFunction &F) const;
@@ -124,6 +142,8 @@ struct ChannelCapacityResult {
   TaintInfo Taint;
   /// First budget trip, if any; a tripped budget forces Known = false.
   DegradationReason Degradation;
+  /// Trail-bound cache counters (see BlazerResult::CacheStats).
+  TrailCacheStats CacheStats;
 };
 
 /// Verifies the §3.4 channel-capacity property ccf with capacity \p Q

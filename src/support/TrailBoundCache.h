@@ -1,0 +1,204 @@
+//===- TrailBoundCache.h - Sharded memo cache for trail analyses -*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, thread-safe, compute-once memoization cache. The refinement
+/// driver re-derives trail components constantly — a split leaves every
+/// sibling subtree untouched, the capacity and attack-synthesis phases
+/// re-analyze trails the safety phase already bounded — so BoundAnalysis
+/// keys each trail by a canonical fingerprint of its DFA (Dfa::canonicalKey,
+/// prefixed with a per-function context salt) and memoizes the result here.
+///
+/// Guarantees:
+///  - *Compute-once*: concurrent getOrCompute calls for the same key run
+///    the compute function exactly once; late arrivals block until the
+///    winner publishes. This keeps step counters (ResourceUsage) identical
+///    across --jobs levels — two workers missing on the same key must not
+///    both pay (and count) the analysis.
+///  - *Fail-soft aware*: the compute function reports whether its result is
+///    cacheable. Budget-degraded results are never stored; waiters then
+///    retry the protocol themselves (one becomes the new owner). Liveness
+///    holds because compute runs inline on the owning thread — the
+///    work-stealing pool's caller participation means it cannot be parked
+///    behind the waiters.
+///  - *Bounded*: each shard holds at most MaxPerShard ready entries;
+///    beyond that, the oldest entry of the shard is evicted (FIFO) and
+///    counted.
+///
+/// The template lives in support/ so the dependency points upward: the
+/// cache knows nothing about bounds/; BoundAnalysis instantiates it with
+/// TrailBoundResult (see the TrailBoundCache alias in BoundAnalysis.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_TRAILBOUNDCACHE_H
+#define BLAZER_SUPPORT_TRAILBOUNDCACHE_H
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace blazer {
+
+/// Hit/miss/eviction counters plus the current entry count, as one
+/// consistent-enough snapshot (counters are monotone; Entries is summed
+/// shard by shard).
+struct TrailCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Entries = 0;
+
+  /// Renders e.g. "trail-cache: 37 hits, 12 misses, 0 evictions,
+  /// 12 entries".
+  std::string str() const {
+    return "trail-cache: " + std::to_string(Hits) + " hits, " +
+           std::to_string(Misses) + " misses, " + std::to_string(Evictions) +
+           " evictions, " + std::to_string(Entries) + " entries";
+  }
+};
+
+template <typename Value> class ShardedTrailCache {
+public:
+  explicit ShardedTrailCache(size_t MaxPerShard = 4096)
+      : MaxPerShard(MaxPerShard ? MaxPerShard : 1) {}
+
+  ShardedTrailCache(const ShardedTrailCache &) = delete;
+  ShardedTrailCache &operator=(const ShardedTrailCache &) = delete;
+
+  /// Looks up \p Key; on a miss runs \p Compute, which must return
+  /// std::pair<Value, bool> — the result and whether it may be cached
+  /// (false for budget-degraded results). Concurrent callers with the same
+  /// key block until the computing thread publishes; if it declines to
+  /// cache, one waiter takes over as the new owner and the rest keep
+  /// waiting on it.
+  template <typename ComputeFn>
+  Value getOrCompute(const std::string &Key, ComputeFn Compute) {
+    Shard &S = shardFor(Key);
+    std::unique_lock<std::mutex> Lock(S.Mu);
+    for (;;) {
+      auto It = S.Map.find(Key);
+      if (It == S.Map.end())
+        break; // This thread becomes the owner.
+      std::shared_ptr<Entry> E = It->second;
+      if (E->Ready) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return E->V;
+      }
+      // In flight on another thread: wait for it to publish or abandon.
+      S.Cv.wait(Lock, [&] { return E->Ready || E->Abandoned; });
+      // Loop: on Ready the map still holds E (hit path above); on
+      // Abandoned the entry was erased and somebody must recompute.
+    }
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    auto E = std::make_shared<Entry>();
+    S.Map.emplace(Key, E);
+    Lock.unlock();
+
+    std::pair<Value, bool> R;
+    try {
+      R = Compute();
+    } catch (...) {
+      Lock.lock();
+      S.Map.erase(Key);
+      E->Abandoned = true;
+      Lock.unlock();
+      S.Cv.notify_all();
+      throw;
+    }
+
+    Lock.lock();
+    if (!R.second) {
+      // Degraded result: never cached, waiters retake the protocol.
+      S.Map.erase(Key);
+      E->Abandoned = true;
+    } else {
+      E->V = R.first;
+      E->Ready = true;
+      S.Order.push_back(Key);
+      if (S.Order.size() > MaxPerShard)
+        evictOldest(S);
+    }
+    Lock.unlock();
+    S.Cv.notify_all();
+    return R.first;
+  }
+
+  TrailCacheStats stats() const {
+    TrailCacheStats St;
+    St.Hits = Hits.load(std::memory_order_relaxed);
+    St.Misses = Misses.load(std::memory_order_relaxed);
+    St.Evictions = Evictions.load(std::memory_order_relaxed);
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      St.Entries += S.Order.size();
+    }
+    return St;
+  }
+
+  /// Drops every ready entry (in-flight computations are untouched and
+  /// publish into the emptied cache). Evictions are not counted — this is
+  /// an epoch clear, not pressure.
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      for (const std::string &K : S.Order)
+        S.Map.erase(K);
+      S.Order.clear();
+    }
+  }
+
+private:
+  struct Entry {
+    Value V{};
+    bool Ready = false;
+    bool Abandoned = false;
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    std::condition_variable Cv;
+    /// Key -> entry; in-flight entries are present but not Ready.
+    std::unordered_map<std::string, std::shared_ptr<Entry>> Map;
+    /// Ready keys in insertion order, for FIFO eviction.
+    std::deque<std::string> Order;
+  };
+
+  static constexpr size_t NumShards = 16;
+
+  Shard &shardFor(const std::string &Key) {
+    return Shards[std::hash<std::string>{}(Key) % NumShards];
+  }
+
+  /// Caller holds S.Mu.
+  void evictOldest(Shard &S) {
+    while (S.Order.size() > MaxPerShard) {
+      auto It = S.Map.find(S.Order.front());
+      // Order only ever names Ready entries; in-flight ones are not listed.
+      if (It != S.Map.end() && It->second->Ready)
+        S.Map.erase(It);
+      S.Order.pop_front();
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  size_t MaxPerShard;
+  std::array<Shard, NumShards> Shards;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_TRAILBOUNDCACHE_H

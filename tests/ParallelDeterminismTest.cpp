@@ -106,6 +106,47 @@ INSTANTIATE_TEST_SUITE_P(Table1, BenchmarkDeterminism,
                          benchmarkName);
 
 //===----------------------------------------------------------------------===//
+// Cache transparency: on/off byte-identity at every job count
+//===----------------------------------------------------------------------===//
+
+/// The trail-bound cache must be purely a work-saver: verdicts, rendered
+/// trees, attack specs, and degradation reasons are byte-identical with
+/// the cache on or off at jobs 1, 2, and 8. Step counters are deliberately
+/// NOT compared across cache modes — skipping recomputation is the whole
+/// point, so States/Joins/TrailNodes legitimately shrink on hits (their
+/// cross-job determinism within a mode is covered above).
+void expectSameAnalysis(const RunFingerprint &A, const RunFingerprint &B,
+                        const std::string &What) {
+  SCOPED_TRACE(What);
+  EXPECT_EQ(A.Verdict, B.Verdict);
+  EXPECT_EQ(A.Tree, B.Tree);
+  EXPECT_EQ(A.Attacks, B.Attacks);
+  EXPECT_EQ(A.Degradation, B.Degradation);
+}
+
+class CacheTransparency
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(CacheTransparency, IdenticalWithCacheOnOrOff) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  RunFingerprint Reference =
+      fingerprint(F, runBenchmark(B, {}, 1, /*UseCache=*/false));
+  for (int Jobs : {2, 8})
+    expectSameAnalysis(
+        fingerprint(F, runBenchmark(B, {}, Jobs, /*UseCache=*/false)),
+        Reference, B.Name + " cache=off jobs=" + std::to_string(Jobs));
+  for (int Jobs : {1, 2, 8})
+    expectSameAnalysis(
+        fingerprint(F, runBenchmark(B, {}, Jobs, /*UseCache=*/true)),
+        Reference, B.Name + " cache=on jobs=" + std::to_string(Jobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CacheTransparency,
+                         ::testing::ValuesIn(benchmarkPointers()),
+                         benchmarkName);
+
+//===----------------------------------------------------------------------===//
 // samples/*.blz
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,246 @@
+//===- TrailCacheTest.cpp - Sharded trail-bound cache under contention -----===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises ShardedTrailCache's concurrency contract from the same
+/// work-stealing pool the analysis uses: compute-once under same-key
+/// contention, waiter-retake after an uncacheable (budget-degraded)
+/// publish, FIFO eviction accounting, and exception transparency. The
+/// end-to-end half drives real analyses through BoundAnalysis' cache
+/// wiring and proves that a budget-tripped run never pollutes a shared
+/// cache that later budget-free runs will hit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "core/Blazer.h"
+#include "support/ThreadPool.h"
+#include "support/TrailBoundCache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Unit level: ShardedTrailCache<int> hammered from the pool
+//===----------------------------------------------------------------------===//
+
+TEST(TrailCacheTest, ComputeOnceUnderSameKeyContention) {
+  ShardedTrailCache<int> Cache;
+  ThreadPool Pool(8);
+  constexpr size_t Iters = 512;
+  constexpr int Keys = 7;
+  std::atomic<int> Computes{0};
+
+  Pool.parallelFor(Iters, [&](size_t I) {
+    int K = static_cast<int>(I) % Keys;
+    int V = Cache.getOrCompute("key-" + std::to_string(K), [&] {
+      Computes.fetch_add(1, std::memory_order_relaxed);
+      // Dwell long enough that other workers pile up on the in-flight
+      // entry instead of racing past it.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return std::pair<int, bool>(K * 10, true);
+    });
+    EXPECT_EQ(V, K * 10);
+  });
+
+  EXPECT_EQ(Computes.load(), Keys);
+  TrailCacheStats St = Cache.stats();
+  EXPECT_EQ(St.Misses, static_cast<uint64_t>(Keys));
+  EXPECT_EQ(St.Hits, static_cast<uint64_t>(Iters - Keys));
+  EXPECT_EQ(St.Entries, static_cast<uint64_t>(Keys));
+  EXPECT_EQ(St.Evictions, 0u);
+}
+
+TEST(TrailCacheTest, UncacheableResultIsNeverStored) {
+  ShardedTrailCache<int> Cache;
+  std::atomic<int> Computes{0};
+  for (int I = 0; I < 5; ++I) {
+    int V = Cache.getOrCompute("degraded", [&] {
+      Computes.fetch_add(1, std::memory_order_relaxed);
+      return std::pair<int, bool>(-1, false);
+    });
+    EXPECT_EQ(V, -1);
+  }
+  // Every call recomputed: nothing was published.
+  EXPECT_EQ(Computes.load(), 5);
+  TrailCacheStats St = Cache.stats();
+  EXPECT_EQ(St.Entries, 0u);
+  EXPECT_EQ(St.Misses, 5u);
+  EXPECT_EQ(St.Hits, 0u);
+}
+
+TEST(TrailCacheTest, WaitersRetakeOwnershipAfterUncacheablePublish) {
+  // The first computation on the key declines to cache (budget-degraded);
+  // one of the waiting threads must become the new owner and recompute
+  // rather than returning a phantom entry or deadlocking. Eventually a
+  // cacheable result publishes and the stragglers hit it.
+  ShardedTrailCache<int> Cache;
+  ThreadPool Pool(8);
+  std::atomic<int> Computes{0};
+
+  Pool.parallelFor(64, [&](size_t) {
+    int V = Cache.getOrCompute("contended", [&] {
+      int N = Computes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      // First compute is degraded; every retake is cacheable.
+      return std::pair<int, bool>(42, N > 0);
+    });
+    EXPECT_EQ(V, 42);
+  });
+
+  // At least the degraded compute and one retake ran; once a retake
+  // published, everyone else hit.
+  EXPECT_GE(Computes.load(), 2);
+  TrailCacheStats St = Cache.stats();
+  EXPECT_EQ(St.Entries, 1u);
+  EXPECT_EQ(St.Hits + St.Misses, 64u);
+}
+
+TEST(TrailCacheTest, EvictionIsFifoAndCounted) {
+  // MaxPerShard = 1: the second ready key landing in a shard evicts the
+  // first. Across 64 distinct keys every shard ends with exactly one
+  // entry.
+  ShardedTrailCache<int> Cache(/*MaxPerShard=*/1);
+  for (int I = 0; I < 64; ++I)
+    Cache.getOrCompute("k" + std::to_string(I),
+                       [&] { return std::pair<int, bool>(I, true); });
+  TrailCacheStats St = Cache.stats();
+  EXPECT_EQ(St.Misses, 64u);
+  EXPECT_LE(St.Entries, 16u); // one per shard at most
+  EXPECT_EQ(St.Evictions, 64u - St.Entries);
+}
+
+TEST(TrailCacheTest, ExceptionAbandonsEntryAndUnblocksKey) {
+  ShardedTrailCache<int> Cache;
+  EXPECT_THROW(Cache.getOrCompute("boom",
+                                  [&]() -> std::pair<int, bool> {
+                                    throw std::runtime_error("compute died");
+                                  }),
+               std::runtime_error);
+  // The key is not wedged by the dead in-flight entry.
+  int V = Cache.getOrCompute("boom",
+                             [&] { return std::pair<int, bool>(7, true); });
+  EXPECT_EQ(V, 7);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST(TrailCacheTest, ClearDropsReadyEntriesWithoutCountingEvictions) {
+  ShardedTrailCache<int> Cache;
+  for (int I = 0; I < 10; ++I)
+    Cache.getOrCompute("k" + std::to_string(I),
+                       [&] { return std::pair<int, bool>(I, true); });
+  EXPECT_EQ(Cache.stats().Entries, 10u);
+  Cache.clear();
+  TrailCacheStats St = Cache.stats();
+  EXPECT_EQ(St.Entries, 0u);
+  EXPECT_EQ(St.Evictions, 0u);
+  // Cleared keys recompute.
+  int V = Cache.getOrCompute("k3",
+                             [&] { return std::pair<int, bool>(99, true); });
+  EXPECT_EQ(V, 99);
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: BoundAnalysis cache wiring through the driver
+//===----------------------------------------------------------------------===//
+
+const BenchmarkProgram &benchmarkNamed(const std::string &Name) {
+  for (const BenchmarkProgram &B : allBenchmarks())
+    if (B.Name == Name)
+      return B;
+  ADD_FAILURE() << "no benchmark named " << Name;
+  static BenchmarkProgram Empty;
+  return Empty;
+}
+
+TEST(TrailCacheTest, BudgetTrippedResultsAreNeverCached) {
+  // A joins budget of 1 trips inside the very first trail analysis, so
+  // that analysis ends degraded and must not publish. The shared cache
+  // stays empty, and a later budget-free run against the same cache gets
+  // the correct verdict — proof the degraded round left no poison behind.
+  const BenchmarkProgram &B = benchmarkNamed("k96_safe");
+  auto Shared = std::make_shared<TrailBoundCache>();
+
+  BudgetLimits Tight;
+  Tight.MaxJoins = 1;
+  BlazerResult Tripped = runBenchmark(B, Tight, /*Jobs=*/1,
+                                      /*UseCache=*/true, Shared);
+  ASSERT_TRUE(Tripped.Degradation.tripped());
+  EXPECT_NE(Tripped.Verdict, VerdictKind::Safe);
+  EXPECT_EQ(Shared->stats().Entries, 0u)
+      << "degraded trail result leaked into the cache";
+
+  BlazerResult Clean = runBenchmark(B, {}, /*Jobs=*/1,
+                                    /*UseCache=*/true, Shared);
+  EXPECT_FALSE(Clean.Degradation.tripped());
+  EXPECT_EQ(Clean.Verdict, B.Expected);
+  EXPECT_GT(Shared->stats().Entries, 0u);
+
+  // And the post-poison-attempt run matches a fresh-cache run exactly.
+  BlazerResult Fresh = runBenchmark(B, {}, /*Jobs=*/1, /*UseCache=*/true);
+  CfgFunction F = B.compile();
+  EXPECT_EQ(Clean.treeString(F), Fresh.treeString(F));
+}
+
+TEST(TrailCacheTest, SharedCacheAcrossRunsAndJobCountsStaysCorrect) {
+  // One cache shared across repeated runs of the same benchmark at mixed
+  // job counts: later runs are warm (hits dominate) yet verdict and tree
+  // never drift from the cold run.
+  const BenchmarkProgram &B = benchmarkNamed("k96_unsafe");
+  CfgFunction F = B.compile();
+  auto Shared = std::make_shared<TrailBoundCache>();
+
+  BlazerResult Cold = runBenchmark(B, {}, 1, true, Shared);
+  EXPECT_EQ(Cold.Verdict, B.Expected);
+  uint64_t ColdMisses = Cold.CacheStats.Misses;
+  EXPECT_GT(ColdMisses, 0u);
+
+  for (int Jobs : {1, 2, 8}) {
+    BlazerResult Warm = runBenchmark(B, {}, Jobs, true, Shared);
+    EXPECT_EQ(Warm.Verdict, Cold.Verdict);
+    EXPECT_EQ(Warm.treeString(F), Cold.treeString(F));
+  }
+  // The warm runs found everything ready: miss count never moved.
+  EXPECT_EQ(Shared->stats().Misses, ColdMisses);
+  EXPECT_GT(Shared->stats().Hits, 0u);
+}
+
+TEST(TrailCacheTest, SharedCacheHammeredByConcurrentAnalyses) {
+  // The hardest contention profile the driver can produce: many threads
+  // running the same function against one shared cache simultaneously, so
+  // identical keys are computed/waited/hit in every interleaving. Under
+  // the tsan preset this doubles as the data-race check for the cache.
+  const BenchmarkProgram &B = benchmarkNamed("login_unsafe");
+  CfgFunction F = B.compile();
+  auto Shared = std::make_shared<TrailBoundCache>();
+  const std::string Expected =
+      runBenchmark(B, {}, 1, true, Shared).treeString(F);
+
+  constexpr int Threads = 8;
+  std::vector<std::string> Trees(Threads);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      Trees[T] = runBenchmark(B, {}, /*Jobs=*/2, true, Shared).treeString(F);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(Trees[T], Expected) << "thread " << T;
+}
+
+} // namespace

@@ -28,6 +28,8 @@
 ///   --max-states=N               automaton state-creation budget (0 = off)
 ///   --max-joins=N                DBM join/widening budget (0 = off)
 ///   --max-trail-nodes=N          trail-tree node budget (0 = off)
+///   --no-cache                   disable the trail-bound memo cache
+///   --cache-stats                print cache hit/miss/eviction counters
 /// \endcode
 ///
 /// Exit code: 0 when every analyzed function is safe (or capacity-bounded),
@@ -76,6 +78,8 @@ struct CliOptions {
   int64_t MaxStates = 0;
   int64_t MaxJoins = 0;
   int64_t MaxTrailNodes = 0;
+  bool NoCache = false;
+  bool CacheStats = false;
   std::string File;
   std::vector<std::string> Functions;
 };
@@ -103,7 +107,10 @@ void usage(const char *Prog) {
       "  --timeout=SEC               wall-clock deadline per function\n"
       "  --max-states=N              automaton state-creation budget\n"
       "  --max-joins=N               DBM join/widening budget\n"
-      "  --max-trail-nodes=N         trail-tree node budget\n",
+      "  --max-trail-nodes=N         trail-tree node budget\n"
+      "  --no-cache                  disable the trail-bound memo cache\n"
+      "  --cache-stats               print cache hit/miss/eviction "
+      "counters\n",
       Prog);
 }
 
@@ -226,6 +233,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
       if (!parseIntArg("--max-trail-nodes", V, 0, INT64_MAX,
                        Opt.MaxTrailNodes))
         return false;
+    } else if (Arg == "--no-cache") {
+      Opt.NoCache = true;
+    } else if (Arg == "--cache-stats") {
+      Opt.CacheStats = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -259,7 +270,19 @@ BlazerOptions toBlazerOptions(const CliOptions &Cli) {
   Opt.Budget.MaxStates = static_cast<uint64_t>(Cli.MaxStates);
   Opt.Budget.MaxJoins = static_cast<uint64_t>(Cli.MaxJoins);
   Opt.Budget.MaxTrailNodes = static_cast<uint64_t>(Cli.MaxTrailNodes);
+  Opt.UseTrailCache = !Cli.NoCache;
   return Opt;
+}
+
+/// The --cache-stats line; "disabled" under --no-cache so scripts can tell
+/// "no cache" from "a cache that saw no traffic".
+void printCacheStats(const CliOptions &Cli, const TrailCacheStats &St) {
+  if (!Cli.CacheStats)
+    return;
+  if (Cli.NoCache)
+    std::printf("trail-cache: disabled\n");
+  else
+    std::printf("%s\n", St.str().c_str());
 }
 
 /// 0 safe, 2 attack, 3 unknown.
@@ -280,11 +303,13 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
                 R.MaxClasses);
     if (R.Degradation.tripped())
       std::printf("degraded: %s\n", R.Degradation.str().c_str());
+    printCacheStats(Cli, R.CacheStats);
     return R.Bounded ? 0 : (R.Known ? 2 : 3);
   }
 
   BlazerResult R = analyzeFunction(F, Opt);
   std::printf("%s", R.treeString(F).c_str());
+  printCacheStats(Cli, R.CacheStats);
   for (const AttackSpec &Spec : R.Attacks)
     std::printf("%s\n", Spec.str().c_str());
 
