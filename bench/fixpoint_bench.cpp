@@ -1,0 +1,149 @@
+//===- fixpoint_bench.cpp - WTO vs FIFO zone-fixpoint microbenchmarks -------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the zone-fixpoint schedulers in isolation (not a
+/// paper figure; an engineering ablation backing DESIGN.md's Performance
+/// section). Each pair runs the same Analyzer::analyze over the same
+/// product graph under the default WTO scheduler and the legacy FIFO
+/// worklist, on products of increasing size: the most general trail of a
+/// loopy Literature benchmark, a refined (symbol-restricted) trail of the
+/// same function, and the end-to-end driver. The transfer memo and in-arc
+/// joins are shared by both schedulers, so the deltas isolate pure
+/// iteration-order cost (redundant pops and re-widenings).
+///
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+#include "benchmarks/Benchmarks.h"
+#include "bounds/BoundAnalysis.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace blazer;
+
+namespace {
+
+const CfgFunction &modPow2Unsafe() {
+  static CfgFunction F = findBenchmark("modPow2_unsafe")->compile();
+  return F;
+}
+
+const CfgFunction &gpt14Unsafe() {
+  static CfgFunction F = findBenchmark("gpt14_unsafe")->compile();
+  return F;
+}
+
+/// Most-general product of \p F (one DFA state: the largest, loopiest
+/// product the driver ever analyzes for this function).
+ProductGraph mostGeneralProduct(const CfgFunction &F) {
+  BoundAnalysis BA(F);
+  return ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+}
+
+/// A refined product: restrict the trail to contain a mid-alphabet symbol,
+/// mirroring what RefinePartition produces mid-run (more DFA states, so a
+/// larger product than the most general trail's).
+ProductGraph refinedProduct(const CfgFunction &F) {
+  BoundAnalysis BA(F);
+  const EdgeAlphabet &A = BA.alphabet();
+  int N = static_cast<int>(A.size());
+  Dfa T = BA.mostGeneralTrail()
+              .intersect(Dfa::containsSymbol(N, N / 2))
+              .minimize();
+  return ProductGraph::build(F, T, A);
+}
+
+void runFixpoint(benchmark::State &State, const CfgFunction &F,
+                 const ProductGraph &G, bool UseWto) {
+  VarEnv Env(F);
+  Analyzer Az(F, Env, UseWto);
+  FixpointStats Stats;
+  for (auto _ : State) {
+    AnalysisResult R = Az.analyze(G);
+    Stats = R.Stats;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["pops"] = static_cast<double>(Stats.Pops);
+  State.counters["joins"] = static_cast<double>(Stats.Joins);
+  State.counters["widenings"] = static_cast<double>(Stats.Widenings);
+  State.counters["hit_rate"] = Stats.transferHitRate();
+}
+
+void BM_Fixpoint_ModPow2_MostGeneral_Wto(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_MostGeneral_Wto);
+
+void BM_Fixpoint_ModPow2_MostGeneral_Fifo(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/false);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_MostGeneral_Fifo);
+
+void BM_Fixpoint_ModPow2_Refined_Wto(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = refinedProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_Refined_Wto);
+
+void BM_Fixpoint_ModPow2_Refined_Fifo(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = refinedProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/false);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_Refined_Fifo);
+
+void BM_Fixpoint_Gpt14_MostGeneral_Wto(benchmark::State &State) {
+  const CfgFunction &F = gpt14Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true);
+}
+BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Wto);
+
+void BM_Fixpoint_Gpt14_MostGeneral_Fifo(benchmark::State &State) {
+  const CfgFunction &F = gpt14Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/false);
+}
+BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Fifo);
+
+/// Product construction itself (arc-indexed build with reserved tables).
+void BM_ProductGraphBuild(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  BoundAnalysis BA(F);
+  Dfa Mg = BA.mostGeneralTrail();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ProductGraph::build(F, Mg, BA.alphabet()));
+}
+BENCHMARK(BM_ProductGraphBuild);
+
+void BM_EndToEnd_ModPow1Unsafe_Wto(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
+  CfgFunction F = B->compile();
+  BlazerOptions Opt = B->options();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeFunction(F, Opt));
+}
+BENCHMARK(BM_EndToEnd_ModPow1Unsafe_Wto);
+
+void BM_EndToEnd_ModPow1Unsafe_Fifo(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
+  CfgFunction F = B->compile();
+  BlazerOptions Opt = B->options();
+  Opt.FifoFixpoint = true;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeFunction(F, Opt));
+}
+BENCHMARK(BM_EndToEnd_ModPow1Unsafe_Fifo);
+
+} // namespace
+
+BENCHMARK_MAIN();

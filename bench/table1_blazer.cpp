@@ -30,9 +30,14 @@
 ///                                the full Floyd-Warshall closure
 ///                                (default 0) — the pre-incremental
 ///                                baseline for A/B timing.
+///   BLAZER_TABLE1_FIFO=0|1       drive the zone fixpoint with the legacy
+///                                FIFO worklist instead of the WTO
+///                                scheduler (default 0) — the
+///                                pre-WTO baseline for A/B timing.
 ///   BLAZER_TABLE1_JSON=PATH      write per-benchmark median wall-clock
-///                                milliseconds (plus verdicts and cache
-///                                counters) as one JSON mode object.
+///                                milliseconds (plus verdicts, cache and
+///                                fixpoint counters) as one JSON mode
+///                                object.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -87,6 +92,7 @@ struct JsonRow {
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
+  FixpointStats Fixpoint;
 };
 
 } // namespace
@@ -120,14 +126,15 @@ int main() {
   Limits.TimeoutSeconds = Timeout;
   bool UseCache = envSwitch("BLAZER_TABLE1_CACHE", true);
   bool FullClose = envSwitch("BLAZER_TABLE1_FULLCLOSE", false);
+  bool Fifo = envSwitch("BLAZER_TABLE1_FIFO", false);
   Dbm::forceFullClose(FullClose);
   const char *JsonPath = std::getenv("BLAZER_TABLE1_JSON");
   std::vector<JsonRow> JsonRows;
 
   std::printf("Table 1: Blazer on the benchmark suite (median of %d runs, "
-              "jobs=%d, cache=%s, closure=%s)\n",
+              "jobs=%d, cache=%s, closure=%s, fixpoint=%s)\n",
               Runs, Jobs, UseCache ? "on" : "off",
-              FullClose ? "full" : "incremental");
+              FullClose ? "full" : "incremental", Fifo ? "fifo" : "wto");
   std::printf("%-24s %-12s %5s  %12s  %12s  %-8s %s\n", "Benchmark",
               "Category", "Size", "Safety (s)", "w/Attack (s)", "Verdict",
               "vs paper");
@@ -143,6 +150,9 @@ int main() {
     CfgFunction F = B.compile();
     std::vector<double> SafetyTimes, TotalTimes, WallMs;
     BlazerResult Last;
+    // Summed over all runs: with a warm shared cache the later runs skip
+    // the zone fixpoints entirely, so the cold first run dominates.
+    FixpointStats FixpointTotal;
     // With the cache on, the benchmark's runs share one cache: the first
     // run pays the misses, later runs measure the warm path — the same
     // reuse profile the refinement driver sees across rounds.
@@ -150,12 +160,14 @@ int main() {
         UseCache ? std::make_shared<TrailBoundCache>() : nullptr;
     for (int R = 0; R < Runs; ++R) {
       auto W0 = std::chrono::steady_clock::now();
-      BlazerResult Res = runBenchmark(B, Limits, Jobs, UseCache, Shared);
+      BlazerResult Res = runBenchmark(B, Limits, Jobs, UseCache, Shared,
+                                      Fifo);
       auto W1 = std::chrono::steady_clock::now();
       WallMs.push_back(
           std::chrono::duration<double, std::milli>(W1 - W0).count());
       SafetyTimes.push_back(Res.SafetySeconds);
       TotalTimes.push_back(Res.TotalSeconds);
+      FixpointTotal.mergeFrom(Res.Fixpoint);
       Last = std::move(Res);
       if (Last.Degradation.tripped())
         break; // No point repeating a run that hit its budget.
@@ -190,6 +202,7 @@ int main() {
       Row.CacheHits = Last.CacheStats.Hits;
       Row.CacheMisses = Last.CacheStats.Misses;
       Row.CacheEvictions = Last.CacheStats.Evictions;
+      Row.Fixpoint = FixpointTotal;
       JsonRows.push_back(std::move(Row));
     }
   }
@@ -206,12 +219,12 @@ int main() {
     std::fprintf(Out,
                  "{\n"
                  "  \"mode\": {\"cache\": %s, \"closure\": \"%s\", "
-                 "\"jobs\": %d, \"runs\": %d},\n"
+                 "\"fixpoint\": \"%s\", \"jobs\": %d, \"runs\": %d},\n"
                  "  \"verdict_agreement\": \"%d/24\",\n"
                  "  \"benchmarks\": [\n",
                  UseCache ? "true" : "false",
-                 FullClose ? "full" : "incremental", Jobs, Runs,
-                 24 - Mismatches);
+                 FullClose ? "full" : "incremental", Fifo ? "fifo" : "wto",
+                 Jobs, Runs, 24 - Mismatches);
     for (size_t I = 0; I < JsonRows.size(); ++I) {
       const JsonRow &R = JsonRows[I];
       std::fprintf(
@@ -220,13 +233,21 @@ int main() {
           "\"verdict\": \"%s\", \"match\": %s, \"timed_out\": %s, "
           "\"median_wall_ms\": %.3f, \"median_safety_ms\": %.3f, "
           "\"cache\": {\"hits\": %llu, \"misses\": %llu, "
-          "\"evictions\": %llu}}%s\n",
+          "\"evictions\": %llu}, "
+          "\"fixpoint\": {\"pops\": %llu, \"joins\": %llu, "
+          "\"widenings\": %llu, \"transfer_hit_rate\": %.4f, "
+          "\"sweeps\": %llu}}%s\n",
           R.Name.c_str(), R.Category.c_str(), R.Blocks, R.Verdict.c_str(),
           R.Match ? "true" : "false", R.TimedOut ? "true" : "false",
           R.MedianWallMs, R.MedianSafetyMs,
           static_cast<unsigned long long>(R.CacheHits),
           static_cast<unsigned long long>(R.CacheMisses),
           static_cast<unsigned long long>(R.CacheEvictions),
+          static_cast<unsigned long long>(R.Fixpoint.Pops),
+          static_cast<unsigned long long>(R.Fixpoint.Joins),
+          static_cast<unsigned long long>(R.Fixpoint.Widenings),
+          R.Fixpoint.transferHitRate(),
+          static_cast<unsigned long long>(R.Fixpoint.Sweeps),
           I + 1 < JsonRows.size() ? "," : "");
     }
     std::fprintf(Out, "  ]\n}\n");

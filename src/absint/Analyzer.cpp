@@ -6,6 +6,7 @@
 
 #include "absint/Analyzer.h"
 
+#include "absint/Wto.h"
 #include "support/Budget.h"
 
 #include <cassert>
@@ -20,17 +21,209 @@ Dbm Analyzer::transferBlock(const Dbm &In, int Block) const {
   return Out;
 }
 
-Dbm Analyzer::transferEdge(const Dbm &In, const Edge &E) const {
-  Dbm Out = transferBlock(In, E.From);
+void Analyzer::applyBranch(Dbm &Out, const Edge &E) const {
   const BasicBlock &B = F.block(E.From);
   if (B.Term == BasicBlock::TermKind::Branch) {
     if (B.TrueSucc == B.FalseSucc)
-      return Out; // Degenerate branch carries no information.
-    bool Positive = E.To == B.TrueSucc;
-    Env.assumeCond(Out, B.Cond, Positive);
+      return; // Degenerate branch carries no information.
+    Env.assumeCond(Out, B.Cond, E.To == B.TrueSucc);
   }
+}
+
+Dbm Analyzer::transferEdge(const Dbm &In, const Edge &E) const {
+  Dbm Out = transferBlock(In, E.From);
+  applyBranch(Out, E);
   return Out;
 }
+
+namespace {
+
+/// Mutable state of one fixpoint run: the entry states under construction,
+/// the version-stamped post-block memo, and the work counters. Both
+/// schedulers and the descending sweeps share these, so memoized transfers
+/// survive re-pops and carry over into refinement.
+class FixpointRun {
+public:
+  FixpointRun(const Analyzer &A, const VarEnv &Env, const ProductGraph &G,
+              AnalysisResult &R, AnalysisBudget *Budget)
+      : A(A), Env(Env), G(G), R(R), Budget(Budget),
+        N(static_cast<int>(G.size())) {
+    // Version 0 means "never computed"; entry states start at version 1 so
+    // every node's first post-block lookup is a miss.
+    PostBlock.assign(N, Dbm::bottom(Env.numVars()));
+    PostVersion.assign(N, 0);
+    StateVersion.assign(N, 1);
+    Visits.assign(N, 0);
+  }
+
+  /// The post-block state of node \p P's current entry state, computed at
+  /// most once per entry-state change and shared by every outgoing arc.
+  const Dbm &postOf(int P) {
+    if (PostVersion[P] == StateVersion[P]) {
+      ++R.Stats.TransferHits;
+      return PostBlock[P];
+    }
+    ++R.Stats.TransferMisses;
+    PostBlock[P] = A.transferBlock(R.EntryState[P], G.node(P).Block);
+    PostVersion[P] = StateVersion[P];
+    return PostBlock[P];
+  }
+
+  /// Join of the states flowing into \p Id over exactly its in-arcs.
+  Dbm joinOfPreds(int Id) {
+    if (Id == G.entry())
+      return Env.initialState();
+    Dbm Acc = Dbm::bottom(Env.numVars());
+    for (const ProductGraph::InArc &IA : G.inArcs(Id)) {
+      Dbm Along = postOf(IA.From);
+      A.applyBranch(Along, IA.CfgEdge);
+      Acc.joinWith(Along);
+      ++R.Stats.Joins;
+    }
+    return Acc;
+  }
+
+  void setState(int Id, Dbm S) {
+    R.EntryState[Id] = std::move(S);
+    ++StateVersion[Id]; // Invalidate the post-block memo for Id.
+  }
+
+  /// Recomputes \p Id's entry state; widens when \p AtWidenPoint and the
+  /// warm-up has passed. Returns true when the state grew.
+  bool updateNode(int Id, bool AtWidenPoint) {
+    ++R.Stats.Pops;
+    Dbm NewState = joinOfPreds(Id);
+    if (AtWidenPoint && ++Visits[Id] > WideningDelay) {
+      Dbm Widened = R.EntryState[Id];
+      Widened.widenWith(NewState);
+      NewState = std::move(Widened);
+      ++R.Stats.Widenings;
+      WideningFired = true;
+    }
+    if (NewState.leq(R.EntryState[Id]))
+      return false;
+    NewState.joinWith(R.EntryState[Id]);
+    setState(Id, std::move(NewState));
+    return true;
+  }
+
+  /// Bourdoncle's recursive strategy over the WTO item span [Begin, End):
+  /// plain vertices are updated once (their inputs are already stable);
+  /// a component is iterated — head update, body stabilization — until the
+  /// head's recomputation reports no change. Widening only at heads keeps
+  /// termination: every cycle passes through some head.
+  void stabilize(const Wto &W, size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End;) {
+      // Fail soft, same as the FIFO ascent: an interrupted run is not a
+      // post-fixpoint; the tripped budget marks the result untrustworthy.
+      if (Tripped || (Budget && !Budget->checkpoint())) {
+        Tripped = true;
+        return;
+      }
+      const Wto::Item &It = W.items()[I];
+      if (!It.Head) {
+        updateNode(It.Node, false);
+        ++I;
+        continue;
+      }
+      updateNode(It.Node, true);
+      while (!Tripped) {
+        stabilize(W, I + 1, It.End);
+        if (Tripped)
+          return;
+        if (!updateNode(It.Node, true))
+          break;
+      }
+      I = It.End;
+    }
+  }
+
+  void runWto() {
+    Wto W = Wto::build(G.successorIds(), G.entry());
+    stabilize(W, 0, W.size());
+  }
+
+  /// The legacy FIFO worklist: widening at RPO back-edge targets, warm-up
+  /// delay, deque seeded with the full RPO. Kept verbatim (modulo the
+  /// shared in-arc joins and memo, which are value-identical) as the A/B
+  /// baseline scheduler.
+  void runFifo() {
+    std::vector<int> RpoIndex(N, -1);
+    for (size_t I = 0; I < G.rpo().size(); ++I)
+      RpoIndex[G.rpo()[I]] = static_cast<int>(I);
+    std::vector<bool> WidenPoint(N, false);
+    for (int Id = 0; Id < N; ++Id)
+      for (const ProductGraph::Arc &Arc : G.successors(Id))
+        if (RpoIndex[Arc.To] >= 0 && RpoIndex[Id] >= 0 &&
+            RpoIndex[Arc.To] <= RpoIndex[Id])
+          WidenPoint[Arc.To] = true;
+
+    std::deque<int> Work(G.rpo().begin(), G.rpo().end());
+    std::vector<bool> InWork(N, true);
+    while (!Work.empty()) {
+      if (Budget && !Budget->checkpoint()) {
+        Tripped = true;
+        break;
+      }
+      int Id = Work.front();
+      Work.pop_front();
+      InWork[Id] = false;
+      if (!updateNode(Id, WidenPoint[Id]))
+        continue;
+      for (const ProductGraph::Arc &Arc : G.successors(Id))
+        if (!InWork[Arc.To]) {
+          InWork[Arc.To] = true;
+          Work.push_back(Arc.To);
+        }
+    }
+  }
+
+  /// Descending refinement: plain recomputation sweeps tighten the widened
+  /// states (sound: each recomputation stays above the least fixpoint
+  /// because its inputs do, so any accepted refinement is independently
+  /// valid — a sweep interrupted mid-way keeps what it has, fail-soft like
+  /// the ascent). When no widening fired, the ascent already terminated at
+  /// the least fixpoint and both sweeps would recompute every state
+  /// unchanged, so they are skipped outright.
+  void descend() {
+    if (!WideningFired)
+      return;
+    for (int Pass = 0; Pass < 2 && !(Budget && Budget->exhausted()); ++Pass) {
+      ++R.Stats.Sweeps;
+      for (int Id : G.rpo()) {
+        if (Budget && !Budget->checkpoint())
+          return;
+        Dbm NewState = joinOfPreds(Id);
+        // Accept only strict refinements: re-assigning an equal state
+        // would spuriously invalidate the post-block memo.
+        if (NewState.leq(R.EntryState[Id]) &&
+            !R.EntryState[Id].leq(NewState))
+          setState(Id, std::move(NewState));
+      }
+    }
+  }
+
+  bool tripped() const { return Tripped; }
+
+private:
+  static constexpr int WideningDelay = 2;
+
+  const Analyzer &A;
+  const VarEnv &Env;
+  const ProductGraph &G;
+  AnalysisResult &R;
+  AnalysisBudget *Budget;
+  int N;
+
+  std::vector<Dbm> PostBlock;
+  std::vector<uint64_t> PostVersion;
+  std::vector<uint64_t> StateVersion;
+  std::vector<int> Visits;
+  bool WideningFired = false;
+  bool Tripped = false;
+};
+
+} // namespace
 
 AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
   AnalysisBudget *Budget = BudgetScope::current();
@@ -44,75 +237,13 @@ AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
 
   R.EntryState[G.entry()] = Env.initialState();
 
-  // Widening points: RPO back-edge targets.
-  std::vector<int> RpoIndex(N, -1);
-  for (size_t I = 0; I < G.rpo().size(); ++I)
-    RpoIndex[G.rpo()[I]] = static_cast<int>(I);
-  std::vector<bool> WidenPoint(N, false);
-  for (int Id = 0; Id < N; ++Id)
-    for (const ProductGraph::Arc &A : G.successors(Id))
-      if (RpoIndex[A.To] >= 0 && RpoIndex[Id] >= 0 &&
-          RpoIndex[A.To] <= RpoIndex[Id])
-        WidenPoint[A.To] = true;
-
-  auto JoinOfPreds = [&](int Id) {
-    if (Id == G.entry())
-      return Env.initialState();
-    Dbm Acc = Dbm::bottom(Env.numVars());
-    for (int P : G.predecessors(Id)) {
-      for (const ProductGraph::Arc &A : G.successors(P)) {
-        if (A.To != Id)
-          continue;
-        Dbm Along = transferEdge(R.EntryState[P], A.CfgEdge);
-        Acc.joinWith(Along);
-      }
-    }
-    return Acc;
-  };
-
-  // Ascending phase with widening after a warm-up.
-  constexpr int WideningDelay = 2;
-  std::vector<int> Visits(N, 0);
-  std::deque<int> Work(G.rpo().begin(), G.rpo().end());
-  std::vector<bool> InWork(N, true);
-  while (!Work.empty()) {
-    // Fail soft: an interrupted ascent is not a post-fixpoint, so the
-    // states below are not trustworthy over-approximations. Callers must
-    // check AnalysisBudget::exhausted() and discard the result.
-    if (Budget && !Budget->checkpoint())
-      break;
-    int Id = Work.front();
-    Work.pop_front();
-    InWork[Id] = false;
-    Dbm NewState = JoinOfPreds(Id);
-    if (WidenPoint[Id] && ++Visits[Id] > WideningDelay) {
-      Dbm Widened = R.EntryState[Id];
-      Widened.widenWith(NewState);
-      NewState = std::move(Widened);
-    }
-    if (NewState.leq(R.EntryState[Id]))
-      continue;
-    NewState.joinWith(R.EntryState[Id]);
-    R.EntryState[Id] = std::move(NewState);
-    for (const ProductGraph::Arc &A : G.successors(Id))
-      if (!InWork[A.To]) {
-        InWork[A.To] = true;
-        Work.push_back(A.To);
-      }
-  }
-
-  // Descending refinement: a couple of plain recomputation sweeps tighten
-  // the widened states (sound: each recomputation stays above the least
-  // fixpoint because the inputs do). Skipped entirely once the budget has
-  // tripped — the result is already marked untrustworthy.
-  for (int Pass = 0; Pass < 2 && !(Budget && Budget->exhausted()); ++Pass) {
-    for (int Id : G.rpo()) {
-      Dbm NewState = JoinOfPreds(Id);
-      // Only accept refinements.
-      if (NewState.leq(R.EntryState[Id]))
-        R.EntryState[Id] = std::move(NewState);
-    }
-  }
+  FixpointRun Run(*this, Env, G, R, Budget);
+  if (UseWto)
+    Run.runWto();
+  else
+    Run.runFifo();
+  if (!Run.tripped())
+    Run.descend();
 
   for (int Id = 0; Id < N; ++Id)
     R.Feasible[Id] = !R.EntryState[Id].isBottom();

@@ -5,12 +5,29 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The abstract interpreter: a worklist fixpoint over the product graph
-/// (CFG x trail DFA) in the zone domain, with widening at loop heads and a
-/// descending refinement pass. This is the "standard abstract interpreter
-/// equipped with a trail oracle" of §5; its invariants feed the bound
-/// analysis and decide trail feasibility (infeasible trails — like the
-/// vulnerable-looking one in loopAndBranch — come back bottom).
+/// The abstract interpreter: a fixpoint over the product graph (CFG x trail
+/// DFA) in the zone domain, with widening and a descending refinement pass.
+/// This is the "standard abstract interpreter equipped with a trail oracle"
+/// of §5; its invariants feed the bound analysis and decide trail
+/// feasibility (infeasible trails — like the vulnerable-looking one in
+/// loopAndBranch — come back bottom).
+///
+/// Two schedulers drive the same transfer functions:
+///
+///  - WTO (default): Bourdoncle's recursive iteration strategy over a weak
+///    topological order of the product. Components are iterated to
+///    stabilization innermost-first, and widening is applied only at
+///    component heads — an admissible widening set, since every cycle
+///    passes through a head. Joins walk exactly the in-arcs of a node, and
+///    each node's post-block state is memoized under a version counter so
+///    transferBlock runs once per entry-state change.
+///
+///  - FIFO (legacy, behind BlazerOptions::FifoFixpoint): the original
+///    worklist deque with widening at RPO back-edge targets, kept as the
+///    A/B baseline. It shares the in-arc joins and the transfer memo, so
+///    the two schedulers differ only in iteration order — and since the
+///    zone join is a pointwise max of closed matrices (order-independent),
+///    they compute identical invariants wherever widening behaves the same.
 ///
 /// Thread-safety audit (for the parallel trail-tree analysis): Analyzer
 /// holds only const references to per-function state and has no mutable
@@ -18,11 +35,10 @@
 /// immutable after construction. transferBlock/transferEdge are therefore
 /// safe to call concurrently from worker threads — they allocate their
 /// result Dbm locally and report DBM joins to the (atomic) thread-local
-/// AnalysisBudget. analyze() itself stays sequential *within one product
-/// graph* on purpose: the worklist order and widening points are
-/// order-sensitive, and reordering them could change (weaken) invariants
-/// — parallelism comes from analyzing distinct trails concurrently, not
-/// from splitting one fixpoint.
+/// AnalysisBudget. analyze() keeps all run state (entry states, transfer
+/// memo, counters) in per-call locals, so concurrent analyze() calls on
+/// distinct products are safe; one fixpoint stays sequential on purpose —
+/// parallelism comes from analyzing distinct trails concurrently.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,9 +49,37 @@
 #include "absint/ProductGraph.h"
 #include "absint/VarEnv.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace blazer {
+
+/// Work counters of one (or several, merged) zone-fixpoint runs. These are
+/// diagnostics, not semantics: two schedulers that agree on every invariant
+/// still pop and join different amounts.
+struct FixpointStats {
+  uint64_t Pops = 0;      ///< Node entry-state recomputations.
+  uint64_t Joins = 0;     ///< In-arc joins folded into entry states.
+  uint64_t Widenings = 0; ///< Widening applications.
+  uint64_t TransferHits = 0;   ///< Post-block memo hits.
+  uint64_t TransferMisses = 0; ///< Post-block memo misses (block executions).
+  uint64_t Sweeps = 0;         ///< Descending sweeps actually run.
+
+  void mergeFrom(const FixpointStats &O) {
+    Pops += O.Pops;
+    Joins += O.Joins;
+    Widenings += O.Widenings;
+    TransferHits += O.TransferHits;
+    TransferMisses += O.TransferMisses;
+    Sweeps += O.Sweeps;
+  }
+
+  /// Fraction of post-block lookups served from the memo, in [0, 1].
+  double transferHitRate() const {
+    uint64_t Total = TransferHits + TransferMisses;
+    return Total ? static_cast<double>(TransferHits) / Total : 0.0;
+  }
+};
 
 /// Per-product-node invariants (at block entry).
 struct AnalysisResult {
@@ -43,12 +87,15 @@ struct AnalysisResult {
   /// True when the node's entry state is non-bottom, i.e. some concrete
   /// execution compatible with the trail may reach it.
   std::vector<bool> Feasible;
+  /// Work counters of the fixpoint run that produced the states.
+  FixpointStats Stats;
 };
 
 /// Runs the zone analysis over \p G.
 class Analyzer {
 public:
-  Analyzer(const CfgFunction &F, const VarEnv &Env) : F(F), Env(Env) {}
+  Analyzer(const CfgFunction &F, const VarEnv &Env, bool UseWto = true)
+      : F(F), Env(Env), UseWto(UseWto) {}
 
   AnalysisResult analyze(const ProductGraph &G) const;
 
@@ -61,9 +108,14 @@ public:
   /// branch condition for the side E takes.
   Dbm transferEdge(const Dbm &In, const Edge &E) const;
 
+  /// Applies just the branch-condition half of transferEdge to \p Out,
+  /// which must already be the post-block state of E.From.
+  void applyBranch(Dbm &Out, const Edge &E) const;
+
 private:
   const CfgFunction &F;
   const VarEnv &Env;
+  const bool UseWto;
 };
 
 } // namespace blazer

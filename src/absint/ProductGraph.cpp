@@ -19,6 +19,16 @@ int ProductGraph::indexOf(int Block, int State) const {
   return It == Index.end() ? -1 : It->second;
 }
 
+std::vector<std::vector<int>> ProductGraph::successorIds() const {
+  std::vector<std::vector<int>> Adj(Nodes.size());
+  for (size_t Id = 0; Id < Nodes.size(); ++Id) {
+    Adj[Id].reserve(Succs[Id].size());
+    for (const Arc &A : Succs[Id])
+      Adj[Id].push_back(A.To);
+  }
+  return Adj;
+}
+
 ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
                                  const EdgeAlphabet &A) {
   AnalysisBudget *Budget = BudgetScope::current();
@@ -30,9 +40,14 @@ ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
     Node N;
     std::vector<std::pair<int, Edge>> Succ; ///< (raw succ id, edge).
   };
-  std::map<std::pair<int, int>, int> RawIndex;
+  std::unordered_map<std::pair<int, int>, int, BlockStateHash> RawIndex;
   std::vector<Raw> Raws;
   std::deque<int> Work;
+  // Most products stay near |blocks| x a small number of live DFA states;
+  // reserving that ballpark avoids rehash/regrow churn in the hot loop.
+  size_t Guess = F.blockCount() * 4 + 16;
+  RawIndex.reserve(Guess);
+  Raws.reserve(Guess);
 
   auto Intern = [&](int Block, int State) -> int {
     auto [It, New] = RawIndex.try_emplace({Block, State},
@@ -94,13 +109,17 @@ ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
         Back.push_back(P);
       }
   }
-  int RawEntry = RawIndex.count({F.Entry, D.start()})
-                     ? RawIndex[{F.Entry, D.start()}]
-                     : -1;
+  auto RawEntryIt = RawIndex.find({F.Entry, D.start()});
+  int RawEntry = RawEntryIt == RawIndex.end() ? -1 : RawEntryIt->second;
   if (RawEntry < 0 || !Keep[RawEntry])
     return G; // No complete trace survives the trail restriction.
 
   // Renumber survivors.
+  size_t Survivors = 0;
+  for (size_t Id = 0; Id < Raws.size(); ++Id)
+    Survivors += Keep[Id];
+  G.Nodes.reserve(Survivors);
+  G.Index.reserve(Survivors);
   std::vector<int> Remap(Raws.size(), -1);
   for (size_t Id = 0; Id < Raws.size(); ++Id) {
     if (!Keep[Id])
@@ -110,15 +129,16 @@ ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
     G.Index[{Raws[Id].N.Block, Raws[Id].N.State}] = Remap[Id];
   }
   G.Succs.resize(G.Nodes.size());
-  G.Preds.resize(G.Nodes.size());
+  G.InArcs.resize(G.Nodes.size());
   for (size_t Id = 0; Id < Raws.size(); ++Id) {
     if (!Keep[Id])
       continue;
+    G.Succs[Remap[Id]].reserve(Raws[Id].Succ.size());
     for (const auto &[S, E] : Raws[Id].Succ) {
       if (!Keep[S])
         continue;
       G.Succs[Remap[Id]].push_back(Arc{Remap[S], E});
-      G.Preds[Remap[S]].push_back(Remap[Id]);
+      G.InArcs[Remap[S]].push_back(InArc{Remap[Id], E});
     }
   }
   G.Entry = Remap[RawEntry];
@@ -132,6 +152,7 @@ ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
   std::vector<std::pair<int, size_t>> Stack{{G.Entry, 0}};
   Seen[G.Entry] = true;
   std::vector<int> Post;
+  Post.reserve(G.Nodes.size());
   while (!Stack.empty()) {
     auto &[N, I] = Stack.back();
     if (I < G.Succs[N].size()) {

@@ -10,6 +10,10 @@
 /// a trail describes. Nodes are (block, dfa-state) pairs reachable from the
 /// initial pair that can still complete to an accepted trace.
 ///
+/// The graph stores both outgoing and incoming arc lists: the fixpoint
+/// engine joins a node's entry state over exactly its in-arcs (predecessor
+/// id + CFG edge), without rescanning every predecessor's successor list.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BLAZER_ABSINT_PRODUCTGRAPH_H
@@ -18,10 +22,28 @@
 #include "automata/Automaton.h"
 #include "ir/Cfg.h"
 
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace blazer {
+
+/// Hash for (block, state) pairs: both halves are small non-negative ints,
+/// packed into one 64-bit word and mixed (splitmix64 finalizer), so the
+/// flat node index behaves well without tree-map allocation churn.
+struct BlockStateHash {
+  size_t operator()(const std::pair<int, int> &P) const {
+    uint64_t X = (static_cast<uint64_t>(static_cast<uint32_t>(P.first))
+                  << 32) |
+                 static_cast<uint32_t>(P.second);
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ULL;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebULL;
+    X ^= X >> 31;
+    return static_cast<size_t>(X);
+  }
+};
 
 /// The trimmed product graph.
 class ProductGraph {
@@ -34,6 +56,11 @@ public:
     int To = -1;  ///< Target node id.
     Edge CfgEdge; ///< The underlying CFG edge.
   };
+  /// An incoming arc: the source node plus the CFG edge it rides.
+  struct InArc {
+    int From = -1; ///< Source node id.
+    Edge CfgEdge;  ///< The underlying CFG edge.
+  };
 
   /// Builds the product of \p F and trail automaton \p D over alphabet
   /// \p A. The result is empty() when the trail admits no complete trace
@@ -45,7 +72,9 @@ public:
   size_t size() const { return Nodes.size(); }
   const Node &node(int Id) const { return Nodes[Id]; }
   const std::vector<Arc> &successors(int Id) const { return Succs[Id]; }
-  const std::vector<int> &predecessors(int Id) const { return Preds[Id]; }
+  /// Incoming arcs of \p Id, in the same deterministic order the arcs were
+  /// created (ascending source id, then the source's successor order).
+  const std::vector<InArc> &inArcs(int Id) const { return InArcs[Id]; }
   int entry() const { return Entry; }
   const std::vector<int> &accepts() const { return Accepts; }
 
@@ -55,11 +84,15 @@ public:
   /// Ids in a fixed reverse-postorder from the entry.
   const std::vector<int> &rpo() const { return Rpo; }
 
+  /// Plain successor-id adjacency (arc targets, in arc order) — the shape
+  /// the scheduling utilities (Wto, tarjanSccs) consume.
+  std::vector<std::vector<int>> successorIds() const;
+
 private:
   std::vector<Node> Nodes;
   std::vector<std::vector<Arc>> Succs;
-  std::vector<std::vector<int>> Preds;
-  std::map<std::pair<int, int>, int> Index;
+  std::vector<std::vector<InArc>> InArcs;
+  std::unordered_map<std::pair<int, int>, int, BlockStateHash> Index;
   std::vector<int> Rpo;
   int Entry = -1;
   std::vector<int> Accepts;

@@ -1,0 +1,156 @@
+//===- Wto.cpp - Weak topological order construction ----------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Wto.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace blazer;
+
+std::vector<int>
+blazer::reversePostorder(const std::vector<std::vector<int>> &Succs,
+                         int Entry, const std::vector<char> *Mask) {
+  std::vector<int> Rpo;
+  size_t N = Succs.size();
+  if (Entry < 0 || static_cast<size_t>(Entry) >= N ||
+      (Mask && !(*Mask)[Entry]))
+    return Rpo;
+  std::vector<char> Seen(N, 0);
+  std::vector<std::pair<int, size_t>> Stack{{Entry, 0}};
+  Seen[Entry] = 1;
+  std::vector<int> Post;
+  Post.reserve(N);
+  while (!Stack.empty()) {
+    auto &[V, I] = Stack.back();
+    if (I < Succs[V].size()) {
+      int S = Succs[V][I++];
+      if (Seen[S] || (Mask && !(*Mask)[S]))
+        continue;
+      Seen[S] = 1;
+      Stack.push_back({S, 0});
+      continue;
+    }
+    Post.push_back(V);
+    Stack.pop_back();
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  return Rpo;
+}
+
+namespace {
+
+/// Recursive hierarchical SCC decomposition. Each level receives a masked
+/// subgraph and emits its SCCs in topological order; a non-trivial SCC
+/// emits its head (the member with the smallest RPO index, i.e. the loop's
+/// natural entry for reducible shapes), then decomposes the SCC minus the
+/// head one level deeper. Every cycle of the original graph lies within
+/// some SCC at some level and passes through that SCC's removed head, so
+/// the heads cover all cycles regardless of reducibility.
+class Builder {
+public:
+  Builder(const std::vector<std::vector<int>> &Succs,
+          const std::vector<int> &RpoIndex, std::vector<Wto::Item> &Items,
+          std::vector<char> &HeadNode, size_t &Heads)
+      : Succs(Succs), RpoIndex(RpoIndex), Items(Items), HeadNode(HeadNode),
+        Heads(Heads) {}
+
+  /// Decomposes the subgraph induced by \p Mask, whose members are
+  /// \p Members listed in RPO order.
+  void decompose(std::vector<char> &Mask, const std::vector<int> &Members) {
+    auto Degree = [&](int V) { return Succs[V].size(); };
+    auto SuccAt = [&](int V, size_t I) { return Succs[V][I]; };
+    std::vector<std::vector<int>> Sccs =
+        tarjanSccs(Succs.size(), &Mask, &Members, Degree, SuccAt);
+    // Tarjan emits successor components first; reverse for topo order.
+    for (size_t C = Sccs.size(); C-- > 0;) {
+      std::vector<int> &Comp = Sccs[C];
+      if (Comp.size() == 1 && !hasSelfArc(Comp[0])) {
+        Items.push_back({Comp[0], Items.size() + 1, /*Head=*/false});
+        continue;
+      }
+      // Head: the member entered first in the whole graph's RPO.
+      int Head = Comp[0];
+      for (int V : Comp)
+        if (RpoIndex[V] < RpoIndex[Head])
+          Head = V;
+      size_t HeadIdx = Items.size();
+      Items.push_back({Head, 0, /*Head=*/true}); // End patched below.
+      HeadNode[Head] = 1;
+      ++Heads;
+
+      // Body: the SCC minus its head, in RPO order, one level deeper.
+      std::sort(Comp.begin(), Comp.end(),
+                [&](int A, int B) { return RpoIndex[A] < RpoIndex[B]; });
+      std::vector<int> Body;
+      Body.reserve(Comp.size() - 1);
+      for (int V : Comp)
+        if (V != Head)
+          Body.push_back(V);
+      std::vector<char> SubMask(Succs.size(), 0);
+      for (int V : Body)
+        SubMask[V] = 1;
+      decompose(SubMask, Body);
+      Items[HeadIdx].End = Items.size();
+    }
+  }
+
+private:
+  bool hasSelfArc(int V) const {
+    for (int S : Succs[V])
+      if (S == V)
+        return true;
+    return false;
+  }
+
+  const std::vector<std::vector<int>> &Succs;
+  const std::vector<int> &RpoIndex;
+  std::vector<Wto::Item> &Items;
+  std::vector<char> &HeadNode;
+  size_t &Heads;
+};
+
+} // namespace
+
+Wto Wto::build(const std::vector<std::vector<int>> &Succs, int Entry) {
+  Wto W;
+  size_t N = Succs.size();
+  W.HeadNode.assign(N, 0);
+  std::vector<int> Rpo = reversePostorder(Succs, Entry);
+  if (Rpo.empty())
+    return W;
+  std::vector<int> RpoIndex(N, -1);
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = static_cast<int>(I);
+  std::vector<char> Mask(N, 0);
+  for (int V : Rpo)
+    Mask[V] = 1;
+  W.Items.reserve(Rpo.size());
+  Builder B(Succs, RpoIndex, W.Items, W.HeadNode, W.Heads);
+  B.decompose(Mask, Rpo);
+  assert(W.Items.size() == Rpo.size() &&
+         "WTO must list every reachable node exactly once");
+  return W;
+}
+
+std::string Wto::str() const {
+  std::ostringstream OS;
+  std::vector<size_t> OpenEnds;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (I)
+      OS << ' ';
+    if (isHead(I)) {
+      OS << '(';
+      OpenEnds.push_back(Items[I].End);
+    }
+    OS << Items[I].Node;
+    while (!OpenEnds.empty() && OpenEnds.back() == I + 1) {
+      OS << ')';
+      OpenEnds.pop_back();
+    }
+  }
+  return OS.str();
+}

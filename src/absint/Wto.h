@@ -1,0 +1,163 @@
+//===- Wto.h - Weak topological order and SCC scheduling utils --*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixpoint scheduling utilities shared by the abstract interpreter and the
+/// bound analysis:
+///
+///  - Wto: a Bourdoncle-style weak topological order of a directed graph,
+///    computed by hierarchical SCC decomposition (topologically ordered
+///    SCCs; each non-trivial SCC contributes a *component* whose head is
+///    its earliest node in reverse postorder, with the rest decomposed
+///    recursively after the head is removed). Every cycle of the graph
+///    passes through at least one component head, so the heads form an
+///    admissible widening set, and the flattened item sequence drives the
+///    recursive iteration strategy: iterate a component until its head
+///    stabilizes before moving past it.
+///
+///  - tarjanSccs: the iterative Tarjan strongly-connected-components walk
+///    (successor components emitted first), over any successor accessor.
+///    Used by Wto::build and by the bound analysis' region folding.
+///
+///  - reversePostorder: DFS reverse postorder over a masked subgraph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_WTO_H
+#define BLAZER_ABSINT_WTO_H
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// Iterative Tarjan SCCs of the subgraph induced by \p Mask (null = whole
+/// graph), seeded from \p Seeds in order (null = 0..N-1). \p Degree(n)
+/// yields the successor count of node n and \p SuccAt(n, i) its i-th
+/// successor; successors outside the mask are skipped. Components are
+/// emitted successors-first (reverse topological order), each as a vector
+/// of node ids in Tarjan stack-pop order.
+template <typename DegreeFn, typename SuccAtFn>
+std::vector<std::vector<int>>
+tarjanSccs(size_t N, const std::vector<char> *Mask,
+           const std::vector<int> *Seeds, DegreeFn Degree, SuccAtFn SuccAt) {
+  std::vector<std::vector<int>> Out;
+  std::vector<int> Index(N, -1), Low(N, 0);
+  std::vector<char> OnStack(N, 0);
+  std::vector<int> Stack;
+  int Next = 0;
+  struct Frame {
+    int Node;
+    size_t SuccIdx;
+  };
+  std::vector<Frame> Frames;
+  auto InMask = [&](int V) { return !Mask || (*Mask)[V]; };
+  size_t SeedCount = Seeds ? Seeds->size() : N;
+  for (size_t SeedIdx = 0; SeedIdx < SeedCount; ++SeedIdx) {
+    int Start = Seeds ? (*Seeds)[SeedIdx] : static_cast<int>(SeedIdx);
+    if (!InMask(Start) || Index[Start] >= 0)
+      continue;
+    Frames.assign(1, {Start, 0});
+    Index[Start] = Low[Start] = Next++;
+    Stack.push_back(Start);
+    OnStack[Start] = 1;
+    while (!Frames.empty()) {
+      Frame &Fr = Frames.back();
+      size_t Deg = Degree(Fr.Node);
+      bool Descended = false;
+      while (Fr.SuccIdx < Deg) {
+        int S = SuccAt(Fr.Node, Fr.SuccIdx++);
+        if (!InMask(S))
+          continue;
+        if (Index[S] < 0) {
+          Index[S] = Low[S] = Next++;
+          Stack.push_back(S);
+          OnStack[S] = 1;
+          Frames.push_back({S, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[S])
+          Low[Fr.Node] = std::min(Low[Fr.Node], Index[S]);
+      }
+      if (Descended)
+        continue;
+      int B = Fr.Node;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[B]);
+      if (Low[B] == Index[B]) {
+        std::vector<int> Component;
+        while (true) {
+          int X = Stack.back();
+          Stack.pop_back();
+          OnStack[X] = 0;
+          Component.push_back(X);
+          if (X == B)
+            break;
+        }
+        Out.push_back(std::move(Component));
+      }
+    }
+  }
+  return Out;
+}
+
+/// DFS reverse postorder over \p Succs restricted to \p Mask (null = whole
+/// graph), rooted at \p Entry. Nodes unreachable from the entry within the
+/// mask are absent from the result.
+std::vector<int> reversePostorder(const std::vector<std::vector<int>> &Succs,
+                                  int Entry,
+                                  const std::vector<char> *Mask = nullptr);
+
+/// A weak topological order, flattened into an item sequence. Each item is
+/// either a plain vertex or the *head* of a component whose body occupies
+/// the items up to (but excluding) index End; bodies nest. The sequence
+/// lists every node reachable from the entry exactly once.
+class Wto {
+public:
+  struct Item {
+    int Node = -1;
+    /// One-past-the-end item index of this component's span: a head at
+    /// index I owns the body items [I + 1, End). For a plain vertex — and
+    /// for a self-loop component, whose body is empty — End is I + 1.
+    size_t End = 0;
+    /// True when this item heads a component (i.e. it is a widening
+    /// point); the body may be empty (self-loop).
+    bool Head = false;
+  };
+
+  /// Builds the WTO of the graph \p Succs (adjacency by node id) from
+  /// \p Entry. Deterministic: depends only on the adjacency structure.
+  static Wto build(const std::vector<std::vector<int>> &Succs, int Entry);
+
+  const std::vector<Item> &items() const { return Items; }
+  size_t size() const { return Items.size(); }
+  bool empty() const { return Items.empty(); }
+
+  /// True when the item at index \p I heads a component.
+  bool isHead(size_t I) const { return Items[I].Head; }
+  /// True when node \p V heads some component.
+  bool isHeadNode(int V) const {
+    return V >= 0 && V < static_cast<int>(HeadNode.size()) && HeadNode[V];
+  }
+  /// Number of component heads in the sequence.
+  size_t headCount() const { return Heads; }
+
+  /// Bourdoncle's parenthesized notation, e.g. "0 1 (2 3 (4 5)) 6".
+  std::string str() const;
+
+private:
+  std::vector<Item> Items;
+  std::vector<char> HeadNode; ///< Indexed by node id.
+  size_t Heads = 0;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_WTO_H

@@ -55,11 +55,13 @@ const std::vector<BenchmarkProgram> &allBenchmarks();
 /// sequential, 0 = hardware concurrency); see BlazerOptions::Jobs.
 /// \p UseCache maps to BlazerOptions::UseTrailCache; \p SharedCache (may
 /// be null) to BlazerOptions::SharedTrailCache, letting bench drivers keep
-/// one cache warm across repeated runs of the same benchmark.
+/// one cache warm across repeated runs of the same benchmark. \p Fifo maps
+/// to BlazerOptions::FifoFixpoint (the legacy zone-fixpoint scheduler).
 BlazerResult runBenchmark(const BenchmarkProgram &B,
                           const BudgetLimits &Limits = {}, int Jobs = 1,
                           bool UseCache = true,
-                          std::shared_ptr<TrailBoundCache> SharedCache = nullptr);
+                          std::shared_ptr<TrailBoundCache> SharedCache = nullptr,
+                          bool Fifo = false);
 
 /// Lookup by name; null when absent.
 const BenchmarkProgram *findBenchmark(const std::string &Name);

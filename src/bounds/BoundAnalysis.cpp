@@ -6,6 +6,7 @@
 
 #include "bounds/BoundAnalysis.h"
 
+#include "absint/Wto.h"
 #include "support/Budget.h"
 #include "support/ThreadPool.h"
 
@@ -30,17 +31,21 @@ std::string TrailBoundResult::str() const {
 
 BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
                              std::map<std::string, int64_t> InputPins,
-                             ThreadPool *PoolIn, TrailBoundCache *CacheIn)
+                             ThreadPool *PoolIn, TrailBoundCache *CacheIn,
+                             bool FifoFixpoint)
     : F(Fn), A(EdgeAlphabet::forFunction(Fn)), Env(Fn, std::move(InputPins)),
-      Az(Fn, Env), Pool(PoolIn), Cache(CacheIn) {
+      Az(Fn, Env, /*UseWto=*/!FifoFixpoint), Pool(PoolIn), Cache(CacheIn) {
   if (!Cache)
     return;
   // Everything a TrailBoundResult depends on besides the trail language:
   // the function's identity and shape, the cost of every block (the
-  // machine model applied to its instructions), and the pinned inputs. Two
-  // functions agreeing on all of this and on a trail's canonical DFA
-  // necessarily get the same bounds, so sharing a cache across drivers is
-  // sound.
+  // machine model applied to its instructions), the pinned inputs, and the
+  // fixpoint scheduler. Two functions agreeing on all of this and on a
+  // trail's canonical DFA necessarily get the same bounds, so sharing a
+  // cache across drivers is sound. (The schedulers are expected to agree
+  // too, but salting by scheduler keeps A/B runs honest: a FIFO run never
+  // serves WTO-computed entries, so a differential test actually exercises
+  // both engines.)
   std::ostringstream Salt;
   Salt << F.Name << '/' << F.blockCount() << '/' << F.Entry << '/' << F.Exit;
   for (const BasicBlock &B : F.Blocks)
@@ -51,8 +56,30 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
   Salt << ';';
   for (const auto &[Sym, Val] : Env.inputPins())
     Salt << Sym << '=' << Val << ' ';
+  Salt << ';' << (FifoFixpoint ? "fifo" : "wto");
   Salt << '@';
   CacheSalt = Salt.str();
+}
+
+FixpointStats BoundAnalysis::fixpointStats() const {
+  FixpointStats S;
+  S.Pops = Stats.Pops.load(std::memory_order_relaxed);
+  S.Joins = Stats.Joins.load(std::memory_order_relaxed);
+  S.Widenings = Stats.Widenings.load(std::memory_order_relaxed);
+  S.TransferHits = Stats.TransferHits.load(std::memory_order_relaxed);
+  S.TransferMisses = Stats.TransferMisses.load(std::memory_order_relaxed);
+  S.Sweeps = Stats.Sweeps.load(std::memory_order_relaxed);
+  return S;
+}
+
+void BoundAnalysis::accumulateStats(const FixpointStats &S) const {
+  Stats.Pops.fetch_add(S.Pops, std::memory_order_relaxed);
+  Stats.Joins.fetch_add(S.Joins, std::memory_order_relaxed);
+  Stats.Widenings.fetch_add(S.Widenings, std::memory_order_relaxed);
+  Stats.TransferHits.fetch_add(S.TransferHits, std::memory_order_relaxed);
+  Stats.TransferMisses.fetch_add(S.TransferMisses,
+                                 std::memory_order_relaxed);
+  Stats.Sweeps.fetch_add(S.Sweeps, std::memory_order_relaxed);
 }
 
 Dfa BoundAnalysis::mostGeneralTrail() const { return Dfa::fromCfg(F, A); }
@@ -255,66 +282,15 @@ private:
   //===------------------------------------------------------------------===//
 
   /// Tarjan SCCs of the subgraph induced by \p InRegion, emitted in reverse
-  /// topological order (successor components first).
+  /// topological order (successor components first). Delegates to the
+  /// shared scheduling utility; seeds in ascending id order reproduce the
+  /// historical emission order exactly.
   std::vector<std::vector<int>>
   sccsOf(const std::vector<char> &InRegion) const {
-    std::vector<std::vector<int>> Out;
-    size_t N = G.size();
-    std::vector<int> Index(N, -1), Low(N, 0);
-    std::vector<char> OnStack(N, 0);
-    std::vector<int> Stack;
-    int Next = 0;
-    struct Frame {
-      int Node;
-      size_t SuccIdx;
-    };
-    for (size_t Start = 0; Start < N; ++Start) {
-      if (!InRegion[Start] || Index[Start] >= 0)
-        continue;
-      std::vector<Frame> Frames{{static_cast<int>(Start), 0}};
-      Index[Start] = Low[Start] = Next++;
-      Stack.push_back(static_cast<int>(Start));
-      OnStack[Start] = 1;
-      while (!Frames.empty()) {
-        Frame &Fr = Frames.back();
-        const auto &Ss = Succs[Fr.Node];
-        bool Descended = false;
-        while (Fr.SuccIdx < Ss.size()) {
-          int S = Ss[Fr.SuccIdx++].first;
-          if (!InRegion[S])
-            continue;
-          if (Index[S] < 0) {
-            Index[S] = Low[S] = Next++;
-            Stack.push_back(S);
-            OnStack[S] = 1;
-            Frames.push_back({S, 0});
-            Descended = true;
-            break;
-          }
-          if (OnStack[S])
-            Low[Fr.Node] = std::min(Low[Fr.Node], Index[S]);
-        }
-        if (Descended)
-          continue;
-        int B = Fr.Node;
-        Frames.pop_back();
-        if (!Frames.empty())
-          Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[B]);
-        if (Low[B] == Index[B]) {
-          std::vector<int> Component;
-          while (true) {
-            int X = Stack.back();
-            Stack.pop_back();
-            OnStack[X] = 0;
-            Component.push_back(X);
-            if (X == B)
-              break;
-          }
-          Out.push_back(std::move(Component));
-        }
-      }
-    }
-    return Out;
+    return tarjanSccs(
+        G.size(), &InRegion, /*Seeds=*/nullptr,
+        [&](int V) { return Succs[V].size(); },
+        [&](int V, size_t I) { return Succs[V][I].first; });
   }
 
   bool hasSelfArc(int Id) const {
@@ -835,12 +811,24 @@ private:
       return D;
     };
 
-    // Fixpoint over in-SCC arcs that do not re-enter the header.
+    // Fixpoint over in-SCC arcs that do not re-enter the header, iterated
+    // in reverse postorder from the header (shared scheduling utility):
+    // the join is monotone and order-independent, so the least fixpoint is
+    // unchanged, but a topological-ish order converges in far fewer
+    // rounds than the arbitrary Tarjan pop order of Comp.
+    std::vector<std::vector<int>> SubAdj(G.size());
+    for (int N : Comp)
+      for (const auto &[To, E] : Succs[N]) {
+        (void)E;
+        if (CSet.count(To) && To != H)
+          SubAdj[N].push_back(To);
+      }
+    std::vector<int> Order = reversePostorder(SubAdj, H);
     bool Changed = true;
     int Guard2 = 0;
     while (Changed && ++Guard2 < 1000) {
       Changed = false;
-      for (int N : Comp) {
+      for (int N : Order) {
         auto It = Entry.find(N);
         if (It == Entry.end())
           continue;
@@ -1071,6 +1059,7 @@ TrailBoundResult BoundAnalysis::analyzeTrailUncached(const Dfa &TrailDfa) const 
   if (G.empty())
     return Res;
   AnalysisResult AR = Az.analyze(G);
+  accumulateStats(AR.Stats);
   if (Budget && Budget->exhausted())
     return Degraded(); // Interrupted ascent: states are untrustworthy.
   RegionEngine Engine(F, Env, Az, G, AR, Pool);

@@ -37,6 +37,8 @@
 #include "support/Bound.h"
 #include "support/TrailBoundCache.h"
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -87,11 +89,13 @@ public:
   /// trail fingerprint; null disables memoization. The cache may be shared
   /// across functions: keys carry a salt of everything the result depends
   /// on besides the trail language (function name/shape, per-block costs,
-  /// input pins).
+  /// input pins, fixpoint scheduler). \p FifoFixpoint selects the legacy
+  /// FIFO worklist scheduler instead of the default WTO one (A/B lever).
   explicit BoundAnalysis(const CfgFunction &F,
                          std::map<std::string, int64_t> InputPins = {},
                          ThreadPool *Pool = nullptr,
-                         TrailBoundCache *Cache = nullptr);
+                         TrailBoundCache *Cache = nullptr,
+                         bool FifoFixpoint = false);
 
   const EdgeAlphabet &alphabet() const { return A; }
   const VarEnv &env() const { return Env; }
@@ -102,10 +106,18 @@ public:
   /// The most general trail's automaton (the whole CFG).
   Dfa mostGeneralTrail() const;
 
+  /// Accumulated zone-fixpoint work counters across every analyzeTrail run
+  /// by this engine (cache hits do no fixpoint work and contribute
+  /// nothing). Safe to read concurrently; the snapshot is per-counter
+  /// consistent, not cross-counter atomic.
+  FixpointStats fixpointStats() const;
+
 private:
   /// The product/fixpoint/region pipeline behind analyzeTrail, without the
   /// memoization wrapper.
   TrailBoundResult analyzeTrailUncached(const Dfa &TrailDfa) const;
+
+  void accumulateStats(const FixpointStats &S) const;
 
   const CfgFunction &F;
   EdgeAlphabet A;
@@ -115,6 +127,15 @@ private:
   TrailBoundCache *Cache;
   /// Key prefix distinguishing this function's results in a shared cache.
   std::string CacheSalt;
+  /// Fixpoint work counters, accumulated from concurrent trail queries.
+  struct {
+    std::atomic<uint64_t> Pops{0};
+    std::atomic<uint64_t> Joins{0};
+    std::atomic<uint64_t> Widenings{0};
+    std::atomic<uint64_t> TransferHits{0};
+    std::atomic<uint64_t> TransferMisses{0};
+    std::atomic<uint64_t> Sweeps{0};
+  } mutable Stats;
 };
 
 } // namespace blazer

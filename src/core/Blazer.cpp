@@ -75,7 +75,8 @@ public:
         TrailCache(!Options.UseTrailCache        ? nullptr
                    : Options.SharedTrailCache    ? Options.SharedTrailCache
                                                  : std::make_shared<TrailBoundCache>()),
-        BA(F, Options.Observer.pinnedSymbols(), &Pool, TrailCache.get()),
+        BA(F, Options.Observer.pinnedSymbols(), &Pool, TrailCache.get(),
+           Options.FifoFixpoint),
         Budget(Options.Budget) {
     // Boolean parameters range over {0,1} regardless of the configured
     // default input maximum.
@@ -117,6 +118,7 @@ public:
     R.Usage = Budget.usage();
     if (TrailCache)
       R.CacheStats = TrailCache->stats();
+    R.Fixpoint = BA.fixpointStats();
     return R;
   }
 

@@ -93,6 +93,12 @@ struct BlazerOptions {
   /// Null: the driver creates a private cache for the run (when
   /// UseTrailCache). Ignored when UseTrailCache is false.
   std::shared_ptr<TrailBoundCache> SharedTrailCache;
+  /// Drive the zone fixpoint with the legacy FIFO worklist instead of the
+  /// default weak-topological-order scheduler. Verdicts, bounds, and
+  /// treeString output are byte-identical under either scheduler; only the
+  /// work — and hence BlazerResult::Fixpoint — differs. --fixpoint=fifo
+  /// maps here for A/B measurement.
+  bool FifoFixpoint = false;
 };
 
 /// Everything the analysis produced.
@@ -116,6 +122,10 @@ struct BlazerResult {
   /// cumulative across runs when BlazerOptions::SharedTrailCache reuses
   /// one cache.
   TrailCacheStats CacheStats;
+  /// Zone-fixpoint work counters accumulated over every trail analyzed
+  /// (pops, joins, widenings, transfer-memo hit rate). Diagnostics only —
+  /// they vary with the scheduler and cache hits, unlike the verdict.
+  FixpointStats Fixpoint;
 
   /// Pretty-prints the trail tree with bound balloons, Figure-1 style.
   std::string treeString(const CfgFunction &F) const;

@@ -1,0 +1,351 @@
+//===- FixpointSchedulerTest.cpp - WTO vs FIFO differential suite ----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The zone fixpoint promises scheduler-independent results: the default
+/// WTO engine and the legacy FIFO worklist must produce byte-identical
+/// verdicts, bounds, rendered trees, attack specifications, and
+/// degradation reasons — at any job count. This harness checks that over
+/// all 24 Table-1 benchmarks and the samples/*.blz programs, checks the
+/// raw per-node invariants at the Analyzer level, verifies that
+/// budget-tripped runs never report Safe under either scheduler, and unit
+/// tests the weak-topological-order construction on straight-line, simply
+/// looped, nested, self-looped, irreducible, and entry-in-loop shapes.
+///
+/// Work counters (ResourceUsage, FixpointStats) are deliberately NOT
+/// compared across schedulers: iterating in a different order does a
+/// different amount of work — that is the point — while the semantics must
+/// not move.
+///
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+#include "absint/ProductGraph.h"
+#include "absint/Wto.h"
+#include "benchmarks/Benchmarks.h"
+#include "bounds/BoundAnalysis.h"
+#include "core/Blazer.h"
+#include "ir/Cfg.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// WTO construction
+//===----------------------------------------------------------------------===//
+
+/// True when the subgraph of \p Succs obtained by deleting every node V
+/// with HeadNode(V) still contains a cycle — i.e. the heads were NOT an
+/// admissible widening set.
+bool cycleAvoidingHeads(const std::vector<std::vector<int>> &Succs,
+                        const Wto &W) {
+  size_t N = Succs.size();
+  // Iterative DFS with colors over non-head nodes.
+  std::vector<int> Color(N, 0); // 0 white, 1 gray, 2 black.
+  for (size_t Root = 0; Root < N; ++Root) {
+    if (Color[Root] != 0 || W.isHeadNode(static_cast<int>(Root)))
+      continue;
+    std::vector<std::pair<int, size_t>> Stack{{static_cast<int>(Root), 0}};
+    Color[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[V, I] = Stack.back();
+      if (I < Succs[V].size()) {
+        int S = Succs[V][I++];
+        if (W.isHeadNode(S))
+          continue;
+        if (Color[S] == 1)
+          return true; // Back edge among non-heads: uncovered cycle.
+        if (Color[S] == 0) {
+          Color[S] = 1;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      Color[V] = 2;
+      Stack.pop_back();
+    }
+  }
+  return false;
+}
+
+TEST(WtoTest, StraightLineHasNoHeads) {
+  std::vector<std::vector<int>> Succs = {{1}, {2}, {}};
+  Wto W = Wto::build(Succs, 0);
+  EXPECT_EQ(W.str(), "0 1 2");
+  EXPECT_EQ(W.headCount(), 0u);
+  EXPECT_FALSE(cycleAvoidingHeads(Succs, W));
+}
+
+TEST(WtoTest, SimpleLoop) {
+  // 0 -> 1 -> 2 -> {1, 3}
+  std::vector<std::vector<int>> Succs = {{1}, {2}, {1, 3}, {}};
+  Wto W = Wto::build(Succs, 0);
+  EXPECT_EQ(W.str(), "0 (1 2) 3");
+  EXPECT_EQ(W.headCount(), 1u);
+  EXPECT_TRUE(W.isHeadNode(1));
+  EXPECT_FALSE(W.isHeadNode(2));
+  EXPECT_FALSE(cycleAvoidingHeads(Succs, W));
+}
+
+TEST(WtoTest, SelfLoopIsAHeadWithEmptyBody) {
+  // 0 -> 1 -> {1, 2}: node 1's component has no body, yet it must widen.
+  std::vector<std::vector<int>> Succs = {{1}, {1, 2}, {}};
+  Wto W = Wto::build(Succs, 0);
+  EXPECT_EQ(W.str(), "0 (1) 2");
+  EXPECT_EQ(W.headCount(), 1u);
+  EXPECT_TRUE(W.isHeadNode(1));
+  EXPECT_FALSE(cycleAvoidingHeads(Succs, W));
+}
+
+TEST(WtoTest, NestedLoops) {
+  // 0 -> (1 -> (2 <-> 3) -> 4 -> back to 1) -> 5
+  std::vector<std::vector<int>> Succs = {{1}, {2}, {3}, {2, 4}, {1, 5}, {}};
+  Wto W = Wto::build(Succs, 0);
+  EXPECT_EQ(W.str(), "0 (1 (2 3) 4) 5");
+  EXPECT_EQ(W.headCount(), 2u);
+  EXPECT_TRUE(W.isHeadNode(1));
+  EXPECT_TRUE(W.isHeadNode(2));
+  EXPECT_FALSE(cycleAvoidingHeads(Succs, W));
+}
+
+TEST(WtoTest, IrreducibleLoopStillCoversItsCycle) {
+  // The SCC {1, 2} has two entries (0 -> 1 and 0 -> 2): no natural-loop
+  // header exists, but the WTO head must still cut the cycle.
+  std::vector<std::vector<int>> Succs = {{1, 2}, {2, 3}, {1}, {}};
+  Wto W = Wto::build(Succs, 0);
+  EXPECT_EQ(W.headCount(), 1u);
+  EXPECT_FALSE(cycleAvoidingHeads(Succs, W));
+  // Every node appears exactly once.
+  std::vector<int> Seen(Succs.size(), 0);
+  for (const Wto::Item &It : W.items())
+    ++Seen[It.Node];
+  for (size_t V = 0; V < Succs.size(); ++V)
+    EXPECT_EQ(Seen[V], 1) << "node " << V;
+}
+
+TEST(WtoTest, EntryInsideALoop) {
+  // 0 <-> 1, 1 -> 2: the component head is the entry itself.
+  std::vector<std::vector<int>> Succs = {{1}, {0, 2}, {}};
+  Wto W = Wto::build(Succs, 0);
+  EXPECT_EQ(W.str(), "(0 1) 2");
+  EXPECT_TRUE(W.isHeadNode(0));
+  EXPECT_FALSE(cycleAvoidingHeads(Succs, W));
+}
+
+TEST(WtoTest, UnreachableNodesAreOmitted) {
+  std::vector<std::vector<int>> Succs = {{1}, {}, {1}}; // 2 unreachable.
+  Wto W = Wto::build(Succs, 0);
+  EXPECT_EQ(W.str(), "0 1");
+  EXPECT_EQ(W.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer-level invariant identity
+//===----------------------------------------------------------------------===//
+
+/// Both schedulers must compute the same per-node entry states (as zone
+/// elements, i.e. mutually leq) on the most-general product of every
+/// benchmark.
+TEST(SchedulerInvariants, EntryStatesAgreeOnMostGeneralProducts) {
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    SCOPED_TRACE(B.Name);
+    CfgFunction F = B.compile();
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty());
+    Analyzer AzWto(F, BA.env(), /*UseWto=*/true);
+    Analyzer AzFifo(F, BA.env(), /*UseWto=*/false);
+    AnalysisResult RW = AzWto.analyze(G);
+    AnalysisResult RF = AzFifo.analyze(G);
+    ASSERT_EQ(RW.EntryState.size(), RF.EntryState.size());
+    for (size_t Id = 0; Id < RW.EntryState.size(); ++Id) {
+      EXPECT_TRUE(RW.EntryState[Id].leq(RF.EntryState[Id]) &&
+                  RF.EntryState[Id].leq(RW.EntryState[Id]))
+          << "entry states differ at product node " << Id;
+      EXPECT_EQ(RW.Feasible[Id], RF.Feasible[Id]) << "node " << Id;
+    }
+    // The memo must actually serve hits: every product arc beyond a node's
+    // first consults the cached post-block state.
+    EXPECT_GT(RW.Stats.TransferHits + RW.Stats.TransferMisses, 0u);
+    EXPECT_GT(RW.Stats.Pops, 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver-level differential: Table-1 benchmarks
+//===----------------------------------------------------------------------===//
+
+/// The analysis outputs that must not depend on the scheduler. Work
+/// counters are excluded on purpose.
+struct RunFingerprint {
+  std::string Verdict;
+  std::string Tree;
+  std::string Attacks;
+  std::string Degradation;
+};
+
+RunFingerprint fingerprint(const CfgFunction &F, const BlazerResult &R) {
+  RunFingerprint FP;
+  FP.Verdict = verdictName(R.Verdict);
+  FP.Tree = R.treeString(F);
+  std::ostringstream Attacks;
+  for (const AttackSpec &Spec : R.Attacks)
+    Attacks << Spec.str() << "\n";
+  FP.Attacks = Attacks.str();
+  FP.Degradation = R.Degradation.str();
+  return FP;
+}
+
+void expectIdentical(const RunFingerprint &A, const RunFingerprint &B,
+                     const std::string &What) {
+  SCOPED_TRACE(What);
+  EXPECT_EQ(A.Verdict, B.Verdict);
+  EXPECT_EQ(A.Tree, B.Tree);
+  EXPECT_EQ(A.Attacks, B.Attacks);
+  EXPECT_EQ(A.Degradation, B.Degradation);
+}
+
+class SchedulerDifferential
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(SchedulerDifferential, WtoAndFifoAgree) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  RunFingerprint Wto = fingerprint(F, runBenchmark(B, {}, 1));
+  for (int Jobs : {1, 8}) {
+    RunFingerprint Fifo = fingerprint(
+        F, runBenchmark(B, {}, Jobs, /*UseCache=*/true,
+                        /*SharedCache=*/nullptr, /*Fifo=*/true));
+    expectIdentical(Fifo, Wto,
+                    B.Name + " fifo jobs=" + std::to_string(Jobs));
+  }
+}
+
+std::vector<const BenchmarkProgram *> benchmarkPointers() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchmarkName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  return Info.param->Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SchedulerDifferential,
+                         ::testing::ValuesIn(benchmarkPointers()),
+                         benchmarkName);
+
+//===----------------------------------------------------------------------===//
+// Budget-tripped runs never report Safe
+//===----------------------------------------------------------------------===//
+
+/// Fail-soft must hold under both schedulers: a run whose budget trips
+/// mid-fixpoint (or anywhere else) may degrade to Unknown but can never
+/// claim Safe.
+TEST(SchedulerBudget, TrippedRunsAreNeverSafe) {
+  BudgetLimits Tight;
+  Tight.MaxJoins = 200; // Trips inside the zone fixpoint on loopy programs.
+  int TrippedRuns = 0;
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    for (bool Fifo : {false, true}) {
+      SCOPED_TRACE(B.Name + (Fifo ? " fifo" : " wto"));
+      BlazerResult R = runBenchmark(B, Tight, 1, /*UseCache=*/true,
+                                    /*SharedCache=*/nullptr, Fifo);
+      if (R.Degradation.tripped()) {
+        ++TrippedRuns;
+        EXPECT_NE(R.Verdict, VerdictKind::Safe);
+      }
+    }
+  }
+  // The limit must actually bite somewhere, or this test checks nothing.
+  EXPECT_GT(TrippedRuns, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Fixpoint stats plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(FixpointStatsPlumbing, CountersReachBlazerResult) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_safe");
+  ASSERT_NE(B, nullptr);
+  BlazerResult R = runBenchmark(*B);
+  EXPECT_GT(R.Fixpoint.Pops, 0u);
+  EXPECT_GT(R.Fixpoint.Joins, 0u);
+  EXPECT_GT(R.Fixpoint.TransferMisses, 0u);
+  // Products have more arcs than nodes here, so the memo must score hits.
+  EXPECT_GT(R.Fixpoint.TransferHits, 0u);
+  double Rate = R.Fixpoint.transferHitRate();
+  EXPECT_GT(Rate, 0.0);
+  EXPECT_LE(Rate, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// samples/*.blz differential
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SAMPLES_DIR
+#error "BLAZER_SAMPLES_DIR must be defined by the build"
+#endif
+
+class SampleSchedulerDifferential
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SampleSchedulerDifferential, WtoAndFifoAgree) {
+  std::string Path = std::string(BLAZER_SAMPLES_DIR) + "/" + GetParam();
+  std::ifstream In(Path);
+  ASSERT_TRUE(In) << "cannot open " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  BuiltinRegistry Registry = BuiltinRegistry::standard();
+  auto Parsed = parseProgram(Buf.str());
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.diag().str();
+  auto P = std::make_shared<Program>(Parsed.take());
+  auto Checked = analyzeProgram(*P, Registry);
+  ASSERT_TRUE(static_cast<bool>(Checked)) << Checked.diag().str();
+
+  for (const auto &Fn : P->Functions) {
+    CfgFunction F = lowerFunction(P, Fn->Name, *Checked, Registry);
+    BlazerOptions Opt;
+    Opt.Jobs = 1;
+    RunFingerprint Wto = fingerprint(F, analyzeFunction(F, Opt));
+    Opt.FifoFixpoint = true;
+    for (int Jobs : {1, 8}) {
+      Opt.Jobs = Jobs;
+      RunFingerprint Fifo = fingerprint(F, analyzeFunction(F, Opt));
+      expectIdentical(Fifo, Wto,
+                      std::string(GetParam()) + ":" + Fn->Name +
+                          " fifo jobs=" + std::to_string(Jobs));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, SampleSchedulerDifferential,
+                         ::testing::Values("adversarial.blz", "modexp.blz",
+                                           "pin_check.blz"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           for (char &C : Name)
+                             if (C == '.')
+                               C = '_';
+                           return Name;
+                         });
+
+} // namespace

@@ -30,6 +30,8 @@
 ///   --max-trail-nodes=N          trail-tree node budget (0 = off)
 ///   --no-cache                   disable the trail-bound memo cache
 ///   --cache-stats                print cache hit/miss/eviction counters
+///   --fixpoint=wto|fifo          zone-fixpoint scheduler (default wto)
+///   --fixpoint-stats             print pops/joins/widenings/memo hit rate
 /// \endcode
 ///
 /// Exit code: 0 when every analyzed function is safe (or capacity-bounded),
@@ -80,6 +82,8 @@ struct CliOptions {
   int64_t MaxTrailNodes = 0;
   bool NoCache = false;
   bool CacheStats = false;
+  std::string Fixpoint = "wto";
+  bool FixpointStatsOut = false;
   std::string File;
   std::vector<std::string> Functions;
 };
@@ -110,7 +114,11 @@ void usage(const char *Prog) {
       "  --max-trail-nodes=N         trail-tree node budget\n"
       "  --no-cache                  disable the trail-bound memo cache\n"
       "  --cache-stats               print cache hit/miss/eviction "
-      "counters\n",
+      "counters\n"
+      "  --fixpoint=wto|fifo         zone-fixpoint scheduler (default "
+      "wto)\n"
+      "  --fixpoint-stats            print pops/joins/widenings/memo hit "
+      "rate\n",
       Prog);
 }
 
@@ -237,6 +245,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
       Opt.NoCache = true;
     } else if (Arg == "--cache-stats") {
       Opt.CacheStats = true;
+    } else if (const char *V = Value("--fixpoint=")) {
+      Opt.Fixpoint = V;
+      if (Opt.Fixpoint != "wto" && Opt.Fixpoint != "fifo") {
+        std::fprintf(stderr, "unknown fixpoint scheduler '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--fixpoint-stats") {
+      Opt.FixpointStatsOut = true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -271,7 +287,22 @@ BlazerOptions toBlazerOptions(const CliOptions &Cli) {
   Opt.Budget.MaxJoins = static_cast<uint64_t>(Cli.MaxJoins);
   Opt.Budget.MaxTrailNodes = static_cast<uint64_t>(Cli.MaxTrailNodes);
   Opt.UseTrailCache = !Cli.NoCache;
+  Opt.FifoFixpoint = Cli.Fixpoint == "fifo";
   return Opt;
+}
+
+/// The --fixpoint-stats line.
+void printFixpointStats(const CliOptions &Cli, const FixpointStats &St) {
+  if (!Cli.FixpointStatsOut)
+    return;
+  std::printf("fixpoint(%s): pops=%llu joins=%llu widenings=%llu "
+              "transfer-hit-rate=%.2f sweeps=%llu\n",
+              Cli.Fixpoint.c_str(),
+              static_cast<unsigned long long>(St.Pops),
+              static_cast<unsigned long long>(St.Joins),
+              static_cast<unsigned long long>(St.Widenings),
+              St.transferHitRate(),
+              static_cast<unsigned long long>(St.Sweeps));
 }
 
 /// The --cache-stats line; "disabled" under --no-cache so scripts can tell
@@ -310,6 +341,7 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
   BlazerResult R = analyzeFunction(F, Opt);
   std::printf("%s", R.treeString(F).c_str());
   printCacheStats(Cli, R.CacheStats);
+  printFixpointStats(Cli, R.Fixpoint);
   for (const AttackSpec &Spec : R.Attacks)
     std::printf("%s\n", Spec.str().c_str());
 
