@@ -138,7 +138,7 @@ void BM_EndToEnd_ModPow1Unsafe_Fifo(benchmark::State &State) {
   const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
   CfgFunction F = B->compile();
   BlazerOptions Opt = B->options();
-  Opt.FifoFixpoint = true;
+  Opt.Engine.Fixpoint = FixpointSched::Fifo;
   for (auto _ : State)
     benchmark::DoNotOptimize(analyzeFunction(F, Opt));
 }

@@ -20,28 +20,19 @@
 /// so the sweep exercises the parallel trail-tree path; verdicts and
 /// bounds are identical at any job count.
 ///
-/// Perf-trajectory knobs (the BENCH_table1.json pipeline):
-///   BLAZER_TABLE1_CACHE=0|1      trail-bound memo cache (default 1). With
-///                                the cache on, runs of the same benchmark
-///                                share one cache, so repetition medians
-///                                measure the warm path the refinement
-///                                driver actually exercises.
-///   BLAZER_TABLE1_FULLCLOSE=0|1  force every DBM addConstraint through
-///                                the full Floyd-Warshall closure
-///                                (default 0) — the pre-incremental
-///                                baseline for A/B timing.
-///   BLAZER_TABLE1_FIFO=0|1       drive the zone fixpoint with the legacy
-///                                FIFO worklist instead of the WTO
-///                                scheduler (default 0) — the
-///                                pre-WTO baseline for A/B timing.
-///   BLAZER_TABLE1_JSON=PATH      write per-benchmark median wall-clock
-///                                milliseconds (plus verdicts, cache and
-///                                fixpoint counters) as one JSON mode
-///                                object.
+/// Engine knobs (the BENCH_table1.json pipeline) come from the EngineConfig
+/// registry: for every knob the canonical BLAZER_TABLE1_<NAME> env var is
+/// read (DOMAIN=cascade|zone|interval-only, FIXPOINT=wto|fifo,
+/// CLOSURE=incremental|full, CACHE=on|off), plus the deprecated 0/1
+/// aliases BLAZER_TABLE1_{FIFO,FULLCLOSE,CACHE} from the pre-unification
+/// drivers. With the cache on, runs of the same benchmark share one cache,
+/// so repetition medians measure the warm path the refinement driver
+/// actually exercises. BLAZER_TABLE1_JSON=PATH writes per-benchmark median
+/// wall-clock milliseconds plus verdicts and the shared engine-telemetry
+/// schema as one JSON mode object.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "absint/Dbm.h"
 #include "benchmarks/Benchmarks.h"
 
 #include <algorithm>
@@ -65,20 +56,6 @@ double median(std::vector<double> Xs) {
   return N % 2 ? Xs[N / 2] : (Xs[N / 2 - 1] + Xs[N / 2]) / 2;
 }
 
-/// 0/1 environment switch; anything else falls back to \p Default with a
-/// warning (mirroring the other BLAZER_TABLE1_* knobs).
-bool envSwitch(const char *Name, bool Default) {
-  const char *V = std::getenv(Name);
-  if (!V)
-    return Default;
-  if (std::string(V) == "0")
-    return false;
-  if (std::string(V) == "1")
-    return true;
-  std::fprintf(stderr, "ignoring malformed %s '%s'\n", Name, V);
-  return Default;
-}
-
 /// One emitted JSON row.
 struct JsonRow {
   std::string Name;
@@ -89,10 +66,7 @@ struct JsonRow {
   bool TimedOut = false;
   double MedianWallMs = 0;
   double MedianSafetyMs = 0;
-  uint64_t CacheHits = 0;
-  uint64_t CacheMisses = 0;
-  uint64_t CacheEvictions = 0;
-  FixpointStats Fixpoint;
+  EngineTelemetry Telemetry;
 };
 
 } // namespace
@@ -124,17 +98,14 @@ int main() {
   }
   BudgetLimits Limits;
   Limits.TimeoutSeconds = Timeout;
-  bool UseCache = envSwitch("BLAZER_TABLE1_CACHE", true);
-  bool FullClose = envSwitch("BLAZER_TABLE1_FULLCLOSE", false);
-  bool Fifo = envSwitch("BLAZER_TABLE1_FIFO", false);
-  Dbm::forceFullClose(FullClose);
+  EngineConfig Engine;
+  Engine.loadEnv("BLAZER_TABLE1");
   const char *JsonPath = std::getenv("BLAZER_TABLE1_JSON");
   std::vector<JsonRow> JsonRows;
 
   std::printf("Table 1: Blazer on the benchmark suite (median of %d runs, "
-              "jobs=%d, cache=%s, closure=%s, fixpoint=%s)\n",
-              Runs, Jobs, UseCache ? "on" : "off",
-              FullClose ? "full" : "incremental", Fifo ? "fifo" : "wto");
+              "jobs=%d, %s)\n",
+              Runs, Jobs, Engine.str().c_str());
   std::printf("%-24s %-12s %5s  %12s  %12s  %-8s %s\n", "Benchmark",
               "Category", "Size", "Safety (s)", "w/Attack (s)", "Verdict",
               "vs paper");
@@ -150,28 +121,31 @@ int main() {
     CfgFunction F = B.compile();
     std::vector<double> SafetyTimes, TotalTimes, WallMs;
     BlazerResult Last;
-    // Summed over all runs: with a warm shared cache the later runs skip
-    // the zone fixpoints entirely, so the cold first run dominates.
-    FixpointStats FixpointTotal;
+    // Fixpoint/cascade work summed over all runs: with a warm shared cache
+    // the later runs skip the fixpoints entirely, so the cold first run
+    // dominates. Cache counters instead come from the last run's snapshot
+    // — the shared cache already accumulates across runs.
+    EngineTelemetry Total;
     // With the cache on, the benchmark's runs share one cache: the first
     // run pays the misses, later runs measure the warm path — the same
     // reuse profile the refinement driver sees across rounds.
     std::shared_ptr<TrailBoundCache> Shared =
-        UseCache ? std::make_shared<TrailBoundCache>() : nullptr;
+        Engine.TrailCache ? std::make_shared<TrailBoundCache>() : nullptr;
     for (int R = 0; R < Runs; ++R) {
       auto W0 = std::chrono::steady_clock::now();
-      BlazerResult Res = runBenchmark(B, Limits, Jobs, UseCache, Shared,
-                                      Fifo);
+      BlazerResult Res = runBenchmark(B, Limits, Jobs, Engine, Shared);
       auto W1 = std::chrono::steady_clock::now();
       WallMs.push_back(
           std::chrono::duration<double, std::milli>(W1 - W0).count());
       SafetyTimes.push_back(Res.SafetySeconds);
       TotalTimes.push_back(Res.TotalSeconds);
-      FixpointTotal.mergeFrom(Res.Fixpoint);
+      Total.Fixpoint.mergeFrom(Res.Telemetry.Fixpoint);
+      Total.Cascade.mergeFrom(Res.Telemetry.Cascade);
       Last = std::move(Res);
       if (Last.Degradation.tripped())
         break; // No point repeating a run that hit its budget.
     }
+    Total.Cache = Last.Telemetry.Cache;
     bool TimedOut = Last.Degradation.tripped();
     bool Match = Last.Verdict == B.Expected;
     // A T/O row records the timeout instead of a verdict mismatch: the
@@ -199,10 +173,7 @@ int main() {
       Row.TimedOut = TimedOut;
       Row.MedianWallMs = median(WallMs);
       Row.MedianSafetyMs = median(SafetyTimes) * 1000.0;
-      Row.CacheHits = Last.CacheStats.Hits;
-      Row.CacheMisses = Last.CacheStats.Misses;
-      Row.CacheEvictions = Last.CacheStats.Evictions;
-      Row.Fixpoint = FixpointTotal;
+      Row.Telemetry = Total;
       JsonRows.push_back(std::move(Row));
     }
   }
@@ -218,13 +189,16 @@ int main() {
     }
     std::fprintf(Out,
                  "{\n"
-                 "  \"mode\": {\"cache\": %s, \"closure\": \"%s\", "
-                 "\"fixpoint\": \"%s\", \"jobs\": %d, \"runs\": %d},\n"
+                 "  \"mode\": {\"domain\": \"%s\", \"cache\": %s, "
+                 "\"closure\": \"%s\", \"fixpoint\": \"%s\", \"jobs\": %d, "
+                 "\"runs\": %d},\n"
                  "  \"verdict_agreement\": \"%d/24\",\n"
                  "  \"benchmarks\": [\n",
-                 UseCache ? "true" : "false",
-                 FullClose ? "full" : "incremental", Fifo ? "fifo" : "wto",
-                 Jobs, Runs, 24 - Mismatches);
+                 Engine.get("domain").c_str(),
+                 Engine.TrailCache ? "true" : "false",
+                 Engine.get("closure").c_str(),
+                 Engine.get("fixpoint").c_str(), Jobs, Runs,
+                 24 - Mismatches);
     for (size_t I = 0; I < JsonRows.size(); ++I) {
       const JsonRow &R = JsonRows[I];
       std::fprintf(
@@ -232,22 +206,10 @@ int main() {
           "    {\"name\": \"%s\", \"category\": \"%s\", \"blocks\": %zu, "
           "\"verdict\": \"%s\", \"match\": %s, \"timed_out\": %s, "
           "\"median_wall_ms\": %.3f, \"median_safety_ms\": %.3f, "
-          "\"cache\": {\"hits\": %llu, \"misses\": %llu, "
-          "\"evictions\": %llu}, "
-          "\"fixpoint\": {\"pops\": %llu, \"joins\": %llu, "
-          "\"widenings\": %llu, \"transfer_hit_rate\": %.4f, "
-          "\"sweeps\": %llu}}%s\n",
+          "\"telemetry\": %s}%s\n",
           R.Name.c_str(), R.Category.c_str(), R.Blocks, R.Verdict.c_str(),
           R.Match ? "true" : "false", R.TimedOut ? "true" : "false",
-          R.MedianWallMs, R.MedianSafetyMs,
-          static_cast<unsigned long long>(R.CacheHits),
-          static_cast<unsigned long long>(R.CacheMisses),
-          static_cast<unsigned long long>(R.CacheEvictions),
-          static_cast<unsigned long long>(R.Fixpoint.Pops),
-          static_cast<unsigned long long>(R.Fixpoint.Joins),
-          static_cast<unsigned long long>(R.Fixpoint.Widenings),
-          R.Fixpoint.transferHitRate(),
-          static_cast<unsigned long long>(R.Fixpoint.Sweeps),
+          R.MedianWallMs, R.MedianSafetyMs, R.Telemetry.json().c_str(),
           I + 1 < JsonRows.size() ? "," : "");
     }
     std::fprintf(Out, "  ]\n}\n");

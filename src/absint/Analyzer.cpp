@@ -14,14 +14,16 @@
 
 using namespace blazer;
 
-Dbm Analyzer::transferBlock(const Dbm &In, int Block) const {
-  Dbm Out = In;
+template <NumericDomain Domain>
+Domain AnalyzerT<Domain>::transferBlock(const Domain &In, int Block) const {
+  Domain Out = In;
   for (const Instr &I : F.block(Block).Instrs)
     Env.transferInstr(Out, I);
   return Out;
 }
 
-void Analyzer::applyBranch(Dbm &Out, const Edge &E) const {
+template <NumericDomain Domain>
+void AnalyzerT<Domain>::applyBranch(Domain &Out, const Edge &E) const {
   const BasicBlock &B = F.block(E.From);
   if (B.Term == BasicBlock::TermKind::Branch) {
     if (B.TrueSucc == B.FalseSucc)
@@ -30,8 +32,9 @@ void Analyzer::applyBranch(Dbm &Out, const Edge &E) const {
   }
 }
 
-Dbm Analyzer::transferEdge(const Dbm &In, const Edge &E) const {
-  Dbm Out = transferBlock(In, E.From);
+template <NumericDomain Domain>
+Domain AnalyzerT<Domain>::transferEdge(const Domain &In, const Edge &E) const {
+  Domain Out = transferBlock(In, E.From);
   applyBranch(Out, E);
   return Out;
 }
@@ -42,23 +45,29 @@ namespace {
 /// the version-stamped post-block memo, and the work counters. Both
 /// schedulers and the descending sweeps share these, so memoized transfers
 /// survive re-pops and carry over into refinement.
-class FixpointRun {
+template <blazer::NumericDomain Domain> class FixpointRun {
+  using Analyzer = blazer::AnalyzerT<Domain>;
+  using Result = blazer::AnalysisResultT<Domain>;
+
 public:
   FixpointRun(const Analyzer &A, const VarEnv &Env, const ProductGraph &G,
-              AnalysisResult &R, AnalysisBudget *Budget)
-      : A(A), Env(Env), G(G), R(R), Budget(Budget),
+              Result &R, AnalysisBudget *Budget,
+              const std::vector<char> *Dead)
+      : A(A), Env(Env), G(G), R(R), Budget(Budget), Dead(Dead),
         N(static_cast<int>(G.size())) {
     // Version 0 means "never computed"; entry states start at version 1 so
     // every node's first post-block lookup is a miss.
-    PostBlock.assign(N, Dbm::bottom(Env.numVars()));
+    PostBlock.assign(N, Domain::bottom(Env.numVars()));
     PostVersion.assign(N, 0);
     StateVersion.assign(N, 1);
     Visits.assign(N, 0);
   }
 
+  bool isDead(int Id) const { return Dead && (*Dead)[Id]; }
+
   /// The post-block state of node \p P's current entry state, computed at
   /// most once per entry-state change and shared by every outgoing arc.
-  const Dbm &postOf(int P) {
+  const Domain &postOf(int P) {
     if (PostVersion[P] == StateVersion[P]) {
       ++R.Stats.TransferHits;
       return PostBlock[P];
@@ -70,12 +79,12 @@ public:
   }
 
   /// Join of the states flowing into \p Id over exactly its in-arcs.
-  Dbm joinOfPreds(int Id) {
+  Domain joinOfPreds(int Id) {
     if (Id == G.entry())
-      return Env.initialState();
-    Dbm Acc = Dbm::bottom(Env.numVars());
+      return Env.template initialState<Domain>();
+    Domain Acc = Domain::bottom(Env.numVars());
     for (const ProductGraph::InArc &IA : G.inArcs(Id)) {
-      Dbm Along = postOf(IA.From);
+      Domain Along = postOf(IA.From);
       A.applyBranch(Along, IA.CfgEdge);
       Acc.joinWith(Along);
       ++R.Stats.Joins;
@@ -83,18 +92,21 @@ public:
     return Acc;
   }
 
-  void setState(int Id, Dbm S) {
+  void setState(int Id, Domain S) {
     R.EntryState[Id] = std::move(S);
     ++StateVersion[Id]; // Invalidate the post-block memo for Id.
   }
 
   /// Recomputes \p Id's entry state; widens when \p AtWidenPoint and the
-  /// warm-up has passed. Returns true when the state grew.
+  /// warm-up has passed. Returns true when the state grew. Dead nodes
+  /// (pinned bottom by the cascade) never change.
   bool updateNode(int Id, bool AtWidenPoint) {
+    if (isDead(Id))
+      return false;
     ++R.Stats.Pops;
-    Dbm NewState = joinOfPreds(Id);
+    Domain NewState = joinOfPreds(Id);
     if (AtWidenPoint && ++Visits[Id] > WideningDelay) {
-      Dbm Widened = R.EntryState[Id];
+      Domain Widened = R.EntryState[Id];
       Widened.widenWith(NewState);
       NewState = std::move(Widened);
       ++R.Stats.Widenings;
@@ -193,7 +205,9 @@ public:
       for (int Id : G.rpo()) {
         if (Budget && !Budget->checkpoint())
           return;
-        Dbm NewState = joinOfPreds(Id);
+        if (isDead(Id))
+          continue;
+        Domain NewState = joinOfPreds(Id);
         // Accept only strict refinements: re-assigning an equal state
         // would spuriously invalidate the post-block memo.
         if (NewState.leq(R.EntryState[Id]) &&
@@ -211,11 +225,12 @@ private:
   const Analyzer &A;
   const VarEnv &Env;
   const ProductGraph &G;
-  AnalysisResult &R;
+  Result &R;
   AnalysisBudget *Budget;
+  const std::vector<char> *Dead;
   int N;
 
-  std::vector<Dbm> PostBlock;
+  std::vector<Domain> PostBlock;
   std::vector<uint64_t> PostVersion;
   std::vector<uint64_t> StateVersion;
   std::vector<int> Visits;
@@ -225,19 +240,29 @@ private:
 
 } // namespace
 
-AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
+template <NumericDomain Domain>
+AnalysisResultT<Domain>
+AnalyzerT<Domain>::analyze(const ProductGraph &G) const {
+  return analyze(G, nullptr);
+}
+
+template <NumericDomain Domain>
+AnalysisResultT<Domain>
+AnalyzerT<Domain>::analyze(const ProductGraph &G,
+                           const std::vector<char> *Dead) const {
   AnalysisBudget *Budget = BudgetScope::current();
-  PhaseScope Phase("zone-fixpoint");
-  AnalysisResult R;
+  PhaseScope Phase(Domain::FixpointPhase);
+  AnalysisResultT<Domain> R;
   int N = static_cast<int>(G.size());
-  R.EntryState.assign(N, Dbm::bottom(Env.numVars()));
+  R.EntryState.assign(N, Domain::bottom(Env.numVars()));
   R.Feasible.assign(N, false);
   if (G.empty())
     return R;
 
-  R.EntryState[G.entry()] = Env.initialState();
+  if (!(Dead && (*Dead)[G.entry()]))
+    R.EntryState[G.entry()] = Env.template initialState<Domain>();
 
-  FixpointRun Run(*this, Env, G, R, Budget);
+  FixpointRun<Domain> Run(*this, Env, G, R, Budget, Dead);
   if (UseWto)
     Run.runWto();
   else
@@ -249,3 +274,10 @@ AnalysisResult Analyzer::analyze(const ProductGraph &G) const {
     R.Feasible[Id] = !R.EntryState[Id].isBottom();
   return R;
 }
+
+// The engine's two domains. New domains extend this list (and the extern
+// declarations in Analyzer.h) rather than moving the definitions inline.
+namespace blazer {
+template class AnalyzerT<Dbm>;
+template class AnalyzerT<IntervalDomain>;
+} // namespace blazer

@@ -6,11 +6,17 @@
 ///
 /// \file
 /// The abstract interpreter: a fixpoint over the product graph (CFG x trail
-/// DFA) in the zone domain, with widening and a descending refinement pass.
-/// This is the "standard abstract interpreter equipped with a trail oracle"
-/// of §5; its invariants feed the bound analysis and decide trail
-/// feasibility (infeasible trails — like the vulnerable-looking one in
-/// loopAndBranch — come back bottom).
+/// DFA) in a numeric abstract domain, with widening and a descending
+/// refinement pass. This is the "standard abstract interpreter equipped
+/// with a trail oracle" of §5; its invariants feed the bound analysis and
+/// decide trail feasibility (infeasible trails — like the
+/// vulnerable-looking one in loopAndBranch — come back bottom).
+///
+/// The interpreter is a template over the NumericDomain concept, with two
+/// engine instantiations: AnalyzerT<Dbm> (zones, the paper's domain) and
+/// AnalyzerT<IntervalDomain> (boxes, the cheap first tier of the
+/// interval->zone cascade). Both run the same schedulers, transfer
+/// functions, memoization, and refinement; only the lattice differs.
 ///
 /// Two schedulers drive the same transfer functions:
 ///
@@ -22,23 +28,24 @@
 ///    each node's post-block state is memoized under a version counter so
 ///    transferBlock runs once per entry-state change.
 ///
-///  - FIFO (legacy, behind BlazerOptions::FifoFixpoint): the original
-///    worklist deque with widening at RPO back-edge targets, kept as the
-///    A/B baseline. It shares the in-arc joins and the transfer memo, so
-///    the two schedulers differ only in iteration order — and since the
-///    zone join is a pointwise max of closed matrices (order-independent),
-///    they compute identical invariants wherever widening behaves the same.
+///  - FIFO (legacy, behind EngineConfig::Fixpoint): the original worklist
+///    deque with widening at RPO back-edge targets, kept as the A/B
+///    baseline. It shares the in-arc joins and the transfer memo, so the
+///    two schedulers differ only in iteration order — and since the domain
+///    join is a pointwise max (order-independent), they compute identical
+///    invariants wherever widening behaves the same.
 ///
-/// Thread-safety audit (for the parallel trail-tree analysis): Analyzer
+/// Thread-safety audit (for the parallel trail-tree analysis): AnalyzerT
 /// holds only const references to per-function state and has no mutable
-/// members; Dbm and AnalysisResult are plain value types; VarEnv is
-/// immutable after construction. transferBlock/transferEdge are therefore
-/// safe to call concurrently from worker threads — they allocate their
-/// result Dbm locally and report DBM joins to the (atomic) thread-local
-/// AnalysisBudget. analyze() keeps all run state (entry states, transfer
-/// memo, counters) in per-call locals, so concurrent analyze() calls on
-/// distinct products are safe; one fixpoint stays sequential on purpose —
-/// parallelism comes from analyzing distinct trails concurrently.
+/// members; the domains and AnalysisResultT are plain value types; VarEnv
+/// is immutable after construction. transferBlock/transferEdge are
+/// therefore safe to call concurrently from worker threads — they allocate
+/// their result state locally and report joins to the (atomic)
+/// thread-local AnalysisBudget. analyze() keeps all run state (entry
+/// states, transfer memo, counters) in per-call locals, so concurrent
+/// analyze() calls on distinct products are safe; one fixpoint stays
+/// sequential on purpose — parallelism comes from analyzing distinct
+/// trails concurrently.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,44 +53,20 @@
 #define BLAZER_ABSINT_ANALYZER_H
 
 #include "absint/Dbm.h"
+#include "absint/IntervalDomain.h"
+#include "absint/NumericDomain.h"
 #include "absint/ProductGraph.h"
 #include "absint/VarEnv.h"
+#include "support/EngineTelemetry.h" // FixpointStats
 
 #include <cstdint>
 #include <vector>
 
 namespace blazer {
 
-/// Work counters of one (or several, merged) zone-fixpoint runs. These are
-/// diagnostics, not semantics: two schedulers that agree on every invariant
-/// still pop and join different amounts.
-struct FixpointStats {
-  uint64_t Pops = 0;      ///< Node entry-state recomputations.
-  uint64_t Joins = 0;     ///< In-arc joins folded into entry states.
-  uint64_t Widenings = 0; ///< Widening applications.
-  uint64_t TransferHits = 0;   ///< Post-block memo hits.
-  uint64_t TransferMisses = 0; ///< Post-block memo misses (block executions).
-  uint64_t Sweeps = 0;         ///< Descending sweeps actually run.
-
-  void mergeFrom(const FixpointStats &O) {
-    Pops += O.Pops;
-    Joins += O.Joins;
-    Widenings += O.Widenings;
-    TransferHits += O.TransferHits;
-    TransferMisses += O.TransferMisses;
-    Sweeps += O.Sweeps;
-  }
-
-  /// Fraction of post-block lookups served from the memo, in [0, 1].
-  double transferHitRate() const {
-    uint64_t Total = TransferHits + TransferMisses;
-    return Total ? static_cast<double>(TransferHits) / Total : 0.0;
-  }
-};
-
-/// Per-product-node invariants (at block entry).
-struct AnalysisResult {
-  std::vector<Dbm> EntryState;
+/// Per-product-node invariants (at block entry) in domain \p Domain.
+template <NumericDomain Domain> struct AnalysisResultT {
+  std::vector<Domain> EntryState;
   /// True when the node's entry state is non-bottom, i.e. some concrete
   /// execution compatible with the trail may reach it.
   std::vector<bool> Feasible;
@@ -91,32 +74,54 @@ struct AnalysisResult {
   FixpointStats Stats;
 };
 
-/// Runs the zone analysis over \p G.
-class Analyzer {
+/// Runs the fixpoint analysis over a product graph in domain \p Domain.
+template <NumericDomain Domain> class AnalyzerT {
 public:
-  Analyzer(const CfgFunction &F, const VarEnv &Env, bool UseWto = true)
+  AnalyzerT(const CfgFunction &F, const VarEnv &Env, bool UseWto = true)
       : F(F), Env(Env), UseWto(UseWto) {}
 
-  AnalysisResult analyze(const ProductGraph &G) const;
+  AnalysisResultT<Domain> analyze(const ProductGraph &G) const;
+
+  /// Like analyze(G), but nodes with a nonzero entry in \p Dead are pinned
+  /// to bottom: never seeded, never updated, reported infeasible. The
+  /// cascade passes the complement of the interval-reachable set here so
+  /// the zone run skips nodes the cheap domain already ruled out — sound
+  /// because zone states are included in interval states node-for-node, so
+  /// an interval-unreachable node is zone-unreachable too. \p Dead must
+  /// have one entry per product node; null behaves like analyze(G).
+  AnalysisResultT<Domain> analyze(const ProductGraph &G,
+                                  const std::vector<char> *Dead) const;
 
   /// Abstract execution of \p Block's instructions on \p In (terminator
   /// condition not yet applied).
-  Dbm transferBlock(const Dbm &In, int Block) const;
+  Domain transferBlock(const Domain &In, int Block) const;
 
   /// Abstract state propagated along CFG edge \p E starting from the entry
   /// state \p In of block E.From: runs the block body, then assumes the
   /// branch condition for the side E takes.
-  Dbm transferEdge(const Dbm &In, const Edge &E) const;
+  Domain transferEdge(const Domain &In, const Edge &E) const;
 
   /// Applies just the branch-condition half of transferEdge to \p Out,
   /// which must already be the post-block state of E.From.
-  void applyBranch(Dbm &Out, const Edge &E) const;
+  void applyBranch(Domain &Out, const Edge &E) const;
 
 private:
   const CfgFunction &F;
   const VarEnv &Env;
   const bool UseWto;
 };
+
+// Engine instantiations live in Analyzer.cpp.
+extern template class AnalyzerT<Dbm>;
+extern template class AnalyzerT<IntervalDomain>;
+
+/// The zone-domain instantiation, under the historical names.
+using Analyzer = AnalyzerT<Dbm>;
+using AnalysisResult = AnalysisResultT<Dbm>;
+
+/// The box-domain instantiation (first tier of the cascade).
+using IntervalAnalyzer = AnalyzerT<IntervalDomain>;
+using IntervalAnalysisResult = AnalysisResultT<IntervalDomain>;
 
 } // namespace blazer
 

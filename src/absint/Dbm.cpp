@@ -7,29 +7,141 @@
 #include "absint/Dbm.h"
 
 #include "support/Budget.h"
+#include "support/EngineConfig.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <sstream>
 
 using namespace blazer;
 
 namespace {
-/// Bench-only A/B switch (see Dbm::forceFullClose). Written once before
-/// analysis threads exist; relaxed loads keep the hot path free of fences.
-std::atomic<bool> ForceFullClose{false};
+/// Thread-local freelist of heap matrix buffers, bucketed by dimension.
+/// A fixpoint churns through temporaries of a single dimension (one per
+/// join/transfer), so after warm-up every acquire is a pop. Thread-local
+/// ownership means no locks and no cross-thread frees; buffers never
+/// migrate because a Dbm's storage is released on the thread that owns the
+/// freelist only through that thread's pool instance.
+class MatrixPool {
+public:
+  int64_t *acquire(int N) {
+    size_t Bucket = static_cast<size_t>(N);
+    if (Bucket < Free.size() && !Free[Bucket].empty()) {
+      int64_t *P = Free[Bucket].back();
+      Free[Bucket].pop_back();
+      return P;
+    }
+    return new int64_t[static_cast<size_t>(N) * N];
+  }
+
+  void release(int64_t *P, int N) {
+    size_t Bucket = static_cast<size_t>(N);
+    if (Bucket >= Free.size())
+      Free.resize(Bucket + 1);
+    if (Free[Bucket].size() < MaxPerBucket) {
+      Free[Bucket].push_back(P);
+      return;
+    }
+    delete[] P;
+  }
+
+  ~MatrixPool() {
+    for (auto &Bucket : Free)
+      for (int64_t *P : Bucket)
+        delete[] P;
+  }
+
+private:
+  /// Caps retained memory per dimension; 64 buffers comfortably covers the
+  /// deepest temporary chains the region engine creates.
+  static constexpr size_t MaxPerBucket = 64;
+  std::vector<std::vector<int64_t *>> Free;
+};
+
+thread_local MatrixPool Pool;
 } // namespace
 
-void Dbm::forceFullClose(bool Enable) {
-  ForceFullClose.store(Enable, std::memory_order_relaxed);
+void Dbm::acquireStorage() {
+  M = N <= SmallDim ? Small : Pool.acquire(N);
+}
+
+void Dbm::releaseStorage() {
+  if (M && M != Small)
+    Pool.release(M, N);
+  M = nullptr;
 }
 
 Dbm::Dbm(int NumVars) : N(NumVars + 1) {
-  M.assign(static_cast<size_t>(N) * N, Inf);
+  acquireStorage();
+  std::fill_n(M, cells(), Inf);
   for (int I = 0; I < N; ++I)
     at(I, I) = 0;
 }
+
+Dbm::Dbm(const Dbm &O) : N(O.N), Bottom(O.Bottom), Closed(O.Closed) {
+  acquireStorage();
+  std::copy_n(O.M, cells(), M);
+}
+
+Dbm::Dbm(Dbm &&O) noexcept : N(O.N), Bottom(O.Bottom), Closed(O.Closed) {
+  if (O.inlineStorage()) {
+    // Inline storage cannot be stolen; a small move is a small copy, and
+    // the source stays valid untouched.
+    M = Small;
+    std::copy_n(O.M, cells(), M);
+    return;
+  }
+  M = O.M;
+  // Leave O as a valid dimension-1 top over its inline buffer.
+  O.M = O.Small;
+  O.N = 1;
+  O.Small[0] = 0;
+  O.Bottom = false;
+  O.Closed = true;
+}
+
+Dbm &Dbm::operator=(const Dbm &O) {
+  if (this == &O)
+    return *this;
+  if (N != O.N) {
+    releaseStorage();
+    N = O.N;
+    acquireStorage();
+  }
+  Bottom = O.Bottom;
+  Closed = O.Closed;
+  std::copy_n(O.M, cells(), M);
+  return *this;
+}
+
+Dbm &Dbm::operator=(Dbm &&O) noexcept {
+  if (this == &O)
+    return *this;
+  if (O.inlineStorage()) {
+    if (N != O.N) {
+      releaseStorage();
+      N = O.N;
+      M = Small; // O fits inline, so N <= SmallDim here.
+    }
+    Bottom = O.Bottom;
+    Closed = O.Closed;
+    std::copy_n(O.M, cells(), M);
+    return *this;
+  }
+  releaseStorage();
+  N = O.N;
+  M = O.M;
+  Bottom = O.Bottom;
+  Closed = O.Closed;
+  O.M = O.Small;
+  O.N = 1;
+  O.Small[0] = 0;
+  O.Bottom = false;
+  O.Closed = true;
+  return *this;
+}
+
+Dbm::~Dbm() { releaseStorage(); }
 
 Dbm Dbm::top(int NumVars) { return Dbm(NumVars); }
 
@@ -72,7 +184,7 @@ void Dbm::addConstraint(int I, int J, int64_t C) {
   }
   if (C >= at(I, J))
     return; // Not tighter.
-  if (!Closed || ForceFullClose.load(std::memory_order_relaxed)) {
+  if (!Closed || ClosurePolicyScope::current() == ClosureMode::Full) {
     at(I, J) = C;
     close();
     return;
@@ -88,21 +200,24 @@ void Dbm::addConstraint(int I, int J, int64_t C) {
   // Single-constraint re-closure: any path improved by the new edge
   // decomposes as p -> I, the edge, J -> q, with both legs already
   // shortest paths. O(n^2) instead of the full Floyd-Warshall. In-place is
-  // safe: rows I's column and J's row only relax by C + at(J, I) >= 0, so
-  // the values read below never change under our own writes.
+  // safe: row J and column I only relax by C + at(J, I) >= 0, so the
+  // values read below never change under our own writes. The inner loop
+  // is the branchless select form (wrapped add + Inf-guarded min), which
+  // vectorizes over the contiguous rows.
   at(I, J) = C;
+  const int64_t *RowJ = M + static_cast<size_t>(J) * N;
   for (int P = 0; P < N; ++P) {
     int64_t PI = at(P, I);
     if (PI == Inf)
       continue;
     int64_t PIC = PI + C;
+    int64_t *RowP = M + static_cast<size_t>(P) * N;
     for (int Q = 0; Q < N; ++Q) {
-      int64_t JQ = at(J, Q);
-      if (JQ == Inf)
-        continue;
-      int64_t Via = PIC + JQ;
-      if (Via < at(P, Q))
-        at(P, Q) = Via;
+      int64_t JQ = RowJ[Q];
+      int64_t Via = wrapAdd(PIC, JQ);
+      int64_t Old = RowP[Q];
+      bool Take = (JQ != Inf) & (Via < Old);
+      RowP[Q] = Take ? Via : Old;
     }
   }
 }
@@ -156,10 +271,9 @@ void Dbm::forget(int V) {
     return;
   // The matrix is closed, so dropping V's row and column loses no
   // information about the other variables.
-  for (int I = 0; I < N; ++I) {
-    at(V, I) = Inf;
+  std::fill_n(M + static_cast<size_t>(V) * N, N, Inf);
+  for (int I = 0; I < N; ++I)
     at(I, V) = Inf;
-  }
   at(V, V) = 0;
 }
 
@@ -219,8 +333,9 @@ void Dbm::joinWith(const Dbm &RHS) {
     *this = RHS;
     return;
   }
-  for (size_t I = 0; I < M.size(); ++I)
-    M[I] = std::max(M[I], RHS.M[I]);
+  const int64_t *R = RHS.M;
+  for (size_t I = 0, E = cells(); I < E; ++I)
+    M[I] = std::max(M[I], R[I]);
   // Pointwise max of closed matrices is closed; anything else (a widened
   // operand) taints the result.
   Closed = Closed && RHS.Closed;
@@ -236,8 +351,9 @@ void Dbm::meetWith(const Dbm &RHS) {
     setBottom();
     return;
   }
-  for (size_t I = 0; I < M.size(); ++I)
-    M[I] = std::min(M[I], RHS.M[I]);
+  const int64_t *R = RHS.M;
+  for (size_t I = 0, E = cells(); I < E; ++I)
+    M[I] = std::min(M[I], R[I]);
   close();
 }
 
@@ -255,8 +371,9 @@ void Dbm::widenWith(const Dbm &RHS) {
     *this = RHS;
     return;
   }
-  for (size_t I = 0; I < M.size(); ++I)
-    if (RHS.M[I] > M[I])
+  const int64_t *R = RHS.M;
+  for (size_t I = 0, E = cells(); I < E; ++I)
+    if (R[I] > M[I])
       M[I] = Inf;
   // Deliberately not re-closed: closing after widening can defeat
   // convergence. The next addConstraint must therefore take the full
@@ -272,8 +389,9 @@ bool Dbm::leq(const Dbm &RHS) const {
     return true;
   if (RHS.Bottom)
     return false;
-  for (size_t I = 0; I < M.size(); ++I)
-    if (M[I] > RHS.M[I])
+  const int64_t *R = RHS.M;
+  for (size_t I = 0, E = cells(); I < E; ++I)
+    if (M[I] > R[I])
       return false;
   return true;
 }
@@ -281,7 +399,9 @@ bool Dbm::leq(const Dbm &RHS) const {
 bool Dbm::equals(const Dbm &RHS) const {
   if (Bottom || RHS.Bottom)
     return Bottom == RHS.Bottom;
-  return M == RHS.M;
+  if (N != RHS.N)
+    return false;
+  return std::equal(M, M + cells(), RHS.M);
 }
 
 void Dbm::close() {
@@ -298,17 +418,18 @@ void Dbm::close() {
       checkDiagonal();
       return;
     }
+    const int64_t *RowK = M + static_cast<size_t>(K) * N;
     for (int I = 0; I < N; ++I) {
-      int64_t IK = at(I, K);
+      int64_t IK = M[static_cast<size_t>(I) * N + K];
       if (IK == Inf)
         continue;
+      int64_t *RowI = M + static_cast<size_t>(I) * N;
       for (int J = 0; J < N; ++J) {
-        int64_t KJ = at(K, J);
-        if (KJ == Inf)
-          continue;
-        int64_t Via = IK + KJ;
-        if (Via < at(I, J))
-          at(I, J) = Via;
+        int64_t KJ = RowK[J];
+        int64_t Via = wrapAdd(IK, KJ);
+        int64_t Old = RowI[J];
+        bool Take = (KJ != Inf) & (Via < Old);
+        RowI[J] = Take ? Via : Old;
       }
     }
   }

@@ -12,6 +12,22 @@
 /// paper's benchmarks need (e.g. i >= 0, i - guess.len <= -1) and supports
 /// the usual lattice and transfer operations with widening.
 ///
+/// Storage is built for the fixpoint hot path:
+///  - the matrix is a flat row-major int64_t array, and the O(n^2)/O(n^3)
+///    closure/join/widen inner loops are branchless select-form min/add
+///    sweeps over contiguous rows, which the compiler auto-vectorizes;
+///  - matrices of up to SmallDim - 1 = 8 client variables (every Table-1
+///    benchmark) live inline in the Dbm object — construction and copy
+///    never touch the allocator;
+///  - larger matrices draw their buffer from a thread-local pool bucketed
+///    by dimension, so one fixpoint's constant churn of temporaries reuses
+///    a handful of allocations instead of hitting malloc per state.
+///
+/// The closure policy (incremental re-closure vs always-full
+/// Floyd-Warshall) is per-run, not process-wide: addConstraint consults the
+/// thread's ClosurePolicyScope (support/EngineConfig.h), which the driver
+/// installs from BlazerOptions::Engine and the worker pool propagates.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef BLAZER_ABSINT_DBM_H
@@ -19,6 +35,7 @@
 
 #include "support/Result.h"
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -34,17 +51,28 @@ public:
   /// The +infinity sentinel for absent constraints.
   static constexpr int64_t Inf = std::numeric_limits<int64_t>::max();
 
+  /// Phase label installed around fixpoints in this domain.
+  static constexpr const char *FixpointPhase = "zone-fixpoint";
+
   /// Top over \p NumVars client variables.
   static Dbm top(int NumVars);
   /// Bottom (unreachable) over \p NumVars client variables.
   static Dbm bottom(int NumVars);
+
+  Dbm(const Dbm &O);
+  Dbm(Dbm &&O) noexcept;
+  Dbm &operator=(const Dbm &O);
+  Dbm &operator=(Dbm &&O) noexcept;
+  ~Dbm();
 
   int numVars() const { return N - 1; }
   bool isBottom() const { return Bottom; }
 
   /// Raw bound on vi - vj (indices include 0 = zero var). Out-of-range
   /// indices yield Inf (no constraint known) rather than undefined
-  /// behavior; use boundChecked to distinguish misuse from absence.
+  /// behavior in release builds — and assert in debug builds, so a layout
+  /// bug cannot masquerade as "no constraint"; use boundChecked to
+  /// distinguish misuse from absence programmatically.
   int64_t bound(int I, int J) const;
   /// Like bound(), but reports out-of-range indices as a Diag.
   Result<int64_t> boundChecked(int I, int J) const;
@@ -56,19 +84,15 @@ public:
   /// On a closed matrix this runs the single-constraint O(n^2) re-closure
   /// (propagating paths through the tightened (I, J) entry only); the full
   /// O(n^3) Floyd-Warshall runs only when closure is not known to hold
-  /// (after widening). Both paths produce the same canonical matrix.
+  /// (after widening) or the thread's ClosurePolicyScope forces it (the
+  /// A/B lever behind --closure=full). Both paths produce the same
+  /// canonical matrix.
   void addConstraint(int I, int J, int64_t C);
 
   /// Debug hook: addConstraint via the full Floyd-Warshall closure,
   /// bypassing the incremental path. The differential closure test checks
   /// the two implementations entry-for-entry against each other.
   void addConstraintFullClose(int I, int J, int64_t C);
-
-  /// Process-wide switch forcing every addConstraint through the full
-  /// closure — the A/B lever the bench drivers use to measure the
-  /// incremental algorithm against this PR's baseline. Set it before
-  /// analysis threads start; readers use relaxed loads.
-  static void forceFullClose(bool Enable);
 
   /// Upper bound of variable \p V (Inf when unbounded).
   int64_t upperOf(int V) const { return bound(V, 0); }
@@ -115,6 +139,18 @@ private:
   void checkDiagonal();
   void setBottom();
 
+  /// Matrices of up to SmallDim rows (i.e. up to 8 client variables plus
+  /// the zero variable) use the inline buffer; beyond that, a pooled heap
+  /// buffer.
+  static constexpr int SmallDim = 9;
+
+  size_t cells() const { return static_cast<size_t>(N) * N; }
+  bool inlineStorage() const { return M == Small; }
+  /// Points M at the right buffer for dimension N (inline or pooled).
+  void acquireStorage();
+  /// Returns a pooled buffer; no-op for inline storage.
+  void releaseStorage();
+
   int N = 1; ///< Matrix dimension (numVars + 1).
   bool Bottom = false;
   /// Whether M is known to be in closed (canonical shortest-path) form.
@@ -123,15 +159,30 @@ private:
   /// the next addConstraint on such a matrix falls back to the full
   /// closure, exactly as the pre-incremental implementation behaved.
   bool Closed = true;
-  std::vector<int64_t> M; ///< Row-major N x N.
+  int64_t *M = nullptr; ///< Row-major N x N (flat; inline or pooled).
+  int64_t Small[static_cast<size_t>(SmallDim) * SmallDim];
 
-  int64_t &at(int I, int J) { return M[static_cast<size_t>(I) * N + J]; }
-  int64_t at(int I, int J) const { return M[static_cast<size_t>(I) * N + J]; }
+  int64_t &at(int I, int J) {
+    assert(I >= 0 && I < N && J >= 0 && J < N && "DBM index out of range");
+    return M[static_cast<size_t>(I) * N + J];
+  }
+  int64_t at(int I, int J) const {
+    assert(I >= 0 && I < N && J >= 0 && J < N && "DBM index out of range");
+    return M[static_cast<size_t>(I) * N + J];
+  }
 
   static int64_t addSat(int64_t A, int64_t B) {
     if (A == Inf || B == Inf)
       return Inf;
     return A + B;
+  }
+
+  /// Two's-complement wrapping add: used by the branchless kernels to
+  /// compute candidate path lengths without branching on Inf (the select
+  /// guard discards the wrapped value whenever an operand was Inf).
+  static int64_t wrapAdd(int64_t A, int64_t B) {
+    return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                                static_cast<uint64_t>(B));
   }
 };
 

@@ -1,0 +1,256 @@
+//===- IntervalDomain.cpp - Interval (box) abstract domain ----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/IntervalDomain.h"
+
+#include "support/Budget.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace blazer;
+
+IntervalDomain::IntervalDomain(int NumVars) : N(NumVars + 1) {
+  UB.assign(2 * static_cast<size_t>(N), Inf);
+  hi(0) = 0; // The zero variable is exactly 0.
+  negLo(0) = 0;
+}
+
+IntervalDomain IntervalDomain::top(int NumVars) {
+  return IntervalDomain(NumVars);
+}
+
+IntervalDomain IntervalDomain::bottom(int NumVars) {
+  IntervalDomain D(NumVars);
+  D.setBottom();
+  return D;
+}
+
+int64_t IntervalDomain::bound(int I, int J) const {
+  assert(I >= 0 && I < N && J >= 0 && J < N && "index out of range");
+  if (I < 0 || I >= N || J < 0 || J >= N)
+    return Inf; // Release builds: no constraint known about unknown vars.
+  if (I == J)
+    return 0;
+  // vi - vj <= hi(vi) + sup(-vj); exact when I or J is the zero variable
+  // (whose slots hold 0).
+  return addSat(hi(I), negLo(J));
+}
+
+void IntervalDomain::checkEmpty(int V) {
+  // hi(v) + sup(-v) < 0 means hi(v) < lo(v): the interval is empty.
+  if (hi(V) != Inf && negLo(V) != Inf && hi(V) + negLo(V) < 0)
+    setBottom();
+}
+
+void IntervalDomain::addConstraint(int I, int J, int64_t C) {
+  if (I < 0 || I >= N || J < 0 || J >= N)
+    return; // Recoverable misuse: no variable to constrain.
+  if (Bottom)
+    return;
+  if (I == J) {
+    if (C < 0)
+      setBottom();
+    return;
+  }
+  // vi - vj <= C projects to hi(vi) <= C + hi(vj) and
+  // sup(-vj) <= C + sup(-vi). When J (resp. I) is the zero variable the
+  // other side's slot is 0 and the projection is the exact bound.
+  int64_t NewHi = addSat(C, hi(J));
+  if (NewHi < hi(I)) {
+    hi(I) = NewHi;
+    checkEmpty(I);
+    if (Bottom)
+      return;
+  }
+  int64_t NewNegLo = addSat(C, negLo(I));
+  if (NewNegLo < negLo(J)) {
+    negLo(J) = NewNegLo;
+    checkEmpty(J);
+  }
+}
+
+std::optional<int64_t> IntervalDomain::lowerOf(int V) const {
+  int64_t C = negLo(V);
+  if (C == Inf)
+    return std::nullopt;
+  return -C;
+}
+
+std::optional<int64_t> IntervalDomain::upperOfOpt(int V) const {
+  int64_t C = hi(V);
+  if (C == Inf)
+    return std::nullopt;
+  return C;
+}
+
+std::optional<int64_t> IntervalDomain::exactDifference(int I, int J) const {
+  if (Bottom || I < 0 || I >= N || J < 0 || J >= N)
+    return std::nullopt;
+  if (I == J)
+    return 0;
+  // Exact only via exact values: v is the singleton hi(v) when
+  // hi(v) + sup(-v) == 0.
+  if (hi(I) == Inf || negLo(I) == Inf || hi(I) + negLo(I) != 0)
+    return std::nullopt;
+  if (hi(J) == Inf || negLo(J) == Inf || hi(J) + negLo(J) != 0)
+    return std::nullopt;
+  return hi(I) - hi(J);
+}
+
+void IntervalDomain::forget(int V) {
+  assert(V > 0 && V < N && "cannot forget the zero variable");
+  if (V <= 0 || V >= N)
+    return;
+  if (Bottom)
+    return;
+  hi(V) = Inf;
+  negLo(V) = Inf;
+}
+
+void IntervalDomain::assignConst(int V, int64_t C) {
+  if (Bottom)
+    return;
+  if (V <= 0 || V >= N)
+    return;
+  hi(V) = C;
+  negLo(V) = -C;
+}
+
+void IntervalDomain::assignVarPlus(int V, int W, int64_t C) {
+  if (Bottom)
+    return;
+  if (V <= 0 || V >= N || W < 0 || W >= N)
+    return;
+  if (V == W) {
+    // v := v + c: translate the interval.
+    if (hi(V) != Inf)
+      hi(V) = addSat(hi(V), C);
+    if (negLo(V) != Inf)
+      negLo(V) = addSat(negLo(V), -C);
+    return;
+  }
+  hi(V) = addSat(hi(W), C);
+  negLo(V) = addSat(negLo(W), -C);
+}
+
+void IntervalDomain::assignBoolUnknown(int V) {
+  if (Bottom)
+    return;
+  if (V <= 0 || V >= N)
+    return;
+  hi(V) = 1;    // v <= 1
+  negLo(V) = 0; // v >= 0
+}
+
+void IntervalDomain::joinWith(const IntervalDomain &RHS) {
+  assert(N == RHS.N && "dimension mismatch");
+  if (AnalysisBudget *B = BudgetScope::current())
+    B->countJoins();
+  if (N != RHS.N) {
+    *this = IntervalDomain::top(numVars()); // Sound over-approximation.
+    return;
+  }
+  if (RHS.Bottom)
+    return;
+  if (Bottom) {
+    *this = RHS;
+    return;
+  }
+  for (size_t I = 0; I < UB.size(); ++I)
+    UB[I] = std::max(UB[I], RHS.UB[I]);
+}
+
+void IntervalDomain::meetWith(const IntervalDomain &RHS) {
+  assert(N == RHS.N && "dimension mismatch");
+  if (N != RHS.N)
+    return; // Recoverable misuse: keep *this (an over-approximation).
+  if (Bottom)
+    return;
+  if (RHS.Bottom) {
+    setBottom();
+    return;
+  }
+  for (size_t I = 0; I < UB.size(); ++I)
+    UB[I] = std::min(UB[I], RHS.UB[I]);
+  for (int V = 1; V < N && !Bottom; ++V)
+    checkEmpty(V);
+}
+
+void IntervalDomain::widenWith(const IntervalDomain &RHS) {
+  assert(N == RHS.N && "dimension mismatch");
+  if (AnalysisBudget *B = BudgetScope::current())
+    B->countJoins();
+  if (N != RHS.N) {
+    *this = IntervalDomain::top(numVars());
+    return;
+  }
+  if (RHS.Bottom)
+    return;
+  if (Bottom) {
+    *this = RHS;
+    return;
+  }
+  // Standard interval widening: unstable bounds jump to infinity. Each slot
+  // moves at most once, so ascending chains stabilize immediately.
+  for (size_t I = 0; I < UB.size(); ++I)
+    if (RHS.UB[I] > UB[I])
+      UB[I] = Inf;
+}
+
+bool IntervalDomain::leq(const IntervalDomain &RHS) const {
+  assert(N == RHS.N && "dimension mismatch");
+  if (N != RHS.N)
+    return false; // Incomparable; false is the conservative answer.
+  if (Bottom)
+    return true;
+  if (RHS.Bottom)
+    return false;
+  for (size_t I = 0; I < UB.size(); ++I)
+    if (UB[I] > RHS.UB[I])
+      return false;
+  return true;
+}
+
+bool IntervalDomain::equals(const IntervalDomain &RHS) const {
+  if (Bottom || RHS.Bottom)
+    return Bottom == RHS.Bottom;
+  return UB == RHS.UB;
+}
+
+std::string IntervalDomain::str(const std::vector<std::string> &Names) const {
+  if (Bottom)
+    return "<bottom>";
+  auto Name = [&](int I) -> std::string {
+    if (I - 1 < static_cast<int>(Names.size()))
+      return Names[I - 1];
+    return "v" + std::to_string(I);
+  };
+  std::ostringstream OS;
+  bool First = true;
+  for (int V = 1; V < N; ++V) {
+    if (hi(V) == Inf && negLo(V) == Inf)
+      continue;
+    if (!First)
+      OS << ", ";
+    First = false;
+    if (hi(V) != Inf && negLo(V) != Inf && hi(V) + negLo(V) == 0) {
+      OS << Name(V) << " == " << hi(V);
+      continue;
+    }
+    if (negLo(V) != Inf) {
+      OS << Name(V) << " >= " << -negLo(V);
+      if (hi(V) != Inf)
+        OS << ", ";
+    }
+    if (hi(V) != Inf)
+      OS << Name(V) << " <= " << hi(V);
+  }
+  if (First)
+    return "<top>";
+  return OS.str();
+}

@@ -1,0 +1,110 @@
+//===- IntervalDomain.h - Interval (box) abstract domain --------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-relational half of the interval->zone cascade: per-variable
+/// [lo, hi] boxes with the same variable numbering, transfer semantics,
+/// and NumericDomain surface as the zone domain (Dbm), at O(n) per
+/// operation instead of O(n^2)/O(n^3).
+///
+/// Storage mirrors the DBM's first row and column: for each variable v the
+/// domain keeps an upper bound on v (Dbm entry M[v][0]) and an upper bound
+/// on -v (M[0][v]), with Inf for "unconstrained". A difference constraint
+/// vi - vj <= c — which a box cannot represent relationally — is projected
+/// through the other variable's interval (hi(vi) <= c + hi(vj),
+/// lo(vj) >= lo(vi) - c), the best sound box approximation. Consequently
+/// every interval invariant over-approximates the per-variable projection
+/// of the corresponding zone invariant, which is exactly what the cascade
+/// relies on: a trail the intervals prove infeasible needs no zone run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_INTERVALDOMAIN_H
+#define BLAZER_ABSINT_INTERVALDOMAIN_H
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// A box over variables v1..vn (index 0 is the constant-zero variable,
+/// as in Dbm), or bottom.
+class IntervalDomain {
+public:
+  /// The +infinity sentinel for absent constraints (same value as
+  /// Dbm::Inf, so mixed-domain comparisons need no translation).
+  static constexpr int64_t Inf = std::numeric_limits<int64_t>::max();
+
+  /// Phase label installed around fixpoints in this domain.
+  static constexpr const char *FixpointPhase = "interval-fixpoint";
+
+  static IntervalDomain top(int NumVars);
+  static IntervalDomain bottom(int NumVars);
+
+  int numVars() const { return N - 1; }
+  bool isBottom() const { return Bottom; }
+
+  /// Upper bound on vi - vj, derived from the two intervals (exact when
+  /// one side is the zero variable). Out-of-range indices yield Inf in
+  /// release builds, as in Dbm.
+  int64_t bound(int I, int J) const;
+
+  /// Conjoins vi - vj <= C, projecting two-variable constraints through
+  /// the other side's interval; may become bottom. Same recoverable-misuse
+  /// contract as Dbm::addConstraint.
+  void addConstraint(int I, int J, int64_t C);
+
+  int64_t upperOf(int V) const { return bound(V, 0); }
+  std::optional<int64_t> lowerOf(int V) const;
+  std::optional<int64_t> upperOfOpt(int V) const;
+
+  /// \returns c when both intervals are singletons with vi - vj == c
+  /// (boxes entail an exact difference only through exact values).
+  std::optional<int64_t> exactDifference(int I, int J) const;
+
+  void forget(int V);
+  void assignConst(int V, int64_t C);
+  void assignVarPlus(int V, int W, int64_t C);
+  void assignBoolUnknown(int V);
+
+  void joinWith(const IntervalDomain &RHS);
+  void meetWith(const IntervalDomain &RHS);
+  void widenWith(const IntervalDomain &RHS);
+  bool leq(const IntervalDomain &RHS) const;
+  bool equals(const IntervalDomain &RHS) const;
+
+  std::string str(const std::vector<std::string> &Names) const;
+
+private:
+  explicit IntervalDomain(int NumVars);
+
+  /// Bottom when some interval became empty (hi < lo).
+  void checkEmpty(int V);
+  void setBottom() { Bottom = true; }
+
+  /// UB[2v] bounds v, UB[2v + 1] bounds -v; both Inf when unconstrained.
+  int64_t &hi(int V) { return UB[2 * static_cast<size_t>(V)]; }
+  int64_t hi(int V) const { return UB[2 * static_cast<size_t>(V)]; }
+  int64_t &negLo(int V) { return UB[2 * static_cast<size_t>(V) + 1]; }
+  int64_t negLo(int V) const { return UB[2 * static_cast<size_t>(V) + 1]; }
+
+  static int64_t addSat(int64_t A, int64_t B) {
+    if (A == Inf || B == Inf)
+      return Inf;
+    return A + B;
+  }
+
+  int N = 1; ///< numVars + 1, mirroring the DBM dimension.
+  bool Bottom = false;
+  std::vector<int64_t> UB; ///< Flat 2N upper-bound store.
+};
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_INTERVALDOMAIN_H

@@ -1,0 +1,81 @@
+//===- NumericDomain.h - The abstract-domain interface ----------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface a numeric abstract domain must implement to drive the
+/// trail-restricted abstract interpreter (AnalyzerT), the VarEnv transfer
+/// functions, and the region-folding bound engine. Extracted from the
+/// previously Dbm-hardwired Analyzer so the interval->zone cascade can run
+/// the same fixpoint and pruning machinery over either domain.
+///
+/// The contract, shared by Dbm (zones) and IntervalDomain (boxes):
+///
+///  - Variables are indexed 1..numVars(); index 0 is the constant-zero
+///    pseudo-variable. bound(I, J) is an upper bound on vi - vj with
+///    Inf meaning "no constraint"; addConstraint(I, J, C) conjoins
+///    vi - vj <= C. A domain that cannot represent a relation exactly must
+///    over-approximate it (IntervalDomain projects difference constraints
+///    through the other variable's interval) — never drop the sound
+///    direction.
+///  - Lattice: joinWith/meetWith/widenWith/leq/equals/isBottom over
+///    operands of equal dimension, with top(n)/bottom(n) factories.
+///    widenWith must guarantee stabilization of ascending chains.
+///  - Transfers: forget/assignConst/assignVarPlus/assignBoolUnknown.
+///  - Projections for the bound engine: lowerOf/upperOfOpt/
+///    exactDifference, and a str(Names) renderer for diagnostics.
+///  - Cost accounting: joinWith/widenWith count one join against the
+///    thread's AnalysisBudget, keeping budget trips comparable across
+///    domains.
+///
+/// Thread-safety: domains are plain value types; const operations must be
+/// safe to call concurrently on distinct objects (the parallel trail-tree
+/// analysis runs one fixpoint per worker).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_NUMERICDOMAIN_H
+#define BLAZER_ABSINT_NUMERICDOMAIN_H
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// Compile-time check of the domain contract above. AnalyzerT and the
+/// templated VarEnv transfers constrain on this, so a domain missing an
+/// operation fails at the template boundary with a named requirement
+/// instead of deep inside an instantiation.
+template <typename D>
+concept NumericDomain = requires(D S, const D C, int V, int64_t K,
+                                 const std::vector<std::string> &Names) {
+  { D::Inf } -> std::convertible_to<int64_t>;
+  { D::top(V) } -> std::same_as<D>;
+  { D::bottom(V) } -> std::same_as<D>;
+  { C.numVars() } -> std::convertible_to<int>;
+  { C.isBottom() } -> std::convertible_to<bool>;
+  { C.bound(V, V) } -> std::convertible_to<int64_t>;
+  { C.lowerOf(V) } -> std::same_as<std::optional<int64_t>>;
+  { C.upperOfOpt(V) } -> std::same_as<std::optional<int64_t>>;
+  { C.exactDifference(V, V) } -> std::same_as<std::optional<int64_t>>;
+  S.addConstraint(V, V, K);
+  S.forget(V);
+  S.assignConst(V, K);
+  S.assignVarPlus(V, V, K);
+  S.assignBoolUnknown(V);
+  S.joinWith(C);
+  S.meetWith(C);
+  S.widenWith(C);
+  { C.leq(C) } -> std::convertible_to<bool>;
+  { C.equals(C) } -> std::convertible_to<bool>;
+  { C.str(Names) } -> std::convertible_to<std::string>;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_NUMERICDOMAIN_H

@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "absint/VarEnv.h"
-#include "dataflow/Taint.h" // lengthSymbol
+#include "absint/IntervalDomain.h" // Explicit instantiations below.
+#include "dataflow/Taint.h"        // lengthSymbol
 
 #include <cassert>
 
@@ -46,8 +47,10 @@ std::string VarEnv::displaySymbol(int I) const {
   return Name;
 }
 
-Dbm VarEnv::initialState() const {
-  Dbm D = Dbm::top(numVars());
+Dbm VarEnv::initialState() const { return initialState<Dbm>(); }
+
+template <class Domain> Domain VarEnv::initialState() const {
+  Domain D = Domain::top(numVars());
   for (const Param &P : F.Params) {
     if (P.Type == TypeKind::IntArray) {
       int Len = indexOf(lengthSymbol(P.Name));
@@ -172,7 +175,8 @@ std::optional<LinForm> VarEnv::parseLinear(const Expr *E) const {
   return std::nullopt;
 }
 
-std::optional<int64_t> VarEnv::evalUpper(const Dbm &D,
+template <class Domain>
+std::optional<int64_t> VarEnv::evalUpper(const Domain &D,
                                          const LinForm &F_) const {
   // Two-variable difference form x - y + c: the zone stores its bound
   // directly, which is often much tighter than combining intervals.
@@ -188,7 +192,7 @@ std::optional<int64_t> VarEnv::evalUpper(const Dbm &D,
       X = V2;
       Y = V1;
     }
-    if (X >= 0 && D.bound(X, Y) != Dbm::Inf)
+    if (X >= 0 && D.bound(X, Y) != Domain::Inf)
       return D.bound(X, Y) + F_.Const;
   }
   int64_t Sum = F_.Const;
@@ -208,7 +212,8 @@ std::optional<int64_t> VarEnv::evalUpper(const Dbm &D,
   return Sum;
 }
 
-std::optional<int64_t> VarEnv::evalLower(const Dbm &D,
+template <class Domain>
+std::optional<int64_t> VarEnv::evalLower(const Domain &D,
                                          const LinForm &F_) const {
   // Two-variable difference form: lower(x - y) = -upper(y - x).
   if (F_.Coeffs.size() == 2) {
@@ -223,7 +228,7 @@ std::optional<int64_t> VarEnv::evalLower(const Dbm &D,
       X = V2;
       Y = V1;
     }
-    if (X >= 0 && D.bound(Y, X) != Dbm::Inf)
+    if (X >= 0 && D.bound(Y, X) != Domain::Inf)
       return -D.bound(Y, X) + F_.Const;
   }
   int64_t Sum = F_.Const;
@@ -243,7 +248,8 @@ std::optional<int64_t> VarEnv::evalLower(const Dbm &D,
   return Sum;
 }
 
-void VarEnv::transferInstr(Dbm &D, const Instr &I) const {
+template <class Domain>
+void VarEnv::transferInstr(Domain &D, const Instr &I) const {
   if (D.isBottom())
     return;
   switch (I.K) {
@@ -291,12 +297,13 @@ void VarEnv::transferInstr(Dbm &D, const Instr &I) const {
   D.forget(V);
 }
 
-void VarEnv::applyLeqZero(Dbm &D, const LinForm &L) const {
+template <class Domain>
+void VarEnv::applyLeqZero(Domain &D, const LinForm &L) const {
   // Express "L <= 0" as a zone constraint when L has shape
   // x - y + c, x + c, or -x + c.
   if (L.Coeffs.empty()) {
     if (L.Const > 0)
-      D.meetWith(Dbm::bottom(numVars())); // Contradiction.
+      D.meetWith(Domain::bottom(numVars())); // Contradiction.
     return;
   }
   if (L.Coeffs.size() == 1) {
@@ -327,14 +334,15 @@ void VarEnv::applyLeqZero(Dbm &D, const LinForm &L) const {
   // Wider forms are ignored (sound over-approximation).
 }
 
-void VarEnv::assumeCond(Dbm &D, const Expr *Cond, bool Positive) const {
+template <class Domain>
+void VarEnv::assumeCond(Domain &D, const Expr *Cond, bool Positive) const {
   if (!Cond || D.isBottom())
     return;
   switch (Cond->kind()) {
   case Expr::Kind::BoolLit: {
     bool Holds = cast<BoolLitExpr>(Cond)->Value == Positive;
     if (!Holds)
-      D.meetWith(Dbm::bottom(numVars()));
+      D.meetWith(Domain::bottom(numVars()));
     return;
   }
   case Expr::Kind::VarRef: {
@@ -362,9 +370,9 @@ void VarEnv::assumeCond(Dbm &D, const Expr *Cond, bool Positive) const {
         assumeCond(D, B->Rhs.get(), true);
       } else {
         // !(a && b) == !a || !b: join of the two refinements.
-        Dbm D1 = D;
+        Domain D1 = D;
         assumeCond(D1, B->Lhs.get(), false);
-        Dbm D2 = D;
+        Domain D2 = D;
         assumeCond(D2, B->Rhs.get(), false);
         D1.joinWith(D2);
         D = std::move(D1);
@@ -372,9 +380,9 @@ void VarEnv::assumeCond(Dbm &D, const Expr *Cond, bool Positive) const {
       return;
     case BinaryOp::Or:
       if (Positive) {
-        Dbm D1 = D;
+        Domain D1 = D;
         assumeCond(D1, B->Lhs.get(), true);
-        Dbm D2 = D;
+        Domain D2 = D;
         assumeCond(D2, B->Rhs.get(), true);
         D1.joinWith(D2);
         D = std::move(D1);
@@ -462,3 +470,27 @@ void VarEnv::assumeCond(Dbm &D, const Expr *Cond, bool Positive) const {
     return;
   }
 }
+
+// The transfer functions are instantiated once per engine domain; new
+// domains add their instantiations here rather than moving the definitions
+// into the header.
+namespace blazer {
+template Dbm VarEnv::initialState<Dbm>() const;
+template IntervalDomain VarEnv::initialState<IntervalDomain>() const;
+template void VarEnv::transferInstr<Dbm>(Dbm &, const Instr &) const;
+template void VarEnv::transferInstr<IntervalDomain>(IntervalDomain &,
+                                                    const Instr &) const;
+template void VarEnv::assumeCond<Dbm>(Dbm &, const Expr *, bool) const;
+template void VarEnv::assumeCond<IntervalDomain>(IntervalDomain &,
+                                                 const Expr *, bool) const;
+template std::optional<int64_t> VarEnv::evalUpper<Dbm>(const Dbm &,
+                                                       const LinForm &) const;
+template std::optional<int64_t>
+VarEnv::evalUpper<IntervalDomain>(const IntervalDomain &,
+                                  const LinForm &) const;
+template std::optional<int64_t> VarEnv::evalLower<Dbm>(const Dbm &,
+                                                       const LinForm &) const;
+template std::optional<int64_t>
+VarEnv::evalLower<IntervalDomain>(const IntervalDomain &,
+                                  const LinForm &) const;
+} // namespace blazer

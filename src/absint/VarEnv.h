@@ -86,29 +86,39 @@ public:
   std::string displaySymbol(int I) const;
 
   /// The abstract state at function entry: parameters pinned to their
-  /// seeds, lengths non-negative, booleans in [0,1].
+  /// seeds, lengths non-negative, booleans in [0,1]. The templated form
+  /// builds the state in any NumericDomain (the interval->zone cascade
+  /// seeds both domains identically); the plain overload keeps the
+  /// historical zone-typed spelling working.
+  template <class Domain> Domain initialState() const;
   Dbm initialState() const;
 
   /// Parses \p E into a linear form over DBM indices, if it is linear with
   /// integer coefficients.
   std::optional<LinForm> parseLinear(const Expr *E) const;
 
-  /// Applies one instruction to \p D in place.
-  void transferInstr(Dbm &D, const Instr &I) const;
+  /// Applies one instruction to \p D in place. Instantiated for every
+  /// NumericDomain the engine runs (Dbm and IntervalDomain; see VarEnv.cpp
+  /// for the explicit instantiations).
+  template <class Domain> void transferInstr(Domain &D, const Instr &I) const;
 
   /// Refines \p D with the assumption that \p Cond evaluates to
   /// \p Positive. Unhandled shapes leave \p D unchanged (sound).
-  void assumeCond(Dbm &D, const Expr *Cond, bool Positive) const;
+  template <class Domain>
+  void assumeCond(Domain &D, const Expr *Cond, bool Positive) const;
 
   /// Best-effort numeric bounds of a linear form under \p D. Uses the
-  /// zone's difference constraints directly for two-variable +/-1 forms,
+  /// domain's difference constraints directly for two-variable +/-1 forms,
   /// falling back to per-variable intervals otherwise.
-  std::optional<int64_t> evalUpper(const Dbm &D, const LinForm &F) const;
-  std::optional<int64_t> evalLower(const Dbm &D, const LinForm &F) const;
+  template <class Domain>
+  std::optional<int64_t> evalUpper(const Domain &D, const LinForm &F) const;
+  template <class Domain>
+  std::optional<int64_t> evalLower(const Domain &D, const LinForm &F) const;
 
 private:
-  /// Adds "F <= 0" to \p D when expressible as a zone constraint.
-  void applyLeqZero(Dbm &D, const LinForm &F) const;
+  /// Adds "F <= 0" to \p D when expressible as a difference constraint.
+  template <class Domain>
+  void applyLeqZero(Domain &D, const LinForm &F) const;
 
   const CfgFunction &F;
   std::map<std::string, int64_t> Pins;  ///< Display name -> pinned value.

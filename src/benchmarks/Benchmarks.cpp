@@ -576,15 +576,13 @@ const BenchmarkProgram *blazer::findBenchmark(const std::string &Name) {
 
 BlazerResult blazer::runBenchmark(const BenchmarkProgram &B,
                                   const BudgetLimits &Limits, int Jobs,
-                                  bool UseCache,
-                                  std::shared_ptr<TrailBoundCache> SharedCache,
-                                  bool Fifo) {
+                                  EngineConfig Engine,
+                                  std::shared_ptr<TrailBoundCache> SharedCache) {
   CfgFunction F = B.compile();
   BlazerOptions Opt = B.options();
   Opt.Budget = Limits;
   Opt.Jobs = Jobs;
-  Opt.UseTrailCache = UseCache;
+  Opt.Engine = Engine;
   Opt.SharedTrailCache = std::move(SharedCache);
-  Opt.FifoFixpoint = Fifo;
   return analyzeFunction(F, Opt);
 }

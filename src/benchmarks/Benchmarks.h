@@ -53,15 +53,14 @@ const std::vector<BenchmarkProgram> &allBenchmarks();
 /// result with an Unknown verdict — the Table-1 "T/O" row — instead of an
 /// unbounded run. \p Jobs is the analysis worker-thread count (1 =
 /// sequential, 0 = hardware concurrency); see BlazerOptions::Jobs.
-/// \p UseCache maps to BlazerOptions::UseTrailCache; \p SharedCache (may
-/// be null) to BlazerOptions::SharedTrailCache, letting bench drivers keep
-/// one cache warm across repeated runs of the same benchmark. \p Fifo maps
-/// to BlazerOptions::FifoFixpoint (the legacy zone-fixpoint scheduler).
+/// \p Engine maps to BlazerOptions::Engine (domain mode, fixpoint
+/// scheduler, closure policy, trail-cache switch); \p SharedCache (may be
+/// null) to BlazerOptions::SharedTrailCache, letting bench drivers keep
+/// one cache warm across repeated runs of the same benchmark.
 BlazerResult runBenchmark(const BenchmarkProgram &B,
                           const BudgetLimits &Limits = {}, int Jobs = 1,
-                          bool UseCache = true,
-                          std::shared_ptr<TrailBoundCache> SharedCache = nullptr,
-                          bool Fifo = false);
+                          EngineConfig Engine = {},
+                          std::shared_ptr<TrailBoundCache> SharedCache = nullptr);
 
 /// Lookup by name; null when absent.
 const BenchmarkProgram *findBenchmark(const std::string &Name);

@@ -32,20 +32,24 @@ std::string TrailBoundResult::str() const {
 BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
                              std::map<std::string, int64_t> InputPins,
                              ThreadPool *PoolIn, TrailBoundCache *CacheIn,
-                             bool FifoFixpoint)
+                             EngineConfig EngineIn)
     : F(Fn), A(EdgeAlphabet::forFunction(Fn)), Env(Fn, std::move(InputPins)),
-      Az(Fn, Env, /*UseWto=*/!FifoFixpoint), Pool(PoolIn), Cache(CacheIn) {
+      Engine(EngineIn),
+      Az(Fn, Env, /*UseWto=*/Engine.Fixpoint == FixpointSched::Wto),
+      IntAz(Fn, Env, /*UseWto=*/Engine.Fixpoint == FixpointSched::Wto),
+      Pool(PoolIn), Cache(CacheIn) {
   if (!Cache)
     return;
   // Everything a TrailBoundResult depends on besides the trail language:
   // the function's identity and shape, the cost of every block (the
-  // machine model applied to its instructions), the pinned inputs, and the
-  // fixpoint scheduler. Two functions agreeing on all of this and on a
-  // trail's canonical DFA necessarily get the same bounds, so sharing a
-  // cache across drivers is sound. (The schedulers are expected to agree
-  // too, but salting by scheduler keeps A/B runs honest: a FIFO run never
-  // serves WTO-computed entries, so a differential test actually exercises
-  // both engines.)
+  // machine model applied to its instructions), the pinned inputs, the
+  // fixpoint scheduler, and the domain mode. Two functions agreeing on all
+  // of this and on a trail's canonical DFA necessarily get the same
+  // bounds, so sharing a cache across drivers is sound. (The schedulers
+  // and the cascade/zone-only modes are expected to agree too, but salting
+  // by both keeps A/B runs honest: a FIFO or cascade run never serves
+  // entries computed under the other configuration, so a differential test
+  // actually exercises both engines.)
   std::ostringstream Salt;
   Salt << F.Name << '/' << F.blockCount() << '/' << F.Entry << '/' << F.Exit;
   for (const BasicBlock &B : F.Blocks)
@@ -56,7 +60,8 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
   Salt << ';';
   for (const auto &[Sym, Val] : Env.inputPins())
     Salt << Sym << '=' << Val << ' ';
-  Salt << ';' << (FifoFixpoint ? "fifo" : "wto");
+  Salt << ';' << fixpointSchedName(Engine.Fixpoint);
+  Salt << ';' << domainModeName(Engine.Domain);
   Salt << '@';
   CacheSalt = Salt.str();
 }
@@ -69,6 +74,14 @@ FixpointStats BoundAnalysis::fixpointStats() const {
   S.TransferHits = Stats.TransferHits.load(std::memory_order_relaxed);
   S.TransferMisses = Stats.TransferMisses.load(std::memory_order_relaxed);
   S.Sweeps = Stats.Sweeps.load(std::memory_order_relaxed);
+  return S;
+}
+
+CascadeStats BoundAnalysis::cascadeStats() const {
+  CascadeStats S;
+  S.Discharged = Casc.Discharged.load(std::memory_order_relaxed);
+  S.Promoted = Casc.Promoted.load(std::memory_order_relaxed);
+  S.IntervalPops = Casc.IntervalPops.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -162,12 +175,14 @@ struct Delta {
 using DeltaState = std::vector<Delta>; ///< Indexed by DBM var (1-based -1).
 
 /// The whole per-trail computation: pruned product graph + recursive region
-/// folding.
-class RegionEngine {
+/// folding. Templated over the numeric domain: zones under cascade and
+/// zone-only modes, boxes under interval-only (where weaker invariants may
+/// cost upper bounds, never soundness).
+template <class Domain> class RegionEngine {
 public:
-  RegionEngine(const CfgFunction &F, const VarEnv &Env, const Analyzer &Az,
-               const ProductGraph &G, const AnalysisResult &AR,
-               ThreadPool *Pool)
+  RegionEngine(const CfgFunction &F, const VarEnv &Env,
+               const AnalyzerT<Domain> &Az, const ProductGraph &G,
+               const AnalysisResultT<Domain> &AR, ThreadPool *Pool)
       : F(F), Env(Env), Az(Az), G(G), AR(AR), Pool(Pool) {
     buildPrunedGraph();
   }
@@ -213,7 +228,7 @@ private:
       for (const ProductGraph::Arc &Arc : G.successors(Id)) {
         if (!AR.Feasible[Arc.To])
           continue;
-        Dbm Along = Az.transferEdge(AR.EntryState[Id], Arc.CfgEdge);
+        Domain Along = Az.transferEdge(AR.EntryState[Id], Arc.CfgEdge);
         if (Along.isBottom())
           continue;
         Feasible[Id].push_back({Arc.To, Arc.CfgEdge});
@@ -605,7 +620,7 @@ private:
     bool ContinuePositive = ContinueEdge.To == HB.TrueSucc;
 
     // Guard value at loop entry, from the preheader states.
-    Dbm Pre = preheaderState(CSet, H);
+    Domain Pre = preheaderState(CSet, H);
     if (Pre.isBottom()) {
       Why = "no feasible loop entry state";
       return;
@@ -728,7 +743,7 @@ private:
   /// iteration (it cannot step over zero) and the preheader state fixes
   /// its starting side. \returns the canonical G (continue iff G <= 0).
   std::optional<LinForm> canonicalGuardNe(const Expr *Cond, bool Positive,
-                                          const Dbm &Pre,
+                                          const Domain &Pre,
                                           const std::vector<int> &Comp,
                                           const std::set<int> &CSet, int H) {
     const auto *B = dyn_cast<BinaryExpr>(Cond);
@@ -896,8 +911,8 @@ private:
   }
 
   /// Join of the abstract states entering the loop from outside.
-  Dbm preheaderState(const std::set<int> &CSet, int H) {
-    Dbm Acc = Dbm::bottom(Env.numVars());
+  Domain preheaderState(const std::set<int> &CSet, int H) {
+    Domain Acc = Domain::bottom(Env.numVars());
     bool Any = false;
     for (int P : Preds[H]) {
       if (CSet.count(P))
@@ -919,7 +934,7 @@ private:
   // Symbolic projections of zone states
   //===------------------------------------------------------------------===//
 
-  std::optional<CostPoly> varLowerPoly(const Dbm &D, int V) const {
+  std::optional<CostPoly> varLowerPoly(const Domain &D, int V) const {
     if (Env.isInputSymbol(V))
       return CostPoly::variable(Env.displaySymbol(V));
     // Exact constant first (keeps polynomials free of incidental symbols).
@@ -941,14 +956,14 @@ private:
       if (S == V || !Env.isInputSymbol(S))
         continue;
       int64_t C = D.bound(S, V);
-      if (C != Dbm::Inf)
+      if (C != Domain::Inf)
         return CostPoly::variable(Env.displaySymbol(S)) -
                CostPoly::constant(C);
     }
     return std::nullopt;
   }
 
-  std::optional<CostPoly> varUpperPoly(const Dbm &D, int V) const {
+  std::optional<CostPoly> varUpperPoly(const Domain &D, int V) const {
     if (Env.isInputSymbol(V))
       return CostPoly::variable(Env.displaySymbol(V));
     // Exact constant first (keeps polynomials free of incidental symbols).
@@ -970,14 +985,14 @@ private:
       if (S == V || !Env.isInputSymbol(S))
         continue;
       int64_t C = D.bound(V, S);
-      if (C != Dbm::Inf)
+      if (C != Domain::Inf)
         return CostPoly::variable(Env.displaySymbol(S)) +
                CostPoly::constant(C);
     }
     return std::nullopt;
   }
 
-  std::optional<CostPoly> polyLower(const Dbm &D, const LinForm &L) const {
+  std::optional<CostPoly> polyLower(const Domain &D, const LinForm &L) const {
     CostPoly Sum = CostPoly::constant(L.Const);
     for (const auto &[V, C] : L.Coeffs) {
       std::optional<CostPoly> P =
@@ -989,7 +1004,7 @@ private:
     return Sum;
   }
 
-  std::optional<CostPoly> polyUpper(const Dbm &D, const LinForm &L) const {
+  std::optional<CostPoly> polyUpper(const Domain &D, const LinForm &L) const {
     CostPoly Sum = CostPoly::constant(L.Const);
     for (const auto &[V, C] : L.Coeffs) {
       std::optional<CostPoly> P =
@@ -1003,9 +1018,9 @@ private:
 
   const CfgFunction &F;
   const VarEnv &Env;
-  const Analyzer &Az;
+  const AnalyzerT<Domain> &Az;
   const ProductGraph &G;
-  const AnalysisResult &AR;
+  const AnalysisResultT<Domain> &AR;
   ThreadPool *Pool;
 
   std::vector<char> Alive;
@@ -1058,14 +1073,86 @@ TrailBoundResult BoundAnalysis::analyzeTrailUncached(const Dfa &TrailDfa) const 
     return Degraded(); // Truncated product: its emptiness means nothing.
   if (G.empty())
     return Res;
-  AnalysisResult AR = Az.analyze(G);
+
+  // Interval-only mode: the box domain runs the whole pipeline. Weaker
+  // invariants may cost upper bounds (more "?" results), never soundness.
+  if (Engine.Domain == DomainMode::IntervalOnly) {
+    IntervalAnalysisResult AR = IntAz.analyze(G);
+    accumulateStats(AR.Stats);
+    if (Budget && Budget->exhausted())
+      return Degraded();
+    RegionEngine<IntervalDomain> Eng(F, Env, IntAz, G, AR, Pool);
+    if (!Eng.entryAlive())
+      return Res;
+    RB R = Eng.run();
+    if (Budget && Budget->exhausted())
+      return Degraded();
+    Res.Feasible = true;
+    Res.Lo = R.Lo;
+    Res.Hi = R.Hi;
+    Res.Note = R.Note;
+    return Res;
+  }
+
+  // Cascade tier 1: run the O(n)-per-transfer interval fixpoint over the
+  // same product schedule and test whether any accepting node stays
+  // forward-reachable over interval-feasible arcs. If not, the trail is
+  // infeasible — the zone invariants are included in the interval ones
+  // node-for-node (same transfer structure, coarser lattice), so the
+  // O(n^2)/O(n^3) zone run could only confirm the verdict and is skipped.
+  // If yes, the interval run still pays for itself: nodes it proved
+  // unreachable are pinned bottom in the zone fixpoint, which then never
+  // pops, transfers, or joins them. Bounds always come from zones.
+  std::vector<char> Dead;
+  if (Engine.Domain == DomainMode::Cascade) {
+    IntervalAnalysisResult IR = IntAz.analyze(G);
+    Casc.IntervalPops.fetch_add(IR.Stats.Pops, std::memory_order_relaxed);
+    if (Budget && Budget->exhausted())
+      return Degraded(); // Interrupted interval ascent: states partial.
+    size_t N = G.size();
+    std::vector<char> Fwd(N, 0);
+    if (IR.Feasible[G.entry()]) {
+      // Arc feasibility is evaluated lazily as nodes pop: an arc is taken
+      // when its target is interval-feasible and the state propagated
+      // along it is non-bottom (the same test the zone pruner applies).
+      std::deque<int> Work = {G.entry()};
+      Fwd[G.entry()] = 1;
+      while (!Work.empty()) {
+        int Id = Work.front();
+        Work.pop_front();
+        for (const ProductGraph::Arc &Arc : G.successors(Id)) {
+          if (Fwd[Arc.To] || !IR.Feasible[Arc.To])
+            continue;
+          if (IntAz.transferEdge(IR.EntryState[Id], Arc.CfgEdge).isBottom())
+            continue;
+          Fwd[Arc.To] = 1;
+          Work.push_back(Arc.To);
+        }
+      }
+    }
+    if (Budget && Budget->exhausted())
+      return Degraded();
+    bool AnyAccept = false;
+    for (int Acc : G.accepts())
+      AnyAccept = AnyAccept || Fwd[Acc];
+    if (!AnyAccept) {
+      Casc.Discharged.fetch_add(1, std::memory_order_relaxed);
+      return Res; // Infeasible; no zone work needed.
+    }
+    Casc.Promoted.fetch_add(1, std::memory_order_relaxed);
+    Dead.assign(N, 0);
+    for (size_t I = 0; I < N; ++I)
+      Dead[I] = !Fwd[I];
+  }
+
+  AnalysisResult AR = Az.analyze(G, Dead.empty() ? nullptr : &Dead);
   accumulateStats(AR.Stats);
   if (Budget && Budget->exhausted())
     return Degraded(); // Interrupted ascent: states are untrustworthy.
-  RegionEngine Engine(F, Env, Az, G, AR, Pool);
-  if (!Engine.entryAlive())
+  RegionEngine<Dbm> Eng(F, Env, Az, G, AR, Pool);
+  if (!Eng.entryAlive())
     return Res;
-  RB R = Engine.run();
+  RB R = Eng.run();
   if (Budget && Budget->exhausted())
     return Degraded();
   Res.Feasible = true;

@@ -35,6 +35,8 @@
 #include "automata/Automaton.h"
 #include "ir/Cfg.h"
 #include "support/Bound.h"
+#include "support/EngineConfig.h"
+#include "support/EngineTelemetry.h"
 #include "support/TrailBoundCache.h"
 
 #include <atomic>
@@ -89,13 +91,15 @@ public:
   /// trail fingerprint; null disables memoization. The cache may be shared
   /// across functions: keys carry a salt of everything the result depends
   /// on besides the trail language (function name/shape, per-block costs,
-  /// input pins, fixpoint scheduler). \p FifoFixpoint selects the legacy
-  /// FIFO worklist scheduler instead of the default WTO one (A/B lever).
+  /// input pins, fixpoint scheduler, domain mode). \p Engine selects the
+  /// abstract-domain mode (interval->zone cascade, zone-only, or
+  /// interval-only) and the fixpoint scheduler; closure policy and trail
+  /// caching are handled by the driver, not here.
   explicit BoundAnalysis(const CfgFunction &F,
                          std::map<std::string, int64_t> InputPins = {},
                          ThreadPool *Pool = nullptr,
                          TrailBoundCache *Cache = nullptr,
-                         bool FifoFixpoint = false);
+                         EngineConfig Engine = {});
 
   const EdgeAlphabet &alphabet() const { return A; }
   const VarEnv &env() const { return Env; }
@@ -106,11 +110,18 @@ public:
   /// The most general trail's automaton (the whole CFG).
   Dfa mostGeneralTrail() const;
 
-  /// Accumulated zone-fixpoint work counters across every analyzeTrail run
-  /// by this engine (cache hits do no fixpoint work and contribute
-  /// nothing). Safe to read concurrently; the snapshot is per-counter
-  /// consistent, not cross-counter atomic.
+  /// Accumulated fixpoint work counters across every analyzeTrail run by
+  /// this engine (cache hits do no fixpoint work and contribute nothing).
+  /// Counts the deciding domain's fixpoints: zone runs under cascade and
+  /// zone-only, interval runs under interval-only. Safe to read
+  /// concurrently; the snapshot is per-counter consistent, not
+  /// cross-counter atomic.
   FixpointStats fixpointStats() const;
+
+  /// Interval->zone cascade counters (all zero outside cascade mode): how
+  /// many trails the interval tier discharged outright, how many were
+  /// promoted to a zone run, and the interval fixpoint work spent deciding.
+  CascadeStats cascadeStats() const;
 
 private:
   /// The product/fixpoint/region pipeline behind analyzeTrail, without the
@@ -122,7 +133,11 @@ private:
   const CfgFunction &F;
   EdgeAlphabet A;
   VarEnv Env;
+  EngineConfig Engine;
   Analyzer Az;
+  /// The interval tier of the cascade (also the whole engine under
+  /// interval-only mode); shares Env and the scheduler choice with Az.
+  IntervalAnalyzer IntAz;
   ThreadPool *Pool;
   TrailBoundCache *Cache;
   /// Key prefix distinguishing this function's results in a shared cache.
@@ -136,6 +151,12 @@ private:
     std::atomic<uint64_t> TransferMisses{0};
     std::atomic<uint64_t> Sweeps{0};
   } mutable Stats;
+  /// Cascade counters, accumulated from concurrent trail queries.
+  struct {
+    std::atomic<uint64_t> Discharged{0};
+    std::atomic<uint64_t> Promoted{0};
+    std::atomic<uint64_t> IntervalPops{0};
+  } mutable Casc;
 };
 
 } // namespace blazer

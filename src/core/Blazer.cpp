@@ -72,11 +72,11 @@ public:
   Driver(const CfgFunction &F, const BlazerOptions &Options)
       : F(F), Opt(Options),
         Pool(Options.Jobs <= 0 ? 0u : static_cast<unsigned>(Options.Jobs)),
-        TrailCache(!Options.UseTrailCache        ? nullptr
+        TrailCache(!Options.Engine.TrailCache    ? nullptr
                    : Options.SharedTrailCache    ? Options.SharedTrailCache
                                                  : std::make_shared<TrailBoundCache>()),
         BA(F, Options.Observer.pinnedSymbols(), &Pool, TrailCache.get(),
-           Options.FifoFixpoint),
+           Options.Engine),
         Budget(Options.Budget) {
     // Boolean parameters range over {0,1} regardless of the configured
     // default input maximum.
@@ -87,6 +87,7 @@ public:
 
   BlazerResult run() {
     BudgetScope Scope(&Budget);
+    ClosurePolicyScope CScope(Opt.Engine.Closure);
     auto T0 = std::chrono::steady_clock::now();
     BlazerResult R;
     bool Safe = runSafetyPhase(R.Taint);
@@ -117,14 +118,16 @@ public:
     R.Degradation = Budget.reason();
     R.Usage = Budget.usage();
     if (TrailCache)
-      R.CacheStats = TrailCache->stats();
-    R.Fixpoint = BA.fixpointStats();
+      R.Telemetry.Cache = TrailCache->stats();
+    R.Telemetry.Fixpoint = BA.fixpointStats();
+    R.Telemetry.Cascade = BA.cascadeStats();
     return R;
   }
 
   /// §3.4: the channel-capacity analysis (see analyzeChannelCapacity).
   ChannelCapacityResult runCapacity(int Q) {
     BudgetScope Scope(&Budget);
+    ClosurePolicyScope CScope(Opt.Engine.Closure);
     ChannelCapacityResult R;
     R.Q = Q;
     bool Safe = runSafetyPhase(R.Taint);
@@ -229,7 +232,9 @@ public:
     R.Tree = std::move(Tree);
     R.Degradation = Budget.reason();
     if (TrailCache)
-      R.CacheStats = TrailCache->stats();
+      R.Telemetry.Cache = TrailCache->stats();
+    R.Telemetry.Fixpoint = BA.fixpointStats();
+    R.Telemetry.Cascade = BA.cascadeStats();
     return R;
   }
 

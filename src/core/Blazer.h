@@ -23,6 +23,8 @@
 #include "core/Trail.h"
 #include "dataflow/Taint.h"
 #include "support/Budget.h"
+#include "support/EngineConfig.h"
+#include "support/EngineTelemetry.h"
 #include "support/Observer.h"
 
 #include <memory>
@@ -80,25 +82,24 @@ struct BlazerOptions {
   /// partial trail tree is kept, and BlazerResult::Degradation records
   /// which budget tripped, in which phase, and after how long.
   BudgetLimits Budget;
-  /// Memoize per-trail bound analyses across refinement rounds and across
-  /// the safety/capacity/attack phases, keyed by a canonical fingerprint
-  /// of the trail DFA. Results are byte-identical with the cache on or off
-  /// (hits return exactly what recomputation would produce); only the work
-  /// — and hence ResourceUsage step counters — shrinks. --no-cache maps
-  /// here for A/B measurement.
-  bool UseTrailCache = true;
+  /// The abstract-interpretation engine knobs — domain mode
+  /// (interval->zone cascade / zone-only / interval-only), fixpoint
+  /// scheduler (WTO / FIFO), DBM closure policy (incremental / full), and
+  /// the per-trail bound cache switch — under one registry with canonical
+  /// CLI/env spellings (see EngineConfig). Every configuration is
+  /// verdict-preserving by design: cascade vs zone-only, WTO vs FIFO,
+  /// incremental vs full closure, and cache on vs off each produce
+  /// byte-identical verdicts, bounds, and treeString output on runs that
+  /// stay within budget; only the work differs (interval-only is the one
+  /// diagnostic exception — its weaker invariants may degrade verdicts
+  /// toward Unknown, never toward an unsound Safe).
+  EngineConfig Engine;
   /// Optional externally-owned cache reused across analyzeFunction calls
   /// (the bench drivers share one per benchmark so repeated runs hit warm
-  /// entries). Keys are salted per function/pins, so sharing is sound.
-  /// Null: the driver creates a private cache for the run (when
-  /// UseTrailCache). Ignored when UseTrailCache is false.
+  /// entries). Keys are salted per function/pins/engine mode, so sharing
+  /// is sound. Null: the driver creates a private cache for the run (when
+  /// Engine.TrailCache). Ignored when Engine.TrailCache is false.
   std::shared_ptr<TrailBoundCache> SharedTrailCache;
-  /// Drive the zone fixpoint with the legacy FIFO worklist instead of the
-  /// default weak-topological-order scheduler. Verdicts, bounds, and
-  /// treeString output are byte-identical under either scheduler; only the
-  /// work — and hence BlazerResult::Fixpoint — differs. --fixpoint=fifo
-  /// maps here for A/B measurement.
-  bool FifoFixpoint = false;
 };
 
 /// Everything the analysis produced.
@@ -118,14 +119,13 @@ struct BlazerResult {
   DegradationReason Degradation;
   /// Step counters accumulated over the run (states, joins, trail nodes).
   ResourceUsage Usage;
-  /// Trail-bound cache counters. All zero when the cache was disabled;
-  /// cumulative across runs when BlazerOptions::SharedTrailCache reuses
-  /// one cache.
-  TrailCacheStats CacheStats;
-  /// Zone-fixpoint work counters accumulated over every trail analyzed
-  /// (pops, joins, widenings, transfer-memo hit rate). Diagnostics only —
-  /// they vary with the scheduler and cache hits, unlike the verdict.
-  FixpointStats Fixpoint;
+  /// Engine work counters — trail-cache hits/misses, fixpoint work, and
+  /// cascade discharge/promotion counts — under one struct with a single
+  /// JSON emitter shared by the CLI and the bench drivers. Diagnostics
+  /// only: they vary with scheduler, domain mode, and cache hits, unlike
+  /// the verdict. Cache counters are cumulative across runs when
+  /// BlazerOptions::SharedTrailCache reuses one cache.
+  EngineTelemetry Telemetry;
 
   /// Pretty-prints the trail tree with bound balloons, Figure-1 style.
   std::string treeString(const CfgFunction &F) const;
@@ -152,8 +152,8 @@ struct ChannelCapacityResult {
   TaintInfo Taint;
   /// First budget trip, if any; a tripped budget forces Known = false.
   DegradationReason Degradation;
-  /// Trail-bound cache counters (see BlazerResult::CacheStats).
-  TrailCacheStats CacheStats;
+  /// Engine work counters (see BlazerResult::Telemetry).
+  EngineTelemetry Telemetry;
 };
 
 /// Verifies the §3.4 channel-capacity property ccf with capacity \p Q

@@ -1,0 +1,184 @@
+//===- EngineConfig.cpp - Unified analysis-engine knobs -------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EngineConfig.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace blazer;
+
+const char *blazer::domainModeName(DomainMode M) {
+  switch (M) {
+  case DomainMode::Cascade:
+    return "cascade";
+  case DomainMode::ZoneOnly:
+    return "zone";
+  case DomainMode::IntervalOnly:
+    return "interval-only";
+  }
+  return "?";
+}
+
+const char *blazer::fixpointSchedName(FixpointSched S) {
+  switch (S) {
+  case FixpointSched::Wto:
+    return "wto";
+  case FixpointSched::Fifo:
+    return "fifo";
+  }
+  return "?";
+}
+
+const char *blazer::closureModeName(ClosureMode M) {
+  switch (M) {
+  case ClosureMode::Incremental:
+    return "incremental";
+  case ClosureMode::Full:
+    return "full";
+  }
+  return "?";
+}
+
+const std::vector<EngineConfig::Knob> &EngineConfig::knobs() {
+  static const std::vector<Knob> Registry = {
+      {"domain", "cascade|zone|interval-only",
+       "abstract-domain mode (default cascade)"},
+      {"fixpoint", "wto|fifo", "zone-fixpoint scheduler (default wto)"},
+      {"closure", "incremental|full",
+       "DBM closure policy (default incremental)"},
+      {"cache", "on|off", "trail-bound memo cache (default on)"},
+  };
+  return Registry;
+}
+
+bool EngineConfig::set(const std::string &Name, const std::string &Value,
+                       std::string *Err) {
+  auto Fail = [&](const char *Values) {
+    if (Err)
+      *Err = "unknown " + Name + " value '" + Value + "' (expected " +
+             Values + ")";
+    return false;
+  };
+  if (Name == "domain") {
+    if (Value == "cascade")
+      Domain = DomainMode::Cascade;
+    else if (Value == "zone" || Value == "zone-only")
+      Domain = DomainMode::ZoneOnly;
+    else if (Value == "interval-only")
+      Domain = DomainMode::IntervalOnly;
+    else
+      return Fail("cascade|zone|interval-only");
+    return true;
+  }
+  if (Name == "fixpoint") {
+    if (Value == "wto")
+      Fixpoint = FixpointSched::Wto;
+    else if (Value == "fifo")
+      Fixpoint = FixpointSched::Fifo;
+    else
+      return Fail("wto|fifo");
+    return true;
+  }
+  if (Name == "closure") {
+    if (Value == "incremental")
+      Closure = ClosureMode::Incremental;
+    else if (Value == "full")
+      Closure = ClosureMode::Full;
+    else
+      return Fail("incremental|full");
+    return true;
+  }
+  if (Name == "cache") {
+    if (Value == "on" || Value == "1")
+      TrailCache = true;
+    else if (Value == "off" || Value == "0")
+      TrailCache = false;
+    else
+      return Fail("on|off");
+    return true;
+  }
+  if (Err)
+    *Err = "unknown engine knob '" + Name + "'";
+  return false;
+}
+
+std::string EngineConfig::get(const std::string &Name) const {
+  if (Name == "domain")
+    return domainModeName(Domain);
+  if (Name == "fixpoint")
+    return fixpointSchedName(Fixpoint);
+  if (Name == "closure")
+    return closureModeName(Closure);
+  if (Name == "cache")
+    return TrailCache ? "on" : "off";
+  return "";
+}
+
+void EngineConfig::loadEnv(const std::string &Prefix) {
+  auto Env = [](const std::string &Name) -> const char * {
+    return std::getenv(Name.c_str());
+  };
+  for (const Knob &K : knobs()) {
+    std::string Var = Prefix + "_";
+    for (const char *P = K.Name; *P; ++P)
+      Var += static_cast<char>(std::toupper(static_cast<unsigned char>(*P)));
+    const char *V = Env(Var);
+    if (!V)
+      continue;
+    std::string Err;
+    if (!set(K.Name, V, &Err))
+      std::fprintf(stderr, "ignoring malformed %s: %s\n", Var.c_str(),
+                   Err.c_str());
+  }
+  // Deprecated 0/1 aliases from the pre-unification bench drivers. The
+  // canonical spelling wins when both are present (it was read above).
+  auto Legacy = [&](const char *Suffix, const char *Knob, const char *On,
+                    const char *Off, bool SkipIfCanonical) {
+    std::string Var = Prefix + "_" + Suffix;
+    const char *V = Env(Var);
+    if (!V || SkipIfCanonical)
+      return;
+    std::string S = V;
+    if (S == "1")
+      set(Knob, On);
+    else if (S == "0")
+      set(Knob, Off);
+    else
+      std::fprintf(stderr, "ignoring malformed %s '%s'\n", Var.c_str(), V);
+  };
+  Legacy("FIFO", "fixpoint", "fifo", "wto",
+         Env(Prefix + "_FIXPOINT") != nullptr);
+  Legacy("FULLCLOSE", "closure", "full", "incremental",
+         Env(Prefix + "_CLOSURE") != nullptr);
+  // "_CACHE" is both the canonical name and the legacy 0/1 switch; set()
+  // accepts 0/1 alongside on/off, so the loop above already handled it.
+}
+
+std::string EngineConfig::str() const {
+  std::string S;
+  for (const Knob &K : knobs()) {
+    if (!S.empty())
+      S += ' ';
+    S += K.Name;
+    S += '=';
+    S += get(K.Name);
+  }
+  return S;
+}
+
+namespace {
+thread_local ClosureMode CurrentClosure = ClosureMode::Incremental;
+} // namespace
+
+ClosurePolicyScope::ClosurePolicyScope(ClosureMode M) : Prev(CurrentClosure) {
+  CurrentClosure = M;
+}
+
+ClosurePolicyScope::~ClosurePolicyScope() { CurrentClosure = Prev; }
+
+ClosureMode ClosurePolicyScope::current() { return CurrentClosure; }

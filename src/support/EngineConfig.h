@@ -1,0 +1,124 @@
+//===- EngineConfig.h - Unified analysis-engine knobs -----------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One block for every analysis-engine knob that accreted across the perf
+/// PRs: the abstract-domain mode (interval->zone cascade vs zone-only vs
+/// interval-only), the zone-fixpoint scheduler (WTO vs the legacy FIFO
+/// worklist), the DBM closure policy (incremental vs full Floyd-Warshall),
+/// and the trail-bound memo cache. Each knob has exactly one canonical
+/// spelling shared by the CLI (--domain=cascade), the bench drivers
+/// (BLAZER_TABLE1_DOMAIN=cascade), and programmatic use
+/// (BlazerOptions::Engine), enumerated by a single registry so the
+/// surfaces cannot drift. Old spellings (--no-cache, --fixpoint=fifo,
+/// BLAZER_TABLE1_{FIFO,CACHE,FULLCLOSE}) are kept as deprecated aliases.
+///
+/// The closure policy used to be the process-wide Dbm::forceFullClose
+/// static; it is now per-options, delivered to the DBM kernels through a
+/// thread-local ClosurePolicyScope that the driver installs for the run
+/// and parallelForWithBudget re-installs on pool workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_ENGINECONFIG_H
+#define BLAZER_SUPPORT_ENGINECONFIG_H
+
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+/// Which abstract domain(s) drive the per-trail fixpoint.
+enum class DomainMode {
+  /// Interval pre-pass discharges trail infeasibility; zones decide
+  /// everything else (the default).
+  Cascade,
+  /// Zones only — the pre-cascade behavior, the A/B baseline.
+  ZoneOnly,
+  /// Intervals only — a diagnostic mode; bounds are weaker, so verdicts
+  /// may degrade to unknown (never to an unsound Safe).
+  IntervalOnly,
+};
+
+/// Zone-fixpoint iteration strategy.
+enum class FixpointSched {
+  Wto,  ///< Bourdoncle weak-topological-order recursion (default).
+  Fifo, ///< Legacy FIFO worklist, kept as the A/B baseline.
+};
+
+/// How DBM addConstraint restores canonical form.
+enum class ClosureMode {
+  Incremental, ///< O(n^2) single-constraint re-closure (default).
+  Full,        ///< Always the O(n^3) Floyd-Warshall — the A/B baseline.
+};
+
+const char *domainModeName(DomainMode M);
+const char *fixpointSchedName(FixpointSched S);
+const char *closureModeName(ClosureMode M);
+
+/// The unified engine-knob block. Value-semantic and cheap to copy; embeds
+/// in BlazerOptions as the one place engine behavior is configured.
+struct EngineConfig {
+  DomainMode Domain = DomainMode::Cascade;
+  FixpointSched Fixpoint = FixpointSched::Wto;
+  ClosureMode Closure = ClosureMode::Incremental;
+  /// Memoize per-trail bound analyses (see BlazerOptions for semantics).
+  bool TrailCache = true;
+
+  /// One registry entry: the canonical knob name doubles as the CLI flag
+  /// ("--<name>=<value>") and the bench env var ("<prefix>_<NAME>").
+  struct Knob {
+    const char *Name;   ///< "domain", "fixpoint", "closure", "cache".
+    const char *Values; ///< Accepted values, for usage text.
+    const char *Help;   ///< One-line description.
+  };
+  /// The full knob registry, in display order.
+  static const std::vector<Knob> &knobs();
+
+  /// Sets knob \p Name to \p Value (both canonical spellings). \returns
+  /// false and fills \p Err on an unknown knob or value.
+  bool set(const std::string &Name, const std::string &Value,
+           std::string *Err = nullptr);
+
+  /// Current value of knob \p Name (canonical spelling), or "" if unknown.
+  std::string get(const std::string &Name) const;
+
+  /// Reads every knob from the environment: for each registry entry the
+  /// canonical "<prefix>_<NAME>" (e.g. BLAZER_TABLE1_DOMAIN=cascade), then
+  /// the deprecated 0/1 aliases <prefix>_FIFO, <prefix>_FULLCLOSE and
+  /// <prefix>_CACHE. Malformed values warn on stderr and keep the default,
+  /// matching the historical bench-driver behavior.
+  void loadEnv(const std::string &Prefix);
+
+  /// Renders "domain=cascade fixpoint=wto closure=incremental cache=on".
+  std::string str() const;
+
+  bool operator==(const EngineConfig &O) const = default;
+};
+
+/// RAII thread-local installation of the DBM closure policy. The zone
+/// kernels read the innermost scope's mode (Incremental when none is
+/// installed), so the policy follows the options of the run that installed
+/// it instead of mutating process-wide state — concurrent drivers with
+/// different policies no longer interfere.
+class ClosurePolicyScope {
+public:
+  explicit ClosurePolicyScope(ClosureMode M);
+  ~ClosurePolicyScope();
+
+  ClosurePolicyScope(const ClosurePolicyScope &) = delete;
+  ClosurePolicyScope &operator=(const ClosurePolicyScope &) = delete;
+
+  /// The calling thread's effective closure mode.
+  static ClosureMode current();
+
+private:
+  ClosureMode Prev;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_ENGINECONFIG_H

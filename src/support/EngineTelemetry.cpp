@@ -1,0 +1,36 @@
+//===- EngineTelemetry.cpp - Unified engine work counters -----------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EngineTelemetry.h"
+
+#include <cstdio>
+
+using namespace blazer;
+
+std::string EngineTelemetry::json() const {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
+      "\"entries\": %llu}, "
+      "\"fixpoint\": {\"pops\": %llu, \"joins\": %llu, \"widenings\": %llu, "
+      "\"transfer_hit_rate\": %.4f, \"sweeps\": %llu}, "
+      "\"cascade\": {\"discharged\": %llu, \"promoted\": %llu, "
+      "\"interval_pops\": %llu}}",
+      static_cast<unsigned long long>(Cache.Hits),
+      static_cast<unsigned long long>(Cache.Misses),
+      static_cast<unsigned long long>(Cache.Evictions),
+      static_cast<unsigned long long>(Cache.Entries),
+      static_cast<unsigned long long>(Fixpoint.Pops),
+      static_cast<unsigned long long>(Fixpoint.Joins),
+      static_cast<unsigned long long>(Fixpoint.Widenings),
+      Fixpoint.transferHitRate(),
+      static_cast<unsigned long long>(Fixpoint.Sweeps),
+      static_cast<unsigned long long>(Cascade.Discharged),
+      static_cast<unsigned long long>(Cascade.Promoted),
+      static_cast<unsigned long long>(Cascade.IntervalPops));
+  return Buf;
+}

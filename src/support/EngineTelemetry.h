@@ -1,0 +1,100 @@
+//===- EngineTelemetry.h - Unified engine work counters ---------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one struct every stats surface speaks: trail-cache counters,
+/// zone-fixpoint work counters, and interval-cascade counters, with a
+/// single JSON emitter shared by the CLI's --cache-stats/--fixpoint-stats
+/// and the bench drivers' BENCH_table1.json rows. Consolidates what used
+/// to be the separate BlazerResult::CacheStats and BlazerResult::Fixpoint
+/// fields (plus ad-hoc printf schemas per surface).
+///
+/// Everything here is diagnostic, not semantic: two configurations that
+/// agree on every verdict and bound still pop, join, and memoize different
+/// amounts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_ENGINETELEMETRY_H
+#define BLAZER_SUPPORT_ENGINETELEMETRY_H
+
+#include "support/TrailBoundCache.h"
+
+#include <cstdint>
+#include <string>
+
+namespace blazer {
+
+/// Work counters of one (or several, merged) zone-fixpoint runs.
+struct FixpointStats {
+  uint64_t Pops = 0;      ///< Node entry-state recomputations.
+  uint64_t Joins = 0;     ///< In-arc joins folded into entry states.
+  uint64_t Widenings = 0; ///< Widening applications.
+  uint64_t TransferHits = 0;   ///< Post-block memo hits.
+  uint64_t TransferMisses = 0; ///< Post-block memo misses (block executions).
+  uint64_t Sweeps = 0;         ///< Descending sweeps actually run.
+
+  void mergeFrom(const FixpointStats &O) {
+    Pops += O.Pops;
+    Joins += O.Joins;
+    Widenings += O.Widenings;
+    TransferHits += O.TransferHits;
+    TransferMisses += O.TransferMisses;
+    Sweeps += O.Sweeps;
+  }
+
+  /// Fraction of post-block lookups served from the memo, in [0, 1].
+  double transferHitRate() const {
+    uint64_t Total = TransferHits + TransferMisses;
+    return Total ? static_cast<double>(TransferHits) / Total : 0.0;
+  }
+};
+
+/// Work counters of the interval->zone domain cascade: how many trail
+/// products the interval pre-pass discharged outright (proved infeasible
+/// without any zone fixpoint) vs promoted to the zone domain.
+struct CascadeStats {
+  uint64_t Discharged = 0;   ///< Products settled by intervals alone.
+  uint64_t Promoted = 0;     ///< Products that ran the zone fixpoint.
+  uint64_t IntervalPops = 0; ///< Interval-fixpoint node recomputations.
+
+  void mergeFrom(const CascadeStats &O) {
+    Discharged += O.Discharged;
+    Promoted += O.Promoted;
+    IntervalPops += O.IntervalPops;
+  }
+};
+
+/// Everything the engine counts in one run, one schema everywhere.
+struct EngineTelemetry {
+  /// Trail-bound cache counters. All zero when the cache was disabled;
+  /// cumulative across runs when a shared cache is reused.
+  TrailCacheStats Cache;
+  /// Zone-fixpoint work counters accumulated over every trail analyzed.
+  FixpointStats Fixpoint;
+  /// Interval-cascade counters; all zero under --domain=zone.
+  CascadeStats Cascade;
+
+  void mergeFrom(const EngineTelemetry &O) {
+    Cache.Hits += O.Cache.Hits;
+    Cache.Misses += O.Cache.Misses;
+    Cache.Evictions += O.Cache.Evictions;
+    Cache.Entries += O.Cache.Entries;
+    Fixpoint.mergeFrom(O.Fixpoint);
+    Cascade.mergeFrom(O.Cascade);
+  }
+
+  /// The shared JSON schema:
+  /// {"cache": {"hits": H, "misses": M, "evictions": E, "entries": N},
+  ///  "fixpoint": {"pops": .., "joins": .., "widenings": ..,
+  ///               "transfer_hit_rate": .., "sweeps": ..},
+  ///  "cascade": {"discharged": .., "promoted": .., "interval_pops": ..}}
+  std::string json() const;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_ENGINETELEMETRY_H

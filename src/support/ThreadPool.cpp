@@ -7,6 +7,7 @@
 #include "support/ThreadPool.h"
 
 #include "support/Budget.h"
+#include "support/EngineConfig.h"
 
 #include <algorithm>
 
@@ -122,9 +123,11 @@ void blazer::parallelForWithBudget(ThreadPool *Pool, size_t N,
   }
   AnalysisBudget *Budget = BudgetScope::current();
   const char *Phase = PhaseScope::current();
-  Pool->parallelFor(N, [&, Budget, Phase](size_t I) {
+  ClosureMode Closure = ClosurePolicyScope::current();
+  Pool->parallelFor(N, [&, Budget, Phase, Closure](size_t I) {
     BudgetScope Scope(Budget);
     PhaseScope PScope(Phase);
+    ClosurePolicyScope CScope(Closure);
     Fn(I);
   });
 }

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "absint/Dbm.h"
+#include "support/EngineConfig.h"
 
 #include <gtest/gtest.h>
 
@@ -212,7 +213,7 @@ TEST(DbmClosure, PostWidenConstraintMatchesFullClosure) {
   EXPECT_TRUE(Inc.equals(Full));
 }
 
-TEST(DbmClosure, ForceFullCloseSwitchKeepsResultsIdentical) {
+TEST(DbmClosure, ClosurePolicyScopeKeepsResultsIdentical) {
   auto Build = [] {
     Dbm D = Dbm::top(3);
     D.addConstraint(1, 0, 4);
@@ -222,10 +223,25 @@ TEST(DbmClosure, ForceFullCloseSwitchKeepsResultsIdentical) {
     return D;
   };
   Dbm Fast = Build();
-  Dbm::forceFullClose(true);
-  Dbm Slow = Build();
-  Dbm::forceFullClose(false);
+  Dbm Slow = [&] {
+    ClosurePolicyScope Scope(ClosureMode::Full);
+    return Build();
+  }();
   EXPECT_TRUE(Fast.equals(Slow));
+}
+
+TEST(DbmClosure, ClosurePolicyScopeNestsAndRestores) {
+  EXPECT_EQ(ClosurePolicyScope::current(), ClosureMode::Incremental);
+  {
+    ClosurePolicyScope Outer(ClosureMode::Full);
+    EXPECT_EQ(ClosurePolicyScope::current(), ClosureMode::Full);
+    {
+      ClosurePolicyScope Inner(ClosureMode::Incremental);
+      EXPECT_EQ(ClosurePolicyScope::current(), ClosureMode::Incremental);
+    }
+    EXPECT_EQ(ClosurePolicyScope::current(), ClosureMode::Full);
+  }
+  EXPECT_EQ(ClosurePolicyScope::current(), ClosureMode::Incremental);
 }
 
 } // namespace

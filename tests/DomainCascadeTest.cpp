@@ -1,0 +1,341 @@
+//===- DomainCascadeTest.cpp - Interval/zone cascade differential tests ----===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two properties the interval->zone cascade stands on, checked on all
+/// 24 Table-1 benchmarks and on generated random programs:
+///
+///  - Projection soundness: the interval fixpoint over-approximates the
+///    per-variable projection of the zone fixpoint at every product node —
+///    an interval-bottom node is zone-bottom, and every per-variable
+///    interval bound is at least the corresponding zone bound. This is the
+///    inclusion that lets the cascade discharge interval-infeasible trails
+///    without running a zone fixpoint.
+///
+///  - Behavioral transparency: --domain=cascade and --domain=zone produce
+///    byte-identical verdicts, bounds, and treeString output at jobs
+///    1/2/8. The cascade only skips zone work it can prove irrelevant;
+///    zones still decide every bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+#include "benchmarks/Benchmarks.h"
+#include "bounds/BoundAnalysis.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+using namespace blazer;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Projection soundness on the Table-1 products
+//===----------------------------------------------------------------------===//
+
+/// Runs the interval and zone fixpoints over the same product and checks
+/// node-for-node inclusion of the zone invariant in the interval one.
+void expectIntervalCoversZone(const CfgFunction &F, const VarEnv &Env,
+                              const ProductGraph &G, const std::string &What) {
+  SCOPED_TRACE(What);
+  Analyzer Az(F, Env);
+  IntervalAnalyzer IntAz(F, Env);
+  AnalysisResult Zone = Az.analyze(G);
+  IntervalAnalysisResult Box = IntAz.analyze(G);
+
+  ASSERT_EQ(Zone.EntryState.size(), Box.EntryState.size());
+  for (size_t Id = 0; Id < Zone.EntryState.size(); ++Id) {
+    const Dbm &Z = Zone.EntryState[Id];
+    const IntervalDomain &B = Box.EntryState[Id];
+    // Interval-infeasible must imply zone-infeasible (the discharge rule).
+    if (B.isBottom()) {
+      EXPECT_TRUE(Z.isBottom()) << "node " << Id
+                                << ": interval bottom but zone feasible";
+      continue;
+    }
+    if (Z.isBottom())
+      continue; // Coarser domain keeping a node alive is expected.
+    for (int V = 1; V <= Env.numVars(); ++V) {
+      // bound(V, 0) is the upper bound on v, bound(0, V) on -v; the
+      // interval's must never be tighter than the zone's projection.
+      EXPECT_GE(B.bound(V, 0), Z.bound(V, 0))
+          << "node " << Id << " upper of " << Env.nameOf(V);
+      EXPECT_GE(B.bound(0, V), Z.bound(0, V))
+          << "node " << Id << " lower of " << Env.nameOf(V);
+    }
+  }
+}
+
+class CascadeProjection
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(CascadeProjection, IntervalOverapproximatesZoneProjection) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  BoundAnalysis BA(F, B.options().Observer.pinnedSymbols());
+  ProductGraph G = ProductGraph::build(F, BA.mostGeneralTrail(),
+                                       BA.alphabet());
+  expectIntervalCoversZone(F, BA.env(), G, B.Name);
+}
+
+std::vector<const BenchmarkProgram *> benchmarkPointers() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchmarkName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  return Info.param->Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CascadeProjection,
+                         ::testing::ValuesIn(benchmarkPointers()),
+                         benchmarkName);
+
+//===----------------------------------------------------------------------===//
+// Cascade vs zone-only transparency on the Table-1 suite
+//===----------------------------------------------------------------------===//
+
+struct RunFingerprint {
+  VerdictKind Verdict;
+  std::string TreeText;
+  size_t Attacks;
+};
+
+RunFingerprint fingerprint(const CfgFunction &F, const BlazerResult &R) {
+  return {R.Verdict, R.treeString(F), R.Attacks.size()};
+}
+
+class CascadeTransparency
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(CascadeTransparency, CascadeAndZoneOnlyAgreeByteForByte) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  EngineConfig ZoneOnly;
+  ZoneOnly.Domain = DomainMode::ZoneOnly;
+  RunFingerprint Reference = fingerprint(F, runBenchmark(B, {}, 1, ZoneOnly));
+  for (int Jobs : {1, 2, 8}) {
+    SCOPED_TRACE(B.Name + " jobs=" + std::to_string(Jobs));
+    EngineConfig Cascade; // DomainMode::Cascade is the default.
+    BlazerResult R = runBenchmark(B, {}, Jobs, Cascade);
+    RunFingerprint Got = fingerprint(F, R);
+    EXPECT_EQ(Got.Verdict, Reference.Verdict);
+    EXPECT_EQ(Got.TreeText, Reference.TreeText);
+    EXPECT_EQ(Got.Attacks, Reference.Attacks);
+    // Every analyzed trail is either discharged by intervals or promoted
+    // to a zone run — the counters must account for all of them.
+    EXPECT_GT(R.Telemetry.Cascade.Discharged + R.Telemetry.Cascade.Promoted,
+              0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CascadeTransparency,
+                         ::testing::ValuesIn(benchmarkPointers()),
+                         benchmarkName);
+
+//===----------------------------------------------------------------------===//
+// Random programs: projection + transparency under generated control flow
+//===----------------------------------------------------------------------===//
+
+/// Deterministic xorshift RNG (no global state, reproducible per seed).
+class Rng {
+public:
+  explicit Rng(uint32_t Seed) : S(Seed * 2654435761u + 0x9E3779B9u) {}
+
+  uint32_t next() {
+    S ^= S << 13;
+    S ^= S >> 17;
+    S ^= S << 5;
+    return S;
+  }
+  int range(int Lo, int Hi) { // Inclusive.
+    return Lo + static_cast<int>(next() % (Hi - Lo + 1));
+  }
+  bool chance(int Percent) { return range(1, 100) <= Percent; }
+
+private:
+  uint32_t S;
+};
+
+/// Structured generator over (secret h, public l) with bounded counter
+/// loops and nested branches — the same shape RandomProgramTest fuzzes,
+/// kept loop-heavy so both domains' widenings actually fire.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint32_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    OS << "fn fuzz(secret h: int, public l: int) {\n";
+    OS << "  var a: int = 0;\n  var b: int = 0;\n";
+    emitBlock(2, 0);
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  const char *scalar() {
+    switch (R.range(0, 3)) {
+    case 0:
+      return "h";
+    case 1:
+      return "l";
+    case 2:
+      return "a";
+    default:
+      return "b";
+    }
+  }
+
+  void indent(int Depth) {
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+
+  std::string cond() {
+    std::ostringstream C;
+    const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    C << scalar() << " " << Ops[R.range(0, 5)] << " ";
+    if (R.chance(50))
+      C << R.range(-3, 5);
+    else
+      C << scalar();
+    return C.str();
+  }
+
+  void emitAssign(int Depth) {
+    indent(Depth);
+    const char *T = R.chance(50) ? "a" : "b";
+    switch (R.range(0, 2)) {
+    case 0:
+      OS << T << " = " << R.range(-4, 9) << ";\n";
+      break;
+    case 1:
+      OS << T << " = " << scalar() << " + " << R.range(-2, 4) << ";\n";
+      break;
+    default:
+      OS << T << " = " << T << " + " << scalar() << ";\n";
+      break;
+    }
+  }
+
+  void emitLoop(int Depth) {
+    int Id = NextLoop++;
+    std::string V = "i" + std::to_string(Id);
+    indent(Depth);
+    OS << "var " << V << ": int = 0;\n";
+    indent(Depth);
+    std::string Bound = R.chance(60) ? std::string(R.chance(50) ? "l" : "h")
+                                     : std::to_string(R.range(0, 6));
+    OS << "while (" << V << " < " << Bound << ") {\n";
+    emitAssign(Depth + 1);
+    indent(Depth + 1);
+    OS << V << " = " << V << " + 1;\n";
+    indent(Depth);
+    OS << "}\n";
+  }
+
+  void emitIf(int Depth, int Budget) {
+    indent(Depth);
+    OS << "if (" << cond() << ") {\n";
+    emitBlock(Depth + 1, Budget);
+    if (R.chance(70)) {
+      indent(Depth);
+      OS << "} else {\n";
+      emitBlock(Depth + 1, Budget);
+    }
+    indent(Depth);
+    OS << "}\n";
+  }
+
+  void emitStmt(int Depth, bool AllowLoop, int Budget = 0) {
+    int Kind = R.range(0, 9);
+    if (Kind < 6 || Depth > 4)
+      emitAssign(Depth);
+    else if (Kind < 8 && AllowLoop)
+      emitLoop(Depth);
+    else
+      emitIf(Depth, Budget);
+  }
+
+  void emitBlock(int Depth, int Budget) {
+    int Stmts = R.range(1, 3);
+    for (int I = 0; I < Stmts; ++I)
+      emitStmt(Depth, /*AllowLoop=*/Budget < 2, Budget + 1);
+  }
+
+  Rng R;
+  std::ostringstream OS;
+  int NextLoop = 0;
+};
+
+CfgFunction compileFuzz(uint32_t Seed, std::string *SrcOut = nullptr) {
+  ProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+  if (SrcOut)
+    *SrcOut = Src;
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F))
+      << (F ? "" : F.diag().str()) << "\n" << Src;
+  return F.take();
+}
+
+class RandomCascade : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCascade, IntervalOverapproximatesZoneProjection) {
+  std::string Src;
+  CfgFunction F = compileFuzz(static_cast<uint32_t>(GetParam() + 6000),
+                              &Src);
+  BoundAnalysis BA(F);
+  ProductGraph G = ProductGraph::build(F, BA.mostGeneralTrail(),
+                                       BA.alphabet());
+  expectIntervalCoversZone(F, BA.env(), G, Src);
+}
+
+TEST_P(RandomCascade, CascadeAndZoneOnlyAgreeByteForByte) {
+  std::string Src;
+  CfgFunction F = compileFuzz(static_cast<uint32_t>(GetParam() + 7000),
+                              &Src);
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(32);
+  Opt.Engine.Domain = DomainMode::ZoneOnly;
+  BlazerResult Zone = analyzeFunction(F, Opt);
+  Opt.Engine.Domain = DomainMode::Cascade;
+  for (int Jobs : {1, 4}) {
+    Opt.Jobs = Jobs;
+    BlazerResult Casc = analyzeFunction(F, Opt);
+    EXPECT_EQ(Casc.Verdict, Zone.Verdict) << Src << "jobs=" << Jobs;
+    EXPECT_EQ(Casc.treeString(F), Zone.treeString(F))
+        << Src << "jobs=" << Jobs;
+  }
+}
+
+TEST_P(RandomCascade, IntervalOnlyIsNeverUnsoundlySafe) {
+  // The diagnostic interval-only mode may lose bounds (weaker domain) but
+  // must never flip an unsafe/unknown program to Safe: anything it proves
+  // safe, the zone engine proves safe too.
+  std::string Src;
+  CfgFunction F = compileFuzz(static_cast<uint32_t>(GetParam() + 8000),
+                              &Src);
+  BlazerOptions Opt;
+  Opt.Observer = ObserverModel::polynomialDegree(32);
+  Opt.Engine.Domain = DomainMode::IntervalOnly;
+  BlazerResult Box = analyzeFunction(F, Opt);
+  if (Box.Verdict != VerdictKind::Safe)
+    return;
+  Opt.Engine.Domain = DomainMode::ZoneOnly;
+  BlazerResult Zone = analyzeFunction(F, Opt);
+  EXPECT_EQ(Zone.Verdict, VerdictKind::Safe) << Src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCascade, ::testing::Range(0, 25));
+
+} // namespace

@@ -227,10 +227,11 @@ TEST_P(SchedulerDifferential, WtoAndFifoAgree) {
   const BenchmarkProgram &B = *GetParam();
   CfgFunction F = B.compile();
   RunFingerprint Wto = fingerprint(F, runBenchmark(B, {}, 1));
+  EngineConfig FifoEngine;
+  FifoEngine.Fixpoint = FixpointSched::Fifo;
   for (int Jobs : {1, 8}) {
-    RunFingerprint Fifo = fingerprint(
-        F, runBenchmark(B, {}, Jobs, /*UseCache=*/true,
-                        /*SharedCache=*/nullptr, /*Fifo=*/true));
+    RunFingerprint Fifo =
+        fingerprint(F, runBenchmark(B, {}, Jobs, FifoEngine));
     expectIdentical(Fifo, Wto,
                     B.Name + " fifo jobs=" + std::to_string(Jobs));
   }
@@ -266,8 +267,9 @@ TEST(SchedulerBudget, TrippedRunsAreNeverSafe) {
   for (const BenchmarkProgram &B : allBenchmarks()) {
     for (bool Fifo : {false, true}) {
       SCOPED_TRACE(B.Name + (Fifo ? " fifo" : " wto"));
-      BlazerResult R = runBenchmark(B, Tight, 1, /*UseCache=*/true,
-                                    /*SharedCache=*/nullptr, Fifo);
+      EngineConfig Engine;
+      Engine.Fixpoint = Fifo ? FixpointSched::Fifo : FixpointSched::Wto;
+      BlazerResult R = runBenchmark(B, Tight, 1, Engine);
       if (R.Degradation.tripped()) {
         ++TrippedRuns;
         EXPECT_NE(R.Verdict, VerdictKind::Safe);
@@ -286,12 +288,12 @@ TEST(FixpointStatsPlumbing, CountersReachBlazerResult) {
   const BenchmarkProgram *B = findBenchmark("modPow1_safe");
   ASSERT_NE(B, nullptr);
   BlazerResult R = runBenchmark(*B);
-  EXPECT_GT(R.Fixpoint.Pops, 0u);
-  EXPECT_GT(R.Fixpoint.Joins, 0u);
-  EXPECT_GT(R.Fixpoint.TransferMisses, 0u);
+  EXPECT_GT(R.Telemetry.Fixpoint.Pops, 0u);
+  EXPECT_GT(R.Telemetry.Fixpoint.Joins, 0u);
+  EXPECT_GT(R.Telemetry.Fixpoint.TransferMisses, 0u);
   // Products have more arcs than nodes here, so the memo must score hits.
-  EXPECT_GT(R.Fixpoint.TransferHits, 0u);
-  double Rate = R.Fixpoint.transferHitRate();
+  EXPECT_GT(R.Telemetry.Fixpoint.TransferHits, 0u);
+  double Rate = R.Telemetry.Fixpoint.transferHitRate();
   EXPECT_GT(Rate, 0.0);
   EXPECT_LE(Rate, 1.0);
 }
@@ -326,7 +328,7 @@ TEST_P(SampleSchedulerDifferential, WtoAndFifoAgree) {
     BlazerOptions Opt;
     Opt.Jobs = 1;
     RunFingerprint Wto = fingerprint(F, analyzeFunction(F, Opt));
-    Opt.FifoFixpoint = true;
+    Opt.Engine.Fixpoint = FixpointSched::Fifo;
     for (int Jobs : {1, 8}) {
       Opt.Jobs = Jobs;
       RunFingerprint Fifo = fingerprint(F, analyzeFunction(F, Opt));

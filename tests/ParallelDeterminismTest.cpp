@@ -130,16 +130,16 @@ class CacheTransparency
 TEST_P(CacheTransparency, IdenticalWithCacheOnOrOff) {
   const BenchmarkProgram &B = *GetParam();
   CfgFunction F = B.compile();
-  RunFingerprint Reference =
-      fingerprint(F, runBenchmark(B, {}, 1, /*UseCache=*/false));
+  EngineConfig NoCache;
+  NoCache.TrailCache = false;
+  RunFingerprint Reference = fingerprint(F, runBenchmark(B, {}, 1, NoCache));
   for (int Jobs : {2, 8})
-    expectSameAnalysis(
-        fingerprint(F, runBenchmark(B, {}, Jobs, /*UseCache=*/false)),
-        Reference, B.Name + " cache=off jobs=" + std::to_string(Jobs));
+    expectSameAnalysis(fingerprint(F, runBenchmark(B, {}, Jobs, NoCache)),
+                       Reference,
+                       B.Name + " cache=off jobs=" + std::to_string(Jobs));
   for (int Jobs : {1, 2, 8})
-    expectSameAnalysis(
-        fingerprint(F, runBenchmark(B, {}, Jobs, /*UseCache=*/true)),
-        Reference, B.Name + " cache=on jobs=" + std::to_string(Jobs));
+    expectSameAnalysis(fingerprint(F, runBenchmark(B, {}, Jobs)), Reference,
+                       B.Name + " cache=on jobs=" + std::to_string(Jobs));
 }
 
 INSTANTIATE_TEST_SUITE_P(Table1, CacheTransparency,

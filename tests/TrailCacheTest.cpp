@@ -177,21 +177,19 @@ TEST(TrailCacheTest, BudgetTrippedResultsAreNeverCached) {
 
   BudgetLimits Tight;
   Tight.MaxJoins = 1;
-  BlazerResult Tripped = runBenchmark(B, Tight, /*Jobs=*/1,
-                                      /*UseCache=*/true, Shared);
+  BlazerResult Tripped = runBenchmark(B, Tight, /*Jobs=*/1, {}, Shared);
   ASSERT_TRUE(Tripped.Degradation.tripped());
   EXPECT_NE(Tripped.Verdict, VerdictKind::Safe);
   EXPECT_EQ(Shared->stats().Entries, 0u)
       << "degraded trail result leaked into the cache";
 
-  BlazerResult Clean = runBenchmark(B, {}, /*Jobs=*/1,
-                                    /*UseCache=*/true, Shared);
+  BlazerResult Clean = runBenchmark(B, {}, /*Jobs=*/1, {}, Shared);
   EXPECT_FALSE(Clean.Degradation.tripped());
   EXPECT_EQ(Clean.Verdict, B.Expected);
   EXPECT_GT(Shared->stats().Entries, 0u);
 
   // And the post-poison-attempt run matches a fresh-cache run exactly.
-  BlazerResult Fresh = runBenchmark(B, {}, /*Jobs=*/1, /*UseCache=*/true);
+  BlazerResult Fresh = runBenchmark(B, {}, /*Jobs=*/1);
   CfgFunction F = B.compile();
   EXPECT_EQ(Clean.treeString(F), Fresh.treeString(F));
 }
@@ -204,13 +202,13 @@ TEST(TrailCacheTest, SharedCacheAcrossRunsAndJobCountsStaysCorrect) {
   CfgFunction F = B.compile();
   auto Shared = std::make_shared<TrailBoundCache>();
 
-  BlazerResult Cold = runBenchmark(B, {}, 1, true, Shared);
+  BlazerResult Cold = runBenchmark(B, {}, 1, {}, Shared);
   EXPECT_EQ(Cold.Verdict, B.Expected);
-  uint64_t ColdMisses = Cold.CacheStats.Misses;
+  uint64_t ColdMisses = Cold.Telemetry.Cache.Misses;
   EXPECT_GT(ColdMisses, 0u);
 
   for (int Jobs : {1, 2, 8}) {
-    BlazerResult Warm = runBenchmark(B, {}, Jobs, true, Shared);
+    BlazerResult Warm = runBenchmark(B, {}, Jobs, {}, Shared);
     EXPECT_EQ(Warm.Verdict, Cold.Verdict);
     EXPECT_EQ(Warm.treeString(F), Cold.treeString(F));
   }
@@ -228,14 +226,14 @@ TEST(TrailCacheTest, SharedCacheHammeredByConcurrentAnalyses) {
   CfgFunction F = B.compile();
   auto Shared = std::make_shared<TrailBoundCache>();
   const std::string Expected =
-      runBenchmark(B, {}, 1, true, Shared).treeString(F);
+      runBenchmark(B, {}, 1, {}, Shared).treeString(F);
 
   constexpr int Threads = 8;
   std::vector<std::string> Trees(Threads);
   std::vector<std::thread> Ts;
   for (int T = 0; T < Threads; ++T)
     Ts.emplace_back([&, T] {
-      Trees[T] = runBenchmark(B, {}, /*Jobs=*/2, true, Shared).treeString(F);
+      Trees[T] = runBenchmark(B, {}, /*Jobs=*/2, {}, Shared).treeString(F);
     });
   for (std::thread &T : Ts)
     T.join();

@@ -28,11 +28,20 @@
 ///   --max-states=N               automaton state-creation budget (0 = off)
 ///   --max-joins=N                DBM join/widening budget (0 = off)
 ///   --max-trail-nodes=N          trail-tree node budget (0 = off)
-///   --no-cache                   disable the trail-bound memo cache
-///   --cache-stats                print cache hit/miss/eviction counters
+///   --domain=cascade|zone|interval-only   abstract-domain mode
 ///   --fixpoint=wto|fifo          zone-fixpoint scheduler (default wto)
-///   --fixpoint-stats             print pops/joins/widenings/memo hit rate
+///   --closure=incremental|full   DBM closure policy (default incremental)
+///   --cache=on|off               trail-bound memo cache (default on)
+///   --no-cache                   deprecated alias for --cache=off
+///   --cache-stats                print the engine-telemetry JSON line
+///   --fixpoint-stats             print the engine-telemetry JSON line
 /// \endcode
+///
+/// The engine knobs (--domain, --fixpoint, --closure, --cache) are parsed
+/// from the EngineConfig registry, so the CLI, the bench env vars, and the
+/// programmatic options always accept the same spellings. --cache-stats
+/// and --fixpoint-stats both print the one shared schema —
+/// "engine-telemetry: {...}" — that bench/table1_blazer also emits.
 ///
 /// Exit code: 0 when every analyzed function is safe (or capacity-bounded),
 /// 2 when some function has an attack specification, 3 on unknown, 1 on
@@ -80,12 +89,13 @@ struct CliOptions {
   int64_t MaxStates = 0;
   int64_t MaxJoins = 0;
   int64_t MaxTrailNodes = 0;
-  bool NoCache = false;
+  EngineConfig Engine;
   bool CacheStats = false;
-  std::string Fixpoint = "wto";
   bool FixpointStatsOut = false;
   std::string File;
   std::vector<std::string> Functions;
+
+  bool telemetryOut() const { return CacheStats || FixpointStatsOut; }
 };
 
 void usage(const char *Prog) {
@@ -111,15 +121,19 @@ void usage(const char *Prog) {
       "  --timeout=SEC               wall-clock deadline per function\n"
       "  --max-states=N              automaton state-creation budget\n"
       "  --max-joins=N               DBM join/widening budget\n"
-      "  --max-trail-nodes=N         trail-tree node budget\n"
-      "  --no-cache                  disable the trail-bound memo cache\n"
-      "  --cache-stats               print cache hit/miss/eviction "
-      "counters\n"
-      "  --fixpoint=wto|fifo         zone-fixpoint scheduler (default "
-      "wto)\n"
-      "  --fixpoint-stats            print pops/joins/widenings/memo hit "
-      "rate\n",
+      "  --max-trail-nodes=N         trail-tree node budget\n",
       Prog);
+  // The engine knobs come from the one registry the env vars also use.
+  for (const EngineConfig::Knob &K : EngineConfig::knobs()) {
+    std::string Flag = "--" + std::string(K.Name) + "=" + K.Values;
+    std::fprintf(stderr, "  %-27s %s\n", Flag.c_str(), K.Help);
+  }
+  std::fprintf(
+      stderr,
+      "  --no-cache                  deprecated alias for --cache=off\n"
+      "  --cache-stats               print the engine-telemetry JSON line\n"
+      "  --fixpoint-stats            print the engine-telemetry JSON "
+      "line\n");
 }
 
 /// Strictly parses \p Text as a decimal integer in [\p Min, \p Max]:
@@ -242,17 +256,25 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
                        Opt.MaxTrailNodes))
         return false;
     } else if (Arg == "--no-cache") {
-      Opt.NoCache = true;
+      Opt.Engine.set("cache", "off"); // Deprecated alias for --cache=off.
     } else if (Arg == "--cache-stats") {
       Opt.CacheStats = true;
-    } else if (const char *V = Value("--fixpoint=")) {
-      Opt.Fixpoint = V;
-      if (Opt.Fixpoint != "wto" && Opt.Fixpoint != "fifo") {
-        std::fprintf(stderr, "unknown fixpoint scheduler '%s'\n", V);
-        return false;
-      }
     } else if (Arg == "--fixpoint-stats") {
       Opt.FixpointStatsOut = true;
+    } else if (const char *Knob = [&]() -> const char * {
+                 // Engine knobs (--domain=, --fixpoint=, --closure=,
+                 // --cache=) are parsed straight from the registry.
+                 for (const EngineConfig::Knob &K : EngineConfig::knobs())
+                   if (Value(("--" + std::string(K.Name) + "=").c_str()))
+                     return K.Name;
+                 return nullptr;
+               }()) {
+      const char *V = Value(("--" + std::string(Knob) + "=").c_str());
+      std::string Err;
+      if (!Opt.Engine.set(Knob, V, &Err)) {
+        std::fprintf(stderr, "%s\n", Err.c_str());
+        return false;
+      }
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return false;
@@ -286,34 +308,22 @@ BlazerOptions toBlazerOptions(const CliOptions &Cli) {
   Opt.Budget.MaxStates = static_cast<uint64_t>(Cli.MaxStates);
   Opt.Budget.MaxJoins = static_cast<uint64_t>(Cli.MaxJoins);
   Opt.Budget.MaxTrailNodes = static_cast<uint64_t>(Cli.MaxTrailNodes);
-  Opt.UseTrailCache = !Cli.NoCache;
-  Opt.FifoFixpoint = Cli.Fixpoint == "fifo";
+  Opt.Engine = Cli.Engine;
   return Opt;
 }
 
-/// The --fixpoint-stats line.
-void printFixpointStats(const CliOptions &Cli, const FixpointStats &St) {
-  if (!Cli.FixpointStatsOut)
-    return;
-  std::printf("fixpoint(%s): pops=%llu joins=%llu widenings=%llu "
-              "transfer-hit-rate=%.2f sweeps=%llu\n",
-              Cli.Fixpoint.c_str(),
-              static_cast<unsigned long long>(St.Pops),
-              static_cast<unsigned long long>(St.Joins),
-              static_cast<unsigned long long>(St.Widenings),
-              St.transferHitRate(),
-              static_cast<unsigned long long>(St.Sweeps));
-}
-
-/// The --cache-stats line; "disabled" under --no-cache so scripts can tell
+/// The stats lines behind --cache-stats/--fixpoint-stats: the engine
+/// configuration the counters were measured under, then the one
+/// engine-telemetry JSON schema every surface shares. "trail-cache:
+/// disabled" still precedes them under --cache=off so scripts can tell
 /// "no cache" from "a cache that saw no traffic".
-void printCacheStats(const CliOptions &Cli, const TrailCacheStats &St) {
-  if (!Cli.CacheStats)
+void printTelemetry(const CliOptions &Cli, const EngineTelemetry &T) {
+  if (!Cli.telemetryOut())
     return;
-  if (Cli.NoCache)
+  if (Cli.CacheStats && !Cli.Engine.TrailCache)
     std::printf("trail-cache: disabled\n");
-  else
-    std::printf("%s\n", St.str().c_str());
+  std::printf("engine-config: %s\n", Cli.Engine.str().c_str());
+  std::printf("engine-telemetry: %s\n", T.json().c_str());
 }
 
 /// 0 safe, 2 attack, 3 unknown.
@@ -334,14 +344,13 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
                 R.MaxClasses);
     if (R.Degradation.tripped())
       std::printf("degraded: %s\n", R.Degradation.str().c_str());
-    printCacheStats(Cli, R.CacheStats);
+    printTelemetry(Cli, R.Telemetry);
     return R.Bounded ? 0 : (R.Known ? 2 : 3);
   }
 
   BlazerResult R = analyzeFunction(F, Opt);
   std::printf("%s", R.treeString(F).c_str());
-  printCacheStats(Cli, R.CacheStats);
-  printFixpointStats(Cli, R.Fixpoint);
+  printTelemetry(Cli, R.Telemetry);
   for (const AttackSpec &Spec : R.Attacks)
     std::printf("%s\n", Spec.str().c_str());
 
