@@ -23,13 +23,26 @@
 /// Engine knobs (the BENCH_table1.json pipeline) come from the EngineConfig
 /// registry: for every knob the canonical BLAZER_TABLE1_<NAME> env var is
 /// read (DOMAIN=cascade|zone|interval-only, FIXPOINT=wto|fifo,
-/// CLOSURE=incremental|full, CACHE=on|off), plus the deprecated 0/1
-/// aliases BLAZER_TABLE1_{FIFO,FULLCLOSE,CACHE} from the pre-unification
-/// drivers. With the cache on, runs of the same benchmark share one cache,
-/// so repetition medians measure the warm path the refinement driver
-/// actually exercises. BLAZER_TABLE1_JSON=PATH writes per-benchmark median
-/// wall-clock milliseconds plus verdicts and the shared engine-telemetry
-/// schema as one JSON mode object.
+/// CLOSURE=incremental|full, CACHE=on|off, FAULT_PLAN=<seed>:<rate>[:...]),
+/// plus the deprecated 0/1 aliases BLAZER_TABLE1_{FIFO,FULLCLOSE,CACHE}
+/// from the pre-unification drivers. With the cache on, runs of the same
+/// benchmark share one cache, so repetition medians measure the warm path
+/// the refinement driver actually exercises. BLAZER_TABLE1_JSON=PATH
+/// writes per-benchmark median wall-clock milliseconds plus verdicts and
+/// the shared engine-telemetry schema as one JSON mode object.
+///
+/// Crash containment: each benchmark runs in a forked child with a
+/// watchdog deadline, so one crashing or wedged benchmark (heap
+/// corruption, an injected abort() plan, a runaway fixpoint) costs its own
+/// row, not the sweep. A crashed or watchdog-killed child is retried once;
+/// if it dies again the table prints a CRASH row and the JSON gains a
+/// structured {"crashed": true, "exit_status": ..} row while the other 23
+/// benchmarks report normally. BLAZER_TABLE1_SANDBOX=0 runs everything
+/// in-process (debuggers, coverage); BLAZER_TABLE1_WATCHDOG overrides the
+/// per-benchmark deadline in seconds (default 600, 0 disables);
+/// BLAZER_TABLE1_FAULT_ONLY=<name> applies the fault plan to one benchmark
+/// and runs the rest fault-free (the crash-containment test uses this to
+/// crash exactly one row).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,9 +53,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace blazer;
 
@@ -56,18 +76,202 @@ double median(std::vector<double> Xs) {
   return N % 2 ? Xs[N / 2] : (Xs[N / 2 - 1] + Xs[N / 2]) / 2;
 }
 
-/// One emitted JSON row.
-struct JsonRow {
-  std::string Name;
-  std::string Category;
-  size_t Blocks = 0;
-  std::string Verdict;
+/// Everything one benchmark contributes to the sweep, rendered by whoever
+/// ran it (the forked child, normally) and merged by the parent.
+struct BenchReport {
   bool Match = false;
   bool TimedOut = false;
-  double MedianWallMs = 0;
-  double MedianSafetyMs = 0;
-  EngineTelemetry Telemetry;
+  /// The fully rendered human table row(s), category header excluded.
+  std::string Human;
+  /// The fully rendered JSON row ("" when JSON output is off).
+  std::string Json;
 };
+
+/// Measures one benchmark: Runs repetitions sharing one cache, medians,
+/// verdict comparison, and row rendering. Runs in the sandbox child (or
+/// in-process under BLAZER_TABLE1_SANDBOX=0).
+BenchReport runOne(const BenchmarkProgram &B, int Runs,
+                   const BudgetLimits &Limits, int Jobs,
+                   const EngineConfig &Engine, bool WantJson) {
+  BenchReport Rep;
+  CfgFunction F = B.compile();
+  std::vector<double> SafetyTimes, TotalTimes, WallMs;
+  BlazerResult Last;
+  // Fixpoint/cascade work summed over all runs: with a warm shared cache
+  // the later runs skip the fixpoints entirely, so the cold first run
+  // dominates. Cache counters instead come from the last run's snapshot
+  // — the shared cache already accumulates across runs.
+  EngineTelemetry Total;
+  // With the cache on, the benchmark's runs share one cache: the first
+  // run pays the misses, later runs measure the warm path — the same
+  // reuse profile the refinement driver sees across rounds.
+  std::shared_ptr<TrailBoundCache> Shared =
+      Engine.TrailCache ? std::make_shared<TrailBoundCache>() : nullptr;
+  for (int R = 0; R < Runs; ++R) {
+    auto W0 = std::chrono::steady_clock::now();
+    BlazerResult Res = runBenchmark(B, Limits, Jobs, Engine, Shared);
+    auto W1 = std::chrono::steady_clock::now();
+    WallMs.push_back(
+        std::chrono::duration<double, std::milli>(W1 - W0).count());
+    SafetyTimes.push_back(Res.SafetySeconds);
+    TotalTimes.push_back(Res.TotalSeconds);
+    Total.Fixpoint.mergeFrom(Res.Telemetry.Fixpoint);
+    Total.Cascade.mergeFrom(Res.Telemetry.Cascade);
+    Total.Fault.mergeFrom(Res.Telemetry.Fault);
+    Last = std::move(Res);
+    if (Last.Degradation.tripped())
+      break; // No point repeating a run that hit its budget.
+  }
+  Total.Cache = Last.Telemetry.Cache;
+  Rep.TimedOut = Last.Degradation.tripped();
+  Rep.Match = Last.Verdict == B.Expected;
+  bool Safe = Last.Verdict == VerdictKind::Safe;
+  char Attack[32];
+  if (Safe)
+    std::snprintf(Attack, sizeof(Attack), "%12s", "-");
+  else
+    std::snprintf(Attack, sizeof(Attack), "%12.3f", median(TotalTimes));
+  char Line[256];
+  std::snprintf(Line, sizeof(Line), "%-24s %-12s %5zu  %12.3f  %s  %-8s %s\n",
+                B.Name.c_str(), B.Category.c_str(), F.blockCount(),
+                median(SafetyTimes), Attack,
+                Rep.TimedOut ? "T/O" : verdictName(Last.Verdict),
+                Rep.TimedOut ? "timeout"
+                             : (Rep.Match ? "match" : "MISMATCH"));
+  Rep.Human = Line;
+  if (Rep.TimedOut) {
+    std::snprintf(Line, sizeof(Line), "    %s\n",
+                  Last.Degradation.str().c_str());
+    Rep.Human += Line;
+  }
+  if (WantJson) {
+    char Buf[2048];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"name\": \"%s\", \"category\": \"%s\", \"blocks\": %zu, "
+        "\"verdict\": \"%s\", \"match\": %s, \"timed_out\": %s, "
+        "\"median_wall_ms\": %.3f, \"median_safety_ms\": %.3f, "
+        "\"telemetry\": %s}",
+        B.Name.c_str(), B.Category.c_str(), F.blockCount(),
+        verdictName(Last.Verdict), Rep.Match ? "true" : "false",
+        Rep.TimedOut ? "true" : "false", median(WallMs),
+        median(SafetyTimes) * 1000.0, Total.json().c_str());
+    Rep.Json = Buf;
+  }
+  return Rep;
+}
+
+bool writeAll(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len) {
+    ssize_t N = write(Fd, P, Len);
+    if (N <= 0)
+      return false;
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool readAll(int Fd, void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  while (Len) {
+    ssize_t N = read(Fd, P, Len);
+    if (N <= 0)
+      return false;
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Outcome of one sandboxed attempt.
+enum class ChildOutcome { Ok, Crashed, WatchdogKilled };
+
+/// Forks, runs \p runOne in the child, and ships the BenchReport back over
+/// a pipe. The parent polls a watchdog deadline; a child that crashes,
+/// exits non-zero, or outlives the deadline yields Crashed/WatchdogKilled
+/// with \p ExitStatus set (exit code, or 128+signal).
+ChildOutcome runSandboxed(const BenchmarkProgram &B, int Runs,
+                          const BudgetLimits &Limits, int Jobs,
+                          const EngineConfig &Engine, bool WantJson,
+                          double WatchdogSeconds, BenchReport &Rep,
+                          int &ExitStatus) {
+  int Fd[2];
+  if (pipe(Fd) != 0) {
+    Rep = runOne(B, Runs, Limits, Jobs, Engine, WantJson);
+    return ChildOutcome::Ok; // No pipe, no sandbox: degrade to in-process.
+  }
+  // Buffered output written before the fork would be flushed by both
+  // processes; drain it while it is still only the parent's.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Fd[0]);
+    close(Fd[1]);
+    Rep = runOne(B, Runs, Limits, Jobs, Engine, WantJson);
+    return ChildOutcome::Ok;
+  }
+  if (Pid == 0) {
+    close(Fd[0]);
+    BenchReport R = runOne(B, Runs, Limits, Jobs, Engine, WantJson);
+    uint32_t Hdr[4] = {R.Match ? 1u : 0u, R.TimedOut ? 1u : 0u,
+                       static_cast<uint32_t>(R.Human.size()),
+                       static_cast<uint32_t>(R.Json.size())};
+    bool Ok = writeAll(Fd[1], Hdr, sizeof(Hdr)) &&
+              writeAll(Fd[1], R.Human.data(), R.Human.size()) &&
+              writeAll(Fd[1], R.Json.data(), R.Json.size());
+    close(Fd[1]);
+    _exit(Ok ? 0 : 1);
+  }
+  close(Fd[1]);
+
+  // Watchdog: poll for exit; past the deadline the child is killed hard.
+  // The report payload is far below PIPE_BUF, so the child never blocks on
+  // a full pipe while we are not reading.
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(WatchdogSeconds);
+  int Status = 0;
+  bool WatchdogFired = false;
+  for (;;) {
+    pid_t R = waitpid(Pid, &Status, WNOHANG);
+    if (R == Pid)
+      break;
+    if (R < 0) { // Interrupted or lost: treat as a crash.
+      Status = 0;
+      break;
+    }
+    if (WatchdogSeconds > 0 &&
+        std::chrono::steady_clock::now() >= Deadline) {
+      WatchdogFired = true;
+      kill(Pid, SIGKILL);
+      waitpid(Pid, &Status, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  ExitStatus = WIFEXITED(Status)     ? WEXITSTATUS(Status)
+               : WIFSIGNALED(Status) ? 128 + WTERMSIG(Status)
+                                     : -1;
+  if (WatchdogFired) {
+    close(Fd[0]);
+    return ChildOutcome::WatchdogKilled;
+  }
+  uint32_t Hdr[4];
+  bool Ok = ExitStatus == 0 && readAll(Fd[0], Hdr, sizeof(Hdr));
+  if (Ok) {
+    Rep.Match = Hdr[0] != 0;
+    Rep.TimedOut = Hdr[1] != 0;
+    Rep.Human.resize(Hdr[2]);
+    Rep.Json.resize(Hdr[3]);
+    Ok = (!Hdr[2] || readAll(Fd[0], &Rep.Human[0], Hdr[2])) &&
+         (!Hdr[3] || readAll(Fd[0], &Rep.Json[0], Hdr[3]));
+  }
+  close(Fd[0]);
+  return Ok ? ChildOutcome::Ok : ChildOutcome::Crashed;
+}
 
 } // namespace
 
@@ -96,16 +300,32 @@ int main() {
       std::fprintf(stderr, "ignoring malformed BLAZER_TABLE1_JOBS '%s'\n",
                    EnvJobs);
   }
+  bool Sandbox = true;
+  if (const char *EnvSandbox = std::getenv("BLAZER_TABLE1_SANDBOX"))
+    Sandbox = std::strcmp(EnvSandbox, "0") != 0;
+  double Watchdog = 600;
+  if (const char *EnvWatchdog = std::getenv("BLAZER_TABLE1_WATCHDOG")) {
+    char *End = nullptr;
+    double V = std::strtod(EnvWatchdog, &End);
+    if (End != EnvWatchdog && *End == '\0' && V >= 0)
+      Watchdog = V;
+    else
+      std::fprintf(stderr,
+                   "ignoring malformed BLAZER_TABLE1_WATCHDOG '%s'\n",
+                   EnvWatchdog);
+  }
+  const char *FaultOnly = std::getenv("BLAZER_TABLE1_FAULT_ONLY");
   BudgetLimits Limits;
   Limits.TimeoutSeconds = Timeout;
   EngineConfig Engine;
   Engine.loadEnv("BLAZER_TABLE1");
   const char *JsonPath = std::getenv("BLAZER_TABLE1_JSON");
-  std::vector<JsonRow> JsonRows;
+  std::vector<std::string> JsonRows;
 
   std::printf("Table 1: Blazer on the benchmark suite (median of %d runs, "
-              "jobs=%d, %s)\n",
-              Runs, Jobs, Engine.str().c_str());
+              "jobs=%d, %s%s)\n",
+              Runs, Jobs, Engine.str().c_str(),
+              Sandbox ? ", sandboxed" : "");
   std::printf("%-24s %-12s %5s  %12s  %12s  %-8s %s\n", "Benchmark",
               "Category", "Size", "Safety (s)", "w/Attack (s)", "Verdict",
               "vs paper");
@@ -118,64 +338,59 @@ int main() {
       std::printf("-- %s --\n", B.Category.c_str());
       LastCategory = B.Category;
     }
-    CfgFunction F = B.compile();
-    std::vector<double> SafetyTimes, TotalTimes, WallMs;
-    BlazerResult Last;
-    // Fixpoint/cascade work summed over all runs: with a warm shared cache
-    // the later runs skip the fixpoints entirely, so the cold first run
-    // dominates. Cache counters instead come from the last run's snapshot
-    // — the shared cache already accumulates across runs.
-    EngineTelemetry Total;
-    // With the cache on, the benchmark's runs share one cache: the first
-    // run pays the misses, later runs measure the warm path — the same
-    // reuse profile the refinement driver sees across rounds.
-    std::shared_ptr<TrailBoundCache> Shared =
-        Engine.TrailCache ? std::make_shared<TrailBoundCache>() : nullptr;
-    for (int R = 0; R < Runs; ++R) {
-      auto W0 = std::chrono::steady_clock::now();
-      BlazerResult Res = runBenchmark(B, Limits, Jobs, Engine, Shared);
-      auto W1 = std::chrono::steady_clock::now();
-      WallMs.push_back(
-          std::chrono::duration<double, std::milli>(W1 - W0).count());
-      SafetyTimes.push_back(Res.SafetySeconds);
-      TotalTimes.push_back(Res.TotalSeconds);
-      Total.Fixpoint.mergeFrom(Res.Telemetry.Fixpoint);
-      Total.Cascade.mergeFrom(Res.Telemetry.Cascade);
-      Last = std::move(Res);
-      if (Last.Degradation.tripped())
-        break; // No point repeating a run that hit its budget.
+    EngineConfig BenchEngine = Engine;
+    if (FaultOnly && B.Name != FaultOnly)
+      BenchEngine.Fault = FaultPlan(); // Plan targets one benchmark only.
+
+    BenchReport Rep;
+    bool Crashed = false, WatchdogKilled = false;
+    int ExitStatus = 0, Retries = 0;
+    if (!Sandbox) {
+      Rep = runOne(B, Runs, Limits, Jobs, BenchEngine, JsonPath != nullptr);
+    } else {
+      // One retry on crash/timeout: transient trouble (OOM pressure, a
+      // lost pipe) gets a second chance before the row is written off.
+      for (int Attempt = 0; Attempt < 2; ++Attempt) {
+        Retries = Attempt;
+        ChildOutcome O =
+            runSandboxed(B, Runs, Limits, Jobs, BenchEngine,
+                         JsonPath != nullptr, Watchdog, Rep, ExitStatus);
+        Crashed = O == ChildOutcome::Crashed;
+        WatchdogKilled = O == ChildOutcome::WatchdogKilled;
+        if (!Crashed && !WatchdogKilled)
+          break;
+      }
     }
-    Total.Cache = Last.Telemetry.Cache;
-    bool TimedOut = Last.Degradation.tripped();
-    bool Match = Last.Verdict == B.Expected;
-    // A T/O row records the timeout instead of a verdict mismatch: the
-    // budget, not the algorithm, decided the outcome.
-    Mismatches += (Match || TimedOut) ? 0 : 1;
-    bool Safe = Last.Verdict == VerdictKind::Safe;
-    char Attack[32];
-    if (Safe)
-      std::snprintf(Attack, sizeof(Attack), "%12s", "-");
-    else
-      std::snprintf(Attack, sizeof(Attack), "%12.3f", median(TotalTimes));
-    std::printf("%-24s %-12s %5zu  %12.3f  %s  %-8s %s\n", B.Name.c_str(),
-                B.Category.c_str(), F.blockCount(), median(SafetyTimes),
-                Attack, TimedOut ? "T/O" : verdictName(Last.Verdict),
-                TimedOut ? "timeout" : (Match ? "match" : "MISMATCH"));
-    if (TimedOut)
-      std::printf("    %s\n", Last.Degradation.str().c_str());
-    if (JsonPath) {
-      JsonRow Row;
-      Row.Name = B.Name;
-      Row.Category = B.Category;
-      Row.Blocks = F.blockCount();
-      Row.Verdict = verdictName(Last.Verdict);
-      Row.Match = Match;
-      Row.TimedOut = TimedOut;
-      Row.MedianWallMs = median(WallMs);
-      Row.MedianSafetyMs = median(SafetyTimes) * 1000.0;
-      Row.Telemetry = Total;
-      JsonRows.push_back(std::move(Row));
+
+    if (Crashed || WatchdogKilled) {
+      // Contained: this row reports the loss, the sweep continues.
+      std::printf("%-24s %-12s %5s  %12s  %12s  %-8s %s\n", B.Name.c_str(),
+                  B.Category.c_str(), "-", "-", "-",
+                  WatchdogKilled ? "W/D" : "CRASH", "contained");
+      std::printf("    child %s (exit status %d) after %d attempt(s)\n",
+                  WatchdogKilled ? "exceeded the watchdog deadline"
+                                 : "crashed",
+                  ExitStatus, Retries + 1);
+      if (JsonPath) {
+        char Buf[512];
+        std::snprintf(Buf, sizeof(Buf),
+                      "    {\"name\": \"%s\", \"category\": \"%s\", "
+                      "\"crashed\": true, \"watchdog_timeout\": %s, "
+                      "\"exit_status\": %d, \"retries\": %d}",
+                      B.Name.c_str(), B.Category.c_str(),
+                      WatchdogKilled ? "true" : "false", ExitStatus,
+                      Retries);
+        JsonRows.push_back(Buf);
+      }
+      // Like T/O rows, a contained crash is not a verdict mismatch: the
+      // sandbox, not the algorithm, decided the outcome.
+      continue;
     }
+
+    std::fputs(Rep.Human.c_str(), stdout);
+    Mismatches += (Rep.Match || Rep.TimedOut) ? 0 : 1;
+    if (JsonPath)
+      JsonRows.push_back(Rep.Json);
   }
   std::printf("%s\n", std::string(96, '-').c_str());
   std::printf("verdict agreement with the paper: %d/24\n", 24 - Mismatches);
@@ -190,28 +405,20 @@ int main() {
     std::fprintf(Out,
                  "{\n"
                  "  \"mode\": {\"domain\": \"%s\", \"cache\": %s, "
-                 "\"closure\": \"%s\", \"fixpoint\": \"%s\", \"jobs\": %d, "
+                 "\"closure\": \"%s\", \"fixpoint\": \"%s\", "
+                 "\"fault\": \"%s\", \"sandbox\": %s, \"jobs\": %d, "
                  "\"runs\": %d},\n"
                  "  \"verdict_agreement\": \"%d/24\",\n"
                  "  \"benchmarks\": [\n",
                  Engine.get("domain").c_str(),
                  Engine.TrailCache ? "true" : "false",
                  Engine.get("closure").c_str(),
-                 Engine.get("fixpoint").c_str(), Jobs, Runs,
-                 24 - Mismatches);
-    for (size_t I = 0; I < JsonRows.size(); ++I) {
-      const JsonRow &R = JsonRows[I];
-      std::fprintf(
-          Out,
-          "    {\"name\": \"%s\", \"category\": \"%s\", \"blocks\": %zu, "
-          "\"verdict\": \"%s\", \"match\": %s, \"timed_out\": %s, "
-          "\"median_wall_ms\": %.3f, \"median_safety_ms\": %.3f, "
-          "\"telemetry\": %s}%s\n",
-          R.Name.c_str(), R.Category.c_str(), R.Blocks, R.Verdict.c_str(),
-          R.Match ? "true" : "false", R.TimedOut ? "true" : "false",
-          R.MedianWallMs, R.MedianSafetyMs, R.Telemetry.json().c_str(),
-          I + 1 < JsonRows.size() ? "," : "");
-    }
+                 Engine.get("fixpoint").c_str(),
+                 Engine.get("fault-plan").c_str(),
+                 Sandbox ? "true" : "false", Jobs, Runs, 24 - Mismatches);
+    for (size_t I = 0; I < JsonRows.size(); ++I)
+      std::fprintf(Out, "%s%s\n", JsonRows[I].c_str(),
+                   I + 1 < JsonRows.size() ? "," : "");
     std::fprintf(Out, "  ]\n}\n");
     std::fclose(Out);
   }

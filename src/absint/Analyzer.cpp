@@ -8,6 +8,7 @@
 
 #include "absint/Wto.h"
 #include "support/Budget.h"
+#include "support/FaultInjector.h"
 
 #include <cassert>
 #include <deque>
@@ -16,6 +17,9 @@ using namespace blazer;
 
 template <NumericDomain Domain>
 Domain AnalyzerT<Domain>::transferBlock(const Domain &In, int Block) const {
+  // Simulated kernel failure before the block executes; Out is a local, so
+  // unwinding through the fixpoint leaves no partial state behind.
+  maybeInjectFault(FaultSite::Transfer);
   Domain Out = In;
   for (const Instr &I : F.block(Block).Instrs)
     Env.transferInstr(Out, I);

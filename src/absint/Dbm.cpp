@@ -8,6 +8,7 @@
 
 #include "support/Budget.h"
 #include "support/EngineConfig.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
@@ -25,6 +26,11 @@ namespace {
 class MatrixPool {
 public:
   int64_t *acquire(int N) {
+    // Simulated allocation failure. Throwing here is safe at every caller:
+    // acquireStorage runs either in a constructor before any storage is
+    // owned or in copy-assign after releaseStorage nulled M, so the unwound
+    // Dbm is destructible and nothing leaks back into the freelist.
+    maybeInjectFault(FaultSite::DbmPool);
     size_t Bucket = static_cast<size_t>(N);
     if (Bucket < Free.size() && !Free[Bucket].empty()) {
       int64_t *P = Free[Bucket].back();
@@ -407,6 +413,9 @@ bool Dbm::equals(const Dbm &RHS) const {
 void Dbm::close() {
   if (Bottom)
     return;
+  // Simulated kernel failure at the canonicalization boundary; the matrix
+  // has not been touched yet, so unwinding leaves a consistent zone.
+  maybeInjectFault(FaultSite::Closure);
   AnalysisBudget *Budget = BudgetScope::current();
   Closed = false;
   for (int K = 0; K < N; ++K) {

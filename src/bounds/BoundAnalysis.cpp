@@ -8,6 +8,7 @@
 
 #include "absint/Wto.h"
 #include "support/Budget.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -1031,6 +1032,41 @@ private:
 } // namespace
 
 TrailBoundResult BoundAnalysis::analyzeTrail(const Dfa &TrailDfa) const {
+  FaultInjector *Faults = FaultScope::current();
+  if (!Faults)
+    return analyzeTrailMemo(TrailDfa);
+  // Fault-recovery boundary. Every injection site below the trail level
+  // (pool, kernels, cache protocol) unwinds to here with the structures it
+  // crossed already cleaned up by their own RAII/abandon paths; the trail
+  // site itself fires first so whole-trail loss is also exercised. One
+  // retry with backoff for transient sites, then degrade: trip the budget
+  // with fault provenance and return the same fail-soft shape a budget
+  // trip produces (feasible, no upper bound), which the driver can only
+  // turn into Unknown — never into Safe.
+  for (int Attempt = 0;; ++Attempt) {
+    try {
+      maybeInjectFault(FaultSite::TrailAnalysis);
+      return analyzeTrailMemo(TrailDfa);
+    } catch (const InjectedFault &F) {
+      if (Attempt == 0 && FaultInjector::transientSite(F.site())) {
+        Faults->countRetry();
+        FaultInjector::backoff(Attempt);
+        continue;
+      }
+      Faults->countDegradation();
+      if (AnalysisBudget *Budget = BudgetScope::current())
+        Budget->tripFault(faultSiteName(F.site()));
+      TrailBoundResult Res;
+      Res.Feasible = true;
+      Res.Lo = Bound::lower(CostPoly());
+      Res.Hi.reset();
+      Res.Note = F.what();
+      return Res;
+    }
+  }
+}
+
+TrailBoundResult BoundAnalysis::analyzeTrailMemo(const Dfa &TrailDfa) const {
   if (!Cache)
     return analyzeTrailUncached(TrailDfa);
   AnalysisBudget *Budget = BudgetScope::current();

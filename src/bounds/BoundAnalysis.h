@@ -105,6 +105,13 @@ public:
   const VarEnv &env() const { return Env; }
 
   /// Bounds the executions in L(trail) ∩ JCK.
+  ///
+  /// This is also the engine's fault-recovery boundary: when a fault plan
+  /// is active (see FaultInjector.h), an InjectedFault unwinding out of the
+  /// analysis is retried once with backoff for transient sites, else
+  /// converted into a fail-soft degraded result with fault provenance
+  /// (Budget tripped with BudgetKind::FaultInjected). Faults never escape
+  /// to the caller as exceptions from here.
   TrailBoundResult analyzeTrail(const Dfa &TrailDfa) const;
 
   /// The most general trail's automaton (the whole CFG).
@@ -124,6 +131,10 @@ public:
   CascadeStats cascadeStats() const;
 
 private:
+  /// The memoization wrapper (cache lookup/compute-once) behind
+  /// analyzeTrail, without the fault-recovery wrapper.
+  TrailBoundResult analyzeTrailMemo(const Dfa &TrailDfa) const;
+
   /// The product/fixpoint/region pipeline behind analyzeTrail, without the
   /// memoization wrapper.
   TrailBoundResult analyzeTrailUncached(const Dfa &TrailDfa) const;

@@ -9,6 +9,7 @@
 #include "absint/ProductGraph.h"
 #include "automata/AnnotateTrail.h"
 #include "dataflow/Dominators.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -16,6 +17,7 @@
 #include <chrono>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <sstream>
 
 using namespace blazer;
@@ -77,7 +79,10 @@ public:
                                                  : std::make_shared<TrailBoundCache>()),
         BA(F, Options.Observer.pinnedSymbols(), &Pool, TrailCache.get(),
            Options.Engine),
-        Budget(Options.Budget) {
+        Budget(Options.Budget),
+        Faults(Options.Engine.Fault.enabled()
+                   ? std::make_unique<FaultInjector>(Options.Engine.Fault)
+                   : nullptr) {
     // Boolean parameters range over {0,1} regardless of the configured
     // default input maximum.
     for (const Param &P : F.Params)
@@ -88,9 +93,19 @@ public:
   BlazerResult run() {
     BudgetScope Scope(&Budget);
     ClosurePolicyScope CScope(Opt.Engine.Closure);
+    FaultScope FScope(Faults.get());
     auto T0 = std::chrono::steady_clock::now();
     BlazerResult R;
-    bool Safe = runSafetyPhase(R.Taint);
+    // Injected pool-task faults escape parallelForWithBudget as exceptions
+    // (every lower site is already recovered at the analyzeTrail boundary);
+    // catching them at the phase boundary degrades the phase instead of
+    // killing the process — the same fail-soft shape as a budget trip.
+    bool Safe = false;
+    try {
+      Safe = runSafetyPhase(R.Taint);
+    } catch (const InjectedFault &IF) {
+      degradeOnFault(IF);
+    }
     auto T1 = std::chrono::steady_clock::now();
     R.SafetySeconds = std::chrono::duration<double>(T1 - T0).count();
 
@@ -106,7 +121,11 @@ public:
       // genuine — they require real upper bounds on both trails — so the
       // search still runs; its own checkpoints make it wind down quickly
       // once the budget is gone.
-      attackLoop(R.Attacks);
+      try {
+        attackLoop(R.Attacks);
+      } catch (const InjectedFault &IF) {
+        degradeOnFault(IF);
+      }
       R.Verdict =
           R.Attacks.empty() ? VerdictKind::Unknown : VerdictKind::Attack;
     } else {
@@ -121,6 +140,8 @@ public:
       R.Telemetry.Cache = TrailCache->stats();
     R.Telemetry.Fixpoint = BA.fixpointStats();
     R.Telemetry.Cascade = BA.cascadeStats();
+    if (Faults)
+      R.Telemetry.Fault = Faults->stats();
     return R;
   }
 
@@ -128,9 +149,15 @@ public:
   ChannelCapacityResult runCapacity(int Q) {
     BudgetScope Scope(&Budget);
     ClosurePolicyScope CScope(Opt.Engine.Closure);
+    FaultScope FScope(Faults.get());
     ChannelCapacityResult R;
     R.Q = Q;
-    bool Safe = runSafetyPhase(R.Taint);
+    bool Safe = false;
+    try {
+      Safe = runSafetyPhase(R.Taint);
+    } catch (const InjectedFault &IF) {
+      degradeOnFault(IF);
+    }
 
     // The ψ_tcf components are the safety-phase leaves; remember them
     // before the secret refinement grows the tree.
@@ -160,9 +187,14 @@ public:
           if (static_cast<int>(Tree[Id].UsedSplits.size()) < Opt.MaxDepth)
             Eligible.push_back(Id);
         std::vector<std::optional<PlannedSplit>> Plans(Eligible.size());
-        parallelForWithBudget(&Pool, Eligible.size(), [&](size_t I) {
-          Plans[I] = planSplit(Eligible[I], /*SecretMode=*/true);
-        });
+        try {
+          parallelForWithBudget(&Pool, Eligible.size(), [&](size_t I) {
+            Plans[I] = planSplit(Eligible[I], /*SecretMode=*/true);
+          });
+        } catch (const InjectedFault &IF) {
+          degradeOnFault(IF); // Tripped budget forces Known = false below.
+          break;
+        }
         std::vector<int> Next;
         for (std::optional<PlannedSplit> &P : Plans) {
           if (!P)
@@ -235,10 +267,21 @@ public:
       R.Telemetry.Cache = TrailCache->stats();
     R.Telemetry.Fixpoint = BA.fixpointStats();
     R.Telemetry.Cascade = BA.cascadeStats();
+    if (Faults)
+      R.Telemetry.Fault = Faults->stats();
     return R;
   }
 
 private:
+  /// Converts an injected fault that reached a phase boundary into the
+  /// fail-soft budget shape: count it, trip with provenance, continue
+  /// winding down. First-trip-wins keeps an earlier reason if one raced.
+  void degradeOnFault(const InjectedFault &IF) {
+    if (Faults)
+      Faults->countDegradation();
+    Budget.tripFault(faultSiteName(IF.site()));
+  }
+
   /// Shared front half of run()/runCapacity(): taint, the most general
   /// trail, and the Figure-2 safety loop. \returns CheckSafe's verdict.
   bool runSafetyPhase(TaintInfo &TaintOut) {
@@ -619,6 +662,9 @@ private:
   std::shared_ptr<TrailBoundCache> TrailCache;
   BoundAnalysis BA;
   AnalysisBudget Budget;
+  /// Null without an active fault plan: the scopes then install null and
+  /// every maybeInjectFault call stays one untaken branch.
+  std::unique_ptr<FaultInjector> Faults;
   const TaintInfo *Taint = nullptr;
   std::vector<bool> OnCycle;
   std::vector<Trail> Tree;

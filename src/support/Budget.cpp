@@ -24,6 +24,8 @@ const char *blazer::budgetKindName(BudgetKind K) {
     return "trail-nodes";
   case BudgetKind::Cancelled:
     return "cancelled";
+  case BudgetKind::FaultInjected:
+    return "fault-injected";
   }
   return "?";
 }
@@ -50,6 +52,9 @@ std::string DegradationReason::str() const {
     break;
   case BudgetKind::Cancelled:
     OS << "analysis cancelled";
+    break;
+  case BudgetKind::FaultInjected:
+    OS << "injected fault at site '" << FaultSite << "'";
     break;
   case BudgetKind::None:
     break;
@@ -88,6 +93,17 @@ void AnalysisBudget::trip(BudgetKind K, uint64_t Used, uint64_t Limit) {
   Tripped.ElapsedSeconds = elapsedSeconds();
   Tripped.Used = Used;
   Tripped.Limit = Limit;
+  TrippedFlag.store(true, std::memory_order_release);
+}
+
+void AnalysisBudget::tripFault(const char *Site) {
+  std::lock_guard<std::mutex> Lock(TripMu);
+  if (TrippedFlag.load(std::memory_order_relaxed))
+    return;
+  Tripped.Kind = BudgetKind::FaultInjected;
+  Tripped.Phase = PhaseScope::current();
+  Tripped.ElapsedSeconds = elapsedSeconds();
+  Tripped.FaultSite = Site ? Site : "";
   TrippedFlag.store(true, std::memory_order_release);
 }
 

@@ -52,6 +52,10 @@ enum class BudgetKind {
   Joins,      ///< DBM join/widening budget exhausted.
   TrailNodes, ///< Trail-tree node budget exhausted.
   Cancelled,  ///< External cooperative cancellation was requested.
+  /// A deterministic injected fault (see FaultInjector.h) was not
+  /// recoverable and degraded the run. Carries fault provenance in
+  /// DegradationReason::FaultSite.
+  FaultInjected,
 };
 
 const char *budgetKindName(BudgetKind K);
@@ -69,6 +73,9 @@ struct DegradationReason {
   /// Counter value and limit for step budgets (0/0 for deadline/cancel).
   uint64_t Used = 0;
   uint64_t Limit = 0;
+  /// Fault provenance: the injection-site name ("transfer", "dbm-pool",
+  /// ...) for Kind == FaultInjected, empty otherwise.
+  std::string FaultSite;
 
   bool tripped() const { return Kind != BudgetKind::None; }
   /// Renders e.g. "wall-clock deadline (1.00s) exceeded in phase
@@ -135,6 +142,12 @@ public:
   /// Polls the deadline and the cancellation flags. Cheap: reads the clock
   /// only every few calls. \returns false when exhausted.
   bool checkpoint();
+
+  /// Trips the budget with fault provenance: an injected fault at site
+  /// \p Site (a faultSiteName string, borrowed) could not be recovered.
+  /// First-trip-wins like every other kind — a fault racing a deadline
+  /// keeps whichever reason froze first.
+  void tripFault(const char *Site);
 
   bool exhausted() const {
     return TrippedFlag.load(std::memory_order_acquire);

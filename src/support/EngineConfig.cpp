@@ -6,9 +6,12 @@
 
 #include "support/EngineConfig.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 
 using namespace blazer;
 
@@ -52,6 +55,8 @@ const std::vector<EngineConfig::Knob> &EngineConfig::knobs() {
       {"closure", "incremental|full",
        "DBM closure policy (default incremental)"},
       {"cache", "on|off", "trail-bound memo cache (default on)"},
+      {"fault-plan", "off|<seed>:<rate>[:site,...]",
+       "deterministic fault injection (default off)"},
   };
   return Registry;
 }
@@ -102,6 +107,15 @@ bool EngineConfig::set(const std::string &Name, const std::string &Value,
       return Fail("on|off");
     return true;
   }
+  if (Name == "fault-plan") {
+    std::string PlanErr;
+    if (!FaultPlan::parse(Value, &Fault, &PlanErr)) {
+      if (Err)
+        *Err = PlanErr;
+      return false;
+    }
+    return true;
+  }
   if (Err)
     *Err = "unknown engine knob '" + Name + "'";
   return false;
@@ -116,6 +130,8 @@ std::string EngineConfig::get(const std::string &Name) const {
     return closureModeName(Closure);
   if (Name == "cache")
     return TrailCache ? "on" : "off";
+  if (Name == "fault-plan")
+    return Fault.str();
   return "";
 }
 
@@ -125,8 +141,12 @@ void EngineConfig::loadEnv(const std::string &Prefix) {
   };
   for (const Knob &K : knobs()) {
     std::string Var = Prefix + "_";
+    // '-' maps to '_' so "fault-plan" reads <PREFIX>_FAULT_PLAN.
     for (const char *P = K.Name; *P; ++P)
-      Var += static_cast<char>(std::toupper(static_cast<unsigned char>(*P)));
+      Var += *P == '-'
+                 ? '_'
+                 : static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(*P)));
     const char *V = Env(Var);
     if (!V)
       continue;
@@ -141,7 +161,15 @@ void EngineConfig::loadEnv(const std::string &Prefix) {
                     const char *Off, bool SkipIfCanonical) {
     std::string Var = Prefix + "_" + Suffix;
     const char *V = Env(Var);
-    if (!V || SkipIfCanonical)
+    if (!V)
+      return;
+    // The legacy spelling was used (even if the canonical one overrides
+    // it): nudge once per process, not once per parse.
+    std::string Canonical = Prefix + "_";
+    for (const char *P = Knob; *P; ++P)
+      Canonical += static_cast<char>(std::toupper(static_cast<unsigned char>(*P)));
+    warnDeprecatedAlias(Var, Canonical + "=" + On + "|" + Off);
+    if (SkipIfCanonical)
       return;
     std::string S = V;
     if (S == "1")
@@ -169,6 +197,38 @@ std::string EngineConfig::str() const {
     S += get(K.Name);
   }
   return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Deprecation warnings
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::mutex DeprecationMu;
+// Guarded by DeprecationMu. Function-local statics would re-order against
+// the mutex during shutdown; plain namespace statics of these types are
+// constant-initialized and safe from any thread.
+std::set<std::string> *DeprecationsSeen = nullptr;
+std::atomic<bool> DeprecationWarningsEnabled{true};
+} // namespace
+
+void blazer::warnDeprecatedAlias(const std::string &Old,
+                                 const std::string &New) {
+  std::lock_guard<std::mutex> Lock(DeprecationMu);
+  if (!DeprecationsSeen)
+    DeprecationsSeen = new std::set<std::string>();
+  // Dedup first: a spelling seen while warnings were suppressed stays
+  // silent for the rest of the process.
+  if (!DeprecationsSeen->insert(Old).second)
+    return;
+  if (!DeprecationWarningsEnabled.load(std::memory_order_relaxed))
+    return;
+  std::fprintf(stderr, "warning: %s is deprecated; use %s\n", Old.c_str(),
+               New.c_str());
+}
+
+void blazer::setDeprecationWarningsEnabled(bool Enabled) {
+  DeprecationWarningsEnabled.store(Enabled, std::memory_order_relaxed);
 }
 
 namespace {

@@ -26,6 +26,8 @@
 #ifndef BLAZER_SUPPORT_ENGINECONFIG_H
 #define BLAZER_SUPPORT_ENGINECONFIG_H
 
+#include "support/FaultInjector.h"
+
 #include <string>
 #include <vector>
 
@@ -67,11 +69,15 @@ struct EngineConfig {
   ClosureMode Closure = ClosureMode::Incremental;
   /// Memoize per-trail bound analyses (see BlazerOptions for semantics).
   bool TrailCache = true;
+  /// Deterministic fault-injection plan ("off" by default — compiled down
+  /// to one untaken thread-local branch per site). See FaultInjector.h.
+  FaultPlan Fault;
 
   /// One registry entry: the canonical knob name doubles as the CLI flag
-  /// ("--<name>=<value>") and the bench env var ("<prefix>_<NAME>").
+  /// ("--<name>=<value>") and the bench env var ("<prefix>_<NAME>", with
+  /// '-' mapped to '_': fault-plan -> <prefix>_FAULT_PLAN).
   struct Knob {
-    const char *Name;   ///< "domain", "fixpoint", "closure", "cache".
+    const char *Name;   ///< "domain", "fixpoint", ..., "fault-plan".
     const char *Values; ///< Accepted values, for usage text.
     const char *Help;   ///< One-line description.
   };
@@ -98,6 +104,17 @@ struct EngineConfig {
 
   bool operator==(const EngineConfig &O) const = default;
 };
+
+/// Emits "warning: <Old> is deprecated; use <New>" to stderr — once per
+/// process per distinct \p Old, no matter how many configs are parsed.
+/// First sighting also claims the dedup slot when warnings are suppressed,
+/// so toggling suppression never replays old warnings.
+void warnDeprecatedAlias(const std::string &Old, const std::string &New);
+
+/// Globally enables/disables deprecation warnings. Machine-output paths
+/// (--json style) suppress them so structured consumers never see stray
+/// advice on stderr. Defaults to enabled.
+void setDeprecationWarningsEnabled(bool Enabled);
 
 /// RAII thread-local installation of the DBM closure policy. The zone
 /// kernels read the innermost scope's mode (Incremental when none is

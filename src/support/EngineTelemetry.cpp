@@ -11,7 +11,7 @@
 using namespace blazer;
 
 std::string EngineTelemetry::json() const {
-  char Buf[512];
+  char Buf[768];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
@@ -19,7 +19,9 @@ std::string EngineTelemetry::json() const {
       "\"fixpoint\": {\"pops\": %llu, \"joins\": %llu, \"widenings\": %llu, "
       "\"transfer_hit_rate\": %.4f, \"sweeps\": %llu}, "
       "\"cascade\": {\"discharged\": %llu, \"promoted\": %llu, "
-      "\"interval_pops\": %llu}}",
+      "\"interval_pops\": %llu}, "
+      "\"fault\": {\"injected\": %llu, \"retries\": %llu, "
+      "\"degradations\": %llu}}",
       static_cast<unsigned long long>(Cache.Hits),
       static_cast<unsigned long long>(Cache.Misses),
       static_cast<unsigned long long>(Cache.Evictions),
@@ -31,6 +33,9 @@ std::string EngineTelemetry::json() const {
       static_cast<unsigned long long>(Fixpoint.Sweeps),
       static_cast<unsigned long long>(Cascade.Discharged),
       static_cast<unsigned long long>(Cascade.Promoted),
-      static_cast<unsigned long long>(Cascade.IntervalPops));
+      static_cast<unsigned long long>(Cascade.IntervalPops),
+      static_cast<unsigned long long>(Fault.Injected),
+      static_cast<unsigned long long>(Fault.Retries),
+      static_cast<unsigned long long>(Fault.Degradations));
   return Buf;
 }

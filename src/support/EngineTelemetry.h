@@ -21,6 +21,7 @@
 #ifndef BLAZER_SUPPORT_ENGINETELEMETRY_H
 #define BLAZER_SUPPORT_ENGINETELEMETRY_H
 
+#include "support/FaultInjector.h"
 #include "support/TrailBoundCache.h"
 
 #include <cstdint>
@@ -77,6 +78,8 @@ struct EngineTelemetry {
   FixpointStats Fixpoint;
   /// Interval-cascade counters; all zero under --domain=zone.
   CascadeStats Cascade;
+  /// Fault-injection counters; all zero without an active --fault-plan.
+  FaultStats Fault;
 
   void mergeFrom(const EngineTelemetry &O) {
     Cache.Hits += O.Cache.Hits;
@@ -85,13 +88,15 @@ struct EngineTelemetry {
     Cache.Entries += O.Cache.Entries;
     Fixpoint.mergeFrom(O.Fixpoint);
     Cascade.mergeFrom(O.Cascade);
+    Fault.mergeFrom(O.Fault);
   }
 
   /// The shared JSON schema:
   /// {"cache": {"hits": H, "misses": M, "evictions": E, "entries": N},
   ///  "fixpoint": {"pops": .., "joins": .., "widenings": ..,
   ///               "transfer_hit_rate": .., "sweeps": ..},
-  ///  "cascade": {"discharged": .., "promoted": .., "interval_pops": ..}}
+  ///  "cascade": {"discharged": .., "promoted": .., "interval_pops": ..},
+  ///  "fault": {"injected": .., "retries": .., "degradations": ..}}
   std::string json() const;
 };
 

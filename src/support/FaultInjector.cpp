@@ -1,0 +1,194 @@
+//===- FaultInjector.cpp - Seeded deterministic fault injection -----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace blazer {
+
+namespace detail {
+thread_local FaultInjector *TLFaultInjector = nullptr;
+} // namespace detail
+
+static const char *const FaultSiteNames[NumFaultSites] = {
+    "dbm-pool",     "transfer",     "closure",        "pool-task",
+    "cache-insert", "cache-retake", "trail-analysis",
+};
+
+const char *faultSiteName(FaultSite S) {
+  unsigned I = static_cast<unsigned>(S);
+  return I < NumFaultSites ? FaultSiteNames[I] : "?";
+}
+
+bool parseFaultSite(const std::string &Name, FaultSite *Out) {
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    if (Name == FaultSiteNames[I]) {
+      *Out = static_cast<FaultSite>(I);
+      return true;
+    }
+  }
+  return false;
+}
+
+static void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+}
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan *Out,
+                      std::string *Err) {
+  *Out = FaultPlan();
+  if (Spec.empty() || Spec == "off")
+    return true;
+
+  // Split on ':' into seed, rate, and the optional site list.
+  size_t C1 = Spec.find(':');
+  if (C1 == std::string::npos) {
+    setErr(Err, "fault plan '" + Spec +
+                    "' needs <seed>:<rate>[:site,...] (or 'off')");
+    return false;
+  }
+  size_t C2 = Spec.find(':', C1 + 1);
+  std::string SeedStr = Spec.substr(0, C1);
+  std::string RateStr = Spec.substr(
+      C1 + 1, C2 == std::string::npos ? std::string::npos : C2 - C1 - 1);
+  std::string Sites = C2 == std::string::npos ? "" : Spec.substr(C2 + 1);
+
+  char *End = nullptr;
+  Out->Seed = std::strtoull(SeedStr.c_str(), &End, 0);
+  if (SeedStr.empty() || *End != '\0') {
+    setErr(Err, "fault plan seed '" + SeedStr + "' is not an integer");
+    return false;
+  }
+  Out->Rate = std::strtod(RateStr.c_str(), &End);
+  if (RateStr.empty() || *End != '\0' || Out->Rate < 0 || Out->Rate > 1) {
+    setErr(Err, "fault plan rate '" + RateStr + "' is not in [0, 1]");
+    return false;
+  }
+
+  if (Sites.empty()) {
+    Out->SiteMask = allSitesMask();
+    return true;
+  }
+  for (size_t Pos = 0; Pos <= Sites.size();) {
+    size_t Comma = Sites.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Sites.size();
+    std::string Tok = Sites.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Tok == "all") {
+      Out->SiteMask = allSitesMask();
+    } else if (Tok == "abort") {
+      Out->Abort = true;
+    } else {
+      FaultSite S;
+      if (!parseFaultSite(Tok, &S)) {
+        std::string Known;
+        for (unsigned I = 0; I < NumFaultSites; ++I) {
+          if (I)
+            Known += ", ";
+          Known += FaultSiteNames[I];
+        }
+        setErr(Err, "unknown fault site '" + Tok + "' (known: " + Known +
+                        ", all, abort)");
+        return false;
+      }
+      Out->SiteMask |= 1u << static_cast<unsigned>(S);
+    }
+  }
+  // "<seed>:<rate>:abort" alone means abort at any site.
+  if (Out->SiteMask == 0)
+    Out->SiteMask = allSitesMask();
+  return true;
+}
+
+std::string FaultPlan::str() const {
+  if (!enabled())
+    return "off";
+  char Head[64];
+  std::snprintf(Head, sizeof(Head), "%llu:%g",
+                static_cast<unsigned long long>(Seed), Rate);
+  std::string S = Head;
+  bool AllSites = SiteMask == allSitesMask();
+  if (!AllSites || Abort) {
+    S += ':';
+    bool First = true;
+    if (AllSites) {
+      S += "all";
+      First = false;
+    } else {
+      for (unsigned I = 0; I < NumFaultSites; ++I) {
+        if (!(SiteMask & (1u << I)))
+          continue;
+        if (!First)
+          S += ',';
+        S += FaultSiteNames[I];
+        First = false;
+      }
+    }
+    if (Abort)
+      S += First ? "abort" : ",abort";
+  }
+  return S;
+}
+
+InjectedFault::InjectedFault(FaultSite S, uint64_t Idx)
+    : std::runtime_error(std::string("injected fault at ") + faultSiteName(S) +
+                         "[" + std::to_string(Idx) + "]"),
+      Site(S), Index(Idx) {}
+
+// splitmix64's finalizer: a cheap, well-mixed 64-bit permutation.
+static uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+bool FaultInjector::decides(uint64_t Seed, FaultSite S, uint64_t Index,
+                            double Rate) {
+  if (Rate <= 0)
+    return false;
+  if (Rate >= 1)
+    return true;
+  uint64_t H =
+      mix64(Seed ^ mix64((uint64_t(static_cast<unsigned>(S)) << 32) ^ Index));
+  // Top 53 bits → uniform double in [0, 1).
+  double U = double(H >> 11) * 0x1.0p-53;
+  return U < Rate;
+}
+
+void FaultInjector::hit(FaultSite S) {
+  if (!Plan.siteEnabled(S))
+    return;
+  uint64_t Index = NextIndex[static_cast<unsigned>(S)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (!decides(Plan.Seed, S, Index, Plan.Rate))
+    return;
+  Injected.fetch_add(1, std::memory_order_relaxed);
+  if (Plan.Abort) {
+    // Crash-containment testing: die the way a real heap corruption or
+    // assert would, so the fork sandbox has something to contain.
+    std::fprintf(stderr, "fault-injector: aborting at %s[%llu]\n",
+                 faultSiteName(S), static_cast<unsigned long long>(Index));
+    std::abort();
+  }
+  throw InjectedFault(S, Index);
+}
+
+void FaultInjector::backoff(int Attempt) {
+  // Transient faults model momentary resource pressure; a short bounded
+  // pause is part of the recovery contract (and keeps the chaos suite from
+  // hot-spinning when every retry re-fires).
+  int Ms = 1 << (Attempt < 4 ? Attempt : 4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+} // namespace blazer

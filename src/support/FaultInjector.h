@@ -1,0 +1,227 @@
+//===- FaultInjector.h - Seeded deterministic fault injection ---*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seeded fault injection for the engine's riskiest seams.
+/// A long-lived analysis service must survive allocation failures, worker
+/// exceptions, and poisoned cache entries without ever emitting an unsound
+/// Safe verdict; this subsystem makes those failure modes reproducible so
+/// the chaos suite can assert the recovery paths instead of hoping.
+///
+/// Named *injection sites* are threaded through the engine — DBM pool
+/// allocation, transfer/closure kernels, pool task execution, trail-cache
+/// insert and waiter-retake, and whole-trail analysis. Each site calls
+/// maybeInjectFault(Site), which is a single thread-local pointer test when
+/// no plan is installed (the disabled configuration must cost nothing
+/// measurable). With a plan installed, every site hit draws a deterministic
+/// pseudo-random decision keyed by (seed, site, per-site hit index); firing
+/// hits throw InjectedFault (or abort() under an abort plan, for testing
+/// crash containment of whole processes).
+///
+/// Determinism contract: the set of firing (site, index) pairs is a pure
+/// function of the plan. The engine performs identical work at any job
+/// count, so per-site hit totals — and therefore *whether* a plan faults at
+/// all — are reproducible; replaying a plan yields the same outcome. Which
+/// thread observes a given index may vary under parallelism, so only the
+/// first-trip provenance site can differ between multi-job replays of a
+/// multi-site plan; verdicts cannot.
+///
+/// Recovery is layered (see DESIGN.md "Failure model"):
+///  - transient sites (pool allocation, cache insert/retake) get one
+///    bounded retry with backoff at the per-trail boundary;
+///  - persistent sites degrade the trail immediately;
+///  - every unrecovered fault trips the AnalysisBudget with
+///    BudgetKind::FaultInjected and the site name, riding the existing
+///    fail-soft machinery: the verdict degrades to Unknown, never flips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_FAULTINJECTOR_H
+#define BLAZER_SUPPORT_FAULTINJECTOR_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace blazer {
+
+/// Every named injection site, in registry order. Site indices are part of
+/// the plan syntax's stable surface: new sites append.
+enum class FaultSite : unsigned {
+  DbmPool,       ///< MatrixPool::acquire — heap matrix allocation.
+  Transfer,      ///< AnalyzerT::transferBlock — the post-block kernel.
+  Closure,       ///< Dbm::close — the Floyd-Warshall canonicalization.
+  PoolTask,      ///< parallelForWithBudget — a stolen pool iteration.
+  CacheInsert,   ///< ShardedTrailCache — owner about to compute/publish.
+  CacheRetake,   ///< ShardedTrailCache — waiter retaking an abandon.
+  TrailAnalysis, ///< BoundAnalysis::analyzeTrail — whole-trail boundary.
+};
+inline constexpr unsigned NumFaultSites = 7;
+
+const char *faultSiteName(FaultSite S);
+/// \returns false when \p Name matches no site.
+bool parseFaultSite(const std::string &Name, FaultSite *Out);
+
+/// One parsed `--fault-plan=<seed>:<rate>[:site,...]` specification.
+/// `<rate>` is the per-hit firing probability in [0, 1]; omitted sites
+/// mean "all"; the pseudo-site token `abort` turns firing hits into
+/// std::abort() instead of a recoverable exception (crash-containment
+/// testing). "off" (or an empty string) disables injection.
+struct FaultPlan {
+  uint64_t Seed = 0;
+  double Rate = 0;
+  /// Bit I enables FaultSite(I).
+  uint32_t SiteMask = 0;
+  /// Firing hits call std::abort() instead of throwing InjectedFault.
+  bool Abort = false;
+
+  bool enabled() const { return Rate > 0 && SiteMask != 0; }
+  bool siteEnabled(FaultSite S) const {
+    return SiteMask & (1u << static_cast<unsigned>(S));
+  }
+  static uint32_t allSitesMask() { return (1u << NumFaultSites) - 1; }
+
+  /// Parses \p Spec; \returns false and fills \p Err on malformed input.
+  static bool parse(const std::string &Spec, FaultPlan *Out,
+                    std::string *Err = nullptr);
+  /// Canonical rendering ("off", "7:0.01", "7:0.01:transfer,closure").
+  std::string str() const;
+
+  bool operator==(const FaultPlan &O) const = default;
+};
+
+/// The recoverable fault an armed site throws. Deliberately NOT derived
+/// from the failure it simulates (bad_alloc etc.): recovery code must
+/// catch the injection type explicitly, so a plan can never be confused
+/// with a genuine error and silently swallowed.
+class InjectedFault : public std::runtime_error {
+public:
+  InjectedFault(FaultSite S, uint64_t Index);
+  FaultSite site() const { return Site; }
+  /// The per-site hit index that fired (for replay diagnostics).
+  uint64_t index() const { return Index; }
+
+private:
+  FaultSite Site;
+  uint64_t Index;
+};
+
+/// Counters one injector accumulates over a run; surfaced through
+/// EngineTelemetry so the CLI and bench JSON report chaos coverage.
+struct FaultStats {
+  uint64_t Injected = 0;     ///< Site hits that fired.
+  uint64_t Retries = 0;      ///< Transient faults retried (with backoff).
+  uint64_t Degradations = 0; ///< Faults that degraded a result to Unknown.
+
+  void mergeFrom(const FaultStats &O) {
+    Injected += O.Injected;
+    Retries += O.Retries;
+    Degradations += O.Degradations;
+  }
+};
+
+/// One run's fault source: owns the plan, the per-site hit counters, and
+/// the outcome counters. Thread-safe — the parallel driver shares one
+/// injector across its worker pool (counters are atomic; decisions are
+/// pure functions of (seed, site, index)).
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &P) : Plan(P) {
+    for (auto &C : NextIndex)
+      C.store(0, std::memory_order_relaxed);
+  }
+
+  FaultInjector(const FaultInjector &) = delete;
+  FaultInjector &operator=(const FaultInjector &) = delete;
+
+  const FaultPlan &plan() const { return Plan; }
+
+  /// The pure decision function: does hit \p Index of \p S fire under
+  /// (\p Seed, \p Rate)? Exposed so tests can pick seeds that fire at a
+  /// chosen index and nowhere else.
+  static bool decides(uint64_t Seed, FaultSite S, uint64_t Index,
+                      double Rate);
+
+  /// Registers one hit of \p S: claims the next per-site index and throws
+  /// InjectedFault (or aborts, under an abort plan) when the decision
+  /// fires. Called only from maybeInjectFault's armed path.
+  void hit(FaultSite S);
+
+  /// Sites whose simulated failure is momentary (an allocation that would
+  /// succeed on retry, a cache slot freed by the abandon itself): the
+  /// per-trail recovery grants these one retry with backoff before
+  /// degrading. Kernel and task faults are persistent — retrying the same
+  /// computation would re-execute the whole failure path.
+  static bool transientSite(FaultSite S) {
+    return S == FaultSite::DbmPool || S == FaultSite::CacheInsert ||
+           S == FaultSite::CacheRetake;
+  }
+
+  /// Bounded backoff before a transient retry (attempt 0 = first retry).
+  static void backoff(int Attempt);
+
+  void countRetry() { Retries.fetch_add(1, std::memory_order_relaxed); }
+  void countDegradation() {
+    Degradations.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  FaultStats stats() const {
+    FaultStats S;
+    S.Injected = Injected.load(std::memory_order_relaxed);
+    S.Retries = Retries.load(std::memory_order_relaxed);
+    S.Degradations = Degradations.load(std::memory_order_relaxed);
+    return S;
+  }
+
+private:
+  FaultPlan Plan;
+  std::array<std::atomic<uint64_t>, NumFaultSites> NextIndex;
+  std::atomic<uint64_t> Injected{0};
+  std::atomic<uint64_t> Retries{0};
+  std::atomic<uint64_t> Degradations{0};
+};
+
+namespace detail {
+/// The calling thread's active injector (null = injection disabled). A
+/// plain extern thread_local so maybeInjectFault inlines to one load and
+/// branch — the no-plan configuration pays nothing measurable at the hot
+/// sites (transfer kernels, pool allocation).
+extern thread_local FaultInjector *TLFaultInjector;
+} // namespace detail
+
+/// The one call injection sites make. No-op unless a FaultScope installed
+/// an injector on this thread.
+inline void maybeInjectFault(FaultSite S) {
+  if (FaultInjector *F = detail::TLFaultInjector)
+    F->hit(S);
+}
+
+/// RAII thread-local installation of an injector, mirroring BudgetScope:
+/// the driver installs the run's injector, and parallelForWithBudget
+/// re-installs it on pool workers so stolen work draws from the same plan.
+/// Null is allowed (and disables injection within the scope).
+class FaultScope {
+public:
+  explicit FaultScope(FaultInjector *F) : Prev(detail::TLFaultInjector) {
+    detail::TLFaultInjector = F;
+  }
+  ~FaultScope() { detail::TLFaultInjector = Prev; }
+
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+
+  /// The innermost installed injector of this thread, or null.
+  static FaultInjector *current() { return detail::TLFaultInjector; }
+
+private:
+  FaultInjector *Prev;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_FAULTINJECTOR_H

@@ -8,6 +8,7 @@
 
 #include "support/Budget.h"
 #include "support/EngineConfig.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 
@@ -110,24 +111,40 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
     Pending.erase(std::remove(Pending.begin(), Pending.end(), L),
                   Pending.end());
   }
-  if (L->Failure)
-    std::rethrow_exception(L->Failure);
+  // Move the failure out before rethrowing: a worker may still hold the
+  // last shared_ptr to the Loop, and its ~Loop must not race the caller's
+  // use of the exception (or free the exception object on a worker
+  // thread). After the move the caller owns the exception outright.
+  std::exception_ptr Failure;
+  {
+    std::lock_guard<std::mutex> Lock(L->M);
+    Failure = std::move(L->Failure);
+  }
+  if (Failure)
+    std::rethrow_exception(Failure);
 }
 
 void blazer::parallelForWithBudget(ThreadPool *Pool, size_t N,
                                    const std::function<void(size_t)> &Fn) {
   if (!Pool || Pool->concurrency() == 1) {
-    for (size_t I = 0; I < N; ++I)
+    for (size_t I = 0; I < N; ++I) {
+      // Same site hit as the pool path, so per-site fault-plan indices are
+      // identical at any job count (the determinism contract).
+      maybeInjectFault(FaultSite::PoolTask);
       Fn(I);
+    }
     return;
   }
   AnalysisBudget *Budget = BudgetScope::current();
   const char *Phase = PhaseScope::current();
   ClosureMode Closure = ClosurePolicyScope::current();
-  Pool->parallelFor(N, [&, Budget, Phase, Closure](size_t I) {
+  FaultInjector *Faults = FaultScope::current();
+  Pool->parallelFor(N, [&, Budget, Phase, Closure, Faults](size_t I) {
     BudgetScope Scope(Budget);
     PhaseScope PScope(Phase);
     ClosurePolicyScope CScope(Closure);
+    FaultScope FScope(Faults);
+    maybeInjectFault(FaultSite::PoolTask);
     Fn(I);
   });
 }

@@ -37,6 +37,8 @@
 #ifndef BLAZER_SUPPORT_TRAILBOUNDCACHE_H
 #define BLAZER_SUPPORT_TRAILBOUNDCACHE_H
 
+#include "support/FaultInjector.h"
+
 #include <array>
 #include <atomic>
 #include <condition_variable>
@@ -86,6 +88,7 @@ public:
   Value getOrCompute(const std::string &Key, ComputeFn Compute) {
     Shard &S = shardFor(Key);
     std::unique_lock<std::mutex> Lock(S.Mu);
+    bool Retaking = false;
     for (;;) {
       auto It = S.Map.find(Key);
       if (It == S.Map.end())
@@ -97,10 +100,18 @@ public:
       }
       // In flight on another thread: wait for it to publish or abandon.
       S.Cv.wait(Lock, [&] { return E->Ready || E->Abandoned; });
+      Retaking = E->Abandoned;
       // Loop: on Ready the map still holds E (hit path above); on
       // Abandoned the entry was erased and somebody must recompute.
     }
+    // Injection sites for the two ownership transitions. Both fire while
+    // nothing is inserted yet, so an unwound exception here leaves the
+    // shard clean — no poisoned entry, and remaining waiters are either
+    // unaffected (insert) or already unblocked by the abandon (retake).
+    if (Retaking)
+      maybeInjectFault(FaultSite::CacheRetake);
     Misses.fetch_add(1, std::memory_order_relaxed);
+    maybeInjectFault(FaultSite::CacheInsert);
     auto E = std::make_shared<Entry>();
     S.Map.emplace(Key, E);
     Lock.unlock();

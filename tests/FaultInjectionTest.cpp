@@ -1,0 +1,412 @@
+//===- FaultInjectionTest.cpp - Chaos suite for the fault injector ---------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the deterministic fault-injection subsystem (plan
+/// parsing, the splitmix64 decision function, scope plumbing, EngineConfig
+/// integration) plus the chaos sweep: 500+ distinct seeded fault plans
+/// across all 24 Table-1 benchmarks at jobs 1 and 8, asserting the iron
+/// invariant — an injected fault may degrade a verdict to Unknown (with
+/// fault provenance in the DegradationReason) but may never flip Safe to
+/// Attack or vice versa — and that jobs=1 replays of the same plan are
+/// byte-identical (verdict, trail tree, provenance). At jobs=8 transient
+/// retry success depends on interleaving, so replays assert soundness
+/// only, plus byte-identity whenever the run reports zero injected faults.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "support/EngineConfig.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Plan parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, ParseOffAndEmpty) {
+  FaultPlan P;
+  P.Seed = 7;
+  P.Rate = 1;
+  EXPECT_TRUE(FaultPlan::parse("off", &P));
+  EXPECT_FALSE(P.enabled());
+  EXPECT_EQ(P.str(), "off");
+  EXPECT_TRUE(FaultPlan::parse("", &P));
+  EXPECT_FALSE(P.enabled());
+}
+
+TEST(FaultPlan, ParseSeedRate) {
+  FaultPlan P;
+  ASSERT_TRUE(FaultPlan::parse("7:0.25", &P));
+  EXPECT_EQ(P.Seed, 7u);
+  EXPECT_DOUBLE_EQ(P.Rate, 0.25);
+  EXPECT_EQ(P.SiteMask, FaultPlan::allSitesMask());
+  EXPECT_FALSE(P.Abort);
+  EXPECT_TRUE(P.enabled());
+  for (unsigned I = 0; I < NumFaultSites; ++I)
+    EXPECT_TRUE(P.siteEnabled(static_cast<FaultSite>(I)));
+}
+
+TEST(FaultPlan, ParseSiteList) {
+  FaultPlan P;
+  ASSERT_TRUE(FaultPlan::parse("99:1:transfer,closure", &P));
+  EXPECT_TRUE(P.siteEnabled(FaultSite::Transfer));
+  EXPECT_TRUE(P.siteEnabled(FaultSite::Closure));
+  EXPECT_FALSE(P.siteEnabled(FaultSite::DbmPool));
+  EXPECT_FALSE(P.siteEnabled(FaultSite::PoolTask));
+  EXPECT_FALSE(P.Abort);
+}
+
+TEST(FaultPlan, ParseAbort) {
+  FaultPlan P;
+  ASSERT_TRUE(FaultPlan::parse("3:1:abort", &P));
+  EXPECT_TRUE(P.Abort);
+  EXPECT_EQ(P.SiteMask, FaultPlan::allSitesMask());
+  ASSERT_TRUE(FaultPlan::parse("3:1:transfer,abort", &P));
+  EXPECT_TRUE(P.Abort);
+  EXPECT_TRUE(P.siteEnabled(FaultSite::Transfer));
+  EXPECT_FALSE(P.siteEnabled(FaultSite::Closure));
+}
+
+TEST(FaultPlan, ParseRejectsMalformed) {
+  FaultPlan P;
+  std::string Err;
+  EXPECT_FALSE(FaultPlan::parse("7", &P, &Err));        // Missing rate.
+  EXPECT_FALSE(FaultPlan::parse("x:0.5", &P, &Err));    // Bad seed.
+  EXPECT_FALSE(FaultPlan::parse("7:1.5", &P, &Err));    // Rate > 1.
+  EXPECT_FALSE(FaultPlan::parse("7:-0.1", &P, &Err));   // Rate < 0.
+  EXPECT_FALSE(FaultPlan::parse("7:0.5:bogus", &P, &Err));
+  EXPECT_FALSE(FaultPlan::parse("7:0.5:transfer,", &P, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(FaultPlan, StrParseRoundTrip) {
+  for (const char *Spec :
+       {"off", "7:0.01", "7:1", "42:0.5:transfer,closure",
+        "1:0.25:dbm-pool", "9:1:abort", "9:1:cache-insert,abort"}) {
+    FaultPlan P;
+    ASSERT_TRUE(FaultPlan::parse(Spec, &P)) << Spec;
+    FaultPlan Q;
+    ASSERT_TRUE(FaultPlan::parse(P.str(), &Q)) << Spec << " -> " << P.str();
+    EXPECT_EQ(P, Q) << Spec;
+  }
+}
+
+TEST(FaultSiteNames, RoundTrip) {
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    FaultSite S = static_cast<FaultSite>(I);
+    FaultSite Back;
+    ASSERT_TRUE(parseFaultSite(faultSiteName(S), &Back));
+    EXPECT_EQ(Back, S);
+  }
+  FaultSite S;
+  EXPECT_FALSE(parseFaultSite("nope", &S));
+}
+
+//===----------------------------------------------------------------------===//
+// Decision function
+//===----------------------------------------------------------------------===//
+
+TEST(FaultDecides, PureAndSeeded) {
+  // Same (seed, site, index, rate) always decides the same way; different
+  // seeds decide differently somewhere.
+  unsigned Diffs = 0;
+  for (uint64_t I = 0; I < 256; ++I) {
+    bool A = FaultInjector::decides(1, FaultSite::Transfer, I, 0.5);
+    EXPECT_EQ(A, FaultInjector::decides(1, FaultSite::Transfer, I, 0.5));
+    if (A != FaultInjector::decides(2, FaultSite::Transfer, I, 0.5))
+      ++Diffs;
+  }
+  EXPECT_GT(Diffs, 0u);
+}
+
+TEST(FaultDecides, RateEndpoints) {
+  for (uint64_t I = 0; I < 64; ++I) {
+    EXPECT_TRUE(FaultInjector::decides(7, FaultSite::Closure, I, 1.0));
+    EXPECT_FALSE(FaultInjector::decides(7, FaultSite::Closure, I, 0.0));
+  }
+}
+
+TEST(FaultDecides, RateRoughlyProportional) {
+  unsigned Fired = 0;
+  for (uint64_t I = 0; I < 4096; ++I)
+    Fired += FaultInjector::decides(11, FaultSite::DbmPool, I, 0.25);
+  // 0.25 of 4096 = 1024; allow a generous band.
+  EXPECT_GT(Fired, 700u);
+  EXPECT_LT(Fired, 1350u);
+}
+
+TEST(FaultSites, TransientClassification) {
+  EXPECT_TRUE(FaultInjector::transientSite(FaultSite::DbmPool));
+  EXPECT_TRUE(FaultInjector::transientSite(FaultSite::CacheInsert));
+  EXPECT_TRUE(FaultInjector::transientSite(FaultSite::CacheRetake));
+  EXPECT_FALSE(FaultInjector::transientSite(FaultSite::Transfer));
+  EXPECT_FALSE(FaultInjector::transientSite(FaultSite::Closure));
+  EXPECT_FALSE(FaultInjector::transientSite(FaultSite::TrailAnalysis));
+  EXPECT_FALSE(FaultInjector::transientSite(FaultSite::PoolTask));
+}
+
+//===----------------------------------------------------------------------===//
+// Injector + scope plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorHit, FiresThrowsAndCounts) {
+  FaultPlan P;
+  ASSERT_TRUE(FaultPlan::parse("7:1:transfer", &P));
+  FaultInjector Inj(P);
+  FaultScope Scope(&Inj);
+  ASSERT_EQ(FaultScope::current(), &Inj);
+  // Disabled site: no throw, no count.
+  maybeInjectFault(FaultSite::Closure);
+  EXPECT_EQ(Inj.stats().Injected, 0u);
+  // Enabled site at rate 1: every hit throws with provenance.
+  for (uint64_t I = 0; I < 3; ++I) {
+    try {
+      maybeInjectFault(FaultSite::Transfer);
+      FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault &F) {
+      EXPECT_EQ(F.site(), FaultSite::Transfer);
+      EXPECT_EQ(F.index(), I);
+      EXPECT_NE(std::string(F.what()).find("transfer"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(Inj.stats().Injected, 3u);
+}
+
+TEST(FaultInjectorHit, NoScopeMeansNoOp) {
+  ASSERT_EQ(FaultScope::current(), nullptr);
+  maybeInjectFault(FaultSite::Transfer); // Must not throw.
+}
+
+TEST(FaultScopeNesting, RestoresPrevious) {
+  FaultPlan P;
+  ASSERT_TRUE(FaultPlan::parse("1:1", &P));
+  FaultInjector Outer(P), Inner(P);
+  FaultScope SO(&Outer);
+  {
+    FaultScope SI(&Inner);
+    EXPECT_EQ(FaultScope::current(), &Inner);
+  }
+  EXPECT_EQ(FaultScope::current(), &Outer);
+}
+
+//===----------------------------------------------------------------------===//
+// EngineConfig integration
+//===----------------------------------------------------------------------===//
+
+TEST(EngineConfigFault, KnobRoundTrip) {
+  EngineConfig E;
+  EXPECT_EQ(E.get("fault-plan"), "off");
+  std::string Err;
+  ASSERT_TRUE(E.set("fault-plan", "7:0.5:transfer", &Err)) << Err;
+  EXPECT_EQ(E.get("fault-plan"), "7:0.5:transfer");
+  EXPECT_TRUE(E.Fault.enabled());
+  EXPECT_FALSE(E.set("fault-plan", "bogus", &Err));
+  EXPECT_FALSE(Err.empty());
+  ASSERT_TRUE(E.set("fault-plan", "off", &Err));
+  EXPECT_FALSE(E.Fault.enabled());
+}
+
+TEST(EngineConfigFault, LoadEnvReadsFaultPlan) {
+  ::setenv("BLAZER_FITEST_FAULT_PLAN", "13:0.125:closure", 1);
+  EngineConfig E;
+  E.loadEnv("BLAZER_FITEST");
+  EXPECT_EQ(E.Fault.Seed, 13u);
+  EXPECT_DOUBLE_EQ(E.Fault.Rate, 0.125);
+  EXPECT_TRUE(E.Fault.siteEnabled(FaultSite::Closure));
+  EXPECT_FALSE(E.Fault.siteEnabled(FaultSite::Transfer));
+  ::unsetenv("BLAZER_FITEST_FAULT_PLAN");
+}
+
+TEST(DeprecatedAliases, WarnOncePerAlias) {
+  ::testing::internal::CaptureStderr();
+  warnDeprecatedAlias("--fitest-old-flag", "--fitest-new-flag");
+  warnDeprecatedAlias("--fitest-old-flag", "--fitest-new-flag");
+  std::string Err = ::testing::internal::GetCapturedStderr();
+  size_t First = Err.find("--fitest-old-flag");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Err.find("--fitest-old-flag", First + 1), std::string::npos);
+}
+
+TEST(DeprecatedAliases, SuppressionStillDedupes) {
+  setDeprecationWarningsEnabled(false);
+  ::testing::internal::CaptureStderr();
+  warnDeprecatedAlias("--fitest-quiet-flag", "--fitest-new-flag");
+  setDeprecationWarningsEnabled(true);
+  warnDeprecatedAlias("--fitest-quiet-flag", "--fitest-new-flag");
+  std::string Err = ::testing::internal::GetCapturedStderr();
+  // First call was suppressed but claimed the dedup slot; the second call
+  // must not print either.
+  EXPECT_EQ(Err.find("--fitest-quiet-flag"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos sweep
+//===----------------------------------------------------------------------===//
+
+struct Baseline {
+  VerdictKind Verdict;
+  std::string Tree;
+};
+
+/// Replaces the wall-clock "after 1.23s" fragment of degradation lines
+/// with "after Xs": elapsed time is the one legitimately nondeterministic
+/// piece of a degraded tree dump.
+std::string stripElapsed(std::string S) {
+  size_t Pos = 0;
+  while ((Pos = S.find("after ", Pos)) != std::string::npos) {
+    size_t End = Pos + 6;
+    while (End < S.size() && (std::isdigit(S[End]) || S[End] == '.'))
+      ++End;
+    if (End < S.size() && S[End] == 's' && End > Pos + 6)
+      S.replace(Pos + 6, End - Pos - 6, "X");
+    Pos += 6;
+  }
+  return S;
+}
+
+Baseline baselineFor(const BenchmarkProgram &B, const CfgFunction &F,
+                     int Jobs) {
+  BlazerResult R = runBenchmark(B, {}, Jobs);
+  EXPECT_FALSE(R.Degradation.tripped()) << B.Name << " jobs=" << Jobs;
+  EXPECT_EQ(R.Telemetry.Fault.Injected, 0u);
+  return {R.Verdict, R.treeString(F)};
+}
+
+/// The iron invariant: a faulted run either matches the fault-free verdict
+/// (the fault never fired, or a transient retry absorbed it) or degrades
+/// to a non-Safe verdict with fault provenance. Never a flipped verdict.
+void checkSoundness(const BenchmarkProgram &B, const CfgFunction &F,
+                    const Baseline &Base, const BlazerResult &R,
+                    const std::string &Plan, int Jobs) {
+  SCOPED_TRACE(B.Name + " plan=" + Plan + " jobs=" + std::to_string(Jobs));
+  if (R.Degradation.tripped()) {
+    EXPECT_EQ(R.Degradation.Kind, BudgetKind::FaultInjected)
+        << R.Degradation.str();
+    EXPECT_FALSE(R.Degradation.FaultSite.empty());
+    // Degraded runs can never claim safety.
+    EXPECT_NE(R.Verdict, VerdictKind::Safe);
+    // ... and can never invent an attack on a safe program: attacks need
+    // genuine upper bounds on both trails, which degraded results lack.
+    if (Base.Verdict == VerdictKind::Safe) {
+      EXPECT_NE(R.Verdict, VerdictKind::Attack) << R.treeString(F);
+    }
+  } else {
+    // No degradation recorded: the run must agree with fault-free.
+    EXPECT_EQ(R.Verdict, Base.Verdict) << R.treeString(F);
+  }
+  if (R.Verdict == VerdictKind::Attack) {
+    EXPECT_FALSE(R.Attacks.empty());
+  }
+}
+
+class FaultChaos : public ::testing::TestWithParam<const BenchmarkProgram *> {
+};
+
+/// Every single-site plan, two seeds each, at jobs=1: byte-identical
+/// replay (verdict, tree, provenance) plus soundness. 7 sites x 2 seeds x
+/// 24 benchmarks = 336 distinct plans.
+TEST_P(FaultChaos, SingleSitePlansReplayDeterministicallyAtJobs1) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  Baseline Base = baselineFor(B, F, /*Jobs=*/1);
+  size_t BenchSalt =
+      std::hash<std::string>()(B.Name) % 100000; // Distinct plans per bench.
+  for (unsigned SiteIdx = 0; SiteIdx < NumFaultSites; ++SiteIdx) {
+    for (uint64_t SeedIdx = 0; SeedIdx < 2; ++SeedIdx) {
+      FaultSite S = static_cast<FaultSite>(SiteIdx);
+      std::string Plan = std::to_string(BenchSalt + SiteIdx * 10 + SeedIdx) +
+                         (SeedIdx ? ":0.25:" : ":1:") + faultSiteName(S);
+      EngineConfig Engine;
+      ASSERT_TRUE(Engine.set("fault-plan", Plan));
+      BlazerResult R1 = runBenchmark(B, {}, 1, Engine);
+      BlazerResult R2 = runBenchmark(B, {}, 1, Engine);
+      checkSoundness(B, F, Base, R1, Plan, 1);
+      checkSoundness(B, F, Base, R2, Plan, 1);
+      SCOPED_TRACE(B.Name + " plan=" + Plan + " replay");
+      // Sequential replay of the same plan is byte-identical.
+      EXPECT_EQ(R1.Verdict, R2.Verdict);
+      EXPECT_EQ(stripElapsed(R1.treeString(F)), stripElapsed(R2.treeString(F)));
+      EXPECT_EQ(R1.Degradation.Kind, R2.Degradation.Kind);
+      EXPECT_EQ(R1.Degradation.FaultSite, R2.Degradation.FaultSite);
+      EXPECT_EQ(R1.Telemetry.Fault.Injected, R2.Telemetry.Fault.Injected);
+      if (!R1.Degradation.tripped()) {
+        EXPECT_EQ(R1.treeString(F), Base.Tree);
+      }
+    }
+  }
+}
+
+/// All-site plans across 8 seeds at jobs=1 and jobs=8: 192 more distinct
+/// plans. jobs=8 asserts soundness only — transient-retry success under
+/// concurrency is interleaving-dependent — plus byte-identity with the
+/// parallel baseline whenever the run reports zero injected faults.
+TEST_P(FaultChaos, AllSitePlansSoundAtAnyJobCount) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  Baseline Base1 = baselineFor(B, F, /*Jobs=*/1);
+  Baseline Base8 = baselineFor(B, F, /*Jobs=*/8);
+  // Parallel and sequential fault-free runs agree (determinism contract).
+  EXPECT_EQ(Base1.Verdict, Base8.Verdict);
+  EXPECT_EQ(Base1.Tree, Base8.Tree);
+  size_t BenchSalt = std::hash<std::string>()(B.Name) % 100000;
+  for (uint64_t SeedIdx = 0; SeedIdx < 8; ++SeedIdx) {
+    std::string Plan = std::to_string(200000 + BenchSalt * 8 + SeedIdx) +
+                       ":" + (SeedIdx % 2 ? "0.1" : "0.02");
+    EngineConfig Engine;
+    ASSERT_TRUE(Engine.set("fault-plan", Plan));
+    BlazerResult R1 = runBenchmark(B, {}, 1, Engine);
+    checkSoundness(B, F, Base1, R1, Plan, 1);
+    BlazerResult R8 = runBenchmark(B, {}, 8, Engine);
+    checkSoundness(B, F, Base8, R8, Plan, 8);
+    if (R8.Telemetry.Fault.Injected == 0) {
+      SCOPED_TRACE(B.Name + " plan=" + Plan + " jobs=8 zero-fault");
+      EXPECT_EQ(R8.Verdict, Base8.Verdict);
+      EXPECT_EQ(stripElapsed(R8.treeString(F)), stripElapsed(Base8.Tree));
+    }
+  }
+}
+
+std::vector<const BenchmarkProgram *> allPtrs() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FaultChaos, ::testing::ValuesIn(allPtrs()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+/// The distinct-plan floor the sweep above guarantees: 336 single-site +
+/// 192 all-site plans, all with distinct seeds, >= 500 total.
+TEST(FaultChaosCoverage, AtLeast500DistinctPlans) {
+  std::set<std::string> Plans;
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    size_t BenchSalt = std::hash<std::string>()(B.Name) % 100000;
+    for (unsigned SiteIdx = 0; SiteIdx < NumFaultSites; ++SiteIdx)
+      for (uint64_t SeedIdx = 0; SeedIdx < 2; ++SeedIdx)
+        Plans.insert(std::to_string(BenchSalt + SiteIdx * 10 + SeedIdx) +
+                     (SeedIdx ? ":0.25:" : ":1:") +
+                     faultSiteName(static_cast<FaultSite>(SiteIdx)));
+    for (uint64_t SeedIdx = 0; SeedIdx < 8; ++SeedIdx)
+      Plans.insert(std::to_string(200000 + BenchSalt * 8 + SeedIdx) + ":" +
+                   (SeedIdx % 2 ? "0.1" : "0.02"));
+  }
+  EXPECT_GE(Plans.size(), 500u);
+}
+
+} // namespace

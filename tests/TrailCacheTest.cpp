@@ -17,6 +17,7 @@
 
 #include "benchmarks/Benchmarks.h"
 #include "core/Blazer.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 #include "support/TrailBoundCache.h"
 
@@ -136,6 +137,58 @@ TEST(TrailCacheTest, ExceptionAbandonsEntryAndUnblocksKey) {
                              [&] { return std::pair<int, bool>(7, true); });
   EXPECT_EQ(V, 7);
   EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST(TrailCacheTest, InjectedDeathTriggersRetakeAndCachesExactlyOnce) {
+  // Pick a seed whose transfer-site decision fires at index 0 and stays
+  // quiet for the next 16 indices: the first compute dies from the
+  // injected fault, the retaken compute (index 1) succeeds.
+  uint64_t Seed = 0;
+  for (uint64_t S = 1; S < 100000 && !Seed; ++S) {
+    if (!FaultInjector::decides(S, FaultSite::Transfer, 0, 0.5))
+      continue;
+    bool QuietTail = true;
+    for (uint64_t I = 1; I <= 16 && QuietTail; ++I)
+      QuietTail = !FaultInjector::decides(S, FaultSite::Transfer, I, 0.5);
+    if (QuietTail)
+      Seed = S;
+  }
+  ASSERT_NE(Seed, 0u);
+  FaultPlan Plan;
+  ASSERT_TRUE(
+      FaultPlan::parse(std::to_string(Seed) + ":0.5:transfer", &Plan));
+  FaultInjector Inj(Plan);
+
+  ShardedTrailCache<int> Cache;
+  ThreadPool Pool(8);
+  std::atomic<int> Computes{0}, Died{0};
+  Pool.parallelFor(16, [&](size_t) {
+    FaultScope Scope(&Inj);
+    try {
+      int V = Cache.getOrCompute("victim", [&] {
+        Computes.fetch_add(1, std::memory_order_relaxed);
+        // Dwell so the other workers block on the in-flight entry and
+        // exercise the real abandoned-waiter wakeup, not a fresh insert.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        maybeInjectFault(FaultSite::Transfer);
+        return std::pair<int, bool>(42, true);
+      });
+      EXPECT_EQ(V, 42);
+    } catch (const InjectedFault &) {
+      Died.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Exactly the first owner died (fault index 0); one waiter retook the
+  // key, recomputed cleanly, and published for everyone else.
+  EXPECT_EQ(Died.load(), 1);
+  EXPECT_EQ(Computes.load(), 2);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+  EXPECT_EQ(Inj.stats().Injected, 1u);
+  // The retaken result is a plain hit now — no recompute.
+  int V = Cache.getOrCompute(
+      "victim", [&]() -> std::pair<int, bool> { ADD_FAILURE(); return {0, true}; });
+  EXPECT_EQ(V, 42);
+  EXPECT_EQ(Computes.load(), 2);
 }
 
 TEST(TrailCacheTest, ClearDropsReadyEntriesWithoutCountingEvictions) {

@@ -32,21 +32,29 @@
 ///   --fixpoint=wto|fifo          zone-fixpoint scheduler (default wto)
 ///   --closure=incremental|full   DBM closure policy (default incremental)
 ///   --cache=on|off               trail-bound memo cache (default on)
+///   --fault-plan=S:R[:site,...]  deterministic fault injection (default off)
 ///   --no-cache                   deprecated alias for --cache=off
 ///   --cache-stats                print the engine-telemetry JSON line
 ///   --fixpoint-stats             print the engine-telemetry JSON line
 /// \endcode
 ///
-/// The engine knobs (--domain, --fixpoint, --closure, --cache) are parsed
-/// from the EngineConfig registry, so the CLI, the bench env vars, and the
-/// programmatic options always accept the same spellings. --cache-stats
-/// and --fixpoint-stats both print the one shared schema —
-/// "engine-telemetry: {...}" — that bench/table1_blazer also emits.
+/// The engine knobs (--domain, --fixpoint, --closure, --cache,
+/// --fault-plan) are parsed from the EngineConfig registry, so the CLI, the
+/// env vars (BLAZER_DOMAIN, ..., BLAZER_FAULT_PLAN — read first, flags
+/// override), and the programmatic options always accept the same
+/// spellings. --cache-stats and --fixpoint-stats both print the one shared
+/// schema — "engine-telemetry: {...}" — that bench/table1_blazer also
+/// emits.
 ///
-/// Exit code: 0 when every analyzed function is safe (or capacity-bounded),
-/// 2 when some function has an attack specification, 3 on unknown, 1 on
-/// usage/compile errors. A tripped resource budget degrades the verdict to
-/// unknown (exit 3) and prints which budget tripped.
+/// Exit-code contract (see README "Exit codes"):
+///   0  every analyzed function completed with a clean verdict — safe,
+///      attack, or a genuine unknown (analysis limits, not resource loss);
+///   2  usage, file, parse, or semantic errors;
+///   3  some verdict degraded to unknown because a resource budget tripped
+///      or an injected fault was unrecoverable (the reason is printed);
+///   4  internal error — an unexpected exception escaped, or
+///      std::terminate fired (the installed handler prints the current
+///      phase label and a telemetry snapshot to stderr before aborting).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,9 +63,11 @@
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "selfcomp/SelfComposition.h"
+#include "support/FaultInjector.h"
 
 #include <cerrno>
 #include <cstdint>
+#include <exception>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -97,6 +107,46 @@ struct CliOptions {
 
   bool telemetryOut() const { return CacheStats || FixpointStatsOut; }
 };
+
+/// Exit code 4's last gasp: std::terminate (uncaught exception, broken
+/// invariant in a noexcept context, ...) reports where the engine was and
+/// what it had done before dying. Everything printed comes from the dying
+/// thread's own scopes — phase label, budget usage, fault counters — so no
+/// locks are taken and no cross-thread state is touched.
+[[noreturn]] void terminateHandler() {
+  const char *Phase = PhaseScope::current();
+  std::fprintf(stderr, "blazer: fatal: std::terminate in phase '%s'\n",
+               Phase && *Phase ? Phase : "<none>");
+  if (std::exception_ptr E = std::current_exception()) {
+    try {
+      std::rethrow_exception(E);
+    } catch (const std::exception &Ex) {
+      std::fprintf(stderr, "blazer: uncaught exception: %s\n", Ex.what());
+    } catch (...) {
+      std::fprintf(stderr, "blazer: uncaught non-standard exception\n");
+    }
+  }
+  if (AnalysisBudget *B = BudgetScope::current()) {
+    ResourceUsage U = B->usage();
+    std::fprintf(stderr,
+                 "blazer: telemetry: %llu states, %llu joins, %llu trail "
+                 "nodes, %.2fs elapsed\n",
+                 static_cast<unsigned long long>(U.States),
+                 static_cast<unsigned long long>(U.Joins),
+                 static_cast<unsigned long long>(U.TrailNodes), U.Seconds);
+  }
+  if (FaultInjector *FI = FaultScope::current()) {
+    FaultStats S = FI->stats();
+    std::fprintf(stderr,
+                 "blazer: faults: %llu injected, %llu retries, %llu "
+                 "degradations (plan %s)\n",
+                 static_cast<unsigned long long>(S.Injected),
+                 static_cast<unsigned long long>(S.Retries),
+                 static_cast<unsigned long long>(S.Degradations),
+                 FI->plan().str().c_str());
+  }
+  std::abort();
+}
 
 void usage(const char *Prog) {
   std::fprintf(
@@ -256,7 +306,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
                        Opt.MaxTrailNodes))
         return false;
     } else if (Arg == "--no-cache") {
-      Opt.Engine.set("cache", "off"); // Deprecated alias for --cache=off.
+      warnDeprecatedAlias("--no-cache", "--cache=off");
+      Opt.Engine.set("cache", "off");
     } else if (Arg == "--cache-stats") {
       Opt.CacheStats = true;
     } else if (Arg == "--fixpoint-stats") {
@@ -326,7 +377,9 @@ void printTelemetry(const CliOptions &Cli, const EngineTelemetry &T) {
   std::printf("engine-telemetry: %s\n", T.json().c_str());
 }
 
-/// 0 safe, 2 attack, 3 unknown.
+/// One function's exit-code contribution: 0 for any clean verdict (safe,
+/// attack, genuine unknown), 3 when the verdict degraded to unknown under a
+/// budget trip or unrecovered fault.
 int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
   BlazerOptions Opt = toBlazerOptions(Cli);
   std::printf("==== %s (%zu basic blocks) ====\n", F.Name.c_str(),
@@ -345,7 +398,9 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
     if (R.Degradation.tripped())
       std::printf("degraded: %s\n", R.Degradation.str().c_str());
     printTelemetry(Cli, R.Telemetry);
-    return R.Bounded ? 0 : (R.Known ? 2 : 3);
+    // BOUNDED and EXCEEDED are both clean verdicts; only a degraded
+    // "could not establish" is an exit-3 condition.
+    return !R.Known && R.Degradation.tripped() ? 3 : 0;
   }
 
   BlazerResult R = analyzeFunction(F, Opt);
@@ -378,26 +433,36 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
 
   switch (R.Verdict) {
   case VerdictKind::Safe:
-    return 0;
   case VerdictKind::Attack:
-    return 2;
+    return 0;
   case VerdictKind::Unknown:
-    return 3;
+    return R.Degradation.tripped() ? 3 : 0;
   }
-  return 3;
+  return 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::set_terminate(terminateHandler);
+  // Machine-output runs keep stderr free of advisory chatter; decide before
+  // any parsing below can warn about a deprecated spelling.
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--cache-stats") ||
+        !std::strcmp(Argv[I], "--fixpoint-stats"))
+      setDeprecationWarningsEnabled(false);
+
   CliOptions Cli;
+  // Environment first (BLAZER_DOMAIN, BLAZER_FAULT_PLAN, ...), flags
+  // override.
+  Cli.Engine.loadEnv("BLAZER");
   if (!parseArgs(Argc, Argv, Cli))
-    return 1;
+    return 2;
 
   std::ifstream In(Cli.File);
   if (!In) {
     std::fprintf(stderr, "cannot open '%s'\n", Cli.File.c_str());
-    return 1;
+    return 2;
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
@@ -408,14 +473,14 @@ int main(int Argc, char **Argv) {
   if (!Parsed) {
     std::fprintf(stderr, "%s: parse error: %s\n", Cli.File.c_str(),
                  Parsed.diag().str().c_str());
-    return 1;
+    return 2;
   }
   auto P = std::make_shared<Program>(Parsed.take());
   auto Checked = analyzeProgram(*P, Registry);
   if (!Checked) {
     std::fprintf(stderr, "%s: %s\n", Cli.File.c_str(),
                  Checked.diag().str().c_str());
-    return 1;
+    return 2;
   }
 
   std::vector<std::string> Targets = Cli.Functions;
@@ -423,14 +488,25 @@ int main(int Argc, char **Argv) {
     for (const auto &F : P->Functions)
       Targets.push_back(F->Name);
 
-  int Worst = 0;
-  for (const std::string &Name : Targets) {
-    if (!P->find(Name)) {
-      std::fprintf(stderr, "no function named '%s'\n", Name.c_str());
-      return 1;
+  // Anything the engine throws past its own recovery layers is an internal
+  // error: report and exit 4 (injected aborts skip this and die through the
+  // terminate handler, which is the point of the crash-contained bench).
+  try {
+    int Worst = 0;
+    for (const std::string &Name : Targets) {
+      if (!P->find(Name)) {
+        std::fprintf(stderr, "no function named '%s'\n", Name.c_str());
+        return 2;
+      }
+      CfgFunction F = lowerFunction(P, Name, *Checked, Registry);
+      Worst = std::max(Worst, analyzeOne(F, Cli));
     }
-    CfgFunction F = lowerFunction(P, Name, *Checked, Registry);
-    Worst = std::max(Worst, analyzeOne(F, Cli));
+    return Worst;
+  } catch (const std::exception &Ex) {
+    std::fprintf(stderr, "blazer: internal error: %s\n", Ex.what());
+    return 4;
+  } catch (...) {
+    std::fprintf(stderr, "blazer: internal error: unknown exception\n");
+    return 4;
   }
-  return Worst;
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# verify_all.sh - the full verification ladder, in one command.
+#
+# Runs, in order:
+#   1. tier-1:      default preset, every test        (functional baseline)
+#   2. tsan:        ThreadSanitizer, `concurrency`    (races, deadlocks)
+#   3. chaos-asan:  ASan+UBSan, `chaos` label         (fault-injection sweep:
+#                   500+ seeded plans x 24 benchmarks x jobs {1,8}, asserting
+#                   faults degrade verdicts to Unknown but never flip them)
+#
+# Stops at the first failing rung. Run from the repository root:
+#   tools/verify_all.sh [-jN]
+#
+# Requires cmake >= 3.21 (presets). Each rung configures and builds its own
+# binary dir (build/, build-tsan/, build-asan/), so rungs never contaminate
+# each other and incremental reruns are cheap.
+
+set -euo pipefail
+
+JOBS_FLAG="${1:--j$(nproc 2>/dev/null || echo 4)}"
+
+cd "$(dirname "$0")/.."
+
+run_rung() {
+  local name="$1" configure="$2" test_preset="$3"
+  echo
+  echo "==== [$name] configure + build + test ===="
+  cmake --preset "$configure"
+  cmake --build --preset "$configure" "$JOBS_FLAG"
+  ctest --preset "$test_preset"
+}
+
+run_rung "tier-1 (default)" default default
+run_rung "concurrency (tsan)" tsan tsan
+run_rung "chaos (asan-ubsan)" chaos-asan chaos-asan
+
+echo
+echo "==== all verification rungs passed ===="
