@@ -31,6 +31,17 @@
 /// writes per-benchmark median wall-clock milliseconds plus verdicts and
 /// the shared engine-telemetry schema as one JSON mode object.
 ///
+/// TableCT matrix mode: BLAZER_TABLE1_MODE=tablect swaps the sweep for
+/// the constant-time matrix — every TableCT benchmark under --ct across
+/// cost models {unit, weighted:arith=3,call=2, memaccess} and jobs {1, 8}
+/// — plus a Table-1 drift check (all 24 benchmarks once, unit cost,
+/// normal mode: verdicts must still match the paper). The JSON lands at
+/// BLAZER_TABLE1_JSON as with the default sweep; exit status is 0 only
+/// when every ct-verdict matches the registry expectation and the drift
+/// check is clean. BLAZER_TABLE1_CT_FILTER=<substring> restricts the
+/// matrix to matching benchmark names and BLAZER_TABLE1_CT_DRIFT=0 skips
+/// the drift half (the smoke test uses both to stay cheap).
+///
 /// Crash containment: each benchmark runs in a forked child with a
 /// watchdog deadline, so one crashing or wedged benchmark (heap
 /// corruption, an injected abort() plan, a runaway fixpoint) costs its own
@@ -273,6 +284,120 @@ ChildOutcome runSandboxed(const BenchmarkProgram &B, int Runs,
   return Ok ? ChildOutcome::Ok : ChildOutcome::Crashed;
 }
 
+/// The constant-time matrix: TableCT benchmarks under --ct across cost
+/// models and job counts, then (optionally) the Table-1 unit-mode drift
+/// check. Runs in-process — the TableCT kernels finish in well under a
+/// second each, so the fork sandbox would only add noise to the medians.
+int runTableCtMatrix(int Runs, const BudgetLimits &Limits,
+                     const EngineConfig &BaseEngine, const char *JsonPath) {
+  const char *Filter = std::getenv("BLAZER_TABLE1_CT_FILTER");
+  bool Drift = true;
+  if (const char *EnvDrift = std::getenv("BLAZER_TABLE1_CT_DRIFT"))
+    Drift = std::strcmp(EnvDrift, "0") != 0;
+
+  const char *Models[] = {"unit", "weighted:arith=3,call=2", "memaccess"};
+  const int JobCounts[] = {1, 8};
+
+  std::printf("TableCT matrix: strict constant-time verdicts "
+              "(median of %d runs per cell)\n",
+              Runs);
+  std::printf("%-20s %-24s %4s  %-10s %-10s %8s  %s\n", "Benchmark",
+              "Cost model", "Jobs", "ct", "expected", "wall(ms)", "result");
+  std::printf("%s\n", std::string(92, '-').c_str());
+
+  std::vector<std::string> JsonRows;
+  int Cells = 0, CtMismatches = 0;
+  for (const BenchmarkProgram &B : tableCtBenchmarks()) {
+    if (Filter && B.Name.find(Filter) == std::string::npos)
+      continue;
+    for (const char *Model : Models) {
+      for (int Jobs : JobCounts) {
+        EngineConfig Engine = BaseEngine;
+        Engine.set("cost-model", Model);
+        Engine.set("ct", "on");
+        std::vector<double> WallMs;
+        BlazerResult Last;
+        for (int R = 0; R < Runs; ++R) {
+          auto W0 = std::chrono::steady_clock::now();
+          BlazerResult Res = runBenchmark(B, Limits, Jobs, Engine);
+          auto W1 = std::chrono::steady_clock::now();
+          WallMs.push_back(
+              std::chrono::duration<double, std::milli>(W1 - W0).count());
+          Last = std::move(Res);
+        }
+        ++Cells;
+        bool Match = Last.Ct == B.ExpectedCt;
+        // An unsafe expectation also demands a concrete witness pair —
+        // the verdict alone is not the deliverable.
+        if (B.ExpectedCt == CtVerdict::CtUnsafe && !Last.CtPair)
+          Match = false;
+        CtMismatches += Match ? 0 : 1;
+        std::printf("%-20s %-24s %4d  %-10s %-10s %8.1f  %s\n",
+                    B.Name.c_str(), Model, Jobs, ctVerdictName(Last.Ct),
+                    ctVerdictName(B.ExpectedCt), median(WallMs),
+                    Match ? "match" : "MISMATCH");
+        if (JsonPath) {
+          char Buf[512];
+          std::snprintf(
+              Buf, sizeof(Buf),
+              "    {\"name\": \"%s\", \"model\": \"%s\", \"jobs\": %d, "
+              "\"ct_verdict\": \"%s\", \"expected\": \"%s\", "
+              "\"match\": %s, \"witness\": %s, \"median_wall_ms\": %.3f}",
+              B.Name.c_str(), Model, Jobs, ctVerdictName(Last.Ct),
+              ctVerdictName(B.ExpectedCt), Match ? "true" : "false",
+              Last.CtPair ? "true" : "false", median(WallMs));
+          JsonRows.push_back(Buf);
+        }
+      }
+    }
+  }
+  std::printf("%s\n", std::string(92, '-').c_str());
+  std::printf("TableCT agreement: %d/%d\n", Cells - CtMismatches, Cells);
+
+  // Drift check: the cost-model layer in unit mode must be invisible to
+  // the Table-1 pipeline — same 24 verdicts the paper reports.
+  int DriftMismatches = 0, DriftChecked = 0;
+  if (Drift) {
+    EngineConfig Engine = BaseEngine;
+    Engine.set("cost-model", "unit");
+    for (const BenchmarkProgram &B : allBenchmarks()) {
+      BlazerResult Res = runBenchmark(B, Limits, /*Jobs=*/1, Engine);
+      ++DriftChecked;
+      if (Res.Verdict != B.Expected) {
+        ++DriftMismatches;
+        std::printf("drift: %s gave %s, paper says %s\n", B.Name.c_str(),
+                    verdictName(Res.Verdict), verdictName(B.Expected));
+      }
+    }
+    std::printf("Table-1 unit-mode drift: %d mismatches of %d\n",
+                DriftMismatches, DriftChecked);
+  }
+
+  if (JsonPath) {
+    std::FILE *Out = std::fopen(JsonPath, "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write BLAZER_TABLE1_JSON path '%s'\n",
+                   JsonPath);
+      return 1;
+    }
+    std::fprintf(Out,
+                 "{\n"
+                 "  \"mode\": {\"suite\": \"tablect\", \"runs\": %d},\n"
+                 "  \"ct_agreement\": \"%d/%d\",\n"
+                 "  \"table1_unit_drift\": {\"checked\": %d, "
+                 "\"mismatches\": %d},\n"
+                 "  \"matrix\": [\n",
+                 Runs, Cells - CtMismatches, Cells, DriftChecked,
+                 DriftMismatches);
+    for (size_t I = 0; I < JsonRows.size(); ++I)
+      std::fprintf(Out, "%s%s\n", JsonRows[I].c_str(),
+                   I + 1 < JsonRows.size() ? "," : "");
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+  }
+  return (CtMismatches == 0 && DriftMismatches == 0) ? 0 : 1;
+}
+
 } // namespace
 
 int main() {
@@ -320,6 +445,14 @@ int main() {
   EngineConfig Engine;
   Engine.loadEnv("BLAZER_TABLE1");
   const char *JsonPath = std::getenv("BLAZER_TABLE1_JSON");
+  if (const char *Mode = std::getenv("BLAZER_TABLE1_MODE")) {
+    if (std::strcmp(Mode, "tablect") == 0)
+      return runTableCtMatrix(Runs, Limits, Engine, JsonPath);
+    if (std::strcmp(Mode, "table1") != 0) {
+      std::fprintf(stderr, "unknown BLAZER_TABLE1_MODE '%s'\n", Mode);
+      return 1;
+    }
+  }
   std::vector<std::string> JsonRows;
 
   std::printf("Table 1: Blazer on the benchmark suite (median of %d runs, "

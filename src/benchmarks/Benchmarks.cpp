@@ -482,11 +482,141 @@ fn login_unsafe(public user_known: bool, public guess: int[],
 )";
 
 //===----------------------------------------------------------------------===//
+// TableCT sources — written around the strict --ct verdict: the safe
+// variant of each pair does *identical-cost* work on both sides of every
+// secret branch (not merely sub-threshold differences), so its bounds are
+// exactly equal under any cost model; the unsafe variant has a provable
+// cost separation.
+//===----------------------------------------------------------------------===//
+
+/// ctmodexp_safe: blinded square-and-multiply — zero bits pay for the same
+/// multiply into a dummy, so every iteration costs the same regardless of
+/// the exponent. The key size (exponent.len) is pinned public knowledge.
+static const char *CtModExpSafe = R"(
+fn ctmodexp_safe(public base: int, secret exponent: int[],
+                 public modulus: int) -> int {
+  var s: int = 1;
+  var dummy: int = 0;
+  var n: int = exponent.length;
+  var i: int = 0;
+  while (i < n) {
+    s = mulmod(s, s, modulus);
+    if (exponent[i] == 1) {
+      s = mulmod(s, base, modulus);
+    } else {
+      dummy = mulmod(s, base, modulus);
+    }
+    i = i + 1;
+  }
+  return s;
+}
+)";
+
+/// ctmodexp_unsafe: the dummy is gone — one-bits cost a multiply more.
+static const char *CtModExpUnsafe = R"(
+fn ctmodexp_unsafe(public base: int, secret exponent: int[],
+                   public modulus: int) -> int {
+  var s: int = 1;
+  var n: int = exponent.length;
+  var i: int = 0;
+  while (i < n) {
+    s = mulmod(s, s, modulus);
+    if (exponent[i] == 1) {
+      s = mulmod(s, base, modulus);
+    }
+    i = i + 1;
+  }
+  return s;
+}
+)";
+
+/// ctcompare_safe: constant-time MAC comparison — the loop always runs over
+/// the whole (pinned-length) secret MAC, and both arms of the per-byte
+/// secret test do one identical-cost counter bump.
+static const char *CtCompareSafe = R"(
+fn ctcompare_safe(public guess: int[], secret mac: int[]) -> int {
+  var bad: int = 0;
+  var good: int = 0;
+  var w: int = mac.length;
+  var i: int = 0;
+  while (i < w) {
+    if (guess[i] != mac[i]) {
+      bad = bad + 1;
+    } else {
+      good = good + 1;
+    }
+    i = i + 1;
+  }
+  return bad;
+}
+)";
+
+/// ctcompare_unsafe: early exit on the first mismatch — the all-mismatch
+/// and all-match trails have provably different (exact) costs.
+static const char *CtCompareUnsafe = R"(
+fn ctcompare_unsafe(public guess: int[], secret mac: int[]) -> int {
+  var w: int = mac.length;
+  var i: int = 0;
+  while (i < w) {
+    if (guess[i] != mac[i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return 1;
+}
+)";
+
+/// cttable_safe: masked table select — a full public-index scan where the
+/// secret-index test picks between two identical-cost accumulations (the
+/// real one and a dummy), so neither the trip count nor any per-iteration
+/// cost depends on the secret.
+static const char *CtTableSafe = R"(
+fn cttable_safe(secret k: int, public table: int[]) -> int {
+  var acc: int = 0;
+  var dummy: int = 0;
+  var j: int = 0;
+  while (j < table.length) {
+    if (j == k) {
+      acc = acc + table[j];
+    } else {
+      dummy = dummy + table[j];
+    }
+    j = j + 1;
+  }
+  return acc;
+}
+)";
+
+/// cttable_unsafe: scan-until-secret — the walk to index k takes k steps,
+/// so the lookup's cost is the secret.
+static const char *CtTableUnsafe = R"(
+fn cttable_unsafe(secret k: int, public table: int[]) -> int {
+  var j: int = 0;
+  while (j < k) {
+    j = j + 1;
+  }
+  var acc: int = table[j];
+  return acc;
+}
+)";
+
+//===----------------------------------------------------------------------===//
 // Registry
 //===----------------------------------------------------------------------===//
 
 BlazerOptions BenchmarkProgram::options() const {
   BlazerOptions Opt;
+  if (Category == "TableCT") {
+    // Crypto kernels under the concrete model. Key and MAC sizes are
+    // pinned public knowledge (a realistic MAC is 32 bytes; exponents are
+    // 4096-bit); the table-lookup pair uses the default input maximum.
+    Opt.Observer = ObserverModel::concreteInstructions(
+        /*Threshold=*/25000, /*DefaultMaxInput=*/4096);
+    Opt.Observer.pinSymbol("exponent.len", 4096);
+    Opt.Observer.pinSymbol("mac.len", 32);
+    return Opt;
+  }
   if (Category == "MicroBench") {
     // §6.1: complexity-class observer, unbounded variables; constant-time
     // code may differ by a small epsilon.
@@ -567,8 +697,39 @@ const std::vector<BenchmarkProgram> &blazer::allBenchmarks() {
   return Suite;
 }
 
+const std::vector<BenchmarkProgram> &blazer::tableCtBenchmarks() {
+  static const std::vector<BenchmarkProgram> Suite = [] {
+    std::vector<BenchmarkProgram> S;
+    auto Add = [&S](const std::string &Name, const char *Src,
+                    VerdictKind Expected, CtVerdict ExpectedCt) {
+      S.push_back(
+          BenchmarkProgram{Name, "TableCT", Src, Expected, ExpectedCt});
+    };
+    Add("ctmodexp_safe", CtModExpSafe, VerdictKind::Safe,
+        CtVerdict::CtSafe);
+    Add("ctmodexp_unsafe", CtModExpUnsafe, VerdictKind::Attack,
+        CtVerdict::CtUnsafe);
+    Add("ctcompare_safe", CtCompareSafe, VerdictKind::Safe,
+        CtVerdict::CtSafe);
+    // The early-exit gap (~500 instructions for a 32-byte MAC) sits far
+    // below the 25k observability threshold, so the threshold-based
+    // analysis calls this Safe — the leak only --ct's exact-equality
+    // verdict catches, which is the point of the pair.
+    Add("ctcompare_unsafe", CtCompareUnsafe, VerdictKind::Safe,
+        CtVerdict::CtUnsafe);
+    Add("cttable_safe", CtTableSafe, VerdictKind::Safe, CtVerdict::CtSafe);
+    Add("cttable_unsafe", CtTableUnsafe, VerdictKind::Attack,
+        CtVerdict::CtUnsafe);
+    return S;
+  }();
+  return Suite;
+}
+
 const BenchmarkProgram *blazer::findBenchmark(const std::string &Name) {
   for (const BenchmarkProgram &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  for (const BenchmarkProgram &B : tableCtBenchmarks())
     if (B.Name == Name)
       return &B;
   return nullptr;

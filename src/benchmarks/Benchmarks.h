@@ -32,11 +32,15 @@ namespace blazer {
 /// One benchmark program plus its expected outcome and analysis options.
 struct BenchmarkProgram {
   std::string Name;     ///< e.g. "modPow1_unsafe".
-  std::string Category; ///< "MicroBench", "STAC", or "Literature".
+  std::string Category; ///< "MicroBench", "STAC", "Literature", "TableCT".
   std::string Source;   ///< Mini-language text (one function).
   /// The verdict the paper reports: Safe for *_safe, Attack for *_unsafe —
   /// except gpt14_unsafe, where the tool gives up (Unknown).
   VerdictKind Expected = VerdictKind::Safe;
+  /// The expected --ct classification; CtUnknown for the Table-1 suite
+  /// (whose pairs were not designed around exact-equality) and a real
+  /// CtSafe/CtUnsafe expectation for the TableCT family.
+  CtVerdict ExpectedCt = CtVerdict::CtUnknown;
 
   /// Observer model + budgets for this benchmark (per §6.1).
   BlazerOptions options() const;
@@ -47,6 +51,14 @@ struct BenchmarkProgram {
 
 /// All 24 benchmarks, in Table-1 order.
 const std::vector<BenchmarkProgram> &allBenchmarks();
+
+/// The TableCT crypto-kernel family: three safe/unsafe pairs written
+/// around the strict --ct verdict (square-and-multiply modexp vs the
+/// blinded variant, early-exit vs constant-time comparison, and
+/// secret-scan table lookup vs masked full-scan select). Kept out of
+/// allBenchmarks() so the Table-1 suite and its 24-count invariants are
+/// untouched; findBenchmark searches both registries.
+const std::vector<BenchmarkProgram> &tableCtBenchmarks();
 
 /// Compiles and analyzes \p B under \p Limits (merged into the benchmark's
 /// own options). A tripped budget shows up as Degradation.tripped() on the

@@ -35,7 +35,7 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
                              ThreadPool *PoolIn, TrailBoundCache *CacheIn,
                              EngineConfig EngineIn)
     : F(Fn), A(EdgeAlphabet::forFunction(Fn)), Env(Fn, std::move(InputPins)),
-      Engine(EngineIn),
+      Engine(EngineIn), Costs(Fn, Engine.Cost),
       Az(Fn, Env, /*UseWto=*/Engine.Fixpoint == FixpointSched::Wto),
       IntAz(Fn, Env, /*UseWto=*/Engine.Fixpoint == FixpointSched::Wto),
       Pool(PoolIn), Cache(CacheIn) {
@@ -43,8 +43,11 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
     return;
   // Everything a TrailBoundResult depends on besides the trail language:
   // the function's identity and shape, the cost of every block (the
-  // machine model applied to its instructions), the pinned inputs, the
-  // fixpoint scheduler, and the domain mode. Two functions agreeing on all
+  // selected cost model applied to its instructions), the pinned inputs,
+  // the fixpoint scheduler, the domain mode, and the cost-model spec
+  // itself (per-block costs under two different weight tables can
+  // coincide on small functions, so the spec is salted explicitly —
+  // cached bounds never leak across models). Two functions agreeing on all
   // of this and on a trail's canonical DFA necessarily get the same
   // bounds, so sharing a cache across drivers is sound. (The schedulers
   // and the cascade/zone-only modes are expected to agree too, but salting
@@ -54,7 +57,7 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
   std::ostringstream Salt;
   Salt << F.Name << '/' << F.blockCount() << '/' << F.Entry << '/' << F.Exit;
   for (const BasicBlock &B : F.Blocks)
-    Salt << ',' << F.blockCost(B);
+    Salt << ',' << Costs.blockCost(B);
   Salt << ';';
   for (const Edge &E : F.edges())
     Salt << E.From << '>' << E.To << ' ';
@@ -63,6 +66,7 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
     Salt << Sym << '=' << Val << ' ';
   Salt << ';' << fixpointSchedName(Engine.Fixpoint);
   Salt << ';' << domainModeName(Engine.Domain);
+  Salt << ";cost=" << Engine.Cost.str();
   Salt << '@';
   CacheSalt = Salt.str();
 }
@@ -183,8 +187,9 @@ template <class Domain> class RegionEngine {
 public:
   RegionEngine(const CfgFunction &F, const VarEnv &Env,
                const AnalyzerT<Domain> &Az, const ProductGraph &G,
-               const AnalysisResultT<Domain> &AR, ThreadPool *Pool)
-      : F(F), Env(Env), Az(Az), G(G), AR(AR), Pool(Pool) {
+               const AnalysisResultT<Domain> &AR, ThreadPool *Pool,
+               const CostEvaluator &Costs)
+      : F(F), Env(Env), Az(Az), G(G), AR(AR), Pool(Pool), Costs(Costs) {
     buildPrunedGraph();
   }
 
@@ -290,7 +295,7 @@ private:
   }
 
   int64_t nodeCost(int Id) const {
-    return F.blockCost(F.block(G.node(Id).Block));
+    return Costs.blockCost(F.block(G.node(Id).Block));
   }
 
   //===------------------------------------------------------------------===//
@@ -1023,6 +1028,7 @@ private:
   const ProductGraph &G;
   const AnalysisResultT<Domain> &AR;
   ThreadPool *Pool;
+  const CostEvaluator &Costs;
 
   std::vector<char> Alive;
   std::vector<std::vector<std::pair<int, Edge>>> Succs;
@@ -1117,7 +1123,7 @@ TrailBoundResult BoundAnalysis::analyzeTrailUncached(const Dfa &TrailDfa) const 
     accumulateStats(AR.Stats);
     if (Budget && Budget->exhausted())
       return Degraded();
-    RegionEngine<IntervalDomain> Eng(F, Env, IntAz, G, AR, Pool);
+    RegionEngine<IntervalDomain> Eng(F, Env, IntAz, G, AR, Pool, Costs);
     if (!Eng.entryAlive())
       return Res;
     RB R = Eng.run();
@@ -1185,7 +1191,7 @@ TrailBoundResult BoundAnalysis::analyzeTrailUncached(const Dfa &TrailDfa) const 
   accumulateStats(AR.Stats);
   if (Budget && Budget->exhausted())
     return Degraded(); // Interrupted ascent: states are untrustworthy.
-  RegionEngine<Dbm> Eng(F, Env, Az, G, AR, Pool);
+  RegionEngine<Dbm> Eng(F, Env, Az, G, AR, Pool, Costs);
   if (!Eng.entryAlive())
     return Res;
   RB R = Eng.run();

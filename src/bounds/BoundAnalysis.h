@@ -145,6 +145,9 @@ private:
   EdgeAlphabet A;
   VarEnv Env;
   EngineConfig Engine;
+  /// The engine's cost model bound to F; every block cost the region
+  /// folding accumulates is charged through this.
+  CostEvaluator Costs;
   Analyzer Az;
   /// The interval tier of the cascade (also the whole engine under
   /// interval-only mode); shares Env and the scheduler choice with Az.

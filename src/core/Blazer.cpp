@@ -34,6 +34,27 @@ const char *blazer::verdictName(VerdictKind V) {
   return "?";
 }
 
+const char *blazer::ctVerdictName(CtVerdict V) {
+  switch (V) {
+  case CtVerdict::CtUnknown:
+    return "ct-unknown";
+  case CtVerdict::CtSafe:
+    return "ct-safe";
+  case CtVerdict::CtUnsafe:
+    return "ct-unsafe";
+  }
+  return "?";
+}
+
+std::string CtWitness::str() const {
+  std::ostringstream OS;
+  OS << "ct witness: trails tr" << TrailA << " and tr" << TrailB
+     << " have provably unequal costs at the assumed input sizes:\n"
+     << "  tr" << TrailA << ": " << BoundsA << "\n"
+     << "  tr" << TrailB << ": " << BoundsB;
+  return OS.str();
+}
+
 const char *blazer::splitKindName(SplitKind K) {
   switch (K) {
   case SplitKind::None:
@@ -116,6 +137,11 @@ public:
 
     if (Safe) {
       R.Verdict = VerdictKind::Safe;
+    } else if (Opt.Engine.CtMode) {
+      // --ct replaces the attack search with the strict constant-time
+      // check below; the threshold-based Attack verdict would be
+      // misleading next to an exactness classification.
+      R.Verdict = VerdictKind::Unknown;
     } else if (Opt.SearchAttack) {
       // Attack specifications found before (or despite) a budget trip are
       // genuine — they require real upper bounds on both trails — so the
@@ -130,6 +156,16 @@ public:
           R.Attacks.empty() ? VerdictKind::Unknown : VerdictKind::Attack;
     } else {
       R.Verdict = VerdictKind::Unknown;
+    }
+
+    if (Opt.Engine.CtMode) {
+      try {
+        R.Ct = ctCheck(R.CtPair);
+      } catch (const InjectedFault &IF) {
+        degradeOnFault(IF);
+        R.Ct = CtVerdict::CtUnknown;
+      }
+      R.Telemetry.Ct = CtCounters;
     }
     auto T2 = std::chrono::steady_clock::now();
     R.TotalSeconds = std::chrono::duration<double>(T2 - T0).count();
@@ -273,6 +309,14 @@ public:
   }
 
 private:
+  /// An unadopted refinement of one leaf: the chosen branch plus fully
+  /// built and bounded child trails, ids not yet assigned.
+  struct PlannedSplit {
+    int LeafId = -1;
+    int Block = -1;
+    std::vector<Trail> Children;
+  };
+
   /// Converts an injected fault that reached a phase boundary into the
   /// fail-soft budget shape: count it, trip with provenance, continue
   /// winding down. First-trip-wins keeps an earlier reason if one raced.
@@ -280,6 +324,185 @@ private:
     if (Faults)
       Faults->countDegradation();
     Budget.tripFault(faultSiteName(IF.site()));
+  }
+
+  /// The strict constant-time check (--ct). Classifies every ψ_tcf
+  /// component — the safety-phase feasible leaves — by whether its cost is
+  /// provably *single-valued* over the input box: first the component's own
+  /// bounds are tested for exactness (gap 0, no unpinned secret symbols),
+  /// then non-exact components are exhaustively refined at secret branches
+  /// (the same generation scheme as runCapacity, so the tree is identical
+  /// for any job count) and the final leaves compared pairwise. A corner
+  /// separation (ctDiffers) yields a CtUnsafe witness — genuine even after
+  /// a budget trip, like an attack spec; all leaves exact and pairwise
+  /// ctEqual within budget yields CtSafe; anything else CtUnknown.
+  CtVerdict ctCheck(std::optional<CtWitness> &Witness) {
+    PhaseScope Phase("ct-check");
+
+    std::vector<int> Components;
+    for (const Trail &T : Tree)
+      if (T.isLeaf() && T.feasible())
+        Components.push_back(T.Id);
+    CtCounters.Components = Components.size();
+
+    std::vector<int> Round;
+    for (int Id : Components) {
+      if (ctExactTrail(Tree[Id]))
+        ++CtCounters.ExactComponents;
+      else
+        Round.push_back(Id);
+    }
+
+    bool Stopped = false;
+    while (!Round.empty() && !Stopped) {
+      if (!Budget.checkpoint())
+        break;
+      std::vector<int> Eligible;
+      for (int Id : Round)
+        if (static_cast<int>(Tree[Id].UsedSplits.size()) < Opt.MaxDepth)
+          Eligible.push_back(Id);
+      std::vector<std::optional<PlannedSplit>> Plans(Eligible.size());
+      try {
+        parallelForWithBudget(&Pool, Eligible.size(), [&](size_t I) {
+          Plans[I] = ctPlanSplit(Eligible[I]);
+        });
+      } catch (const InjectedFault &IF) {
+        degradeOnFault(IF); // Tripped budget forces CtUnknown below.
+        break;
+      }
+      std::vector<int> Next;
+      for (std::optional<PlannedSplit> &P : Plans) {
+        if (!P)
+          continue;
+        if (!Budget.checkpoint()) {
+          Stopped = true;
+          break;
+        }
+        if (!budgetLeft())
+          continue; // Out of trail room: skip this leaf, keep scanning.
+        if (!Budget.countTrailNodes(
+                static_cast<uint64_t>(P->Children.size()))) {
+          Stopped = true;
+          break;
+        }
+        ++CtCounters.Splits;
+        for (int C : adoptChildren(P->LeafId, std::move(P->Children)))
+          if (Tree[C].feasible() && !ctExactTrail(Tree[C]))
+            Next.push_back(C);
+      }
+      Round = std::move(Next);
+    }
+
+    // Classification: every component's final feasible leaves must all be
+    // exact and pairwise equal-cost.
+    bool AllOk = true;
+    for (int Comp : Components) {
+      std::vector<const Trail *> Finals;
+      std::function<void(int)> Collect = [&](int Id) {
+        if (Tree[Id].isLeaf()) {
+          if (Tree[Id].feasible())
+            Finals.push_back(&Tree[Id]);
+          return;
+        }
+        for (int C : Tree[Id].Children)
+          Collect(C);
+      };
+      Collect(Comp);
+      CtCounters.Leaves += Finals.size();
+
+      for (const Trail *T : Finals)
+        if (!ctExactTrail(*T))
+          AllOk = false;
+      for (size_t I = 0; I < Finals.size(); ++I) {
+        for (size_t J = I + 1; J < Finals.size(); ++J) {
+          const Trail &TA = *Finals[I];
+          const Trail &TB = *Finals[J];
+          if (!TA.Bounds.hasUpper() || !TB.Bounds.hasUpper())
+            continue;
+          BoundRange RA = TA.Bounds.range();
+          BoundRange RB = TB.Bounds.range();
+          if (Opt.Observer.ctDiffers(RA, RB)) {
+            if (!Witness) { // First pair in tree order wins.
+              CtWitness W;
+              W.TrailA = TA.Id;
+              W.TrailB = TB.Id;
+              W.BoundsA = TA.Bounds.str();
+              W.BoundsB = TB.Bounds.str();
+              Witness = std::move(W);
+            }
+          } else if (!Opt.Observer.ctEqual(RA, RB)) {
+            // Neither corner-separated nor provably equal: too weak for
+            // either side of the classification.
+            AllOk = false;
+          }
+        }
+      }
+    }
+
+    if (Witness)
+      return CtVerdict::CtUnsafe;
+    if (AllOk && !Budget.exhausted())
+      return CtVerdict::CtSafe;
+    return CtVerdict::CtUnknown;
+  }
+
+  /// CT-mode refinement of one leaf. Unlike planSplit, which takes the
+  /// first eligible branch, every live unused secret branch is tried and
+  /// the split whose children are most often *decided* — infeasible or
+  /// already ct-exact — is kept (ties to the lower block id, so the choice
+  /// is deterministic). The difference matters for crypto loops: splitting
+  /// a secret-tainted loop guard first forces takes-both "contains"
+  /// products on everything below it, whose lower bounds are too weak to
+  /// separate; splitting the *inner* secret branch first yields pure
+  /// avoid products (all-ones vs all-zeros arms) with exact bounds.
+  std::optional<PlannedSplit> ctPlanSplit(int LeafId) {
+    if (!Budget.checkpoint())
+      return std::nullopt;
+    std::vector<int> Candidates;
+    for (int B : liveBranches(Tree[LeafId])) {
+      if (Tree[LeafId].UsedSplits.count(B))
+        continue;
+      if (Taint->markOf(B).High)
+        Candidates.push_back(B);
+    }
+    std::optional<PlannedSplit> Best;
+    int BestScore = -1;
+    for (int B : Candidates) {
+      PlannedSplit P;
+      P.LeafId = LeafId;
+      P.Block = B;
+      P.Children = buildChildSpecs(LeafId, B, /*SecretSplit=*/true);
+      if (Budget.exhausted())
+        return std::nullopt;
+      int Score = 0;
+      for (Trail &C : P.Children) {
+        evaluate(C);
+        // Exact feasible children are worth more than infeasible ones: an
+        // exact child is a classified behavior, while a split whose avoid
+        // children are both infeasible (a secret loop guard under a pinned
+        // trip count) only re-derives the parent behind a weaker
+        // takes-both automaton.
+        if (C.Bounds.Feasible && ctExactTrail(C))
+          Score += 2;
+        else if (!C.Bounds.Feasible)
+          Score += 1;
+      }
+      if (Score > BestScore) {
+        BestScore = Score;
+        Best = std::move(P);
+      }
+    }
+    return Best;
+  }
+
+  /// \returns true when trail \p T's bounds are ct-exact: an upper bound
+  /// exists and the range is provably single-valued over the input box.
+  bool ctExactTrail(const Trail &T) const {
+    return T.Bounds.hasUpper() &&
+           Opt.Observer.ctExact(T.Bounds.range(),
+                                [this](const std::string &S) {
+                                  return isHighSymbol(S);
+                                });
   }
 
   /// Shared front half of run()/runCapacity(): taint, the most general
@@ -441,14 +664,6 @@ private:
                           [&](size_t I) { evaluate(Children[I]); });
     return adoptChildren(LeafId, std::move(Children));
   }
-
-  /// An unadopted refinement of one leaf: the chosen branch plus fully
-  /// built and bounded child trails, ids not yet assigned.
-  struct PlannedSplit {
-    int LeafId = -1;
-    int Block = -1;
-    std::vector<Trail> Children;
-  };
 
   /// Plans one refinement of leaf \p LeafId: picks the branch, builds the
   /// child automata, and bounds them. This is the per-component worker
@@ -668,6 +883,8 @@ private:
   const TaintInfo *Taint = nullptr;
   std::vector<bool> OnCycle;
   std::vector<Trail> Tree;
+  /// Work counters of the --ct check; all zero otherwise.
+  CtStats CtCounters;
 };
 
 } // namespace

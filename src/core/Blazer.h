@@ -40,6 +40,33 @@ enum class VerdictKind { Safe, Attack, Unknown };
 
 const char *verdictName(VerdictKind V);
 
+/// The strict constant-time classification produced in --ct mode (off by
+/// default; see EngineConfig::CtMode). Strictness: CtSafe requires every
+/// ψ_tcf component's cost bounds to be *exactly equal* across all
+/// secret-dependent behaviors — gap 0 over the input box — not merely
+/// finite or within the observer's threshold, so CtSafe is strictly
+/// stronger than the Safe verdict under any threshold.
+enum class CtVerdict {
+  CtUnknown, ///< Not run, budget-tripped, or bounds too weak to decide.
+  CtSafe,    ///< Every component provably single-valued in cost.
+  CtUnsafe,  ///< A witness pair of components with provably unequal costs.
+};
+
+const char *ctVerdictName(CtVerdict V);
+
+/// The CtUnsafe witness: two trails in the same ψ_tcf component, separated
+/// only by secret-dependent branching, whose cost bounds are provably
+/// unequal at an admissible input size.
+struct CtWitness {
+  int TrailA = -1;
+  int TrailB = -1;
+  std::string BoundsA;
+  std::string BoundsB;
+
+  /// Renders "ct witness: trails trA and trB ... [boundsA] vs [boundsB]".
+  std::string str() const;
+};
+
 /// A synthesized attack specification (§2.3): two sibling trails whose
 /// choice depends on secret data yet whose running-time bounds differ
 /// observably — plus, when available, skeleton paths witnessing each trail.
@@ -108,6 +135,13 @@ struct BlazerResult {
   std::vector<Trail> Tree; ///< Index = trail id; 0 is the most general.
   std::vector<AttackSpec> Attacks;
   TaintInfo Taint;
+
+  /// The strict constant-time classification; CtUnknown unless
+  /// Engine.CtMode was on (in which case the attack search is replaced by
+  /// the CT check and Verdict is Safe or Unknown, never Attack).
+  CtVerdict Ct = CtVerdict::CtUnknown;
+  /// The witness pair behind a CtUnsafe classification.
+  std::optional<CtWitness> CtPair;
 
   /// Wall-clock seconds: safety phase alone, and including attack search.
   double SafetySeconds = 0;

@@ -194,8 +194,13 @@ struct Machine {
 
 } // namespace
 
-TraceResult blazer::runFunction(const CfgFunction &F,
-                                const InputAssignment &In, int64_t MaxSteps) {
+namespace {
+
+/// Shared execution loop; \p Costs selects the model charged (null = the
+/// paper's unit model via CfgFunction's own cost methods, untouched so the
+/// default path is bit-identical to the pre-cost-model interpreter).
+TraceResult runFunctionImpl(const CfgFunction &F, const InputAssignment &In,
+                            const CostEvaluator *Costs, int64_t MaxSteps) {
   Machine M(F);
   TraceResult Res;
 
@@ -220,7 +225,7 @@ TraceResult blazer::runFunction(const CfgFunction &F,
     }
     const BasicBlock &B = F.block(Cur);
     for (const Instr &I : B.Instrs) {
-      Res.Cost += F.instrCost(I);
+      Res.Cost += Costs ? Costs->instrCost(I) : F.instrCost(I);
       switch (I.K) {
       case Instr::Kind::Assign: {
         int64_t V = 0;
@@ -265,7 +270,7 @@ TraceResult blazer::runFunction(const CfgFunction &F,
     int Next = -1;
     switch (B.Term) {
     case BasicBlock::TermKind::Branch: {
-      Res.Cost += F.termCost(B);
+      Res.Cost += Costs ? Costs->termCost(B) : F.termCost(B);
       int64_t C;
       if (!M.eval(B.Cond, C)) {
         Res.Ok = false;
@@ -279,7 +284,7 @@ TraceResult blazer::runFunction(const CfgFunction &F,
       Next = B.TrueSucc;
       break;
     case BasicBlock::TermKind::Return: {
-      Res.Cost += F.termCost(B);
+      Res.Cost += Costs ? Costs->termCost(B) : F.termCost(B);
       if (B.RetVal) {
         int64_t V;
         if (!M.eval(B.RetVal, V)) {
@@ -298,6 +303,20 @@ TraceResult blazer::runFunction(const CfgFunction &F,
     Res.Edges.push_back(Edge{Cur, Next});
     Cur = Next;
   }
+}
+
+} // namespace
+
+TraceResult blazer::runFunction(const CfgFunction &F,
+                                const InputAssignment &In, int64_t MaxSteps) {
+  return runFunctionImpl(F, In, nullptr, MaxSteps);
+}
+
+TraceResult blazer::runFunction(const CfgFunction &F,
+                                const InputAssignment &In,
+                                const CostEvaluator &Costs,
+                                int64_t MaxSteps) {
+  return runFunctionImpl(F, In, &Costs, MaxSteps);
 }
 
 std::vector<InputAssignment> blazer::enumerateInputs(const CfgFunction &F,

@@ -54,6 +54,13 @@ struct TraceResult {
 TraceResult runFunction(const CfgFunction &F, const InputAssignment &In,
                         int64_t MaxSteps = 1 << 20);
 
+/// Same execution, but charges \p Costs instead of the paper's unit model.
+/// A unit-model evaluator reproduces the overload above bit-for-bit (the
+/// differential cost-oracle suite asserts this).
+TraceResult runFunction(const CfgFunction &F, const InputAssignment &In,
+                        const CostEvaluator &Costs,
+                        int64_t MaxSteps = 1 << 20);
+
 //===----------------------------------------------------------------------===//
 // Input enumeration and the empirical 2-safety check
 //===----------------------------------------------------------------------===//

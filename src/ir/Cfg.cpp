@@ -103,6 +103,148 @@ int64_t CfgFunction::blockCost(const BasicBlock &B) const {
   return Cost + termCost(B);
 }
 
+//===----------------------------------------------------------------------===//
+// CostEvaluator
+//===----------------------------------------------------------------------===//
+
+CostEvaluator::CostEvaluator(const CfgFunction &F, const CostModel &M)
+    : F(F), Model(M) {
+  bool Weighted = M.Kind == CostModelKind::Weighted;
+  auto W = [&](const char *Op, int64_t UnitW) {
+    return Weighted ? M.weight(Op) : UnitW;
+  };
+  WLoad = W("load", 1);
+  WArrayRead = W("arrayread", 2);
+  WArith = W("arith", 1);
+  WStore = W("store", 1);
+  WCall = W("call", 1);
+  WBuiltin = W("builtin", 1);
+  WBranch = W("branch", 1);
+  WReturn = W("return", 1);
+  Surcharge = M.Kind == CostModelKind::MemAccess ? M.Surcharge : 0;
+  if (!Surcharge)
+    return;
+  // Explicit-flow secret closure: Secret parameters, then any variable
+  // assigned from (or array stored through) something already in the set,
+  // to a fixpoint. Branch conditions are intentionally not propagated —
+  // see the class comment.
+  for (const auto &[Name, Level] : F.ParamLevels)
+    if (Level == SecurityLevel::Secret)
+      SecretVars.insert(Name);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs) {
+        if (I.K == Instr::Kind::Assign && !SecretVars.count(I.Dest) &&
+            secretExpr(I.Value))
+          Changed |= SecretVars.insert(I.Dest).second;
+        else if (I.K == Instr::Kind::ArrayStore &&
+                 !SecretVars.count(I.Array) &&
+                 (secretExpr(I.Value) || secretExpr(I.Index)))
+          Changed |= SecretVars.insert(I.Array).second;
+      }
+  }
+}
+
+bool CostEvaluator::secretExpr(const Expr *E) const {
+  if (!E)
+    return false;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+    return false;
+  case Expr::Kind::VarRef:
+    return SecretVars.count(cast<VarRefExpr>(E)->Name) != 0;
+  case Expr::Kind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(E);
+    return SecretVars.count(A->Array) != 0 || secretExpr(A->Index.get());
+  }
+  case Expr::Kind::ArrayLength:
+    return SecretVars.count(cast<ArrayLengthExpr>(E)->Array) != 0;
+  case Expr::Kind::Unary:
+    return secretExpr(cast<UnaryExpr>(E)->Sub.get());
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return secretExpr(B->Lhs.get()) || secretExpr(B->Rhs.get());
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    for (const ExprPtr &A : C->Args)
+      if (secretExpr(A.get()))
+        return true;
+    return false;
+  }
+  }
+  return false;
+}
+
+int64_t CostEvaluator::exprCost(const Expr *E) const {
+  if (!E)
+    return 0;
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::ArrayLength:
+    return WLoad;
+  case Expr::Kind::ArrayIndex: {
+    const auto *A = cast<ArrayIndexExpr>(E);
+    int64_t Cost = WArrayRead + exprCost(A->Index.get());
+    // The cache model keys on the address, so the surcharge fires when
+    // the *index* is secret-derived, not when the array contents are.
+    if (Surcharge && secretExpr(A->Index.get()))
+      Cost += Surcharge;
+    return Cost;
+  }
+  case Expr::Kind::Unary:
+    return WArith + exprCost(cast<UnaryExpr>(E)->Sub.get());
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return WArith + exprCost(B->Lhs.get()) + exprCost(B->Rhs.get());
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    const BuiltinInfo *Info = F.Builtins.find(C->Callee);
+    assert(Info && "Sema admitted an unknown builtin");
+    int64_t Cost = WCall + WBuiltin * Info->Cost;
+    for (const ExprPtr &A : C->Args)
+      Cost += exprCost(A.get());
+    return Cost;
+  }
+  }
+  return WLoad;
+}
+
+int64_t CostEvaluator::instrCost(const Instr &I) const {
+  int64_t Cost = WStore;
+  Cost += exprCost(I.Value);
+  Cost += exprCost(I.Index);
+  if (Surcharge && I.K == Instr::Kind::ArrayStore && secretExpr(I.Index))
+    Cost += Surcharge;
+  return Cost;
+}
+
+int64_t CostEvaluator::termCost(const BasicBlock &B) const {
+  switch (B.Term) {
+  case BasicBlock::TermKind::Branch:
+    return WBranch + exprCost(B.Cond);
+  case BasicBlock::TermKind::Return:
+    return WReturn + exprCost(B.RetVal);
+  case BasicBlock::TermKind::Jump:
+  case BasicBlock::TermKind::Exit:
+    return 0;
+  }
+  return 0;
+}
+
+int64_t CostEvaluator::blockCost(const BasicBlock &B) const {
+  int64_t Cost = 0;
+  for (const Instr &I : B.Instrs)
+    Cost += instrCost(I);
+  return Cost + termCost(B);
+}
+
 SecurityLevel CfgFunction::paramLevel(const std::string &Name) const {
   auto It = ParamLevels.find(Name);
   return It == ParamLevels.end() ? SecurityLevel::Public : It->second;

@@ -23,10 +23,12 @@
 #include "lang/Ast.h"
 #include "lang/Builtins.h"
 #include "lang/Sema.h"
+#include "support/CostModel.h"
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -145,6 +147,52 @@ public:
 
   /// Graphviz dot rendering.
   std::string toDot() const;
+};
+
+/// A CostModel bound to one function: the per-expression / per-block cost
+/// every consumer charges (interpreter steps, bound-analysis cost
+/// polynomials, the self-composition counter). CfgFunction's own *Cost
+/// methods stay as the paper's fixed unit model; a CostEvaluator built
+/// over the unit model reproduces them bit-for-bit (asserted by the
+/// differential suite in tests/CostModelTest.cpp).
+///
+/// For the memaccess model the evaluator needs to know which array
+/// accesses have secret-dependent addresses. It computes an explicit-flow
+/// closure of the Secret parameters over assignments and array stores —
+/// deliberately ignoring implicit flows through branch conditions (the
+/// dataflow layer above IR handles those for verdicts; here an
+/// over-approximation would only inflate costs, and the surcharge is a
+/// static per-site decision so the concrete interpreter and the abstract
+/// per-block cost charge identically by construction).
+class CostEvaluator {
+public:
+  CostEvaluator(const CfgFunction &F, const CostModel &M);
+
+  int64_t exprCost(const Expr *E) const;
+  int64_t instrCost(const Instr &I) const;
+  int64_t termCost(const BasicBlock &B) const;
+  int64_t blockCost(const BasicBlock &B) const;
+
+  const CostModel &model() const { return Model; }
+
+  /// Whether \p Var is in the explicit-flow secret closure (exposed for
+  /// the cost-model tests).
+  bool secretDerived(const std::string &Var) const {
+    return SecretVars.count(Var) != 0;
+  }
+
+  /// Whether evaluating \p E reads a secret-derived variable or array.
+  bool secretExpr(const Expr *E) const;
+
+private:
+  const CfgFunction &F;
+  CostModel Model;
+  /// Resolved per-opcode weights (unit defaults unless Kind == Weighted).
+  int64_t WLoad, WArrayRead, WArith, WStore, WCall, WBuiltin, WBranch,
+      WReturn;
+  /// Per secret-indexed array access; 0 unless Kind == MemAccess.
+  int64_t Surcharge;
+  std::set<std::string> SecretVars;
 };
 
 /// Lowers function \p Name of the checked program \p P. The returned

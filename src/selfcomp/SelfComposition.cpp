@@ -43,7 +43,9 @@ private:
 
 } // namespace
 
-CfgFunction blazer::buildSelfComposition(const CfgFunction &F) {
+CfgFunction blazer::buildSelfComposition(const CfgFunction &F,
+                                         const CostModel &Model) {
+  CostEvaluator Costs(F, Model);
   CfgFunction C;
   C.Name = F.Name + "$selfcomp";
   C.Builtins = F.Builtins;
@@ -127,8 +129,9 @@ CfgFunction blazer::buildSelfComposition(const CfgFunction &F) {
         }
         NB.Instrs.push_back(NI);
       }
-      // Charge this block's machine-model cost to the copy's counter.
-      int64_t BlockCost = F.blockCost(B);
+      // Charge this block's cost under the selected model to the copy's
+      // counter.
+      int64_t BlockCost = Costs.blockCost(B);
       if (BlockCost > 0) {
         Instr CostInstr;
         CostInstr.K = Instr::Kind::Assign;
@@ -198,7 +201,8 @@ CfgFunction blazer::buildSelfComposition(const CfgFunction &F) {
 
 SelfCompResult blazer::verifyBySelfComposition(const CfgFunction &F,
                                                int64_t Epsilon,
-                                               const BudgetLimits &Limits) {
+                                               const BudgetLimits &Limits,
+                                               const CostModel &Model) {
   auto T0 = std::chrono::steady_clock::now();
   SelfCompResult Res;
 
@@ -206,7 +210,7 @@ SelfCompResult blazer::verifyBySelfComposition(const CfgFunction &F,
   BudgetScope Scope(&Budget);
   PhaseScope Phase("self-composition");
 
-  CfgFunction C = buildSelfComposition(F);
+  CfgFunction C = buildSelfComposition(F, Model);
   Res.ComposedBlocks = C.blockCount();
 
   EdgeAlphabet A = EdgeAlphabet::forFunction(C);

@@ -52,16 +52,20 @@ struct SelfCompResult {
 
 /// Builds the sequential self-composition of \p F: blocks duplicated with
 /// locals and secret parameters alpha-renamed (suffixes "$1"/"$2"), public
-/// parameters shared, per-block cost-counter increments appended, and copy
-/// 1's returns rewired into copy 2's entry.
-CfgFunction buildSelfComposition(const CfgFunction &F);
+/// parameters shared, per-block cost-counter increments appended (charged
+/// under \p Model, the paper's unit model by default), and copy 1's
+/// returns rewired into copy 2's entry.
+CfgFunction buildSelfComposition(const CfgFunction &F,
+                                 const CostModel &Model = {});
 
 /// Runs the baseline end to end: compose, analyze, inspect the exit
 /// invariant on cost$1 - cost$2. \p Limits governs the run's resources
 /// (the default never trips); on a trip the result degrades to
-/// unverified/unbounded with Degradation filled in.
+/// unverified/unbounded with Degradation filled in. \p Model selects the
+/// timing cost model the counters accumulate.
 SelfCompResult verifyBySelfComposition(const CfgFunction &F, int64_t Epsilon,
-                                       const BudgetLimits &Limits = {});
+                                       const BudgetLimits &Limits = {},
+                                       const CostModel &Model = {});
 
 } // namespace blazer
 

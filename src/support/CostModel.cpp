@@ -1,0 +1,298 @@
+//===- CostModel.cpp - Pluggable timing cost models -----------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CostModel.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace blazer;
+
+const char *blazer::costModelKindName(CostModelKind K) {
+  switch (K) {
+  case CostModelKind::Unit:
+    return "unit";
+  case CostModelKind::Weighted:
+    return "weighted";
+  case CostModelKind::MemAccess:
+    return "memaccess";
+  }
+  return "?";
+}
+
+const std::vector<CostModel::Opcode> &CostModel::opcodes() {
+  // Defaults chosen so an empty weight table reproduces the paper's unit
+  // model exactly (CfgFunction::exprCost charges 2 + index for ArrayIndex,
+  // 1 everywhere else; builtin scales the intrinsic cost table, so its
+  // unit multiplier is 1).
+  static const std::vector<Opcode> Registry = {
+      {"load", 1},  {"arrayread", 2}, {"arith", 1},  {"store", 1},
+      {"call", 1},  {"builtin", 1},   {"branch", 1}, {"return", 1},
+  };
+  return Registry;
+}
+
+int64_t CostModel::weight(const std::string &Op) const {
+  auto It = Weights.find(Op);
+  if (It != Weights.end())
+    return It->second;
+  for (const Opcode &O : opcodes())
+    if (Op == O.Name)
+      return O.UnitWeight;
+  return 1;
+}
+
+namespace {
+
+std::string opcodeList() {
+  std::string S;
+  for (const CostModel::Opcode &O : CostModel::opcodes()) {
+    if (!S.empty())
+      S += '|';
+    S += O.Name;
+  }
+  return S;
+}
+
+bool knownOpcode(const std::string &Op) {
+  for (const CostModel::Opcode &O : CostModel::opcodes())
+    if (Op == O.Name)
+      return true;
+  return false;
+}
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// Strict non-negative decimal parse; rejects empty, garbage, and overflow
+/// (std::atoll would yield 0 for all three).
+bool parseWeight(const std::string &Text, int64_t *Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0' || errno == ERANGE)
+    return false;
+  *Out = V;
+  return true;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+/// One "op=weight" (or JSON "op": weight) entry into \p Out's table.
+bool addEntry(const std::string &Op, const std::string &Weight,
+              const std::string &Origin, CostModel *Out, std::string *Err) {
+  if (!knownOpcode(Op))
+    return fail(Err, "unknown cost-model opcode '" + Op + "' in " + Origin +
+                         " (expected " + opcodeList() + ")");
+  int64_t W = 0;
+  if (!parseWeight(Weight, &W) || W < 0)
+    return fail(Err, "cost-model weight for '" + Op + "' in " + Origin +
+                         " must be a non-negative integer, got '" + Weight +
+                         "'");
+  Out->Weights[Op] = W;
+  return true;
+}
+
+/// A flat JSON object {"op": w, ...} — the one shape the spec-file format
+/// promises. Anything fancier (nesting, strings, floats) is malformed.
+bool parseJsonTable(const std::string &Text, const std::string &Origin,
+                    CostModel *Out, std::string *Err) {
+  size_t I = 0;
+  auto Skip = [&] {
+    while (I < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+  };
+  auto Malformed = [&] {
+    return fail(Err, "malformed cost-model spec file " + Origin +
+                         " (expected {\"op\": weight, ...})");
+  };
+  Skip();
+  if (I >= Text.size() || Text[I] != '{')
+    return Malformed();
+  ++I;
+  Skip();
+  if (I < Text.size() && Text[I] == '}')
+    ++I;
+  else
+    while (true) {
+      Skip();
+      if (I >= Text.size() || Text[I] != '"')
+        return Malformed();
+      size_t KeyEnd = Text.find('"', ++I);
+      if (KeyEnd == std::string::npos)
+        return Malformed();
+      std::string Op = Text.substr(I, KeyEnd - I);
+      I = KeyEnd + 1;
+      Skip();
+      if (I >= Text.size() || Text[I] != ':')
+        return Malformed();
+      ++I;
+      Skip();
+      size_t NumBegin = I;
+      if (I < Text.size() && Text[I] == '-')
+        ++I;
+      while (I < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[I])))
+        ++I;
+      if (I == NumBegin)
+        return Malformed();
+      if (!addEntry(Op, Text.substr(NumBegin, I - NumBegin), Origin, Out,
+                    Err))
+        return false;
+      Skip();
+      if (I < Text.size() && Text[I] == ',') {
+        ++I;
+        continue;
+      }
+      if (I < Text.size() && Text[I] == '}') {
+        ++I;
+        break;
+      }
+      return Malformed();
+    }
+  Skip();
+  if (I != Text.size())
+    return Malformed();
+  return true;
+}
+
+/// "@file" spec bodies: JSON object, or line-based "op=weight" with '#'
+/// comments and blank lines.
+bool parseWeightFile(const std::string &Path, CostModel *Out,
+                     std::string *Err) {
+  std::ifstream In(Path);
+  if (!In)
+    return fail(Err, "cannot read cost-model spec file '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+  std::string Origin = "'" + Path + "'";
+  std::string Trimmed = trim(Text);
+  if (!Trimmed.empty() && Trimmed[0] == '{')
+    return parseJsonTable(Text, Origin, Out, Err);
+  std::istringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos)
+      return fail(Err, "malformed cost-model spec file " + Origin +
+                           " (expected op=weight lines, got '" + Line +
+                           "')");
+    if (!addEntry(trim(Line.substr(0, Eq)), trim(Line.substr(Eq + 1)),
+                  Origin, Out, Err))
+      return false;
+  }
+  return true;
+}
+
+bool parseInlineTable(const std::string &Body, CostModel *Out,
+                      std::string *Err) {
+  size_t Pos = 0;
+  while (Pos <= Body.size()) {
+    size_t Comma = Body.find(',', Pos);
+    std::string Item = Body.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      return fail(Err, "malformed cost-model weight '" + Item +
+                           "' (expected op=weight)");
+    if (!addEntry(Item.substr(0, Eq), Item.substr(Eq + 1), "'" + Body + "'",
+                  Out, Err))
+      return false;
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+} // namespace
+
+bool CostModel::parse(const std::string &Spec, CostModel *Out,
+                      std::string *Err) {
+  CostModel M;
+  std::string Head = Spec;
+  std::string Body;
+  size_t Colon = Spec.find(':');
+  if (Colon != std::string::npos) {
+    Head = Spec.substr(0, Colon);
+    Body = Spec.substr(Colon + 1);
+  }
+  if (Head == "unit") {
+    if (Colon != std::string::npos)
+      return fail(Err, "cost model 'unit' takes no parameters, got '" +
+                           Spec + "'");
+    M.Kind = CostModelKind::Unit;
+  } else if (Head == "weighted") {
+    M.Kind = CostModelKind::Weighted;
+    if (Colon != std::string::npos) {
+      if (!Body.empty() && Body[0] == '@') {
+        if (!parseWeightFile(Body.substr(1), &M, Err))
+          return false;
+      } else if (!parseInlineTable(Body, &M, Err)) {
+        return false;
+      }
+    }
+  } else if (Head == "memaccess") {
+    M.Kind = CostModelKind::MemAccess;
+    if (Colon != std::string::npos &&
+        (!parseWeight(Body, &M.Surcharge) || M.Surcharge < 0))
+      return fail(Err, "memaccess surcharge must be a non-negative "
+                       "integer, got '" +
+                           Body + "'");
+  } else {
+    return fail(Err, "unknown cost model '" + Head +
+                         "' (expected unit|weighted[:op=w,...|:@file]|"
+                         "memaccess[:surcharge])");
+  }
+  *Out = M;
+  return true;
+}
+
+std::string CostModel::str() const {
+  switch (Kind) {
+  case CostModelKind::Unit:
+    return "unit";
+  case CostModelKind::Weighted: {
+    if (Weights.empty())
+      return "weighted";
+    std::string S = "weighted:";
+    bool First = true;
+    for (const auto &[Op, W] : Weights) {
+      if (!First)
+        S += ',';
+      First = false;
+      S += Op + "=" + std::to_string(W);
+    }
+    return S;
+  }
+  case CostModelKind::MemAccess:
+    return "memaccess:" + std::to_string(Surcharge);
+  }
+  return "?";
+}

@@ -1,0 +1,99 @@
+//===- CostModel.h - Pluggable timing cost models ---------------*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timing cost model: what one step of the program costs the attacker's
+/// clock. The paper's machine model charges every operation one unit
+/// (Sec. 5); that assumption used to be hardwired into the three places a
+/// step is charged — the concrete interpreter, the per-block cost the bound
+/// analysis accumulates into cost polynomials, and the self-composition
+/// baseline's cost counter. CostModel is the value-semantic spec all three
+/// now share:
+///
+///   unit                        every operation costs 1 (the paper model);
+///   weighted[:op=w,...|:@file]  per-opcode weight table — unlisted opcodes
+///                               keep their unit-reproducing defaults;
+///   memaccess[:N]               unit weights plus a surcharge of N
+///                               (default 8) on every array access whose
+///                               index is derived from a secret, a coarse
+///                               data-cache model for table lookups.
+///
+/// The opcode vocabulary is deliberately small — it names the cost sites in
+/// the mini-language, not x86: load (literals, variable reads, .length),
+/// arrayread, arith (unary/binary operators), store (assignments), call
+/// (call overhead; "builtin" scales the intrinsic's own cost table),
+/// branch, return.
+///
+/// This header is IR-free on purpose: the binding of a model to a concrete
+/// function (which expressions index arrays with secrets, what each block
+/// costs) lives in CostEvaluator (ir/Cfg.h), so support-layer clients like
+/// EngineConfig can parse and compare specs without linking the IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_SUPPORT_COSTMODEL_H
+#define BLAZER_SUPPORT_COSTMODEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blazer {
+
+enum class CostModelKind {
+  Unit,      ///< Everything costs 1 — the paper's machine model.
+  Weighted,  ///< Per-opcode weight table.
+  MemAccess, ///< Unit weights + secret-indexed array-access surcharge.
+};
+
+const char *costModelKindName(CostModelKind K);
+
+/// A parsed, canonical cost-model spec. Cheap to copy and compare; embeds
+/// in EngineConfig so the CLI flag (--cost-model=...), the bench env vars
+/// (BLAZER_TABLE1_COST_MODEL=...), and programmatic options share one
+/// grammar. str() round-trips through parse(), and file-based weight specs
+/// canonicalize to the inline spelling, so the trail-cache salt and the
+/// engine-config echo never depend on how the model was spelled.
+struct CostModel {
+  CostModelKind Kind = CostModelKind::Unit;
+  /// Weighted only: opcode -> weight overrides. Opcodes not present cost
+  /// their unit-reproducing default, so an empty table is exactly "unit".
+  std::map<std::string, int64_t> Weights;
+  /// MemAccess only: extra cost per secret-indexed array access.
+  int64_t Surcharge = 8;
+
+  /// The opcode vocabulary, in display order, with the default weight each
+  /// opcode has when unlisted (these defaults reproduce the unit model
+  /// bit-for-bit: arrayread is 2 because the paper charges base-plus-index
+  /// for an indexed load).
+  struct Opcode {
+    const char *Name;
+    int64_t UnitWeight;
+  };
+  static const std::vector<Opcode> &opcodes();
+
+  /// Weight of \p Op under this model (the table override if present, else
+  /// the unit default). \p Op must be a registered opcode name.
+  int64_t weight(const std::string &Op) const;
+
+  /// Parses a spec — "unit", "weighted", "weighted:op=w,op=w",
+  /// "weighted:@file" (line-based "op=w" with '#' comments, or a flat JSON
+  /// object {"op": w}), "memaccess", "memaccess:N". \returns false and
+  /// fills \p Err with a single-line diagnostic on an unknown model,
+  /// unknown opcode, negative weight, or unreadable/malformed file.
+  static bool parse(const std::string &Spec, CostModel *Out,
+                    std::string *Err = nullptr);
+
+  /// Canonical spelling: "unit", "weighted[:op=w,...]", "memaccess:N".
+  std::string str() const;
+
+  bool operator==(const CostModel &O) const = default;
+};
+
+} // namespace blazer
+
+#endif // BLAZER_SUPPORT_COSTMODEL_H

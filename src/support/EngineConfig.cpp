@@ -57,6 +57,11 @@ const std::vector<EngineConfig::Knob> &EngineConfig::knobs() {
       {"cache", "on|off", "trail-bound memo cache (default on)"},
       {"fault-plan", "off|<seed>:<rate>[:site,...]",
        "deterministic fault injection (default off)"},
+      // New knobs append here: cli_engine_knobs pins the str() order of
+      // the first five.
+      {"cost-model", "unit|weighted[:op=w,...|:@file]|memaccess[:N]",
+       "timing cost model (default unit)"},
+      {"ct", "on|off", "strict constant-time verdict mode (default off)"},
   };
   return Registry;
 }
@@ -116,6 +121,24 @@ bool EngineConfig::set(const std::string &Name, const std::string &Value,
     }
     return true;
   }
+  if (Name == "cost-model") {
+    std::string ModelErr;
+    if (!CostModel::parse(Value, &Cost, &ModelErr)) {
+      if (Err)
+        *Err = ModelErr;
+      return false;
+    }
+    return true;
+  }
+  if (Name == "ct") {
+    if (Value == "on" || Value == "1")
+      CtMode = true;
+    else if (Value == "off" || Value == "0")
+      CtMode = false;
+    else
+      return Fail("on|off");
+    return true;
+  }
   if (Err)
     *Err = "unknown engine knob '" + Name + "'";
   return false;
@@ -132,6 +155,10 @@ std::string EngineConfig::get(const std::string &Name) const {
     return TrailCache ? "on" : "off";
   if (Name == "fault-plan")
     return Fault.str();
+  if (Name == "cost-model")
+    return Cost.str();
+  if (Name == "ct")
+    return CtMode ? "on" : "off";
   return "";
 }
 

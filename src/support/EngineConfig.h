@@ -26,6 +26,7 @@
 #ifndef BLAZER_SUPPORT_ENGINECONFIG_H
 #define BLAZER_SUPPORT_ENGINECONFIG_H
 
+#include "support/CostModel.h"
 #include "support/FaultInjector.h"
 
 #include <string>
@@ -72,6 +73,14 @@ struct EngineConfig {
   /// Deterministic fault-injection plan ("off" by default — compiled down
   /// to one untaken thread-local branch per site). See FaultInjector.h.
   FaultPlan Fault;
+  /// Timing cost model charged by the interpreter, the bound analysis, and
+  /// the self-composition baseline ("unit" by default). See CostModel.h.
+  CostModel Cost;
+  /// Strict constant-time verdict mode: when on, the driver replaces the
+  /// attack search with a CtSafe/CtUnsafe classification requiring every
+  /// high-quotient component's cost bounds to be exactly equal — not
+  /// merely finite (see DESIGN.md "Cost models & constant-time verdicts").
+  bool CtMode = false;
 
   /// One registry entry: the canonical knob name doubles as the CLI flag
   /// ("--<name>=<value>") and the bench env var ("<prefix>_<NAME>", with

@@ -11,7 +11,7 @@
 using namespace blazer;
 
 std::string EngineTelemetry::json() const {
-  char Buf[768];
+  char Buf[1024];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
@@ -21,7 +21,9 @@ std::string EngineTelemetry::json() const {
       "\"cascade\": {\"discharged\": %llu, \"promoted\": %llu, "
       "\"interval_pops\": %llu}, "
       "\"fault\": {\"injected\": %llu, \"retries\": %llu, "
-      "\"degradations\": %llu}}",
+      "\"degradations\": %llu}, "
+      "\"ct\": {\"components\": %llu, \"exact_components\": %llu, "
+      "\"leaves\": %llu, \"splits\": %llu}}",
       static_cast<unsigned long long>(Cache.Hits),
       static_cast<unsigned long long>(Cache.Misses),
       static_cast<unsigned long long>(Cache.Evictions),
@@ -36,6 +38,10 @@ std::string EngineTelemetry::json() const {
       static_cast<unsigned long long>(Cascade.IntervalPops),
       static_cast<unsigned long long>(Fault.Injected),
       static_cast<unsigned long long>(Fault.Retries),
-      static_cast<unsigned long long>(Fault.Degradations));
+      static_cast<unsigned long long>(Fault.Degradations),
+      static_cast<unsigned long long>(Ct.Components),
+      static_cast<unsigned long long>(Ct.ExactComponents),
+      static_cast<unsigned long long>(Ct.Leaves),
+      static_cast<unsigned long long>(Ct.Splits));
   return Buf;
 }

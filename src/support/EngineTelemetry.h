@@ -69,6 +69,22 @@ struct CascadeStats {
   }
 };
 
+/// Work counters of the strict constant-time check: all zero unless the
+/// driver ran in --ct mode.
+struct CtStats {
+  uint64_t Components = 0;      ///< ψ_tcf components examined.
+  uint64_t ExactComponents = 0; ///< Components already ct-exact unsplit.
+  uint64_t Leaves = 0;          ///< Final leaves classified.
+  uint64_t Splits = 0;          ///< Secret-refinement splits adopted.
+
+  void mergeFrom(const CtStats &O) {
+    Components += O.Components;
+    ExactComponents += O.ExactComponents;
+    Leaves += O.Leaves;
+    Splits += O.Splits;
+  }
+};
+
 /// Everything the engine counts in one run, one schema everywhere.
 struct EngineTelemetry {
   /// Trail-bound cache counters. All zero when the cache was disabled;
@@ -80,6 +96,8 @@ struct EngineTelemetry {
   CascadeStats Cascade;
   /// Fault-injection counters; all zero without an active --fault-plan.
   FaultStats Fault;
+  /// Constant-time check counters; all zero without --ct.
+  CtStats Ct;
 
   void mergeFrom(const EngineTelemetry &O) {
     Cache.Hits += O.Cache.Hits;
@@ -89,6 +107,7 @@ struct EngineTelemetry {
     Fixpoint.mergeFrom(O.Fixpoint);
     Cascade.mergeFrom(O.Cascade);
     Fault.mergeFrom(O.Fault);
+    Ct.mergeFrom(O.Ct);
   }
 
   /// The shared JSON schema:
@@ -96,7 +115,9 @@ struct EngineTelemetry {
   ///  "fixpoint": {"pops": .., "joins": .., "widenings": ..,
   ///               "transfer_hit_rate": .., "sweeps": ..},
   ///  "cascade": {"discharged": .., "promoted": .., "interval_pops": ..},
-  ///  "fault": {"injected": .., "retries": .., "degradations": ..}}
+  ///  "fault": {"injected": .., "retries": .., "degradations": ..},
+  ///  "ct": {"components": .., "exact_components": .., "leaves": ..,
+  ///         "splits": ..}}
   std::string json() const;
 };
 

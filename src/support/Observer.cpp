@@ -99,6 +99,62 @@ bool ObserverModel::gapWithinThreshold(const BoundRange &R) const {
   return true;
 }
 
+bool ObserverModel::ctGapNonPositive(const Bound &Hi, const Bound &Lo) const {
+  for (const CostPoly &H : Hi.polys()) {
+    for (const CostPoly &L : Lo.polys()) {
+      CostPoly D = H - L;
+      if (ModelKind == Kind::PolynomialDegree) {
+        // Unbounded inputs: a positive coefficient anywhere means the gap
+        // grows without bound (or a positive constant persists).
+        for (const auto &[M, C] : D.terms()) {
+          (void)M;
+          if (C > 0)
+            return false;
+        }
+      } else if (evalMaxOverBox(D) > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ObserverModel::ctExact(
+    const BoundRange &R,
+    const std::function<bool(const std::string &)> &IsHighVar) const {
+  // A bound mentioning an unpinned secret-derived symbol is a running time
+  // that is a function of the secret — never constant-time, and the gap
+  // check below could not evaluate it meaningfully anyway.
+  for (const std::string &V : R.variables())
+    if (IsHighVar && IsHighVar(V) && !isPinned(V))
+      return false;
+  // Hi >= Lo pointwise on feasible executions, so a provably non-positive
+  // gap pins it to 0 everywhere (the sound direction: exactness is never
+  // overclaimed).
+  return ctGapNonPositive(R.Hi, R.Lo);
+}
+
+bool ObserverModel::ctDiffers(const BoundRange &A, const BoundRange &B) const {
+  // Evaluate all four bounds at the all-maxima corner of the input box.
+  // Lo(A) > Hi(B) there means every A-execution outcosts every
+  // B-execution at that concrete input size — a genuine cost difference,
+  // not an artifact of incomparable symbolic shapes.
+  std::map<std::string, int64_t> Corner;
+  for (const std::string &V : A.variables())
+    Corner[V] = maxInput(V);
+  for (const std::string &V : B.variables())
+    Corner[V] = maxInput(V);
+  return A.Lo.evaluate(Corner) > B.Hi.evaluate(Corner) ||
+         B.Lo.evaluate(Corner) > A.Hi.evaluate(Corner);
+}
+
+bool ObserverModel::ctEqual(const BoundRange &A, const BoundRange &B) const {
+  // Hi(A) - Lo(B) <= 0 over the box forces cost(A) <= cost(B) pointwise
+  // (cost(A) <= Hi(A), Lo(B) <= cost(B)); the symmetric gap forces the
+  // other direction, so both together prove the costs coincide.
+  return ctGapNonPositive(A.Hi, B.Lo) && ctGapNonPositive(B.Hi, A.Lo);
+}
+
 bool ObserverModel::observablyDifferent(const BoundRange &A,
                                         const BoundRange &B) const {
   // Two sibling trails are suspicious when their symbolic bounds do not

@@ -87,6 +87,34 @@ public:
   /// Used by CheckAttack on sibling trails split at a secret branch.
   bool observablyDifferent(const BoundRange &A, const BoundRange &B) const;
 
+  /// Strict constant-time exactness: \returns true when \p R provably
+  /// describes a single running-time function of the public inputs — no
+  /// unpinned secret-derived variable appears, and the worst-case gap
+  /// between upper and lower bound over the input box is exactly 0
+  /// (threshold slack does not apply; CtSafe requires *equal* bounds, not
+  /// merely unobservably different ones). Note Lo and Hi are min-/
+  /// max-combined sets, so structural Lo == Hi can never hold; the
+  /// gap-over-box test is the right exactness check.
+  bool
+  ctExact(const BoundRange &R,
+          const std::function<bool(const std::string &)> &IsHighVar) const;
+
+  /// Strict constant-time difference witness: \returns true when there is
+  /// an admissible input-size corner (every symbol at its assumed maximum,
+  /// pinned symbols at their pinned value) where one range lies strictly
+  /// above the other — i.e. every execution of one trail provably costs
+  /// more than every execution of the other. Sound for CtUnsafe: unlike
+  /// observablyDifferent's structural comparison, a true result here
+  /// cannot be a bound-slack artifact.
+  bool ctDiffers(const BoundRange &A, const BoundRange &B) const;
+
+  /// Strict constant-time equality: \returns true when the two ranges
+  /// provably describe the *same* cost at every input in the box — the
+  /// cross gaps Hi(A) - Lo(B) and Hi(B) - Lo(A) are both bounded by 0.
+  /// Semantic, not structural: 2*k.len and the constant 8192 compare equal
+  /// under pin k.len = 4096. A true result subsumes per-range exactness.
+  bool ctEqual(const BoundRange &A, const BoundRange &B) const;
+
 private:
   ObserverModel(Kind K, int64_t Thresh, int64_t DefMax)
       : ModelKind(K), Threshold(Thresh), DefaultMaxInput(DefMax) {}
@@ -94,6 +122,14 @@ private:
   /// \returns true if every pairwise gap Hi - Lo, overestimated over the
   /// input box, is at most the threshold.
   bool gapWithinThreshold(const BoundRange &R) const;
+
+  /// \returns true when every pairwise gap \p Hi - \p Lo is provably <= 0
+  /// over the whole input box. Under ConcreteInstructions the box is
+  /// [0, max]^n and evalMaxOverBox decides; under PolynomialDegree inputs
+  /// are unbounded, so any surviving positive coefficient makes the
+  /// supremum +inf and the check fails (evaluating at the finite defaults
+  /// would *under*estimate there — the unsound direction for exactness).
+  bool ctGapNonPositive(const Bound &Hi, const Bound &Lo) const;
 
   Kind ModelKind;
   int64_t Threshold;

@@ -176,4 +176,89 @@ TEST(BenchmarkSuite, Gpt14UnsafeGivesUpWithoutFalseAttack) {
   EXPECT_TRUE(R.Attacks.empty());
 }
 
+//===----------------------------------------------------------------------===//
+// The TableCT family: strict constant-time verdicts
+//===----------------------------------------------------------------------===//
+
+class TableCtVerdict
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(TableCtVerdict, MatchesRegistryUnderEveryEngineMode) {
+  const BenchmarkProgram &B = *GetParam();
+  // The ct-verdict must be engine-invariant: WTO vs FIFO fixpoint
+  // scheduling and trail-cache on/off only change how bounds are computed,
+  // never what they are.
+  for (const char *Fixpoint : {"wto", "fifo"}) {
+    for (const char *Cache : {"on", "off"}) {
+      EngineConfig Engine;
+      ASSERT_TRUE(Engine.set("fixpoint", Fixpoint));
+      ASSERT_TRUE(Engine.set("cache", Cache));
+      ASSERT_TRUE(Engine.set("ct", "on"));
+      BlazerResult R = runBenchmark(B, {}, /*Jobs=*/1, Engine);
+      std::string Mode =
+          B.Name + " fixpoint=" + Fixpoint + " cache=" + Cache;
+      EXPECT_EQ(R.Ct, B.ExpectedCt) << Mode;
+      if (B.ExpectedCt == CtVerdict::CtUnsafe) {
+        // The unsafe half must come with a concrete witness pair whose
+        // rendered bounds the CLI can print.
+        ASSERT_TRUE(R.CtPair.has_value()) << Mode;
+        EXPECT_GE(R.CtPair->TrailA, 0) << Mode;
+        EXPECT_GE(R.CtPair->TrailB, 0) << Mode;
+        EXPECT_NE(R.CtPair->TrailA, R.CtPair->TrailB) << Mode;
+        EXPECT_FALSE(R.CtPair->BoundsA.empty()) << Mode;
+        EXPECT_FALSE(R.CtPair->BoundsB.empty()) << Mode;
+      } else {
+        EXPECT_FALSE(R.CtPair.has_value()) << Mode;
+      }
+      // CT mode replaces the attack search: never an Attack verdict.
+      EXPECT_NE(R.Verdict, VerdictKind::Attack) << Mode;
+    }
+  }
+}
+
+TEST_P(TableCtVerdict, NormalModeVerdictMatchesRegistry) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  BlazerResult R = analyzeFunction(F, B.options());
+  EXPECT_EQ(R.Verdict, B.Expected) << B.Name << " tree:\n" << R.treeString(F);
+}
+
+std::vector<const BenchmarkProgram *> tableCtPtrs() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : tableCtBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableCT, TableCtVerdict, ::testing::ValuesIn(tableCtPtrs()),
+    [](const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+      return Info.param->Name;
+    });
+
+TEST(TableCtSuite, ThreePairsWithStrictExpectations) {
+  const auto &All = tableCtBenchmarks();
+  ASSERT_EQ(All.size(), 6u);
+  int CtSafe = 0, CtUnsafe = 0;
+  for (const BenchmarkProgram &B : All) {
+    EXPECT_EQ(B.Category, "TableCT") << B.Name;
+    EXPECT_NE(B.ExpectedCt, CtVerdict::CtUnknown) << B.Name;
+    (B.ExpectedCt == CtVerdict::CtSafe ? CtSafe : CtUnsafe) += 1;
+    // Both registries are reachable through the one lookup.
+    EXPECT_EQ(findBenchmark(B.Name), &B);
+  }
+  EXPECT_EQ(CtSafe, 3);
+  EXPECT_EQ(CtUnsafe, 3);
+}
+
+TEST(TableCtSuite, CompareUnsafeIsTheThresholdBlindSpot) {
+  // The showcase pair: the early-exit comparison's leak (~500 instructions
+  // at mac.len=32) is far below the 25k threshold, so the paper's observer
+  // calls it Safe — only the strict --ct verdict catches it.
+  const BenchmarkProgram *B = findBenchmark("ctcompare_unsafe");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Expected, VerdictKind::Safe);
+  EXPECT_EQ(B->ExpectedCt, CtVerdict::CtUnsafe);
+}
+
 } // namespace

@@ -1,0 +1,472 @@
+//===- CostModelTest.cpp - Differential cost-model oracle ------------------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cost-model layer's contract, checked differentially:
+///  - spec grammar: parse/str round-trips, canonical forms, and the
+///    single-line diagnostics for every malformed-spec class;
+///  - unit equivalence: a CostEvaluator over the unit model reproduces
+///    CfgFunction's built-in per-block/instr/expr costs bit-for-bit on
+///    every benchmark, and the costed interpreter overload reproduces the
+///    classic one run-for-run;
+///  - unit identity: in unit mode the Table-1 verdicts and the refinement
+///    tree are byte-identical to the paper pipeline at jobs 1, 2, and 8;
+///  - the differential oracle: for each model, the most-general-trail
+///    bounds computed by the abstract engine contain the concrete
+///    interpreter's cost on >= 10k seeded runs (generated programs plus
+///    the full benchmark suites);
+///  - memaccess semantics: the surcharge fires exactly on secret-indexed
+///    array accesses, identically in the interpreter and the static
+///    per-site closure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/Benchmarks.h"
+#include "bounds/BoundAnalysis.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace blazer;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Spec grammar
+//===----------------------------------------------------------------------===//
+
+CostModel parseOk(const std::string &Spec) {
+  CostModel M;
+  std::string Err;
+  EXPECT_TRUE(CostModel::parse(Spec, &M, &Err)) << Spec << ": " << Err;
+  return M;
+}
+
+std::string parseErr(const std::string &Spec) {
+  CostModel M;
+  std::string Err;
+  EXPECT_FALSE(CostModel::parse(Spec, &M, &Err)) << Spec;
+  EXPECT_FALSE(Err.empty()) << Spec;
+  // The CLI prints this verbatim as its one-line diagnostic.
+  EXPECT_EQ(Err.find('\n'), std::string::npos) << Spec << ": " << Err;
+  return Err;
+}
+
+TEST(CostModelSpec, RoundTripsThroughCanonicalForm) {
+  for (const char *Spec :
+       {"unit", "weighted", "weighted:arith=3", "weighted:arith=3,call=2",
+        "memaccess", "memaccess:8", "memaccess:16", "memaccess:0"}) {
+    CostModel M = parseOk(Spec);
+    CostModel Again = parseOk(M.str());
+    EXPECT_EQ(M, Again) << Spec << " canonical " << M.str();
+    EXPECT_EQ(M.str(), Again.str()) << Spec;
+  }
+  // Canonical forms are order-independent and drop unit-default noise.
+  EXPECT_EQ(parseOk("weighted:call=2,arith=3").str(),
+            parseOk("weighted:arith=3,call=2").str());
+  EXPECT_EQ(parseOk("memaccess").str(), parseOk("memaccess:8").str());
+  EXPECT_EQ(parseOk("weighted").str(), "weighted");
+}
+
+TEST(CostModelSpec, UnitWeightsReproduceDefaults) {
+  CostModel Unit = parseOk("unit");
+  CostModel EmptyWeighted = parseOk("weighted");
+  for (const CostModel::Opcode &Op : CostModel::opcodes()) {
+    EXPECT_EQ(Unit.weight(Op.Name), Op.UnitWeight) << Op.Name;
+    EXPECT_EQ(EmptyWeighted.weight(Op.Name), Op.UnitWeight) << Op.Name;
+  }
+  CostModel W = parseOk("weighted:arith=3");
+  EXPECT_EQ(W.weight("arith"), 3);
+  EXPECT_EQ(W.weight("branch"), 1);
+}
+
+TEST(CostModelSpec, MalformedSpecsGetOneLineDiagnostics) {
+  parseErr("");
+  parseErr("quantum");                // Unknown model.
+  parseErr("weighted:bogus=3");       // Unknown opcode.
+  parseErr("weighted:arith=-1");      // Negative weight.
+  parseErr("weighted:arith");         // Missing '='.
+  parseErr("weighted:arith=nan");     // Non-numeric weight.
+  parseErr("weighted:@/no/such/dir/weights.txt"); // Unreadable file.
+  parseErr("memaccess:-4");           // Negative surcharge.
+  parseErr("memaccess:many");         // Non-numeric surcharge.
+  parseErr("unit:1");                 // Unit takes no arguments.
+}
+
+TEST(CostModelSpec, WeightFilesParseInBothFormats) {
+  std::string Dir = ::testing::TempDir();
+  auto WriteFile = [&](const std::string &Name, const std::string &Body) {
+    std::string Path = Dir + "/" + Name;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr) << Path;
+    std::fputs(Body.c_str(), F);
+    std::fclose(F);
+  };
+  WriteFile("w.txt", "# comment\narith=3\ncall = 2\n\n");
+  WriteFile("w.json", "{\"arith\": 3, \"call\": 2}");
+  WriteFile("bad.txt", "arith=3\nbogus=1\n");
+  CostModel Inline = parseOk("weighted:arith=3,call=2");
+  EXPECT_EQ(parseOk("weighted:@" + Dir + "/w.txt"), Inline);
+  EXPECT_EQ(parseOk("weighted:@" + Dir + "/w.json"), Inline);
+  // File specs canonicalize to the inline spelling: the cache salt never
+  // depends on the path the weights came from.
+  EXPECT_EQ(parseOk("weighted:@" + Dir + "/w.txt").str(), Inline.str());
+  parseErr("weighted:@" + Dir + "/bad.txt");
+}
+
+//===----------------------------------------------------------------------===//
+// Unit equivalence
+//===----------------------------------------------------------------------===//
+
+std::vector<const BenchmarkProgram *> allSuites() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  for (const BenchmarkProgram &B : tableCtBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+TEST(CostModelUnitEquivalence, ReproducesBuiltinCostsOnEveryBenchmark) {
+  for (const BenchmarkProgram *B : allSuites()) {
+    CfgFunction F = B->compile();
+    CostEvaluator Unit(F, CostModel{});
+    for (size_t I = 0; I < F.blockCount(); ++I) {
+      const BasicBlock &Blk = F.block(static_cast<int>(I));
+      EXPECT_EQ(Unit.blockCost(Blk), F.blockCost(Blk))
+          << B->Name << " bb" << I;
+      EXPECT_EQ(Unit.termCost(Blk), F.termCost(Blk)) << B->Name << " bb" << I;
+      for (const Instr &Ins : Blk.Instrs)
+        EXPECT_EQ(Unit.instrCost(Ins), F.instrCost(Ins)) << B->Name;
+    }
+  }
+}
+
+TEST(CostModelUnitEquivalence, CostedInterpreterMatchesClassicRunForRun) {
+  InputGrid Grid;
+  Grid.MaxAssignments = 64;
+  for (const BenchmarkProgram *B : allSuites()) {
+    CfgFunction F = B->compile();
+    CostEvaluator Unit(F, CostModel{});
+    for (const InputAssignment &In : enumerateInputs(F, Grid)) {
+      TraceResult Classic = runFunction(F, In);
+      TraceResult Costed = runFunction(F, In, Unit);
+      EXPECT_EQ(Classic.Ok, Costed.Ok) << B->Name << " " << In.str();
+      EXPECT_EQ(Classic.Cost, Costed.Cost) << B->Name << " " << In.str();
+      EXPECT_EQ(Classic.Edges, Costed.Edges) << B->Name << " " << In.str();
+    }
+  }
+}
+
+TEST(CostModelUnitIdentity, Table1TreesByteIdenticalAcrossJobs) {
+  // Unit mode is the paper pipeline: all 24 verdicts must match Table 1
+  // and the refinement tree must be byte-identical at every job count
+  // (the cost-model layer adds no nondeterminism).
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    EngineConfig Engine; // Cost defaults to unit.
+    CfgFunction F = B.compile();
+    BlazerResult Ref = runBenchmark(B, {}, /*Jobs=*/1, Engine);
+    EXPECT_EQ(Ref.Verdict, B.Expected) << B.Name;
+    std::string RefTree = Ref.treeString(F);
+    for (int Jobs : {2, 8}) {
+      BlazerResult R = runBenchmark(B, {}, Jobs, Engine);
+      EXPECT_EQ(R.Verdict, Ref.Verdict) << B.Name << " jobs=" << Jobs;
+      EXPECT_EQ(R.treeString(F), RefTree) << B.Name << " jobs=" << Jobs;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The differential oracle
+//===----------------------------------------------------------------------===//
+
+/// Deterministic xorshift RNG (no global state, reproducible per seed).
+class Rng {
+public:
+  explicit Rng(uint32_t Seed) : S(Seed * 2654435761u + 0x9E3779B9u) {}
+
+  uint32_t next() {
+    S ^= S << 13;
+    S ^= S >> 17;
+    S ^= S << 5;
+    return S;
+  }
+  int range(int Lo, int Hi) { // Inclusive.
+    return Lo + static_cast<int>(next() % (Hi - Lo + 1));
+  }
+  bool chance(int Percent) { return range(1, 100) <= Percent; }
+
+private:
+  uint32_t S;
+};
+
+/// A structured generator in the RandomProgramTest mold, extended with a
+/// secret array parameter so the memaccess surcharge has sites to fire on:
+/// params (secret h, public l, secret k: int[]), bounded counter loops,
+/// and occasional k[...] reads with both public and secret-derived
+/// indices.
+class CostProgramGen {
+public:
+  explicit CostProgramGen(uint32_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    OS << "fn fuzz(secret h: int, public l: int, secret k: int[]) {\n";
+    OS << "  var a: int = 0;\n  var b: int = 0;\n";
+    emitBlock(2, 0);
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  const char *scalar() {
+    switch (R.range(0, 3)) {
+    case 0:
+      return "h";
+    case 1:
+      return "l";
+    case 2:
+      return "a";
+    default:
+      return "b";
+    }
+  }
+  const char *target() { return R.chance(50) ? "a" : "b"; }
+
+  void indent(int Depth) {
+    for (int I = 0; I < Depth; ++I)
+      OS << "  ";
+  }
+
+  std::string cond() {
+    std::ostringstream C;
+    const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    C << scalar() << " " << Ops[R.range(0, 5)] << " ";
+    if (R.chance(50))
+      C << R.range(-3, 5);
+    else
+      C << scalar();
+    return C.str();
+  }
+
+  void emitAssign(int Depth) {
+    indent(Depth);
+    const char *T = target();
+    switch (R.range(0, 4)) {
+    case 0:
+      OS << T << " = " << R.range(-4, 9) << ";\n";
+      break;
+    case 1:
+      OS << T << " = " << scalar() << " + " << R.range(-2, 4) << ";\n";
+      break;
+    case 2:
+      OS << T << " = " << T << " + " << scalar() << ";\n";
+      break;
+    case 3:
+      // A guarded array read; the index is public ("l"-derived) or secret
+      // ("h"/"a"/"b" may be tainted), so memaccess sees both site kinds.
+      emitRead(Depth, T);
+      break;
+    default:
+      OS << "skip;\n";
+      break;
+    }
+  }
+
+  void emitRead(int Depth, const char *T) {
+    const char *Idx = scalar();
+    OS << "if (" << Idx << " >= 0) {\n";
+    indent(Depth + 1);
+    OS << "if (" << Idx << " < k.length) { " << T << " = k[" << Idx
+       << "]; }\n";
+    indent(Depth);
+    OS << "}\n";
+  }
+
+  void emitLoop(int Depth) {
+    int Id = NextLoop++;
+    std::string V = "i" + std::to_string(Id);
+    indent(Depth);
+    OS << "var " << V << ": int = 0;\n";
+    indent(Depth);
+    std::string Bound = R.chance(60) ? std::string(R.chance(50) ? "l" : "h")
+                                     : std::to_string(R.range(0, 6));
+    OS << "while (" << V << " < " << Bound << ") {\n";
+    int Stmts = R.range(1, 2);
+    for (int I = 0; I < Stmts; ++I)
+      emitStmt(Depth + 1, /*AllowLoop=*/false);
+    indent(Depth + 1);
+    OS << V << " = " << V << " + 1;\n";
+    indent(Depth);
+    OS << "}\n";
+  }
+
+  void emitIf(int Depth, int Budget) {
+    indent(Depth);
+    OS << "if (" << cond() << ") {\n";
+    emitBlock(Depth + 1, Budget);
+    if (R.chance(70)) {
+      indent(Depth);
+      OS << "} else {\n";
+      emitBlock(Depth + 1, Budget);
+    }
+    indent(Depth);
+    OS << "}\n";
+  }
+
+  void emitStmt(int Depth, bool AllowLoop, int Budget = 0) {
+    int Kind = R.range(0, 9);
+    if (Kind < 6 || Depth > 4) {
+      emitAssign(Depth);
+    } else if (Kind < 8 && AllowLoop) {
+      emitLoop(Depth);
+    } else {
+      emitIf(Depth, Budget);
+    }
+  }
+
+  void emitBlock(int Depth, int Budget) {
+    int Stmts = R.range(1, 3);
+    for (int I = 0; I < Stmts; ++I)
+      emitStmt(Depth, /*AllowLoop=*/Budget < 2, Budget + 1);
+  }
+
+  Rng R;
+  std::ostringstream OS;
+  int NextLoop = 0;
+};
+
+CfgFunction compileFuzz(uint32_t Seed, std::string *SrcOut = nullptr) {
+  CostProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+  if (SrcOut)
+    *SrcOut = Src;
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F))
+      << (F ? "" : F.diag().str()) << "\n"
+      << Src;
+  return F.take();
+}
+
+/// The evaluation environment for symbolic bounds: the int params plus one
+/// "<array>.len" symbol per array param.
+std::map<std::string, int64_t> boundEnv(const InputAssignment &In) {
+  std::map<std::string, int64_t> Env(In.Ints.begin(), In.Ints.end());
+  for (const auto &[Name, Elems] : In.Arrays)
+    Env[Name + ".len"] = static_cast<int64_t>(Elems.size());
+  return Env;
+}
+
+/// Checks Lo <= concrete cost <= Hi for every grid input of \p F under
+/// \p Model; returns the number of concrete runs exercised.
+int checkOracle(const CfgFunction &F, const CostModel &Model,
+                const InputGrid &Grid, const std::string &Tag) {
+  EngineConfig Engine;
+  Engine.Cost = Model;
+  BoundAnalysis BA(F, /*InputPins=*/{}, /*Pool=*/nullptr, /*Cache=*/nullptr,
+                   Engine);
+  TrailBoundResult R = BA.analyzeTrail(BA.mostGeneralTrail());
+  EXPECT_TRUE(R.Feasible) << Tag;
+  if (!R.Feasible)
+    return 0;
+  CostEvaluator Costs(F, Model);
+  int Runs = 0;
+  for (const InputAssignment &In : enumerateInputs(F, Grid)) {
+    TraceResult TR = runFunction(F, In, Costs);
+    if (!TR.Ok)
+      continue; // Step limit or arithmetic fault: outside the claim.
+    ++Runs;
+    std::map<std::string, int64_t> Env = boundEnv(In);
+    EXPECT_LE(R.Lo.evaluate(Env), TR.Cost)
+        << Tag << " model=" << Model.str() << " input " << In.str()
+        << " bounds " << R.str();
+    if (R.hasUpper()) {
+      EXPECT_GE(R.Hi->evaluate(Env), TR.Cost)
+          << Tag << " model=" << Model.str() << " input " << In.str()
+          << " bounds " << R.str();
+    }
+  }
+  return Runs;
+}
+
+class CostOracle : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CostOracle, BoundsContainEveryConcreteRun) {
+  CostModel Model = parseOk(GetParam());
+
+  int Runs = 0;
+  // The full benchmark suites: real loops, arrays, builtins, early exits.
+  InputGrid BenchGrid;
+  BenchGrid.MaxAssignments = 256;
+  for (const BenchmarkProgram *B : allSuites())
+    Runs += checkOracle(B->compile(), Model, BenchGrid, B->Name);
+
+  // Seeded generated programs: 300 seeds x a 6x6 int grid (plus the secret
+  // array) comfortably clears the 10k-run floor per model.
+  InputGrid FuzzGrid;
+  FuzzGrid.IntValues = {-2, -1, 0, 1, 3, 6};
+  FuzzGrid.ArrayLengths = {0, 4};
+  FuzzGrid.ElementValues = {5};
+  for (uint32_t Seed = 0; Seed < 300; ++Seed) {
+    std::string Src;
+    CfgFunction F = compileFuzz(Seed, &Src);
+    SCOPED_TRACE(Src);
+    Runs += checkOracle(F, Model, FuzzGrid, "seed" + std::to_string(Seed));
+  }
+  EXPECT_GE(Runs, 10000) << "oracle under-sampled for " << Model.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CostOracle,
+                         ::testing::Values("unit",
+                                           "weighted:arith=3,call=2,arrayread=5",
+                                           "memaccess:8"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           for (char &C : Name)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// MemAccess semantics
+//===----------------------------------------------------------------------===//
+
+TEST(CostModelMemAccess, SurchargeFiresExactlyOnSecretIndexedReads) {
+  auto F = compileSingleFunction(R"(
+    fn f(secret s: int, public p: int, public t: int[]) {
+      var x: int = 0;
+      var si: int = s;
+      if (si >= 0) { if (si < t.length) { x = t[si]; } }
+      if (p >= 0) { if (p < t.length) { x = t[p]; } }
+    }
+  )",
+                                 BuiltinRegistry::standard());
+  ASSERT_TRUE(static_cast<bool>(F)) << F.diag().str();
+  CfgFunction Fn = F.take();
+
+  CostEvaluator Mem(Fn, parseOk("memaccess:10"));
+  // The explicit-flow closure: si copies s; p stays public.
+  EXPECT_TRUE(Mem.secretDerived("si"));
+  EXPECT_FALSE(Mem.secretDerived("p"));
+
+  InputAssignment In;
+  In.Arrays["t"] = {7, 7, 7, 7};
+  CostEvaluator Unit(Fn, CostModel{});
+  // Both reads execute: exactly one is secret-indexed, so the memaccess
+  // run costs exactly one surcharge more than unit.
+  In.Ints["s"] = 2;
+  In.Ints["p"] = 2;
+  EXPECT_EQ(runFunction(Fn, In, Mem).Cost, runFunction(Fn, In, Unit).Cost + 10);
+  // Secret read skipped (negative index): costs coincide... except the
+  // surcharge is per-site *and* per-execution, so skipping the site drops
+  // the extra charge entirely.
+  In.Ints["s"] = -1;
+  EXPECT_EQ(runFunction(Fn, In, Mem).Cost, runFunction(Fn, In, Unit).Cost);
+}
+
+} // namespace

@@ -270,6 +270,49 @@ TEST(TrailCacheTest, SharedCacheAcrossRunsAndJobCountsStaysCorrect) {
   EXPECT_GT(Shared->stats().Hits, 0u);
 }
 
+TEST(TrailCacheTest, CostModelsNeverShareCacheEntries) {
+  // The cache key carries a salt of everything a bound depends on besides
+  // the trail language — including the cost model. Running unit and then
+  // weighted against the same shared cache must produce zero cross-model
+  // hits (the weighted run's misses all recompute) and no verdict or tree
+  // drift versus fresh-cache runs of each model.
+  const BenchmarkProgram &B = benchmarkNamed("k96_safe");
+  CfgFunction F = B.compile();
+  auto Shared = std::make_shared<TrailBoundCache>();
+
+  EngineConfig Unit;
+  ASSERT_TRUE(Unit.set("cost-model", "unit"));
+  EngineConfig Weighted;
+  ASSERT_TRUE(Weighted.set("cost-model", "weighted:arith=3,call=2"));
+
+  BlazerResult UnitRun = runBenchmark(B, {}, 1, Unit, Shared);
+  uint64_t UnitMisses = Shared->stats().Misses;
+  EXPECT_GT(UnitMisses, 0u);
+  EXPECT_EQ(Shared->stats().Hits, 0u);
+
+  // The weighted run sees a warm cache full of unit entries; every one of
+  // its lookups must miss — a hit would be a cross-model key collision.
+  BlazerResult WeightedRun = runBenchmark(B, {}, 1, Weighted, Shared);
+  EXPECT_EQ(Shared->stats().Hits, 0u)
+      << "weighted run hit a unit-model cache entry";
+  EXPECT_GT(Shared->stats().Misses, UnitMisses);
+
+  // No drift: each model's shared-cache run matches its fresh-cache run.
+  BlazerResult UnitFresh = runBenchmark(B, {}, 1, Unit);
+  BlazerResult WeightedFresh = runBenchmark(B, {}, 1, Weighted);
+  EXPECT_EQ(UnitRun.Verdict, UnitFresh.Verdict);
+  EXPECT_EQ(UnitRun.treeString(F), UnitFresh.treeString(F));
+  EXPECT_EQ(WeightedRun.Verdict, WeightedFresh.Verdict);
+  EXPECT_EQ(WeightedRun.treeString(F), WeightedFresh.treeString(F));
+
+  // Re-running each model against the now doubly-warm cache is all hits.
+  uint64_t MissesBefore = Shared->stats().Misses;
+  runBenchmark(B, {}, 1, Unit, Shared);
+  runBenchmark(B, {}, 1, Weighted, Shared);
+  EXPECT_EQ(Shared->stats().Misses, MissesBefore);
+  EXPECT_GT(Shared->stats().Hits, 0u);
+}
+
 TEST(TrailCacheTest, SharedCacheHammeredByConcurrentAnalyses) {
   // The hardest contention profile the driver can produce: many threads
   // running the same function against one shared cache simultaneously, so

@@ -33,18 +33,24 @@
 ///   --closure=incremental|full   DBM closure policy (default incremental)
 ///   --cache=on|off               trail-bound memo cache (default on)
 ///   --fault-plan=S:R[:site,...]  deterministic fault injection (default off)
+///   --cost-model=unit|weighted[:op=w,...|:@file]|memaccess[:N]
+///                                timing cost model (default unit)
+///   --ct / --ct=on|off           strict constant-time verdict mode: the
+///                                attack search is replaced by a
+///                                CtSafe/CtUnsafe/CtUnknown classification
+///                                requiring *equal* per-component bounds
 ///   --no-cache                   deprecated alias for --cache=off
 ///   --cache-stats                print the engine-telemetry JSON line
 ///   --fixpoint-stats             print the engine-telemetry JSON line
 /// \endcode
 ///
 /// The engine knobs (--domain, --fixpoint, --closure, --cache,
-/// --fault-plan) are parsed from the EngineConfig registry, so the CLI, the
-/// env vars (BLAZER_DOMAIN, ..., BLAZER_FAULT_PLAN — read first, flags
-/// override), and the programmatic options always accept the same
-/// spellings. --cache-stats and --fixpoint-stats both print the one shared
-/// schema — "engine-telemetry: {...}" — that bench/table1_blazer also
-/// emits.
+/// --fault-plan, --cost-model, --ct) are parsed from the EngineConfig
+/// registry, so the CLI, the env vars (BLAZER_DOMAIN, ...,
+/// BLAZER_COST_MODEL — read first, flags override), and the programmatic
+/// options always accept the same spellings. --cache-stats and
+/// --fixpoint-stats both print the one shared schema —
+/// "engine-telemetry: {...}" — that bench/table1_blazer also emits.
 ///
 /// Exit-code contract (see README "Exit codes"):
 ///   0  every analyzed function completed with a clean verdict — safe,
@@ -305,6 +311,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opt) {
       if (!parseIntArg("--max-trail-nodes", V, 0, INT64_MAX,
                        Opt.MaxTrailNodes))
         return false;
+    } else if (Arg == "--ct") {
+      // Sugar for --ct=on (the registry spelling, also reachable as
+      // BLAZER_CT=on).
+      Opt.Engine.set("ct", "on");
     } else if (Arg == "--no-cache") {
       warnDeprecatedAlias("--no-cache", "--cache=off");
       Opt.Engine.set("cache", "off");
@@ -409,6 +419,14 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
   for (const AttackSpec &Spec : R.Attacks)
     std::printf("%s\n", Spec.str().c_str());
 
+  if (Cli.Engine.CtMode) {
+    if (R.CtPair)
+      std::printf("%s\n", R.CtPair->str().c_str());
+    std::printf("ct-verdict: %s (%s, cost model %s)\n",
+                ctVerdictName(R.Ct), F.Name.c_str(),
+                Cli.Engine.Cost.str().c_str());
+  }
+
   if (Cli.Regex) {
     TrailExpr::Ptr Regex =
         renderAnnotatedTrail(F, R.Tree[0].Auto, R.Taint, 1 << 14);
@@ -420,8 +438,8 @@ int analyzeOne(const CfgFunction &F, const CliOptions &Cli) {
   }
 
   if (Cli.SelfComp) {
-    SelfCompResult S =
-        verifyBySelfComposition(F, Opt.Observer.threshold(), Opt.Budget);
+    SelfCompResult S = verifyBySelfComposition(F, Opt.Observer.threshold(),
+                                               Opt.Budget, Cli.Engine.Cost);
     std::printf("self-composition baseline: %s\n",
                 S.Verified ? "verified"
                            : (S.GapBounded ? "refuted"

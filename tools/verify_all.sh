@@ -3,10 +3,15 @@
 #
 # Runs, in order:
 #   1. tier-1:      default preset, every test        (functional baseline)
-#   2. tsan:        ThreadSanitizer, `concurrency`    (races, deadlocks)
+#   2. tsan:        ThreadSanitizer, `concurrency`    (races, deadlocks —
+#                   plus the `ct` label, so the cost-model oracle's parallel
+#                   job sweeps run under the race detector too)
 #   3. chaos-asan:  ASan+UBSan, `chaos` label         (fault-injection sweep:
 #                   500+ seeded plans x 24 benchmarks x jobs {1,8}, asserting
 #                   faults degrade verdicts to Unknown but never flip them)
+#   4. ct-asan:     ASan+UBSan, `ct` label            (cost-model differential
+#                   oracle + constant-time CLI contract under the memory
+#                   sanitizers; reuses the chaos rung's build directory)
 #
 # Stops at the first failing rung. Run from the repository root:
 #   tools/verify_all.sh [-jN]
@@ -33,6 +38,7 @@ run_rung() {
 run_rung "tier-1 (default)" default default
 run_rung "concurrency (tsan)" tsan tsan
 run_rung "chaos (asan-ubsan)" chaos-asan chaos-asan
+run_rung "ct (asan-ubsan)" asan-ubsan asan-ct
 
 echo
 echo "==== all verification rungs passed ===="
