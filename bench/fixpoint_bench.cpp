@@ -5,15 +5,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Microbenchmarks of the zone-fixpoint schedulers in isolation (not a
-/// paper figure; an engineering ablation backing DESIGN.md's Performance
-/// section). Each pair runs the same Analyzer::analyze over the same
-/// product graph under the default WTO scheduler and the legacy FIFO
-/// worklist, on products of increasing size: the most general trail of a
-/// loopy Literature benchmark, a refined (symbol-restricted) trail of the
-/// same function, and the end-to-end driver. The transfer memo and in-arc
-/// joins are shared by both schedulers, so the deltas isolate pure
-/// iteration-order cost (redundant pops and re-widenings).
+/// Microbenchmarks of the zone-fixpoint engine in isolation (not a paper
+/// figure; an engineering ablation backing DESIGN.md's Performance
+/// section). Three axes:
+///
+///   - Scheduler pairs run the same Analyzer::analyze over the same
+///     product graph under the default WTO scheduler and the legacy FIFO
+///     worklist, on products of increasing size: the most general trail
+///     of a loopy Literature benchmark, a refined (symbol-restricted)
+///     trail of the same function, and the end-to-end driver. The
+///     transfer memo and in-arc joins are shared by both schedulers, so
+///     the deltas isolate pure iteration-order cost (redundant pops and
+///     re-widenings).
+///   - *_NoArcCache variants re-run the WTO configurations with the
+///     per-arc transfer cache and incremental joins disabled
+///     (AnalyzerConfig::ArcCache = false); the delta against the default
+///     variant is the arc-cache speedup quoted in EXPERIMENTS.md.
+///   - *_Phases variants enable AnalyzerConfig::PhaseTimers and report
+///     where one analyze call spends its time (join_ns / transfer_ns /
+///     widen_ns counters). Timer probes add two clock reads per
+///     join/transfer/widen, so wall-clock from these variants is NOT
+///     comparable to the untimed ones — quote speedups from the untimed
+///     pairs only.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,9 +71,14 @@ ProductGraph refinedProduct(const CfgFunction &F) {
 }
 
 void runFixpoint(benchmark::State &State, const CfgFunction &F,
-                 const ProductGraph &G, bool UseWto) {
+                 const ProductGraph &G, bool UseWto, bool ArcCache = true,
+                 bool PhaseTimers = false) {
   VarEnv Env(F);
-  Analyzer Az(F, Env, UseWto);
+  AnalyzerConfig C;
+  C.UseWto = UseWto;
+  C.ArcCache = ArcCache;
+  C.PhaseTimers = PhaseTimers;
+  Analyzer Az(F, Env, C);
   FixpointStats Stats;
   for (auto _ : State) {
     AnalysisResult R = Az.analyze(G);
@@ -71,6 +89,16 @@ void runFixpoint(benchmark::State &State, const CfgFunction &F,
   State.counters["joins"] = static_cast<double>(Stats.Joins);
   State.counters["widenings"] = static_cast<double>(Stats.Widenings);
   State.counters["hit_rate"] = Stats.transferHitRate();
+  if (ArcCache) {
+    State.counters["arc_hits"] = static_cast<double>(Stats.ArcHits);
+    State.counters["arc_misses"] = static_cast<double>(Stats.ArcMisses);
+    State.counters["arc_bytes"] = static_cast<double>(Stats.ArcBytes);
+  }
+  if (PhaseTimers) {
+    State.counters["join_ns"] = static_cast<double>(Stats.JoinNanos);
+    State.counters["transfer_ns"] = static_cast<double>(Stats.TransferNanos);
+    State.counters["widen_ns"] = static_cast<double>(Stats.WidenNanos);
+  }
 }
 
 void BM_Fixpoint_ModPow2_MostGeneral_Wto(benchmark::State &State) {
@@ -115,6 +143,69 @@ void BM_Fixpoint_Gpt14_MostGeneral_Fifo(benchmark::State &State) {
 }
 BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Fifo);
 
+//===----------------------------------------------------------------------===//
+// Arc-cache A/B (WTO scheduler; the default above is arc-cache on)
+//===----------------------------------------------------------------------===//
+
+void BM_Fixpoint_ModPow2_MostGeneral_Wto_NoArcCache(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/false);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_MostGeneral_Wto_NoArcCache);
+
+void BM_Fixpoint_ModPow2_Refined_Wto_NoArcCache(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = refinedProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/false);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_Refined_Wto_NoArcCache);
+
+void BM_Fixpoint_Gpt14_MostGeneral_Wto_NoArcCache(benchmark::State &State) {
+  const CfgFunction &F = gpt14Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/false);
+}
+BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Wto_NoArcCache);
+
+//===----------------------------------------------------------------------===//
+// Per-phase breakdown (PhaseTimers on; wall time not comparable to above)
+//===----------------------------------------------------------------------===//
+
+void BM_Fixpoint_ModPow2_MostGeneral_Wto_Phases(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/true,
+              /*PhaseTimers=*/true);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_MostGeneral_Wto_Phases);
+
+void BM_Fixpoint_ModPow2_MostGeneral_Wto_Phases_NoArcCache(
+    benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/false,
+              /*PhaseTimers=*/true);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_MostGeneral_Wto_Phases_NoArcCache);
+
+void BM_Fixpoint_Gpt14_MostGeneral_Wto_Phases(benchmark::State &State) {
+  const CfgFunction &F = gpt14Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/true,
+              /*PhaseTimers=*/true);
+}
+BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Wto_Phases);
+
+void BM_Fixpoint_Gpt14_MostGeneral_Wto_Phases_NoArcCache(
+    benchmark::State &State) {
+  const CfgFunction &F = gpt14Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/false,
+              /*PhaseTimers=*/true);
+}
+BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Wto_Phases_NoArcCache);
+
 /// Product construction itself (arc-indexed build with reserved tables).
 void BM_ProductGraphBuild(benchmark::State &State) {
   const CfgFunction &F = modPow2Unsafe();
@@ -143,6 +234,16 @@ void BM_EndToEnd_ModPow1Unsafe_Fifo(benchmark::State &State) {
     benchmark::DoNotOptimize(analyzeFunction(F, Opt));
 }
 BENCHMARK(BM_EndToEnd_ModPow1Unsafe_Fifo);
+
+void BM_EndToEnd_ModPow1Unsafe_NoArcCache(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
+  CfgFunction F = B->compile();
+  BlazerOptions Opt = B->options();
+  Opt.Engine.ArcCache = false;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeFunction(F, Opt));
+}
+BENCHMARK(BM_EndToEnd_ModPow1Unsafe_NoArcCache);
 
 } // namespace
 

@@ -539,6 +539,7 @@ int main() {
                  "{\n"
                  "  \"mode\": {\"domain\": \"%s\", \"cache\": %s, "
                  "\"closure\": \"%s\", \"fixpoint\": \"%s\", "
+                 "\"arc_cache\": \"%s\", "
                  "\"fault\": \"%s\", \"sandbox\": %s, \"jobs\": %d, "
                  "\"runs\": %d},\n"
                  "  \"verdict_agreement\": \"%d/24\",\n"
@@ -547,6 +548,7 @@ int main() {
                  Engine.TrailCache ? "true" : "false",
                  Engine.get("closure").c_str(),
                  Engine.get("fixpoint").c_str(),
+                 Engine.get("arc-cache").c_str(),
                  Engine.get("fault-plan").c_str(),
                  Sandbox ? "true" : "false", Jobs, Runs, 24 - Mismatches);
     for (size_t I = 0; I < JsonRows.size(); ++I)

@@ -11,6 +11,7 @@
 #include "support/FaultInjector.h"
 
 #include <cassert>
+#include <chrono>
 #include <deque>
 
 using namespace blazer;
@@ -45,10 +46,55 @@ Domain AnalyzerT<Domain>::transferEdge(const Domain &In, const Edge &E) const {
 
 namespace {
 
+/// Nanosecond accumulator for the bench-only per-phase breakdown. A null
+/// sink (PhaseTimers off) compiles to two untaken branches.
+class ScopedNanos {
+public:
+  explicit ScopedNanos(uint64_t *Sink) : Sink(Sink) {
+    if (Sink)
+      T0 = std::chrono::steady_clock::now();
+  }
+  ~ScopedNanos() {
+    if (Sink)
+      *Sink += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+  }
+
+  ScopedNanos(const ScopedNanos &) = delete;
+  ScopedNanos &operator=(const ScopedNanos &) = delete;
+
+private:
+  uint64_t *Sink;
+  std::chrono::steady_clock::time_point T0;
+};
+
 /// Mutable state of one fixpoint run: the entry states under construction,
-/// the version-stamped post-block memo, and the work counters. Both
-/// schedulers and the descending sweeps share these, so memoized transfers
-/// survive re-pops and carry over into refinement.
+/// the version-stamped post-block memo, the per-arc transfer cache, and
+/// the work counters. Both schedulers and the descending sweeps share
+/// these, so memoized transfers survive re-pops and carry over into
+/// refinement.
+///
+/// Every domain value the run touches lives in one flat arena, laid out
+/// [entry states | post-block memo | arc values | accumulators] (the arc
+/// segments exist only with the cache on). One allocation per run, and
+/// the ascent walks contiguous memory instead of three parallel vectors.
+///
+/// The arc cache memoizes applyBranch(postOf(From), CfgEdge) per in-arc
+/// under the source's StateVersion stamp. During the ascent, entry states
+/// only grow (setState always joins with the previous state), every
+/// transfer is entrywise monotone, and the domain join is a pointwise max
+/// — so folding only the arcs whose cached value moved into a per-node
+/// accumulator yields bit-for-bit the same matrix entries as re-joining
+/// every arc from bottom: stale contributions are entrywise below their
+/// replacements and max() absorbs them. The descending sweeps shrink
+/// states, which breaks that absorption argument, so they keep the exact
+/// full join over all arcs (still served from the cache, which is exact
+/// memoization regardless of direction). Pops are never short-circuited:
+/// the cache changes how joinOfPreds computes its value, never whether a
+/// node is popped, widened, or compared — the Visits/widening/setState
+/// trajectory is identical with the cache on or off.
 template <blazer::NumericDomain Domain> class FixpointRun {
   using Analyzer = blazer::AnalyzerT<Domain>;
   using Result = blazer::AnalysisResultT<Domain>;
@@ -58,38 +104,169 @@ public:
               Result &R, AnalysisBudget *Budget,
               const std::vector<char> *Dead)
       : A(A), Env(Env), G(G), R(R), Budget(Budget), Dead(Dead),
-        N(static_cast<int>(G.size())) {
+        N(static_cast<int>(G.size())), ArcCacheOn(A.config().ArcCache),
+        Verify(A.config().VerifyArcCache),
+        JoinNs(A.config().PhaseTimers ? &R.Stats.JoinNanos : nullptr),
+        TransferNs(A.config().PhaseTimers ? &R.Stats.TransferNanos
+                                          : nullptr),
+        WidenNs(A.config().PhaseTimers ? &R.Stats.WidenNanos : nullptr) {
+    if (ArcCacheOn) {
+      ArcBase.assign(N + 1, 0);
+      for (int Id = 0; Id < N; ++Id)
+        ArcBase[Id + 1] = ArcBase[Id] + G.inArcs(Id).size();
+      NumArcs = ArcBase[N];
+    }
+    // Arena layout: [0,N) entry, [N,2N) post memo, then (cache on only)
+    // [2N,2N+A) arc values, [2N+A,3N+A) accumulators.
+    Arena.assign(ArcCacheOn ? 3 * static_cast<size_t>(N) + NumArcs
+                            : 2 * static_cast<size_t>(N),
+                 Domain::bottom(Env.numVars()));
+    if (!(Dead && (*Dead)[G.entry()]))
+      entryOf(G.entry()) = Env.template initialState<Domain>();
     // Version 0 means "never computed"; entry states start at version 1 so
-    // every node's first post-block lookup is a miss.
-    PostBlock.assign(N, Domain::bottom(Env.numVars()));
+    // every node's first post-block lookup (and arc refresh) is a miss.
     PostVersion.assign(N, 0);
     StateVersion.assign(N, 1);
     Visits.assign(N, 0);
+    if (ArcCacheOn) {
+      ArcVersion.assign(NumArcs, 0);
+      ArcFolded.assign(NumArcs, 0);
+      AccValid.assign(N, false);
+    }
   }
 
   bool isDead(int Id) const { return Dead && (*Dead)[Id]; }
 
+  Domain &entryOf(int Id) { return Arena[static_cast<size_t>(Id)]; }
+
+  /// Moves the finished entry states out of the arena and records the
+  /// cache's memory footprint. Call exactly once, after the run.
+  void finish() {
+    for (int Id = 0; Id < N; ++Id)
+      R.EntryState[Id] = std::move(entryOf(Id));
+    if (ArcCacheOn) {
+      for (size_t I = 2 * static_cast<size_t>(N); I < Arena.size(); ++I)
+        R.Stats.ArcBytes += Arena[I].memoryBytes();
+    }
+  }
+
   /// The post-block state of node \p P's current entry state, computed at
   /// most once per entry-state change and shared by every outgoing arc.
   const Domain &postOf(int P) {
+    Domain &Slot = Arena[static_cast<size_t>(N) + P];
     if (PostVersion[P] == StateVersion[P]) {
-      ++R.Stats.TransferHits;
-      return PostBlock[P];
+      ++(InSweep ? R.Stats.SweepTransferHits : R.Stats.TransferHits);
+      return Slot;
     }
-    ++R.Stats.TransferMisses;
-    PostBlock[P] = A.transferBlock(R.EntryState[P], G.node(P).Block);
+    ++(InSweep ? R.Stats.SweepTransferMisses : R.Stats.TransferMisses);
+    ScopedNanos Time(TransferNs);
+    Slot = A.transferBlock(entryOf(P), G.node(P).Block);
     PostVersion[P] = StateVersion[P];
-    return PostBlock[P];
+    return Slot;
   }
 
-  /// Join of the states flowing into \p Id over exactly its in-arcs.
+  /// The cached value flowing along in-arc \p AIdx (global arc index),
+  /// recomputed only when the source's entry state changed since the
+  /// stamp. This is exact memoization — valid in the ascent and the
+  /// descending sweeps alike.
+  const Domain &refreshArc(size_t AIdx, const ProductGraph::InArc &IA) {
+    Domain &Slot = Arena[2 * static_cast<size_t>(N) + AIdx];
+    if (ArcVersion[AIdx] == StateVersion[IA.From]) {
+      ++R.Stats.ArcHits;
+      if (Verify) {
+        // Staleness oracle: the stamped value must equal a from-scratch
+        // recomputation. Counted, not asserted — the test layer asserts.
+        Domain Fresh = postOf(IA.From);
+        A.applyBranch(Fresh, IA.CfgEdge);
+        if (!Fresh.equals(Slot))
+          ++R.Stats.ArcVerifyMismatches;
+      }
+      return Slot;
+    }
+    ++R.Stats.ArcMisses;
+    ScopedNanos Time(TransferNs);
+    Slot = postOf(IA.From);
+    A.applyBranch(Slot, IA.CfgEdge);
+    ArcVersion[AIdx] = StateVersion[IA.From];
+    return Slot;
+  }
+
+  /// The original uncached join: copy + applyBranch + fold per in-arc.
+  /// The --arc-cache=off baseline, and the degradation path when a fault
+  /// plan poisons the cache mid-run.
+  Domain uncachedJoin(int Id) {
+    Domain Acc = Domain::bottom(Env.numVars());
+    for (const ProductGraph::InArc &IA : G.inArcs(Id)) {
+      Domain Along = [&] {
+        ScopedNanos Time(TransferNs);
+        Domain V = postOf(IA.From);
+        A.applyBranch(V, IA.CfgEdge);
+        return V;
+      }();
+      ScopedNanos Time(JoinNs);
+      Acc.joinWith(Along);
+      ++R.Stats.Joins;
+    }
+    return Acc;
+  }
+
+  /// True while the arc cache is live; simulated cache poisoning
+  /// (FaultSite::ArcCache) permanently downgrades this run to the
+  /// uncached path — same values, no verdict impact, by construction.
+  bool arcCacheLive() {
+    if (!ArcCacheOn)
+      return false;
+    try {
+      maybeInjectFault(FaultSite::ArcCache);
+    } catch (const InjectedFault &) {
+      ArcCacheOn = false;
+    }
+    return ArcCacheOn;
+  }
+
+  /// Join of the states flowing into \p Id over exactly its in-arcs —
+  /// incrementally when the arc cache is on: arcs whose stamp already
+  /// matches what the accumulator folded are skipped, everything else is
+  /// max-folded in. Ascent only (see class comment).
   Domain joinOfPreds(int Id) {
     if (Id == G.entry())
       return Env.template initialState<Domain>();
+    if (!arcCacheLive())
+      return uncachedJoin(Id);
+    const std::vector<ProductGraph::InArc> &Arcs = G.inArcs(Id);
+    Domain &Acc = Arena[2 * static_cast<size_t>(N) + NumArcs + Id];
+    if (!AccValid[Id]) {
+      Acc = Domain::bottom(Env.numVars());
+      AccValid[Id] = true;
+      // Force a first full fold below by marking every arc unfolded.
+      for (size_t K = 0; K < Arcs.size(); ++K)
+        ArcFolded[ArcBase[Id] + K] = 0;
+    }
+    for (size_t K = 0; K < Arcs.size(); ++K) {
+      size_t AIdx = ArcBase[Id] + K;
+      const Domain &Along = refreshArc(AIdx, Arcs[K]);
+      if (ArcFolded[AIdx] == ArcVersion[AIdx])
+        continue; // Already absorbed into Acc; max() would be a no-op.
+      ScopedNanos Time(JoinNs);
+      Acc.joinWith(Along);
+      ++R.Stats.Joins;
+      ArcFolded[AIdx] = ArcVersion[AIdx];
+    }
+    return Acc;
+  }
+
+  /// The exact full join the descending sweeps need: every arc re-folded
+  /// from bottom (values still served from the arc cache when live).
+  Domain sweepJoinOfPreds(int Id) {
+    if (Id == G.entry())
+      return Env.template initialState<Domain>();
+    if (!arcCacheLive())
+      return uncachedJoin(Id);
+    const std::vector<ProductGraph::InArc> &Arcs = G.inArcs(Id);
     Domain Acc = Domain::bottom(Env.numVars());
-    for (const ProductGraph::InArc &IA : G.inArcs(Id)) {
-      Domain Along = postOf(IA.From);
-      A.applyBranch(Along, IA.CfgEdge);
+    for (size_t K = 0; K < Arcs.size(); ++K) {
+      const Domain &Along = refreshArc(ArcBase[Id] + K, Arcs[K]);
+      ScopedNanos Time(JoinNs);
       Acc.joinWith(Along);
       ++R.Stats.Joins;
     }
@@ -97,8 +274,9 @@ public:
   }
 
   void setState(int Id, Domain S) {
-    R.EntryState[Id] = std::move(S);
-    ++StateVersion[Id]; // Invalidate the post-block memo for Id.
+    entryOf(Id) = std::move(S);
+    ++StateVersion[Id]; // Invalidate the post-block memo (and, through
+                        // the stamps, every cached out-arc) of Id.
   }
 
   /// Recomputes \p Id's entry state; widens when \p AtWidenPoint and the
@@ -110,15 +288,16 @@ public:
     ++R.Stats.Pops;
     Domain NewState = joinOfPreds(Id);
     if (AtWidenPoint && ++Visits[Id] > WideningDelay) {
-      Domain Widened = R.EntryState[Id];
+      ScopedNanos Time(WidenNs);
+      Domain Widened = entryOf(Id);
       Widened.widenWith(NewState);
       NewState = std::move(Widened);
       ++R.Stats.Widenings;
       WideningFired = true;
     }
-    if (NewState.leq(R.EntryState[Id]))
+    if (NewState.leq(entryOf(Id)))
       return false;
-    NewState.joinWith(R.EntryState[Id]);
+    NewState.joinWith(entryOf(Id));
     setState(Id, std::move(NewState));
     return true;
   }
@@ -204,6 +383,7 @@ public:
   void descend() {
     if (!WideningFired)
       return;
+    InSweep = true;
     for (int Pass = 0; Pass < 2 && !(Budget && Budget->exhausted()); ++Pass) {
       ++R.Stats.Sweeps;
       for (int Id : G.rpo()) {
@@ -211,11 +391,10 @@ public:
           return;
         if (isDead(Id))
           continue;
-        Domain NewState = joinOfPreds(Id);
+        Domain NewState = sweepJoinOfPreds(Id);
         // Accept only strict refinements: re-assigning an equal state
         // would spuriously invalidate the post-block memo.
-        if (NewState.leq(R.EntryState[Id]) &&
-            !R.EntryState[Id].leq(NewState))
+        if (NewState.leq(entryOf(Id)) && !entryOf(Id).leq(NewState))
           setState(Id, std::move(NewState));
       }
     }
@@ -233,13 +412,29 @@ private:
   AnalysisBudget *Budget;
   const std::vector<char> *Dead;
   int N;
+  bool ArcCacheOn;
+  bool Verify;
+  uint64_t *JoinNs;
+  uint64_t *TransferNs;
+  uint64_t *WidenNs;
 
-  std::vector<Domain> PostBlock;
+  /// Flat per-run state arena (see class comment for the layout).
+  std::vector<Domain> Arena;
+  /// Prefix sums of in-arc counts: node Id's arcs occupy global indices
+  /// [ArcBase[Id], ArcBase[Id + 1]). Empty with the cache off.
+  std::vector<size_t> ArcBase;
+  size_t NumArcs = 0;
   std::vector<uint64_t> PostVersion;
   std::vector<uint64_t> StateVersion;
   std::vector<int> Visits;
+  /// Source StateVersion when the arc value was computed (0 = never).
+  std::vector<uint64_t> ArcVersion;
+  /// ArcVersion the node accumulator last absorbed (0 = not folded).
+  std::vector<uint64_t> ArcFolded;
+  std::vector<char> AccValid;
   bool WideningFired = false;
   bool Tripped = false;
+  bool InSweep = false;
 };
 
 } // namespace
@@ -263,16 +458,16 @@ AnalyzerT<Domain>::analyze(const ProductGraph &G,
   if (G.empty())
     return R;
 
-  if (!(Dead && (*Dead)[G.entry()]))
-    R.EntryState[G.entry()] = Env.template initialState<Domain>();
-
+  // The run's entry states (and everything else it touches) live in the
+  // FixpointRun arena; finish() moves them into R.
   FixpointRun<Domain> Run(*this, Env, G, R, Budget, Dead);
-  if (UseWto)
+  if (Config.UseWto)
     Run.runWto();
   else
     Run.runFifo();
   if (!Run.tripped())
     Run.descend();
+  Run.finish();
 
   for (int Id = 0; Id < N; ++Id)
     R.Feasible[Id] = !R.EntryState[Id].isBottom();

@@ -35,6 +35,17 @@
 ///    join is a pointwise max (order-independent), they compute identical
 ///    invariants wherever widening behaves the same.
 ///
+/// On top of the post-block memo, the run keeps a per-arc transfer cache
+/// (AnalyzerConfig::ArcCache, wired from EngineConfig::ArcCache): each
+/// in-arc's applyBranch(postOf(From)) value is cached under the source
+/// node's state version, and the monotone ascent folds only arcs whose
+/// cached value moved into a per-node accumulated join. Entry states are
+/// byte-identical with the cache on or off — the cache changes how the
+/// same pointwise-max join is computed, never its value (see DESIGN.md
+/// "Fixpoint engine: the arc cache"). All per-run domain values (entry
+/// states, post memo, arc values, accumulators) live in one flat arena so
+/// the iteration walks contiguous memory.
+///
 /// Thread-safety audit (for the parallel trail-tree analysis): AnalyzerT
 /// holds only const references to per-function state and has no mutable
 /// members; the domains and AnalysisResultT are plain value types; VarEnv
@@ -74,11 +85,32 @@ template <NumericDomain Domain> struct AnalysisResultT {
   FixpointStats Stats;
 };
 
+/// Per-analyzer engine switches (a value-semantic subset of EngineConfig
+/// plus test/bench-only diagnostics).
+struct AnalyzerConfig {
+  /// Bourdoncle WTO recursion (default) vs the legacy FIFO worklist.
+  bool UseWto = true;
+  /// Per-arc transfer cache + dirty-arc incremental ascent joins.
+  bool ArcCache = true;
+  /// Staleness oracle: on every arc-cache hit, recompute the arc value
+  /// from scratch and count a FixpointStats::ArcVerifyMismatches when the
+  /// cached value differs. Test-only — quadratic overhead.
+  bool VerifyArcCache = false;
+  /// Accumulate per-phase wall time (join/transfer/widen nanos) into
+  /// FixpointStats. Bench-only — keeps the clock off the production path.
+  bool PhaseTimers = false;
+};
+
 /// Runs the fixpoint analysis over a product graph in domain \p Domain.
 template <NumericDomain Domain> class AnalyzerT {
 public:
   AnalyzerT(const CfgFunction &F, const VarEnv &Env, bool UseWto = true)
-      : F(F), Env(Env), UseWto(UseWto) {}
+      : F(F), Env(Env) {
+    Config.UseWto = UseWto;
+  }
+
+  AnalyzerT(const CfgFunction &F, const VarEnv &Env, const AnalyzerConfig &C)
+      : F(F), Env(Env), Config(C) {}
 
   AnalysisResultT<Domain> analyze(const ProductGraph &G) const;
 
@@ -105,10 +137,12 @@ public:
   /// which must already be the post-block state of E.From.
   void applyBranch(Domain &Out, const Edge &E) const;
 
+  const AnalyzerConfig &config() const { return Config; }
+
 private:
   const CfgFunction &F;
   const VarEnv &Env;
-  const bool UseWto;
+  AnalyzerConfig Config;
 };
 
 // Engine instantiations live in Analyzer.cpp.

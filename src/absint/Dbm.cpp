@@ -12,17 +12,64 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <sstream>
 
 using namespace blazer;
 
 namespace {
+/// Process-global owner of every slab the matrix pools carve buffers from.
+/// Intentionally leaked (never destroyed): buffers released into one
+/// thread's freelist may have been carved from a slab another thread
+/// allocated, and thread_local pool destructors run after arbitrary other
+/// destructors — global, immortal slab ownership makes every ordering
+/// safe. The mutex is taken only on slab allocation and thread retirement,
+/// never on the per-matrix acquire/release fast path.
+class SlabRegistry {
+public:
+  void adopt(int64_t *Slab) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Slabs.push_back(Slab);
+  }
+
+  /// A retiring thread parks its freelist here so the buffers are not
+  /// stranded; the next thread to miss on this bucket reclaims them all.
+  void spill(size_t Bucket, std::vector<int64_t *> &&Buffers) {
+    if (Buffers.empty())
+      return;
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Bucket >= Spilled.size())
+      Spilled.resize(Bucket + 1);
+    auto &Dst = Spilled[Bucket];
+    Dst.insert(Dst.end(), Buffers.begin(), Buffers.end());
+  }
+
+  bool reclaim(size_t Bucket, std::vector<int64_t *> &Out) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Bucket >= Spilled.size() || Spilled[Bucket].empty())
+      return false;
+    Out.swap(Spilled[Bucket]);
+    return true;
+  }
+
+private:
+  std::mutex Mu;
+  std::vector<int64_t *> Slabs;
+  std::vector<std::vector<int64_t *>> Spilled;
+};
+
+SlabRegistry &slabRegistry() {
+  static SlabRegistry *Reg = new SlabRegistry; // Intentionally leaked.
+  return *Reg;
+}
+
 /// Thread-local freelist of heap matrix buffers, bucketed by dimension.
 /// A fixpoint churns through temporaries of a single dimension (one per
-/// join/transfer), so after warm-up every acquire is a pop. Thread-local
-/// ownership means no locks and no cross-thread frees; buffers never
-/// migrate because a Dbm's storage is released on the thread that owns the
-/// freelist only through that thread's pool instance.
+/// join/transfer), so after warm-up every acquire is a pop. Buffers are
+/// carved in slabs of SlabMatrices at a time (geometric growth per
+/// bucket) from memory owned by the global SlabRegistry, so the steady
+/// state performs no per-buffer new/delete at all and a buffer released
+/// on a different thread than the one that carved it is always safe.
 class MatrixPool {
 public:
   int64_t *acquire(int N) {
@@ -32,36 +79,54 @@ public:
     // Dbm is destructible and nothing leaks back into the freelist.
     maybeInjectFault(FaultSite::DbmPool);
     size_t Bucket = static_cast<size_t>(N);
-    if (Bucket < Free.size() && !Free[Bucket].empty()) {
-      int64_t *P = Free[Bucket].back();
-      Free[Bucket].pop_back();
+    if (Bucket >= Free.size())
+      Free.resize(Bucket + 1);
+    auto &List = Free[Bucket];
+    if (!List.empty()) {
+      int64_t *P = List.back();
+      List.pop_back();
       return P;
     }
-    return new int64_t[static_cast<size_t>(N) * N];
+    // Miss: first try buffers parked by retired threads, then carve a
+    // fresh slab. Both are off the fast path.
+    if (slabRegistry().reclaim(Bucket, List) && !List.empty()) {
+      int64_t *P = List.back();
+      List.pop_back();
+      return P;
+    }
+    if (Bucket >= SlabSize.size())
+      SlabSize.resize(Bucket + 1, 0);
+    size_t Count = SlabSize[Bucket] ? SlabSize[Bucket] : MinSlabMatrices;
+    SlabSize[Bucket] = std::min(Count * 2, MaxSlabMatrices);
+    size_t Cells = static_cast<size_t>(N) * N;
+    int64_t *Slab = new int64_t[Cells * Count];
+    slabRegistry().adopt(Slab);
+    for (size_t I = 1; I < Count; ++I)
+      List.push_back(Slab + I * Cells);
+    return Slab;
   }
 
   void release(int64_t *P, int N) {
     size_t Bucket = static_cast<size_t>(N);
     if (Bucket >= Free.size())
       Free.resize(Bucket + 1);
-    if (Free[Bucket].size() < MaxPerBucket) {
-      Free[Bucket].push_back(P);
-      return;
-    }
-    delete[] P;
+    // No retention cap: every buffer is slab-carved, so total footprint is
+    // bounded by the peak number of simultaneously live matrices, and a
+    // release is always one push.
+    Free[Bucket].push_back(P);
   }
 
   ~MatrixPool() {
-    for (auto &Bucket : Free)
-      for (int64_t *P : Bucket)
-        delete[] P;
+    for (size_t B = 0; B < Free.size(); ++B)
+      slabRegistry().spill(B, std::move(Free[B]));
   }
 
 private:
-  /// Caps retained memory per dimension; 64 buffers comfortably covers the
-  /// deepest temporary chains the region engine creates.
-  static constexpr size_t MaxPerBucket = 64;
+  static constexpr size_t MinSlabMatrices = 8;
+  static constexpr size_t MaxSlabMatrices = 256;
   std::vector<std::vector<int64_t *>> Free;
+  /// Next slab's matrix count per bucket (geometric growth).
+  std::vector<size_t> SlabSize;
 };
 
 thread_local MatrixPool Pool;

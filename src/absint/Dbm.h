@@ -126,6 +126,13 @@ public:
   /// Renders the non-trivial constraints using \p Names (index 1..N-1).
   std::string str(const std::vector<std::string> &Names) const;
 
+  /// Bytes this value holds (object + heap matrix when not inline); the
+  /// arc-cache telemetry sums this over its cached states.
+  size_t memoryBytes() const {
+    return sizeof(Dbm) +
+           (inlineStorage() ? 0 : cells() * sizeof(int64_t));
+  }
+
 private:
   explicit Dbm(int NumVars);
 

@@ -81,6 +81,12 @@ public:
 
   std::string str(const std::vector<std::string> &Names) const;
 
+  /// Bytes this value holds (object + bound store); the arc-cache
+  /// telemetry sums this over its cached states.
+  size_t memoryBytes() const {
+    return sizeof(IntervalDomain) + UB.capacity() * sizeof(int64_t);
+  }
+
 private:
   explicit IntervalDomain(int NumVars);
 

@@ -40,6 +40,7 @@
 #define BLAZER_ABSINT_NUMERICDOMAIN_H
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -74,6 +75,7 @@ concept NumericDomain = requires(D S, const D C, int V, int64_t K,
   { C.leq(C) } -> std::convertible_to<bool>;
   { C.equals(C) } -> std::convertible_to<bool>;
   { C.str(Names) } -> std::convertible_to<std::string>;
+  { C.memoryBytes() } -> std::convertible_to<size_t>;
 };
 
 } // namespace blazer

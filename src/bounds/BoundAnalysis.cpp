@@ -30,15 +30,24 @@ std::string TrailBoundResult::str() const {
   return "[" + Lo.str() + ", " + (Hi ? Hi->str() : "?") + "]";
 }
 
+/// Projects the engine-level knobs onto the per-analyzer switches (the
+/// diagnostic flags stay at their defaults — only tests/bench set those).
+static AnalyzerConfig analyzerConfig(const EngineConfig &E) {
+  AnalyzerConfig C;
+  C.UseWto = E.Fixpoint == FixpointSched::Wto;
+  C.ArcCache = E.ArcCache;
+  return C;
+}
+
 BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
                              std::map<std::string, int64_t> InputPins,
                              ThreadPool *PoolIn, TrailBoundCache *CacheIn,
                              EngineConfig EngineIn)
     : F(Fn), A(EdgeAlphabet::forFunction(Fn)), Env(Fn, std::move(InputPins)),
       Engine(EngineIn), Costs(Fn, Engine.Cost),
-      Az(Fn, Env, /*UseWto=*/Engine.Fixpoint == FixpointSched::Wto),
-      IntAz(Fn, Env, /*UseWto=*/Engine.Fixpoint == FixpointSched::Wto),
-      Pool(PoolIn), Cache(CacheIn) {
+      Az(Fn, Env, analyzerConfig(EngineIn)),
+      IntAz(Fn, Env, analyzerConfig(EngineIn)), Pool(PoolIn),
+      Cache(CacheIn) {
   if (!Cache)
     return;
   // Everything a TrailBoundResult depends on besides the trail language:
@@ -67,6 +76,7 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
   Salt << ';' << fixpointSchedName(Engine.Fixpoint);
   Salt << ';' << domainModeName(Engine.Domain);
   Salt << ";cost=" << Engine.Cost.str();
+  Salt << ";arc=" << (Engine.ArcCache ? "on" : "off");
   Salt << '@';
   CacheSalt = Salt.str();
 }
@@ -79,6 +89,18 @@ FixpointStats BoundAnalysis::fixpointStats() const {
   S.TransferHits = Stats.TransferHits.load(std::memory_order_relaxed);
   S.TransferMisses = Stats.TransferMisses.load(std::memory_order_relaxed);
   S.Sweeps = Stats.Sweeps.load(std::memory_order_relaxed);
+  S.SweepTransferHits =
+      Stats.SweepTransferHits.load(std::memory_order_relaxed);
+  S.SweepTransferMisses =
+      Stats.SweepTransferMisses.load(std::memory_order_relaxed);
+  S.ArcHits = Stats.ArcHits.load(std::memory_order_relaxed);
+  S.ArcMisses = Stats.ArcMisses.load(std::memory_order_relaxed);
+  S.ArcBytes = Stats.ArcBytes.load(std::memory_order_relaxed);
+  S.ArcVerifyMismatches =
+      Stats.ArcVerifyMismatches.load(std::memory_order_relaxed);
+  S.JoinNanos = Stats.JoinNanos.load(std::memory_order_relaxed);
+  S.TransferNanos = Stats.TransferNanos.load(std::memory_order_relaxed);
+  S.WidenNanos = Stats.WidenNanos.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -98,6 +120,18 @@ void BoundAnalysis::accumulateStats(const FixpointStats &S) const {
   Stats.TransferMisses.fetch_add(S.TransferMisses,
                                  std::memory_order_relaxed);
   Stats.Sweeps.fetch_add(S.Sweeps, std::memory_order_relaxed);
+  Stats.SweepTransferHits.fetch_add(S.SweepTransferHits,
+                                    std::memory_order_relaxed);
+  Stats.SweepTransferMisses.fetch_add(S.SweepTransferMisses,
+                                      std::memory_order_relaxed);
+  Stats.ArcHits.fetch_add(S.ArcHits, std::memory_order_relaxed);
+  Stats.ArcMisses.fetch_add(S.ArcMisses, std::memory_order_relaxed);
+  Stats.ArcBytes.fetch_add(S.ArcBytes, std::memory_order_relaxed);
+  Stats.ArcVerifyMismatches.fetch_add(S.ArcVerifyMismatches,
+                                      std::memory_order_relaxed);
+  Stats.JoinNanos.fetch_add(S.JoinNanos, std::memory_order_relaxed);
+  Stats.TransferNanos.fetch_add(S.TransferNanos, std::memory_order_relaxed);
+  Stats.WidenNanos.fetch_add(S.WidenNanos, std::memory_order_relaxed);
 }
 
 Dfa BoundAnalysis::mostGeneralTrail() const { return Dfa::fromCfg(F, A); }

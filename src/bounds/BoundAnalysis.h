@@ -164,6 +164,15 @@ private:
     std::atomic<uint64_t> TransferHits{0};
     std::atomic<uint64_t> TransferMisses{0};
     std::atomic<uint64_t> Sweeps{0};
+    std::atomic<uint64_t> SweepTransferHits{0};
+    std::atomic<uint64_t> SweepTransferMisses{0};
+    std::atomic<uint64_t> ArcHits{0};
+    std::atomic<uint64_t> ArcMisses{0};
+    std::atomic<uint64_t> ArcBytes{0};
+    std::atomic<uint64_t> ArcVerifyMismatches{0};
+    std::atomic<uint64_t> JoinNanos{0};
+    std::atomic<uint64_t> TransferNanos{0};
+    std::atomic<uint64_t> WidenNanos{0};
   } mutable Stats;
   /// Cascade counters, accumulated from concurrent trail queries.
   struct {

@@ -62,6 +62,8 @@ const std::vector<EngineConfig::Knob> &EngineConfig::knobs() {
       {"cost-model", "unit|weighted[:op=w,...|:@file]|memaccess[:N]",
        "timing cost model (default unit)"},
       {"ct", "on|off", "strict constant-time verdict mode (default off)"},
+      {"arc-cache", "on|off",
+       "per-arc transfer cache + incremental joins (default on)"},
   };
   return Registry;
 }
@@ -139,6 +141,15 @@ bool EngineConfig::set(const std::string &Name, const std::string &Value,
       return Fail("on|off");
     return true;
   }
+  if (Name == "arc-cache") {
+    if (Value == "on" || Value == "1")
+      ArcCache = true;
+    else if (Value == "off" || Value == "0")
+      ArcCache = false;
+    else
+      return Fail("on|off");
+    return true;
+  }
   if (Err)
     *Err = "unknown engine knob '" + Name + "'";
   return false;
@@ -159,6 +170,8 @@ std::string EngineConfig::get(const std::string &Name) const {
     return Cost.str();
   if (Name == "ct")
     return CtMode ? "on" : "off";
+  if (Name == "arc-cache")
+    return ArcCache ? "on" : "off";
   return "";
 }
 

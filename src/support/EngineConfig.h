@@ -81,6 +81,11 @@ struct EngineConfig {
   /// high-quotient component's cost bounds to be exactly equal — not
   /// merely finite (see DESIGN.md "Cost models & constant-time verdicts").
   bool CtMode = false;
+  /// Per-arc transfer cache + dirty-arc incremental joins in the zone
+  /// fixpoint (on by default). Off restores the uncached full-join path;
+  /// entry states are byte-identical either way (see DESIGN.md "Fixpoint
+  /// engine: the arc cache").
+  bool ArcCache = true;
 
   /// One registry entry: the canonical knob name doubles as the CLI flag
   /// ("--<name>=<value>") and the bench env var ("<prefix>_<NAME>", with

@@ -11,13 +11,15 @@
 using namespace blazer;
 
 std::string EngineTelemetry::json() const {
-  char Buf[1024];
+  char Buf[1536];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
       "\"entries\": %llu}, "
       "\"fixpoint\": {\"pops\": %llu, \"joins\": %llu, \"widenings\": %llu, "
-      "\"transfer_hit_rate\": %.4f, \"sweeps\": %llu}, "
+      "\"transfer_hit_rate\": %.4f, \"sweep_transfer_hit_rate\": %.4f, "
+      "\"sweeps\": %llu, "
+      "\"arc_cache\": {\"hits\": %llu, \"misses\": %llu, \"bytes\": %llu}}, "
       "\"cascade\": {\"discharged\": %llu, \"promoted\": %llu, "
       "\"interval_pops\": %llu}, "
       "\"fault\": {\"injected\": %llu, \"retries\": %llu, "
@@ -31,8 +33,11 @@ std::string EngineTelemetry::json() const {
       static_cast<unsigned long long>(Fixpoint.Pops),
       static_cast<unsigned long long>(Fixpoint.Joins),
       static_cast<unsigned long long>(Fixpoint.Widenings),
-      Fixpoint.transferHitRate(),
+      Fixpoint.transferHitRate(), Fixpoint.sweepTransferHitRate(),
       static_cast<unsigned long long>(Fixpoint.Sweeps),
+      static_cast<unsigned long long>(Fixpoint.ArcHits),
+      static_cast<unsigned long long>(Fixpoint.ArcMisses),
+      static_cast<unsigned long long>(Fixpoint.ArcBytes),
       static_cast<unsigned long long>(Cascade.Discharged),
       static_cast<unsigned long long>(Cascade.Promoted),
       static_cast<unsigned long long>(Cascade.IntervalPops),

@@ -34,9 +34,27 @@ struct FixpointStats {
   uint64_t Pops = 0;      ///< Node entry-state recomputations.
   uint64_t Joins = 0;     ///< In-arc joins folded into entry states.
   uint64_t Widenings = 0; ///< Widening applications.
-  uint64_t TransferHits = 0;   ///< Post-block memo hits.
-  uint64_t TransferMisses = 0; ///< Post-block memo misses (block executions).
+  uint64_t TransferHits = 0;   ///< Ascent post-block memo hits.
+  uint64_t TransferMisses = 0; ///< Ascent post-block memo misses.
   uint64_t Sweeps = 0;         ///< Descending sweeps actually run.
+  /// Post-block memo traffic during the descending sweeps, kept separate
+  /// from the ascent counters so --fixpoint-stats and the Table-1 JSON do
+  /// not hide sweep-phase behavior inside one summed pair.
+  uint64_t SweepTransferHits = 0;
+  uint64_t SweepTransferMisses = 0;
+  /// Per-arc transfer cache traffic; all zero under --arc-cache=off.
+  uint64_t ArcHits = 0;   ///< Arc lookups served from the stamped cache.
+  uint64_t ArcMisses = 0; ///< Arc recomputations (copy + applyBranch).
+  uint64_t ArcBytes = 0;  ///< Peak bytes held by arc values + accumulators.
+  /// Staleness-oracle mismatches (AnalyzerConfig::VerifyArcCache only;
+  /// always zero in production). Not serialized.
+  uint64_t ArcVerifyMismatches = 0;
+  /// Per-phase wall time (AnalyzerConfig::PhaseTimers only; the bench
+  /// harness turns these on — production runs keep the clock off the hot
+  /// path). Not serialized.
+  uint64_t JoinNanos = 0;
+  uint64_t TransferNanos = 0;
+  uint64_t WidenNanos = 0;
 
   void mergeFrom(const FixpointStats &O) {
     Pops += O.Pops;
@@ -45,12 +63,27 @@ struct FixpointStats {
     TransferHits += O.TransferHits;
     TransferMisses += O.TransferMisses;
     Sweeps += O.Sweeps;
+    SweepTransferHits += O.SweepTransferHits;
+    SweepTransferMisses += O.SweepTransferMisses;
+    ArcHits += O.ArcHits;
+    ArcMisses += O.ArcMisses;
+    ArcBytes += O.ArcBytes;
+    ArcVerifyMismatches += O.ArcVerifyMismatches;
+    JoinNanos += O.JoinNanos;
+    TransferNanos += O.TransferNanos;
+    WidenNanos += O.WidenNanos;
   }
 
-  /// Fraction of post-block lookups served from the memo, in [0, 1].
+  /// Fraction of ascent post-block lookups served from the memo, in [0, 1].
   double transferHitRate() const {
     uint64_t Total = TransferHits + TransferMisses;
     return Total ? static_cast<double>(TransferHits) / Total : 0.0;
+  }
+
+  /// Fraction of sweep-phase post-block lookups served from the memo.
+  double sweepTransferHitRate() const {
+    uint64_t Total = SweepTransferHits + SweepTransferMisses;
+    return Total ? static_cast<double>(SweepTransferHits) / Total : 0.0;
   }
 };
 
@@ -113,11 +146,16 @@ struct EngineTelemetry {
   /// The shared JSON schema:
   /// {"cache": {"hits": H, "misses": M, "evictions": E, "entries": N},
   ///  "fixpoint": {"pops": .., "joins": .., "widenings": ..,
-  ///               "transfer_hit_rate": .., "sweeps": ..},
+  ///               "transfer_hit_rate": .., "sweep_transfer_hit_rate": ..,
+  ///               "sweeps": ..,
+  ///               "arc_cache": {"hits": .., "misses": .., "bytes": ..}},
   ///  "cascade": {"discharged": .., "promoted": .., "interval_pops": ..},
   ///  "fault": {"injected": .., "retries": .., "degradations": ..},
   ///  "ct": {"components": .., "exact_components": .., "leaves": ..,
   ///         "splits": ..}}
+  /// Diagnostic-only fields (verify mismatches, phase nanos) are not
+  /// serialized — they exist for the staleness oracle and the bench
+  /// breakdown, not the stable schema.
   std::string json() const;
 };
 

@@ -60,8 +60,9 @@ enum class FaultSite : unsigned {
   CacheInsert,   ///< ShardedTrailCache — owner about to compute/publish.
   CacheRetake,   ///< ShardedTrailCache — waiter retaking an abandon.
   TrailAnalysis, ///< BoundAnalysis::analyzeTrail — whole-trail boundary.
+  ArcCache,      ///< FixpointRun arc cache — degrades to uncached joins.
 };
-inline constexpr unsigned NumFaultSites = 7;
+inline constexpr unsigned NumFaultSites = 8;
 
 const char *faultSiteName(FaultSite S);
 /// \returns false when \p Name matches no site.

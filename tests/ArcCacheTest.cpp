@@ -1,0 +1,444 @@
+//===- ArcCacheTest.cpp - Arc-cache byte-identity & staleness suite --------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-arc transfer cache (AnalyzerConfig::ArcCache) promises the
+/// strongest property an optimization can: it changes how joinOfPreds
+/// computes each join, never its value. This harness holds it to that —
+///  - entry-state byte-identity cache-on vs cache-off at the Analyzer
+///    level, on the most-general products of all 24 Table-1 benchmarks and
+///    a swarm of seeded random programs, under both WTO and FIFO and for
+///    both engine domains (zones and intervals);
+///  - driver-level fingerprint identity (verdict, rendered tree, attacks,
+///    degradation) for arc-cache {on, off} x jobs {1, 2, 8} x both
+///    schedulers over the Table-1 suite;
+///  - a staleness oracle (AnalyzerConfig::VerifyArcCache): every cache hit
+///    is recomputed from scratch and compared, hammering the setState
+///    invalidation protocol on the loopiest products we have — zero
+///    mismatches allowed, and the cache must actually score hits, or the
+///    oracle proved nothing.
+///
+/// Work counters are not compared across cache modes: doing less work is
+/// the cache's purpose. Only the semantics must not move.
+///
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+#include "absint/ProductGraph.h"
+#include "benchmarks/Benchmarks.h"
+#include "bounds/BoundAnalysis.h"
+#include "core/Blazer.h"
+#include "ir/Cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+AnalyzerConfig cacheConfig(bool UseWto, bool ArcCache, bool Verify = false) {
+  AnalyzerConfig C;
+  C.UseWto = UseWto;
+  C.ArcCache = ArcCache;
+  C.VerifyArcCache = Verify;
+  return C;
+}
+
+/// Byte-identity of two analysis results: equal entry states (equals() on
+/// a zone/box compares bottom flags and every matrix entry — exactly the
+/// bytes the rest of the engine can observe), equal feasibility, and equal
+/// rendered constraints.
+template <NumericDomain Domain>
+void expectIdenticalStates(const AnalysisResultT<Domain> &On,
+                           const AnalysisResultT<Domain> &Off,
+                           const std::vector<std::string> &Names) {
+  ASSERT_EQ(On.EntryState.size(), Off.EntryState.size());
+  for (size_t Id = 0; Id < On.EntryState.size(); ++Id) {
+    EXPECT_TRUE(On.EntryState[Id].equals(Off.EntryState[Id]))
+        << "entry states differ at product node " << Id << "\n  on:  "
+        << On.EntryState[Id].str(Names) << "\n  off: "
+        << Off.EntryState[Id].str(Names);
+    EXPECT_EQ(On.Feasible[Id], Off.Feasible[Id]) << "node " << Id;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer-level identity: Table-1 most-general products, both domains
+//===----------------------------------------------------------------------===//
+
+TEST(ArcCacheInvariants, EntryStatesIdenticalOnMostGeneralProducts) {
+  uint64_t TotalArcHits = 0;
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    SCOPED_TRACE(B.Name);
+    CfgFunction F = B.compile();
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty());
+    for (bool UseWto : {true, false}) {
+      SCOPED_TRACE(UseWto ? "wto" : "fifo");
+      Analyzer AzOn(F, BA.env(), cacheConfig(UseWto, true));
+      Analyzer AzOff(F, BA.env(), cacheConfig(UseWto, false));
+      AnalysisResult On = AzOn.analyze(G);
+      AnalysisResult Off = AzOff.analyze(G);
+      expectIdenticalStates(On, Off, BA.env().names());
+      // The cache must be exercised on one side and silent on the other.
+      EXPECT_GT(On.Stats.ArcHits + On.Stats.ArcMisses, 0u);
+      EXPECT_EQ(Off.Stats.ArcHits + Off.Stats.ArcMisses, 0u);
+      EXPECT_EQ(Off.Stats.ArcBytes, 0u);
+      // Pops never short-circuit: the ascent trajectory is shared.
+      EXPECT_EQ(On.Stats.Pops, Off.Stats.Pops);
+      EXPECT_EQ(On.Stats.Widenings, Off.Stats.Widenings);
+      EXPECT_EQ(On.Stats.Sweeps, Off.Stats.Sweeps);
+      TotalArcHits += On.Stats.ArcHits;
+    }
+  }
+  // Across the suite the cache must score real hits, or the A/B above
+  // compared two copies of the uncached path.
+  EXPECT_GT(TotalArcHits, 0u);
+}
+
+TEST(ArcCacheInvariants, IntervalDomainStatesIdenticalToo) {
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    SCOPED_TRACE(B.Name);
+    CfgFunction F = B.compile();
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty());
+    for (bool UseWto : {true, false}) {
+      SCOPED_TRACE(UseWto ? "wto" : "fifo");
+      IntervalAnalyzer AzOn(F, BA.env(), cacheConfig(UseWto, true));
+      IntervalAnalyzer AzOff(F, BA.env(), cacheConfig(UseWto, false));
+      IntervalAnalysisResult On = AzOn.analyze(G);
+      IntervalAnalysisResult Off = AzOff.analyze(G);
+      expectIdenticalStates(On, Off, BA.env().names());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded random products
+//===----------------------------------------------------------------------===//
+
+/// Deterministic xorshift RNG (no global state, reproducible per seed).
+class Rng {
+public:
+  explicit Rng(uint32_t Seed) : S(Seed * 2654435761u + 0x9E3779B9u) {}
+
+  uint32_t next() {
+    S ^= S << 13;
+    S ^= S >> 17;
+    S ^= S << 5;
+    return S;
+  }
+  int range(int Lo, int Hi) { // Inclusive.
+    return Lo + static_cast<int>(next() % (Hi - Lo + 1));
+  }
+  bool chance(int Percent) { return range(1, 100) <= Percent; }
+
+private:
+  uint32_t S;
+};
+
+/// Compact random-function generator biased toward what stresses the arc
+/// cache: nested loops (re-pops, widening, descending sweeps) and
+/// multi-predecessor join points (many in-arcs per node). Bounded counter
+/// loops keep every program terminating.
+class ArcProgramGen {
+public:
+  explicit ArcProgramGen(uint32_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    OS << "fn arcfuzz(secret h: int, public l: int) {\n";
+    OS << "  var a: int = 0;\n  var b: int = 0;\n";
+    block(1, /*Depth=*/0);
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  const char *scalar() {
+    switch (R.range(0, 3)) {
+    case 0:
+      return "h";
+    case 1:
+      return "l";
+    case 2:
+      return "a";
+    default:
+      return "b";
+    }
+  }
+
+  void indent(int Ind) {
+    for (int I = 0; I <= Ind; ++I)
+      OS << "  ";
+  }
+
+  std::string cond() {
+    std::ostringstream C;
+    const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    C << scalar() << " " << Ops[R.range(0, 5)] << " ";
+    if (R.chance(60))
+      C << R.range(-2, 4);
+    else
+      C << scalar();
+    return C.str();
+  }
+
+  void assign(int Ind) {
+    indent(Ind);
+    const char *T = R.chance(50) ? "a" : "b";
+    if (R.chance(40))
+      OS << T << " = " << R.range(-3, 7) << ";\n";
+    else
+      OS << T << " = " << scalar() << " + " << R.range(-2, 3) << ";\n";
+  }
+
+  void loop(int Ind, int Depth) {
+    int Id = NextLoop++;
+    std::string V = "i" + std::to_string(Id);
+    indent(Ind);
+    OS << "var " << V << ": int = 0;\n";
+    indent(Ind);
+    OS << "while (" << V << " < "
+       << (R.chance(50) ? std::string(R.chance(50) ? "l" : "h")
+                        : std::to_string(R.range(1, 5)))
+       << ") {\n";
+    block(Ind + 1, Depth + 1);
+    indent(Ind + 1);
+    OS << V << " = " << V << " + 1;\n";
+    indent(Ind);
+    OS << "}\n";
+  }
+
+  void branch(int Ind, int Depth) {
+    indent(Ind);
+    OS << "if (" << cond() << ") {\n";
+    block(Ind + 1, Depth + 1);
+    indent(Ind);
+    OS << "} else {\n";
+    block(Ind + 1, Depth + 1);
+    indent(Ind);
+    OS << "}\n";
+  }
+
+  void block(int Ind, int Depth) {
+    int Stmts = R.range(1, 3);
+    for (int I = 0; I < Stmts; ++I) {
+      int Kind = R.range(0, 9);
+      if (Kind < 5 || Depth >= 3)
+        assign(Ind);
+      else if (Kind < 8)
+        branch(Ind, Depth);
+      else
+        loop(Ind, Depth);
+    }
+  }
+
+  Rng R;
+  std::ostringstream OS;
+  int NextLoop = 0;
+};
+
+CfgFunction compileArcFuzz(uint32_t Seed, std::string *SrcOut = nullptr) {
+  ArcProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+  if (SrcOut)
+    *SrcOut = Src;
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F))
+      << (F ? "" : F.diag().str()) << "\n"
+      << Src;
+  return F.take();
+}
+
+class ArcCacheRandomProducts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArcCacheRandomProducts, EntryStatesIdentical) {
+  std::string Src;
+  CfgFunction F = compileArcFuzz(static_cast<uint32_t>(GetParam()), &Src);
+  BoundAnalysis BA(F);
+  ProductGraph G =
+      ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+  ASSERT_FALSE(G.empty()) << Src;
+  for (bool UseWto : {true, false}) {
+    SCOPED_TRACE(std::string(UseWto ? "wto" : "fifo") + "\n" + Src);
+    Analyzer AzOn(F, BA.env(), cacheConfig(UseWto, true));
+    Analyzer AzOff(F, BA.env(), cacheConfig(UseWto, false));
+    AnalysisResult On = AzOn.analyze(G);
+    AnalysisResult Off = AzOff.analyze(G);
+    expectIdenticalStates(On, Off, BA.env().names());
+    EXPECT_EQ(On.Stats.Pops, Off.Stats.Pops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArcCacheRandomProducts,
+                         ::testing::Range(0, 40));
+
+//===----------------------------------------------------------------------===//
+// Staleness oracle
+//===----------------------------------------------------------------------===//
+
+/// VerifyArcCache recomputes every hit from scratch inside refreshArc and
+/// counts disagreements. Run it over the loopiest Table-1 products (most
+/// setState churn per arc: widening, re-pops, two descending sweeps) and
+/// the random swarm; a single mismatch means a stale stamp survived an
+/// invalidation, and zero hits means the oracle never fired.
+TEST(ArcCacheStaleness, OracleFindsNoStaleEntriesOnLoopyBenchmarks) {
+  uint64_t TotalHits = 0;
+  for (const char *Name : {"modPow1_safe", "modPow2_safe", "gpt14_safe",
+                           "k96_safe", "loopAndbranch_safe"}) {
+    const BenchmarkProgram *B = findBenchmark(Name);
+    ASSERT_NE(B, nullptr) << Name;
+    CfgFunction F = B->compile();
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty());
+    for (bool UseWto : {true, false}) {
+      SCOPED_TRACE(std::string(Name) + (UseWto ? " wto" : " fifo"));
+      Analyzer Az(F, BA.env(), cacheConfig(UseWto, true, /*Verify=*/true));
+      AnalysisResult R = Az.analyze(G);
+      EXPECT_EQ(R.Stats.ArcVerifyMismatches, 0u);
+      TotalHits += R.Stats.ArcHits;
+    }
+  }
+  EXPECT_GT(TotalHits, 0u);
+}
+
+TEST(ArcCacheStaleness, OracleFindsNoStaleEntriesOnRandomSwarm) {
+  uint64_t TotalHits = 0;
+  for (uint32_t Seed = 100; Seed < 130; ++Seed) {
+    std::string Src;
+    CfgFunction F = compileArcFuzz(Seed, &Src);
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty()) << Src;
+    Analyzer Az(F, BA.env(), cacheConfig(true, true, /*Verify=*/true));
+    AnalysisResult R = Az.analyze(G);
+    EXPECT_EQ(R.Stats.ArcVerifyMismatches, 0u) << Src;
+    TotalHits += R.Stats.ArcHits;
+  }
+  EXPECT_GT(TotalHits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver-level differential: Table-1 x jobs {1,2,8} x both schedulers
+//===----------------------------------------------------------------------===//
+
+/// The analysis outputs that must not depend on the arc cache (nor, per
+/// the existing scheduler suite, on the job count).
+struct RunFingerprint {
+  std::string Verdict;
+  std::string Tree;
+  std::string Attacks;
+  std::string Degradation;
+};
+
+RunFingerprint fingerprint(const CfgFunction &F, const BlazerResult &R) {
+  RunFingerprint FP;
+  FP.Verdict = verdictName(R.Verdict);
+  FP.Tree = R.treeString(F);
+  std::ostringstream Attacks;
+  for (const AttackSpec &Spec : R.Attacks)
+    Attacks << Spec.str() << "\n";
+  FP.Attacks = Attacks.str();
+  FP.Degradation = R.Degradation.str();
+  return FP;
+}
+
+void expectIdentical(const RunFingerprint &A, const RunFingerprint &B,
+                     const std::string &What) {
+  SCOPED_TRACE(What);
+  EXPECT_EQ(A.Verdict, B.Verdict);
+  EXPECT_EQ(A.Tree, B.Tree);
+  EXPECT_EQ(A.Attacks, B.Attacks);
+  EXPECT_EQ(A.Degradation, B.Degradation);
+}
+
+class ArcCacheDifferential
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(ArcCacheDifferential, OnAndOffAgreeAtAnyJobsUnderBothSchedulers) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  for (bool Fifo : {false, true}) {
+    EngineConfig On;
+    On.Fixpoint = Fifo ? FixpointSched::Fifo : FixpointSched::Wto;
+    EngineConfig Off = On;
+    Off.ArcCache = false;
+    std::string Sched = Fifo ? "fifo" : "wto";
+    RunFingerprint Base = fingerprint(F, runBenchmark(B, {}, 1, On));
+    for (int Jobs : {1, 2, 8})
+      expectIdentical(fingerprint(F, runBenchmark(B, {}, Jobs, Off)), Base,
+                      B.Name + " " + Sched + " arc-cache=off jobs=" +
+                          std::to_string(Jobs));
+    for (int Jobs : {2, 8})
+      expectIdentical(fingerprint(F, runBenchmark(B, {}, Jobs, On)), Base,
+                      B.Name + " " + Sched + " arc-cache=on jobs=" +
+                          std::to_string(Jobs));
+  }
+}
+
+std::vector<const BenchmarkProgram *> benchmarkPointers() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  // The strict-ct crypto-kernel family rides along: its verdicts come
+  // from the same fixpoints, so the on/off identity must hold there too.
+  for (const BenchmarkProgram &B : tableCtBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchmarkName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  return Info.param->Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, ArcCacheDifferential,
+                         ::testing::ValuesIn(benchmarkPointers()),
+                         benchmarkName);
+
+//===----------------------------------------------------------------------===//
+// Telemetry plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(ArcCacheTelemetry, CountersReachBlazerResultAndSweepSplitWorks) {
+  const BenchmarkProgram *B = findBenchmark("modPow2_safe");
+  ASSERT_NE(B, nullptr);
+  BlazerResult On = runBenchmark(*B);
+  EXPECT_GT(On.Telemetry.Fixpoint.ArcHits, 0u);
+  EXPECT_GT(On.Telemetry.Fixpoint.ArcMisses, 0u);
+  EXPECT_GT(On.Telemetry.Fixpoint.ArcBytes, 0u);
+
+  EngineConfig OffEngine;
+  OffEngine.ArcCache = false;
+  BlazerResult Off = runBenchmark(*B, {}, 1, OffEngine);
+  EXPECT_EQ(Off.Telemetry.Fixpoint.ArcHits, 0u);
+  EXPECT_EQ(Off.Telemetry.Fixpoint.ArcMisses, 0u);
+  EXPECT_EQ(Off.Telemetry.Fixpoint.ArcBytes, 0u);
+  // Widening fires on modPow2, so descending sweeps run — and with the
+  // cache off their post-block traffic lands in the sweep pair, not the
+  // ascent pair.
+  EXPECT_GT(Off.Telemetry.Fixpoint.Sweeps, 0u);
+  EXPECT_GT(Off.Telemetry.Fixpoint.SweepTransferHits +
+                Off.Telemetry.Fixpoint.SweepTransferMisses,
+            0u);
+  // The JSON schema carries the new nested object on both surfaces.
+  std::string Json = On.Telemetry.json();
+  EXPECT_NE(Json.find("\"arc_cache\": {\"hits\": "), std::string::npos);
+  EXPECT_NE(Json.find("\"sweep_transfer_hit_rate\": "), std::string::npos);
+}
+
+} // namespace

@@ -158,6 +158,10 @@ TEST(FaultSites, TransientClassification) {
   EXPECT_FALSE(FaultInjector::transientSite(FaultSite::Closure));
   EXPECT_FALSE(FaultInjector::transientSite(FaultSite::TrailAnalysis));
   EXPECT_FALSE(FaultInjector::transientSite(FaultSite::PoolTask));
+  // Arc-cache faults are absorbed in place (the fixpoint falls back to
+  // uncached joins for the rest of the run), so retrying the whole trail
+  // would just re-fire the plan — non-transient by design.
+  EXPECT_FALSE(FaultInjector::transientSite(FaultSite::ArcCache));
 }
 
 //===----------------------------------------------------------------------===//
@@ -318,8 +322,8 @@ class FaultChaos : public ::testing::TestWithParam<const BenchmarkProgram *> {
 };
 
 /// Every single-site plan, two seeds each, at jobs=1: byte-identical
-/// replay (verdict, tree, provenance) plus soundness. 7 sites x 2 seeds x
-/// 24 benchmarks = 336 distinct plans.
+/// replay (verdict, tree, provenance) plus soundness. 8 sites x 2 seeds x
+/// 24 benchmarks = 384 distinct plans.
 TEST_P(FaultChaos, SingleSitePlansReplayDeterministicallyAtJobs1) {
   const BenchmarkProgram &B = *GetParam();
   CfgFunction F = B.compile();
@@ -391,7 +395,43 @@ std::vector<const BenchmarkProgram *> allPtrs() {
 INSTANTIATE_TEST_SUITE_P(Table1, FaultChaos, ::testing::ValuesIn(allPtrs()),
                          [](const auto &Info) { return Info.param->Name; });
 
-/// The distinct-plan floor the sweep above guarantees: 336 single-site +
+/// The arc-cache site has a recovery mode unlike every other site: an
+/// injected fault disables the cache for the rest of that fixpoint run and
+/// the join falls back to the uncached path. The run must complete without
+/// degradation (no Budget trip, no provenance), with the fault counted as
+/// injected, and the verdict and trail tree byte-identical to both the
+/// fault-free baseline and an arc-cache=off run.
+TEST(FaultArcCache, InjectionDegradesToUncachedJoinsWithoutVerdictImpact) {
+  const BenchmarkProgram *B = findBenchmark("modPow2_safe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  Baseline Base = baselineFor(*B, F, /*Jobs=*/1);
+
+  EngineConfig Off;
+  ASSERT_TRUE(Off.set("arc-cache", "off"));
+  BlazerResult ROff = runBenchmark(*B, {}, 1, Off);
+
+  EngineConfig Faulted;
+  ASSERT_TRUE(Faulted.set("fault-plan", "1:1:arc-cache"));
+  BlazerResult R = runBenchmark(*B, {}, 1, Faulted);
+
+  // Absorbed, not degraded: the fault fired but the analysis recovered in
+  // place by switching the rest of the run to uncached joins.
+  EXPECT_GE(R.Telemetry.Fault.Injected, 1u);
+  EXPECT_FALSE(R.Degradation.tripped()) << R.Degradation.str();
+  EXPECT_EQ(R.Verdict, Base.Verdict);
+  EXPECT_EQ(R.treeString(F), Base.Tree);
+
+  // With rate 1 the fault fires at the first cached join of every fixpoint
+  // run, so the join work collapses to exactly the arc-cache=off count.
+  EXPECT_EQ(R.Verdict, ROff.Verdict);
+  EXPECT_EQ(R.treeString(F), ROff.treeString(F));
+  EXPECT_EQ(R.Telemetry.Fixpoint.Joins, ROff.Telemetry.Fixpoint.Joins);
+  EXPECT_EQ(ROff.Telemetry.Fixpoint.ArcHits, 0u);
+  EXPECT_EQ(ROff.Telemetry.Fixpoint.ArcMisses, 0u);
+}
+
+/// The distinct-plan floor the sweep above guarantees: 384 single-site +
 /// 192 all-site plans, all with distinct seeds, >= 500 total.
 TEST(FaultChaosCoverage, AtLeast500DistinctPlans) {
   std::set<std::string> Plans;

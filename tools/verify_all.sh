@@ -12,6 +12,9 @@
 #   4. ct-asan:     ASan+UBSan, `ct` label            (cost-model differential
 #                   oracle + constant-time CLI contract under the memory
 #                   sanitizers; reuses the chaos rung's build directory)
+#   5. arc-cache:   ASan+UBSan, `arccache` label      (arc-cache byte-identity
+#                   + staleness-oracle suite under the memory sanitizers;
+#                   reuses the chaos rung's build directory)
 #
 # Stops at the first failing rung. Run from the repository root:
 #   tools/verify_all.sh [-jN]
@@ -39,6 +42,7 @@ run_rung "tier-1 (default)" default default
 run_rung "concurrency (tsan)" tsan tsan
 run_rung "chaos (asan-ubsan)" chaos-asan chaos-asan
 run_rung "ct (asan-ubsan)" asan-ubsan asan-ct
+run_rung "arc-cache (asan-ubsan)" asan-ubsan asan-arccache
 
 echo
 echo "==== all verification rungs passed ===="
