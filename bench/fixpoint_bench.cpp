@@ -21,6 +21,15 @@
 ///     per-arc transfer cache and incremental joins disabled
 ///     (AnalyzerConfig::ArcCache = false); the delta against the default
 ///     variant is the arc-cache speedup quoted in EXPERIMENTS.md.
+///   - *_FreshCtx variants re-run the WTO configurations with the
+///     per-thread fixpoint context pool disabled
+///     (AnalyzerConfig::PooledContext = false). The benchmark loop calls
+///     analyze repeatedly on one product graph, which is exactly the
+///     pool's design load (the cascade and trail refinement re-run
+///     same-shape fixpoints): the default variant amortizes the WTO
+///     decomposition, arc index, and state arena across iterations while
+///     the FreshCtx variant rebuilds them each time, so the delta is the
+///     amortized-context speedup quoted in EXPERIMENTS.md.
 ///   - *_Phases variants enable AnalyzerConfig::PhaseTimers and report
 ///     where one analyze call spends its time (join_ns / transfer_ns /
 ///     widen_ns counters). Timer probes add two clock reads per
@@ -72,12 +81,13 @@ ProductGraph refinedProduct(const CfgFunction &F) {
 
 void runFixpoint(benchmark::State &State, const CfgFunction &F,
                  const ProductGraph &G, bool UseWto, bool ArcCache = true,
-                 bool PhaseTimers = false) {
+                 bool PhaseTimers = false, bool Pooled = true) {
   VarEnv Env(F);
   AnalyzerConfig C;
   C.UseWto = UseWto;
   C.ArcCache = ArcCache;
   C.PhaseTimers = PhaseTimers;
+  C.PooledContext = Pooled;
   Analyzer Az(F, Env, C);
   FixpointStats Stats;
   for (auto _ : State) {
@@ -93,6 +103,16 @@ void runFixpoint(benchmark::State &State, const CfgFunction &F,
     State.counters["arc_hits"] = static_cast<double>(Stats.ArcHits);
     State.counters["arc_misses"] = static_cast<double>(Stats.ArcMisses);
     State.counters["arc_bytes"] = static_cast<double>(Stats.ArcBytes);
+  }
+  if (Pooled) {
+    // Per-iteration pool counters (last analyze call of the loop): in
+    // steady state ctx_hits is 1 (every run reuses the shape) and the
+    // fast-path counters show how many pops the version token settled.
+    State.counters["ctx_hits"] = static_cast<double>(Stats.CtxHits);
+    State.counters["cmp_fast_hits"] =
+        static_cast<double>(Stats.CmpFastHits);
+    State.counters["batch_passes"] =
+        static_cast<double>(Stats.BatchPasses);
   }
   if (PhaseTimers) {
     State.counters["join_ns"] = static_cast<double>(Stats.JoinNanos);
@@ -167,6 +187,34 @@ void BM_Fixpoint_Gpt14_MostGeneral_Wto_NoArcCache(benchmark::State &State) {
   runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/false);
 }
 BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Wto_NoArcCache);
+
+//===----------------------------------------------------------------------===//
+// Context-pool A/B (WTO scheduler; the default above is fixpoint-ctx=pooled)
+//===----------------------------------------------------------------------===//
+
+void BM_Fixpoint_ModPow2_MostGeneral_Wto_FreshCtx(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/true,
+              /*PhaseTimers=*/false, /*Pooled=*/false);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_MostGeneral_Wto_FreshCtx);
+
+void BM_Fixpoint_ModPow2_Refined_Wto_FreshCtx(benchmark::State &State) {
+  const CfgFunction &F = modPow2Unsafe();
+  ProductGraph G = refinedProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/true,
+              /*PhaseTimers=*/false, /*Pooled=*/false);
+}
+BENCHMARK(BM_Fixpoint_ModPow2_Refined_Wto_FreshCtx);
+
+void BM_Fixpoint_Gpt14_MostGeneral_Wto_FreshCtx(benchmark::State &State) {
+  const CfgFunction &F = gpt14Unsafe();
+  ProductGraph G = mostGeneralProduct(F);
+  runFixpoint(State, F, G, /*UseWto=*/true, /*ArcCache=*/true,
+              /*PhaseTimers=*/false, /*Pooled=*/false);
+}
+BENCHMARK(BM_Fixpoint_Gpt14_MostGeneral_Wto_FreshCtx);
 
 //===----------------------------------------------------------------------===//
 // Per-phase breakdown (PhaseTimers on; wall time not comparable to above)
@@ -244,6 +292,16 @@ void BM_EndToEnd_ModPow1Unsafe_NoArcCache(benchmark::State &State) {
     benchmark::DoNotOptimize(analyzeFunction(F, Opt));
 }
 BENCHMARK(BM_EndToEnd_ModPow1Unsafe_NoArcCache);
+
+void BM_EndToEnd_ModPow1Unsafe_FreshCtx(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("modPow1_unsafe");
+  CfgFunction F = B->compile();
+  BlazerOptions Opt = B->options();
+  Opt.Engine.PooledFixpointCtx = false;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analyzeFunction(F, Opt));
+}
+BENCHMARK(BM_EndToEnd_ModPow1Unsafe_FreshCtx);
 
 } // namespace
 

@@ -539,7 +539,7 @@ int main() {
                  "{\n"
                  "  \"mode\": {\"domain\": \"%s\", \"cache\": %s, "
                  "\"closure\": \"%s\", \"fixpoint\": \"%s\", "
-                 "\"arc_cache\": \"%s\", "
+                 "\"arc_cache\": \"%s\", \"fixpoint_ctx\": \"%s\", "
                  "\"fault\": \"%s\", \"sandbox\": %s, \"jobs\": %d, "
                  "\"runs\": %d},\n"
                  "  \"verdict_agreement\": \"%d/24\",\n"
@@ -549,6 +549,7 @@ int main() {
                  Engine.get("closure").c_str(),
                  Engine.get("fixpoint").c_str(),
                  Engine.get("arc-cache").c_str(),
+                 Engine.get("fixpoint-ctx").c_str(),
                  Engine.get("fault-plan").c_str(),
                  Sandbox ? "true" : "false", Jobs, Runs, 24 - Mismatches);
     for (size_t I = 0; I < JsonRows.size(); ++I)

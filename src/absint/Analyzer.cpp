@@ -6,6 +6,7 @@
 
 #include "absint/Analyzer.h"
 
+#include "absint/FixpointContext.h"
 #include "absint/Wto.h"
 #include "support/Budget.h"
 #include "support/FaultInjector.h"
@@ -78,8 +79,16 @@ private:
 ///
 /// Every domain value the run touches lives in one flat arena, laid out
 /// [entry states | post-block memo | arc values | accumulators] (the arc
-/// segments exist only with the cache on). One allocation per run, and
-/// the ascent walks contiguous memory instead of three parallel vectors.
+/// segments exist only with the cache on). The arena and the run's
+/// schedule data are *borrowed*: the caller hands in a FixpointShape
+/// (flat in-arc index, lazily built WTO / FIFO schedules) and a
+/// FixpointArena (slots + stamp vectors). In pooled mode both come from
+/// the per-thread FixpointContext and survive across runs — a same-shape
+/// run pays an O(|V|) entry reset and stamp clears instead of
+/// reconstructing 3|V|+|A| domain values and a WTO; in fresh mode they
+/// are function-locals of analyze() and die with the run. The iteration
+/// code is identical either way, which is what makes the two modes
+/// byte-identical.
 ///
 /// The arc cache memoizes applyBranch(postOf(From), CfgEdge) per in-arc
 /// under the source's StateVersion stamp. During the ascent, entry states
@@ -95,49 +104,72 @@ private:
 /// the cache changes how joinOfPreds computes its value, never whether a
 /// node is popped, widened, or compared — the Visits/widening/setState
 /// trajectory is identical with the cache on or off.
+///
+/// The comparison fast path (pooled mode only) memoizes stabilization
+/// no-ops: when a pop of node Id last concluded "no change" and none of
+/// the entry states feeding Id (its in-arc sources, or only itself for
+/// the entry node) changed version since, recomputing the join and the
+/// leq must conclude "no change" again — versions only ever increase, so
+/// an unchanged version *sum* over the inputs pins every input unchanged.
+/// The fast path replays the pop's observable trajectory exactly (Pops,
+/// Visits, Widenings, WideningFired) and bails to the slow path whenever
+/// the widening applicability differs from the memoized pop (the one
+/// warm-up -> widening transition per head), so the Visits/widening/
+/// setState trajectory is identical with the fast path on or off. It is
+/// disabled under the staleness oracle (VerifyArcCache), which wants
+/// every hit re-checked, and in fresh mode, which is the measured PR-9
+/// baseline.
 template <blazer::NumericDomain Domain> class FixpointRun {
   using Analyzer = blazer::AnalyzerT<Domain>;
   using Result = blazer::AnalysisResultT<Domain>;
 
 public:
   FixpointRun(const Analyzer &A, const VarEnv &Env, const ProductGraph &G,
+              FixpointShape &Shape, FixpointArena<Domain> &Ar, bool Pooled,
               Result &R, AnalysisBudget *Budget,
               const std::vector<char> *Dead)
-      : A(A), Env(Env), G(G), R(R), Budget(Budget), Dead(Dead),
-        N(static_cast<int>(G.size())), ArcCacheOn(A.config().ArcCache),
+      : A(A), Env(Env), G(G), Shape(Shape), Ar(Ar), R(R), Budget(Budget),
+        Dead(Dead), N(static_cast<int>(G.size())),
+        NumArcs(Shape.NumArcs), ArcCacheOn(A.config().ArcCache),
         Verify(A.config().VerifyArcCache),
+        FastCmp(Pooled && !A.config().VerifyArcCache),
+        Batch(Pooled),
         JoinNs(A.config().PhaseTimers ? &R.Stats.JoinNanos : nullptr),
         TransferNs(A.config().PhaseTimers ? &R.Stats.TransferNanos
                                           : nullptr),
         WidenNs(A.config().PhaseTimers ? &R.Stats.WidenNanos : nullptr) {
-    if (ArcCacheOn) {
-      ArcBase.assign(N + 1, 0);
-      for (int Id = 0; Id < N; ++Id)
-        ArcBase[Id + 1] = ArcBase[Id] + G.inArcs(Id).size();
-      NumArcs = ArcBase[N];
-    }
     // Arena layout: [0,N) entry, [N,2N) post memo, then (cache on only)
-    // [2N,2N+A) arc values, [2N+A,3N+A) accumulators.
-    Arena.assign(ArcCacheOn ? 3 * static_cast<size_t>(N) + NumArcs
-                            : 2 * static_cast<size_t>(N),
-                 Domain::bottom(Env.numVars()));
+    // [2N,2N+A) arc values, [2N+A,3N+A) accumulators. Slots are grow-only
+    // across pooled runs; every slot above the entry segment is gated by
+    // a per-run stamp and written before it is read, so only the entry
+    // segment needs a value reset.
+    size_t Need = ArcCacheOn ? 3 * static_cast<size_t>(N) + NumArcs
+                             : 2 * static_cast<size_t>(N);
+    if (Ar.Slots.size() < Need)
+      Ar.Slots.resize(Need, Domain::bottom(Env.numVars()));
+    for (int Id = 0; Id < N; ++Id)
+      Ar.Slots[static_cast<size_t>(Id)].resetBottom(Env.numVars());
     if (!(Dead && (*Dead)[G.entry()]))
       entryOf(G.entry()) = Env.template initialState<Domain>();
     // Version 0 means "never computed"; entry states start at version 1 so
     // every node's first post-block lookup (and arc refresh) is a miss.
-    PostVersion.assign(N, 0);
-    StateVersion.assign(N, 1);
-    Visits.assign(N, 0);
+    Ar.PostVersion.assign(N, 0);
+    Ar.StateVersion.assign(N, 1);
+    Ar.Visits.assign(N, 0);
     if (ArcCacheOn) {
-      ArcVersion.assign(NumArcs, 0);
-      ArcFolded.assign(NumArcs, 0);
-      AccValid.assign(N, false);
+      Ar.ArcVersion.assign(NumArcs, 0);
+      Ar.ArcFolded.assign(NumArcs, 0);
+      Ar.AccValid.assign(N, false);
+    }
+    if (FastCmp) {
+      Ar.CmpToken.assign(N, 0); // Tokens are >= 1, so 0 = no memo.
+      Ar.CmpFlags.assign(N, 0);
     }
   }
 
   bool isDead(int Id) const { return Dead && (*Dead)[Id]; }
 
-  Domain &entryOf(int Id) { return Arena[static_cast<size_t>(Id)]; }
+  Domain &entryOf(int Id) { return Ar.Slots[static_cast<size_t>(Id)]; }
 
   /// Moves the finished entry states out of the arena and records the
   /// cache's memory footprint. Call exactly once, after the run.
@@ -145,23 +177,34 @@ public:
     for (int Id = 0; Id < N; ++Id)
       R.EntryState[Id] = std::move(entryOf(Id));
     if (ArcCacheOn) {
-      for (size_t I = 2 * static_cast<size_t>(N); I < Arena.size(); ++I)
-        R.Stats.ArcBytes += Arena[I].memoryBytes();
+      // High-water accounting: a pooled arena retains its slots, so
+      // re-summing them every run would multiply the footprint by the run
+      // count. Charge only growth beyond what this arena already
+      // reported; a fresh arena starts at zero charged, so its one run
+      // charges the full segment — the pre-pooling behavior.
+      uint64_t Cur = 0;
+      for (size_t I = 2 * static_cast<size_t>(N);
+           I < 3 * static_cast<size_t>(N) + NumArcs; ++I)
+        Cur += Ar.Slots[I].memoryBytes();
+      if (Cur > Ar.ChargedBytes) {
+        R.Stats.ArcBytes += Cur - Ar.ChargedBytes;
+        Ar.ChargedBytes = Cur;
+      }
     }
   }
 
   /// The post-block state of node \p P's current entry state, computed at
   /// most once per entry-state change and shared by every outgoing arc.
   const Domain &postOf(int P) {
-    Domain &Slot = Arena[static_cast<size_t>(N) + P];
-    if (PostVersion[P] == StateVersion[P]) {
+    Domain &Slot = Ar.Slots[static_cast<size_t>(N) + P];
+    if (Ar.PostVersion[P] == Ar.StateVersion[P]) {
       ++(InSweep ? R.Stats.SweepTransferHits : R.Stats.TransferHits);
       return Slot;
     }
     ++(InSweep ? R.Stats.SweepTransferMisses : R.Stats.TransferMisses);
     ScopedNanos Time(TransferNs);
     Slot = A.transferBlock(entryOf(P), G.node(P).Block);
-    PostVersion[P] = StateVersion[P];
+    Ar.PostVersion[P] = Ar.StateVersion[P];
     return Slot;
   }
 
@@ -170,8 +213,8 @@ public:
   /// stamp. This is exact memoization — valid in the ascent and the
   /// descending sweeps alike.
   const Domain &refreshArc(size_t AIdx, const ProductGraph::InArc &IA) {
-    Domain &Slot = Arena[2 * static_cast<size_t>(N) + AIdx];
-    if (ArcVersion[AIdx] == StateVersion[IA.From]) {
+    Domain &Slot = Ar.Slots[2 * static_cast<size_t>(N) + AIdx];
+    if (Ar.ArcVersion[AIdx] == Ar.StateVersion[IA.From]) {
       ++R.Stats.ArcHits;
       if (Verify) {
         // Staleness oracle: the stamped value must equal a from-scratch
@@ -187,7 +230,7 @@ public:
     ScopedNanos Time(TransferNs);
     Slot = postOf(IA.From);
     A.applyBranch(Slot, IA.CfgEdge);
-    ArcVersion[AIdx] = StateVersion[IA.From];
+    Ar.ArcVersion[AIdx] = Ar.StateVersion[IA.From];
     return Slot;
   }
 
@@ -196,7 +239,8 @@ public:
   /// plan poisons the cache mid-run.
   Domain uncachedJoin(int Id) {
     Domain Acc = Domain::bottom(Env.numVars());
-    for (const ProductGraph::InArc &IA : G.inArcs(Id)) {
+    for (size_t K = Shape.ArcBase[Id]; K < Shape.ArcBase[Id + 1]; ++K) {
+      const ProductGraph::InArc &IA = Shape.FlatArcs[K];
       Domain Along = [&] {
         ScopedNanos Time(TransferNs);
         Domain V = postOf(IA.From);
@@ -233,24 +277,23 @@ public:
       return Env.template initialState<Domain>();
     if (!arcCacheLive())
       return uncachedJoin(Id);
-    const std::vector<ProductGraph::InArc> &Arcs = G.inArcs(Id);
-    Domain &Acc = Arena[2 * static_cast<size_t>(N) + NumArcs + Id];
-    if (!AccValid[Id]) {
-      Acc = Domain::bottom(Env.numVars());
-      AccValid[Id] = true;
+    Domain &Acc = Ar.Slots[2 * static_cast<size_t>(N) + NumArcs + Id];
+    size_t Base = Shape.ArcBase[Id], End = Shape.ArcBase[Id + 1];
+    if (!Ar.AccValid[Id]) {
+      Acc.resetBottom(Env.numVars());
+      Ar.AccValid[Id] = true;
       // Force a first full fold below by marking every arc unfolded.
-      for (size_t K = 0; K < Arcs.size(); ++K)
-        ArcFolded[ArcBase[Id] + K] = 0;
+      for (size_t K = Base; K < End; ++K)
+        Ar.ArcFolded[K] = 0;
     }
-    for (size_t K = 0; K < Arcs.size(); ++K) {
-      size_t AIdx = ArcBase[Id] + K;
-      const Domain &Along = refreshArc(AIdx, Arcs[K]);
-      if (ArcFolded[AIdx] == ArcVersion[AIdx])
+    for (size_t K = Base; K < End; ++K) {
+      const Domain &Along = refreshArc(K, Shape.FlatArcs[K]);
+      if (Ar.ArcFolded[K] == Ar.ArcVersion[K])
         continue; // Already absorbed into Acc; max() would be a no-op.
       ScopedNanos Time(JoinNs);
       Acc.joinWith(Along);
       ++R.Stats.Joins;
-      ArcFolded[AIdx] = ArcVersion[AIdx];
+      Ar.ArcFolded[K] = Ar.ArcVersion[K];
     }
     return Acc;
   }
@@ -262,10 +305,9 @@ public:
       return Env.template initialState<Domain>();
     if (!arcCacheLive())
       return uncachedJoin(Id);
-    const std::vector<ProductGraph::InArc> &Arcs = G.inArcs(Id);
     Domain Acc = Domain::bottom(Env.numVars());
-    for (size_t K = 0; K < Arcs.size(); ++K) {
-      const Domain &Along = refreshArc(ArcBase[Id] + K, Arcs[K]);
+    for (size_t K = Shape.ArcBase[Id]; K < Shape.ArcBase[Id + 1]; ++K) {
+      const Domain &Along = refreshArc(K, Shape.FlatArcs[K]);
       ScopedNanos Time(JoinNs);
       Acc.joinWith(Along);
       ++R.Stats.Joins;
@@ -275,8 +317,21 @@ public:
 
   void setState(int Id, Domain S) {
     entryOf(Id) = std::move(S);
-    ++StateVersion[Id]; // Invalidate the post-block memo (and, through
-                        // the stamps, every cached out-arc) of Id.
+    ++Ar.StateVersion[Id]; // Invalidate the post-block memo (and, through
+                           // the stamps, every cached out-arc) of Id.
+  }
+
+  /// Sum of the StateVersions feeding \p Id's pop: its in-arc sources
+  /// plus its own state (joinOfPreds of the entry node ignores in-arcs,
+  /// so only its own version counts there). Versions never decrease, so
+  /// an equal sum pins every summand equal — an unchanged token means an
+  /// identical recomputation.
+  uint64_t inputToken(int Id) const {
+    uint64_t T = Ar.StateVersion[Id];
+    if (Id != G.entry())
+      for (size_t K = Shape.ArcBase[Id]; K < Shape.ArcBase[Id + 1]; ++K)
+        T += Ar.StateVersion[Shape.FlatArcs[K].From];
+    return T;
   }
 
   /// Recomputes \p Id's entry state; widens when \p AtWidenPoint and the
@@ -285,18 +340,55 @@ public:
   bool updateNode(int Id, bool AtWidenPoint) {
     if (isDead(Id))
       return false;
+    uint64_t Tok = 0;
+    if (FastCmp) {
+      // Comparison fast path: the last pop of Id concluded "no change"
+      // with exactly these inputs and the same widening applicability —
+      // replay its counters and skip the join + leq. The memo is written
+      // only on the no-change path and any state growth bumps Id's own
+      // version (part of the token), so a stale hit is impossible.
+      Tok = inputToken(Id);
+      char Flags = static_cast<char>((AtWidenPoint ? 1 : 0) |
+                                     (AtWidenPoint &&
+                                              Ar.Visits[Id] + 1 >
+                                                  WideningDelay
+                                          ? 2
+                                          : 0));
+      if (Ar.CmpToken[Id] == Tok && Ar.CmpFlags[Id] == Flags) {
+        ++R.Stats.CmpFastHits;
+        ++R.Stats.Pops;
+        if (AtWidenPoint)
+          ++Ar.Visits[Id];
+        if (Flags & 2) {
+          ++R.Stats.Widenings;
+          WideningFired = true;
+        }
+        return false;
+      }
+      ++R.Stats.CmpFastMisses;
+    }
     ++R.Stats.Pops;
     Domain NewState = joinOfPreds(Id);
-    if (AtWidenPoint && ++Visits[Id] > WideningDelay) {
+    bool Fired = false;
+    if (AtWidenPoint && ++Ar.Visits[Id] > WideningDelay) {
       ScopedNanos Time(WidenNs);
       Domain Widened = entryOf(Id);
       Widened.widenWith(NewState);
       NewState = std::move(Widened);
       ++R.Stats.Widenings;
       WideningFired = true;
+      Fired = true;
     }
-    if (NewState.leq(entryOf(Id)))
+    if (NewState.leq(entryOf(Id))) {
+      if (FastCmp) {
+        // No version moved during this pop, so Tok still describes the
+        // inputs the no-change conclusion was drawn from.
+        Ar.CmpToken[Id] = Tok;
+        Ar.CmpFlags[Id] = static_cast<char>((AtWidenPoint ? 1 : 0) |
+                                            (Fired ? 2 : 0));
+      }
       return false;
+    }
     NewState.joinWith(entryOf(Id));
     setState(Id, std::move(NewState));
     return true;
@@ -306,8 +398,12 @@ public:
   /// plain vertices are updated once (their inputs are already stable);
   /// a component is iterated — head update, body stabilization — until the
   /// head's recomputation reports no change. Widening only at heads keeps
-  /// termination: every cycle passes through some head.
-  void stabilize(const Wto &W, size_t Begin, size_t End) {
+  /// termination: every cycle passes through some head. Innermost
+  /// components with non-empty, head-free bodies take the batched path:
+  /// the same pop/checkpoint sequence as the recursion, as one tight loop
+  /// over the contiguous item span.
+  void stabilize(size_t Begin, size_t End) {
+    const std::vector<Wto::Item> &Items = Shape.W.items();
     for (size_t I = Begin; I < End;) {
       // Fail soft, same as the FIFO ascent: an interrupted run is not a
       // post-fixpoint; the tripped budget marks the result untrustworthy.
@@ -315,15 +411,22 @@ public:
         Tripped = true;
         return;
       }
-      const Wto::Item &It = W.items()[I];
+      const Wto::Item &It = Items[I];
       if (!It.Head) {
         updateNode(It.Node, false);
         ++I;
         continue;
       }
+      if (Batch && Shape.FlatComponent[I]) {
+        stabilizeFlat(I, It.End);
+        if (Tripped)
+          return;
+        I = It.End;
+        continue;
+      }
       updateNode(It.Node, true);
       while (!Tripped) {
-        stabilize(W, I + 1, It.End);
+        stabilize(I + 1, It.End);
         if (Tripped)
           return;
         if (!updateNode(It.Node, true))
@@ -333,25 +436,58 @@ public:
     }
   }
 
+  /// Batched stabilization of a flat component (head at \p HeadIdx, body
+  /// items [HeadIdx + 1, End) all plain vertices): identical pop order,
+  /// budget checkpoints, and widening decisions as the recursive path —
+  /// the caller already checkpointed before the head's first pop, the
+  /// body checkpoints per item per pass, and the head's re-pops are
+  /// uncheckpointed, exactly as in stabilize() — minus the per-pass
+  /// recursion bookkeeping.
+  void stabilizeFlat(size_t HeadIdx, size_t End) {
+    const std::vector<Wto::Item> &Items = Shape.W.items();
+    updateNode(Items[HeadIdx].Node, true);
+    while (true) {
+      ++R.Stats.BatchPasses;
+      for (size_t I = HeadIdx + 1; I < End; ++I) {
+        if (Tripped || (Budget && !Budget->checkpoint())) {
+          Tripped = true;
+          return;
+        }
+        updateNode(Items[I].Node, false);
+        ++R.Stats.BatchedNodes;
+      }
+      if (!updateNode(Items[HeadIdx].Node, true))
+        return;
+    }
+  }
+
   void runWto() {
-    Wto W = Wto::build(G.successorIds(), G.entry());
-    stabilize(W, 0, W.size());
+    if (!Shape.WtoBuilt) {
+      Shape.W = Wto::build(G.successorIds(), G.entry());
+      Shape.FlatComponent = Shape.W.flatComponents();
+      Shape.WtoBuilt = true;
+    }
+    stabilize(0, Shape.W.size());
   }
 
   /// The legacy FIFO worklist: widening at RPO back-edge targets, warm-up
   /// delay, deque seeded with the full RPO. Kept verbatim (modulo the
   /// shared in-arc joins and memo, which are value-identical) as the A/B
-  /// baseline scheduler.
+  /// baseline scheduler. The RPO index and widen-point map depend only on
+  /// the shape, so they are computed once and borrowed thereafter.
   void runFifo() {
-    std::vector<int> RpoIndex(N, -1);
-    for (size_t I = 0; I < G.rpo().size(); ++I)
-      RpoIndex[G.rpo()[I]] = static_cast<int>(I);
-    std::vector<bool> WidenPoint(N, false);
-    for (int Id = 0; Id < N; ++Id)
-      for (const ProductGraph::Arc &Arc : G.successors(Id))
-        if (RpoIndex[Arc.To] >= 0 && RpoIndex[Id] >= 0 &&
-            RpoIndex[Arc.To] <= RpoIndex[Id])
-          WidenPoint[Arc.To] = true;
+    if (!Shape.FifoBuilt) {
+      Shape.RpoIndex.assign(N, -1);
+      for (size_t I = 0; I < G.rpo().size(); ++I)
+        Shape.RpoIndex[G.rpo()[I]] = static_cast<int>(I);
+      Shape.WidenPoint.assign(N, 0);
+      for (int Id = 0; Id < N; ++Id)
+        for (const ProductGraph::Arc &Arc : G.successors(Id))
+          if (Shape.RpoIndex[Arc.To] >= 0 && Shape.RpoIndex[Id] >= 0 &&
+              Shape.RpoIndex[Arc.To] <= Shape.RpoIndex[Id])
+            Shape.WidenPoint[Arc.To] = 1;
+      Shape.FifoBuilt = true;
+    }
 
     std::deque<int> Work(G.rpo().begin(), G.rpo().end());
     std::vector<bool> InWork(N, true);
@@ -363,7 +499,7 @@ public:
       int Id = Work.front();
       Work.pop_front();
       InWork[Id] = false;
-      if (!updateNode(Id, WidenPoint[Id]))
+      if (!updateNode(Id, Shape.WidenPoint[Id] != 0))
         continue;
       for (const ProductGraph::Arc &Arc : G.successors(Id))
         if (!InWork[Arc.To]) {
@@ -408,30 +544,29 @@ private:
   const Analyzer &A;
   const VarEnv &Env;
   const ProductGraph &G;
+  /// Borrowed schedule data (flat arc index; lazily built WTO / FIFO
+  /// schedules). Pooled: owned by the thread's FixpointContext. Fresh:
+  /// a local of analyze().
+  FixpointShape &Shape;
+  /// Borrowed storage: the slot arena plus every per-run stamp vector
+  /// (PostVersion/StateVersion/Visits/Arc*/Acc*/Cmp*). Same ownership
+  /// split as the shape.
+  FixpointArena<Domain> &Ar;
   Result &R;
   AnalysisBudget *Budget;
   const std::vector<char> *Dead;
   int N;
+  size_t NumArcs;
   bool ArcCacheOn;
   bool Verify;
+  /// Version-stamped comparison fast path (pooled mode, oracle off).
+  bool FastCmp;
+  /// Batched flat-component stabilization (pooled mode).
+  bool Batch;
   uint64_t *JoinNs;
   uint64_t *TransferNs;
   uint64_t *WidenNs;
 
-  /// Flat per-run state arena (see class comment for the layout).
-  std::vector<Domain> Arena;
-  /// Prefix sums of in-arc counts: node Id's arcs occupy global indices
-  /// [ArcBase[Id], ArcBase[Id + 1]). Empty with the cache off.
-  std::vector<size_t> ArcBase;
-  size_t NumArcs = 0;
-  std::vector<uint64_t> PostVersion;
-  std::vector<uint64_t> StateVersion;
-  std::vector<int> Visits;
-  /// Source StateVersion when the arc value was computed (0 = never).
-  std::vector<uint64_t> ArcVersion;
-  /// ArcVersion the node accumulator last absorbed (0 = not folded).
-  std::vector<uint64_t> ArcFolded;
-  std::vector<char> AccValid;
   bool WideningFired = false;
   bool Tripped = false;
   bool InSweep = false;
@@ -458,9 +593,43 @@ AnalyzerT<Domain>::analyze(const ProductGraph &G,
   if (G.empty())
     return R;
 
+  // Context acquisition. Pooled mode borrows the thread's shape cache and
+  // retained arena; fresh mode (the A/B baseline, or a degraded run when
+  // a fault plan poisons the pool) builds function-local ones. Either
+  // way FixpointRun iterates the same structures, so the two modes are
+  // byte-identical — which is why the FixpointCtx fault site can degrade
+  // with no verdict impact, by construction.
+  bool Pooled = Config.PooledContext;
+  if (Pooled) {
+    try {
+      maybeInjectFault(FaultSite::FixpointCtx);
+    } catch (const InjectedFault &) {
+      Pooled = false;
+    }
+  }
+  FixpointShape LocalShape;
+  FixpointArena<Domain> LocalArena;
+  FixpointShape *Shape = &LocalShape;
+  FixpointArena<Domain> *Arena = &LocalArena;
+  if (Pooled) {
+    FixpointContext &Ctx = FixpointContext::forThread();
+    bool Hit = false;
+    Shape = &Ctx.shapeFor(G, Hit);
+    ++(Hit ? R.Stats.CtxHits : R.Stats.CtxMisses);
+    FixpointArena<Domain> &PoolArena = Ctx.template arena<Domain>();
+    // Re-entrant analysis on this thread (the pool arena is mid-run):
+    // fall back to local storage rather than clobbering live slots.
+    if (!PoolArena.InUse)
+      Arena = &PoolArena;
+  } else {
+    buildFixpointShape(LocalShape, G);
+  }
+  ArenaLease<Domain> Lease(*Arena);
+
   // The run's entry states (and everything else it touches) live in the
-  // FixpointRun arena; finish() moves them into R.
-  FixpointRun<Domain> Run(*this, Env, G, R, Budget, Dead);
+  // borrowed arena; finish() moves them into R.
+  FixpointRun<Domain> Run(*this, Env, G, *Shape, *Arena, Pooled, R, Budget,
+                          Dead);
   if (Config.UseWto)
     Run.runWto();
   else

@@ -53,10 +53,10 @@
 /// therefore safe to call concurrently from worker threads — they allocate
 /// their result state locally and report joins to the (atomic)
 /// thread-local AnalysisBudget. analyze() keeps all run state (entry
-/// states, transfer memo, counters) in per-call locals, so concurrent
-/// analyze() calls on distinct products are safe; one fixpoint stays
-/// sequential on purpose — parallelism comes from analyzing distinct
-/// trails concurrently.
+/// states, transfer memo, counters) in per-call locals or in the strictly
+/// thread-local FixpointContext pool, so concurrent analyze() calls on
+/// distinct products are safe; one fixpoint stays sequential on purpose —
+/// parallelism comes from analyzing distinct trails concurrently.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -92,6 +92,14 @@ struct AnalyzerConfig {
   bool UseWto = true;
   /// Per-arc transfer cache + dirty-arc incremental ascent joins.
   bool ArcCache = true;
+  /// Borrow the per-thread FixpointContext pool: WTO/arc-index reuse
+  /// across same-shape runs, a retained state arena reset by version
+  /// stamp, batched flat-component stabilization, and the version-stamped
+  /// comparison fast path. `false` rebuilds everything per run (the
+  /// `--fixpoint-ctx=fresh` A/B baseline); entry states, trajectories,
+  /// and verdicts are byte-identical either way (see DESIGN.md "Fixpoint
+  /// engine: the context pool").
+  bool PooledContext = true;
   /// Staleness oracle: on every arc-cache hit, recompute the arc value
   /// from scratch and count a FixpointStats::ArcVerifyMismatches when the
   /// cached value differs. Test-only — quadratic overhead.

@@ -63,6 +63,14 @@ SlabRegistry &slabRegistry() {
   return *Reg;
 }
 
+/// Thread-exit ordering flag for the pooled fixpoint context: the
+/// thread_local FixpointContext arena holds Dbm slots, and C++ gives no
+/// ordering between its destructor and the MatrixPool's. A trivially
+/// destructible thread_local stays readable through every destructor, so
+/// late releases (arena slots dying after the pool) detect the dead pool
+/// and spill their buffer straight into the immortal SlabRegistry instead.
+thread_local bool PoolAlive = true;
+
 /// Thread-local freelist of heap matrix buffers, bucketed by dimension.
 /// A fixpoint churns through temporaries of a single dimension (one per
 /// join/transfer), so after warm-up every acquire is a pop. Buffers are
@@ -117,6 +125,7 @@ public:
   }
 
   ~MatrixPool() {
+    PoolAlive = false;
     for (size_t B = 0; B < Free.size(); ++B)
       slabRegistry().spill(B, std::move(Free[B]));
   }
@@ -137,8 +146,16 @@ void Dbm::acquireStorage() {
 }
 
 void Dbm::releaseStorage() {
-  if (M && M != Small)
-    Pool.release(M, N);
+  if (M && M != Small) {
+    if (PoolAlive) {
+      Pool.release(M, N);
+    } else {
+      // Thread teardown: the pool is gone, so park the buffer in the
+      // immortal registry for the next thread that misses on this bucket.
+      std::vector<int64_t *> One{M};
+      slabRegistry().spill(static_cast<size_t>(N), std::move(One));
+    }
+  }
   M = nullptr;
 }
 
@@ -174,7 +191,10 @@ Dbm::Dbm(Dbm &&O) noexcept : N(O.N), Bottom(O.Bottom), Closed(O.Closed) {
 Dbm &Dbm::operator=(const Dbm &O) {
   if (this == &O)
     return *this;
-  if (N != O.N) {
+  // !M: a previous assignment's acquireStorage threw (injected pool fault)
+  // after releaseStorage nulled the buffer. Destruction-safe then, but a
+  // pooled arena retains such unwound slots across runs — re-acquire.
+  if (N != O.N || !M) {
     releaseStorage();
     N = O.N;
     acquireStorage();
@@ -189,7 +209,7 @@ Dbm &Dbm::operator=(Dbm &&O) noexcept {
   if (this == &O)
     return *this;
   if (O.inlineStorage()) {
-    if (N != O.N) {
+    if (N != O.N || !M) {
       releaseStorage();
       N = O.N;
       M = Small; // O fits inline, so N <= SmallDim here.
@@ -220,6 +240,22 @@ Dbm Dbm::bottom(int NumVars) {
   Dbm D(NumVars);
   D.setBottom();
   return D;
+}
+
+void Dbm::resetBottom(int NumVars) {
+  int NewN = NumVars + 1;
+  if (NewN != N || !M) {
+    releaseStorage();
+    N = NewN;
+    acquireStorage();
+  }
+  // Same matrix bottom(NumVars) constructs: top-canonical cells with the
+  // Bottom flag set (the flag is authoritative; see setBottom).
+  std::fill_n(M, cells(), Inf);
+  for (int I = 0; I < N; ++I)
+    at(I, I) = 0;
+  Bottom = true;
+  Closed = true;
 }
 
 void Dbm::setBottom() {

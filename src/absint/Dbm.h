@@ -59,6 +59,13 @@ public:
   /// Bottom (unreachable) over \p NumVars client variables.
   static Dbm bottom(int NumVars);
 
+  /// Resets this value in place to bottom(NumVars), reusing the existing
+  /// matrix buffer when the dimension is unchanged. The pooled fixpoint
+  /// arena resets its retained entry-state slots with this instead of
+  /// assigning from a bottom prototype: one write sweep, no buffer churn,
+  /// byte-identical result.
+  void resetBottom(int NumVars);
+
   Dbm(const Dbm &O);
   Dbm(Dbm &&O) noexcept;
   Dbm &operator=(const Dbm &O);

@@ -1,0 +1,110 @@
+//===- FixpointContext.cpp - Amortized per-thread fixpoint state ----------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/FixpointContext.h"
+
+using namespace blazer;
+
+void blazer::buildFixpointShape(FixpointShape &S, const ProductGraph &G) {
+  S.Fingerprint = G.shapeFingerprint();
+  S.N = static_cast<int>(G.size());
+  S.Entry = G.entry();
+  S.ArcBase.assign(S.N + 1, 0);
+  for (int Id = 0; Id < S.N; ++Id)
+    S.ArcBase[Id + 1] = S.ArcBase[Id] + G.inArcs(Id).size();
+  S.NumArcs = S.ArcBase[S.N];
+  S.FlatArcs.clear();
+  S.FlatArcs.reserve(S.NumArcs);
+  for (int Id = 0; Id < S.N; ++Id)
+    for (const ProductGraph::InArc &IA : G.inArcs(Id))
+      S.FlatArcs.push_back(IA);
+  // The successor encoding pins everything the cached schedules depend on:
+  // the WTO's DFS and the RPO both follow per-node successor order, which
+  // in-arc lists alone cannot reconstruct.
+  S.SuccEnc.clear();
+  S.SuccEnc.reserve(S.N + 3 * S.NumArcs);
+  for (int Id = 0; Id < S.N; ++Id) {
+    const std::vector<ProductGraph::Arc> &Succ = G.successors(Id);
+    S.SuccEnc.push_back(static_cast<int>(Succ.size()));
+    for (const ProductGraph::Arc &A : Succ) {
+      S.SuccEnc.push_back(A.To);
+      S.SuccEnc.push_back(A.CfgEdge.From);
+      S.SuccEnc.push_back(A.CfgEdge.To);
+    }
+  }
+  S.WtoBuilt = false;
+  S.W = Wto();
+  S.FlatComponent.clear();
+  S.FifoBuilt = false;
+  S.RpoIndex.clear();
+  S.WidenPoint.clear();
+}
+
+bool blazer::fixpointShapeMatches(const FixpointShape &S,
+                                  const ProductGraph &G) {
+  if (S.N != static_cast<int>(G.size()) || S.Entry != G.entry())
+    return false;
+  size_t K = 0;
+  for (int Id = 0; Id < S.N; ++Id) {
+    const std::vector<ProductGraph::Arc> &Succ = G.successors(Id);
+    if (K >= S.SuccEnc.size() ||
+        S.SuccEnc[K++] != static_cast<int>(Succ.size()))
+      return false;
+    for (const ProductGraph::Arc &A : Succ) {
+      if (K + 3 > S.SuccEnc.size() || S.SuccEnc[K] != A.To ||
+          S.SuccEnc[K + 1] != A.CfgEdge.From ||
+          S.SuccEnc[K + 2] != A.CfgEdge.To)
+        return false;
+      K += 3;
+    }
+  }
+  return K == S.SuccEnc.size();
+}
+
+FixpointContext &FixpointContext::forThread() {
+  thread_local FixpointContext Ctx;
+  return Ctx;
+}
+
+FixpointShape &FixpointContext::shapeFor(const ProductGraph &G, bool &Hit) {
+  uint64_t Key = G.shapeFingerprint();
+  auto It = Shapes.find(Key);
+  if (It != Shapes.end() && fixpointShapeMatches(*It->second, G)) {
+    Hit = true;
+    return *It->second;
+  }
+  Hit = false;
+  if (It != Shapes.end()) {
+    // Fingerprint collision: the exact compare caught it. Rebuild in
+    // place — the colliding shape is rarer than the rebuild is cheap.
+    buildFixpointShape(*It->second, G);
+    return *It->second;
+  }
+  while (Shapes.size() >= MaxShapes && !InsertionOrder.empty()) {
+    Shapes.erase(InsertionOrder.front());
+    InsertionOrder.pop_front();
+  }
+  auto Shape = std::make_unique<FixpointShape>();
+  buildFixpointShape(*Shape, G);
+  FixpointShape &Ref = *Shape;
+  Shapes.emplace(Key, std::move(Shape));
+  InsertionOrder.push_back(Key);
+  return Ref;
+}
+
+const FixpointShape *FixpointContext::peekShape(const ProductGraph &G) const {
+  auto It = Shapes.find(G.shapeFingerprint());
+  if (It == Shapes.end() || !fixpointShapeMatches(*It->second, G))
+    return nullptr;
+  return It->second.get();
+}
+
+void FixpointContext::clear() {
+  Shapes.clear();
+  InsertionOrder.clear();
+  ZoneArena = FixpointArena<Dbm>();
+  BoxArena = FixpointArena<IntervalDomain>();
+}

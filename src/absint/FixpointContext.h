@@ -1,0 +1,183 @@
+//===- FixpointContext.h - Amortized per-thread fixpoint state --*- C++ -*-===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread fixpoint context pool: schedule data keyed by product
+/// shape, plus one grow-only state arena per numeric domain, both retained
+/// across the trail fixpoints of a refinement run.
+///
+/// A refinement sweep runs ~76 trail fixpoints over restricted products
+/// that share one CFG skeleton, and the cascade runs the interval and zone
+/// analyzers back to back on the *same* product. Rebuilding the WTO
+/// decomposition, the flattened in-arc index, and a `3|V|+|A|`-slot domain
+/// arena for every one of those runs is pure setup tax on graphs this
+/// small (~50 arcs). The context pool pays it once per distinct shape:
+///
+///  - FixpointShape caches everything derivable from the product's arc
+///    structure — flat in-arc array with prefix sums, the Bourdoncle WTO
+///    (with flat-component flags for batched stabilization), and the FIFO
+///    scheduler's widen-point map — keyed by a structural fingerprint and
+///    verified exactly (full successor-encoding compare) on every hit, so
+///    a hash collision degrades to a rebuild, never to a wrong schedule.
+///
+///  - FixpointArena retains the domain-value slots and the version-stamp
+///    vectors. Slots above the entry segment are written before they are
+///    read (the stamp vectors, which ARE reset per run, gate every read),
+///    so a run only pays an O(|V|) bottom reset for the entry states plus
+///    cheap stamp clears — no per-slot construction, no DBM slab churn.
+///
+/// Pooled and fresh runs execute the same FixpointRun code over the same
+/// structures; only the storage lifetime differs. That is what makes the
+/// `--fixpoint-ctx={pooled,fresh}` A/B byte-identical by construction.
+///
+/// Thread safety: the pool is strictly thread-local (`forThread()`), so
+/// concurrent `analyze()` calls on distinct threads never share a context.
+/// Re-entrant analysis on one thread is handled by the arena's InUse flag —
+/// a nested run falls back to function-local storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BLAZER_ABSINT_FIXPOINTCONTEXT_H
+#define BLAZER_ABSINT_FIXPOINTCONTEXT_H
+
+#include "absint/Dbm.h"
+#include "absint/IntervalDomain.h"
+#include "absint/ProductGraph.h"
+#include "absint/Wto.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace blazer {
+
+/// Everything the fixpoint engine derives from a product's arc structure,
+/// computed once per distinct shape. The WTO and FIFO schedules are built
+/// lazily on the first run that asks for them (a cascade run that stays in
+/// FIFO mode never pays for a WTO, and vice versa).
+struct FixpointShape {
+  uint64_t Fingerprint = 0;
+  int N = 0;
+  int Entry = -1;
+  size_t NumArcs = 0;
+
+  /// Prefix sums of in-arc counts: node Id's in-arcs occupy FlatArcs
+  /// indices [ArcBase[Id], ArcBase[Id + 1]).
+  std::vector<size_t> ArcBase;
+  /// All in-arcs flattened into one array, grouped by target node.
+  std::vector<ProductGraph::InArc> FlatArcs;
+  /// Exact structural identity: per node, the successor count followed by
+  /// (To, Edge.From, Edge.To) per arc. Compared in full on every cache
+  /// hit, so fingerprint collisions are detected, not trusted.
+  std::vector<int> SuccEnc;
+
+  bool WtoBuilt = false;
+  Wto W;
+  /// Per WTO item: head of a non-empty component whose body contains no
+  /// nested head — eligible for the batched stabilization pass.
+  std::vector<char> FlatComponent;
+
+  bool FifoBuilt = false;
+  std::vector<int> RpoIndex;
+  std::vector<char> WidenPoint;
+};
+
+/// Populates \p S from \p G (arc index + successor encoding; schedules stay
+/// lazy). Also the builder for fresh-mode runs, so both modes iterate the
+/// exact same structures.
+void buildFixpointShape(FixpointShape &S, const ProductGraph &G);
+
+/// Exact structural match between a cached shape and a product graph.
+bool fixpointShapeMatches(const FixpointShape &S, const ProductGraph &G);
+
+/// Grow-only per-domain storage reused across same-thread fixpoint runs.
+/// Slot layout per run: [0,N) entry | [N,2N) post memo | [2N,2N+A) arc
+/// values | [2N+A,3N+A) accumulators (arc segments only with the arc cache
+/// on). Only the entry segment and the stamp vectors are reset per run;
+/// every other slot is gated by a stamp and overwritten before first read.
+template <class Domain> struct FixpointArena {
+  std::vector<Domain> Slots;
+  std::vector<uint64_t> PostVersion;
+  std::vector<uint64_t> StateVersion;
+  std::vector<int> Visits;
+  std::vector<uint64_t> ArcVersion;
+  std::vector<uint64_t> ArcFolded;
+  std::vector<char> AccValid;
+  /// Comparison fast-path memo (see Analyzer.cpp): input-version token of
+  /// the last no-change pop (0 = invalid) and its widening flags.
+  std::vector<uint64_t> CmpToken;
+  std::vector<char> CmpFlags;
+  /// High-water bytes already charged to FixpointStats::ArcBytes for the
+  /// retained arc segment; a pooled run only charges growth beyond this,
+  /// so the pooled counter reports footprint, not footprint x runs.
+  uint64_t ChargedBytes = 0;
+  /// Guards against re-entrant analysis on one thread clobbering a live
+  /// run's slots; the nested run falls back to local storage.
+  bool InUse = false;
+};
+
+/// RAII claim on an arena for the duration of one fixpoint run.
+template <class Domain> class ArenaLease {
+public:
+  explicit ArenaLease(FixpointArena<Domain> &A) : A(A) { A.InUse = true; }
+  ~ArenaLease() { A.InUse = false; }
+  ArenaLease(const ArenaLease &) = delete;
+  ArenaLease &operator=(const ArenaLease &) = delete;
+
+private:
+  FixpointArena<Domain> &A;
+};
+
+/// The per-thread pool: a bounded shape cache plus one arena per domain.
+class FixpointContext {
+public:
+  /// The calling thread's context (thread-local singleton).
+  static FixpointContext &forThread();
+
+  /// The cached shape for \p G, building and inserting it on a miss.
+  /// \p Hit reports whether an exact structural match was already pooled.
+  /// The returned reference stays valid for the duration of the run (the
+  /// cache evicts FIFO, never the entry it just returned).
+  FixpointShape &shapeFor(const ProductGraph &G, bool &Hit);
+
+  /// The pooled shape for \p G if one exists, without inserting. Test
+  /// hook for the WTO-reuse oracle.
+  const FixpointShape *peekShape(const ProductGraph &G) const;
+
+  template <class Domain> FixpointArena<Domain> &arena();
+
+  size_t shapeCount() const { return Shapes.size(); }
+
+  /// Drops every pooled shape and shrinks the arenas. Test hook.
+  void clear();
+
+private:
+  /// Bounds the pool on adversarial workloads that stream distinct shapes;
+  /// a refinement run's working set is far below this.
+  static constexpr size_t MaxShapes = 64;
+
+  // unique_ptr: FixpointShape addresses must survive rehash and eviction
+  // of other entries while a run holds a reference.
+  std::unordered_map<uint64_t, std::unique_ptr<FixpointShape>> Shapes;
+  std::deque<uint64_t> InsertionOrder;
+  FixpointArena<Dbm> ZoneArena;
+  FixpointArena<IntervalDomain> BoxArena;
+};
+
+template <> inline FixpointArena<Dbm> &FixpointContext::arena<Dbm>() {
+  return ZoneArena;
+}
+template <>
+inline FixpointArena<IntervalDomain> &
+FixpointContext::arena<IntervalDomain>() {
+  return BoxArena;
+}
+
+} // namespace blazer
+
+#endif // BLAZER_ABSINT_FIXPOINTCONTEXT_H

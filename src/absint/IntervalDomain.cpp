@@ -30,6 +30,14 @@ IntervalDomain IntervalDomain::bottom(int NumVars) {
   return D;
 }
 
+void IntervalDomain::resetBottom(int NumVars) {
+  N = NumVars + 1;
+  UB.assign(2 * static_cast<size_t>(N), Inf);
+  hi(0) = 0;
+  negLo(0) = 0;
+  Bottom = true;
+}
+
 int64_t IntervalDomain::bound(int I, int J) const {
   assert(I >= 0 && I < N && J >= 0 && J < N && "index out of range");
   if (I < 0 || I >= N || J < 0 || J >= N)

@@ -47,6 +47,10 @@ public:
   static IntervalDomain top(int NumVars);
   static IntervalDomain bottom(int NumVars);
 
+  /// Resets this value in place to bottom(NumVars), reusing the bound
+  /// store's capacity. Same contract as Dbm::resetBottom.
+  void resetBottom(int NumVars);
+
   int numVars() const { return N - 1; }
   bool isBottom() const { return Bottom; }
 

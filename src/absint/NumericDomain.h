@@ -21,7 +21,9 @@
 ///    through the other variable's interval) — never drop the sound
 ///    direction.
 ///  - Lattice: joinWith/meetWith/widenWith/leq/equals/isBottom over
-///    operands of equal dimension, with top(n)/bottom(n) factories.
+///    operands of equal dimension, with top(n)/bottom(n) factories and an
+///    in-place resetBottom(n) (the pooled fixpoint arena's slot reset —
+///    must be byte-identical to assigning bottom(n)).
 ///    widenWith must guarantee stabilization of ascending chains.
 ///  - Transfers: forget/assignConst/assignVarPlus/assignBoolUnknown.
 ///  - Projections for the bound engine: lowerOf/upperOfOpt/
@@ -58,6 +60,7 @@ concept NumericDomain = requires(D S, const D C, int V, int64_t K,
   { D::Inf } -> std::convertible_to<int64_t>;
   { D::top(V) } -> std::same_as<D>;
   { D::bottom(V) } -> std::same_as<D>;
+  S.resetBottom(V);
   { C.numVars() } -> std::convertible_to<int>;
   { C.isBottom() } -> std::convertible_to<bool>;
   { C.bound(V, V) } -> std::convertible_to<int64_t>;

@@ -167,5 +167,31 @@ ProductGraph ProductGraph::build(const CfgFunction &F, const Dfa &D,
     Stack.pop_back();
   }
   G.Rpo.assign(Post.rbegin(), Post.rend());
+
+  // Structural fingerprint (splitmix64 mixing): node count, entry, and
+  // every successor arc with its CFG edge, in order. This is exactly the
+  // data the fixpoint shape cache derives its schedules from.
+  auto Mix = [](uint64_t H, uint64_t V) {
+    H += 0x9e3779b97f4a7c15ULL + V;
+    H ^= H >> 30;
+    H *= 0xbf58476d1ce4e5b9ULL;
+    H ^= H >> 27;
+    H *= 0x94d049bb133111ebULL;
+    H ^= H >> 31;
+    return H;
+  };
+  uint64_t H = Mix(0x5eed5eed5eed5eedULL, G.Nodes.size());
+  H = Mix(H, static_cast<uint64_t>(static_cast<int64_t>(G.Entry)));
+  for (size_t Id = 0; Id < G.Succs.size(); ++Id) {
+    H = Mix(H, G.Succs[Id].size());
+    for (const Arc &A : G.Succs[Id]) {
+      H = Mix(H, static_cast<uint32_t>(A.To));
+      H = Mix(H, (static_cast<uint64_t>(static_cast<uint32_t>(
+                      A.CfgEdge.From))
+                  << 32) |
+                     static_cast<uint32_t>(A.CfgEdge.To));
+    }
+  }
+  G.ShapeFp = H;
   return G;
 }

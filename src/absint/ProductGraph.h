@@ -88,6 +88,13 @@ public:
   /// the scheduling utilities (Wto, tarjanSccs) consume.
   std::vector<std::vector<int>> successorIds() const;
 
+  /// Structural fingerprint over (size, entry, per-node successor arcs
+  /// with their CFG edges) — the index key of the per-thread fixpoint
+  /// shape cache. Equal-shaped products (same arc structure in the same
+  /// order) hash equal; the cache verifies hits exactly, so collisions
+  /// cost a rebuild, never correctness. Computed once at build time.
+  uint64_t shapeFingerprint() const { return ShapeFp; }
+
 private:
   std::vector<Node> Nodes;
   std::vector<std::vector<Arc>> Succs;
@@ -96,6 +103,7 @@ private:
   std::vector<int> Rpo;
   int Entry = -1;
   std::vector<int> Accepts;
+  uint64_t ShapeFp = 0;
 };
 
 } // namespace blazer

@@ -136,6 +136,19 @@ Wto Wto::build(const std::vector<std::vector<int>> &Succs, int Entry) {
   return W;
 }
 
+std::vector<char> Wto::flatComponents() const {
+  std::vector<char> Flat(Items.size(), 0);
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (!Items[I].Head || Items[I].End <= I + 1)
+      continue; // Plain vertex, or a self-loop component (empty body).
+    bool IsFlat = true;
+    for (size_t J = I + 1; J < Items[I].End && IsFlat; ++J)
+      IsFlat = !Items[J].Head;
+    Flat[I] = IsFlat;
+  }
+  return Flat;
+}
+
 std::string Wto::str() const {
   std::ostringstream OS;
   std::vector<size_t> OpenEnds;

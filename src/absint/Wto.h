@@ -152,6 +152,12 @@ public:
   /// Bourdoncle's parenthesized notation, e.g. "0 1 (2 3 (4 5)) 6".
   std::string str() const;
 
+  /// Per item: true for a head whose body is non-empty and contains no
+  /// nested head. Such innermost components iterate as one tight pass
+  /// over a contiguous item span (the batched stabilization path); nested
+  /// or self-loop components keep the recursive strategy.
+  std::vector<char> flatComponents() const;
+
 private:
   std::vector<Item> Items;
   std::vector<char> HeadNode; ///< Indexed by node id.

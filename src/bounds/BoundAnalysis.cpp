@@ -36,6 +36,7 @@ static AnalyzerConfig analyzerConfig(const EngineConfig &E) {
   AnalyzerConfig C;
   C.UseWto = E.Fixpoint == FixpointSched::Wto;
   C.ArcCache = E.ArcCache;
+  C.PooledContext = E.PooledFixpointCtx;
   return C;
 }
 
@@ -77,6 +78,7 @@ BoundAnalysis::BoundAnalysis(const CfgFunction &Fn,
   Salt << ';' << domainModeName(Engine.Domain);
   Salt << ";cost=" << Engine.Cost.str();
   Salt << ";arc=" << (Engine.ArcCache ? "on" : "off");
+  Salt << ";ctx=" << (Engine.PooledFixpointCtx ? "pooled" : "fresh");
   Salt << '@';
   CacheSalt = Salt.str();
 }
@@ -96,6 +98,12 @@ FixpointStats BoundAnalysis::fixpointStats() const {
   S.ArcHits = Stats.ArcHits.load(std::memory_order_relaxed);
   S.ArcMisses = Stats.ArcMisses.load(std::memory_order_relaxed);
   S.ArcBytes = Stats.ArcBytes.load(std::memory_order_relaxed);
+  S.CtxHits = Stats.CtxHits.load(std::memory_order_relaxed);
+  S.CtxMisses = Stats.CtxMisses.load(std::memory_order_relaxed);
+  S.BatchPasses = Stats.BatchPasses.load(std::memory_order_relaxed);
+  S.BatchedNodes = Stats.BatchedNodes.load(std::memory_order_relaxed);
+  S.CmpFastHits = Stats.CmpFastHits.load(std::memory_order_relaxed);
+  S.CmpFastMisses = Stats.CmpFastMisses.load(std::memory_order_relaxed);
   S.ArcVerifyMismatches =
       Stats.ArcVerifyMismatches.load(std::memory_order_relaxed);
   S.JoinNanos = Stats.JoinNanos.load(std::memory_order_relaxed);
@@ -127,6 +135,13 @@ void BoundAnalysis::accumulateStats(const FixpointStats &S) const {
   Stats.ArcHits.fetch_add(S.ArcHits, std::memory_order_relaxed);
   Stats.ArcMisses.fetch_add(S.ArcMisses, std::memory_order_relaxed);
   Stats.ArcBytes.fetch_add(S.ArcBytes, std::memory_order_relaxed);
+  Stats.CtxHits.fetch_add(S.CtxHits, std::memory_order_relaxed);
+  Stats.CtxMisses.fetch_add(S.CtxMisses, std::memory_order_relaxed);
+  Stats.BatchPasses.fetch_add(S.BatchPasses, std::memory_order_relaxed);
+  Stats.BatchedNodes.fetch_add(S.BatchedNodes, std::memory_order_relaxed);
+  Stats.CmpFastHits.fetch_add(S.CmpFastHits, std::memory_order_relaxed);
+  Stats.CmpFastMisses.fetch_add(S.CmpFastMisses,
+                                std::memory_order_relaxed);
   Stats.ArcVerifyMismatches.fetch_add(S.ArcVerifyMismatches,
                                       std::memory_order_relaxed);
   Stats.JoinNanos.fetch_add(S.JoinNanos, std::memory_order_relaxed);
@@ -1183,6 +1198,22 @@ TrailBoundResult BoundAnalysis::analyzeTrailUncached(const Dfa &TrailDfa) const 
   if (Engine.Domain == DomainMode::Cascade) {
     IntervalAnalysisResult IR = IntAz.analyze(G);
     Casc.IntervalPops.fetch_add(IR.Stats.Pops, std::memory_order_relaxed);
+    // Interval-domain *work* counters stay out of the zone columns (that
+    // is IntervalPops' job), but context-pool traffic is pool telemetry
+    // regardless of which domain drew it: the pre-pass is what inserts a
+    // trail's shape, so dropping its miss would make the pooled hit rate
+    // read as 100% on every cold shape.
+    Stats.CtxHits.fetch_add(IR.Stats.CtxHits, std::memory_order_relaxed);
+    Stats.CtxMisses.fetch_add(IR.Stats.CtxMisses,
+                              std::memory_order_relaxed);
+    Stats.BatchPasses.fetch_add(IR.Stats.BatchPasses,
+                                std::memory_order_relaxed);
+    Stats.BatchedNodes.fetch_add(IR.Stats.BatchedNodes,
+                                 std::memory_order_relaxed);
+    Stats.CmpFastHits.fetch_add(IR.Stats.CmpFastHits,
+                                std::memory_order_relaxed);
+    Stats.CmpFastMisses.fetch_add(IR.Stats.CmpFastMisses,
+                                  std::memory_order_relaxed);
     if (Budget && Budget->exhausted())
       return Degraded(); // Interrupted interval ascent: states partial.
     size_t N = G.size();

@@ -169,6 +169,12 @@ private:
     std::atomic<uint64_t> ArcHits{0};
     std::atomic<uint64_t> ArcMisses{0};
     std::atomic<uint64_t> ArcBytes{0};
+    std::atomic<uint64_t> CtxHits{0};
+    std::atomic<uint64_t> CtxMisses{0};
+    std::atomic<uint64_t> BatchPasses{0};
+    std::atomic<uint64_t> BatchedNodes{0};
+    std::atomic<uint64_t> CmpFastHits{0};
+    std::atomic<uint64_t> CmpFastMisses{0};
     std::atomic<uint64_t> ArcVerifyMismatches{0};
     std::atomic<uint64_t> JoinNanos{0};
     std::atomic<uint64_t> TransferNanos{0};

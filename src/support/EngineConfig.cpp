@@ -64,6 +64,9 @@ const std::vector<EngineConfig::Knob> &EngineConfig::knobs() {
       {"ct", "on|off", "strict constant-time verdict mode (default off)"},
       {"arc-cache", "on|off",
        "per-arc transfer cache + incremental joins (default on)"},
+      {"fixpoint-ctx", "pooled|fresh",
+       "per-thread fixpoint context pool: shape/arena reuse across trail "
+       "fixpoints (default pooled)"},
   };
   return Registry;
 }
@@ -150,6 +153,15 @@ bool EngineConfig::set(const std::string &Name, const std::string &Value,
       return Fail("on|off");
     return true;
   }
+  if (Name == "fixpoint-ctx") {
+    if (Value == "pooled")
+      PooledFixpointCtx = true;
+    else if (Value == "fresh")
+      PooledFixpointCtx = false;
+    else
+      return Fail("pooled|fresh");
+    return true;
+  }
   if (Err)
     *Err = "unknown engine knob '" + Name + "'";
   return false;
@@ -172,6 +184,8 @@ std::string EngineConfig::get(const std::string &Name) const {
     return CtMode ? "on" : "off";
   if (Name == "arc-cache")
     return ArcCache ? "on" : "off";
+  if (Name == "fixpoint-ctx")
+    return PooledFixpointCtx ? "pooled" : "fresh";
   return "";
 }
 

@@ -86,6 +86,14 @@ struct EngineConfig {
   /// entry states are byte-identical either way (see DESIGN.md "Fixpoint
   /// engine: the arc cache").
   bool ArcCache = true;
+  /// Per-thread fixpoint context pool (on by default): WTO/arc-index
+  /// reuse across same-shape trail fixpoints, a retained state arena
+  /// reset by version stamp, batched flat-component stabilization, and
+  /// the version-stamped comparison fast path. "fresh" rebuilds
+  /// everything per run — the A/B baseline; entry states, trajectories,
+  /// and verdicts are byte-identical either way (see DESIGN.md "Fixpoint
+  /// engine: the context pool").
+  bool PooledFixpointCtx = true;
 
   /// One registry entry: the canonical knob name doubles as the CLI flag
   /// ("--<name>=<value>") and the bench env var ("<prefix>_<NAME>", with

@@ -11,7 +11,7 @@
 using namespace blazer;
 
 std::string EngineTelemetry::json() const {
-  char Buf[1536];
+  char Buf[2048];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"cache\": {\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
@@ -19,7 +19,10 @@ std::string EngineTelemetry::json() const {
       "\"fixpoint\": {\"pops\": %llu, \"joins\": %llu, \"widenings\": %llu, "
       "\"transfer_hit_rate\": %.4f, \"sweep_transfer_hit_rate\": %.4f, "
       "\"sweeps\": %llu, "
-      "\"arc_cache\": {\"hits\": %llu, \"misses\": %llu, \"bytes\": %llu}}, "
+      "\"arc_cache\": {\"hits\": %llu, \"misses\": %llu, \"bytes\": %llu}, "
+      "\"ctx\": {\"hits\": %llu, \"misses\": %llu, \"batch_passes\": %llu, "
+      "\"batched_nodes\": %llu, \"cmp_fast_hits\": %llu, "
+      "\"cmp_fast_misses\": %llu}}, "
       "\"cascade\": {\"discharged\": %llu, \"promoted\": %llu, "
       "\"interval_pops\": %llu}, "
       "\"fault\": {\"injected\": %llu, \"retries\": %llu, "
@@ -38,6 +41,12 @@ std::string EngineTelemetry::json() const {
       static_cast<unsigned long long>(Fixpoint.ArcHits),
       static_cast<unsigned long long>(Fixpoint.ArcMisses),
       static_cast<unsigned long long>(Fixpoint.ArcBytes),
+      static_cast<unsigned long long>(Fixpoint.CtxHits),
+      static_cast<unsigned long long>(Fixpoint.CtxMisses),
+      static_cast<unsigned long long>(Fixpoint.BatchPasses),
+      static_cast<unsigned long long>(Fixpoint.BatchedNodes),
+      static_cast<unsigned long long>(Fixpoint.CmpFastHits),
+      static_cast<unsigned long long>(Fixpoint.CmpFastMisses),
       static_cast<unsigned long long>(Cascade.Discharged),
       static_cast<unsigned long long>(Cascade.Promoted),
       static_cast<unsigned long long>(Cascade.IntervalPops),

@@ -46,6 +46,13 @@ struct FixpointStats {
   uint64_t ArcHits = 0;   ///< Arc lookups served from the stamped cache.
   uint64_t ArcMisses = 0; ///< Arc recomputations (copy + applyBranch).
   uint64_t ArcBytes = 0;  ///< Peak bytes held by arc values + accumulators.
+  /// Fixpoint-context pool traffic; all zero under --fixpoint-ctx=fresh.
+  uint64_t CtxHits = 0;   ///< analyze() runs that reused a cached shape.
+  uint64_t CtxMisses = 0; ///< Runs that built (or rebuilt) their shape.
+  uint64_t BatchPasses = 0;  ///< Flat-component stabilization passes.
+  uint64_t BatchedNodes = 0; ///< Body pops performed inside batched passes.
+  uint64_t CmpFastHits = 0;   ///< Pops short-circuited by the version token.
+  uint64_t CmpFastMisses = 0; ///< Pops that fell through to join + leq.
   /// Staleness-oracle mismatches (AnalyzerConfig::VerifyArcCache only;
   /// always zero in production). Not serialized.
   uint64_t ArcVerifyMismatches = 0;
@@ -68,6 +75,12 @@ struct FixpointStats {
     ArcHits += O.ArcHits;
     ArcMisses += O.ArcMisses;
     ArcBytes += O.ArcBytes;
+    CtxHits += O.CtxHits;
+    CtxMisses += O.CtxMisses;
+    BatchPasses += O.BatchPasses;
+    BatchedNodes += O.BatchedNodes;
+    CmpFastHits += O.CmpFastHits;
+    CmpFastMisses += O.CmpFastMisses;
     ArcVerifyMismatches += O.ArcVerifyMismatches;
     JoinNanos += O.JoinNanos;
     TransferNanos += O.TransferNanos;
@@ -84,6 +97,18 @@ struct FixpointStats {
   double sweepTransferHitRate() const {
     uint64_t Total = SweepTransferHits + SweepTransferMisses;
     return Total ? static_cast<double>(SweepTransferHits) / Total : 0.0;
+  }
+
+  /// Fraction of analyze() runs that reused a pooled shape, in [0, 1].
+  double ctxHitRate() const {
+    uint64_t Total = CtxHits + CtxMisses;
+    return Total ? static_cast<double>(CtxHits) / Total : 0.0;
+  }
+
+  /// Fraction of pops short-circuited by the comparison fast path.
+  double cmpFastHitRate() const {
+    uint64_t Total = CmpFastHits + CmpFastMisses;
+    return Total ? static_cast<double>(CmpFastHits) / Total : 0.0;
   }
 };
 
@@ -148,7 +173,10 @@ struct EngineTelemetry {
   ///  "fixpoint": {"pops": .., "joins": .., "widenings": ..,
   ///               "transfer_hit_rate": .., "sweep_transfer_hit_rate": ..,
   ///               "sweeps": ..,
-  ///               "arc_cache": {"hits": .., "misses": .., "bytes": ..}},
+  ///               "arc_cache": {"hits": .., "misses": .., "bytes": ..},
+  ///               "ctx": {"hits": .., "misses": .., "batch_passes": ..,
+  ///                       "batched_nodes": .., "cmp_fast_hits": ..,
+  ///                       "cmp_fast_misses": ..}},
   ///  "cascade": {"discharged": .., "promoted": .., "interval_pops": ..},
   ///  "fault": {"injected": .., "retries": .., "degradations": ..},
   ///  "ct": {"components": .., "exact_components": .., "leaves": ..,

@@ -20,6 +20,7 @@ thread_local FaultInjector *TLFaultInjector = nullptr;
 static const char *const FaultSiteNames[NumFaultSites] = {
     "dbm-pool",     "transfer",     "closure",        "pool-task",
     "cache-insert", "cache-retake", "trail-analysis", "arc-cache",
+    "fixpoint-ctx",
 };
 
 const char *faultSiteName(FaultSite S) {

@@ -61,8 +61,9 @@ enum class FaultSite : unsigned {
   CacheRetake,   ///< ShardedTrailCache — waiter retaking an abandon.
   TrailAnalysis, ///< BoundAnalysis::analyzeTrail — whole-trail boundary.
   ArcCache,      ///< FixpointRun arc cache — degrades to uncached joins.
+  FixpointCtx,   ///< Fixpoint context pool — degrades a run to fresh mode.
 };
-inline constexpr unsigned NumFaultSites = 8;
+inline constexpr unsigned NumFaultSites = 9;
 
 const char *faultSiteName(FaultSite S);
 /// \returns false when \p Name matches no site.

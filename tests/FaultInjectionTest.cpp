@@ -162,6 +162,9 @@ TEST(FaultSites, TransientClassification) {
   // uncached joins for the rest of the run), so retrying the whole trail
   // would just re-fire the plan — non-transient by design.
   EXPECT_FALSE(FaultInjector::transientSite(FaultSite::ArcCache));
+  // Fixpoint-ctx faults likewise absorb in place: the run degrades to a
+  // fresh (unpooled) context, which is semantically identical.
+  EXPECT_FALSE(FaultInjector::transientSite(FaultSite::FixpointCtx));
 }
 
 //===----------------------------------------------------------------------===//
@@ -322,8 +325,8 @@ class FaultChaos : public ::testing::TestWithParam<const BenchmarkProgram *> {
 };
 
 /// Every single-site plan, two seeds each, at jobs=1: byte-identical
-/// replay (verdict, tree, provenance) plus soundness. 8 sites x 2 seeds x
-/// 24 benchmarks = 384 distinct plans.
+/// replay (verdict, tree, provenance) plus soundness. 9 sites x 2 seeds x
+/// 24 benchmarks = 432 distinct plans.
 TEST_P(FaultChaos, SingleSitePlansReplayDeterministicallyAtJobs1) {
   const BenchmarkProgram &B = *GetParam();
   CfgFunction F = B.compile();
@@ -431,7 +434,43 @@ TEST(FaultArcCache, InjectionDegradesToUncachedJoinsWithoutVerdictImpact) {
   EXPECT_EQ(ROff.Telemetry.Fixpoint.ArcMisses, 0u);
 }
 
-/// The distinct-plan floor the sweep above guarantees: 384 single-site +
+/// The fixpoint-ctx site degrades a single analyze() run to fresh-context
+/// mode (local shape + local arena, no fast paths). That is an allocation/
+/// layout change only: the run completes undegraded, the fault is counted,
+/// and the verdict and tree are byte-identical to both the fault-free
+/// baseline and a --fixpoint-ctx=fresh run.
+TEST(FaultFixpointCtx, InjectionDegradesToFreshContextWithoutVerdictImpact) {
+  const BenchmarkProgram *B = findBenchmark("modPow2_safe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  Baseline Base = baselineFor(*B, F, /*Jobs=*/1);
+
+  EngineConfig Fresh;
+  ASSERT_TRUE(Fresh.set("fixpoint-ctx", "fresh"));
+  BlazerResult RFresh = runBenchmark(*B, {}, 1, Fresh);
+
+  EngineConfig Faulted;
+  ASSERT_TRUE(Faulted.set("fault-plan", "1:1:fixpoint-ctx"));
+  BlazerResult R = runBenchmark(*B, {}, 1, Faulted);
+
+  // Absorbed, not degraded: every fixpoint run fell back to a fresh
+  // context, which computes the same states from the same schedule.
+  EXPECT_GE(R.Telemetry.Fault.Injected, 1u);
+  EXPECT_FALSE(R.Degradation.tripped()) << R.Degradation.str();
+  EXPECT_EQ(R.Verdict, Base.Verdict);
+  EXPECT_EQ(R.treeString(F), Base.Tree);
+
+  EXPECT_EQ(R.Verdict, RFresh.Verdict);
+  EXPECT_EQ(R.treeString(F), RFresh.treeString(F));
+  // With rate 1 the degradation hits every run, so pool telemetry is
+  // exactly the fresh-mode profile: no context traffic at all.
+  EXPECT_EQ(R.Telemetry.Fixpoint.CtxHits, 0u);
+  EXPECT_EQ(R.Telemetry.Fixpoint.CtxMisses, 0u);
+  EXPECT_EQ(RFresh.Telemetry.Fixpoint.CtxHits, 0u);
+  EXPECT_EQ(RFresh.Telemetry.Fixpoint.CtxMisses, 0u);
+}
+
+/// The distinct-plan floor the sweep above guarantees: 432 single-site +
 /// 192 all-site plans, all with distinct seeds, >= 500 total.
 TEST(FaultChaosCoverage, AtLeast500DistinctPlans) {
   std::set<std::string> Plans;

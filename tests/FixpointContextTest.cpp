@@ -1,0 +1,524 @@
+//===- FixpointContextTest.cpp - Pooled-context byte-identity suite --------===//
+//
+// Part of the Blazer reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread fixpoint context pool (AnalyzerConfig::PooledContext)
+/// amortizes shape decomposition, arena allocation, and comparison work
+/// across same-shape trail fixpoints. Like the arc cache before it, the
+/// pool promises full transparency: it changes where states live and how
+/// the no-change test is evaluated, never a single computed byte. This
+/// harness holds it to that —
+///  - entry-state byte-identity pooled vs fresh at the Analyzer level, on
+///    the most-general products of all 24 Table-1 benchmarks and a swarm
+///    of seeded random loopy programs, under both WTO and FIFO and for
+///    both engine domains (zones and intervals), including repeated
+///    same-shape runs so the fast paths actually engage;
+///  - exact trajectory equality (Pops, Widenings, Sweeps): the comparison
+///    fast path must replay the recursion's counters, not skip them;
+///  - driver-level fingerprint identity (verdict, rendered tree, attacks,
+///    degradation) for fixpoint-ctx {pooled, fresh} x jobs {1, 2, 8} x
+///    both schedulers over Table-1 plus the strict-ct family;
+///  - a WTO-reuse oracle: the pooled schedule must equal a from-scratch
+///    Bourdoncle decomposition of the same graph, every time;
+///  - pool telemetry: context hits >= 90% on repeated-shape runs, batching
+///    and comparison counters live, and the JSON schema carries them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "absint/Analyzer.h"
+#include "absint/FixpointContext.h"
+#include "absint/ProductGraph.h"
+#include "absint/Wto.h"
+#include "benchmarks/Benchmarks.h"
+#include "bounds/BoundAnalysis.h"
+#include "core/Blazer.h"
+#include "ir/Cfg.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace blazer;
+
+namespace {
+
+AnalyzerConfig ctxConfig(bool UseWto, bool Pooled) {
+  AnalyzerConfig C;
+  C.UseWto = UseWto;
+  C.PooledContext = Pooled;
+  return C;
+}
+
+/// Byte-identity of two analysis results: equal entry states (equals()
+/// compares bottom flags and every matrix/interval entry — exactly the
+/// bytes the rest of the engine can observe) and equal feasibility.
+template <NumericDomain Domain>
+void expectIdenticalStates(const AnalysisResultT<Domain> &Pooled,
+                           const AnalysisResultT<Domain> &Fresh,
+                           const std::vector<std::string> &Names) {
+  ASSERT_EQ(Pooled.EntryState.size(), Fresh.EntryState.size());
+  for (size_t Id = 0; Id < Pooled.EntryState.size(); ++Id) {
+    EXPECT_TRUE(Pooled.EntryState[Id].equals(Fresh.EntryState[Id]))
+        << "entry states differ at product node " << Id << "\n  pooled: "
+        << Pooled.EntryState[Id].str(Names) << "\n  fresh:  "
+        << Fresh.EntryState[Id].str(Names);
+    EXPECT_EQ(Pooled.Feasible[Id], Fresh.Feasible[Id]) << "node " << Id;
+  }
+}
+
+/// The trajectory invariant: the comparison fast path and the batched
+/// walk must *replay* the recursion's counters, never short-circuit them.
+template <NumericDomain Domain>
+void expectIdenticalTrajectory(const AnalysisResultT<Domain> &Pooled,
+                               const AnalysisResultT<Domain> &Fresh) {
+  EXPECT_EQ(Pooled.Stats.Pops, Fresh.Stats.Pops);
+  EXPECT_EQ(Pooled.Stats.Widenings, Fresh.Stats.Widenings);
+  EXPECT_EQ(Pooled.Stats.Sweeps, Fresh.Stats.Sweeps);
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer-level identity: Table-1 most-general products, both domains
+//===----------------------------------------------------------------------===//
+
+TEST(FixpointContextInvariants, EntryStatesIdenticalOnMostGeneralProducts) {
+  uint64_t TotalCtxHits = 0;
+  uint64_t TotalBatched = 0;
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    SCOPED_TRACE(B.Name);
+    CfgFunction F = B.compile();
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty());
+    for (bool UseWto : {true, false}) {
+      SCOPED_TRACE(UseWto ? "wto" : "fifo");
+      Analyzer AzPooled(F, BA.env(), ctxConfig(UseWto, true));
+      Analyzer AzFresh(F, BA.env(), ctxConfig(UseWto, false));
+      // Repeat the pooled run so the second pass exercises shape reuse,
+      // stamp-reset arenas, and the comparison memo — each repetition must
+      // still match the fresh run byte for byte.
+      AnalysisResult Fresh = AzFresh.analyze(G);
+      for (int Round = 0; Round < 3; ++Round) {
+        SCOPED_TRACE("round " + std::to_string(Round));
+        AnalysisResult Pooled = AzPooled.analyze(G);
+        expectIdenticalStates(Pooled, Fresh, BA.env().names());
+        expectIdenticalTrajectory(Pooled, Fresh);
+        // Fresh mode never touches the pool.
+        EXPECT_EQ(Fresh.Stats.CtxHits + Fresh.Stats.CtxMisses, 0u);
+        EXPECT_EQ(Fresh.Stats.CmpFastHits + Fresh.Stats.CmpFastMisses, 0u);
+        EXPECT_EQ(Fresh.Stats.BatchPasses, 0u);
+        TotalCtxHits += Pooled.Stats.CtxHits;
+        TotalBatched += Pooled.Stats.BatchedNodes;
+      }
+    }
+  }
+  // Across the suite the pool must score real shape hits and the batched
+  // walk must visit real body nodes, or the A/B above compared two copies
+  // of the fresh path.
+  EXPECT_GT(TotalCtxHits, 0u);
+  EXPECT_GT(TotalBatched, 0u);
+}
+
+TEST(FixpointContextInvariants, IntervalDomainStatesIdenticalToo) {
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    SCOPED_TRACE(B.Name);
+    CfgFunction F = B.compile();
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty());
+    for (bool UseWto : {true, false}) {
+      SCOPED_TRACE(UseWto ? "wto" : "fifo");
+      IntervalAnalyzer AzPooled(F, BA.env(), ctxConfig(UseWto, true));
+      IntervalAnalyzer AzFresh(F, BA.env(), ctxConfig(UseWto, false));
+      IntervalAnalysisResult Fresh = AzFresh.analyze(G);
+      for (int Round = 0; Round < 2; ++Round) {
+        IntervalAnalysisResult Pooled = AzPooled.analyze(G);
+        expectIdenticalStates(Pooled, Fresh, BA.env().names());
+        expectIdenticalTrajectory(Pooled, Fresh);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded random loopy products
+//===----------------------------------------------------------------------===//
+
+/// Deterministic xorshift RNG (no global state, reproducible per seed).
+class Rng {
+public:
+  explicit Rng(uint32_t Seed) : S(Seed * 2654435761u + 0x9E3779B9u) {}
+
+  uint32_t next() {
+    S ^= S << 13;
+    S ^= S >> 17;
+    S ^= S << 5;
+    return S;
+  }
+  int range(int Lo, int Hi) { // Inclusive.
+    return Lo + static_cast<int>(next() % (Hi - Lo + 1));
+  }
+  bool chance(int Percent) { return range(1, 100) <= Percent; }
+
+private:
+  uint32_t S;
+};
+
+/// Compact random-function generator biased toward what stresses the
+/// context pool: nested loops (widening, flat and non-flat components,
+/// descending sweeps) and multi-predecessor join points. Bounded counter
+/// loops keep every program terminating.
+class CtxProgramGen {
+public:
+  explicit CtxProgramGen(uint32_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    OS << "fn ctxfuzz(secret h: int, public l: int) {\n";
+    OS << "  var a: int = 0;\n  var b: int = 0;\n";
+    block(1, /*Depth=*/0);
+    OS << "}\n";
+    return OS.str();
+  }
+
+private:
+  const char *scalar() {
+    switch (R.range(0, 3)) {
+    case 0:
+      return "h";
+    case 1:
+      return "l";
+    case 2:
+      return "a";
+    default:
+      return "b";
+    }
+  }
+
+  void indent(int Ind) {
+    for (int I = 0; I <= Ind; ++I)
+      OS << "  ";
+  }
+
+  std::string cond() {
+    std::ostringstream C;
+    const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    C << scalar() << " " << Ops[R.range(0, 5)] << " ";
+    if (R.chance(60))
+      C << R.range(-2, 4);
+    else
+      C << scalar();
+    return C.str();
+  }
+
+  void assign(int Ind) {
+    indent(Ind);
+    const char *T = R.chance(50) ? "a" : "b";
+    if (R.chance(40))
+      OS << T << " = " << R.range(-3, 7) << ";\n";
+    else
+      OS << T << " = " << scalar() << " + " << R.range(-2, 3) << ";\n";
+  }
+
+  void loop(int Ind, int Depth) {
+    int Id = NextLoop++;
+    std::string V = "i" + std::to_string(Id);
+    indent(Ind);
+    OS << "var " << V << ": int = 0;\n";
+    indent(Ind);
+    OS << "while (" << V << " < "
+       << (R.chance(50) ? std::string(R.chance(50) ? "l" : "h")
+                        : std::to_string(R.range(1, 5)))
+       << ") {\n";
+    block(Ind + 1, Depth + 1);
+    indent(Ind + 1);
+    OS << V << " = " << V << " + 1;\n";
+    indent(Ind);
+    OS << "}\n";
+  }
+
+  void branch(int Ind, int Depth) {
+    indent(Ind);
+    OS << "if (" << cond() << ") {\n";
+    block(Ind + 1, Depth + 1);
+    indent(Ind);
+    OS << "} else {\n";
+    block(Ind + 1, Depth + 1);
+    indent(Ind);
+    OS << "}\n";
+  }
+
+  void block(int Ind, int Depth) {
+    int Stmts = R.range(1, 3);
+    for (int I = 0; I < Stmts; ++I) {
+      // Heavier loop bias than the arc-cache fuzzer: flat single loops
+      // (batchable) and nested ones (recursive path) both matter here.
+      int Kind = R.range(0, 9);
+      if (Kind < 4 || Depth >= 3)
+        assign(Ind);
+      else if (Kind < 7)
+        branch(Ind, Depth);
+      else
+        loop(Ind, Depth);
+    }
+  }
+
+  Rng R;
+  std::ostringstream OS;
+  int NextLoop = 0;
+};
+
+CfgFunction compileCtxFuzz(uint32_t Seed, std::string *SrcOut = nullptr) {
+  CtxProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+  if (SrcOut)
+    *SrcOut = Src;
+  auto F = compileSingleFunction(Src, BuiltinRegistry::standard());
+  EXPECT_TRUE(static_cast<bool>(F))
+      << (F ? "" : F.diag().str()) << "\n"
+      << Src;
+  return F.take();
+}
+
+class FixpointContextRandomProducts : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixpointContextRandomProducts, EntryStatesIdentical) {
+  std::string Src;
+  CfgFunction F = compileCtxFuzz(static_cast<uint32_t>(GetParam()), &Src);
+  BoundAnalysis BA(F);
+  ProductGraph G =
+      ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+  ASSERT_FALSE(G.empty()) << Src;
+  for (bool UseWto : {true, false}) {
+    SCOPED_TRACE(std::string(UseWto ? "wto" : "fifo") + "\n" + Src);
+    Analyzer AzPooled(F, BA.env(), ctxConfig(UseWto, true));
+    Analyzer AzFresh(F, BA.env(), ctxConfig(UseWto, false));
+    AnalysisResult Fresh = AzFresh.analyze(G);
+    for (int Round = 0; Round < 2; ++Round) {
+      AnalysisResult Pooled = AzPooled.analyze(G);
+      expectIdenticalStates(Pooled, Fresh, BA.env().names());
+      expectIdenticalTrajectory(Pooled, Fresh);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixpointContextRandomProducts,
+                         ::testing::Range(0, 40));
+
+//===----------------------------------------------------------------------===//
+// WTO-reuse oracle
+//===----------------------------------------------------------------------===//
+
+/// A pooled run must iterate the exact Bourdoncle decomposition a fresh
+/// run would build: after analyzing each most-general product, the shape
+/// cached for it renders identically to a from-scratch Wto::build.
+TEST(FixpointContextOracle, PooledWtoEqualsFreshDecomposition) {
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    SCOPED_TRACE(B.Name);
+    CfgFunction F = B.compile();
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    ASSERT_FALSE(G.empty());
+    Analyzer Az(F, BA.env(), ctxConfig(/*UseWto=*/true, /*Pooled=*/true));
+    (void)Az.analyze(G);
+    const FixpointShape *Shape =
+        FixpointContext::forThread().peekShape(G);
+    ASSERT_NE(Shape, nullptr);
+    ASSERT_TRUE(Shape->WtoBuilt);
+    Wto Reference = Wto::build(G.successorIds(), G.entry());
+    EXPECT_EQ(Shape->W.str(), Reference.str());
+    // The flat-component mask is a pure function of the decomposition.
+    EXPECT_EQ(Shape->FlatComponent, Reference.flatComponents());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pool telemetry: hit rate, fast-path traffic, JSON schema
+//===----------------------------------------------------------------------===//
+
+/// Repeated same-shape fixpoints are the pool's design load (the cascade
+/// re-runs every promoted product, refinement revisits sibling trails).
+/// Twenty same-shape runs must score >= 90% context hits and engage the
+/// comparison fast path.
+TEST(FixpointContextTelemetry, RepeatedShapeHitRateAtLeast90Percent) {
+  const BenchmarkProgram *B = findBenchmark("modPow2_safe");
+  ASSERT_NE(B, nullptr);
+  CfgFunction F = B->compile();
+  BoundAnalysis BA(F);
+  ProductGraph G =
+      ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+  ASSERT_FALSE(G.empty());
+  FixpointContext::forThread().clear();
+  Analyzer Az(F, BA.env(), ctxConfig(/*UseWto=*/true, /*Pooled=*/true));
+  uint64_t Hits = 0, Misses = 0;
+  for (int Round = 0; Round < 20; ++Round) {
+    AnalysisResult R = Az.analyze(G);
+    Hits += R.Stats.CtxHits;
+    Misses += R.Stats.CtxMisses;
+  }
+  ASSERT_EQ(Hits + Misses, 20u);
+  EXPECT_EQ(Misses, 1u); // Only the cold first run builds the shape.
+  EXPECT_GE(static_cast<double>(Hits) / (Hits + Misses), 0.90);
+}
+
+/// The comparison memo is reset per run (version tokens are only
+/// comparable within one fixpoint), so fast-path hits come from re-pops
+/// whose inputs sat still — outer passes over stabilized inner components
+/// and late passes over flat bodies. Across the Table-1 products and the
+/// fuzz swarm the path must score real hits, or every token check was
+/// wasted work.
+TEST(FixpointContextTelemetry, ComparisonFastPathScoresHits) {
+  uint64_t CmpHits = 0, CmpMisses = 0;
+  auto Sample = [&](const CfgFunction &F) {
+    BoundAnalysis BA(F);
+    ProductGraph G =
+        ProductGraph::build(F, BA.mostGeneralTrail(), BA.alphabet());
+    if (G.empty())
+      return;
+    for (bool UseWto : {true, false}) {
+      Analyzer Az(F, BA.env(), ctxConfig(UseWto, /*Pooled=*/true));
+      AnalysisResult R = Az.analyze(G);
+      CmpHits += R.Stats.CmpFastHits;
+      CmpMisses += R.Stats.CmpFastMisses;
+    }
+  };
+  for (const BenchmarkProgram &B : allBenchmarks()) {
+    CfgFunction F = B.compile();
+    Sample(F);
+  }
+  for (uint32_t Seed = 0; Seed < 40; ++Seed) {
+    CfgFunction F = compileCtxFuzz(Seed);
+    Sample(F);
+  }
+  // Every pooled pop draws exactly one token check.
+  EXPECT_GT(CmpMisses, 0u);
+  EXPECT_GT(CmpHits, 0u);
+}
+
+TEST(FixpointContextTelemetry, CountersReachBlazerResultAndJsonSchema) {
+  const BenchmarkProgram *B = findBenchmark("modPow2_safe");
+  ASSERT_NE(B, nullptr);
+  BlazerResult Pooled = runBenchmark(*B);
+  // The driver's cascade reruns each promoted product in the zone domain
+  // after the interval pre-pass, so pooled runs always score shape hits —
+  // and the pre-pass that inserted each shape counts its cold miss.
+  EXPECT_GT(Pooled.Telemetry.Fixpoint.CtxHits, 0u);
+  EXPECT_GT(Pooled.Telemetry.Fixpoint.CtxMisses, 0u);
+
+  EngineConfig FreshEngine;
+  ASSERT_TRUE(FreshEngine.set("fixpoint-ctx", "fresh"));
+  BlazerResult Fresh = runBenchmark(*B, {}, 1, FreshEngine);
+  EXPECT_EQ(Fresh.Telemetry.Fixpoint.CtxHits, 0u);
+  EXPECT_EQ(Fresh.Telemetry.Fixpoint.CtxMisses, 0u);
+  EXPECT_EQ(Fresh.Telemetry.Fixpoint.CmpFastHits, 0u);
+  EXPECT_EQ(Fresh.Telemetry.Fixpoint.BatchPasses, 0u);
+
+  // The JSON schema carries the nested ctx object on both surfaces.
+  std::string Json = Pooled.Telemetry.json();
+  EXPECT_NE(Json.find("\"ctx\": {\"hits\": "), std::string::npos);
+  EXPECT_NE(Json.find("\"batch_passes\": "), std::string::npos);
+  EXPECT_NE(Json.find("\"cmp_fast_hits\": "), std::string::npos);
+}
+
+/// The engine-knob surface round-trips and rejects garbage.
+TEST(FixpointContextKnob, RegistryRoundTrip) {
+  EngineConfig E;
+  EXPECT_EQ(E.get("fixpoint-ctx"), "pooled");
+  EXPECT_TRUE(E.set("fixpoint-ctx", "fresh"));
+  EXPECT_FALSE(E.PooledFixpointCtx);
+  EXPECT_EQ(E.get("fixpoint-ctx"), "fresh");
+  EXPECT_TRUE(E.set("fixpoint-ctx", "pooled"));
+  EXPECT_TRUE(E.PooledFixpointCtx);
+  std::string Err;
+  EXPECT_FALSE(E.set("fixpoint-ctx", "maybe", &Err));
+  EXPECT_NE(Err.find("pooled|fresh"), std::string::npos);
+  EXPECT_NE(E.str().find("fixpoint-ctx=pooled"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver-level differential: Table-1 + strict-ct x jobs {1,2,8}
+//===----------------------------------------------------------------------===//
+
+/// The analysis outputs that must not depend on the context pool (nor,
+/// per the existing scheduler suite, on the job count).
+struct RunFingerprint {
+  std::string Verdict;
+  std::string Tree;
+  std::string Attacks;
+  std::string Degradation;
+};
+
+RunFingerprint fingerprint(const CfgFunction &F, const BlazerResult &R) {
+  RunFingerprint FP;
+  FP.Verdict = verdictName(R.Verdict);
+  FP.Tree = R.treeString(F);
+  std::ostringstream Attacks;
+  for (const AttackSpec &Spec : R.Attacks)
+    Attacks << Spec.str() << "\n";
+  FP.Attacks = Attacks.str();
+  FP.Degradation = R.Degradation.str();
+  return FP;
+}
+
+void expectIdentical(const RunFingerprint &A, const RunFingerprint &B,
+                     const std::string &What) {
+  SCOPED_TRACE(What);
+  EXPECT_EQ(A.Verdict, B.Verdict);
+  EXPECT_EQ(A.Tree, B.Tree);
+  EXPECT_EQ(A.Attacks, B.Attacks);
+  EXPECT_EQ(A.Degradation, B.Degradation);
+}
+
+class FixpointContextDifferential
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(FixpointContextDifferential,
+       PooledAndFreshAgreeAtAnyJobsUnderBothSchedulers) {
+  const BenchmarkProgram &B = *GetParam();
+  CfgFunction F = B.compile();
+  for (bool Fifo : {false, true}) {
+    EngineConfig Pooled;
+    Pooled.Fixpoint = Fifo ? FixpointSched::Fifo : FixpointSched::Wto;
+    EngineConfig Fresh = Pooled;
+    Fresh.PooledFixpointCtx = false;
+    std::string Sched = Fifo ? "fifo" : "wto";
+    RunFingerprint Base = fingerprint(F, runBenchmark(B, {}, 1, Pooled));
+    for (int Jobs : {1, 2, 8})
+      expectIdentical(fingerprint(F, runBenchmark(B, {}, Jobs, Fresh)), Base,
+                      B.Name + " " + Sched + " fixpoint-ctx=fresh jobs=" +
+                          std::to_string(Jobs));
+    for (int Jobs : {2, 8})
+      expectIdentical(fingerprint(F, runBenchmark(B, {}, Jobs, Pooled)), Base,
+                      B.Name + " " + Sched + " fixpoint-ctx=pooled jobs=" +
+                          std::to_string(Jobs));
+  }
+}
+
+std::vector<const BenchmarkProgram *> benchmarkPointers() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &B : allBenchmarks())
+    Out.push_back(&B);
+  // The strict-ct crypto-kernel family rides along: its verdicts come
+  // from the same fixpoints, so the pooled/fresh identity must hold
+  // there too.
+  for (const BenchmarkProgram &B : tableCtBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+std::string benchmarkName(
+    const ::testing::TestParamInfo<const BenchmarkProgram *> &Info) {
+  return Info.param->Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FixpointContextDifferential,
+                         ::testing::ValuesIn(benchmarkPointers()),
+                         benchmarkName);
+
+} // namespace

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""bench_regress.py - benchmark regression gate for the Table-1 sweep.
+
+Runs the table1_blazer driver once (BLAZER_TABLE1_RUNS=1) with JSON
+emission, then compares the fresh sweep against the committed baseline in
+BENCH_fixpoint.json:
+
+  1. Verdicts are exact: every benchmark row must report match=true and
+     the sweep must print 24/24 agreement. Any verdict drift is a hard
+     failure regardless of timing.
+  2. Suite wall clock is within --tolerance (default 30%) of the
+     baseline's pooled jobs=1 mode, with an absolute floor of
+     --floor-ms (default 250 ms) so sub-millisecond noise on tiny
+     benchmarks can't trip the gate.
+  3. The pooled context telemetry is live: suite-total ctx hits must be
+     positive (the cascade re-runs same-shape fixpoints, so a healthy
+     pool always scores hits). A dead counter means the telemetry
+     plumbing regressed even if timing looks fine.
+
+Exit status is 0 when all gates pass, 1 on any drift, 2 on harness
+errors (missing driver, malformed JSON). Stdlib only; no third-party
+imports.
+
+Usage:
+  tools/bench_regress.py --driver build-release/bench/table1_blazer \\
+      [--baseline BENCH_fixpoint.json] [--tolerance 0.30] \\
+      [--floor-ms 250] [--mode pooled] [--keep-json PATH]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print("bench_regress: FAIL: %s" % msg)
+    return 1
+
+
+def load_baseline(path, mode):
+    with open(path, "r", encoding="utf-8") as fh:
+        base = json.load(fh)
+    for entry in base.get("modes", []):
+        if entry.get("fixpoint_ctx", entry.get("arc_cache")) == mode and \
+                entry.get("jobs") == 1:
+            return base, entry
+    return base, None
+
+
+def run_sweep(driver, json_path, mode):
+    env = dict(os.environ)
+    env["BLAZER_TABLE1_RUNS"] = "1"
+    env["BLAZER_TABLE1_JSON"] = json_path
+    env["BLAZER_TABLE1_FIXPOINT_CTX"] = mode
+    env.setdefault("BLAZER_TABLE1_JOBS", "1")
+    proc = subprocess.run([driver], env=env, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--driver", default="build-release/bench/table1_blazer",
+                    help="path to the table1_blazer binary")
+    ap.add_argument("--baseline", default="BENCH_fixpoint.json",
+                    help="committed baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="relative wall-clock tolerance (0.30 = +/-30%%)")
+    ap.add_argument("--floor-ms", type=float, default=250.0,
+                    help="absolute slack added to the tolerance band")
+    ap.add_argument("--mode", default="pooled", choices=["pooled", "fresh"],
+                    help="fixpoint-ctx mode to sweep and compare")
+    ap.add_argument("--keep-json", default=None,
+                    help="also write the fresh sweep JSON to this path")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.driver):
+        print("bench_regress: driver not found: %s" % args.driver)
+        print("  (build it with: cmake --preset release && "
+              "cmake --build --preset release)")
+        return 2
+
+    try:
+        base, base_mode = load_baseline(args.baseline, args.mode)
+    except (OSError, ValueError) as err:
+        print("bench_regress: cannot read baseline %s: %s"
+              % (args.baseline, err))
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="bench_regress.") as tmp:
+        json_path = os.path.join(tmp, "sweep.json")
+        rc, out = run_sweep(args.driver, json_path, args.mode)
+        sys.stdout.write(out)
+        if rc != 0:
+            return fail("driver exited with status %d" % rc)
+        try:
+            with open(json_path, "r", encoding="utf-8") as fh:
+                sweep = json.load(fh)
+        except (OSError, ValueError) as err:
+            print("bench_regress: sweep JSON unreadable: %s" % err)
+            return 2
+        if args.keep_json:
+            with open(args.keep_json, "w", encoding="utf-8") as fh:
+                json.dump(sweep, fh, indent=2)
+
+    # Gate 1: verdicts. Contained crashes and timeouts are sandbox
+    # outcomes, not verdict drift, but a plain mismatch always fails.
+    drifted = []
+    rows = sweep.get("benchmarks", [])
+    for row in rows:
+        if row.get("crashed") or row.get("timed_out"):
+            continue
+        if not row.get("match", False):
+            drifted.append("%s gave %s"
+                           % (row.get("name"), row.get("verdict")))
+    if drifted:
+        return fail("verdict drift: " + "; ".join(drifted))
+    agreement = sweep.get("verdict_agreement", "")
+    if agreement != "24/24":
+        return fail("verdict agreement %r, expected '24/24'" % agreement)
+
+    # Gate 2: wall clock vs the committed baseline mode.
+    wall = sum(row.get("median_wall_ms", 0.0) for row in rows)
+    if base_mode is None:
+        print("bench_regress: note: baseline has no %s jobs=1 mode; "
+              "skipping the wall-clock gate" % args.mode)
+    else:
+        ref = float(base_mode["total_median_wall_ms"])
+        band = ref * args.tolerance + args.floor_ms
+        print("bench_regress: suite wall %.1f ms vs baseline %.1f ms "
+              "(band +/-%.1f ms)" % (wall, ref, band))
+        if abs(wall - ref) > band:
+            return fail("suite wall clock %.1f ms outside %.1f +/- %.1f ms"
+                        % (wall, ref, band))
+
+    # Gate 3: pooled telemetry is alive.
+    if args.mode == "pooled":
+        hits = sum(row.get("telemetry", {}).get("fixpoint", {})
+                   .get("ctx", {}).get("hits", 0) for row in rows)
+        if hits <= 0:
+            return fail("pooled sweep reported zero context-pool hits")
+        print("bench_regress: context pool scored %d hits suite-wide"
+              % hits)
+
+    print("bench_regress: PASS (%d benchmarks, %s mode)"
+          % (len(rows), args.mode))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,9 @@
 #   5. arc-cache:   ASan+UBSan, `arccache` label      (arc-cache byte-identity
 #                   + staleness-oracle suite under the memory sanitizers;
 #                   reuses the chaos rung's build directory)
+#   6. fixpoint-ctx: ASan+UBSan, `fixpointctx` label  (context-pool
+#                   byte-identity + WTO-reuse oracle suite under the memory
+#                   sanitizers; reuses the chaos rung's build directory)
 #
 # Stops at the first failing rung. Run from the repository root:
 #   tools/verify_all.sh [-jN]
@@ -43,6 +46,7 @@ run_rung "concurrency (tsan)" tsan tsan
 run_rung "chaos (asan-ubsan)" chaos-asan chaos-asan
 run_rung "ct (asan-ubsan)" asan-ubsan asan-ct
 run_rung "arc-cache (asan-ubsan)" asan-ubsan asan-arccache
+run_rung "fixpoint-ctx (asan-ubsan)" asan-ubsan asan-fixpointctx
 
 echo
 echo "==== all verification rungs passed ===="
